@@ -1,0 +1,79 @@
+// E8 (Section 5.2, "Turning to Lists for Help"): the innocuous-looking
+// query  p = ((x) →* (y)) ⟨reduce_{0,ι,+}(E(p)) = 0⟩  encodes SUBSET-SUM
+// on a chain of parallel edges and is NP-complete in data complexity —
+// "it can lead to evaluation issues even on tiny graphs with a few dozen
+// nodes". The series shows the 2^n blow-up in instance size n.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "src/graph/generators.h"
+#include "src/lists/list_functions.h"
+
+namespace gqzoo {
+namespace {
+
+// Hard-ish instances: random values with no zero-sum subset except the
+// trivial all-skip selection (values all positive), so the search must
+// exhaust all 2^n selections.
+std::vector<int64_t> PositiveValues(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(1, 1000000);
+  std::vector<int64_t> values;
+  for (size_t i = 0; i < n; ++i) values.push_back(dist(rng));
+  return values;
+}
+
+void BM_SubsetSumReduce(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph g = SubsetSumChain(PositiveValues(n, 99));
+  NodeId s = *g.FindNode("w0");
+  NodeId t = *g.FindNode("w" + std::to_string(n));
+  auto eq0 = [](const Value& v) { return v.is_int() && v.as_int() == 0; };
+  size_t explored = 0;
+  for (auto _ : state) {
+    ReduceQueryStats stats;
+    std::vector<Path> solutions = PathsWithReducePredicate(
+        g, s, t, Value(0), PropertyIota(g, "k"), SumStep(g, "k"), eq0, {},
+        &stats);
+    explored = stats.paths_explored;
+    benchmark::DoNotOptimize(solutions);
+  }
+  state.counters["paths_explored"] = static_cast<double>(explored);
+  state.counters["graph_nodes"] = static_cast<double>(g.NumNodes());
+}
+BENCHMARK(BM_SubsetSumReduce)->DenseRange(4, 20, 2);
+
+// Contrast: a PTIME query over the same graphs (plain shortest-style sum
+// along one fixed path) stays flat.
+void BM_SingleReduceEvaluation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  PropertyGraph g = SubsetSumChain(PositiveValues(n, 99));
+  // One fixed maximal path: always take the "value" edge (even edge ids).
+  std::vector<ObjectRef> objs = {ObjectRef::Node(*g.FindNode("w0"))};
+  for (size_t i = 0; i < n; ++i) {
+    objs.push_back(ObjectRef::Edge(static_cast<EdgeId>(2 * i)));
+    objs.push_back(
+        ObjectRef::Node(*g.FindNode("w" + std::to_string(i + 1))));
+  }
+  Path p = Path::MakeUnchecked(objs);
+  for (auto _ : state) {
+    Value sum = SumOverEdges(g, p, "k");
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SingleReduceEvaluation)->DenseRange(4, 20, 2);
+
+}  // namespace
+}  // namespace gqzoo
+
+int main(int argc, char** argv) {
+  printf("E8: reduce-sum = 0 encodes SUBSET-SUM; expect ~2^n exploration "
+         "growth (paper: NP-complete in data complexity, problematic on "
+         "graphs with a few dozen nodes).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,321 @@
+// gqzoo_shell: an interactive shell over the whole zoo. Load a property
+// graph from the text format and run queries in any of the implemented
+// languages. This is the "downstream user" surface of the library.
+//
+// Usage:  gqzoo_shell [graph-file]      (defaults to the Figure 3 graph)
+//
+// Commands:
+//   load <file>            load a property graph (gqzoo text format)
+//   show                   print the current graph
+//   rpq <regex>            evaluate an RPQ, print endpoint pairs
+//   2rpq <regex>           same, regex may contain inverse atoms ~a
+//   paths <from> <to> <mode> <regex>
+//                          enumerate mode-restricted matching paths
+//   kshortest <k> <from> <to> <regex>
+//                          the k shortest matching paths
+//   crpq <rule>            evaluate a CRPQ / l-CRPQ rule
+//   dlcrpq <rule>          evaluate a dl-CRPQ rule (dl-dialect regexes)
+//   gql <query>            run a CoreGQL MATCH/WHERE/RETURN query
+//   gqlopt <query>         same, after WHERE-pushdown optimization
+//   gqlgroup <pattern>     evaluate a pattern under GQL group-variable
+//                          semantics (repetition collects lists)
+//   regular <rules>        run a regular query (rules separated by ';')
+//   help                   this text
+//   quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/coregql/group_eval.h"
+#include "src/coregql/optimize.h"
+#include "src/coregql/pattern_parser.h"
+#include "src/coregql/query.h"
+#include "src/crpq/crpq_parser.h"
+#include "src/crpq/eval.h"
+#include "src/crpq/modes.h"
+#include "src/datatest/dl_eval.h"
+#include "src/graph/builtin_graphs.h"
+#include "src/graph/graph_io.h"
+#include "src/nested/regular_queries.h"
+#include "src/pmr/build.h"
+#include "src/pmr/enumerate.h"
+#include "src/regex/parser.h"
+#include "src/rpq/rpq_eval.h"
+
+using namespace gqzoo;
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  load <file> | show | rpq <regex> | 2rpq <regex>
+  paths <from> <to> <all|shortest|simple|trail> <regex>
+  kshortest <k> <from> <to> <regex>
+  crpq <rule> | dlcrpq <rule> | gql <query> | gqlopt <query>
+  gqlgroup <pattern> | regular <rules>
+  help | quit
+)";
+
+class Shell {
+ public:
+  Shell() : graph_(Figure3Graph()) {}
+
+  bool LoadFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      printf("cannot open '%s'\n", path.c_str());
+      return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<PropertyGraph> g = ParsePropertyGraph(buffer.str());
+    if (!g.ok()) {
+      printf("parse error: %s\n", g.error().message().c_str());
+      return false;
+    }
+    graph_ = std::move(g).value();
+    printf("loaded %zu nodes, %zu edges\n", graph_.NumNodes(),
+           graph_.NumEdges());
+    return true;
+  }
+
+  void Dispatch(const std::string& line) {
+    std::istringstream iss(line);
+    std::string command;
+    iss >> command;
+    std::string rest;
+    std::getline(iss, rest);
+    size_t start = rest.find_first_not_of(' ');
+    rest = start == std::string::npos ? "" : rest.substr(start);
+
+    if (command == "help") {
+      printf("%s", kHelp);
+    } else if (command == "load") {
+      LoadFile(rest);
+    } else if (command == "show") {
+      printf("%s", PropertyGraphToText(graph_).c_str());
+    } else if (command == "rpq" || command == "2rpq") {
+      RunRpq(rest);
+    } else if (command == "paths") {
+      RunPaths(rest);
+    } else if (command == "kshortest") {
+      RunKShortest(rest);
+    } else if (command == "crpq") {
+      RunCrpq(rest, RegexDialect::kPlain);
+    } else if (command == "dlcrpq") {
+      RunCrpq(rest, RegexDialect::kDl);
+    } else if (command == "gql") {
+      RunGql(rest, /*optimize=*/false);
+    } else if (command == "gqlopt") {
+      RunGql(rest, /*optimize=*/true);
+    } else if (command == "gqlgroup") {
+      RunGqlGroup(rest);
+    } else if (command == "regular") {
+      RunRegular(rest);
+    } else if (!command.empty()) {
+      printf("unknown command '%s' (try 'help')\n", command.c_str());
+    }
+  }
+
+ private:
+  void RunRpq(const std::string& text) {
+    Result<RegexPtr> r = ParseRegex(text, RegexDialect::kPlain);
+    if (!r.ok()) {
+      printf("%s\n", r.error().message().c_str());
+      return;
+    }
+    auto pairs = EvalRpq(graph_.skeleton(), *r.value());
+    for (const auto& [u, v] : pairs) {
+      printf("  (%s, %s)\n", graph_.NodeName(u).c_str(),
+             graph_.NodeName(v).c_str());
+    }
+    printf("%zu pairs\n", pairs.size());
+  }
+
+  bool ResolveNode(const std::string& name, NodeId* out) {
+    std::optional<NodeId> n = graph_.FindNode(name);
+    if (!n.has_value()) {
+      printf("unknown node '%s'\n", name.c_str());
+      return false;
+    }
+    *out = *n;
+    return true;
+  }
+
+  void RunPaths(const std::string& args) {
+    std::istringstream iss(args);
+    std::string from, to, mode_name;
+    iss >> from >> to >> mode_name;
+    std::string regex;
+    std::getline(iss, regex);
+    NodeId u, v;
+    if (!ResolveNode(from, &u) || !ResolveNode(to, &v)) return;
+    PathMode mode = mode_name == "shortest" ? PathMode::kShortest
+                    : mode_name == "simple" ? PathMode::kSimple
+                    : mode_name == "trail"  ? PathMode::kTrail
+                                            : PathMode::kAll;
+    // Try the dl dialect first (covers data tests), else plain.
+    Result<RegexPtr> dl = ParseRegex(regex, RegexDialect::kDl);
+    EnumerationLimits limits;
+    limits.max_results = 50;
+    limits.max_length = 32;
+    std::vector<PathBinding> results;
+    EnumerationStats stats;
+    if (dl.ok()) {
+      DlNfa nfa = DlNfa::FromRegex(*dl.value(), graph_);
+      DlEvaluator evaluator(graph_, nfa);
+      results = evaluator.CollectModePaths(u, v, mode, limits, &stats);
+    } else {
+      Result<RegexPtr> plain = ParseRegex(regex, RegexDialect::kPlain);
+      if (!plain.ok()) {
+        printf("%s\n", plain.error().message().c_str());
+        return;
+      }
+      Nfa nfa = Nfa::FromRegex(*plain.value(), graph_.skeleton());
+      results = CollectModePaths(graph_.skeleton(), nfa, u, v, mode, limits,
+                                 &stats);
+    }
+    for (const PathBinding& pb : results) {
+      printf("  %s", pb.path.ToString(graph_.skeleton()).c_str());
+      if (!pb.mu.lists.empty()) {
+        printf("  %s", pb.mu.ToString(graph_.skeleton()).c_str());
+      }
+      printf("\n");
+    }
+    printf("%zu paths%s\n", results.size(),
+           stats.truncated ? " (truncated)" : "");
+  }
+
+  void RunKShortest(const std::string& args) {
+    std::istringstream iss(args);
+    size_t k = 0;
+    std::string from, to;
+    iss >> k >> from >> to;
+    std::string regex;
+    std::getline(iss, regex);
+    NodeId u, v;
+    if (!ResolveNode(from, &u) || !ResolveNode(to, &v)) return;
+    Result<RegexPtr> r = ParseRegex(regex, RegexDialect::kPlain);
+    if (!r.ok()) {
+      printf("%s\n", r.error().message().c_str());
+      return;
+    }
+    Nfa nfa = Nfa::FromRegex(*r.value(), graph_.skeleton());
+    if (nfa.HasInverse()) {
+      printf("kshortest requires a one-way regex\n");
+      return;
+    }
+    Pmr pmr = BuildPmrBetween(graph_.skeleton(), nfa, u, v);
+    for (const PathBinding& pb : KShortestPathBindings(pmr, k)) {
+      printf("  [len %zu] %s\n", pb.path.Length(),
+             pb.path.ToString(graph_.skeleton()).c_str());
+    }
+  }
+
+  void RunCrpq(const std::string& text, RegexDialect dialect) {
+    Result<Crpq> q = ParseCrpq(text, dialect);
+    if (!q.ok()) {
+      printf("%s\n", q.error().message().c_str());
+      return;
+    }
+    Result<CrpqResult> r =
+        dialect == RegexDialect::kDl
+            ? EvalDlCrpq(graph_, q.value())
+            : EvalCrpq(graph_.skeleton(), q.value());
+    if (!r.ok()) {
+      printf("%s\n", r.error().message().c_str());
+      return;
+    }
+    printf("%s%zu rows\n", r.value().ToString(graph_.skeleton()).c_str(),
+           r.value().rows.size());
+  }
+
+  void RunGql(const std::string& text, bool optimize) {
+    Result<CoreGqlQuery> query = ParseCoreGqlQuery(text);
+    if (!query.ok()) {
+      printf("%s\n", query.error().message().c_str());
+      return;
+    }
+    CoreGqlQuery prepared = query.value();
+    if (optimize) {
+      PushdownStats stats;
+      prepared = PushDownConditions(prepared, &stats);
+      printf("(pushdown: %zu labels, %zu selections)\n", stats.labels_pushed,
+             stats.selections_pushed);
+    }
+    Result<CoreQueryResult> r = EvalCoreGqlQuery(graph_, prepared);
+    if (!r.ok()) {
+      printf("%s\n", r.error().message().c_str());
+      return;
+    }
+    printf("%s%zu rows%s\n",
+           r.value().relation.ToString(graph_.skeleton()).c_str(),
+           r.value().relation.NumRows(),
+           r.value().truncated ? " (truncated)" : "");
+  }
+
+  void RunGqlGroup(const std::string& text) {
+    Result<CorePatternPtr> pattern = ParseCorePattern(text);
+    if (!pattern.ok()) {
+      printf("%s\n", pattern.error().message().c_str());
+      return;
+    }
+    Result<GqlEvalResult> r = EvalGqlGroupPattern(graph_, *pattern.value());
+    if (!r.ok()) {
+      printf("%s\n", r.error().message().c_str());
+      return;
+    }
+    size_t shown = 0;
+    for (const GqlPathRow& row : r.value().rows) {
+      if (++shown > 50) {
+        printf("  ... (%zu rows total)\n", r.value().rows.size());
+        break;
+      }
+      printf("  %s", row.path.ToString(graph_.skeleton()).c_str());
+      for (const auto& [var, value] : row.mu) {
+        printf("  %s -> %s", var.c_str(),
+               value.ToString(graph_.skeleton()).c_str());
+      }
+      printf("\n");
+    }
+    printf("%zu rows%s\n", r.value().rows.size(),
+           r.value().truncated ? " (truncated)" : "");
+  }
+
+  void RunRegular(const std::string& text) {
+    Result<RegularQuery> q = ParseRegularQuery(text);
+    if (!q.ok()) {
+      printf("%s\n", q.error().message().c_str());
+      return;
+    }
+    Result<CrpqResult> r = EvalRegularQuery(graph_.skeleton(), q.value());
+    if (!r.ok()) {
+      printf("%s\n", r.error().message().c_str());
+      return;
+    }
+    printf("%s%zu rows\n", r.value().ToString(graph_.skeleton()).c_str(),
+           r.value().rows.size());
+  }
+
+  PropertyGraph graph_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1) {
+    if (!shell.LoadFile(argv[1])) return 1;
+  } else {
+    printf("no graph file given; starting with the paper's Figure 3 graph\n");
+  }
+  printf("%s", kHelp);
+  std::string line;
+  while (printf("gqzoo> "), std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    shell.Dispatch(line);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "src/automata/glushkov.h"
+
+#include <set>
+
+namespace gqzoo {
+
+namespace {
+
+// Classic first/last/follow computation over positions.
+struct Builder {
+  std::vector<Atom> atoms;  // position p -> atoms[p-1]
+  std::vector<std::set<uint32_t>> follow;  // position p -> follow set
+
+  struct Info {
+    std::set<uint32_t> first;
+    std::set<uint32_t> last;
+    bool nullable;
+  };
+
+  Info Build(const Regex& r) {
+    switch (r.op()) {
+      case Regex::Op::kEpsilon:
+        return {{}, {}, true};
+      case Regex::Op::kAtom: {
+        atoms.push_back(r.atom());
+        follow.emplace_back();
+        uint32_t p = static_cast<uint32_t>(atoms.size());
+        return {{p}, {p}, false};
+      }
+      case Regex::Op::kConcat: {
+        Info l = Build(*r.left());
+        Info rr = Build(*r.right());
+        for (uint32_t p : l.last) {
+          follow[p - 1].insert(rr.first.begin(), rr.first.end());
+        }
+        Info out;
+        out.first = l.first;
+        if (l.nullable) out.first.insert(rr.first.begin(), rr.first.end());
+        out.last = rr.last;
+        if (rr.nullable) out.last.insert(l.last.begin(), l.last.end());
+        out.nullable = l.nullable && rr.nullable;
+        return out;
+      }
+      case Regex::Op::kUnion: {
+        Info l = Build(*r.left());
+        Info rr = Build(*r.right());
+        Info out;
+        out.first = l.first;
+        out.first.insert(rr.first.begin(), rr.first.end());
+        out.last = l.last;
+        out.last.insert(rr.last.begin(), rr.last.end());
+        out.nullable = l.nullable || rr.nullable;
+        return out;
+      }
+      case Regex::Op::kStar:
+      case Regex::Op::kPlus: {
+        Info c = Build(*r.child());
+        for (uint32_t p : c.last) {
+          follow[p - 1].insert(c.first.begin(), c.first.end());
+        }
+        Info out = c;
+        if (r.op() == Regex::Op::kStar) out.nullable = true;
+        return out;
+      }
+      case Regex::Op::kOptional: {
+        Info c = Build(*r.child());
+        c.nullable = true;
+        return c;
+      }
+    }
+    return {{}, {}, true};
+  }
+};
+
+}  // namespace
+
+GlushkovAutomaton BuildGlushkov(const Regex& regex) {
+  Builder builder;
+  Builder::Info info = builder.Build(regex);
+
+  GlushkovAutomaton out;
+  out.position_atoms = std::move(builder.atoms);
+  out.transitions.assign(out.position_atoms.size() + 1, {});
+  for (uint32_t p : info.first) out.transitions[0].push_back(p);
+  for (uint32_t p = 1; p <= out.position_atoms.size(); ++p) {
+    for (uint32_t q : builder.follow[p - 1]) out.transitions[p].push_back(q);
+  }
+  out.accepting_positions.assign(info.last.begin(), info.last.end());
+  out.initial_accepting = info.nullable;
+  return out;
+}
+
+}  // namespace gqzoo

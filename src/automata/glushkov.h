@@ -1,0 +1,32 @@
+#ifndef GQZOO_AUTOMATA_GLUSHKOV_H_
+#define GQZOO_AUTOMATA_GLUSHKOV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/regex/ast.h"
+
+namespace gqzoo {
+
+/// The Glushkov (position) automaton of a regular expression, before label
+/// resolution: states are 0 (initial) and 1..P (one per atom occurrence),
+/// and the atom consumed when entering position p is `position_atoms[p-1]`.
+///
+/// The construction is ε-free by design, which Section 6.2 singles out as
+/// the entry ticket to product-graph evaluation, and it works uniformly for
+/// all three regex classes since atoms are opaque here: the RPQ layer
+/// resolves atoms to label predicates, the dl layer to node/edge tests.
+struct GlushkovAutomaton {
+  std::vector<Atom> position_atoms;            // 1-based positions
+  std::vector<std::vector<uint32_t>> transitions;  // state -> target positions
+  std::vector<uint32_t> accepting_positions;
+  bool initial_accepting = false;              // ε ∈ L(R)
+};
+
+/// Builds the Glushkov automaton of `regex` (linear in the number of
+/// positions for the state set; quadratic for `follow`).
+GlushkovAutomaton BuildGlushkov(const Regex& regex);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_AUTOMATA_GLUSHKOV_H_

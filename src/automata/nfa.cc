@@ -1,0 +1,203 @@
+#include "src/automata/nfa.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/automata/glushkov.h"
+
+namespace gqzoo {
+
+LabelPred LabelPred::NegSet(std::vector<LabelId> ls) {
+  std::sort(ls.begin(), ls.end());
+  ls.erase(std::unique(ls.begin(), ls.end()), ls.end());
+  return {Kind::kNegSet, std::move(ls)};
+}
+
+bool LabelPred::Matches(LabelId l) const {
+  switch (kind) {
+    case Kind::kNone:
+      return false;
+    case Kind::kOne:
+      return labels[0] == l;
+    case Kind::kNegSet:
+      return !std::binary_search(labels.begin(), labels.end(), l);
+    case Kind::kAny:
+      return true;
+  }
+  return false;
+}
+
+LabelPred LabelPred::And(const LabelPred& a, const LabelPred& b) {
+  if (a.kind == Kind::kNone || b.kind == Kind::kNone) return None();
+  if (a.kind == Kind::kAny) return b;
+  if (b.kind == Kind::kAny) return a;
+  if (a.kind == Kind::kOne) return b.Matches(a.labels[0]) ? a : None();
+  if (b.kind == Kind::kOne) return a.Matches(b.labels[0]) ? b : None();
+  // NegSet ∧ NegSet = Neg(union).
+  std::vector<LabelId> merged = a.labels;
+  merged.insert(merged.end(), b.labels.begin(), b.labels.end());
+  return NegSet(std::move(merged));
+}
+
+namespace {
+
+// Resolves an AST atom's label constraint against the graph's interner.
+LabelPred ResolvePred(const Atom& atom, const EdgeLabeledGraph& g) {
+  switch (atom.label_kind) {
+    case Atom::LabelKind::kOne: {
+      std::optional<LabelId> l = g.FindLabel(atom.labels[0]);
+      return l.has_value() ? LabelPred::One(*l) : LabelPred::None();
+    }
+    case Atom::LabelKind::kNegSet: {
+      std::vector<LabelId> ids;
+      for (const std::string& name : atom.labels) {
+        std::optional<LabelId> l = g.FindLabel(name);
+        if (l.has_value()) ids.push_back(*l);
+      }
+      return LabelPred::NegSet(std::move(ids));
+    }
+    case Atom::LabelKind::kAny:
+      return LabelPred::Any();
+    case Atom::LabelKind::kTest:
+      // Tests are not allowed at this layer (dl-RPQs have their own
+      // automaton type in src/datatest); treat as match-nothing.
+      return LabelPred::None();
+  }
+  return LabelPred::None();
+}
+
+}  // namespace
+
+Nfa Nfa::FromRegex(const Regex& regex, const EdgeLabeledGraph& g) {
+  GlushkovAutomaton glushkov = BuildGlushkov(regex);
+  Nfa nfa(static_cast<uint32_t>(glushkov.position_atoms.size() + 1));
+  nfa.set_initial(0);
+  nfa.set_accepting(0, glushkov.initial_accepting);
+  for (uint32_t p : glushkov.accepting_positions) {
+    nfa.set_accepting(p, true);  // positions are 1-based; state 0 is initial
+  }
+  for (uint32_t from = 0; from < glushkov.transitions.size(); ++from) {
+    for (uint32_t to : glushkov.transitions[from]) {
+      const Atom& atom = glushkov.position_atoms[to - 1];
+      Transition t;
+      t.to = to;
+      t.pred = ResolvePred(atom, g);
+      t.inverse = atom.inverse;
+      if (atom.capture.has_value()) {
+        t.capture = nfa.InternCapture(*atom.capture);
+      }
+      nfa.AddTransition(from, std::move(t));
+    }
+  }
+  return nfa;
+}
+
+std::vector<uint32_t> Nfa::AcceptingStates() const {
+  std::vector<uint32_t> result;
+  for (uint32_t s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) result.push_back(s);
+  }
+  return result;
+}
+
+size_t Nfa::NumTransitions() const {
+  size_t n = 0;
+  for (const auto& ts : out_) n += ts.size();
+  return n;
+}
+
+uint32_t Nfa::InternCapture(const std::string& name) {
+  for (uint32_t i = 0; i < capture_names_.size(); ++i) {
+    if (capture_names_[i] == name) return i;
+  }
+  capture_names_.push_back(name);
+  return static_cast<uint32_t>(capture_names_.size() - 1);
+}
+
+bool Nfa::AcceptsWord(const std::vector<LabelId>& word) const {
+  std::vector<bool> current(num_states(), false);
+  current[initial_] = true;
+  for (LabelId l : word) {
+    std::vector<bool> next(num_states(), false);
+    for (uint32_t s = 0; s < num_states(); ++s) {
+      if (!current[s]) continue;
+      for (const Transition& t : out_[s]) {
+        if (t.pred.Matches(l)) next[t.to] = true;
+      }
+    }
+    current = std::move(next);
+  }
+  for (uint32_t s = 0; s < num_states(); ++s) {
+    if (current[s] && accepting_[s]) return true;
+  }
+  return false;
+}
+
+std::vector<LabelId> Nfa::MentionedLabels() const {
+  std::vector<LabelId> labels;
+  for (const auto& ts : out_) {
+    for (const Transition& t : ts) {
+      labels.insert(labels.end(), t.pred.labels.begin(), t.pred.labels.end());
+    }
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
+}
+
+bool Nfa::HasInverse() const {
+  for (const auto& ts : out_) {
+    for (const Transition& t : ts) {
+      if (t.inverse) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<bool> Nfa::ReachableStates() const {
+  std::vector<bool> seen(num_states(), false);
+  std::deque<uint32_t> queue = {initial_};
+  seen[initial_] = true;
+  while (!queue.empty()) {
+    uint32_t s = queue.front();
+    queue.pop_front();
+    for (const Transition& t : out_[s]) {
+      if (t.pred.kind != LabelPred::Kind::kNone && !seen[t.to]) {
+        seen[t.to] = true;
+        queue.push_back(t.to);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> Nfa::CoaccessibleStates() const {
+  // Reverse adjacency.
+  std::vector<std::vector<uint32_t>> rev(num_states());
+  for (uint32_t s = 0; s < num_states(); ++s) {
+    for (const Transition& t : out_[s]) {
+      if (t.pred.kind != LabelPred::Kind::kNone) rev[t.to].push_back(s);
+    }
+  }
+  std::vector<bool> seen(num_states(), false);
+  std::deque<uint32_t> queue;
+  for (uint32_t s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) {
+      seen[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    uint32_t s = queue.front();
+    queue.pop_front();
+    for (uint32_t p : rev[s]) {
+      if (!seen[p]) {
+        seen[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,229 @@
+#include "src/automata/operations.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace gqzoo {
+
+namespace {
+
+// Language-level operations are defined for one-way automata; 2RPQ
+// automata (Remark 9) have a different alphabet (labels x direction) and
+// are out of scope here.
+void CheckOneWay(const Nfa& a) {
+  assert(!a.HasInverse() && "language operations require one-way automata");
+  (void)a;
+}
+
+// Does any label satisfy `pred`? (The label universe is countably infinite,
+// Section 2, so kNegSet is always satisfiable.)
+bool Satisfiable(const LabelPred& pred) {
+  return pred.kind != LabelPred::Kind::kNone;
+}
+
+}  // namespace
+
+Nfa UnionNfa(const Nfa& a, const Nfa& b) {
+  CheckOneWay(a);
+  CheckOneWay(b);
+
+  uint32_t offset_a = 1;
+  uint32_t offset_b = 1 + a.num_states();
+  Nfa out(1 + a.num_states() + b.num_states());
+  out.set_initial(0);
+  out.set_accepting(0, a.accepting(a.initial()) || b.accepting(b.initial()));
+  auto copy = [&out](const Nfa& src, uint32_t offset) {
+    for (uint32_t s = 0; s < src.num_states(); ++s) {
+      if (src.accepting(s)) out.set_accepting(s + offset, true);
+      for (const Nfa::Transition& t : src.Out(s)) {
+        out.AddTransition(s + offset, {t.to + offset, t.pred, Nfa::kNoCapture});
+      }
+    }
+  };
+  copy(a, offset_a);
+  copy(b, offset_b);
+  for (const Nfa::Transition& t : a.Out(a.initial())) {
+    out.AddTransition(0, {t.to + offset_a, t.pred, Nfa::kNoCapture});
+  }
+  for (const Nfa::Transition& t : b.Out(b.initial())) {
+    out.AddTransition(0, {t.to + offset_b, t.pred, Nfa::kNoCapture});
+  }
+  return out;
+}
+
+Nfa IntersectNfa(const Nfa& a, const Nfa& b) {
+  CheckOneWay(a);
+  CheckOneWay(b);
+
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> ids;
+  std::vector<std::pair<uint32_t, uint32_t>> states;
+  auto intern = [&](uint32_t p, uint32_t q) {
+    auto [it, inserted] = ids.try_emplace({p, q}, states.size());
+    if (inserted) states.push_back({p, q});
+    return it->second;
+  };
+  intern(a.initial(), b.initial());
+  struct PendingTransition {
+    uint32_t from, to;
+    LabelPred pred;
+  };
+  std::vector<PendingTransition> transitions;
+  for (size_t i = 0; i < states.size(); ++i) {
+    auto [p, q] = states[i];
+    for (const Nfa::Transition& ta : a.Out(p)) {
+      for (const Nfa::Transition& tb : b.Out(q)) {
+        LabelPred both = LabelPred::And(ta.pred, tb.pred);
+        if (!Satisfiable(both)) continue;
+        uint32_t to = intern(ta.to, tb.to);
+        transitions.push_back({static_cast<uint32_t>(i), to, std::move(both)});
+      }
+    }
+  }
+  Nfa out(static_cast<uint32_t>(states.size()));
+  out.set_initial(0);
+  for (size_t i = 0; i < states.size(); ++i) {
+    out.set_accepting(static_cast<uint32_t>(i), a.accepting(states[i].first) &&
+                                                    b.accepting(states[i].second));
+  }
+  for (PendingTransition& t : transitions) {
+    out.AddTransition(t.from, {t.to, std::move(t.pred), Nfa::kNoCapture});
+  }
+  return out;
+}
+
+Nfa Determinize(const Nfa& a) {
+  CheckOneWay(a);
+
+  // Effective alphabet: each mentioned label is its own symbol; all other
+  // labels behave identically ("other" class, satisfiable because the label
+  // universe is infinite).
+  std::vector<LabelId> mentioned = a.MentionedLabels();
+  std::vector<LabelPred> symbols;
+  for (LabelId l : mentioned) symbols.push_back(LabelPred::One(l));
+  symbols.push_back(mentioned.empty() ? LabelPred::Any()
+                                      : LabelPred::NegSet(mentioned));
+
+  auto matches_symbol = [&](const LabelPred& pred, size_t sym) {
+    if (sym < mentioned.size()) return pred.Matches(mentioned[sym]);
+    // The "other" class: kAny and kNegSet match (their negated labels are
+    // all mentioned), kOne (of a mentioned label) and kNone do not.
+    return pred.kind == LabelPred::Kind::kAny ||
+           pred.kind == LabelPred::Kind::kNegSet;
+  };
+
+  std::map<std::set<uint32_t>, uint32_t> ids;
+  std::vector<std::set<uint32_t>> subsets;
+  auto intern = [&](std::set<uint32_t> subset) {
+    auto [it, inserted] = ids.try_emplace(subset, subsets.size());
+    if (inserted) subsets.push_back(std::move(subset));
+    return it->second;
+  };
+  intern({a.initial()});
+  struct PendingTransition {
+    uint32_t from, to;
+    size_t symbol;
+  };
+  std::vector<PendingTransition> transitions;
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    std::set<uint32_t> current = subsets[i];  // copy: subsets may reallocate
+    for (size_t sym = 0; sym < symbols.size(); ++sym) {
+      std::set<uint32_t> next;
+      for (uint32_t s : current) {
+        for (const Nfa::Transition& t : a.Out(s)) {
+          if (matches_symbol(t.pred, sym)) next.insert(t.to);
+        }
+      }
+      uint32_t to = intern(std::move(next));
+      transitions.push_back({static_cast<uint32_t>(i), to, sym});
+    }
+  }
+  Nfa out(static_cast<uint32_t>(subsets.size()));
+  out.set_initial(0);
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    bool acc = false;
+    for (uint32_t s : subsets[i]) acc = acc || a.accepting(s);
+    out.set_accepting(static_cast<uint32_t>(i), acc);
+  }
+  for (const PendingTransition& t : transitions) {
+    out.AddTransition(t.from, {t.to, symbols[t.symbol], Nfa::kNoCapture});
+  }
+  return out;
+}
+
+Nfa Complement(const Nfa& a) {
+  Nfa dfa = Determinize(a);  // complete by construction (sink = empty set)
+  for (uint32_t s = 0; s < dfa.num_states(); ++s) {
+    dfa.set_accepting(s, !dfa.accepting(s));
+  }
+  return dfa;
+}
+
+bool IsEmptyLanguage(const Nfa& a) {
+  std::vector<bool> reachable = a.ReachableStates();
+  for (uint32_t s = 0; s < a.num_states(); ++s) {
+    if (reachable[s] && a.accepting(s)) return false;
+  }
+  return true;
+}
+
+bool AreEquivalent(const Nfa& a, const Nfa& b) {
+  return IsEmptyLanguage(IntersectNfa(a, Complement(b))) &&
+         IsEmptyLanguage(IntersectNfa(b, Complement(a)));
+}
+
+bool IsContainedIn(const Nfa& a, const Nfa& b) {
+  return IsEmptyLanguage(IntersectNfa(a, Complement(b)));
+}
+
+bool IsAmbiguous(const Nfa& a) {
+  CheckOneWay(a);
+  // Self-product with a divergence flag: a triple (p, q, diverged) is
+  // reachable iff two runs on some common word end in p and q, having used
+  // different transitions somewhere iff `diverged`. The automaton is
+  // ambiguous iff some (f, g, true) with f, g accepting is reachable.
+  // States are restricted to useful (reachable and co-accessible) ones so
+  // non-accepting run prefixes don't count.
+  std::vector<bool> reachable = a.ReachableStates();
+  std::vector<bool> coaccessible = a.CoaccessibleStates();
+  auto useful = [&](uint32_t s) { return reachable[s] && coaccessible[s]; };
+  if (!useful(a.initial())) return false;
+
+  struct Triple {
+    uint32_t p, q;
+    bool diverged;
+    bool operator<(const Triple& o) const {
+      return std::tie(p, q, diverged) < std::tie(o.p, o.q, o.diverged);
+    }
+  };
+  std::set<Triple> seen;
+  std::deque<Triple> queue;
+  auto push = [&](Triple t) {
+    if (seen.insert(t).second) queue.push_back(t);
+  };
+  push({a.initial(), a.initial(), false});
+  while (!queue.empty()) {
+    Triple cur = queue.front();
+    queue.pop_front();
+    if (cur.diverged && a.accepting(cur.p) && a.accepting(cur.q)) return true;
+    const auto& out_p = a.Out(cur.p);
+    const auto& out_q = a.Out(cur.q);
+    for (size_t k = 0; k < out_p.size(); ++k) {
+      if (!useful(out_p[k].to)) continue;
+      for (size_t l = 0; l < out_q.size(); ++l) {
+        if (!useful(out_q[l].to)) continue;
+        if (!Satisfiable(LabelPred::And(out_p[k].pred, out_q[l].pred))) {
+          continue;
+        }
+        bool diverged = cur.diverged || (cur.p == cur.q && k != l) ||
+                        (cur.p != cur.q);
+        push({out_p[k].to, out_q[l].to, diverged});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,43 @@
+#ifndef GQZOO_AUTOMATA_OPERATIONS_H_
+#define GQZOO_AUTOMATA_OPERATIONS_H_
+
+#include "src/automata/nfa.h"
+
+namespace gqzoo {
+
+/// Language-level operations on label NFAs. These are the "standard automata
+/// constructions such as union, intersection, determinization, and
+/// complement" that Remark 11's wildcard design keeps available. Capture
+/// annotations are dropped: these operations act on languages.
+
+/// L(a) ∪ L(b).
+Nfa UnionNfa(const Nfa& a, const Nfa& b);
+
+/// L(a) ∩ L(b), by product construction.
+Nfa IntersectNfa(const Nfa& a, const Nfa& b);
+
+/// A complete DFA for L(a) by subset construction over the effective
+/// alphabet (mentioned labels + a co-finite "other" class).
+Nfa Determinize(const Nfa& a);
+
+/// Complement over the full label universe (determinize, complete, flip).
+Nfa Complement(const Nfa& a);
+
+/// Is L(a) empty?
+bool IsEmptyLanguage(const Nfa& a);
+
+/// L(a) == L(b)?
+bool AreEquivalent(const Nfa& a, const Nfa& b);
+
+/// L(a) ⊆ L(b)? — the query-containment primitive of Section 7.1's
+/// "Static Analysis" direction (for single RPQs containment is exactly
+/// language inclusion).
+bool IsContainedIn(const Nfa& a, const Nfa& b);
+
+/// Does some word have two distinct accepting runs? (Section 6.2 requires
+/// unambiguity for path counting.) Decided via the trimmed self-product.
+bool IsAmbiguous(const Nfa& a);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_AUTOMATA_OPERATIONS_H_

@@ -1,0 +1,137 @@
+#include "src/coregql/algebra.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gqzoo {
+
+CoreRelation Select(
+    const CoreRelation& r,
+    const std::function<bool(const std::vector<CoreCell>&)>& pred) {
+  CoreRelation out(r.schema());
+  for (const auto& row : r.rows()) {
+    if (pred(row)) out.AddRow(row);
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<CoreRelation> Project(const CoreRelation& r,
+                             const std::vector<std::string>& attrs) {
+  std::vector<size_t> indices;
+  for (const std::string& a : attrs) {
+    size_t i = r.AttrIndex(a);
+    if (i == SIZE_MAX) return Error("unknown attribute '" + a + "'");
+    indices.push_back(i);
+  }
+  CoreRelation out(attrs);
+  for (const auto& row : r.rows()) {
+    std::vector<CoreCell> cells;
+    cells.reserve(indices.size());
+    for (size_t i : indices) cells.push_back(row[i]);
+    out.AddRow(std::move(cells));
+  }
+  out.Normalize();
+  return out;
+}
+
+CoreRelation NaturalJoinRel(const CoreRelation& a, const CoreRelation& b) {
+  std::vector<size_t> shared_a, shared_b, b_only;
+  for (size_t j = 0; j < b.schema().size(); ++j) {
+    size_t i = a.AttrIndex(b.schema()[j]);
+    if (i != SIZE_MAX) {
+      shared_a.push_back(i);
+      shared_b.push_back(j);
+    } else {
+      b_only.push_back(j);
+    }
+  }
+  std::vector<std::string> schema = a.schema();
+  for (size_t j : b_only) schema.push_back(b.schema()[j]);
+  CoreRelation out(std::move(schema));
+
+  std::map<std::vector<CoreCell>, std::vector<size_t>> index;
+  for (size_t i = 0; i < b.rows().size(); ++i) {
+    std::vector<CoreCell> key;
+    for (size_t j : shared_b) key.push_back(b.rows()[i][j]);
+    index[std::move(key)].push_back(i);
+  }
+  for (const auto& row_a : a.rows()) {
+    std::vector<CoreCell> key;
+    for (size_t j : shared_a) key.push_back(row_a[j]);
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (size_t i : it->second) {
+      std::vector<CoreCell> row = row_a;
+      for (size_t j : b_only) row.push_back(b.rows()[i][j]);
+      out.AddRow(std::move(row));
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+namespace {
+
+Result<bool> CheckSchemasMatch(const CoreRelation& a, const CoreRelation& b) {
+  if (a.schema() != b.schema()) {
+    return Error("set operation requires identical schemas");
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<CoreRelation> UnionRel(const CoreRelation& a, const CoreRelation& b) {
+  Result<bool> ok = CheckSchemasMatch(a, b);
+  if (!ok.ok()) return ok.error();
+  CoreRelation out(a.schema());
+  for (const auto& row : a.rows()) out.AddRow(row);
+  for (const auto& row : b.rows()) out.AddRow(row);
+  out.Normalize();
+  return out;
+}
+
+Result<CoreRelation> DifferenceRel(const CoreRelation& a,
+                                   const CoreRelation& b) {
+  Result<bool> ok = CheckSchemasMatch(a, b);
+  if (!ok.ok()) return ok.error();
+  std::set<std::vector<CoreCell>> exclude(b.rows().begin(), b.rows().end());
+  CoreRelation out(a.schema());
+  for (const auto& row : a.rows()) {
+    if (exclude.count(row) == 0) out.AddRow(row);
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<CoreRelation> IntersectRel(const CoreRelation& a,
+                                  const CoreRelation& b) {
+  Result<bool> ok = CheckSchemasMatch(a, b);
+  if (!ok.ok()) return ok.error();
+  std::set<std::vector<CoreCell>> keep(b.rows().begin(), b.rows().end());
+  CoreRelation out(a.schema());
+  for (const auto& row : a.rows()) {
+    if (keep.count(row) > 0) out.AddRow(row);
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<CoreRelation> Rename(const CoreRelation& r, const std::string& from,
+                            const std::string& to) {
+  size_t i = r.AttrIndex(from);
+  if (i == SIZE_MAX) return Error("unknown attribute '" + from + "'");
+  if (r.AttrIndex(to) != SIZE_MAX) {
+    return Error("attribute '" + to + "' already exists");
+  }
+  std::vector<std::string> schema = r.schema();
+  schema[i] = to;
+  CoreRelation out(std::move(schema));
+  for (const auto& row : r.rows()) out.AddRow(row);
+  out.Normalize();
+  return out;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,39 @@
+#ifndef GQZOO_COREGQL_ALGEBRA_H_
+#define GQZOO_COREGQL_ALGEBRA_H_
+
+#include <functional>
+
+#include "src/coregql/relation.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// Relational algebra over CoreGQL relations (component (3) of CoreGQL,
+/// Section 4.1.3). All operators implement set semantics.
+
+/// σ_pred: keeps rows for which `pred(row)` is true.
+CoreRelation Select(const CoreRelation& r,
+                    const std::function<bool(const std::vector<CoreCell>&)>& pred);
+
+/// π_attrs: projection (duplicates removed). Fails on unknown attributes.
+Result<CoreRelation> Project(const CoreRelation& r,
+                             const std::vector<std::string>& attrs);
+
+/// Natural join on shared attribute names (cartesian product if none).
+CoreRelation NaturalJoinRel(const CoreRelation& a, const CoreRelation& b);
+
+/// Set union / difference / intersection; schemas must match exactly.
+Result<CoreRelation> UnionRel(const CoreRelation& a, const CoreRelation& b);
+Result<CoreRelation> DifferenceRel(const CoreRelation& a,
+                                   const CoreRelation& b);
+Result<CoreRelation> IntersectRel(const CoreRelation& a,
+                                  const CoreRelation& b);
+
+/// ρ: renames attribute `from` to `to`. Fails if `from` is unknown or `to`
+/// already exists.
+Result<CoreRelation> Rename(const CoreRelation& r, const std::string& from,
+                            const std::string& to);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_COREGQL_ALGEBRA_H_

@@ -1,0 +1,83 @@
+#ifndef GQZOO_COREGQL_PATTERN_EVAL_H_
+#define GQZOO_COREGQL_PATTERN_EVAL_H_
+
+#include <map>
+
+#include "src/coregql/pattern.h"
+#include "src/graph/graph.h"
+#include "src/graph/path.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// A CoreGQL binding µ: free variables to graph elements (Figure 4).
+using CoreBinding = std::map<std::string, ObjectRef>;
+
+/// Evaluates a condition θ against µ per Figure 4. Comparisons involving an
+/// unbound variable or an undefined property are false (CoreGQL has no
+/// nulls; ¬ flips as usual).
+bool EvalCoreCondition(const PropertyGraph& g, const CoreCondition& cond,
+                       const CoreBinding& mu);
+
+/// One result of pair-level pattern evaluation: the endpoints of the
+/// matched path and the binding of the pattern's free variables.
+struct CorePairRow {
+  NodeId src;
+  NodeId tgt;
+  CoreBinding mu;
+
+  bool operator==(const CorePairRow& o) const {
+    return src == o.src && tgt == o.tgt && mu == o.mu;
+  }
+  bool operator<(const CorePairRow& o) const {
+    if (src != o.src) return src < o.src;
+    if (tgt != o.tgt) return tgt < o.tgt;
+    return mu < o.mu;
+  }
+};
+
+/// Exact, always-terminating evaluation of `{(src(p), tgt(p), µ) | (p, µ) ∈
+/// [[π]]_G}` — finite even when [[π]]_G is infinite, because paths are
+/// projected to endpoints (repetition contributes endpoint pairs computed
+/// by reachability over the one-iteration pair relation). This is all a
+/// CoreGQL *relation* needs (Section 4.1.2: outputs are first-normal-form).
+Result<std::vector<CorePairRow>> EvalPatternPairs(const PropertyGraph& g,
+                                                  const CorePattern& pattern);
+
+/// One result of path-level evaluation: the matched path itself plus µ.
+/// Needed for the `p = π` path-binding extension of Section 5.2.
+struct CorePathRow {
+  Path path;
+  CoreBinding mu;
+
+  bool operator==(const CorePathRow& o) const {
+    return path == o.path && mu == o.mu;
+  }
+  bool operator<(const CorePathRow& o) const {
+    if (path != o.path) return path < o.path;
+    return mu < o.mu;
+  }
+};
+
+struct CorePathEvalOptions {
+  size_t max_path_length = 32;
+  size_t max_results = 200000;
+};
+
+struct CorePathEvalResult {
+  std::vector<CorePathRow> rows;
+  bool truncated = false;
+};
+
+/// Reference (enumerative) evaluation of [[π]]_G as a set of (path, µ)
+/// pairs, truncated at the limits — [[π]]_G can be infinite on cyclic
+/// graphs. This is the engine behind path outputs; its cost on
+/// `→* ... EXCEPT ...` pipelines is exactly the compositional-evaluation
+/// penalty the paper observes (Section 5.2).
+Result<CorePathEvalResult> EvalPatternPaths(
+    const PropertyGraph& g, const CorePattern& pattern,
+    const CorePathEvalOptions& options = {});
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_COREGQL_PATTERN_EVAL_H_

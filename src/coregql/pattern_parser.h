@@ -1,0 +1,38 @@
+#ifndef GQZOO_COREGQL_PATTERN_PARSER_H_
+#define GQZOO_COREGQL_PATTERN_PARSER_H_
+
+#include <string>
+
+#include "src/coregql/pattern.h"
+#include "src/regex/lexer.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// Parses a CoreGQL pattern in GQL-ish ASCII-art syntax:
+///
+///     (x) -[e:Transfer]-> (y:Account)
+///     (x) ( (u)->(v) WHERE u.k < v.k )* (y)
+///     (x) ((a)->(b) | (a)<nothing>)    -- unions need equal free variables
+///
+/// Atoms: `(x)`, `(x:L)`, `(:L)`, `()` for nodes; `-[e]->`, `-[e:L]->`,
+/// `-[:L]->`, `-[]->`, `->` for edges. Concatenation is juxtaposition;
+/// `|` is disjunction (inside a group); postfix `*`, `+`, `?`, `{n}`,
+/// `{n,}`, `{n,m}` are repetitions; `( π WHERE θ )` attaches a condition.
+/// Conditions: `x.k op y.k`, `x.k op <const>`, `x:Label`,
+/// `label(x) = Label`, combined with AND/OR/NOT and parentheses.
+Result<CorePatternPtr> ParseCorePattern(const std::string& text);
+
+/// Token-stream variant for embedding in the query parser; parses greedily
+/// from `*pos`.
+Result<CorePatternPtr> ParseCorePatternTokens(const std::vector<Token>& tokens,
+                                              size_t* pos);
+
+/// Parses a standalone condition θ.
+Result<CoreCondPtr> ParseCoreCondition(const std::string& text);
+Result<CoreCondPtr> ParseCoreConditionTokens(const std::vector<Token>& tokens,
+                                             size_t* pos);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_COREGQL_PATTERN_PARSER_H_

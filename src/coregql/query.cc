@@ -1,0 +1,178 @@
+#include "src/coregql/query.h"
+
+#include <set>
+
+#include "src/coregql/algebra.h"
+
+namespace gqzoo {
+
+namespace {
+
+// Extracts the element bindings of a row (attr → element) for condition
+// evaluation; path- and value-typed cells are not addressable by θ.
+CoreBinding RowBinding(const CoreRelation& rel,
+                       const std::vector<CoreCell>& row) {
+  CoreBinding mu;
+  for (size_t i = 0; i < rel.schema().size(); ++i) {
+    if (std::holds_alternative<ObjectRef>(row[i])) {
+      mu[rel.schema()[i]] = std::get<ObjectRef>(row[i]);
+    }
+  }
+  return mu;
+}
+
+Result<CoreRelation> EvalPatternEntry(const PropertyGraph& g,
+                                      const CoreMatchBlock::PatternEntry& entry,
+                                      const CoreQueryEvalOptions& options,
+                                      bool* truncated) {
+  std::vector<std::string> fv = entry.pattern->FreeVariables();
+  if (!entry.path_var.has_value()) {
+    Result<std::vector<CorePairRow>> rows = EvalPatternPairs(g, *entry.pattern);
+    if (!rows.ok()) return rows.error();
+    CoreRelation rel(fv);
+    for (const CorePairRow& row : rows.value()) {
+      std::vector<CoreCell> cells;
+      cells.reserve(fv.size());
+      bool complete = true;
+      for (const std::string& x : fv) {
+        auto it = row.mu.find(x);
+        if (it == row.mu.end()) {
+          complete = false;  // cannot happen for validated patterns
+          break;
+        }
+        cells.push_back(it->second);
+      }
+      if (complete) rel.AddRow(std::move(cells));
+    }
+    rel.Normalize();
+    return rel;
+  }
+  // Path-binding entry: enumerative evaluation.
+  Result<CorePathEvalResult> paths =
+      EvalPatternPaths(g, *entry.pattern, options.path_options);
+  if (!paths.ok()) return paths.error();
+  if (paths.value().truncated) *truncated = true;
+  std::vector<std::string> schema = {*entry.path_var};
+  schema.insert(schema.end(), fv.begin(), fv.end());
+  CoreRelation rel(std::move(schema));
+  for (const CorePathRow& row : paths.value().rows) {
+    std::vector<CoreCell> cells;
+    cells.reserve(fv.size() + 1);
+    cells.push_back(row.path);
+    bool complete = true;
+    for (const std::string& x : fv) {
+      auto it = row.mu.find(x);
+      if (it == row.mu.end()) {
+        complete = false;
+        break;
+      }
+      cells.push_back(it->second);
+    }
+    if (complete) rel.AddRow(std::move(cells));
+  }
+  rel.Normalize();
+  return rel;
+}
+
+Result<CoreRelation> EvalBlock(const PropertyGraph& g,
+                               const CoreMatchBlock& block,
+                               const CoreQueryEvalOptions& options,
+                               bool* truncated) {
+  if (block.patterns.empty()) return Error("MATCH block has no patterns");
+  CoreRelation joined;
+  bool first = true;
+  for (const CoreMatchBlock::PatternEntry& entry : block.patterns) {
+    Result<CoreRelation> rel = EvalPatternEntry(g, entry, options, truncated);
+    if (!rel.ok()) return rel;
+    joined = first ? std::move(rel).value()
+                   : NaturalJoinRel(joined, rel.value());
+    first = false;
+  }
+  if (block.where != nullptr) {
+    joined = Select(joined, [&](const std::vector<CoreCell>& row) {
+      return EvalCoreCondition(g, *block.where, RowBinding(joined, row));
+    });
+  }
+  // RETURN: the Ω projection of Section 4.1.2.
+  std::vector<std::string> out_schema;
+  for (const CoreReturnItem& item : block.returns) {
+    out_schema.push_back(item.Name());
+  }
+  CoreRelation out(std::move(out_schema));
+  for (const auto& row : joined.rows()) {
+    std::vector<CoreCell> cells;
+    bool compatible = true;
+    for (const CoreReturnItem& item : block.returns) {
+      size_t i = joined.AttrIndex(item.var);
+      if (i == SIZE_MAX) {
+        return Error("RETURN references unknown variable '" + item.var + "'");
+      }
+      if (item.kind == CoreReturnItem::Kind::kVar) {
+        cells.push_back(row[i]);
+        continue;
+      }
+      // item.kind == kProp: µ must be compatible with Ω — ρ(µ(x), k) must
+      // be defined, otherwise the row is dropped (no nulls).
+      if (!std::holds_alternative<ObjectRef>(row[i])) {
+        return Error("property access on non-element variable '" + item.var +
+                     "'");
+      }
+      std::optional<Value> v =
+          g.GetProperty(std::get<ObjectRef>(row[i]), item.key);
+      if (!v.has_value()) {
+        compatible = false;
+        break;
+      }
+      cells.push_back(std::move(*v));
+    }
+    if (compatible) out.AddRow(std::move(cells));
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace
+
+Result<CoreQueryResult> EvalCoreGqlQuery(const PropertyGraph& g,
+                                         const CoreGqlQuery& query,
+                                         const CoreQueryEvalOptions& options) {
+  if (query.blocks.empty()) return Error("query has no blocks");
+  if (query.ops.size() + 1 != query.blocks.size()) {
+    return Error("malformed query: block/operator count mismatch");
+  }
+  CoreQueryResult result;
+  Result<CoreRelation> acc =
+      EvalBlock(g, query.blocks[0], options, &result.truncated);
+  if (!acc.ok()) return acc.error();
+  CoreRelation current = std::move(acc).value();
+  for (size_t i = 0; i < query.ops.size(); ++i) {
+    Result<CoreRelation> next =
+        EvalBlock(g, query.blocks[i + 1], options, &result.truncated);
+    if (!next.ok()) return next.error();
+    Result<CoreRelation> combined = [&]() {
+      switch (query.ops[i]) {
+        case CoreSetOp::kUnion:
+          return UnionRel(current, next.value());
+        case CoreSetOp::kExcept:
+          return DifferenceRel(current, next.value());
+        case CoreSetOp::kIntersect:
+          return IntersectRel(current, next.value());
+      }
+      return Result<CoreRelation>(Error("unknown set operation"));
+    }();
+    if (!combined.ok()) return combined.error();
+    current = std::move(combined).value();
+  }
+  result.relation = std::move(current);
+  return result;
+}
+
+Result<CoreQueryResult> RunCoreGql(const PropertyGraph& g,
+                                   const std::string& text,
+                                   const CoreQueryEvalOptions& options) {
+  Result<CoreGqlQuery> query = ParseCoreGqlQuery(text);
+  if (!query.ok()) return query.error();
+  return EvalCoreGqlQuery(g, query.value(), options);
+}
+
+}  // namespace gqzoo

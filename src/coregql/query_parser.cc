@@ -1,0 +1,131 @@
+#include "src/coregql/query.h"
+
+#include "src/coregql/pattern_parser.h"
+#include "src/regex/lexer.h"
+
+namespace gqzoo {
+
+namespace {
+
+bool IsKw(const Token& t, const char* upper, const char* lower) {
+  return t.IsIdent(upper) || t.IsIdent(lower);
+}
+
+Error ErrAt(const Token& t, const std::string& message) {
+  return Error("query parse error at offset " + std::to_string(t.offset) +
+               " ('" + t.text + "'): " + message);
+}
+
+class QueryParser {
+ public:
+  explicit QueryParser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  Result<CoreGqlQuery> Parse() {
+    CoreGqlQuery query;
+    Result<CoreMatchBlock> block = ParseBlock();
+    if (!block.ok()) return block.error();
+    query.blocks.push_back(std::move(block).value());
+    while (tokens_[pos_].kind != Token::Kind::kEnd) {
+      CoreSetOp op;
+      if (IsKw(Cur(), "UNION", "union")) {
+        op = CoreSetOp::kUnion;
+      } else if (IsKw(Cur(), "EXCEPT", "except")) {
+        op = CoreSetOp::kExcept;
+      } else if (IsKw(Cur(), "INTERSECT", "intersect")) {
+        op = CoreSetOp::kIntersect;
+      } else {
+        return ErrAt(Cur(), "expected UNION, EXCEPT, INTERSECT, or end");
+      }
+      ++pos_;
+      Result<CoreMatchBlock> next = ParseBlock();
+      if (!next.ok()) return next.error();
+      query.ops.push_back(op);
+      query.blocks.push_back(std::move(next).value());
+    }
+    return query;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t k = 1) const {
+    size_t i = pos_ + k;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  Result<CoreMatchBlock> ParseBlock() {
+    CoreMatchBlock block;
+    if (!IsKw(Cur(), "MATCH", "match")) {
+      return ErrAt(Cur(), "expected MATCH");
+    }
+    ++pos_;
+    // Patterns.
+    while (true) {
+      CoreMatchBlock::PatternEntry entry;
+      if (Cur().kind == Token::Kind::kIdent && Peek().IsPunct("=")) {
+        entry.path_var = Cur().text;
+        pos_ += 2;
+      }
+      Result<CorePatternPtr> pattern = ParseCorePatternTokens(tokens_, &pos_);
+      if (!pattern.ok()) return pattern.error();
+      Result<bool> valid = pattern.value()->Validate();
+      if (!valid.ok()) return valid.error();
+      entry.pattern = std::move(pattern).value();
+      block.patterns.push_back(std::move(entry));
+      if (Cur().IsPunct(",")) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    // Optional WHERE.
+    if (IsKw(Cur(), "WHERE", "where")) {
+      ++pos_;
+      Result<CoreCondPtr> cond = ParseCoreConditionTokens(tokens_, &pos_);
+      if (!cond.ok()) return cond.error();
+      block.where = std::move(cond).value();
+    }
+    // RETURN.
+    if (!IsKw(Cur(), "RETURN", "return")) {
+      return ErrAt(Cur(), "expected RETURN");
+    }
+    ++pos_;
+    while (true) {
+      if (Cur().kind != Token::Kind::kIdent) {
+        return ErrAt(Cur(), "expected RETURN item");
+      }
+      CoreReturnItem item;
+      item.var = Cur().text;
+      ++pos_;
+      if (Cur().IsPunct(".")) {
+        ++pos_;
+        if (Cur().kind != Token::Kind::kIdent) {
+          return ErrAt(Cur(), "expected property after '.'");
+        }
+        item.kind = CoreReturnItem::Kind::kProp;
+        item.key = Cur().text;
+        ++pos_;
+      }
+      block.returns.push_back(std::move(item));
+      if (Cur().IsPunct(",")) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return block;
+  }
+
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CoreGqlQuery> ParseCoreGqlQuery(const std::string& text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.error();
+  QueryParser parser(tokens.value());
+  return parser.Parse();
+}
+
+}  // namespace gqzoo

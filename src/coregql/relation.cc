@@ -1,0 +1,52 @@
+#include "src/coregql/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gqzoo {
+
+std::string CoreCellToString(const EdgeLabeledGraph& g, const CoreCell& cell) {
+  if (std::holds_alternative<ObjectRef>(cell)) {
+    return g.ObjectName(std::get<ObjectRef>(cell));
+  }
+  if (std::holds_alternative<Value>(cell)) {
+    return std::get<Value>(cell).ToString();
+  }
+  return std::get<Path>(cell).ToString(g);
+}
+
+size_t CoreRelation::AttrIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i] == name) return i;
+  }
+  return SIZE_MAX;
+}
+
+void CoreRelation::AddRow(std::vector<CoreCell> row) {
+  assert(row.size() == schema_.size());
+  rows_.push_back(std::move(row));
+}
+
+void CoreRelation::Normalize() {
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+std::string CoreRelation::ToString(const EdgeLabeledGraph& g) const {
+  std::string out;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema_[i];
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += CoreCellToString(g, row[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,52 @@
+#ifndef GQZOO_COREGQL_RELATION_H_
+#define GQZOO_COREGQL_RELATION_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/path.h"
+#include "src/util/value.h"
+
+namespace gqzoo {
+
+/// A cell of a CoreGQL relation: a graph element, an atomic property value,
+/// or — in the Section 5.2 extension — a path. (No nulls, no lists: the
+/// first-normal-form requirement of Section 4.1.2, with paths as the one
+/// sanctioned extension.)
+using CoreCell = std::variant<ObjectRef, Value, Path>;
+
+std::string CoreCellToString(const EdgeLabeledGraph& g, const CoreCell& cell);
+
+/// A relation over named attributes, under set semantics.
+class CoreRelation {
+ public:
+  CoreRelation() = default;
+  explicit CoreRelation(std::vector<std::string> schema)
+      : schema_(std::move(schema)) {}
+
+  const std::vector<std::string>& schema() const { return schema_; }
+  const std::vector<std::vector<CoreCell>>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Index of an attribute, or SIZE_MAX.
+  size_t AttrIndex(const std::string& name) const;
+
+  /// Adds a row (arity-checked in debug builds). Call Normalize() after a
+  /// batch of inserts to restore set semantics.
+  void AddRow(std::vector<CoreCell> row);
+
+  /// Sorts rows and removes duplicates (set semantics).
+  void Normalize();
+
+  std::string ToString(const EdgeLabeledGraph& g) const;
+
+ private:
+  std::vector<std::string> schema_;
+  std::vector<std::vector<CoreCell>> rows_;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_COREGQL_RELATION_H_

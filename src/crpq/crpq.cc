@@ -1,0 +1,126 @@
+#include "src/crpq/crpq.h"
+
+#include <algorithm>
+
+#include "src/regex/printer.h"
+
+namespace gqzoo {
+
+const char* PathModeName(PathMode mode) {
+  switch (mode) {
+    case PathMode::kAll:
+      return "all";
+    case PathMode::kShortest:
+      return "shortest";
+    case PathMode::kSimple:
+      return "simple";
+    case PathMode::kTrail:
+      return "trail";
+  }
+  return "?";
+}
+
+namespace {
+
+void AddUnique(std::vector<std::string>* out, const std::string& v) {
+  if (std::find(out->begin(), out->end(), v) == out->end()) out->push_back(v);
+}
+
+}  // namespace
+
+std::vector<std::string> Crpq::EndpointVariables() const {
+  std::vector<std::string> vars;
+  for (const CrpqAtom& atom : atoms) {
+    if (!atom.from.is_constant) AddUnique(&vars, atom.from.name);
+    if (!atom.to.is_constant) AddUnique(&vars, atom.to.name);
+  }
+  return vars;
+}
+
+std::vector<std::string> Crpq::ListVariables() const {
+  std::vector<std::string> vars;
+  for (const CrpqAtom& atom : atoms) {
+    for (const std::string& v : atom.regex->CaptureVariables()) {
+      AddUnique(&vars, v);
+    }
+  }
+  return vars;
+}
+
+Result<bool> Crpq::Validate() const {
+  std::vector<std::string> endpoints = EndpointVariables();
+  // (3) Var(R_i) disjoint from endpoint variables; (4) Var(R_i) pairwise
+  // disjoint across atoms.
+  std::vector<std::string> seen_list_vars;
+  for (const CrpqAtom& atom : atoms) {
+    for (const std::string& z : atom.regex->CaptureVariables()) {
+      if (std::find(endpoints.begin(), endpoints.end(), z) !=
+          endpoints.end()) {
+        return Error("list variable '" + z +
+                     "' also used as an endpoint variable (condition 3)");
+      }
+      if (std::find(seen_list_vars.begin(), seen_list_vars.end(), z) !=
+          seen_list_vars.end()) {
+        return Error("list variable '" + z +
+                     "' used in more than one atom (condition 4)");
+      }
+      seen_list_vars.push_back(z);
+    }
+  }
+  // (5) head variables are endpoint or list variables.
+  for (const std::string& x : head) {
+    bool known = std::find(endpoints.begin(), endpoints.end(), x) !=
+                     endpoints.end() ||
+                 std::find(seen_list_vars.begin(), seen_list_vars.end(), x) !=
+                     seen_list_vars.end();
+    if (!known) {
+      return Error("head variable '" + x +
+                   "' does not occur in the body (condition 5)");
+    }
+  }
+  return true;
+}
+
+std::string Crpq::ToString() const {
+  std::string out = name.empty() ? "q" : name;
+  out += "(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head[i];
+  }
+  out += ") := ";
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    const CrpqAtom& atom = atoms[i];
+    if (atom.mode != PathMode::kAll) {
+      out += std::string(PathModeName(atom.mode)) + " ";
+    }
+    out += atom.regex->ToString();
+    out += " (" + std::string(atom.from.is_constant ? "@" : "") +
+           atom.from.name + ", " +
+           std::string(atom.to.is_constant ? "@" : "") + atom.to.name + ")";
+  }
+  return out;
+}
+
+std::string CrpqValueToString(const EdgeLabeledGraph& g, const CrpqValue& v) {
+  if (std::holds_alternative<NodeId>(v)) {
+    return g.NodeName(std::get<NodeId>(v));
+  }
+  return ListToString(g, std::get<ObjectList>(v));
+}
+
+std::string CrpqResult::ToString(const EdgeLabeledGraph& g) const {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += head[i] + " -> " + CrpqValueToString(g, row[i]);
+    }
+    out += "\n";
+  }
+  if (truncated) out += "(truncated)\n";
+  return out;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,145 @@
+#include "src/crpq/crpq_parser.h"
+
+#include "src/regex/lexer.h"
+
+namespace gqzoo {
+
+namespace {
+
+Error ErrAt(const Token& t, const std::string& message) {
+  return Error("CRPQ parse error at offset " + std::to_string(t.offset) +
+               " ('" + t.text + "'): " + message);
+}
+
+// Parses an endpoint term at `*pos`: IDENT or '@' IDENT.
+Result<CrpqTerm> ParseTerm(const std::vector<Token>& tokens, size_t* pos) {
+  if (tokens[*pos].IsPunct("@")) {
+    ++*pos;
+    if (tokens[*pos].kind != Token::Kind::kIdent) {
+      return ErrAt(tokens[*pos], "expected node name after '@'");
+    }
+    return CrpqTerm::Const(tokens[(*pos)++].text);
+  }
+  if (tokens[*pos].kind != Token::Kind::kIdent) {
+    return ErrAt(tokens[*pos], "expected variable or '@' node constant");
+  }
+  return CrpqTerm::Var(tokens[(*pos)++].text);
+}
+
+}  // namespace
+
+Result<Crpq> ParseCrpq(const std::string& text, RegexDialect dialect) {
+  Result<std::vector<Token>> lexed = Lex(text);
+  if (!lexed.ok()) return lexed.error();
+  const std::vector<Token>& tokens = lexed.value();
+  size_t pos = 0;
+
+  Crpq q;
+  if (tokens[pos].kind != Token::Kind::kIdent) {
+    return ErrAt(tokens[pos], "expected query name");
+  }
+  q.name = tokens[pos++].text;
+  if (!tokens[pos].IsPunct("(")) return ErrAt(tokens[pos], "expected '('");
+  ++pos;
+  while (!tokens[pos].IsPunct(")")) {
+    if (!q.head.empty()) {
+      if (!tokens[pos].IsPunct(",")) {
+        return ErrAt(tokens[pos], "expected ',' in head");
+      }
+      ++pos;
+    }
+    if (tokens[pos].kind != Token::Kind::kIdent) {
+      return ErrAt(tokens[pos], "expected head variable");
+    }
+    q.head.push_back(tokens[pos++].text);
+  }
+  ++pos;  // ')'
+  if (!tokens[pos].IsPunct(":=") && !tokens[pos].IsPunct(":-")) {
+    return ErrAt(tokens[pos], "expected ':=' or ':-'");
+  }
+  ++pos;
+
+  while (true) {
+    CrpqAtom atom;
+    // Optional mode keyword.
+    if (tokens[pos].kind == Token::Kind::kIdent) {
+      const std::string& w = tokens[pos].text;
+      if (w == "shortest" || w == "simple" || w == "trail" || w == "all") {
+        atom.mode = w == "shortest" ? PathMode::kShortest
+                    : w == "simple" ? PathMode::kSimple
+                    : w == "trail"  ? PathMode::kTrail
+                                    : PathMode::kAll;
+        ++pos;
+      }
+    }
+    // Find the end of this atom: the first depth-0 ',' or the end.
+    size_t depth = 0;
+    size_t end = pos;
+    while (tokens[end].kind != Token::Kind::kEnd) {
+      const Token& t = tokens[end];
+      if (t.IsPunct("(") || t.IsPunct("[") || t.IsPunct("{")) {
+        ++depth;
+      } else if (t.IsPunct(")") || t.IsPunct("]") || t.IsPunct("}")) {
+        if (depth == 0) return ErrAt(t, "unbalanced bracket");
+        --depth;
+      } else if (t.IsPunct(",") && depth == 0) {
+        break;
+      }
+      ++end;
+    }
+    // The atom must end with an endpoint group "( term , term )": locate
+    // its opening parenthesis by scanning back from `end`.
+    if (end == pos || !tokens[end - 1].IsPunct(")")) {
+      return ErrAt(tokens[end], "atom must end with endpoint pair '(y, y2)'");
+    }
+    size_t scan = end - 1;  // at ')'
+    size_t inner_depth = 1;
+    while (inner_depth > 0) {
+      if (scan == pos) return ErrAt(tokens[pos], "unbalanced endpoint group");
+      --scan;
+      const Token& t = tokens[scan];
+      if (t.IsPunct(")") || t.IsPunct("]") || t.IsPunct("}")) ++inner_depth;
+      if (t.IsPunct("(") || t.IsPunct("[") || t.IsPunct("{")) --inner_depth;
+    }
+    size_t open = scan;  // index of the endpoint group's '('
+    if (open == pos) {
+      return ErrAt(tokens[pos], "atom is missing a regular expression");
+    }
+    // Parse the endpoint terms.
+    size_t tpos = open + 1;
+    Result<CrpqTerm> from = ParseTerm(tokens, &tpos);
+    if (!from.ok()) return from.error();
+    if (!tokens[tpos].IsPunct(",")) {
+      return ErrAt(tokens[tpos], "expected ',' between endpoints");
+    }
+    ++tpos;
+    Result<CrpqTerm> to = ParseTerm(tokens, &tpos);
+    if (!to.ok()) return to.error();
+    if (!tokens[tpos].IsPunct(")") || tpos + 1 != end) {
+      return ErrAt(tokens[tpos], "malformed endpoint pair");
+    }
+    atom.from = std::move(from).value();
+    atom.to = std::move(to).value();
+    // Parse the regex on the slice [pos, open).
+    std::vector<Token> slice(tokens.begin() + pos, tokens.begin() + open);
+    slice.push_back({Token::Kind::kEnd, "", tokens[open].offset});
+    size_t rpos = 0;
+    Result<RegexPtr> regex = ParseRegexTokens(slice, &rpos, dialect);
+    if (!regex.ok()) return regex.error();
+    if (slice[rpos].kind != Token::Kind::kEnd) {
+      return ErrAt(slice[rpos], "trailing tokens in atom regex");
+    }
+    atom.regex = std::move(regex).value();
+    q.atoms.push_back(std::move(atom));
+
+    pos = end;
+    if (tokens[pos].kind == Token::Kind::kEnd) break;
+    ++pos;  // ','
+  }
+
+  Result<bool> valid = q.Validate();
+  if (!valid.ok()) return valid.error();
+  return q;
+}
+
+}  // namespace gqzoo

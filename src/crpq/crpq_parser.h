@@ -1,0 +1,29 @@
+#ifndef GQZOO_CRPQ_CRPQ_PARSER_H_
+#define GQZOO_CRPQ_CRPQ_PARSER_H_
+
+#include <string>
+
+#include "src/crpq/crpq.h"
+#include "src/regex/parser.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// Parses a CRPQ rule, e.g.
+///
+///     q(x, x1, x2) := owner(y, x1), isBlocked(y, x2),
+///                     (Transfer Transfer?)(x, y)
+///     q(x1, x2, z) := owner(y1, x1), owner(y2, x2),
+///                     shortest (Transfer^z)+ (y1, y2)
+///
+/// Syntax: `name(head...) := [mode] REGEX (term, term), ...` where mode is
+/// one of `shortest`, `simple`, `trail`, `all` (default `all`), and a term
+/// is a variable or a node constant `@a3` (footnote 3). `:-` is accepted
+/// for `:=`. With `dialect == RegexDialect::kDl`, atom regexes use the
+/// dl-RPQ syntax, giving dl-CRPQs (Section 3.2.2).
+Result<Crpq> ParseCrpq(const std::string& text,
+                       RegexDialect dialect = RegexDialect::kPlain);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_CRPQ_CRPQ_PARSER_H_

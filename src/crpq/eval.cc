@@ -1,0 +1,128 @@
+#include "src/crpq/eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/crpq/join.h"
+#include "src/rpq/rpq_eval.h"
+
+namespace gqzoo {
+
+namespace {
+
+using crpq_internal::Dedupe;
+using crpq_internal::NaturalJoin;
+using crpq_internal::ProjectHead;
+using crpq_internal::Relation;
+
+// Builds the relation of one atom. Columns: endpoint variables (if not
+// constants), then the atom's list variables.
+Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
+                          const CrpqEvalOptions& options, bool* truncated) {
+  Nfa nfa = Nfa::FromRegex(*atom.regex, g);
+  std::vector<std::string> list_vars = atom.regex->CaptureVariables();
+  if (nfa.HasInverse() && !list_vars.empty()) {
+    return Error(
+        "two-way atoms (~a) cannot be combined with list variables: paths "
+        "are one-way (Remark 9)");
+  }
+
+  // Resolve constant endpoints.
+  auto resolve = [&](const CrpqTerm& t) -> Result<std::optional<NodeId>> {
+    if (!t.is_constant) return std::optional<NodeId>();
+    std::optional<NodeId> n = g.FindNode(t.name);
+    if (!n.has_value()) return Error("unknown node constant '@" + t.name + "'");
+    return std::optional<NodeId>(*n);
+  };
+  Result<std::optional<NodeId>> from_const = resolve(atom.from);
+  if (!from_const.ok()) return from_const.error();
+  Result<std::optional<NodeId>> to_const = resolve(atom.to);
+  if (!to_const.ok()) return to_const.error();
+
+  // Endpoint pairs of [[R]]_G, restricted by constants.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  if (from_const.value().has_value()) {
+    NodeId u = *from_const.value();
+    for (NodeId v : EvalRpqFrom(g, nfa, u)) pairs.emplace_back(u, v);
+  } else {
+    pairs = EvalRpq(g, nfa);
+  }
+  if (to_const.value().has_value()) {
+    NodeId v = *to_const.value();
+    std::erase_if(pairs, [v](const auto& p) { return p.second != v; });
+  }
+  // Same variable at both endpoints is a self-join: R(x, x).
+  const bool same_var = !atom.from.is_constant && !atom.to.is_constant &&
+                        atom.from.name == atom.to.name;
+  if (same_var) {
+    std::erase_if(pairs, [](const auto& p) { return p.first != p.second; });
+  }
+
+  Relation rel;
+  if (!atom.from.is_constant) rel.schema.push_back(atom.from.name);
+  if (!atom.to.is_constant && !same_var) rel.schema.push_back(atom.to.name);
+  for (const std::string& z : list_vars) rel.schema.push_back(z);
+
+  EnumerationLimits limits;
+  limits.max_results = options.max_bindings_per_pair;
+  limits.max_length = options.max_path_length;
+
+  for (const auto& [u, v] : pairs) {
+    std::vector<CrpqValue> prefix;
+    if (!atom.from.is_constant) prefix.push_back(u);
+    if (!atom.to.is_constant && !same_var) prefix.push_back(v);
+    if (list_vars.empty()) {
+      // Modes act only through list variables (see eval.h): the atom
+      // contributes the endpoint pair itself.
+      rel.rows.push_back(std::move(prefix));
+      continue;
+    }
+    EnumerationStats stats;
+    std::vector<PathBinding> bindings =
+        CollectModePaths(g, nfa, u, v, atom.mode, limits, &stats);
+    if (stats.truncated) *truncated = true;
+    // Distinct µ projections (several paths may induce the same µ).
+    std::set<std::vector<CrpqValue>> seen;
+    for (const PathBinding& pb : bindings) {
+      std::vector<CrpqValue> row = prefix;
+      for (const std::string& z : list_vars) row.push_back(pb.mu.Get(z));
+      if (seen.insert(row).second) rel.rows.push_back(std::move(row));
+    }
+  }
+  Dedupe(&rel);
+  return rel;
+}
+
+}  // namespace
+
+Result<CrpqResult> EvalCrpq(const EdgeLabeledGraph& g, const Crpq& q,
+                            const CrpqEvalOptions& options) {
+  Result<bool> valid = q.Validate();
+  if (!valid.ok()) return valid.error();
+  if (q.atoms.empty()) return Error("CRPQ has no atoms");
+
+  bool truncated = false;
+  Relation joined;
+  bool first = true;
+  for (const CrpqAtom& atom : q.atoms) {
+    Result<Relation> rel = EvalAtom(g, atom, options, &truncated);
+    if (!rel.ok()) return rel.error();
+    if (first) {
+      joined = std::move(rel).value();
+      first = false;
+    } else {
+      joined = NaturalJoin(joined, rel.value());
+    }
+    if (joined.rows.empty()) break;  // early out: conjunction is empty
+  }
+
+  CrpqResult result;
+  result.head = q.head;
+  result.truncated = truncated;
+  if (!joined.rows.empty()) {
+    ProjectHead(joined, q.head, &result.rows);
+  }
+  return result;
+}
+
+}  // namespace gqzoo

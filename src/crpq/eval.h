@@ -1,0 +1,33 @@
+#ifndef GQZOO_CRPQ_EVAL_H_
+#define GQZOO_CRPQ_EVAL_H_
+
+#include "src/crpq/crpq.h"
+#include "src/crpq/modes.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// Evaluation limits. The semantics of l-CRPQs can have infinitely many
+/// list bindings under mode `all` (Section 6.3); the evaluator truncates at
+/// these caps and reports it via CrpqResult::truncated.
+struct CrpqEvalOptions {
+  /// Per endpoint pair: maximum distinct (path, µ) enumerated per atom.
+  size_t max_bindings_per_pair = 100000;
+  /// Maximum path length explored during enumeration.
+  size_t max_path_length = 1000;
+};
+
+/// Evaluates a CRPQ / l-CRPQ on `g` per Sections 3.1.2 and 3.1.5.
+///
+/// Per the definition of (restricted) path homomorphisms, path modes act
+/// only through list variables: an atom with no list variables contributes
+/// exactly the endpoint pairs [[R]]_G (computed by product reachability,
+/// never enumerating paths), while an atom with list variables contributes,
+/// for every endpoint pair (u, v), the bindings of
+/// `mode(σ_{u,v}([[R]]_G))` — the endpoint-pair grouping of Example 17.
+Result<CrpqResult> EvalCrpq(const EdgeLabeledGraph& g, const Crpq& q,
+                            const CrpqEvalOptions& options = {});
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_CRPQ_EVAL_H_

@@ -1,0 +1,40 @@
+#ifndef GQZOO_CRPQ_JOIN_H_
+#define GQZOO_CRPQ_JOIN_H_
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/crpq/crpq.h"
+
+namespace gqzoo {
+namespace crpq_internal {
+
+/// An intermediate relation over named columns of CrpqValue cells, shared
+/// by the l-CRPQ and dl-CRPQ evaluators.
+struct Relation {
+  std::vector<std::string> schema;
+  std::vector<std::vector<CrpqValue>> rows;
+};
+
+/// Deduplicates rows (set semantics).
+inline void Dedupe(Relation* r) {
+  std::sort(r->rows.begin(), r->rows.end());
+  r->rows.erase(std::unique(r->rows.begin(), r->rows.end()), r->rows.end());
+}
+
+/// Natural join on shared columns (only endpoint variables can be shared,
+/// by conditions (3)–(4) of Section 3.1.5).
+Relation NaturalJoin(const Relation& a, const Relation& b);
+
+/// Projects `joined` onto `head` and deduplicates; returns false if some
+/// head column is missing (only possible when the join short-circuited
+/// empty).
+bool ProjectHead(const Relation& joined, const std::vector<std::string>& head,
+                 std::vector<std::vector<CrpqValue>>* rows);
+
+}  // namespace crpq_internal
+}  // namespace gqzoo
+
+#endif  // GQZOO_CRPQ_JOIN_H_

@@ -1,0 +1,167 @@
+#include "src/crpq/modes.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/pmr/build.h"
+
+namespace gqzoo {
+
+std::vector<PathBinding> ApplyMode(PathMode mode,
+                                   std::vector<PathBinding> bindings) {
+  switch (mode) {
+    case PathMode::kAll:
+      return bindings;
+    case PathMode::kShortest: {
+      size_t best = SIZE_MAX;
+      for (const PathBinding& pb : bindings) {
+        best = std::min(best, pb.path.Length());
+      }
+      std::vector<PathBinding> out;
+      for (PathBinding& pb : bindings) {
+        if (pb.path.Length() == best) out.push_back(std::move(pb));
+      }
+      return out;
+    }
+    case PathMode::kSimple: {
+      std::vector<PathBinding> out;
+      for (PathBinding& pb : bindings) {
+        if (pb.path.IsSimple()) out.push_back(std::move(pb));
+      }
+      return out;
+    }
+    case PathMode::kTrail: {
+      std::vector<PathBinding> out;
+      for (PathBinding& pb : bindings) {
+        if (pb.path.IsTrail()) out.push_back(std::move(pb));
+      }
+      return out;
+    }
+  }
+  return bindings;
+}
+
+namespace {
+
+// Backtracking search for simple paths / trails matching the NFA from u to
+// v. State: (graph node, NFA state), plus the used-node or used-edge set.
+class RestrictedSearch {
+ public:
+  RestrictedSearch(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId target,
+                   PathMode mode, const EnumerationLimits& limits,
+                   std::vector<PathBinding>* out)
+      : g_(g),
+        nfa_(nfa),
+        target_(target),
+        mode_(mode),
+        limits_(limits),
+        out_(out),
+        used_nodes_(g.NumNodes(), false),
+        used_edges_(g.NumEdges(), false) {}
+
+  EnumerationStats Run(NodeId start) {
+    current_.path = Path::OfNode(start);
+    used_nodes_[start] = true;
+    Dfs(start, nfa_.initial(), 0);
+    return stats_;
+  }
+
+ private:
+  void Dfs(NodeId node, uint32_t state, size_t depth) {
+    if (stopped_) return;
+    if (node == target_ && nfa_.accepting(state)) {
+      out_->push_back(current_);
+      ++stats_.emitted;
+      if (stats_.emitted >= limits_.max_results) {
+        stats_.truncated = true;
+        stopped_ = true;
+        return;
+      }
+    }
+    if (depth >= limits_.max_length) {
+      stats_.truncated = true;
+      return;
+    }
+    for (EdgeId e : g_.OutEdges(node)) {
+      if (mode_ == PathMode::kTrail && used_edges_[e]) continue;
+      NodeId next = g_.Tgt(e);
+      if (mode_ == PathMode::kSimple && used_nodes_[next]) continue;
+      LabelId l = g_.EdgeLabel(e);
+      for (const Nfa::Transition& t : nfa_.Out(state)) {
+        if (!t.pred.Matches(l)) continue;
+        // Extend.
+        used_edges_[e] = true;
+        used_nodes_[next] = true;
+        current_.path.AppendObject(g_, ObjectRef::Edge(e));
+        current_.path.AppendObject(g_, ObjectRef::Node(next));
+        const bool captured = t.capture != Nfa::kNoCapture;
+        if (captured) {
+          current_.mu.Append(nfa_.capture_names()[t.capture],
+                             ObjectRef::Edge(e));
+        }
+        Dfs(next, t.to, depth + 1);
+        // Backtrack.
+        if (captured) {
+          const std::string& var = nfa_.capture_names()[t.capture];
+          ObjectList& list = current_.mu.lists[var];
+          list.pop_back();
+          if (list.empty()) current_.mu.lists.erase(var);
+        }
+        std::vector<ObjectRef> objs = current_.path.objects();
+        objs.resize(objs.size() - 2);
+        current_.path = Path::MakeUnchecked(std::move(objs));
+        used_edges_[e] = false;
+        if (mode_ == PathMode::kSimple) used_nodes_[next] = false;
+        if (stopped_) return;
+      }
+    }
+  }
+
+  const EdgeLabeledGraph& g_;
+  const Nfa& nfa_;
+  NodeId target_;
+  PathMode mode_;
+  const EnumerationLimits& limits_;
+  std::vector<PathBinding>* out_;
+  std::vector<bool> used_nodes_;
+  std::vector<bool> used_edges_;
+  PathBinding current_;
+  EnumerationStats stats_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+std::vector<PathBinding> CollectModePaths(const EdgeLabeledGraph& g,
+                                          const Nfa& nfa, NodeId u, NodeId v,
+                                          PathMode mode,
+                                          const EnumerationLimits& limits,
+                                          EnumerationStats* stats) {
+  std::vector<PathBinding> results;
+  EnumerationStats local;
+  switch (mode) {
+    case PathMode::kAll: {
+      Pmr pmr = BuildPmrBetween(g, nfa, u, v);
+      results = CollectPathBindings(pmr, limits, &local);
+      break;
+    }
+    case PathMode::kShortest: {
+      Pmr pmr = BuildPmrBetween(g, nfa, u, v).ShortestRestriction();
+      results = CollectPathBindings(pmr, limits, &local);
+      break;
+    }
+    case PathMode::kSimple:
+    case PathMode::kTrail: {
+      RestrictedSearch search(g, nfa, v, mode, limits, &results);
+      local = search.Run(u);
+      std::sort(results.begin(), results.end());
+      results.erase(std::unique(results.begin(), results.end()),
+                    results.end());
+      break;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,39 @@
+#ifndef GQZOO_CRPQ_MODES_H_
+#define GQZOO_CRPQ_MODES_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/automata/nfa.h"
+#include "src/crpq/crpq.h"
+#include "src/graph/path_binding.h"
+#include "src/pmr/enumerate.h"
+
+namespace gqzoo {
+
+/// The mode functions of Section 3.1.5 applied to an explicit set of path
+/// bindings: `shortest` keeps the bindings whose path length is minimal in
+/// the set, `simple` keeps simple paths, `trail` keeps trails, `all` is the
+/// identity. This is the reference (oracle) implementation; the evaluator
+/// uses the PMR- and search-based implementations below.
+std::vector<PathBinding> ApplyMode(PathMode mode,
+                                   std::vector<PathBinding> bindings);
+
+/// Enumerates `mode(σ_{u,v}([[R]]_G))` for the l-RPQ compiled into `nfa`:
+///  * kAll — DFS over the trimmed per-pair PMR (infinite sets truncate at
+///    the limits);
+///  * kShortest — DFS over the shortest-restricted PMR (finite; Example
+///    17's grouping-by-endpoint-pair semantics since the PMR is per-pair);
+///  * kSimple / kTrail — backtracking search over graph × NFA carrying the
+///    set of used nodes/edges (worst-case exponential; the NP-hardness of
+///    Section 6.3 lives here).
+/// Results are deduplicated (set semantics).
+std::vector<PathBinding> CollectModePaths(const EdgeLabeledGraph& g,
+                                          const Nfa& nfa, NodeId u, NodeId v,
+                                          PathMode mode,
+                                          const EnumerationLimits& limits,
+                                          EnumerationStats* stats = nullptr);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_CRPQ_MODES_H_

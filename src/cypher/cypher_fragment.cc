@@ -1,0 +1,434 @@
+#include "src/cypher/cypher_fragment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "src/regex/lexer.h"
+
+namespace gqzoo {
+
+namespace {
+
+struct Access : CypherPattern {};
+
+std::shared_ptr<Access> Make() { return std::make_shared<Access>(); }
+
+}  // namespace
+
+CypherPatternPtr CypherPattern::Node(std::optional<std::string> var,
+                                     std::vector<std::string> labels) {
+  auto p = Make();
+  p->kind_ = Kind::kNode;
+  p->var_ = std::move(var);
+  p->labels_ = std::move(labels);
+  return p;
+}
+
+CypherPatternPtr CypherPattern::Edge(std::optional<std::string> var,
+                                     std::vector<std::string> labels) {
+  auto p = Make();
+  p->kind_ = Kind::kEdge;
+  p->var_ = std::move(var);
+  p->labels_ = std::move(labels);
+  return p;
+}
+
+CypherPatternPtr CypherPattern::EdgeStar(std::vector<std::string> labels) {
+  auto p = Make();
+  p->kind_ = Kind::kEdgeStar;
+  p->labels_ = std::move(labels);
+  return p;
+}
+
+CypherPatternPtr CypherPattern::Concat(CypherPatternPtr a, CypherPatternPtr b) {
+  auto p = Make();
+  p->kind_ = Kind::kConcat;
+  p->children_ = {std::move(a), std::move(b)};
+  return p;
+}
+
+CypherPatternPtr CypherPattern::Union(CypherPatternPtr a, CypherPatternPtr b) {
+  auto p = Make();
+  p->kind_ = Kind::kUnion;
+  p->children_ = {std::move(a), std::move(b)};
+  return p;
+}
+
+namespace {
+
+// An element atom as a CoreGQL pattern: label disjunctions become unions
+// of single-label atoms (same variable in every arm keeps FV equal).
+CorePatternPtr AtomToCore(bool is_edge, const std::optional<std::string>& var,
+                          const std::vector<std::string>& labels) {
+  auto make = [&](std::optional<std::string> label) {
+    return is_edge ? CorePattern::Edge(var, std::move(label))
+                   : CorePattern::Node(var, std::move(label));
+  };
+  if (labels.empty()) return make(std::nullopt);
+  CorePatternPtr result = make(labels[0]);
+  for (size_t i = 1; i < labels.size(); ++i) {
+    result = CorePattern::Union(std::move(result), make(labels[i]));
+  }
+  return result;
+}
+
+RegexPtr LabelsToRegex(const std::vector<std::string>& labels) {
+  if (labels.empty()) return Regex::MakeAtom(Atom::Any());
+  RegexPtr result = Regex::MakeAtom(Atom::Label(labels[0]));
+  for (size_t i = 1; i < labels.size(); ++i) {
+    result = Regex::Union(std::move(result),
+                          Regex::MakeAtom(Atom::Label(labels[i])));
+  }
+  return result;
+}
+
+}  // namespace
+
+CorePatternPtr CypherPattern::ToCorePattern() const {
+  switch (kind_) {
+    case Kind::kNode:
+      return AtomToCore(/*is_edge=*/false, var_, labels_);
+    case Kind::kEdge:
+      return AtomToCore(/*is_edge=*/true, var_, labels_);
+    case Kind::kEdgeStar:
+      return CorePattern::Repeat(
+          AtomToCore(/*is_edge=*/true, std::nullopt, labels_), 0,
+          CorePattern::kUnbounded);
+    case Kind::kConcat:
+      return CorePattern::Concat(left()->ToCorePattern(),
+                                 right()->ToCorePattern());
+    case Kind::kUnion:
+      return CorePattern::Union(left()->ToCorePattern(),
+                                right()->ToCorePattern());
+  }
+  return CorePattern::Node(std::nullopt, std::nullopt);
+}
+
+RegexPtr CypherPattern::ToRegex() const {
+  switch (kind_) {
+    case Kind::kNode:
+      return Regex::Epsilon();
+    case Kind::kEdge:
+      return LabelsToRegex(labels_);
+    case Kind::kEdgeStar:
+      return Regex::Star(LabelsToRegex(labels_));
+    case Kind::kConcat:
+      return Regex::Concat(left()->ToRegex(), right()->ToRegex());
+    case Kind::kUnion:
+      return Regex::Union(left()->ToRegex(), right()->ToRegex());
+  }
+  return Regex::Epsilon();
+}
+
+std::string CypherPattern::ToString() const {
+  auto label_text = [](const std::vector<std::string>& labels) {
+    std::string out;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) out += "|";
+      out += labels[i];
+    }
+    return out;
+  };
+  switch (kind_) {
+    case Kind::kNode: {
+      std::string out = "(" + var_.value_or("");
+      if (!labels_.empty()) out += ":" + label_text(labels_);
+      return out + ")";
+    }
+    case Kind::kEdge: {
+      if (!var_.has_value() && labels_.empty()) return "->";
+      std::string out = "-[" + var_.value_or("");
+      if (!labels_.empty()) out += ":" + label_text(labels_);
+      return out + "]->";
+    }
+    case Kind::kEdgeStar:
+      return "-[:" + label_text(labels_) + "*]->";
+    case Kind::kConcat:
+      return left()->ToString() + " " + right()->ToString();
+    case Kind::kUnion:
+      return "(" + left()->ToString() + " | " + right()->ToString() + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+class FragmentParser {
+ public:
+  explicit FragmentParser(const std::vector<Token>& tokens)
+      : tokens_(tokens) {}
+
+  Result<CypherPatternPtr> Parse() {
+    Result<CypherPatternPtr> p = ParseUnion();
+    if (!p.ok()) return p;
+    if (tokens_[pos_].kind != Token::Kind::kEnd) {
+      return Err("trailing input");
+    }
+    return p;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t k = 1) const {
+    size_t i = pos_ + k;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  Error Err(const std::string& message) {
+    return Error("Cypher fragment parse error at offset " +
+                 std::to_string(Cur().offset) + " ('" + Cur().text +
+                 "'): " + message);
+  }
+
+  Result<CypherPatternPtr> ParseUnion() {
+    Result<CypherPatternPtr> lhs = ParseSeq();
+    if (!lhs.ok()) return lhs;
+    CypherPatternPtr result = std::move(lhs).value();
+    while (Cur().IsPunct("|")) {
+      ++pos_;
+      Result<CypherPatternPtr> rhs = ParseSeq();
+      if (!rhs.ok()) return rhs;
+      result = CypherPattern::Union(std::move(result), std::move(rhs).value());
+    }
+    return result;
+  }
+
+  bool StartsBase() const {
+    return Cur().IsPunct("(") || Cur().IsPunct("-") || Cur().IsPunct("->");
+  }
+
+  Result<CypherPatternPtr> ParseSeq() {
+    Result<CypherPatternPtr> first = ParseBase();
+    if (!first.ok()) return first;
+    CypherPatternPtr result = std::move(first).value();
+    while (StartsBase()) {
+      Result<CypherPatternPtr> next = ParseBase();
+      if (!next.ok()) return next;
+      result =
+          CypherPattern::Concat(std::move(result), std::move(next).value());
+    }
+    return result;
+  }
+
+  Result<CypherPatternPtr> ParseBase() {
+    if (Cur().IsPunct("->")) {
+      ++pos_;
+      return CypherPattern::Edge(std::nullopt, {});
+    }
+    if (Cur().IsPunct("-")) return ParseBracketEdge();
+    if (!Cur().IsPunct("(")) return Err("expected '(', '-[', or '->'");
+    const Token& next = Peek();
+    if (next.IsPunct(")") || next.IsPunct(":") ||
+        (next.kind == Token::Kind::kIdent &&
+         (Peek(2).IsPunct(")") || Peek(2).IsPunct(":")))) {
+      return ParseNode();
+    }
+    ++pos_;  // group
+    Result<CypherPatternPtr> inner = ParseUnion();
+    if (!inner.ok()) return inner;
+    if (!Cur().IsPunct(")")) return Err("expected ')'");
+    ++pos_;
+    return inner;
+  }
+
+  Result<CypherPatternPtr> ParseNode() {
+    ++pos_;  // '('
+    std::optional<std::string> var;
+    if (Cur().kind == Token::Kind::kIdent) {
+      var = Cur().text;
+      ++pos_;
+    }
+    std::vector<std::string> labels;
+    if (Cur().IsPunct(":")) {
+      ++pos_;
+      Result<bool> ok = ParseLabelDisjunction(&labels);
+      if (!ok.ok()) return ok.error();
+    }
+    if (!Cur().IsPunct(")")) return Err("expected ')'");
+    ++pos_;
+    return CypherPattern::Node(std::move(var), std::move(labels));
+  }
+
+  Result<CypherPatternPtr> ParseBracketEdge() {
+    ++pos_;  // '-'
+    if (!Cur().IsPunct("[")) return Err("expected '['");
+    ++pos_;
+    std::optional<std::string> var;
+    if (Cur().kind == Token::Kind::kIdent) {
+      var = Cur().text;
+      ++pos_;
+    }
+    std::vector<std::string> labels;
+    bool star = false;
+    if (Cur().IsPunct(":")) {
+      ++pos_;
+      Result<bool> ok = ParseLabelDisjunction(&labels);
+      if (!ok.ok()) return ok.error();
+      if (Cur().IsPunct("*")) {
+        star = true;
+        ++pos_;
+      }
+    }
+    if (!Cur().IsPunct("]")) return Err("expected ']'");
+    ++pos_;
+    if (!Cur().IsPunct("->")) return Err("expected '->'");
+    ++pos_;
+    if (star) {
+      if (var.has_value()) {
+        return Err("starred edges cannot carry a variable in the fragment");
+      }
+      return CypherPattern::EdgeStar(std::move(labels));
+    }
+    return CypherPattern::Edge(std::move(var), std::move(labels));
+  }
+
+  Result<bool> ParseLabelDisjunction(std::vector<std::string>* labels) {
+    if (Cur().kind != Token::Kind::kIdent) return Err("expected label");
+    labels->push_back(Cur().text);
+    ++pos_;
+    while (Cur().IsPunct("|")) {
+      ++pos_;
+      if (Cur().kind != Token::Kind::kIdent) return Err("expected label");
+      labels->push_back(Cur().text);
+      ++pos_;
+    }
+    return true;
+  }
+
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CypherPatternPtr> ParseCypherPattern(const std::string& text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.error();
+  FragmentParser parser(tokens.value());
+  return parser.Parse();
+}
+
+// --- Unary language analysis (Proposition 22) ---------------------------
+
+void UnaryLanguage::Normalize() {
+  if (threshold == SIZE_MAX) return;
+  // Clear finite bits covered by the threshold, then absorb any contiguous
+  // run of set bits directly below the threshold.
+  for (size_t i = threshold; i < kMaxFinite; ++i) finite[i] = false;
+  while (threshold > 0 && threshold - 1 < kMaxFinite && finite[threshold - 1]) {
+    --threshold;
+    finite[threshold] = false;
+  }
+}
+
+UnaryLanguage UnaryLanguage::Single(size_t n) {
+  UnaryLanguage out;
+  assert(n < kMaxFinite);
+  out.finite[n] = true;
+  return out;
+}
+
+UnaryLanguage UnaryLanguage::AllLengths() {
+  UnaryLanguage out;
+  out.threshold = 0;
+  return out;
+}
+
+UnaryLanguage UnaryLanguage::UnionOf(const UnaryLanguage& a,
+                                     const UnaryLanguage& b) {
+  UnaryLanguage out;
+  for (size_t i = 0; i < kMaxFinite; ++i) out.finite[i] = a.finite[i] || b.finite[i];
+  out.threshold = std::min(a.threshold, b.threshold);
+  out.Normalize();
+  return out;
+}
+
+UnaryLanguage UnaryLanguage::SumOf(const UnaryLanguage& a,
+                                   const UnaryLanguage& b) {
+  UnaryLanguage out;
+  // Empty factor annihilates.
+  auto is_empty = [](const UnaryLanguage& l) {
+    if (l.threshold != SIZE_MAX) return false;
+    return std::find(l.finite.begin(), l.finite.end(), true) == l.finite.end();
+  };
+  if (is_empty(a) || is_empty(b)) return out;
+  auto min_elem = [](const UnaryLanguage& l) {
+    for (size_t i = 0; i < kMaxFinite; ++i) {
+      if (l.finite[i]) return std::min<size_t>(i, l.threshold);
+    }
+    return l.threshold;
+  };
+  // Finite + finite sums.
+  for (size_t i = 0; i < kMaxFinite; ++i) {
+    if (!a.finite[i]) continue;
+    for (size_t j = 0; j + i < kMaxFinite; ++j) {
+      if (b.finite[j]) out.finite[i + j] = true;
+    }
+  }
+  // Upward-closed contributions.
+  size_t t = SIZE_MAX;
+  if (a.threshold != SIZE_MAX) {
+    t = std::min(t, a.threshold + min_elem(b));
+  }
+  if (b.threshold != SIZE_MAX) {
+    t = std::min(t, b.threshold + min_elem(a));
+  }
+  out.threshold = t;
+  out.Normalize();
+  return out;
+}
+
+UnaryLanguage UnaryLanguageOf(const CypherPattern& p,
+                              const std::string& label) {
+  auto label_hits = [&](const std::vector<std::string>& labels) {
+    // Over a one-letter alphabet, the atom matches iff it is a wildcard or
+    // mentions the letter.
+    return labels.empty() ||
+           std::find(labels.begin(), labels.end(), label) != labels.end();
+  };
+  switch (p.kind()) {
+    case CypherPattern::Kind::kNode:
+      // Node label constraints are satisfied in the language view.
+      return UnaryLanguage::Single(0);
+    case CypherPattern::Kind::kEdge:
+      return label_hits(p.labels()) ? UnaryLanguage::Single(1)
+                                    : UnaryLanguage();  // ∅
+    case CypherPattern::Kind::kEdgeStar:
+      return label_hits(p.labels()) ? UnaryLanguage::AllLengths()
+                                    : UnaryLanguage::Single(0);
+    case CypherPattern::Kind::kConcat:
+      return UnaryLanguage::SumOf(UnaryLanguageOf(*p.left(), label),
+                                  UnaryLanguageOf(*p.right(), label));
+    case CypherPattern::Kind::kUnion:
+      return UnaryLanguage::UnionOf(UnaryLanguageOf(*p.left(), label),
+                                    UnaryLanguageOf(*p.right(), label));
+  }
+  return UnaryLanguage();
+}
+
+std::vector<UnaryLanguage> EnumerateFragmentUnaryLanguages(size_t max_atoms) {
+  // languages_by_size[k] = languages of patterns with exactly k atoms.
+  std::vector<std::set<UnaryLanguage>> by_size(max_atoms + 1);
+  if (max_atoms >= 1) {
+    by_size[1].insert(UnaryLanguage::Single(0));   // a node atom
+    by_size[1].insert(UnaryLanguage::Single(1));   // an edge atom
+    by_size[1].insert(UnaryLanguage());            // edge with wrong label: ∅
+    by_size[1].insert(UnaryLanguage::AllLengths());  // -[:ℓ*]->
+  }
+  for (size_t n = 2; n <= max_atoms; ++n) {
+    for (size_t i = 1; i < n; ++i) {
+      for (const UnaryLanguage& a : by_size[i]) {
+        for (const UnaryLanguage& b : by_size[n - i]) {
+          by_size[n].insert(UnaryLanguage::SumOf(a, b));
+          by_size[n].insert(UnaryLanguage::UnionOf(a, b));
+        }
+      }
+    }
+  }
+  std::set<UnaryLanguage> all;
+  for (const auto& s : by_size) all.insert(s.begin(), s.end());
+  return std::vector<UnaryLanguage>(all.begin(), all.end());
+}
+
+}  // namespace gqzoo

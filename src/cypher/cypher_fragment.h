@@ -1,0 +1,117 @@
+#ifndef GQZOO_CYPHER_CYPHER_FRAGMENT_H_
+#define GQZOO_CYPHER_CYPHER_FRAGMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/coregql/pattern.h"
+#include "src/regex/ast.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+class CypherPattern;
+using CypherPatternPtr = std::shared_ptr<const CypherPattern>;
+
+/// The Cypher pattern fragment of Section 5.1:
+///
+///     π := (x:L) | -[x:L]-> | -[:L*]-> | π1 π2 | π1 + π2
+///
+/// where L is a disjunction of labels ℓ1|…|ℓn (empty = wildcard).
+/// Repetition is only available on label disjunctions — the restriction
+/// behind Proposition 22: `(ℓℓ)*` is not expressible.
+class CypherPattern {
+ public:
+  enum class Kind : uint8_t { kNode, kEdge, kEdgeStar, kConcat, kUnion };
+
+  static CypherPatternPtr Node(std::optional<std::string> var,
+                               std::vector<std::string> labels);
+  static CypherPatternPtr Edge(std::optional<std::string> var,
+                               std::vector<std::string> labels);
+  static CypherPatternPtr EdgeStar(std::vector<std::string> labels);
+  static CypherPatternPtr Concat(CypherPatternPtr a, CypherPatternPtr b);
+  static CypherPatternPtr Union(CypherPatternPtr a, CypherPatternPtr b);
+
+  Kind kind() const { return kind_; }
+  const std::optional<std::string>& var() const { return var_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+  const CypherPatternPtr& left() const { return children_[0]; }
+  const CypherPatternPtr& right() const { return children_[1]; }
+
+  /// Lowers into a CoreGQL pattern (the fragment is a sub-language), for
+  /// evaluation on property graphs.
+  CorePatternPtr ToCorePattern() const;
+
+  /// The edge-label regular expression this pattern matches (node atoms
+  /// are ε; node label constraints are dropped — use this for pure
+  /// language-level analysis à la Proposition 22).
+  RegexPtr ToRegex() const;
+
+  std::string ToString() const;
+
+ protected:
+  CypherPattern() = default;
+
+ private:
+  Kind kind_ = Kind::kNode;
+  std::optional<std::string> var_;
+  std::vector<std::string> labels_;
+  std::vector<CypherPatternPtr> children_;
+};
+
+/// Parses the fragment syntax: `(x:A|B)`, `()`, `-[e:T]->`, `-[:T|S]->`,
+/// `-[:T*]->`, `->`, juxtaposition for concatenation, `|` between
+/// parenthesized groups for union.
+Result<CypherPatternPtr> ParseCypherPattern(const std::string& text);
+
+/// A unary regular language of the special shape every Cypher-fragment
+/// pattern denotes over a one-letter alphabet: a finite set of lengths
+/// plus, possibly, *all* lengths from some threshold up (upward closure).
+/// Proposition 22 follows because (ℓℓ)* — the even lengths — is infinite
+/// but not upward closed.
+struct UnaryLanguage {
+  static constexpr size_t kMaxFinite = 256;
+  /// Membership of lengths below min(threshold, kMaxFinite).
+  std::vector<bool> finite = std::vector<bool>(kMaxFinite, false);
+  /// All lengths ≥ threshold are in the language (SIZE_MAX: none).
+  size_t threshold = SIZE_MAX;
+
+  bool Contains(size_t n) const {
+    if (n >= threshold) return true;
+    return n < kMaxFinite && finite[n];
+  }
+  bool IsInfinite() const { return threshold != SIZE_MAX; }
+
+  static UnaryLanguage Single(size_t n);
+  static UnaryLanguage AllLengths();  // ℕ (from ℓ*)
+  static UnaryLanguage UnionOf(const UnaryLanguage& a, const UnaryLanguage& b);
+  static UnaryLanguage SumOf(const UnaryLanguage& a, const UnaryLanguage& b);
+
+  bool operator==(const UnaryLanguage& o) const {
+    return finite == o.finite && threshold == o.threshold;
+  }
+  bool operator<(const UnaryLanguage& o) const {
+    if (threshold != o.threshold) return threshold < o.threshold;
+    return finite < o.finite;
+  }
+
+ private:
+  void Normalize();
+};
+
+/// The unary language of a fragment pattern over the single label `label`
+/// (atoms with other labels or non-trivial node labels denote ∅/ε as
+/// appropriate; used by the Proposition 22 experiment).
+UnaryLanguage UnaryLanguageOf(const CypherPattern& p, const std::string& label);
+
+/// Enumerates the unary languages of *all* fragment patterns with at most
+/// `max_atoms` atoms over a one-letter alphabet (deduplicated). The
+/// Proposition 22 test checks that none of them equals the even-length
+/// language of (ℓℓ)*.
+std::vector<UnaryLanguage> EnumerateFragmentUnaryLanguages(size_t max_atoms);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_CYPHER_CYPHER_FRAGMENT_H_

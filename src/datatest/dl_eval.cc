@@ -1,0 +1,429 @@
+#include "src/datatest/dl_eval.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/crpq/join.h"
+
+namespace gqzoo {
+
+namespace {
+
+// Interns valuations so configurations hash/compare by a small id.
+class ValuationInterner {
+ public:
+  uint32_t Intern(const Valuation& nu) {
+    auto [it, inserted] = ids_.try_emplace(nu, vals_.size());
+    if (inserted) vals_.push_back(nu);
+    return it->second;
+  }
+  const Valuation& Get(uint32_t id) const { return vals_[id]; }
+
+ private:
+  std::map<Valuation, uint32_t> ids_;
+  std::vector<Valuation> vals_;
+};
+
+struct Config {
+  uint32_t state;
+  ObjectRef obj;
+  uint32_t nu;
+
+  bool operator<(const Config& o) const {
+    return std::tie(state, obj, nu) < std::tie(o.state, o.obj, o.nu);
+  }
+};
+
+// Calls `fn(candidate, is_edge_append)` for each object that may extend a
+// path whose last object is `last`: the collapse candidate (`last` itself)
+// and the append candidates.
+template <typename Fn>
+void ForEachSuccessor(const PropertyGraph& g, ObjectRef last, Fn fn) {
+  fn(last, /*edge_append=*/false);  // collapse: p · path(o) = p
+  if (last.is_node()) {
+    for (EdgeId e : g.OutEdges(last.id)) {
+      fn(ObjectRef::Edge(e), /*edge_append=*/true);
+    }
+  } else {
+    fn(ObjectRef::Node(g.Tgt(last.id)), /*edge_append=*/false);
+  }
+}
+
+// Calls `fn(candidate, is_edge)` for each object that can start a path with
+// src = u: the node u itself or an out-edge of u.
+template <typename Fn>
+void ForEachStart(const PropertyGraph& g, NodeId u, Fn fn) {
+  fn(ObjectRef::Node(u), /*edge_append=*/false);
+  for (EdgeId e : g.OutEdges(u)) {
+    fn(ObjectRef::Edge(e), /*edge_append=*/true);
+  }
+}
+
+NodeId TgtOf(const PropertyGraph& g, ObjectRef o) {
+  return o.is_node() ? o.id : g.Tgt(o.id);
+}
+
+// Depth-first enumeration of matching (path, µ), with optional
+// simple/trail restriction and optional exact-length filter (for
+// `shortest`).
+class DlDfs {
+ public:
+  DlDfs(const PropertyGraph& g, const DlNfa& nfa, NodeId target, PathMode mode,
+        const EnumerationLimits& limits, size_t exact_length,
+        std::vector<PathBinding>* out)
+      : g_(g),
+        nfa_(nfa),
+        target_(target),
+        mode_(mode),
+        limits_(limits),
+        exact_length_(exact_length),
+        out_(out),
+        used_nodes_(g.NumNodes(), false),
+        used_edges_(g.NumEdges(), false) {}
+
+  EnumerationStats Run(NodeId start) {
+    uint32_t nu0 = interner_.Intern(nfa_.InitialValuation());
+    for (const DlNfa::Transition& t : nfa_.Out(nfa_.initial())) {
+      if (stopped_) break;
+      ForEachStart(g_, start, [&](ObjectRef o, bool edge_append) {
+        if (stopped_) return;
+        TryStep(nfa_.initial(), o, nu0, t, /*collapse=*/false, edge_append,
+                /*is_start=*/true);
+      });
+    }
+    return stats_;
+  }
+
+ private:
+  // Attempts transition `t` onto object `o` from valuation `nu_id`; on
+  // match, recurses.
+  void TryStep(uint32_t /*from_state*/, ObjectRef o, uint32_t nu_id,
+               const DlNfa::Transition& t, bool collapse, bool edge_append,
+               bool is_start) {
+    Valuation next_nu;
+    if (!t.atom.Matches(g_, o, interner_.Get(nu_id), &next_nu)) return;
+    size_t new_len = path_len_ + (edge_append ? 1 : 0);
+    if (new_len > limits_.max_length ||
+        (exact_length_ != SIZE_MAX && new_len > exact_length_)) {
+      stats_.truncated = stats_.truncated || exact_length_ == SIZE_MAX;
+      return;
+    }
+    if (!collapse) {
+      // Mode restrictions apply to the appended object.
+      if (mode_ == PathMode::kSimple && o.is_node() && used_nodes_[o.id]) {
+        return;
+      }
+      if (mode_ == PathMode::kTrail && o.is_edge() && used_edges_[o.id]) {
+        return;
+      }
+    }
+    uint32_t next_nu_id = interner_.Intern(next_nu);
+    Config config{t.to, o, next_nu_id};
+    auto stack_key = std::make_pair(config, new_len);
+    if (on_stack_.count(stack_key) > 0) {
+      // A zero-progress cycle: the same configuration at the same path
+      // length. Continuing can only repeat the same (p, µ) — except when
+      // captures fire on collapse steps (e.g. `([a^z])*` pumping one edge
+      // into µ(z) forever), in which case the result set is infinite and we
+      // truncate it here.
+      if (!nfa_.capture_names().empty()) stats_.truncated = true;
+      return;
+    }
+    on_stack_.insert(stack_key);
+
+    // Apply the step.
+    size_t saved_len = path_len_;
+    path_len_ = new_len;
+    bool appended = !collapse;
+    if (appended) {
+      path_objects_.push_back(o);
+      if (o.is_node()) used_nodes_[o.id] = true;
+      if (o.is_edge()) used_edges_[o.id] = true;
+      if (!t.atom.is_test && t.atom.capture != DlNfa::kNoCapture) {
+        mu_.Append(nfa_.capture_names()[t.atom.capture], o);
+      }
+    } else if (!t.atom.is_test && t.atom.capture != DlNfa::kNoCapture) {
+      // A collapse step can still capture: [a^z][a^z] appends the same
+      // edge twice to z (the µ concatenation semantics of Section 3.2.1).
+      mu_.Append(nfa_.capture_names()[t.atom.capture], o);
+    }
+
+    Recurse(config, is_start);
+
+    // Undo.
+    if (appended) {
+      if (!t.atom.is_test && t.atom.capture != DlNfa::kNoCapture) {
+        PopCapture(t.atom.capture);
+      }
+      path_objects_.pop_back();
+      if (o.is_node() && mode_ == PathMode::kSimple) used_nodes_[o.id] = false;
+      if (o.is_edge()) used_edges_[o.id] = false;
+    } else if (!t.atom.is_test && t.atom.capture != DlNfa::kNoCapture) {
+      PopCapture(t.atom.capture);
+    }
+    path_len_ = saved_len;
+    on_stack_.erase(stack_key);
+  }
+
+  void PopCapture(uint32_t capture) {
+    const std::string& var = nfa_.capture_names()[capture];
+    ObjectList& list = mu_.lists[var];
+    list.pop_back();
+    if (list.empty()) mu_.lists.erase(var);
+  }
+
+  void Recurse(const Config& config, bool /*is_start*/) {
+    if (stopped_) return;
+    // Emit if accepting at the target with the right length.
+    if (nfa_.accepting(config.state) && TgtOf(g_, config.obj) == target_ &&
+        (exact_length_ == SIZE_MAX || path_len_ == exact_length_)) {
+      out_->push_back({Path::MakeUnchecked(path_objects_), mu_});
+      ++stats_.emitted;
+      if (stats_.emitted >= limits_.max_results) {
+        stats_.truncated = true;
+        stopped_ = true;
+        return;
+      }
+    }
+    for (const DlNfa::Transition& t : nfa_.Out(config.state)) {
+      if (stopped_) return;
+      ForEachSuccessor(g_, config.obj, [&](ObjectRef o, bool edge_append) {
+        if (stopped_) return;
+        bool collapse = o == config.obj;
+        TryStep(config.state, o, config.nu, t, collapse, edge_append,
+                /*is_start=*/false);
+      });
+    }
+  }
+
+  const PropertyGraph& g_;
+  const DlNfa& nfa_;
+  NodeId target_;
+  PathMode mode_;
+  const EnumerationLimits& limits_;
+  size_t exact_length_;
+  std::vector<PathBinding>* out_;
+  std::vector<bool> used_nodes_;
+  std::vector<bool> used_edges_;
+  ValuationInterner interner_;
+  std::vector<ObjectRef> path_objects_;
+  Binding mu_;
+  size_t path_len_ = 0;
+  std::set<std::pair<Config, size_t>> on_stack_;
+  EnumerationStats stats_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+std::vector<NodeId> DlEvaluator::ReachableFrom(NodeId u) const {
+  ValuationInterner interner;
+  uint32_t nu0 = interner.Intern(nfa_->InitialValuation());
+  std::set<Config> visited;
+  std::deque<Config> queue;
+  std::set<NodeId> reached;
+
+  auto try_push = [&](uint32_t from_state, ObjectRef o,
+                      uint32_t nu_id) {
+    for (const DlNfa::Transition& t : nfa_->Out(from_state)) {
+      Valuation next;
+      if (!t.atom.Matches(*g_, o, interner.Get(nu_id), &next)) continue;
+      Config c{t.to, o, interner.Intern(next)};
+      if (visited.insert(c).second) queue.push_back(c);
+    }
+  };
+
+  ForEachStart(*g_, u, [&](ObjectRef o, bool) {
+    try_push(nfa_->initial(), o, nu0);
+  });
+  while (!queue.empty()) {
+    Config c = queue.front();
+    queue.pop_front();
+    if (nfa_->accepting(c.state)) reached.insert(TgtOf(*g_, c.obj));
+    ForEachSuccessor(*g_, c.obj, [&](ObjectRef o, bool) {
+      try_push(c.state, o, c.nu);
+    });
+  }
+  return std::vector<NodeId>(reached.begin(), reached.end());
+}
+
+std::vector<std::pair<NodeId, NodeId>> DlEvaluator::AllPairs() const {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId u = 0; u < g_->NumNodes(); ++u) {
+    for (NodeId v : ReachableFrom(u)) pairs.emplace_back(u, v);
+  }
+  return pairs;
+}
+
+size_t DlEvaluator::ShortestLength(NodeId u, NodeId v) const {
+  ValuationInterner interner;
+  uint32_t nu0 = interner.Intern(nfa_->InitialValuation());
+  std::map<Config, size_t> dist;
+  std::deque<std::pair<Config, size_t>> queue;  // 0/1-weighted BFS
+
+  auto relax = [&](const Config& c, size_t d, bool front) {
+    auto it = dist.find(c);
+    if (it != dist.end() && it->second <= d) return;
+    dist[c] = d;
+    if (front) {
+      queue.emplace_front(c, d);
+    } else {
+      queue.emplace_back(c, d);
+    }
+  };
+
+  auto expand = [&](uint32_t from_state, ObjectRef o, uint32_t nu_id, size_t d,
+                    bool edge_append) {
+    for (const DlNfa::Transition& t : nfa_->Out(from_state)) {
+      Valuation next;
+      if (!t.atom.Matches(*g_, o, interner.Get(nu_id), &next)) continue;
+      Config c{t.to, o, interner.Intern(next)};
+      relax(c, d + (edge_append ? 1 : 0), !edge_append);
+    }
+  };
+
+  ForEachStart(*g_, u, [&](ObjectRef o, bool edge_append) {
+    expand(nfa_->initial(), o, nu0, 0, edge_append);
+  });
+  size_t best = SIZE_MAX;
+  while (!queue.empty()) {
+    auto [c, d] = queue.front();
+    queue.pop_front();
+    if (dist[c] != d) continue;  // stale entry
+    if (d >= best) continue;
+    if (nfa_->accepting(c.state) && TgtOf(*g_, c.obj) == v) {
+      best = std::min(best, d);
+      continue;
+    }
+    ForEachSuccessor(*g_, c.obj, [&](ObjectRef o, bool edge_append) {
+      bool is_edge_append = edge_append && !(o == c.obj);
+      expand(c.state, o, c.nu, d, is_edge_append);
+    });
+  }
+  return best;
+}
+
+std::vector<PathBinding> DlEvaluator::CollectModePaths(
+    NodeId u, NodeId v, PathMode mode, const EnumerationLimits& limits,
+    EnumerationStats* stats) const {
+  std::vector<PathBinding> results;
+  EnumerationStats local;
+  if (mode == PathMode::kShortest) {
+    size_t best = ShortestLength(u, v);
+    if (best != SIZE_MAX) {
+      EnumerationLimits bounded = limits;
+      bounded.max_length = std::min(bounded.max_length, best);
+      DlDfs dfs(*g_, *nfa_, v, PathMode::kAll, bounded, best, &results);
+      local = dfs.Run(u);
+    }
+  } else {
+    DlDfs dfs(*g_, *nfa_, v, mode, limits, SIZE_MAX, &results);
+    local = dfs.Run(u);
+  }
+  std::sort(results.begin(), results.end());
+  results.erase(std::unique(results.begin(), results.end()), results.end());
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
+                              const DlCrpqEvalOptions& options) {
+  using crpq_internal::Dedupe;
+  using crpq_internal::NaturalJoin;
+  using crpq_internal::ProjectHead;
+  using crpq_internal::Relation;
+
+  Result<bool> valid = q.Validate();
+  if (!valid.ok()) return valid.error();
+  if (q.atoms.empty()) return Error("dl-CRPQ has no atoms");
+
+  bool truncated = false;
+  Relation joined;
+  bool first = true;
+  for (const CrpqAtom& atom : q.atoms) {
+    DlNfa nfa = DlNfa::FromRegex(*atom.regex, g);
+    DlEvaluator evaluator(g, nfa);
+    std::vector<std::string> list_vars = atom.regex->CaptureVariables();
+
+    auto resolve = [&](const CrpqTerm& t) -> Result<std::optional<NodeId>> {
+      if (!t.is_constant) return std::optional<NodeId>();
+      std::optional<NodeId> n = g.FindNode(t.name);
+      if (!n.has_value()) {
+        return Error("unknown node constant '@" + t.name + "'");
+      }
+      return std::optional<NodeId>(*n);
+    };
+    Result<std::optional<NodeId>> from_const = resolve(atom.from);
+    if (!from_const.ok()) return from_const.error();
+    Result<std::optional<NodeId>> to_const = resolve(atom.to);
+    if (!to_const.ok()) return to_const.error();
+
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    if (from_const.value().has_value()) {
+      NodeId u = *from_const.value();
+      for (NodeId v : evaluator.ReachableFrom(u)) pairs.emplace_back(u, v);
+    } else {
+      pairs = evaluator.AllPairs();
+    }
+    if (to_const.value().has_value()) {
+      NodeId v = *to_const.value();
+      std::erase_if(pairs, [v](const auto& p) { return p.second != v; });
+    }
+    const bool same_var = !atom.from.is_constant && !atom.to.is_constant &&
+                          atom.from.name == atom.to.name;
+    if (same_var) {
+      std::erase_if(pairs, [](const auto& p) { return p.first != p.second; });
+    }
+
+    Relation rel;
+    if (!atom.from.is_constant) rel.schema.push_back(atom.from.name);
+    if (!atom.to.is_constant && !same_var) rel.schema.push_back(atom.to.name);
+    for (const std::string& z : list_vars) rel.schema.push_back(z);
+
+    EnumerationLimits limits;
+    limits.max_results = options.max_bindings_per_pair;
+    limits.max_length = options.max_path_length;
+
+    for (const auto& [u, v] : pairs) {
+      std::vector<CrpqValue> prefix;
+      if (!atom.from.is_constant) prefix.push_back(u);
+      if (!atom.to.is_constant && !same_var) prefix.push_back(v);
+      if (list_vars.empty()) {
+        rel.rows.push_back(std::move(prefix));
+        continue;
+      }
+      EnumerationStats stats;
+      std::vector<PathBinding> bindings =
+          evaluator.CollectModePaths(u, v, atom.mode, limits, &stats);
+      if (stats.truncated) truncated = true;
+      std::set<std::vector<CrpqValue>> seen;
+      for (const PathBinding& pb : bindings) {
+        std::vector<CrpqValue> row = prefix;
+        for (const std::string& z : list_vars) row.push_back(pb.mu.Get(z));
+        if (seen.insert(row).second) rel.rows.push_back(std::move(row));
+      }
+    }
+    Dedupe(&rel);
+
+    if (first) {
+      joined = std::move(rel);
+      first = false;
+    } else {
+      joined = NaturalJoin(joined, rel);
+    }
+    if (joined.rows.empty()) break;
+  }
+
+  CrpqResult result;
+  result.head = q.head;
+  result.truncated = truncated;
+  if (!joined.rows.empty()) {
+    ProjectHead(joined, q.head, &result.rows);
+  }
+  return result;
+}
+
+}  // namespace gqzoo

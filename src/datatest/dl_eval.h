@@ -1,0 +1,69 @@
+#ifndef GQZOO_DATATEST_DL_EVAL_H_
+#define GQZOO_DATATEST_DL_EVAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/crpq/crpq.h"
+#include "src/datatest/dl_rpq.h"
+#include "src/graph/path_binding.h"
+#include "src/pmr/enumerate.h"
+
+namespace gqzoo {
+
+/// Evaluator for dl-RPQs (Section 3.2.1) over property graphs.
+///
+/// Runs are explored over *configurations* (NFA state, last path object,
+/// valuation ν) — the register-automaton product of Section 6.4's "Data
+/// Filters" discussion, generalized to treat nodes and edges symmetrically.
+/// A step either *appends* an object (node → one of its out-edges; edge →
+/// its target node) or *collapses* (re-matches the current last object,
+/// using the paper's `p · path(o) = p` rule), which is how multi-atom
+/// constraints like `[a^z][date > x][x := date]` apply to a single edge.
+///
+/// The configuration space is finite (valuations only hold values copied
+/// from the graph), so pair reachability is decidable in polynomial time
+/// for a fixed number of data variables — matching the NLOGSPACE data
+/// complexity of [Libkin, Martens, Vrgoč 2016].
+class DlEvaluator {
+ public:
+  DlEvaluator(const PropertyGraph& g, const DlNfa& nfa)
+      : g_(&g), nfa_(&nfa) {}
+
+  /// All nodes `v` such that some non-empty-endpoint path from `u` to `v`
+  /// satisfies the dl-RPQ (σ endpoints: src(p) = u, tgt(p) = v; paths may
+  /// start/end with edges).
+  std::vector<NodeId> ReachableFrom(NodeId u) const;
+
+  /// All endpoint pairs ([[R]] projected to (src, tgt)).
+  std::vector<std::pair<NodeId, NodeId>> AllPairs() const;
+
+  /// Enumerates `mode(σ_{u,v}([[R]]_G))`, deduplicated. `shortest` is
+  /// computed by first finding the optimal length via 0/1-weighted BFS on
+  /// configurations (edge appends cost 1), then enumerating at that depth.
+  std::vector<PathBinding> CollectModePaths(NodeId u, NodeId v, PathMode mode,
+                                            const EnumerationLimits& limits,
+                                            EnumerationStats* stats = nullptr) const;
+
+  /// Length of the shortest path from `u` to `v` satisfying the dl-RPQ, or
+  /// SIZE_MAX if none exists.
+  size_t ShortestLength(NodeId u, NodeId v) const;
+
+ private:
+  const PropertyGraph* g_;
+  const DlNfa* nfa_;
+};
+
+/// Evaluates a dl-CRPQ (Section 3.2.2): the Crpq structure with dl-dialect
+/// regexes, over a property graph. Semantics and options mirror EvalCrpq.
+struct DlCrpqEvalOptions {
+  size_t max_bindings_per_pair = 100000;
+  size_t max_path_length = 1000;
+};
+
+Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
+                              const DlCrpqEvalOptions& options = {});
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_DATATEST_DL_EVAL_H_

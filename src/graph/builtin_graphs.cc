@@ -1,0 +1,101 @@
+#include "src/graph/builtin_graphs.h"
+
+#include <array>
+
+namespace gqzoo {
+
+namespace {
+
+struct TransferSpec {
+  const char* name;
+  const char* src;
+  const char* tgt;
+  double amount;    // used only by Figure3Graph
+  const char* date;  // used only by Figure3Graph
+};
+
+// Shared transfer topology of Figures 2 and 3 (see header for provenance).
+// Amounts: only t9 is below the 4.5M threshold of Section 6.3.
+constexpr std::array<TransferSpec, 10> kTransfers = {{
+    {"t1", "a1", "a3", 8.3e6, "2025-01-01"},
+    {"t2", "a3", "a2", 6.0e6, "2025-01-02"},
+    {"t3", "a2", "a4", 7.2e6, "2025-01-03"},
+    {"t4", "a5", "a1", 5.5e6, "2025-01-04"},
+    {"t5", "a3", "a2", 9.1e6, "2025-01-05"},
+    {"t6", "a3", "a4", 4.5e6, "2025-01-06"},
+    {"t7", "a3", "a5", 1.0e7, "2025-01-07"},
+    {"t8", "a6", "a3", 6.6e6, "2025-01-08"},
+    {"t9", "a4", "a6", 1.0e6, "2025-01-09"},
+    {"t10", "a6", "a5", 4.8e6, "2025-01-10"},
+}};
+
+struct AccountSpec {
+  const char* name;
+  const char* owner;
+  bool blocked;
+};
+
+constexpr std::array<AccountSpec, 6> kAccounts = {{
+    {"a1", "Megan", false},
+    {"a2", "Carol", false},
+    {"a3", "Mike", false},
+    {"a4", "Dave", true},
+    {"a5", "Rebecca", false},
+    {"a6", "Jay", false},
+}};
+
+}  // namespace
+
+EdgeLabeledGraph Figure2Graph() {
+  EdgeLabeledGraph g;
+  for (const AccountSpec& a : kAccounts) g.AddNode(a.name);
+  // Entity nodes.
+  NodeId account_type = g.AddNode("Account");
+  NodeId yes = g.AddNode("yes");
+  NodeId no = g.AddNode("no");
+  for (const AccountSpec& a : kAccounts) {
+    if (g.FindNode(a.owner) == std::nullopt) g.AddNode(a.owner);
+  }
+
+  for (const TransferSpec& t : kTransfers) {
+    g.AddEdge(*g.FindNode(t.src), *g.FindNode(t.tgt), "Transfer", t.name);
+  }
+  // Owner edges r1–r4 for the accounts whose owners the text names.
+  g.AddEdge(*g.FindNode("a1"), *g.FindNode("Megan"), "owner", "r1");
+  g.AddEdge(*g.FindNode("a3"), *g.FindNode("Mike"), "owner", "r2");
+  g.AddEdge(*g.FindNode("a5"), *g.FindNode("Rebecca"), "owner", "r3");
+  g.AddEdge(*g.FindNode("a6"), *g.FindNode("Jay"), "owner", "r4");
+  // isBlocked edges r5–r10; r9 (a3→no) and r10 (a4→yes) are named in
+  // Example 16.
+  g.AddEdge(*g.FindNode("a1"), no, "isBlocked", "r5");
+  g.AddEdge(*g.FindNode("a2"), no, "isBlocked", "r6");
+  g.AddEdge(*g.FindNode("a5"), no, "isBlocked", "r7");
+  g.AddEdge(*g.FindNode("a6"), no, "isBlocked", "r8");
+  g.AddEdge(*g.FindNode("a3"), no, "isBlocked", "r9");
+  g.AddEdge(*g.FindNode("a4"), yes, "isBlocked", "r10");
+  // type edges.
+  for (size_t i = 0; i < kAccounts.size(); ++i) {
+    g.AddEdge(*g.FindNode(kAccounts[i].name), account_type, "type",
+              "u" + std::to_string(i + 1));
+  }
+  return g;
+}
+
+PropertyGraph Figure3Graph() {
+  PropertyGraph g;
+  for (const AccountSpec& a : kAccounts) {
+    NodeId n = g.AddNode(a.name, "Account");
+    g.SetProperty(ObjectRef::Node(n), "owner", Value(a.owner));
+    g.SetProperty(ObjectRef::Node(n), "isBlocked",
+                  Value(a.blocked ? "yes" : "no"));
+  }
+  for (const TransferSpec& t : kTransfers) {
+    EdgeId e = g.AddEdge(*g.FindNode(t.src), *g.FindNode(t.tgt), "Transfer",
+                         t.name);
+    g.SetProperty(ObjectRef::Edge(e), "amount", Value(t.amount));
+    g.SetProperty(ObjectRef::Edge(e), "date", Value(t.date));
+  }
+  return g;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,44 @@
+#ifndef GQZOO_GRAPH_BUILTIN_GRAPHS_H_
+#define GQZOO_GRAPH_BUILTIN_GRAPHS_H_
+
+#include "src/graph/graph.h"
+
+namespace gqzoo {
+
+/// The edge-labeled graph of Figure 2: bank accounts a1–a6, transfer edges
+/// t1–t10, plus owner / isBlocked / type edges to entity nodes.
+///
+/// The figure in the paper is explicitly partial; the transfer topology is
+/// reconstructed exactly from the constraints the text states:
+///   t1: a1→a3   (Example 10: path(a1, t1, a3, t2) is valid)
+///   t2: a3→a2, t5: a3→a2 (Example 5: parallel Transfer edges)
+///   t3: a2→a4   (Example 16: µ3(z) = list(t2, t3) ending at a4)
+///   t4: a5→a1, t7: a3→a5 (Example 17: shortest a3⇝a1 is list(t7, t4);
+///                          Section 6.4: cycle through t7, t4, t1)
+///   t6: a3→a4, t9: a4→a6, t10: a6→a5 (Section 6.3: the data-filter detour
+///                          path(a3, t6, a4, t9, a6, t10, a5))
+///   t8: a6→a3   (Example 13: q1 answer (a6, a3, a5) needs Transfer(a6,a3);
+///                also makes Transfer* complete on a1..a6, Example 12)
+/// Owner edges r1–r4 (a1→Megan, a3→Mike, a5→Rebecca, a6→Jay; the last per
+/// Example 17's assumption), isBlocked edges r5–r10 (a4→yes, others→no;
+/// Example 13 needs isBlocked(a5) = no, Example 16 needs r9: a3→no and
+/// r10: a4→yes), and type edges u1–u6 to the Account node.
+EdgeLabeledGraph Figure2Graph();
+
+/// The property graph of Figure 3: accounts a1–a6 with `owner` and
+/// `isBlocked` properties, Transfer edges t1–t10 (same topology as
+/// Figure 2) with `amount` and `date` properties.
+///
+/// Property values are reconstructed from the text where stated
+/// (ρ(a1, owner) = Megan, etc.; Section 6.3 fixes amounts so that the only
+/// transfer under 4.5M is t9, making path(a3, t6, a4, t9, a6, t10, a5) the
+/// shortest Mike→Rebecca path with a cheap transfer, and forcing a cycle
+/// when two cheap transfers are required). Owners of a2/a4 and all dates
+/// are free choices, documented in DESIGN.md; dates are ISO strings chosen
+/// so that t1 < t2 < ... < t10 chronologically (so increasing-date examples
+/// have witnesses).
+PropertyGraph Figure3Graph();
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_GRAPH_BUILTIN_GRAPHS_H_

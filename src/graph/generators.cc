@@ -1,0 +1,214 @@
+#include "src/graph/generators.h"
+
+#include <random>
+
+namespace gqzoo {
+
+namespace {
+
+// "a", "b", ..., "z", "a1", "b1", ... for generated label alphabets.
+std::string GeneratedLabelName(size_t l) {
+  std::string name(1, static_cast<char>('a' + l % 26));
+  if (l >= 26) name += std::to_string(l / 26);
+  return name;
+}
+
+}  // namespace
+
+EdgeLabeledGraph ParallelChain(size_t n, size_t parallel,
+                               const std::string& label) {
+  EdgeLabeledGraph g;
+  std::vector<NodeId> nodes;
+  nodes.push_back(g.AddNode("s"));
+  for (size_t i = 1; i < n; ++i) {
+    nodes.push_back(g.AddNode("v" + std::to_string(i)));
+  }
+  nodes.push_back(g.AddNode("t"));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < parallel; ++j) {
+      g.AddEdge(nodes[i], nodes[i + 1], label);
+    }
+  }
+  return g;
+}
+
+EdgeLabeledGraph Chain(size_t n, const std::string& label) {
+  EdgeLabeledGraph g;
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i <= n; ++i) {
+    nodes.push_back(g.AddNode("u" + std::to_string(i + 1)));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(nodes[i], nodes[i + 1], label);
+  }
+  return g;
+}
+
+EdgeLabeledGraph Cycle(size_t n, const std::string& label) {
+  EdgeLabeledGraph g;
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(g.AddNode("c" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(nodes[i], nodes[(i + 1) % n], label);
+  }
+  return g;
+}
+
+EdgeLabeledGraph Clique(size_t k, const std::string& label) {
+  EdgeLabeledGraph g;
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i < k; ++i) {
+    nodes.push_back(g.AddNode("q" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (i != j) g.AddEdge(nodes[i], nodes[j], label);
+    }
+  }
+  return g;
+}
+
+EdgeLabeledGraph ErdosRenyi(size_t n, double p, size_t num_labels,
+                            uint64_t seed) {
+  EdgeLabeledGraph g;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<size_t> label_dist(0, num_labels - 1);
+  std::vector<LabelId> labels;
+  for (size_t l = 0; l < num_labels; ++l) {
+    labels.push_back(g.InternLabel(GeneratedLabelName(l)));
+  }
+  for (size_t i = 0; i < n; ++i) g.AddNode();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && coin(rng) < p) {
+        g.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                  labels[label_dist(rng)]);
+      }
+    }
+  }
+  return g;
+}
+
+EdgeLabeledGraph RandomGraph(size_t n, size_t m, size_t num_labels,
+                             uint64_t seed) {
+  EdgeLabeledGraph g;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> node_dist(0, n - 1);
+  std::uniform_int_distribution<size_t> label_dist(0, num_labels - 1);
+  std::vector<LabelId> labels;
+  for (size_t l = 0; l < num_labels; ++l) {
+    labels.push_back(g.InternLabel(GeneratedLabelName(l)));
+  }
+  for (size_t i = 0; i < n; ++i) g.AddNode();
+  for (size_t e = 0; e < m; ++e) {
+    g.AddEdge(static_cast<NodeId>(node_dist(rng)),
+              static_cast<NodeId>(node_dist(rng)), labels[label_dist(rng)]);
+  }
+  return g;
+}
+
+PropertyGraph RandomPropertyGraph(size_t n, size_t m, int64_t value_range,
+                                  uint64_t seed) {
+  PropertyGraph g;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> node_dist(0, n - 1);
+  std::uniform_int_distribution<int64_t> value_dist(0, value_range - 1);
+  for (size_t i = 0; i < n; ++i) {
+    NodeId node = g.AddNode("n" + std::to_string(i), "N");
+    g.SetProperty(ObjectRef::Node(node), "k", Value(value_dist(rng)));
+  }
+  for (size_t e = 0; e < m; ++e) {
+    EdgeId edge = g.AddEdge(static_cast<NodeId>(node_dist(rng)),
+                            static_cast<NodeId>(node_dist(rng)), "a");
+    g.SetProperty(ObjectRef::Edge(edge), "k", Value(value_dist(rng)));
+  }
+  return g;
+}
+
+PropertyGraph SubsetSumChain(const std::vector<int64_t>& values) {
+  PropertyGraph g;
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i <= values.size(); ++i) {
+    nodes.push_back(g.AddNode("w" + std::to_string(i), "N"));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    EdgeId taken = g.AddEdge(nodes[i], nodes[i + 1], "a");
+    g.SetProperty(ObjectRef::Edge(taken), "k", Value(values[i]));
+    EdgeId skipped = g.AddEdge(nodes[i], nodes[i + 1], "a");
+    g.SetProperty(ObjectRef::Edge(skipped), "k", Value(int64_t{0}));
+  }
+  return g;
+}
+
+PropertyGraph IncreasingEdgeChain(size_t n, size_t violations, uint64_t seed) {
+  PropertyGraph g;
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i <= n; ++i) {
+    nodes.push_back(g.AddNode("v" + std::to_string(i), "N"));
+  }
+  // Choose violation positions.
+  std::vector<bool> dip(n, false);
+  if (violations > 0 && n > 1) {
+    std::uniform_int_distribution<size_t> pos_dist(1, n - 1);
+    for (size_t v = 0; v < violations; ++v) dip[pos_dist(rng)] = true;
+  }
+  int64_t value = 0;
+  for (size_t i = 0; i < n; ++i) {
+    value = dip[i] ? value - 1 : value + 2;
+    EdgeId e = g.AddEdge(nodes[i], nodes[i + 1], "a");
+    g.SetProperty(ObjectRef::Edge(e), "k", Value(value));
+  }
+  return g;
+}
+
+PropertyGraph TransferRing(size_t n, size_t num_cheap, double threshold,
+                           uint64_t seed) {
+  PropertyGraph g;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> expensive(threshold, threshold * 4);
+  std::uniform_real_distribution<double> cheap(0.0, threshold * 0.9);
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i < n; ++i) {
+    NodeId node = g.AddNode("acct" + std::to_string(i), "Account");
+    g.SetProperty(ObjectRef::Node(node), "owner",
+                  Value("Owner" + std::to_string(i)));
+    nodes.push_back(node);
+  }
+  // Cheap edges are spread evenly around the ring.
+  std::vector<bool> is_cheap(n, false);
+  for (size_t c = 0; c < num_cheap && n > 0; ++c) {
+    is_cheap[(c * n) / std::max<size_t>(num_cheap, 1)] = true;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EdgeId e = g.AddEdge(nodes[i], nodes[(i + 1) % n], "Transfer",
+                         "tr" + std::to_string(i));
+    g.SetProperty(ObjectRef::Edge(e), "amount",
+                  Value(is_cheap[i] ? cheap(rng) : expensive(rng)));
+  }
+  return g;
+}
+
+EdgeLabeledGraph TwoWayTransferChain(size_t n) {
+  EdgeLabeledGraph g;
+  std::vector<NodeId> hubs;
+  for (size_t i = 0; i <= n; ++i) {
+    hubs.push_back(g.AddNode("h" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(hubs[i], hubs[i + 1], "Transfer");
+    g.AddEdge(hubs[i + 1], hubs[i], "Transfer");
+  }
+  // Decoys: one-way transfers off the chain that make plain reachability
+  // strictly larger than two-way-step reachability.
+  for (size_t i = 0; i <= n; ++i) {
+    NodeId decoy = g.AddNode("d" + std::to_string(i));
+    g.AddEdge(hubs[i], decoy, "Transfer");
+  }
+  return g;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,76 @@
+#ifndef GQZOO_GRAPH_GENERATORS_H_
+#define GQZOO_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace gqzoo {
+
+/// Synthetic graph families used by the paper's experiments (DESIGN.md E3,
+/// E4, E5, E7, E8, E10, E12).
+
+/// The Figure 5 graph: a chain of `n + 1` nodes `s = v0, v1, ..., vn = t`
+/// with `parallel` (default 2) a-labeled edges between consecutive nodes.
+/// Has `parallel^n` distinct s→t paths, all shortest — the paper's
+/// 2^Θ(n)-lists example.
+EdgeLabeledGraph ParallelChain(size_t n, size_t parallel = 2,
+                               const std::string& label = "a");
+
+/// A simple a-labeled chain of `n` edges: `u_1 → u_2 → ... → u_{n+1}`
+/// (Section 6.3's path for the `(aa^z + a^z a)*` blow-up).
+EdgeLabeledGraph Chain(size_t n, const std::string& label = "a");
+
+/// A directed a-labeled cycle of `n` nodes.
+EdgeLabeledGraph Cycle(size_t n, const std::string& label = "a");
+
+/// Complete directed graph on `k` nodes (no self-loops): the Section 6.1
+/// 6-clique on which `(((a*)*)*)*` explodes under bag semantics.
+EdgeLabeledGraph Clique(size_t k, const std::string& label = "a");
+
+/// G(n, p)-style random graph with `num_labels` labels, deterministic in
+/// `seed`. Expected `n * n * p` edges.
+EdgeLabeledGraph ErdosRenyi(size_t n, double p, size_t num_labels,
+                            uint64_t seed);
+
+/// Random graph by edge count: exactly `m` edges with endpoints and labels
+/// chosen uniformly (may create parallel edges, as the model allows).
+EdgeLabeledGraph RandomGraph(size_t n, size_t m, size_t num_labels,
+                             uint64_t seed);
+
+/// Property-graph version of `RandomGraph`: every node gets label "N" with
+/// integer property "k", every edge gets label "a" with integer property
+/// "k", both drawn uniformly from [0, value_range).
+PropertyGraph RandomPropertyGraph(size_t n, size_t m, int64_t value_range,
+                                  uint64_t seed);
+
+/// The SUBSET-SUM gadget of Section 5.2: a chain of `values.size() + 1`
+/// nodes where consecutive nodes are connected by two parallel edges, one
+/// carrying `k = values[i]` and one carrying `k = 0`. Paths s→t correspond
+/// to subsets; the reduce-sum query asks whether some subset sums to 0
+/// (use positive and negative values).
+PropertyGraph SubsetSumChain(const std::vector<int64_t>& values);
+
+/// A chain of `n` a-labeled edges whose edge property `k` increases along
+/// the chain except for `violations` positions where it dips — workload for
+/// the increasing-edge-values experiment (E7).
+PropertyGraph IncreasingEdgeChain(size_t n, size_t violations, uint64_t seed);
+
+/// Transfer network for the data-filter experiments (E6 at scale): a ring
+/// of `n` accounts with Transfer edges carrying `amount`; exactly
+/// `num_cheap` edges have amount below `threshold`.
+PropertyGraph TransferRing(size_t n, size_t num_cheap, double threshold,
+                           uint64_t seed);
+
+/// Pairs of nodes connected by Transfer edges in both directions arranged
+/// in a chain — the virtual-edge reachability workload of Example 14/15
+/// (E15). Between consecutive "hub" nodes h_i, h_{i+1} there are edges in
+/// both directions; decoy one-way edges are added so that flat reachability
+/// over-approximates.
+EdgeLabeledGraph TwoWayTransferChain(size_t n);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_GRAPH_GENERATORS_H_

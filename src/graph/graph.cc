@@ -1,0 +1,97 @@
+#include "src/graph/graph.h"
+
+#include <cassert>
+
+namespace gqzoo {
+
+NodeId EdgeLabeledGraph::AddNode(const std::string& name) {
+  NodeId id = static_cast<NodeId>(node_names_.size());
+  std::string effective = name.empty() ? "n" + std::to_string(id) : name;
+  assert(node_by_name_.find(effective) == node_by_name_.end() &&
+         "duplicate node name");
+  node_names_.push_back(effective);
+  node_by_name_.emplace(std::move(effective), id);
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+EdgeId EdgeLabeledGraph::AddEdge(NodeId src, NodeId tgt,
+                                 const std::string& label,
+                                 const std::string& name) {
+  return AddEdge(src, tgt, labels_.Intern(label), name);
+}
+
+EdgeId EdgeLabeledGraph::AddEdge(NodeId src, NodeId tgt, LabelId label,
+                                 const std::string& name) {
+  assert(src < NumNodes() && tgt < NumNodes());
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({src, tgt, label});
+  std::string effective = name.empty() ? "e" + std::to_string(id) : name;
+  assert(edge_by_name_.find(effective) == edge_by_name_.end() &&
+         "duplicate edge name");
+  edge_names_.push_back(effective);
+  edge_by_name_.emplace(std::move(effective), id);
+  out_[src].push_back(id);
+  in_[tgt].push_back(id);
+  return id;
+}
+
+std::optional<NodeId> EdgeLabeledGraph::FindNode(
+    const std::string& name) const {
+  auto it = node_by_name_.find(name);
+  if (it == node_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EdgeId> EdgeLabeledGraph::FindEdge(
+    const std::string& name) const {
+  auto it = edge_by_name_.find(name);
+  if (it == edge_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+NodeId PropertyGraph::AddNode(const std::string& name,
+                              const std::string& label) {
+  NodeId id = skeleton_.AddNode(name);
+  node_labels_.push_back(skeleton_.InternLabel(label));
+  return id;
+}
+
+EdgeId PropertyGraph::AddEdge(NodeId src, NodeId tgt, const std::string& label,
+                              const std::string& name) {
+  return skeleton_.AddEdge(src, tgt, label, name);
+}
+
+void PropertyGraph::SetProperty(ObjectRef o, const std::string& prop,
+                                Value v) {
+  PropertyId pid = properties_.Intern(prop);
+  props_[{o, pid}] = std::move(v);
+}
+
+std::optional<Value> PropertyGraph::GetProperty(ObjectRef o,
+                                                PropertyId prop) const {
+  auto it = props_.find({o, prop});
+  if (it == props_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Value> PropertyGraph::GetProperty(
+    ObjectRef o, const std::string& prop) const {
+  std::optional<PropertyId> pid = properties_.Find(prop);
+  if (!pid.has_value()) return std::nullopt;
+  return GetProperty(o, *pid);
+}
+
+std::vector<std::pair<PropertyId, Value>> PropertyGraph::PropertiesOf(
+    ObjectRef o) const {
+  std::vector<std::pair<PropertyId, Value>> result;
+  for (const auto& [key, value] : props_) {
+    if (key.first == o) result.emplace_back(key.second, value);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return result;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,214 @@
+#ifndef GQZOO_GRAPH_GRAPH_H_
+#define GQZOO_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/interner.h"
+#include "src/util/result.h"
+#include "src/util/value.h"
+
+namespace gqzoo {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+using LabelId = uint32_t;
+using PropertyId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = UINT32_MAX;
+
+/// Whether a path object is a node or an edge ("objects" in the paper's
+/// terminology, "elements" in GQL/SQL-PGQ).
+enum class ObjectKind : uint8_t { kNode = 0, kEdge = 1 };
+
+/// A reference to a node or edge of some graph.
+struct ObjectRef {
+  ObjectKind kind;
+  uint32_t id;
+
+  static ObjectRef Node(NodeId n) { return {ObjectKind::kNode, n}; }
+  static ObjectRef Edge(EdgeId e) { return {ObjectKind::kEdge, e}; }
+
+  bool is_node() const { return kind == ObjectKind::kNode; }
+  bool is_edge() const { return kind == ObjectKind::kEdge; }
+
+  bool operator==(const ObjectRef& o) const {
+    return kind == o.kind && id == o.id;
+  }
+  bool operator!=(const ObjectRef& o) const { return !(*this == o); }
+  bool operator<(const ObjectRef& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    return id < o.id;
+  }
+};
+
+struct ObjectRefHash {
+  size_t operator()(const ObjectRef& o) const {
+    return HashCombine(static_cast<size_t>(o.kind), o.id);
+  }
+};
+
+/// An edge-labeled graph (Definition 4): `(N, E, src, tgt, λ)` with edge
+/// identity, so two parallel edges with the same label are distinct (the
+/// paper's t2 and t5 in Figure 2).
+///
+/// Nodes and edges additionally carry display names (e.g. "a1", "t1") so
+/// query answers can be printed like the paper's examples; names play no
+/// semantic role.
+class EdgeLabeledGraph {
+ public:
+  struct EdgeData {
+    NodeId src;
+    NodeId tgt;
+    LabelId label;
+  };
+
+  EdgeLabeledGraph() = default;
+
+  /// Adds a node named `name` (auto-generated "n<k>" when empty).
+  /// Names must be unique within the graph.
+  NodeId AddNode(const std::string& name = "");
+
+  /// Adds an edge from `src` to `tgt` with label `label` and optional
+  /// display name (auto-generated "e<k>" when empty).
+  EdgeId AddEdge(NodeId src, NodeId tgt, const std::string& label,
+                 const std::string& name = "");
+  EdgeId AddEdge(NodeId src, NodeId tgt, LabelId label,
+                 const std::string& name = "");
+
+  size_t NumNodes() const { return node_names_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  NodeId Src(EdgeId e) const { return edges_[e].src; }
+  NodeId Tgt(EdgeId e) const { return edges_[e].tgt; }
+  LabelId EdgeLabel(EdgeId e) const { return edges_[e].label; }
+
+  const std::vector<EdgeId>& OutEdges(NodeId n) const { return out_[n]; }
+  const std::vector<EdgeId>& InEdges(NodeId n) const { return in_[n]; }
+
+  /// Label interning. Labels are shared between this graph's edges and, when
+  /// this graph is the skeleton of a `PropertyGraph`, its node labels too.
+  LabelId InternLabel(const std::string& label) { return labels_.Intern(label); }
+  std::optional<LabelId> FindLabel(const std::string& label) const {
+    return labels_.Find(label);
+  }
+  const std::string& LabelName(LabelId l) const { return labels_.NameOf(l); }
+  size_t NumLabels() const { return labels_.size(); }
+
+  const std::string& NodeName(NodeId n) const { return node_names_[n]; }
+  const std::string& EdgeName(EdgeId e) const { return edge_names_[e]; }
+  std::optional<NodeId> FindNode(const std::string& name) const;
+  std::optional<EdgeId> FindEdge(const std::string& name) const;
+
+  /// Name of an object ("a1" / "t3"), for printing.
+  const std::string& ObjectName(ObjectRef o) const {
+    return o.is_node() ? NodeName(o.id) : EdgeName(o.id);
+  }
+
+ private:
+  std::vector<EdgeData> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::vector<std::string> node_names_;
+  std::vector<std::string> edge_names_;
+  std::unordered_map<std::string, NodeId> node_by_name_;
+  std::unordered_map<std::string, EdgeId> edge_by_name_;
+  Interner labels_;
+};
+
+/// A labeled property graph (Definition 6): extends the edge-labeled model
+/// with a label on every node and a partial property map
+/// `ρ : (N ∪ E) × Properties → Values`.
+///
+/// Per Remark 7 each element has exactly one label. The underlying
+/// edge-labeled graph (`skeleton()`) is the restriction `λ|_E` of Section 2.
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  NodeId AddNode(const std::string& name, const std::string& label);
+  EdgeId AddEdge(NodeId src, NodeId tgt, const std::string& label,
+                 const std::string& name = "");
+
+  void SetProperty(ObjectRef o, const std::string& prop, Value v);
+
+  /// `ρ(o, prop)`; nullopt when the partial function is undefined here.
+  std::optional<Value> GetProperty(ObjectRef o, PropertyId prop) const;
+  std::optional<Value> GetProperty(ObjectRef o, const std::string& prop) const;
+
+  LabelId NodeLabel(NodeId n) const { return node_labels_[n]; }
+  LabelId EdgeLabel(EdgeId e) const { return skeleton_.EdgeLabel(e); }
+  LabelId ObjectLabel(ObjectRef o) const {
+    return o.is_node() ? NodeLabel(o.id) : EdgeLabel(o.id);
+  }
+
+  PropertyId InternProperty(const std::string& prop) {
+    return properties_.Intern(prop);
+  }
+  std::optional<PropertyId> FindProperty(const std::string& prop) const {
+    return properties_.Find(prop);
+  }
+  const std::string& PropertyName(PropertyId p) const {
+    return properties_.NameOf(p);
+  }
+  size_t NumProperties() const { return properties_.size(); }
+
+  /// The edge-labeled graph `(N, E, src, tgt, λ|_E)`.
+  const EdgeLabeledGraph& skeleton() const { return skeleton_; }
+  EdgeLabeledGraph& mutable_skeleton() { return skeleton_; }
+
+  // Convenience forwarders.
+  size_t NumNodes() const { return skeleton_.NumNodes(); }
+  size_t NumEdges() const { return skeleton_.NumEdges(); }
+  NodeId Src(EdgeId e) const { return skeleton_.Src(e); }
+  NodeId Tgt(EdgeId e) const { return skeleton_.Tgt(e); }
+  const std::vector<EdgeId>& OutEdges(NodeId n) const {
+    return skeleton_.OutEdges(n);
+  }
+  const std::vector<EdgeId>& InEdges(NodeId n) const {
+    return skeleton_.InEdges(n);
+  }
+  std::optional<NodeId> FindNode(const std::string& name) const {
+    return skeleton_.FindNode(name);
+  }
+  std::optional<EdgeId> FindEdge(const std::string& name) const {
+    return skeleton_.FindEdge(name);
+  }
+  LabelId InternLabel(const std::string& label) {
+    return skeleton_.InternLabel(label);
+  }
+  std::optional<LabelId> FindLabel(const std::string& label) const {
+    return skeleton_.FindLabel(label);
+  }
+  const std::string& LabelName(LabelId l) const {
+    return skeleton_.LabelName(l);
+  }
+  const std::string& NodeName(NodeId n) const { return skeleton_.NodeName(n); }
+  const std::string& EdgeName(EdgeId e) const { return skeleton_.EdgeName(e); }
+  const std::string& ObjectName(ObjectRef o) const {
+    return skeleton_.ObjectName(o);
+  }
+
+  /// All properties defined on `o`, for printing/serialization.
+  std::vector<std::pair<PropertyId, Value>> PropertiesOf(ObjectRef o) const;
+
+ private:
+  struct PropKeyHash {
+    size_t operator()(const std::pair<ObjectRef, PropertyId>& k) const {
+      return HashCombine(ObjectRefHash()(k.first), k.second);
+    }
+  };
+
+  EdgeLabeledGraph skeleton_;
+  std::vector<LabelId> node_labels_;
+  Interner properties_;
+  std::unordered_map<std::pair<ObjectRef, PropertyId>, Value, PropKeyHash>
+      props_;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_GRAPH_GRAPH_H_

@@ -1,0 +1,339 @@
+#include "src/graph/graph_io.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace gqzoo {
+
+namespace {
+
+// Minimal tokenizer for the graph text format.
+class GraphLexer {
+ public:
+  enum class Kind {
+    kIdent,   // bare identifier (names, labels, keywords)
+    kString,  // double-quoted
+    kNumber,  // integer or double literal text
+    kPunct,   // one of : { } , = ->
+    kEnd,
+  };
+
+  struct Token {
+    Kind kind;
+    std::string text;
+    size_t line;
+  };
+
+  explicit GraphLexer(const std::string& text) : text_(text) {}
+
+  Result<Token> Next() {
+    SkipSpaceAndComments();
+    if (pos_ >= text_.size()) return Token{Kind::kEnd, "", line_};
+    char c = text_[pos_];
+    if (c == '"') return LexString();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+      return LexNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdent();
+    }
+    if (c == '-' || c == ':' || c == '{' || c == '}' || c == ',' || c == '=') {
+      return LexPunct();
+    }
+    return LexPunct();
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<Token> LexString() {
+    size_t start_line = line_;
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      if (text_[pos_] == '\n') ++line_;
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) {
+      return Error("line " + std::to_string(start_line) +
+                   ": unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    return Token{Kind::kString, out, start_line};
+  }
+
+  Result<Token> LexNumber() {
+    size_t start = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
+    bool any = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      any = true;
+      ++pos_;
+    }
+    if (!any) {
+      // A lone '-' is punctuation (start of '->').
+      pos_ = start;
+      return LexPunct();
+    }
+    return Token{Kind::kNumber, text_.substr(start, pos_ - start), line_};
+  }
+
+  Result<Token> LexIdent() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return Token{Kind::kIdent, text_.substr(start, pos_ - start), line_};
+  }
+
+  Result<Token> LexPunct() {
+    if (text_.compare(pos_, 2, "->") == 0) {
+      pos_ += 2;
+      return Token{Kind::kPunct, "->", line_};
+    }
+    char c = text_[pos_];
+    if (c == ':' || c == '{' || c == '}' || c == ',' || c == '=') {
+      ++pos_;
+      return Token{Kind::kPunct, std::string(1, c), line_};
+    }
+    return Error("line " + std::to_string(line_) +
+                 ": unexpected character '" + std::string(1, c) + "'");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+class GraphParser {
+ public:
+  explicit GraphParser(const std::string& text) : lexer_(text) {}
+
+  Result<PropertyGraph> Parse() {
+    PropertyGraph g;
+    if (!Advance()) return Error(error_);
+    while (current_.kind != GraphLexer::Kind::kEnd) {
+      if (current_.kind != GraphLexer::Kind::kIdent) {
+        return Err("expected 'node' or 'edge'");
+      }
+      if (current_.text == "node") {
+        if (!ParseNode(&g)) return Error(error_);
+      } else if (current_.text == "edge") {
+        if (!ParseEdge(&g)) return Error(error_);
+      } else {
+        return Err("expected 'node' or 'edge', got '" + current_.text + "'");
+      }
+    }
+    return g;
+  }
+
+ private:
+  bool ParseNode(PropertyGraph* g) {
+    if (!Advance()) return false;  // consume 'node'
+    if (current_.kind != GraphLexer::Kind::kIdent) {
+      return Fail("expected node name");
+    }
+    std::string name = current_.text;
+    if (!Advance()) return false;
+    if (!ExpectPunct(":")) return false;
+    if (current_.kind != GraphLexer::Kind::kIdent) {
+      return Fail("expected node label");
+    }
+    std::string label = current_.text;
+    if (!Advance()) return false;
+    if (g->FindNode(name).has_value()) {
+      return Fail("duplicate node name '" + name + "'");
+    }
+    NodeId n = g->AddNode(name, label);
+    return ParseProps(g, ObjectRef::Node(n));
+  }
+
+  bool ParseEdge(PropertyGraph* g) {
+    if (!Advance()) return false;  // consume 'edge'
+    std::string name;
+    if (current_.kind == GraphLexer::Kind::kIdent) {
+      name = current_.text;
+      if (!Advance()) return false;
+    }
+    if (!ExpectPunct(":")) return false;
+    if (current_.kind != GraphLexer::Kind::kIdent) {
+      return Fail("expected edge label");
+    }
+    std::string label = current_.text;
+    if (!Advance()) return false;
+    if (current_.kind != GraphLexer::Kind::kIdent) {
+      return Fail("expected source node name");
+    }
+    std::optional<NodeId> src = g->FindNode(current_.text);
+    if (!src.has_value()) return Fail("unknown node '" + current_.text + "'");
+    if (!Advance()) return false;
+    if (!ExpectPunct("->")) return false;
+    if (current_.kind != GraphLexer::Kind::kIdent) {
+      return Fail("expected target node name");
+    }
+    std::optional<NodeId> tgt = g->FindNode(current_.text);
+    if (!tgt.has_value()) return Fail("unknown node '" + current_.text + "'");
+    if (!Advance()) return false;
+    if (!name.empty() && g->FindEdge(name).has_value()) {
+      return Fail("duplicate edge name '" + name + "'");
+    }
+    EdgeId e = g->AddEdge(*src, *tgt, label, name);
+    return ParseProps(g, ObjectRef::Edge(e));
+  }
+
+  bool ParseProps(PropertyGraph* g, ObjectRef obj) {
+    if (!(current_.kind == GraphLexer::Kind::kPunct && current_.text == "{")) {
+      return true;  // properties are optional
+    }
+    if (!Advance()) return false;  // consume '{'
+    bool first = true;
+    while (!(current_.kind == GraphLexer::Kind::kPunct &&
+             current_.text == "}")) {
+      if (!first) {
+        if (!ExpectPunct(",")) return false;
+      }
+      first = false;
+      if (current_.kind != GraphLexer::Kind::kIdent) {
+        return Fail("expected property name");
+      }
+      std::string prop = current_.text;
+      if (!Advance()) return false;
+      if (!ExpectPunct("=")) return false;
+      Value v;
+      if (current_.kind == GraphLexer::Kind::kString) {
+        v = Value(current_.text);
+      } else if (current_.kind == GraphLexer::Kind::kNumber) {
+        const std::string& t = current_.text;
+        if (t.find('.') != std::string::npos ||
+            t.find('e') != std::string::npos ||
+            t.find('E') != std::string::npos) {
+          v = Value(std::strtod(t.c_str(), nullptr));
+        } else {
+          v = Value(static_cast<int64_t>(std::strtoll(t.c_str(), nullptr, 10)));
+        }
+      } else if (current_.kind == GraphLexer::Kind::kIdent &&
+                 (current_.text == "true" || current_.text == "false")) {
+        v = Value(current_.text == "true");
+      } else {
+        return Fail("expected property value");
+      }
+      if (!Advance()) return false;
+      g->SetProperty(obj, prop, std::move(v));
+    }
+    return Advance();  // consume '}'
+  }
+
+  bool ExpectPunct(const std::string& p) {
+    if (current_.kind != GraphLexer::Kind::kPunct || current_.text != p) {
+      return Fail("expected '" + p + "', got '" + current_.text + "'");
+    }
+    return Advance();
+  }
+
+  bool Advance() {
+    Result<GraphLexer::Token> tok = lexer_.Next();
+    if (!tok.ok()) {
+      error_ = tok.error().message();
+      return false;
+    }
+    current_ = tok.value();
+    return true;
+  }
+
+  bool Fail(const std::string& message) {
+    error_ = "line " + std::to_string(current_.line) + ": " + message;
+    return false;
+  }
+
+  Error Err(const std::string& message) {
+    Fail(message);
+    return Error(error_);
+  }
+
+  GraphLexer lexer_;
+  GraphLexer::Token current_{GraphLexer::Kind::kEnd, "", 0};
+  std::string error_;
+};
+
+std::string ValueToText(const Value& v) {
+  // Value::ToString already quotes strings and renders numbers/bools in a
+  // re-parseable way.
+  return v.ToString();
+}
+
+}  // namespace
+
+Result<PropertyGraph> ParsePropertyGraph(const std::string& text) {
+  GraphParser parser(text);
+  return parser.Parse();
+}
+
+std::string PropertyGraphToText(const PropertyGraph& g) {
+  std::ostringstream out;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    out << "node " << g.NodeName(n) << " :" << g.LabelName(g.NodeLabel(n));
+    auto props = g.PropertiesOf(ObjectRef::Node(n));
+    if (!props.empty()) {
+      out << " { ";
+      for (size_t i = 0; i < props.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << g.PropertyName(props[i].first) << " = "
+            << ValueToText(props[i].second);
+      }
+      out << " }";
+    }
+    out << "\n";
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    out << "edge " << g.EdgeName(e) << " :" << g.LabelName(g.EdgeLabel(e))
+        << " " << g.NodeName(g.Src(e)) << " -> " << g.NodeName(g.Tgt(e));
+    auto props = g.PropertiesOf(ObjectRef::Edge(e));
+    if (!props.empty()) {
+      out << " { ";
+      for (size_t i = 0; i < props.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << g.PropertyName(props[i].first) << " = "
+            << ValueToText(props[i].second);
+      }
+      out << " }";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+PropertyGraph ToPropertyGraph(const EdgeLabeledGraph& g,
+                              const std::string& node_label) {
+  PropertyGraph pg;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    pg.AddNode(g.NodeName(n), node_label);
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    pg.AddEdge(g.Src(e), g.Tgt(e), g.LabelName(g.EdgeLabel(e)), g.EdgeName(e));
+  }
+  return pg;
+}
+
+}  // namespace gqzoo

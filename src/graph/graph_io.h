@@ -1,0 +1,33 @@
+#ifndef GQZOO_GRAPH_GRAPH_IO_H_
+#define GQZOO_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// Parses a property graph from the gqzoo text format:
+///
+///     # comment
+///     node a1 :Account { owner = "Megan", isBlocked = "no" }
+///     edge t1 :Transfer a1 -> a3 { amount = 8.3e6, date = "2025-01-01" }
+///     edge :Transfer a3 -> a2            # anonymous edge, no properties
+///
+/// Node declarations must precede the edges that use them. Values are
+/// integers, doubles, double-quoted strings, or `true`/`false`.
+Result<PropertyGraph> ParsePropertyGraph(const std::string& text);
+
+/// Serializes `g` to the text format above (round-trips with
+/// `ParsePropertyGraph`).
+std::string PropertyGraphToText(const PropertyGraph& g);
+
+/// Lifts an edge-labeled graph to a property graph by giving every node the
+/// label `node_label` and no properties (the converse of `skeleton()`).
+PropertyGraph ToPropertyGraph(const EdgeLabeledGraph& g,
+                              const std::string& node_label = "N");
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_GRAPH_GRAPH_IO_H_

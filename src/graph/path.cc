@@ -1,0 +1,176 @@
+#include "src/graph/path.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace gqzoo {
+
+namespace {
+
+// Can `o2` directly follow `o1` in a path of `g`?
+//
+// Valid successions: node -> outgoing edge, edge -> its target node.
+// (Two consecutive nodes or two consecutive edges never appear in a valid
+// path; the collapse rule of concatenation is handled separately.)
+bool CanFollow(const EdgeLabeledGraph& g, ObjectRef o1, ObjectRef o2) {
+  if (o1.is_node() && o2.is_edge()) return g.Src(o2.id) == o1.id;
+  if (o1.is_edge() && o2.is_node()) return g.Tgt(o1.id) == o2.id;
+  return false;
+}
+
+}  // namespace
+
+Result<Path> Path::Make(const EdgeLabeledGraph& g,
+                        std::vector<ObjectRef> objects) {
+  for (size_t i = 0; i + 1 < objects.size(); ++i) {
+    if (!CanFollow(g, objects[i], objects[i + 1])) {
+      return Error("invalid path: object " + std::to_string(i + 1) +
+                   " does not follow object " + std::to_string(i));
+    }
+  }
+  for (const ObjectRef& o : objects) {
+    if (o.is_node() && o.id >= g.NumNodes()) return Error("node id out of range");
+    if (o.is_edge() && o.id >= g.NumEdges()) return Error("edge id out of range");
+  }
+  return MakeUnchecked(std::move(objects));
+}
+
+size_t Path::Length() const {
+  size_t len = 0;
+  for (const ObjectRef& o : objects_) {
+    if (o.is_edge()) ++len;
+  }
+  return len;
+}
+
+NodeId Path::Src(const EdgeLabeledGraph& g) const {
+  assert(!empty());
+  return front().is_node() ? front().id : g.Src(front().id);
+}
+
+NodeId Path::Tgt(const EdgeLabeledGraph& g) const {
+  assert(!empty());
+  return back().is_node() ? back().id : g.Tgt(back().id);
+}
+
+bool Path::IsValidIn(const EdgeLabeledGraph& g) const {
+  for (const ObjectRef& o : objects_) {
+    if (o.is_node() && o.id >= g.NumNodes()) return false;
+    if (o.is_edge() && o.id >= g.NumEdges()) return false;
+  }
+  for (size_t i = 0; i + 1 < objects_.size(); ++i) {
+    if (!CanFollow(g, objects_[i], objects_[i + 1])) return false;
+  }
+  return true;
+}
+
+std::vector<LabelId> Path::ELab(const EdgeLabeledGraph& g) const {
+  std::vector<LabelId> labels;
+  for (const ObjectRef& o : objects_) {
+    if (o.is_edge()) labels.push_back(g.EdgeLabel(o.id));
+  }
+  return labels;
+}
+
+bool Path::Concatenable(const EdgeLabeledGraph& g, const Path& p1,
+                        const Path& p2) {
+  if (p1.empty() || p2.empty()) return true;
+  ObjectRef last = p1.back();
+  ObjectRef first = p2.front();
+  if (last == first) return true;  // collapse rule
+  return CanFollow(g, last, first);
+}
+
+Result<Path> Path::Concat(const EdgeLabeledGraph& g, const Path& p1,
+                          const Path& p2) {
+  if (p1.empty()) return p2;
+  if (p2.empty()) return p1;
+  ObjectRef last = p1.back();
+  ObjectRef first = p2.front();
+  std::vector<ObjectRef> objects = p1.objects_;
+  if (last == first) {
+    // Collapse: path(..., o) · path(o, ...) = path(..., o, ...).
+    objects.insert(objects.end(), p2.objects_.begin() + 1, p2.objects_.end());
+    return MakeUnchecked(std::move(objects));
+  }
+  if (CanFollow(g, last, first)) {
+    objects.insert(objects.end(), p2.objects_.begin(), p2.objects_.end());
+    return MakeUnchecked(std::move(objects));
+  }
+  return Error("paths are not concatenable");
+}
+
+bool Path::AppendObject(const EdgeLabeledGraph& g, ObjectRef o) {
+  if (empty()) {
+    objects_.push_back(o);
+    return true;
+  }
+  if (back() == o) return true;  // collapse
+  if (CanFollow(g, back(), o)) {
+    objects_.push_back(o);
+    return true;
+  }
+  return false;
+}
+
+bool Path::IsSimple() const {
+  std::unordered_set<uint32_t> seen;
+  for (const ObjectRef& o : objects_) {
+    if (o.is_node() && !seen.insert(o.id).second) return false;
+  }
+  return true;
+}
+
+bool Path::IsTrail() const {
+  std::unordered_set<uint32_t> seen;
+  for (const ObjectRef& o : objects_) {
+    if (o.is_edge() && !seen.insert(o.id).second) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> Path::Nodes() const {
+  std::vector<NodeId> nodes;
+  for (const ObjectRef& o : objects_) {
+    if (o.is_node()) nodes.push_back(o.id);
+  }
+  return nodes;
+}
+
+std::vector<EdgeId> Path::Edges() const {
+  std::vector<EdgeId> edges;
+  for (const ObjectRef& o : objects_) {
+    if (o.is_edge()) edges.push_back(o.id);
+  }
+  return edges;
+}
+
+std::string Path::ToString(const EdgeLabeledGraph& g) const {
+  std::string out = "path(";
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += g.ObjectName(objects_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+size_t Path::Hash() const {
+  size_t seed = 0x517cc1b727220a95ULL;
+  for (const ObjectRef& o : objects_) {
+    seed = HashCombine(seed, ObjectRefHash()(o));
+  }
+  return seed;
+}
+
+std::string ListToString(const EdgeLabeledGraph& g, const ObjectList& list) {
+  std::string out = "list(";
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += g.ObjectName(list[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,116 @@
+#ifndef GQZOO_GRAPH_PATH_H_
+#define GQZOO_GRAPH_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// A path in a graph (Section 2, "Paths and Lists"): an alternating sequence
+/// of nodes and edges where consecutive elements are incident. Unlike
+/// Cypher/GQL paths, a path may begin and end with either a node or an edge
+/// (the paper's four path kinds), which is what makes the symmetric
+/// node/edge treatment of dl-RPQs possible.
+///
+/// A `Path` does not hold a reference to its graph; operations that need
+/// incidence information (`Src`, `Tgt`, validity, concatenation, `ELab`)
+/// take the graph as a parameter.
+class Path {
+ public:
+  /// The empty path `path()`.
+  Path() = default;
+
+  /// Builds a path after validating alternation and incidence in `g`
+  /// (conditions (a) and (b) of Section 2).
+  static Result<Path> Make(const EdgeLabeledGraph& g,
+                           std::vector<ObjectRef> objects);
+
+  /// Builds a path without validation. Callers must guarantee validity;
+  /// the evaluators use this on sequences that are valid by construction.
+  static Path MakeUnchecked(std::vector<ObjectRef> objects) {
+    Path p;
+    p.objects_ = std::move(objects);
+    return p;
+  }
+
+  /// `path(o)` for a single object.
+  static Path Singleton(ObjectRef o) { return MakeUnchecked({o}); }
+  static Path OfNode(NodeId n) { return Singleton(ObjectRef::Node(n)); }
+
+  bool empty() const { return objects_.empty(); }
+  size_t NumObjects() const { return objects_.size(); }
+  const std::vector<ObjectRef>& objects() const { return objects_; }
+  ObjectRef front() const { return objects_.front(); }
+  ObjectRef back() const { return objects_.back(); }
+
+  bool StartsWithNode() const { return !empty() && front().is_node(); }
+  bool EndsWithNode() const { return !empty() && back().is_node(); }
+
+  /// `len(p)`: the number of edge occurrences (multiplicities count).
+  size_t Length() const;
+
+  /// `src(p)` / `tgt(p)`. Undefined on the empty path (asserts).
+  NodeId Src(const EdgeLabeledGraph& g) const;
+  NodeId Tgt(const EdgeLabeledGraph& g) const;
+
+  /// Checks conditions (a) and (b) of Section 2 against `g`.
+  bool IsValidIn(const EdgeLabeledGraph& g) const;
+
+  /// `elab(p)`: the sequence of edge labels (nodes contribute ε).
+  std::vector<LabelId> ELab(const EdgeLabeledGraph& g) const;
+
+  /// Path concatenation `p · p'` per Section 2, including the collapse rule
+  /// `path(..., o) · path(o, ...) = path(..., o, ...)`. Returns an error
+  /// when the two paths are not concatenable in `g`.
+  static Result<Path> Concat(const EdgeLabeledGraph& g, const Path& p1,
+                             const Path& p2);
+
+  /// True iff `Concat(g, p1, p2)` would succeed.
+  static bool Concatenable(const EdgeLabeledGraph& g, const Path& p1,
+                           const Path& p2);
+
+  /// Appends a single object, applying the collapse rule. Returns false if
+  /// `path(o)` is not concatenable onto this path. Mutates in place (the
+  /// hot operation of every evaluator).
+  bool AppendObject(const EdgeLabeledGraph& g, ObjectRef o);
+
+  /// No node occurs twice.
+  bool IsSimple() const;
+  /// No edge occurs twice.
+  bool IsTrail() const;
+
+  /// The nodes on the path, in order — Cypher's `nodes(p)` (Section 5.2).
+  std::vector<NodeId> Nodes() const;
+  /// The edges on the path, in order — Cypher's `relationships(p)`.
+  std::vector<EdgeId> Edges() const;
+
+  /// "path(a1, t1, a3)" using the graph's display names.
+  std::string ToString(const EdgeLabeledGraph& g) const;
+
+  bool operator==(const Path& o) const { return objects_ == o.objects_; }
+  bool operator!=(const Path& o) const { return !(*this == o); }
+  bool operator<(const Path& o) const { return objects_ < o.objects_; }
+
+  size_t Hash() const;
+
+ private:
+  std::vector<ObjectRef> objects_;
+};
+
+struct PathHash {
+  size_t operator()(const Path& p) const { return p.Hash(); }
+};
+
+/// A list of graph objects (`list(o1, ..., on)` of Section 2). Unlike paths,
+/// lists have no incidence requirements and concatenate freely.
+using ObjectList = std::vector<ObjectRef>;
+
+/// Renders "list(t2, t3)".
+std::string ListToString(const EdgeLabeledGraph& g, const ObjectList& list);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_GRAPH_PATH_H_

@@ -1,0 +1,71 @@
+#ifndef GQZOO_GRAPH_PATH_BINDING_H_
+#define GQZOO_GRAPH_PATH_BINDING_H_
+
+#include <map>
+#include <string>
+
+#include "src/graph/path.h"
+
+namespace gqzoo {
+
+/// A binding µ mapping list variables to lists of graph objects
+/// (Section 3.1.4). Only variables with non-empty lists are stored; absent
+/// variables implicitly map to `list()`, matching the paper's convention
+/// that µ is total but almost-everywhere empty.
+struct Binding {
+  std::map<std::string, ObjectList> lists;
+
+  /// µ(z); `list()` when absent.
+  const ObjectList& Get(const std::string& var) const {
+    static const ObjectList kEmpty;
+    auto it = lists.find(var);
+    return it == lists.end() ? kEmpty : it->second;
+  }
+
+  /// Appends `o` to µ(var).
+  void Append(const std::string& var, ObjectRef o) {
+    lists[var].push_back(o);
+  }
+
+  /// µ1 · µ2: concatenates all lists pointwise.
+  static Binding Concat(const Binding& a, const Binding& b) {
+    Binding out = a;
+    for (const auto& [var, list] : b.lists) {
+      ObjectList& dst = out.lists[var];
+      dst.insert(dst.end(), list.begin(), list.end());
+    }
+    return out;
+  }
+
+  bool operator==(const Binding& o) const { return lists == o.lists; }
+  bool operator<(const Binding& o) const { return lists < o.lists; }
+
+  std::string ToString(const EdgeLabeledGraph& g) const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [var, list] : lists) {
+      if (!first) out += ", ";
+      first = false;
+      out += var + " -> " + ListToString(g, list);
+    }
+    return out + "}";
+  }
+};
+
+/// A path binding (p, µ): the semantic objects of l-RPQs and dl-RPQs.
+struct PathBinding {
+  Path path;
+  Binding mu;
+
+  bool operator==(const PathBinding& o) const {
+    return path == o.path && mu == o.mu;
+  }
+  bool operator<(const PathBinding& o) const {
+    if (path != o.path) return path < o.path;
+    return mu < o.mu;
+  }
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_GRAPH_PATH_BINDING_H_

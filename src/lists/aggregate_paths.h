@@ -1,0 +1,52 @@
+#ifndef GQZOO_LISTS_AGGREGATE_PATHS_H_
+#define GQZOO_LISTS_AGGREGATE_PATHS_H_
+
+#include <functional>
+
+#include "src/graph/graph.h"
+#include "src/graph/path.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// The two competing semantics of `shortest` + an aggregate condition from
+/// Section 5.2 (the quadratic Σ_p example): given endpoints and a condition
+/// on paths, either
+///   (a) select the shortest paths first, then apply the condition
+///       (kConditionAfterShortest), or
+///   (b) restrict to paths satisfying the condition, then take the
+///       shortest among them (kShortestAmongSatisfying) — the reading that
+///       is "uncomfortably close to solving Diophantine equations".
+enum class AggregateSemantics {
+  kConditionAfterShortest,
+  kShortestAmongSatisfying,
+};
+
+struct AggregatePathOptions {
+  size_t max_path_length = 64;
+};
+
+/// Paths from `u` to `v` (over all edges) selected per `semantics` under
+/// the path condition `cond`. For kShortestAmongSatisfying the search scans
+/// lengths 0, 1, 2, ... and stops at the first length with a satisfying
+/// path (or at max_path_length — the undecidability of the general problem
+/// shows up as this bound being load-bearing).
+struct AggregatePathResult {
+  std::vector<Path> paths;
+  bool hit_length_bound = false;
+};
+
+AggregatePathResult SelectAggregatePaths(
+    const PropertyGraph& g, NodeId u, NodeId v,
+    const std::function<bool(const Path&)>& cond, AggregateSemantics semantics,
+    const AggregatePathOptions& options = {});
+
+/// The Section 5.2 example condition: x.a · Σ_p² + x.b · Σ_p + x.c = 0,
+/// where x is the last node of the path and Σ_p sums property `prop` over
+/// its edges.
+std::function<bool(const Path&)> QuadraticSigmaCondition(
+    const PropertyGraph& g, const std::string& prop);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_LISTS_AGGREGATE_PATHS_H_

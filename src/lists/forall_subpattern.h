@@ -1,0 +1,35 @@
+#ifndef GQZOO_LISTS_FORALL_SUBPATTERN_H_
+#define GQZOO_LISTS_FORALL_SUBPATTERN_H_
+
+#include "src/coregql/pattern_eval.h"
+#include "src/graph/path.h"
+
+namespace gqzoo {
+
+/// Section 5.2, "Matching on Matched Paths": the condition `∀π' ⇒ θ`.
+/// `π⟨∀π' ⇒ θ⟩` matches a path p of π iff every match of π' *on p itself*
+/// satisfies θ.
+///
+/// "On p" means p is treated as a linear graph of positions: the i-th
+/// node/edge occurrence of p becomes its own node/edge (so a path that
+/// revisits an element yields several positions), with labels and
+/// properties copied from the original elements.
+
+/// Builds the position graph of `p` (nodes "pos0", "pos1", ...; edges keep
+/// their original display names suffixed by position).
+PropertyGraph PathAsGraph(const PropertyGraph& g, const Path& p);
+
+/// Does every match of `sub` on `p` satisfy `cond`?
+Result<bool> ForAllSubpatternHolds(const PropertyGraph& g, const Path& p,
+                                   const CorePattern& sub,
+                                   const CoreCondition& cond);
+
+/// Filters `paths` by `∀sub ⇒ cond` (the post-filter the GQL committee
+/// proposal would apply to matched paths).
+Result<std::vector<Path>> FilterForAllSubpattern(
+    const PropertyGraph& g, const std::vector<Path>& paths,
+    const CorePattern& sub, const CoreCondition& cond);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_LISTS_FORALL_SUBPATTERN_H_

@@ -1,0 +1,74 @@
+#ifndef GQZOO_LISTS_LIST_FUNCTIONS_H_
+#define GQZOO_LISTS_LIST_FUNCTIONS_H_
+
+#include <functional>
+
+#include "src/graph/graph.h"
+#include "src/graph/path.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// Cypher-style list processing over paths (Section 5.2, "Turning to Lists
+/// for Help"). `N(p)` and `E(p)` are Path::Nodes / Path::Edges; `reduce`
+/// is implemented exactly as the paper defines it:
+///
+///     reduce_{ε,ι,f}(list())        = ε
+///     reduce_{ε,ι,f}(list(x))       = ι(x)
+///     reduce_{ε,ι,f}(x :: tail)     = f(x, reduce_{ε,ι,f}(tail))
+///
+/// (a right fold whose base case on singletons applies ι).
+Value Reduce(const Value& init,
+             const std::function<Value(ObjectRef)>& iota,
+             const std::function<Value(ObjectRef, const Value&)>& f,
+             const ObjectList& list);
+
+/// ι for the paper's examples: the value of property `prop` of an element
+/// (missing properties yield `missing`, default 0).
+std::function<Value(ObjectRef)> PropertyIota(const PropertyGraph& g,
+                                             const std::string& prop,
+                                             Value missing = Value(0));
+
+/// f(e, v) = e.prop + v — the Σ_p sum aggregate.
+std::function<Value(ObjectRef, const Value&)> SumStep(const PropertyGraph& g,
+                                                      const std::string& prop);
+
+/// The paper's increasing-check step (Section 5.2): processing the list
+/// from the right, f(e, v) = e.prop if 0 ≤ e.prop ≤ v, and -1 otherwise, so
+/// a non-negative reduce result certifies that values increase along the
+/// path (ι must be PropertyIota on the same property).
+std::function<Value(ObjectRef, const Value&)> IncreasingStep(
+    const PropertyGraph& g, const std::string& prop);
+
+/// Σ_p: sum of `prop` over the edges of `p` (reduce with SumStep).
+Value SumOverEdges(const PropertyGraph& g, const Path& p,
+                   const std::string& prop);
+
+/// Enumerates (bounded) paths from `u` to `v` whose edge list passes
+/// `predicate(reduce(E(p)))`. This is the evaluation strategy the paper
+/// warns about: `reduce == 0` over SubsetSumChain gadgets encodes
+/// SUBSET-SUM, so the search is exponential (experiment E8).
+struct ReduceQueryOptions {
+  size_t max_path_length = 64;
+  size_t max_results = SIZE_MAX;
+  /// Restrict enumeration to trails / simple paths if desired; the
+  /// NP-completeness holds "even if matching paths p are restricted to be
+  /// shortest, or simple, or trails" (Section 5.2).
+  bool simple_only = false;
+};
+
+struct ReduceQueryStats {
+  size_t paths_explored = 0;
+  bool truncated = false;
+};
+
+std::vector<Path> PathsWithReducePredicate(
+    const PropertyGraph& g, NodeId u, NodeId v, const Value& init,
+    const std::function<Value(ObjectRef)>& iota,
+    const std::function<Value(ObjectRef, const Value&)>& f,
+    const std::function<bool(const Value&)>& predicate,
+    const ReduceQueryOptions& options = {}, ReduceQueryStats* stats = nullptr);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_LISTS_LIST_FUNCTIONS_H_

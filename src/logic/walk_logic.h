@@ -1,0 +1,137 @@
+#ifndef GQZOO_LOGIC_WALK_LOGIC_H_
+#define GQZOO_LOGIC_WALK_LOGIC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/path.h"
+#include "src/util/result.h"
+#include "src/util/value.h"
+
+namespace gqzoo {
+
+/// A bounded model checker for (a fragment of) *walk logic* — Section
+/// 7.1's "A Logic for Graphs" names Hellings et al.'s walk logic as a
+/// starting point for a logic in which paths are first-class citizens.
+///
+/// The fragment:
+///   φ := ∃x φ | ∀x φ                    node quantifiers (x over N)
+///      | ∃π(x, y) φ | ∀π(x, y) φ        walk quantifiers: π ranges over
+///                                        node-to-node walks from x to y
+///      | ∃p∈π φ | ∀p∈π φ                position quantifiers: p ranges
+///                                        over the *edge positions* of π
+///      | p < q                           position order (same walk or not;
+///                                        compares indices)
+///      | edge_a(p)                       the edge at position p has label a
+///      | prop(p).k op prop(q).k'         property comparison between the
+///                                        edges at two positions
+///      | prop(p).k op c                  comparison against a constant
+///      | node(x) = src(p) / tgt(p)       endpoint/incidence tests
+///      | x = y                           node equality
+///      | φ ∧ φ | φ ∨ φ | ¬φ
+///
+/// Walk quantifiers are *bounded* by `WalkLogicOptions::max_walk_length`:
+/// this is the pragmatic finite-model counterpart the paper reaches for
+/// (the unrestricted theory is undecidable — walk logic subsumes the
+/// NP-hard "all values distinct" query, and the theory of concatenation
+/// is undecidable). ∀π means "for all walks up to the bound".
+class WlFormula;
+using WlFormulaPtr = std::shared_ptr<const WlFormula>;
+
+class WlFormula {
+ public:
+  enum class Kind : uint8_t {
+    kExistsNode,
+    kForallNode,
+    kExistsWalk,
+    kForallWalk,
+    kExistsPos,
+    kForallPos,
+    kPosLess,
+    kEdgeLabel,
+    kPropCompare,       // prop(p).k op prop(q).k'
+    kPropCompareConst,  // prop(p).k op c
+    kSrcIs,             // src(p) = x   (source node of the edge at p)
+    kTgtIs,             // tgt(p) = x
+    kNodeEq,            // x = y
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  // --- Quantifiers ---
+  static WlFormulaPtr ExistsNode(std::string x, WlFormulaPtr body);
+  static WlFormulaPtr ForallNode(std::string x, WlFormulaPtr body);
+  /// Walks from the node bound to `x` to the node bound to `y`.
+  static WlFormulaPtr ExistsWalk(std::string walk, std::string x,
+                                 std::string y, WlFormulaPtr body);
+  static WlFormulaPtr ForallWalk(std::string walk, std::string x,
+                                 std::string y, WlFormulaPtr body);
+  /// Positions 0..len(π)-1 (edge positions of the walk bound to `walk`).
+  static WlFormulaPtr ExistsPos(std::string p, std::string walk,
+                                WlFormulaPtr body);
+  static WlFormulaPtr ForallPos(std::string p, std::string walk,
+                                WlFormulaPtr body);
+
+  // --- Atoms ---
+  static WlFormulaPtr PosLess(std::string p, std::string q);
+  static WlFormulaPtr EdgeLabel(std::string p, std::string label);
+  static WlFormulaPtr PropCompare(std::string p, std::string k, CompareOp op,
+                                  std::string q, std::string k2);
+  static WlFormulaPtr PropCompareConst(std::string p, std::string k,
+                                       CompareOp op, Value c);
+  static WlFormulaPtr SrcIs(std::string p, std::string x);
+  static WlFormulaPtr TgtIs(std::string p, std::string x);
+  static WlFormulaPtr NodeEq(std::string x, std::string y);
+
+  // --- Connectives ---
+  static WlFormulaPtr And(WlFormulaPtr a, WlFormulaPtr b);
+  static WlFormulaPtr Or(WlFormulaPtr a, WlFormulaPtr b);
+  static WlFormulaPtr Not(WlFormulaPtr a);
+
+  Kind kind() const { return kind_; }
+  const std::string& var1() const { return var1_; }
+  const std::string& var2() const { return var2_; }
+  const std::string& var3() const { return var3_; }
+  const std::string& key1() const { return key1_; }
+  const std::string& key2() const { return key2_; }
+  const std::string& label() const { return label_; }
+  CompareOp op() const { return op_; }
+  const Value& constant() const { return constant_; }
+  const WlFormulaPtr& left() const { return children_[0]; }
+  const WlFormulaPtr& right() const { return children_[1]; }
+  const WlFormulaPtr& child() const { return children_[0]; }
+
+  std::string ToString() const;
+
+ protected:
+  WlFormula() = default;
+
+ private:
+  Kind kind_ = Kind::kAnd;
+  std::string var1_, var2_, var3_;
+  std::string key1_, key2_;
+  std::string label_;
+  CompareOp op_ = CompareOp::kEq;
+  Value constant_;
+  std::vector<WlFormulaPtr> children_;
+};
+
+struct WalkLogicOptions {
+  /// Walk quantifiers range over walks with at most this many edges.
+  size_t max_walk_length = 6;
+};
+
+/// Bounded model checking: is the formula true on `g`? Node variables may
+/// be pre-bound via `bindings` (anchoring endpoints to concrete nodes);
+/// any other free variable is an error.
+Result<bool> CheckWalkLogic(const PropertyGraph& g, const WlFormula& formula,
+                            const WalkLogicOptions& options = {},
+                            const std::map<std::string, NodeId>& bindings = {});
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_LOGIC_WALK_LOGIC_H_

@@ -1,0 +1,201 @@
+#include "src/pmr/enumerate.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace gqzoo {
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const Pmr& pmr, const EnumerationLimits& limits,
+             const std::function<bool(const PathBinding&)>& emit)
+      : pmr_(pmr), limits_(limits), emit_(emit) {}
+
+  EnumerationStats Run() {
+    for (uint32_t s : pmr_.sources()) {
+      if (stopped_) break;
+      current_.path = Path::OfNode(pmr_.GammaNode(s));
+      current_.mu = Binding();
+      Dfs(s, 0);
+    }
+    return stats_;
+  }
+
+ private:
+  void Dfs(uint32_t node, size_t depth) {
+    if (stopped_) return;
+    if (pmr_.IsTarget(node)) {
+      ++stats_.emitted;
+      if (!emit_(current_)) {
+        stopped_ = true;
+        return;
+      }
+      if (stats_.emitted >= limits_.max_results) {
+        stats_.truncated = true;
+        stopped_ = true;
+        return;
+      }
+    }
+    if (depth >= limits_.max_length) {
+      if (!pmr_.Out(node).empty()) stats_.truncated = true;
+      return;
+    }
+    for (uint32_t e : pmr_.Out(node)) {
+      const Pmr::Edge& edge = pmr_.GetEdge(e);
+      // Extend γ(walk): the base edge and its target node.
+      current_.path.AppendObject(pmr_.base(), ObjectRef::Edge(edge.gamma));
+      current_.path.AppendObject(pmr_.base(),
+                                 ObjectRef::Node(pmr_.GammaNode(edge.to)));
+      const bool captured = edge.capture != Pmr::kNoCapture;
+      if (captured) {
+        current_.mu.Append(pmr_.capture_names()[edge.capture],
+                           ObjectRef::Edge(edge.gamma));
+      }
+      Dfs(edge.to, depth + 1);
+      // Backtrack.
+      if (captured) {
+        const std::string& var = pmr_.capture_names()[edge.capture];
+        ObjectList& list = current_.mu.lists[var];
+        list.pop_back();
+        if (list.empty()) current_.mu.lists.erase(var);
+      }
+      std::vector<ObjectRef> objs = current_.path.objects();
+      objs.resize(objs.size() - 2);
+      current_.path = Path::MakeUnchecked(std::move(objs));
+      if (stopped_) return;
+    }
+  }
+
+  const Pmr& pmr_;
+  const EnumerationLimits& limits_;
+  const std::function<bool(const PathBinding&)>& emit_;
+  PathBinding current_;
+  EnumerationStats stats_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+EnumerationStats EnumeratePathBindings(
+    const Pmr& pmr, const EnumerationLimits& limits,
+    const std::function<bool(const PathBinding&)>& emit) {
+  Enumerator enumerator(pmr, limits, emit);
+  return enumerator.Run();
+}
+
+std::vector<PathBinding> CollectPathBindings(const Pmr& pmr,
+                                             const EnumerationLimits& limits,
+                                             EnumerationStats* stats) {
+  std::vector<PathBinding> results;
+  EnumerationStats local = EnumeratePathBindings(
+      pmr, limits, [&results](const PathBinding& pb) {
+        results.push_back(pb);
+        return true;
+      });
+  std::sort(results.begin(), results.end());
+  results.erase(std::unique(results.begin(), results.end()), results.end());
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+namespace {
+
+// A partial S→T walk in the best-first frontier of the ordered enumerator.
+struct PartialWalk {
+  size_t length;        // number of PMR edges so far
+  uint64_t sequence;    // tie-breaker: insertion order (FIFO within length)
+  uint32_t node;        // current PMR node
+  std::vector<ObjectRef> objects;  // γ(walk) so far
+  Binding mu;
+
+  bool operator>(const PartialWalk& o) const {
+    if (length != o.length) return length > o.length;
+    return sequence > o.sequence;
+  }
+};
+
+}  // namespace
+
+EnumerationStats EnumeratePathBindingsByLength(
+    const Pmr& pmr, const EnumerationLimits& limits,
+    const std::function<bool(const PathBinding&)>& emit) {
+  EnumerationStats stats;
+  std::priority_queue<PartialWalk, std::vector<PartialWalk>,
+                      std::greater<PartialWalk>>
+      frontier;
+  uint64_t sequence = 0;
+  for (uint32_t s : pmr.sources()) {
+    frontier.push({0, sequence++, s,
+                   {ObjectRef::Node(pmr.GammaNode(s))},
+                   Binding()});
+  }
+  while (!frontier.empty()) {
+    PartialWalk walk = frontier.top();
+    frontier.pop();
+    if (pmr.IsTarget(walk.node)) {
+      ++stats.emitted;
+      PathBinding pb{Path::MakeUnchecked(walk.objects), walk.mu};
+      if (!emit(pb)) return stats;
+      if (stats.emitted >= limits.max_results) {
+        stats.truncated = !frontier.empty();
+        return stats;
+      }
+    }
+    if (walk.length >= limits.max_length) {
+      if (!pmr.Out(walk.node).empty()) stats.truncated = true;
+      continue;
+    }
+    for (uint32_t e : pmr.Out(walk.node)) {
+      const Pmr::Edge& edge = pmr.GetEdge(e);
+      PartialWalk next = walk;
+      next.length = walk.length + 1;
+      next.sequence = sequence++;
+      next.node = edge.to;
+      next.objects.push_back(ObjectRef::Edge(edge.gamma));
+      next.objects.push_back(ObjectRef::Node(pmr.GammaNode(edge.to)));
+      if (edge.capture != Pmr::kNoCapture) {
+        next.mu.Append(pmr.capture_names()[edge.capture],
+                       ObjectRef::Edge(edge.gamma));
+      }
+      frontier.push(std::move(next));
+    }
+  }
+  return stats;
+}
+
+std::vector<PathBinding> KShortestPathBindings(const Pmr& pmr, size_t k) {
+  std::vector<PathBinding> out;
+  std::set<PathBinding> seen;
+  EnumerationLimits limits;  // bounded by the emit callback below
+  EnumeratePathBindingsByLength(pmr, limits, [&](const PathBinding& pb) {
+    if (seen.insert(pb).second) out.push_back(pb);
+    return out.size() < k;
+  });
+  return out;
+}
+
+std::optional<BigUint> CountPmrWalks(const Pmr& pmr) {
+  Pmr trimmed = pmr.Trim();
+  if (trimmed.RepresentsInfinitelyManyPaths()) return std::nullopt;
+  // DAG DP: f(n) = [n ∈ T] + Σ_{n→m} f(m), computed by memoized DFS.
+  std::vector<std::optional<BigUint>> memo(trimmed.NumNodes());
+  // Iterative post-order to avoid recursion depth issues on long chains.
+  std::function<const BigUint&(uint32_t)> f = [&](uint32_t n) -> const BigUint& {
+    if (!memo[n].has_value()) {
+      BigUint total(trimmed.IsTarget(n) ? 1 : 0);
+      for (uint32_t e : trimmed.Out(n)) {
+        total += f(trimmed.GetEdge(e).to);
+      }
+      memo[n] = std::move(total);
+    }
+    return *memo[n];
+  };
+  BigUint total;
+  for (uint32_t s : trimmed.sources()) total += f(s);
+  return total;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,197 @@
+#include "src/pmr/pmr.h"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace gqzoo {
+
+uint32_t Pmr::AddNode(NodeId gamma) {
+  uint32_t id = static_cast<uint32_t>(gamma_nodes_.size());
+  gamma_nodes_.push_back(gamma);
+  out_.emplace_back();
+  is_target_.push_back(false);
+  return id;
+}
+
+uint32_t Pmr::AddEdge(uint32_t from, uint32_t to, EdgeId gamma,
+                      uint32_t capture) {
+  assert(base_->Src(gamma) == gamma_nodes_[from] &&
+         base_->Tgt(gamma) == gamma_nodes_[to] &&
+         "PMR edge violates the homomorphism condition");
+  uint32_t id = static_cast<uint32_t>(edges_.size());
+  edges_.push_back({from, to, gamma, capture});
+  out_[from].push_back(id);
+  return id;
+}
+
+std::vector<bool> Pmr::ForwardReachable() const {
+  std::vector<bool> seen(NumNodes(), false);
+  std::deque<uint32_t> queue;
+  for (uint32_t s : sources_) {
+    if (!seen[s]) {
+      seen[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    uint32_t n = queue.front();
+    queue.pop_front();
+    for (uint32_t e : out_[n]) {
+      uint32_t to = edges_[e].to;
+      if (!seen[to]) {
+        seen[to] = true;
+        queue.push_back(to);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> Pmr::BackwardReachable() const {
+  std::vector<std::vector<uint32_t>> in(NumNodes());
+  for (const Edge& e : edges_) in[e.to].push_back(e.from);
+  std::vector<bool> seen(NumNodes(), false);
+  std::deque<uint32_t> queue;
+  for (uint32_t t : targets_) {
+    if (!seen[t]) {
+      seen[t] = true;
+      queue.push_back(t);
+    }
+  }
+  while (!queue.empty()) {
+    uint32_t n = queue.front();
+    queue.pop_front();
+    for (uint32_t p : in[n]) {
+      if (!seen[p]) {
+        seen[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return seen;
+}
+
+Pmr Pmr::Restrict(const std::vector<bool>& keep_node,
+                  const std::vector<bool>& keep_edge) const {
+  Pmr out(*base_);
+  out.capture_names_ = capture_names_;
+  std::vector<uint32_t> remap(NumNodes(), UINT32_MAX);
+  for (uint32_t n = 0; n < NumNodes(); ++n) {
+    if (keep_node[n]) remap[n] = out.AddNode(gamma_nodes_[n]);
+  }
+  for (uint32_t e = 0; e < NumEdges(); ++e) {
+    const Edge& edge = edges_[e];
+    if (keep_edge[e] && keep_node[edge.from] && keep_node[edge.to]) {
+      out.AddEdge(remap[edge.from], remap[edge.to], edge.gamma, edge.capture);
+    }
+  }
+  for (uint32_t s : sources_) {
+    if (keep_node[s]) out.AddSource(remap[s]);
+  }
+  for (uint32_t t : targets_) {
+    if (keep_node[t]) out.AddTarget(remap[t]);
+  }
+  return out;
+}
+
+Pmr Pmr::Trim() const {
+  std::vector<bool> fwd = ForwardReachable();
+  std::vector<bool> bwd = BackwardReachable();
+  std::vector<bool> keep_node(NumNodes());
+  for (uint32_t n = 0; n < NumNodes(); ++n) keep_node[n] = fwd[n] && bwd[n];
+  std::vector<bool> keep_edge(NumEdges(), true);
+  return Restrict(keep_node, keep_edge);
+}
+
+Pmr Pmr::ShortestRestriction() const {
+  constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> dist(NumNodes(), kInf);
+  std::deque<uint32_t> queue;
+  for (uint32_t s : sources_) {
+    if (dist[s] == kInf) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    uint32_t n = queue.front();
+    queue.pop_front();
+    for (uint32_t e : out_[n]) {
+      uint32_t to = edges_[e].to;
+      if (dist[to] == kInf) {
+        dist[to] = dist[n] + 1;
+        queue.push_back(to);
+      }
+    }
+  }
+  std::vector<std::vector<uint32_t>> in(NumNodes());
+  for (uint32_t e = 0; e < NumEdges(); ++e) in[edges_[e].to].push_back(e);
+  std::vector<uint32_t> rdist(NumNodes(), kInf);
+  for (uint32_t t : targets_) {
+    if (rdist[t] == kInf) {
+      rdist[t] = 0;
+      queue.push_back(t);
+    }
+  }
+  while (!queue.empty()) {
+    uint32_t n = queue.front();
+    queue.pop_front();
+    for (uint32_t e : in[n]) {
+      uint32_t from = edges_[e].from;
+      if (rdist[from] == kInf) {
+        rdist[from] = rdist[n] + 1;
+        queue.push_back(from);
+      }
+    }
+  }
+  uint32_t best = kInf;
+  for (uint32_t t : targets_) {
+    if (dist[t] != kInf) best = std::min(best, dist[t]);
+  }
+  std::vector<bool> keep_node(NumNodes(), false);
+  std::vector<bool> keep_edge(NumEdges(), false);
+  if (best == kInf) return Restrict(keep_node, keep_edge);  // no S→T path
+  for (uint32_t n = 0; n < NumNodes(); ++n) {
+    keep_node[n] = dist[n] != kInf && rdist[n] != kInf &&
+                   dist[n] + rdist[n] == best;
+  }
+  for (uint32_t e = 0; e < NumEdges(); ++e) {
+    const Edge& edge = edges_[e];
+    keep_edge[e] = dist[edge.from] != kInf && rdist[edge.to] != kInf &&
+                   dist[edge.from] + 1 + rdist[edge.to] == best;
+  }
+  // Drop targets that are not at the global optimum; keep sources at 0.
+  Pmr restricted = Restrict(keep_node, keep_edge);
+  return restricted;
+}
+
+bool Pmr::RepresentsInfinitelyManyPaths() const {
+  Pmr trimmed = Trim();
+  // Cycle detection by iterative DFS coloring.
+  enum : uint8_t { kWhite, kGray, kBlack };
+  std::vector<uint8_t> color(trimmed.NumNodes(), kWhite);
+  for (uint32_t start = 0; start < trimmed.NumNodes(); ++start) {
+    if (color[start] != kWhite) continue;
+    // Stack of (node, next out-edge index).
+    std::vector<std::pair<uint32_t, size_t>> stack = {{start, 0}};
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [n, i] = stack.back();
+      if (i < trimmed.Out(n).size()) {
+        uint32_t to = trimmed.GetEdge(trimmed.Out(n)[i++]).to;
+        if (color[to] == kGray) return true;
+        if (color[to] == kWhite) {
+          color[to] = kGray;
+          stack.push_back({to, 0});
+        }
+      } else {
+        color[n] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace gqzoo

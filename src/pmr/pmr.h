@@ -1,0 +1,99 @@
+#ifndef GQZOO_PMR_PMR_H_
+#define GQZOO_PMR_PMR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace gqzoo {
+
+/// A path multiset representation (Section 6.4): an auxiliary graph
+/// `(N, E, src, tgt)` with a homomorphism γ into a base graph and sets S, T
+/// of source/target nodes. The represented set of paths is
+///
+///     SPaths(R) = { γ(ρ) | ρ is a path from S to T in R }.
+///
+/// PMRs can be exponentially (even infinitely) more succinct than the path
+/// sets they represent (experiments E3, E13).
+///
+/// Edges carry an optional capture variable so that a PMR built from an
+/// l-RPQ product also represents the bindings µ: traversing an edge with
+/// capture `z` appends γ(edge) to µ(z).
+class Pmr {
+ public:
+  static constexpr uint32_t kNoCapture = UINT32_MAX;
+
+  struct Edge {
+    uint32_t from;
+    uint32_t to;
+    EdgeId gamma;      // γ(edge): an edge of the base graph
+    uint32_t capture;  // index into capture_names(), or kNoCapture
+  };
+
+  explicit Pmr(const EdgeLabeledGraph& base) : base_(&base) {}
+
+  /// Adds a PMR node with γ(node) = `gamma`.
+  uint32_t AddNode(NodeId gamma);
+  /// Adds a PMR edge; endpoints must satisfy the homomorphism condition
+  /// (src(γ(e)) = γ(from), tgt(γ(e)) = γ(to)); asserted in debug builds.
+  uint32_t AddEdge(uint32_t from, uint32_t to, EdgeId gamma,
+                   uint32_t capture = kNoCapture);
+
+  void AddSource(uint32_t node) { sources_.push_back(node); }
+  void AddTarget(uint32_t node) {
+    targets_.push_back(node);
+    is_target_[node] = true;
+  }
+
+  size_t NumNodes() const { return gamma_nodes_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  NodeId GammaNode(uint32_t n) const { return gamma_nodes_[n]; }
+  const Edge& GetEdge(uint32_t e) const { return edges_[e]; }
+  const std::vector<uint32_t>& Out(uint32_t n) const { return out_[n]; }
+  const std::vector<uint32_t>& sources() const { return sources_; }
+  const std::vector<uint32_t>& targets() const { return targets_; }
+  bool IsTarget(uint32_t n) const { return is_target_[n]; }
+
+  const EdgeLabeledGraph& base() const { return *base_; }
+
+  std::vector<std::string>& capture_names() { return capture_names_; }
+  const std::vector<std::string>& capture_names() const {
+    return capture_names_;
+  }
+
+  /// Returns the sub-PMR of nodes both reachable from S and co-reachable
+  /// to T (trimming preserves SPaths and makes enumeration output-linear).
+  Pmr Trim() const;
+
+  /// Restricts to the union of shortest S→T paths: keeps a node `n` iff
+  /// dist(S, n) + dist(n, T) equals the global S→T distance, and an edge
+  /// iff it lies on such a geodesic. Use on a PMR built for one endpoint
+  /// pair to implement the `shortest` mode (Section 3.1.5 applies modes
+  /// after endpoint selection, Example 17).
+  Pmr ShortestRestriction() const;
+
+  /// True if the trimmed PMR has a cycle, i.e. SPaths is infinite.
+  bool RepresentsInfinitelyManyPaths() const;
+
+ private:
+  std::vector<bool> ForwardReachable() const;
+  std::vector<bool> BackwardReachable() const;
+  Pmr Restrict(const std::vector<bool>& keep_node,
+               const std::vector<bool>& keep_edge) const;
+
+  const EdgeLabeledGraph* base_;
+  std::vector<NodeId> gamma_nodes_;
+  std::vector<std::vector<uint32_t>> out_;
+  std::vector<Edge> edges_;
+  std::vector<uint32_t> sources_;
+  std::vector<uint32_t> targets_;
+  std::vector<bool> is_target_;
+  std::vector<std::string> capture_names_;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_PMR_PMR_H_

@@ -1,0 +1,106 @@
+#include "src/regex/lexer.h"
+
+#include <cctype>
+
+namespace gqzoo {
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  const size_t n = input.size();
+  while (pos < n) {
+    char c = input[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '#') {
+      while (pos < n && input[pos] != '\n') ++pos;
+      continue;
+    }
+    size_t start = pos;
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      while (pos < n && (std::isalnum(static_cast<unsigned char>(input[pos])) ||
+                         input[pos] == '_')) {
+        ++pos;
+      }
+      tokens.push_back(
+          {Token::Kind::kIdent, input.substr(start, pos - start), start});
+      continue;
+    }
+    if (c == '_') {
+      // A bare `_` is the wildcard punct; `_foo` is an identifier.
+      if (pos + 1 < n && (std::isalnum(static_cast<unsigned char>(
+                              input[pos + 1])) ||
+                          input[pos + 1] == '_')) {
+        while (pos < n &&
+               (std::isalnum(static_cast<unsigned char>(input[pos])) ||
+                input[pos] == '_')) {
+          ++pos;
+        }
+        tokens.push_back(
+            {Token::Kind::kIdent, input.substr(start, pos - start), start});
+      } else {
+        ++pos;
+        tokens.push_back({Token::Kind::kPunct, "_", start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (pos < n &&
+             (std::isdigit(static_cast<unsigned char>(input[pos])) ||
+              input[pos] == '.' || input[pos] == 'e' || input[pos] == 'E' ||
+              ((input[pos] == '-' || input[pos] == '+') && pos > start &&
+               (input[pos - 1] == 'e' || input[pos - 1] == 'E')))) {
+        ++pos;
+      }
+      tokens.push_back(
+          {Token::Kind::kNumber, input.substr(start, pos - start), start});
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++pos;
+      std::string text;
+      while (pos < n && input[pos] != quote) {
+        if (input[pos] == '\\' && pos + 1 < n) ++pos;
+        text += input[pos++];
+      }
+      if (pos >= n) {
+        return Error("unterminated string literal at offset " +
+                     std::to_string(start));
+      }
+      ++pos;  // closing quote
+      tokens.push_back({Token::Kind::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-character operators first.
+    auto two = [&](const char* op) {
+      return pos + 1 < n && input[pos] == op[0] && input[pos + 1] == op[1];
+    };
+    if (two("->") || two(":=") || two("<=") || two(">=") || two("!=") ||
+        two(":-")) {
+      tokens.push_back({Token::Kind::kPunct, input.substr(pos, 2), start});
+      pos += 2;
+      continue;
+    }
+    static const char kSingle[] = "()[]{},|*+?^!=<>.-:@;~";
+    bool matched = false;
+    for (const char* p = kSingle; *p != '\0'; ++p) {
+      if (c == *p) {
+        tokens.push_back({Token::Kind::kPunct, std::string(1, c), start});
+        ++pos;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return Error("unexpected character '" + std::string(1, c) +
+                   "' at offset " + std::to_string(start));
+    }
+  }
+  tokens.push_back({Token::Kind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,43 @@
+#ifndef GQZOO_REGEX_LEXER_H_
+#define GQZOO_REGEX_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// A token of the query surface syntax. One lexer serves all the textual
+/// languages in the library (regexes, CRPQ rules, CoreGQL queries); the
+/// parsers interpret identifier keywords contextually.
+struct Token {
+  enum class Kind {
+    kIdent,   // identifiers, keywords
+    kNumber,  // integer or floating literal (text preserved)
+    kString,  // double- or single-quoted
+    kPunct,   // operators and brackets; see Lex() for the full set
+    kEnd,     // end of input (always the last token)
+  };
+
+  Kind kind;
+  std::string text;
+  size_t offset;  // byte offset in the input, for error messages
+
+  bool IsPunct(const char* p) const {
+    return kind == Kind::kPunct && text == p;
+  }
+  bool IsIdent(const char* name) const {
+    return kind == Kind::kIdent && text == name;
+  }
+};
+
+/// Tokenizes `input`. Multi-character operators: `->`, `:=`, `<=`, `>=`,
+/// `!=`, `:-`. Single-character: `( ) [ ] { } , | * + ? ^ ! _ = < > . - : @ ;`.
+/// `#` starts a line comment. The returned vector always ends with a kEnd
+/// token.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_REGEX_LEXER_H_

@@ -1,0 +1,77 @@
+#include "src/regex/printer.h"
+
+namespace gqzoo {
+
+namespace {
+
+// Precedence levels: union < concat < postfix.
+enum Prec { kPrecUnion = 0, kPrecConcat = 1, kPrecPostfix = 2 };
+
+bool ContainsDlAtom(const Regex& r) {
+  switch (r.op()) {
+    case Regex::Op::kEpsilon:
+      return false;
+    case Regex::Op::kAtom:
+      return r.atom().target == Atom::Target::kNode || r.atom().is_test();
+    case Regex::Op::kConcat:
+    case Regex::Op::kUnion:
+      return ContainsDlAtom(*r.left()) || ContainsDlAtom(*r.right());
+    case Regex::Op::kStar:
+    case Regex::Op::kPlus:
+    case Regex::Op::kOptional:
+      return ContainsDlAtom(*r.child());
+  }
+  return false;
+}
+
+std::string AtomText(const Atom& a, RegexDialect dialect) {
+  std::string inner = a.ToString();
+  if (dialect == RegexDialect::kPlain) return inner;
+  return a.target == Atom::Target::kNode ? "(" + inner + ")"
+                                         : "[" + inner + "]";
+}
+
+std::string Print(const Regex& r, RegexDialect dialect, int parent_prec) {
+  auto wrap = [&](const std::string& s, int prec) {
+    // In the dl dialect, groups must start with '(', '[', or 'eps' to be
+    // recognized; a union like `(a)|(b)` already starts with '(' so plain
+    // parenthesization works for both dialects.
+    return prec < parent_prec ? "(" + s + ")" : s;
+  };
+  switch (r.op()) {
+    case Regex::Op::kEpsilon:
+      return "eps";
+    case Regex::Op::kAtom:
+      return AtomText(r.atom(), dialect);
+    case Regex::Op::kConcat: {
+      std::string s = Print(*r.left(), dialect, kPrecConcat) + " " +
+                      Print(*r.right(), dialect, kPrecConcat);
+      return wrap(s, kPrecConcat);
+    }
+    case Regex::Op::kUnion: {
+      std::string s = Print(*r.left(), dialect, kPrecUnion) + " | " +
+                      Print(*r.right(), dialect, kPrecUnion);
+      return wrap(s, kPrecUnion);
+    }
+    case Regex::Op::kStar:
+      return Print(*r.child(), dialect, kPrecPostfix + 1) + "*";
+    case Regex::Op::kPlus:
+      return Print(*r.child(), dialect, kPrecPostfix + 1) + "+";
+    case Regex::Op::kOptional:
+      return Print(*r.child(), dialect, kPrecPostfix + 1) + "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RegexToString(const Regex& r, RegexDialect dialect) {
+  return Print(r, dialect, kPrecUnion);
+}
+
+std::string Regex::ToString() const {
+  return RegexToString(
+      *this, ContainsDlAtom(*this) ? RegexDialect::kDl : RegexDialect::kPlain);
+}
+
+}  // namespace gqzoo

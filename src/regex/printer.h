@@ -1,0 +1,17 @@
+#ifndef GQZOO_REGEX_PRINTER_H_
+#define GQZOO_REGEX_PRINTER_H_
+
+#include <string>
+
+#include "src/regex/ast.h"
+#include "src/regex/parser.h"
+
+namespace gqzoo {
+
+/// Renders `r` in the given dialect's concrete syntax; the output re-parses
+/// to an equal AST (round-trip property, tested).
+std::string RegexToString(const Regex& r, RegexDialect dialect);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_REGEX_PRINTER_H_

@@ -1,0 +1,156 @@
+#include "src/regex/rewrite.h"
+
+namespace gqzoo {
+
+namespace {
+
+bool AtomEquals(const Atom& a, const Atom& b) {
+  return a.target == b.target && a.label_kind == b.label_kind &&
+         a.labels == b.labels && a.capture == b.capture &&
+         a.inverse == b.inverse &&
+         (a.is_test()
+              ? b.is_test() && a.test->kind == b.test->kind &&
+                    a.test->property == b.test->property &&
+                    a.test->data_var == b.test->data_var &&
+                    a.test->op == b.test->op &&
+                    a.test->constant == b.test->constant
+              : !b.is_test());
+}
+
+}  // namespace
+
+bool RegexEquals(const Regex& a, const Regex& b) {
+  if (a.op() != b.op()) return false;
+  switch (a.op()) {
+    case Regex::Op::kEpsilon:
+      return true;
+    case Regex::Op::kAtom:
+      return AtomEquals(a.atom(), b.atom());
+    case Regex::Op::kConcat:
+    case Regex::Op::kUnion:
+      return RegexEquals(*a.left(), *b.left()) &&
+             RegexEquals(*a.right(), *b.right());
+    case Regex::Op::kStar:
+    case Regex::Op::kPlus:
+    case Regex::Op::kOptional:
+      return RegexEquals(*a.child(), *b.child());
+  }
+  return false;
+}
+
+size_t RegexSize(const Regex& r) {
+  switch (r.op()) {
+    case Regex::Op::kEpsilon:
+    case Regex::Op::kAtom:
+      return 1;
+    case Regex::Op::kConcat:
+    case Regex::Op::kUnion:
+      return 1 + RegexSize(*r.left()) + RegexSize(*r.right());
+    case Regex::Op::kStar:
+    case Regex::Op::kPlus:
+    case Regex::Op::kOptional:
+      return 1 + RegexSize(*r.child());
+  }
+  return 1;
+}
+
+namespace {
+
+bool IsEpsilon(const Regex& r) { return r.op() == Regex::Op::kEpsilon; }
+
+RegexPtr SimplifyNode(RegexPtr r);
+
+RegexPtr SimplifyStar(RegexPtr child) {
+  switch (child->op()) {
+    case Regex::Op::kEpsilon:
+      return child;  // ε* = ε
+    case Regex::Op::kStar:
+      return child;  // (R*)* = R*
+    case Regex::Op::kPlus:
+    case Regex::Op::kOptional:
+      return SimplifyStar(child->child());  // (R+)* = (R?)* = R*
+    default:
+      return Regex::Star(std::move(child));
+  }
+}
+
+RegexPtr SimplifyPlus(RegexPtr child) {
+  switch (child->op()) {
+    case Regex::Op::kEpsilon:
+      return child;  // ε+ = ε
+    case Regex::Op::kStar:
+      return child;  // (R*)+ = R*
+    case Regex::Op::kPlus:
+      return child;  // (R+)+ = R+
+    case Regex::Op::kOptional:
+      return SimplifyStar(child->child());  // (R?)+ = R*
+    default:
+      return Regex::Plus(std::move(child));
+  }
+}
+
+RegexPtr SimplifyOptional(RegexPtr child) {
+  switch (child->op()) {
+    case Regex::Op::kEpsilon:
+      return child;  // ε? = ε
+    case Regex::Op::kStar:
+      return child;  // (R*)? = R*
+    case Regex::Op::kPlus:
+      return SimplifyStar(child->child());  // (R+)? = R*
+    case Regex::Op::kOptional:
+      return child;  // (R?)? = R?
+    default:
+      if (child->Nullable()) return child;  // R? = R when ε ∈ L(R)
+      return Regex::Optional(std::move(child));
+  }
+}
+
+RegexPtr SimplifyNode(RegexPtr r) {
+  switch (r->op()) {
+    case Regex::Op::kEpsilon:
+    case Regex::Op::kAtom:
+      return r;
+    case Regex::Op::kConcat: {
+      RegexPtr lhs = SimplifyNode(r->left());
+      RegexPtr rhs = SimplifyNode(r->right());
+      if (IsEpsilon(*lhs)) return rhs;
+      if (IsEpsilon(*rhs)) return lhs;
+      // R* R* = R* (both sides are "any number of R-matches").
+      if (lhs->op() == Regex::Op::kStar && rhs->op() == Regex::Op::kStar &&
+          RegexEquals(*lhs->child(), *rhs->child())) {
+        return lhs;
+      }
+      return Regex::Concat(std::move(lhs), std::move(rhs));
+    }
+    case Regex::Op::kUnion: {
+      RegexPtr lhs = SimplifyNode(r->left());
+      RegexPtr rhs = SimplifyNode(r->right());
+      if (RegexEquals(*lhs, *rhs)) return lhs;
+      if (IsEpsilon(*lhs)) return SimplifyOptional(std::move(rhs));
+      if (IsEpsilon(*rhs)) return SimplifyOptional(std::move(lhs));
+      return Regex::Union(std::move(lhs), std::move(rhs));
+    }
+    case Regex::Op::kStar:
+      return SimplifyStar(SimplifyNode(r->child()));
+    case Regex::Op::kPlus:
+      return SimplifyPlus(SimplifyNode(r->child()));
+    case Regex::Op::kOptional:
+      return SimplifyOptional(SimplifyNode(r->child()));
+  }
+  return r;
+}
+
+}  // namespace
+
+RegexPtr SimplifyRegex(const RegexPtr& regex) {
+  RegexPtr current = regex;
+  // Local rules can enable each other across levels; iterate to fixpoint
+  // (size strictly decreases on every productive pass).
+  for (;;) {
+    RegexPtr next = SimplifyNode(current);
+    if (RegexEquals(*next, *current)) return next;
+    current = std::move(next);
+  }
+}
+
+}  // namespace gqzoo

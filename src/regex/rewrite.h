@@ -1,0 +1,39 @@
+#ifndef GQZOO_REGEX_REWRITE_H_
+#define GQZOO_REGEX_REWRITE_H_
+
+#include "src/regex/ast.h"
+
+namespace gqzoo {
+
+/// Algebraic regex simplification — the optimization side of the paper's
+/// automata-compatibility argument (Section 6.1: "(((a*)*)*)* can be
+/// equivalently rewritten to a*"; Section 6.2: automata "unlock a host of
+/// query optimization methods").
+///
+/// Applies a fixpoint of language-preserving rules bottom-up:
+///   (R*)*      → R*            R**-collapse (also R+, R? combinations)
+///   (R?)*      → R*,  (R*)? → R*,  (R+)* → R*,  (R*)+ → R*, (R?)+ → R*
+///   (R?)?      → R?,  (R+)+ → R+
+///   ε·R, R·ε   → R
+///   R | R      → R             (syntactic equality)
+///   ε | R      → R?  when R is not nullable, R when it is
+///   ε*         → ε,  ε+ → ε,  ε? → ε
+///
+/// Capture variables block rules that would change binding behavior: a
+/// starred subexpression with captures is only collapsed when the rule
+/// preserves the set of (path, µ) results (e.g. (R*)* → R* is safe — both
+/// sides concatenate any number of R-matches — while ε|R → R? is always
+/// safe because neither adds captures).
+///
+/// The rewriter never grows the expression and terminates in O(size²).
+RegexPtr SimplifyRegex(const RegexPtr& regex);
+
+/// Structural equality of regex ASTs (used by the R|R → R rule and tests).
+bool RegexEquals(const Regex& a, const Regex& b);
+
+/// Number of AST nodes (for measuring shrinkage).
+size_t RegexSize(const Regex& r);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_REGEX_REWRITE_H_

@@ -1,0 +1,33 @@
+#include "src/rpq/product_graph.h"
+
+namespace gqzoo {
+
+ProductGraph::ProductGraph(const EdgeLabeledGraph& g, const Nfa& nfa)
+    : graph_(&g), nfa_(&nfa), num_states_(nfa.num_states()) {
+  out_.assign(g.NumNodes() * num_states_, {});
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    LabelId l = g.EdgeLabel(e);
+    NodeId src = g.Src(e);
+    NodeId tgt = g.Tgt(e);
+    for (uint32_t q = 0; q < num_states_; ++q) {
+      for (const Nfa::Transition& t : nfa.Out(q)) {
+        if (!t.pred.Matches(l)) continue;
+        if (t.inverse) {
+          out_[Encode(tgt, q)].push_back(
+              {Encode(src, t.to), e, t.capture, true});
+        } else {
+          out_[Encode(src, q)].push_back(
+              {Encode(tgt, t.to), e, t.capture, false});
+        }
+      }
+    }
+  }
+}
+
+size_t ProductGraph::NumArcs() const {
+  size_t n = 0;
+  for (const auto& arcs : out_) n += arcs.size();
+  return n;
+}
+
+}  // namespace gqzoo

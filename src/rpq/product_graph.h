@@ -1,0 +1,59 @@
+#ifndef GQZOO_RPQ_PRODUCT_GRAPH_H_
+#define GQZOO_RPQ_PRODUCT_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/automata/nfa.h"
+#include "src/graph/graph.h"
+
+namespace gqzoo {
+
+/// The product graph `G × N_R` of Section 6.2: nodes are pairs `(v, q)` of
+/// a graph node and an automaton state; there is an edge
+/// `(e, (q1, a, q2))` from `(src(e), q1)` to `(tgt(e), q2)` whenever the
+/// transition's predicate matches `λ(e)`.
+///
+/// Product nodes are encoded densely as `v * num_states + q`, so the
+/// structure is just adjacency lists plus bookkeeping. Transitions keep
+/// their capture annotation so the PMR layer (src/pmr) can enumerate
+/// l-RPQ bindings from the same structure.
+class ProductGraph {
+ public:
+  struct Arc {
+    uint32_t to;        // encoded product node
+    EdgeId edge;        // the underlying graph edge
+    uint32_t capture;   // Nfa::kNoCapture or a capture index
+    bool reversed;      // arc from an inverse transition (2RPQs, Remark 9)
+  };
+
+  ProductGraph(const EdgeLabeledGraph& g, const Nfa& nfa);
+
+  uint32_t num_product_nodes() const {
+    return static_cast<uint32_t>(out_.size());
+  }
+  uint32_t Encode(NodeId v, uint32_t q) const { return v * num_states_ + q; }
+  NodeId GraphNode(uint32_t id) const { return id / num_states_; }
+  uint32_t State(uint32_t id) const { return id % num_states_; }
+
+  const std::vector<Arc>& Out(uint32_t id) const { return out_[id]; }
+
+  uint32_t num_states() const { return num_states_; }
+  const Nfa& nfa() const { return *nfa_; }
+  const EdgeLabeledGraph& graph() const { return *graph_; }
+
+  size_t NumArcs() const;
+
+  /// Is `(v, q)` accepting (q accepting in the NFA)?
+  bool Accepting(uint32_t id) const { return nfa_->accepting(State(id)); }
+
+ private:
+  const EdgeLabeledGraph* graph_;
+  const Nfa* nfa_;
+  uint32_t num_states_;
+  std::vector<std::vector<Arc>> out_;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_RPQ_PRODUCT_GRAPH_H_

@@ -1,0 +1,96 @@
+#include "src/rpq/rpq_eval.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace gqzoo {
+
+namespace {
+
+// Lazy BFS over the (virtual) product graph from (u, q0). Calls `visit`
+// for every graph node v such that some (v, q) with accepting q is reached;
+// returns early if `visit` returns false.
+template <typename Visit>
+void ProductBfsFrom(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u,
+                    Visit visit) {
+  const uint32_t num_states = nfa.num_states();
+  std::vector<bool> seen(g.NumNodes() * num_states, false);
+  std::vector<bool> reported(g.NumNodes(), false);
+  std::deque<uint32_t> queue;
+  auto push = [&](NodeId v, uint32_t q) {
+    uint32_t id = v * num_states + q;
+    if (!seen[id]) {
+      seen[id] = true;
+      queue.push_back(id);
+    }
+  };
+  push(u, nfa.initial());
+  while (!queue.empty()) {
+    uint32_t id = queue.front();
+    queue.pop_front();
+    NodeId v = id / num_states;
+    uint32_t q = id % num_states;
+    if (nfa.accepting(q) && !reported[v]) {
+      reported[v] = true;
+      if (!visit(v)) return;
+    }
+    for (const Nfa::Transition& t : nfa.Out(q)) {
+      if (t.inverse) {
+        // Two-way navigation (Remark 9): traverse matching edges backwards.
+        for (EdgeId e : g.InEdges(v)) {
+          if (t.pred.Matches(g.EdgeLabel(e))) push(g.Src(e), t.to);
+        }
+      } else {
+        for (EdgeId e : g.OutEdges(v)) {
+          if (t.pred.Matches(g.EdgeLabel(e))) push(g.Tgt(e), t.to);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<NodeId, NodeId>> EvalRpq(const EdgeLabeledGraph& g,
+                                               const Nfa& nfa) {
+  std::vector<std::pair<NodeId, NodeId>> result;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    ProductBfsFrom(g, nfa, u, [&](NodeId v) {
+      result.emplace_back(u, v);
+      return true;
+    });
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::pair<NodeId, NodeId>> EvalRpq(const EdgeLabeledGraph& g,
+                                               const Regex& regex) {
+  return EvalRpq(g, Nfa::FromRegex(regex, g));
+}
+
+std::vector<NodeId> EvalRpqFrom(const EdgeLabeledGraph& g, const Nfa& nfa,
+                                NodeId u) {
+  std::vector<NodeId> result;
+  ProductBfsFrom(g, nfa, u, [&](NodeId v) {
+    result.push_back(v);
+    return true;
+  });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool EvalRpqPair(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u,
+                 NodeId v) {
+  bool found = false;
+  ProductBfsFrom(g, nfa, u, [&](NodeId reached) {
+    if (reached == v) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,33 @@
+#ifndef GQZOO_RPQ_RPQ_EVAL_H_
+#define GQZOO_RPQ_RPQ_EVAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/automata/nfa.h"
+#include "src/graph/graph.h"
+#include "src/regex/ast.h"
+
+namespace gqzoo {
+
+/// RPQ evaluation by product-graph reachability (Section 6.2): polynomial
+/// time in |G| and |N_R|.
+
+/// `[[R]]_G`: all node pairs `(u, v)` connected by a path whose edge-label
+/// word is in L(R). Result is sorted and duplicate-free (set semantics).
+std::vector<std::pair<NodeId, NodeId>> EvalRpq(const EdgeLabeledGraph& g,
+                                               const Nfa& nfa);
+std::vector<std::pair<NodeId, NodeId>> EvalRpq(const EdgeLabeledGraph& g,
+                                               const Regex& regex);
+
+/// All `v` with `(u, v) ∈ [[R]]_G`: a single lazy BFS from `(u, q0)`.
+std::vector<NodeId> EvalRpqFrom(const EdgeLabeledGraph& g, const Nfa& nfa,
+                                NodeId u);
+
+/// Is `(u, v) ∈ [[R]]_G`? Early-exiting BFS.
+bool EvalRpqPair(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u,
+                 NodeId v);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_RPQ_RPQ_EVAL_H_

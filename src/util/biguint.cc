@@ -1,0 +1,127 @@
+#include "src/util/biguint.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gqzoo {
+
+BigUint::BigUint(uint64_t v) {
+  while (v > 0) {
+    digits_.push_back(static_cast<uint32_t>(v % kBase));
+    v /= kBase;
+  }
+}
+
+BigUint BigUint::FromDecimal(const std::string& s) {
+  BigUint result;
+  BigUint ten(10);
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      fprintf(stderr, "BigUint::FromDecimal: bad digit '%c'\n", c);
+      abort();
+    }
+    result *= ten;
+    result += BigUint(static_cast<uint64_t>(c - '0'));
+  }
+  return result;
+}
+
+void BigUint::Trim() {
+  while (!digits_.empty() && digits_.back() == 0) digits_.pop_back();
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  const size_t n = std::max(digits_.size(), other.digits_.size());
+  digits_.resize(n, 0);
+  uint32_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = static_cast<uint64_t>(digits_[i]) + carry +
+                   (i < other.digits_.size() ? other.digits_[i] : 0);
+    digits_[i] = static_cast<uint32_t>(sum % kBase);
+    carry = static_cast<uint32_t>(sum / kBase);
+  }
+  if (carry != 0) digits_.push_back(carry);
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& other) {
+  *this = *this * other;
+  return *this;
+}
+
+BigUint BigUint::operator+(const BigUint& other) const {
+  BigUint result = *this;
+  result += other;
+  return result;
+}
+
+BigUint BigUint::operator*(const BigUint& other) const {
+  if (is_zero() || other.is_zero()) return BigUint();
+  BigUint result;
+  result.digits_.assign(digits_.size() + other.digits_.size(), 0);
+  for (size_t i = 0; i < digits_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.digits_.size() || carry != 0; ++j) {
+      uint64_t cur = result.digits_[i + j] + carry;
+      if (j < other.digits_.size()) {
+        cur += static_cast<uint64_t>(digits_[i]) * other.digits_[j];
+      }
+      result.digits_[i + j] = static_cast<uint32_t>(cur % kBase);
+      carry = cur / kBase;
+    }
+  }
+  result.Trim();
+  return result;
+}
+
+bool BigUint::operator<(const BigUint& other) const {
+  if (digits_.size() != other.digits_.size()) {
+    return digits_.size() < other.digits_.size();
+  }
+  for (size_t i = digits_.size(); i-- > 0;) {
+    if (digits_[i] != other.digits_[i]) return digits_[i] < other.digits_[i];
+  }
+  return false;
+}
+
+size_t BigUint::NumDecimalDigits() const {
+  if (digits_.empty()) return 1;
+  size_t count = (digits_.size() - 1) * 9;
+  uint32_t top = digits_.back();
+  while (top > 0) {
+    ++count;
+    top /= 10;
+  }
+  return count;
+}
+
+BigUint BigUint::PowerOfTen(unsigned exp) {
+  BigUint result(1);
+  BigUint ten(10);
+  for (unsigned i = 0; i < exp; ++i) result *= ten;
+  return result;
+}
+
+std::string BigUint::ToString() const {
+  if (digits_.empty()) return "0";
+  std::string out = std::to_string(digits_.back());
+  char buf[16];
+  for (size_t i = digits_.size() - 1; i-- > 0;) {
+    snprintf(buf, sizeof(buf), "%09u", digits_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+double BigUint::ToDouble() const {
+  double result = 0;
+  for (size_t i = digits_.size(); i-- > 0;) {
+    result = result * kBase + digits_[i];
+    if (std::isinf(result)) return result;
+  }
+  return result;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,62 @@
+#ifndef GQZOO_UTIL_BIGUINT_H_
+#define GQZOO_UTIL_BIGUINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gqzoo {
+
+/// Arbitrary-precision unsigned integer.
+///
+/// Needed by the bag-semantics experiment (E5 in DESIGN.md): the paper's
+/// Section 6.1 claims that evaluating `(((a*)*)*)*` on a 6-clique under
+/// SPARQL-2012 bag semantics produces more answers than the number of
+/// protons in the observable universe (~10^80). We reproduce the exact
+/// count, which does not fit in any machine integer.
+///
+/// Digits are stored little-endian in base 10^9.
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(uint64_t v);
+
+  /// Parses a decimal string; aborts on non-digit input (programmer error).
+  static BigUint FromDecimal(const std::string& s);
+
+  bool is_zero() const { return digits_.empty(); }
+
+  BigUint& operator+=(const BigUint& other);
+  BigUint& operator*=(const BigUint& other);
+  BigUint operator+(const BigUint& other) const;
+  BigUint operator*(const BigUint& other) const;
+
+  bool operator==(const BigUint& other) const { return digits_ == other.digits_; }
+  bool operator!=(const BigUint& other) const { return !(*this == other); }
+  bool operator<(const BigUint& other) const;
+  bool operator>(const BigUint& other) const { return other < *this; }
+  bool operator<=(const BigUint& other) const { return !(other < *this); }
+  bool operator>=(const BigUint& other) const { return !(*this < other); }
+
+  /// Number of decimal digits (0 has one digit).
+  size_t NumDecimalDigits() const;
+
+  /// 10^exp.
+  static BigUint PowerOfTen(unsigned exp);
+
+  std::string ToString() const;
+
+  /// Approximate double value; +inf when out of range.
+  double ToDouble() const;
+
+ private:
+  static constexpr uint32_t kBase = 1000000000;  // 10^9
+
+  void Trim();
+
+  std::vector<uint32_t> digits_;  // little-endian base-10^9; empty == 0
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_UTIL_BIGUINT_H_

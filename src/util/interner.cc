@@ -1,0 +1,27 @@
+#include "src/util/interner.h"
+
+#include <cassert>
+
+namespace gqzoo {
+
+uint32_t Interner::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+std::optional<uint32_t> Interner::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Interner::NameOf(uint32_t id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace gqzoo

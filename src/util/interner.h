@@ -1,0 +1,44 @@
+#ifndef GQZOO_UTIL_INTERNER_H_
+#define GQZOO_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gqzoo {
+
+/// Interns strings to dense `uint32_t` ids.
+///
+/// Used for the countable sets of the data model (Section 2): `Labels`,
+/// `Properties`, and display names of nodes/edges. Dense ids let the
+/// automata and product-graph layers index by label in O(1).
+class Interner {
+ public:
+  static constexpr uint32_t kInvalid = UINT32_MAX;
+
+  /// Returns the id of `name`, interning it if new.
+  uint32_t Intern(const std::string& name);
+
+  /// Returns the id of `name` if already interned.
+  std::optional<uint32_t> Find(const std::string& name) const;
+
+  /// Returns the string for `id`; `id` must be valid.
+  const std::string& NameOf(uint32_t id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+/// Combines a hash into a seed (boost::hash_combine recipe).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_UTIL_INTERNER_H_

@@ -1,0 +1,80 @@
+#ifndef GQZOO_UTIL_RESULT_H_
+#define GQZOO_UTIL_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gqzoo {
+
+/// A lightweight error type carrying a human-readable message.
+///
+/// The library does not use exceptions (see DESIGN.md); every operation that
+/// can fail — parsing, lookups by name, ill-formed path construction —
+/// returns `Result<T>` instead.
+class Error {
+ public:
+  explicit Error(std::string message) : message_(std::move(message)) {}
+
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;
+};
+
+/// Either a value of type `T` or an `Error`.
+///
+/// Usage:
+///
+///     Result<Path> p = Path::Make(...);
+///     if (!p.ok()) return p.error();
+///     Use(p.value());
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional, mirrors
+  // absl::StatusOr so call sites can `return value;` / `return Error(...);`.
+  Result(T value) : data_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Returns the contained value or aborts with the error message. Intended
+  /// for tests, examples, and benchmarks where failure is a programming bug.
+  T ValueOrDie() && {
+    if (!ok()) {
+      // Deliberately crash loudly; library code never calls this.
+      fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+              error().message().c_str());
+      abort();
+    }
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_UTIL_RESULT_H_

@@ -1,0 +1,105 @@
+#include "src/util/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gqzoo {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (data_.index() != other.data_.index()) {
+    return data_.index() < other.data_.index();
+  }
+  return data_ < other.data_;
+}
+
+namespace {
+
+// Applies `op` to an ordering result: neg<0 means lhs<rhs, 0 equal, >0
+// greater.
+bool ApplyOrder(int cmp, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Value::Compare(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    if (lhs.is_int() && rhs.is_int()) {
+      int64_t a = lhs.as_int(), b = rhs.as_int();
+      return ApplyOrder(a < b ? -1 : (a > b ? 1 : 0), op);
+    }
+    double a = lhs.ToDouble(), b = rhs.ToDouble();
+    if (std::isnan(a) || std::isnan(b)) return op == CompareOp::kNe;
+    return ApplyOrder(a < b ? -1 : (a > b ? 1 : 0), op);
+  }
+  if (lhs.is_string() && rhs.is_string()) {
+    int cmp = lhs.as_string().compare(rhs.as_string());
+    return ApplyOrder(cmp < 0 ? -1 : (cmp > 0 ? 1 : 0), op);
+  }
+  if (lhs.is_bool() && rhs.is_bool()) {
+    int a = lhs.as_bool() ? 1 : 0, b = rhs.as_bool() ? 1 : 0;
+    return ApplyOrder(a - b, op);
+  }
+  // Incomparable types: only `!=` holds.
+  return op == CompareOp::kNe;
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%g", as_double());
+    return buf;
+  }
+  if (is_bool()) return as_bool() ? "true" : "false";
+  return "\"" + as_string() + "\"";
+}
+
+size_t Value::Hash() const {
+  size_t seed = data_.index() * 0x9e3779b97f4a7c15ULL;
+  size_t h = 0;
+  if (is_int()) {
+    h = std::hash<int64_t>()(as_int());
+  } else if (is_double()) {
+    h = std::hash<double>()(as_double());
+  } else if (is_bool()) {
+    h = std::hash<bool>()(as_bool());
+  } else {
+    h = std::hash<std::string>()(as_string());
+  }
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,88 @@
+#ifndef GQZOO_UTIL_VALUE_H_
+#define GQZOO_UTIL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace gqzoo {
+
+/// Comparison operators of the element-test grammar of Section 3.2.1
+/// (`op ∈ {=, ≠, <, >}`), extended with `<=` and `>=` for usability in the
+/// concrete syntax (they are expressible as disjunctions, Remark 20).
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+};
+
+/// Returns the textual spelling of `op` ("=", "!=", "<", ">", "<=", ">=").
+const char* CompareOpName(CompareOp op);
+
+/// A property value (the set `Values` of the paper).
+///
+/// Values are atomic: 64-bit integers, doubles, strings, or booleans.
+/// Ordered comparisons are defined within numeric types (ints and doubles
+/// compare numerically with each other) and within strings (lexicographic);
+/// any other cross-type ordered comparison is false, and equality across
+/// non-numeric types is false rather than an error, matching the paper's
+/// use of values purely inside filter predicates (Remark 19).
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(int v) : data_(int64_t{v}) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+  explicit Value(bool v) : data_(v) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  bool as_bool() const { return std::get<bool>(data_); }
+
+  /// Numeric view (valid only when is_numeric()).
+  double ToDouble() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+
+  /// Strict structural equality (same type, same value). Used for
+  /// deduplication and hashing, *not* for query predicates.
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total structural order (by type index, then value). Used for sorting
+  /// and set containers, *not* for query predicates.
+  bool operator<(const Value& other) const;
+
+  /// Query-level comparison per the semantics above. Returns false for
+  /// incomparable combinations.
+  static bool Compare(const Value& lhs, CompareOp op, const Value& rhs);
+
+  /// Renders the value for output ("42", "3.5", "\"abc\"", "true").
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string, bool> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_UTIL_VALUE_H_

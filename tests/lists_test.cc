@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "src/coregql/pattern_parser.h"
+#include "src/graph/builtin_graphs.h"
+#include "src/graph/generators.h"
+#include "src/lists/aggregate_paths.h"
+#include "src/lists/forall_subpattern.h"
+#include "src/lists/list_functions.h"
+
+namespace gqzoo {
+namespace {
+
+TEST(ReduceTest, DefinitionCases) {
+  PropertyGraph g = SubsetSumChain({5, -3});
+  auto iota = PropertyIota(g, "k");
+  auto sum = SumStep(g, "k");
+  // Empty list → ε.
+  EXPECT_EQ(Reduce(Value(42), iota, sum, {}), Value(42));
+  // Singleton → ι(x).
+  ObjectList one = {ObjectRef::Edge(0)};  // k = 5
+  EXPECT_EQ(Reduce(Value(42), iota, sum, one), Value(int64_t{5}));
+  // Longer lists fold with f.
+  ObjectList two = {ObjectRef::Edge(0), ObjectRef::Edge(2)};  // 5 + (-3)
+  EXPECT_EQ(Reduce(Value(0), iota, sum, two), Value(int64_t{2}));
+}
+
+TEST(ReduceTest, IncreasingStepCertifiesMonotonePaths) {
+  PropertyGraph inc = IncreasingEdgeChain(5, 0, 1);
+  NodeId s = *inc.FindNode("v0");
+  NodeId t = *inc.FindNode("v5");
+  auto ge0 = [](const Value& v) {
+    return v.is_numeric() && v.ToDouble() >= 0;
+  };
+  std::vector<Path> ok = PathsWithReducePredicate(
+      inc, s, t, Value(0), PropertyIota(inc, "k"), IncreasingStep(inc, "k"),
+      ge0);
+  EXPECT_EQ(ok.size(), 1u);
+
+  PropertyGraph dec = IncreasingEdgeChain(5, 2, 7);
+  std::vector<Path> bad = PathsWithReducePredicate(
+      dec, *dec.FindNode("v0"), *dec.FindNode("v5"), Value(0),
+      PropertyIota(dec, "k"), IncreasingStep(dec, "k"), ge0);
+  EXPECT_TRUE(bad.empty());
+}
+
+TEST(ReduceTest, SubsetSumEncoding) {
+  // Section 5.2: reduce-sum = 0 on the gadget graph decides SUBSET-SUM.
+  auto eq0 = [](const Value& v) {
+    return v.is_int() ? v.as_int() == 0 : v.ToDouble() == 0.0;
+  };
+  {
+    // {3, -1, -2}: subset {3, -1, -2} sums to 0 (and {} gives the all-zero
+    // path, also 0 — the encoding asks for a nonzero selection by looking
+    // at which parallel edges are taken, but sum 0 is what the query
+    // checks).
+    PropertyGraph g = SubsetSumChain({3, -1, -2});
+    NodeId s = *g.FindNode("w0");
+    NodeId t = *g.FindNode("w3");
+    std::vector<Path> solutions = PathsWithReducePredicate(
+        g, s, t, Value(0), PropertyIota(g, "k"), SumStep(g, "k"), eq0);
+    // All-zeros, {3,-1,-2}, and nothing else: {3,-1}, {3,-2}, {-1,-2},
+    // {3}, {-1}, {-2} all non-zero.
+    EXPECT_EQ(solutions.size(), 2u);
+  }
+  {
+    // {3, 5, 7}: only the all-zero selection sums to 0.
+    PropertyGraph g = SubsetSumChain({3, 5, 7});
+    std::vector<Path> solutions = PathsWithReducePredicate(
+        g, *g.FindNode("w0"), *g.FindNode("w3"), Value(0),
+        PropertyIota(g, "k"), SumStep(g, "k"), eq0);
+    EXPECT_EQ(solutions.size(), 1u);
+  }
+}
+
+TEST(ReduceTest, ExplorationIsExponential) {
+  // The stats expose the 2^n path explosion behind the NP-hardness.
+  std::vector<int64_t> values;
+  for (int i = 0; i < 10; ++i) values.push_back(i + 1);
+  PropertyGraph g = SubsetSumChain(values);
+  ReduceQueryStats stats;
+  PathsWithReducePredicate(
+      g, *g.FindNode("w0"), *g.FindNode("w10"), Value(0),
+      PropertyIota(g, "k"), SumStep(g, "k"),
+      [](const Value& v) { return v.is_int() && v.as_int() == 0; }, {},
+      &stats);
+  EXPECT_GT(stats.paths_explored, size_t{1} << 10);
+}
+
+TEST(PathAsGraphTest, PositionsAndProperties) {
+  PropertyGraph g = Figure3Graph();
+  // path(a3, t7, a5, t4, a1): three node positions, two edge positions.
+  Path p = Path::Make(g.skeleton(),
+                      {ObjectRef::Node(*g.FindNode("a3")),
+                       ObjectRef::Edge(*g.FindEdge("t7")),
+                       ObjectRef::Node(*g.FindNode("a5")),
+                       ObjectRef::Edge(*g.FindEdge("t4")),
+                       ObjectRef::Node(*g.FindNode("a1"))})
+               .ValueOrDie();
+  PropertyGraph pg = PathAsGraph(g, p);
+  EXPECT_EQ(pg.NumNodes(), 3u);
+  EXPECT_EQ(pg.NumEdges(), 2u);
+  // Properties are copied to positions.
+  EXPECT_EQ(pg.GetProperty(ObjectRef::Node(0), "owner"), Value("Mike"));
+  EXPECT_EQ(pg.GetProperty(ObjectRef::Edge(0), "date"), Value("2025-01-07"));
+  // A cyclic path gets distinct positions for repeated elements.
+  Path cycle = Path::Make(g.skeleton(),
+                          {ObjectRef::Node(*g.FindNode("a3")),
+                           ObjectRef::Edge(*g.FindEdge("t7")),
+                           ObjectRef::Node(*g.FindNode("a5")),
+                           ObjectRef::Edge(*g.FindEdge("t4")),
+                           ObjectRef::Node(*g.FindNode("a1")),
+                           ObjectRef::Edge(*g.FindEdge("t1")),
+                           ObjectRef::Node(*g.FindNode("a3"))})
+                   .ValueOrDie();
+  PropertyGraph cg = PathAsGraph(g, cycle);
+  EXPECT_EQ(cg.NumNodes(), 4u);  // a3 appears twice, as pos0 and pos6→pos3
+}
+
+TEST(ForAllSubpatternTest, IncreasingEdgeValuesViaForAll) {
+  // Section 5.2: ((x)→*(y))⟨∀ (-[u]->()-[v]->) ⇒ u.k < v.k⟩.
+  PropertyGraph inc;
+  std::vector<NodeId> nodes;
+  const int64_t values[] = {3, 4, 1, 2};
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(inc.AddNode("n" + std::to_string(i), "N"));
+  }
+  for (int i = 0; i < 4; ++i) {
+    EdgeId e = inc.AddEdge(nodes[i], nodes[i + 1], "a");
+    inc.SetProperty(ObjectRef::Edge(e), "k", Value(values[i]));
+  }
+  CorePatternPtr window =
+      ParseCorePattern("()-[u]->()-[v]->()").ValueOrDie();
+  CoreCondPtr cond = ParseCoreCondition("u.k < v.k").ValueOrDie();
+  auto path_of = [&](int from, int to) {
+    std::vector<ObjectRef> objs = {ObjectRef::Node(nodes[from])};
+    for (int i = from; i < to; ++i) {
+      objs.push_back(ObjectRef::Edge(static_cast<EdgeId>(i)));
+      objs.push_back(ObjectRef::Node(nodes[i + 1]));
+    }
+    return Path::MakeUnchecked(objs);
+  };
+  // 3,4 increasing: holds.
+  EXPECT_TRUE(
+      ForAllSubpatternHolds(inc, path_of(0, 2), *window, *cond).value());
+  // 3,4,1,2 contains the (4,1) window: fails.
+  EXPECT_FALSE(
+      ForAllSubpatternHolds(inc, path_of(0, 4), *window, *cond).value());
+  // 1,2 increasing: holds.
+  EXPECT_TRUE(
+      ForAllSubpatternHolds(inc, path_of(2, 4), *window, *cond).value());
+  // Single-edge and empty paths hold vacuously.
+  EXPECT_TRUE(
+      ForAllSubpatternHolds(inc, path_of(1, 2), *window, *cond).value());
+}
+
+TEST(ForAllSubpatternTest, AllDistinctValuesIsTheDangerousVariant) {
+  // ∀ ((u)→*(v)) ⇒ u.k ≠ v.k: all node values along the path differ — the
+  // NP-hard query of Section 5.2.
+  PropertyGraph g;
+  std::vector<NodeId> nodes;
+  const int64_t values[] = {1, 2, 1};
+  for (int i = 0; i < 3; ++i) {
+    NodeId n = g.AddNode("m" + std::to_string(i), "N");
+    g.SetProperty(ObjectRef::Node(n), "k", Value(values[i]));
+    nodes.push_back(n);
+  }
+  g.AddEdge(nodes[0], nodes[1], "a");
+  g.AddEdge(nodes[1], nodes[2], "a");
+  CorePatternPtr sub = ParseCorePattern("(u) ->* (v)").ValueOrDie();
+  CoreCondPtr cond = ParseCoreCondition("u.k != v.k").ValueOrDie();
+  Path p01 = Path::MakeUnchecked({ObjectRef::Node(nodes[0]),
+                                  ObjectRef::Edge(0),
+                                  ObjectRef::Node(nodes[1])});
+  Path p012 = Path::MakeUnchecked(
+      {ObjectRef::Node(nodes[0]), ObjectRef::Edge(0),
+       ObjectRef::Node(nodes[1]), ObjectRef::Edge(1),
+       ObjectRef::Node(nodes[2])});
+  // 1,2 all distinct... but note ∀ includes the empty subpath u = v, where
+  // u.k ≠ u.k fails! The ∀-semantics therefore needs u ≠ v — we model the
+  // paper's intent by only quantifying over nonempty subpaths.
+  CorePatternPtr nonempty = ParseCorePattern("(u) ->+ (v)").ValueOrDie();
+  EXPECT_TRUE(ForAllSubpatternHolds(g, p01, *nonempty, *cond).value());
+  EXPECT_FALSE(ForAllSubpatternHolds(g, p012, *nonempty, *cond).value());
+}
+
+TEST(AggregatePathsTest, TwoSemanticsDiverge) {
+  // Section 5.2's one-node example: u with a self-loop (k = 1) and
+  // coefficients a, b, c. Under condition-after-shortest the condition is
+  // checked on the shortest path only; under shortest-among-satisfying the
+  // path length solves a·x² + b·x + c = 0.
+  PropertyGraph g;
+  NodeId u = g.AddNode("u", "N");
+  // x² - 5x + 6 = 0: roots 2 and 3.
+  g.SetProperty(ObjectRef::Node(u), "a", Value(1));
+  g.SetProperty(ObjectRef::Node(u), "b", Value(-5));
+  g.SetProperty(ObjectRef::Node(u), "c", Value(6));
+  EdgeId loop = g.AddEdge(u, u, "a");
+  g.SetProperty(ObjectRef::Edge(loop), "k", Value(1));
+
+  auto cond = QuadraticSigmaCondition(g, "k");
+  AggregatePathResult after = SelectAggregatePaths(
+      g, u, u, cond, AggregateSemantics::kConditionAfterShortest);
+  // Shortest u→u path is the empty path (Σ = 0), 0² - 0 + 6 ≠ 0.
+  EXPECT_TRUE(after.paths.empty());
+  AggregatePathResult among = SelectAggregatePaths(
+      g, u, u, cond, AggregateSemantics::kShortestAmongSatisfying);
+  ASSERT_EQ(among.paths.size(), 1u);
+  EXPECT_EQ(among.paths[0].Length(), 2u);  // the smaller root
+
+  // With no root, the search runs to the bound — the undecidability story.
+  g.SetProperty(ObjectRef::Node(u), "c", Value(7));
+  AggregatePathResult none = SelectAggregatePaths(
+      g, u, u, QuadraticSigmaCondition(g, "k"),
+      AggregateSemantics::kShortestAmongSatisfying, {.max_path_length = 20});
+  EXPECT_TRUE(none.paths.empty());
+  EXPECT_TRUE(none.hit_length_bound);
+}
+
+}  // namespace
+}  // namespace gqzoo

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/automata/operations.h"
+#include "src/graph/generators.h"
+#include "src/regex/printer.h"
+#include "src/regex/rewrite.h"
+#include "tests/test_util.h"
+
+namespace gqzoo {
+namespace {
+
+using testing_util::MatchingBindingsBruteForce;
+using testing_util::Rx;
+
+std::string Simplified(const char* text) {
+  return RegexToString(*SimplifyRegex(Rx(text)), RegexDialect::kPlain);
+}
+
+TEST(RewriteTest, PaperNestedStarCollapses) {
+  // Section 6.1: (((a*)*)*)* ≡ a* — and the rewriter finds it.
+  EXPECT_EQ(Simplified("(((a*)*)*)*"), "a*");
+}
+
+TEST(RewriteTest, StarPlusOptionalAlgebra) {
+  EXPECT_EQ(Simplified("(a+)*"), "a*");
+  EXPECT_EQ(Simplified("(a?)*"), "a*");
+  EXPECT_EQ(Simplified("(a*)?"), "a*");
+  EXPECT_EQ(Simplified("(a*)+"), "a*");
+  EXPECT_EQ(Simplified("(a+)+"), "a+");
+  EXPECT_EQ(Simplified("(a?)?"), "a?");
+  EXPECT_EQ(Simplified("(a+)?"), "a*");
+  EXPECT_EQ(Simplified("eps*"), "eps");
+  EXPECT_EQ(Simplified("a|a"), "a");
+  EXPECT_EQ(Simplified("eps|a"), "a?");
+  EXPECT_EQ(Simplified("eps|a*"), "a*");  // a* is nullable
+  EXPECT_EQ(Simplified("eps a eps"), "a");
+  EXPECT_EQ(Simplified("a* a*"), "a*");
+  EXPECT_EQ(Simplified("(a b)? | eps"), "(a b)?");
+}
+
+TEST(RewriteTest, DoesNotOverSimplify) {
+  EXPECT_EQ(Simplified("a a"), "a a");
+  EXPECT_EQ(Simplified("a|b"), "a | b");
+  EXPECT_EQ(Simplified("(a b)*"), "(a b)*");
+  EXPECT_EQ(Simplified("a* b*"), "a* b*");
+  // Captures distinguish otherwise-equal atoms.
+  EXPECT_EQ(Simplified("a|a^z"), "a | a^z");
+}
+
+TEST(RewriteTest, NeverGrowsAndIsIdempotent) {
+  for (const char* text :
+       {"(((a*)*)*)*", "((a|a) b?)+", "(eps|a)(eps|b)", "a{0,3}",
+        "((a^z)*)*", "(a+|b+)*", "eps eps eps", "((((a?)?)?)?)*"}) {
+    RegexPtr r = Rx(text);
+    RegexPtr s = SimplifyRegex(r);
+    EXPECT_LE(RegexSize(*s), RegexSize(*r)) << text;
+    EXPECT_TRUE(RegexEquals(*SimplifyRegex(s), *s)) << text;
+  }
+}
+
+// Random regex generator over labels {a, b} with occasional captures.
+RegexPtr RandomRegex(std::mt19937_64* rng, int depth) {
+  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 2 : 7);
+  switch (pick(*rng)) {
+    case 0:
+      return Regex::MakeAtom(Atom::Label("a"));
+    case 1:
+      return Regex::MakeAtom(Atom::Label("b"));
+    case 2:
+      return (*rng)() % 3 == 0
+                 ? Regex::Epsilon()
+                 : Regex::MakeAtom(Atom::LabelCapture("a", "z"));
+    case 3:
+      return Regex::Concat(RandomRegex(rng, depth - 1),
+                           RandomRegex(rng, depth - 1));
+    case 4:
+      return Regex::Union(RandomRegex(rng, depth - 1),
+                          RandomRegex(rng, depth - 1));
+    case 5:
+      return Regex::Star(RandomRegex(rng, depth - 1));
+    case 6:
+      return Regex::Plus(RandomRegex(rng, depth - 1));
+    default:
+      return Regex::Optional(RandomRegex(rng, depth - 1));
+  }
+}
+
+TEST(RewritePropertyTest, PreservesLanguage) {
+  EdgeLabeledGraph alphabet = Clique(2);
+  alphabet.InternLabel("b");
+  std::mt19937_64 rng(4242);
+  for (int i = 0; i < 300; ++i) {
+    RegexPtr r = RandomRegex(&rng, 4);
+    RegexPtr s = SimplifyRegex(r);
+    EXPECT_LE(RegexSize(*s), RegexSize(*r));
+    Nfa before = Nfa::FromRegex(*r, alphabet);
+    Nfa after = Nfa::FromRegex(*s, alphabet);
+    ASSERT_TRUE(AreEquivalent(before, after))
+        << RegexToString(*r, RegexDialect::kPlain) << "  vs  "
+        << RegexToString(*s, RegexDialect::kPlain);
+  }
+}
+
+TEST(RewritePropertyTest, PreservesBindingsSemantics) {
+  // Stronger than language equivalence: the (path, µ) sets agree on
+  // random graphs (captures must survive simplification).
+  EdgeLabeledGraph g = RandomGraph(4, 7, 2, 1001);
+  std::mt19937_64 rng(2121);
+  for (int i = 0; i < 60; ++i) {
+    RegexPtr r = RandomRegex(&rng, 3);
+    RegexPtr s = SimplifyRegex(r);
+    Nfa before = Nfa::FromRegex(*r, g);
+    Nfa after = Nfa::FromRegex(*s, g);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        EXPECT_EQ(MatchingBindingsBruteForce(g, before, u, v, 3),
+                  MatchingBindingsBruteForce(g, after, u, v, 3))
+            << RegexToString(*r, RegexDialect::kPlain) << "  vs  "
+            << RegexToString(*s, RegexDialect::kPlain) << " " << u << "->"
+            << v;
+      }
+    }
+  }
+}
+
+TEST(RewriteTest, SpeedsUpGlushkov) {
+  // The rewritten automaton for the paper's pathological expression has
+  // one position instead of... well, also one (Glushkov is robust), but
+  // deeply nested duplicated unions do shrink.
+  RegexPtr bloated = Rx("((a|a)|(a|a)) ((b?)?)* (a+)+");
+  RegexPtr slim = SimplifyRegex(bloated);
+  EXPECT_LT(RegexSize(*slim), RegexSize(*bloated));
+  EXPECT_EQ(RegexToString(*slim, RegexDialect::kPlain), "a b* a+");
+}
+
+}  // namespace
+}  // namespace gqzoo

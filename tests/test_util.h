@@ -1,0 +1,45 @@
+#ifndef GQZOO_TESTS_TEST_UTIL_H_
+#define GQZOO_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/automata/nfa.h"
+#include "src/graph/graph.h"
+#include "src/graph/path_binding.h"
+#include "src/regex/parser.h"
+
+namespace gqzoo {
+namespace testing_util {
+
+/// Parses a plain-dialect regex or aborts (test convenience).
+RegexPtr Rx(const std::string& text);
+/// Parses a dl-dialect regex or aborts.
+RegexPtr DlRx(const std::string& text);
+
+/// Brute force: all node-to-node paths in `g` from `u` with at most
+/// `max_len` edges (walks; edges may repeat).
+std::vector<Path> AllPathsFrom(const EdgeLabeledGraph& g, NodeId u,
+                               size_t max_len);
+
+/// Brute force: all node-to-node paths u→v with ≤ max_len edges whose edge
+/// label word is accepted by `nfa`.
+std::vector<Path> MatchingPathsBruteForce(const EdgeLabeledGraph& g,
+                                          const Nfa& nfa, NodeId u, NodeId v,
+                                          size_t max_len);
+
+/// Brute force l-RPQ semantics (Section 3.1.4) on node-to-node paths up to
+/// max_len: all (p, µ) with p from u to v and some accepting run; µ is
+/// collected per run, so one path can yield several bindings.
+std::vector<PathBinding> MatchingBindingsBruteForce(const EdgeLabeledGraph& g,
+                                                    const Nfa& nfa, NodeId u,
+                                                    NodeId v, size_t max_len);
+
+/// Node names of pairs for readable assertions: {"a1->a2", ...}.
+std::vector<std::string> PairNames(const EdgeLabeledGraph& g,
+                                   const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
+}  // namespace testing_util
+}  // namespace gqzoo
+
+#endif  // GQZOO_TESTS_TEST_UTIL_H_

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/util/biguint.h"
+#include "src/util/interner.h"
+#include "src/util/result.h"
+#include "src/util/value.h"
+
+namespace gqzoo {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{3}).is_numeric());
+  EXPECT_TRUE(Value(3.5).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_TRUE(Value::Compare(Value(1), CompareOp::kLt, Value(2)));
+  EXPECT_FALSE(Value::Compare(Value(2), CompareOp::kLt, Value(1)));
+  EXPECT_TRUE(Value::Compare(Value(2), CompareOp::kGe, Value(2)));
+  EXPECT_TRUE(Value::Compare(Value(2), CompareOp::kEq, Value(2)));
+  EXPECT_TRUE(Value::Compare(Value(2), CompareOp::kNe, Value(3)));
+}
+
+TEST(ValueTest, MixedNumericComparison) {
+  EXPECT_TRUE(Value::Compare(Value(1), CompareOp::kLt, Value(1.5)));
+  EXPECT_TRUE(Value::Compare(Value(2.0), CompareOp::kEq, Value(2)));
+}
+
+TEST(ValueTest, StringComparisonIsLexicographic) {
+  EXPECT_TRUE(Value::Compare(Value("2025-01-03"), CompareOp::kLt,
+                             Value("2025-01-10")));
+  EXPECT_TRUE(Value::Compare(Value("abc"), CompareOp::kEq, Value("abc")));
+}
+
+TEST(ValueTest, CrossTypeComparisonIsFalseExceptNe) {
+  EXPECT_FALSE(Value::Compare(Value("1"), CompareOp::kEq, Value(1)));
+  EXPECT_FALSE(Value::Compare(Value("1"), CompareOp::kLt, Value(1)));
+  EXPECT_TRUE(Value::Compare(Value("1"), CompareOp::kNe, Value(1)));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+}
+
+TEST(ValueTest, StructuralEqualityDistinguishesTypes) {
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));
+  EXPECT_TRUE(Value(int64_t{1}) == Value(int64_t{1}));
+}
+
+TEST(BigUintTest, BasicArithmetic) {
+  BigUint a(123456789);
+  BigUint b(987654321);
+  EXPECT_EQ((a + b).ToString(), "1111111110");
+  EXPECT_EQ((a * b).ToString(), "121932631112635269");
+}
+
+TEST(BigUintTest, Zero) {
+  BigUint zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ((zero + BigUint(5)).ToString(), "5");
+  EXPECT_TRUE((zero * BigUint(5)).is_zero());
+  EXPECT_EQ(zero.NumDecimalDigits(), 1u);
+}
+
+TEST(BigUintTest, LargeMultiplication) {
+  // 2^128 computed by repeated squaring of 2^32.
+  BigUint two32(uint64_t{1} << 32);
+  BigUint two64 = two32 * two32;
+  BigUint two128 = two64 * two64;
+  EXPECT_EQ(two128.ToString(), "340282366920938463463374607431768211456");
+  EXPECT_EQ(two128.NumDecimalDigits(), 39u);
+}
+
+TEST(BigUintTest, PowerOfTenAndComparison) {
+  BigUint p80 = BigUint::PowerOfTen(80);
+  EXPECT_EQ(p80.NumDecimalDigits(), 81u);
+  EXPECT_TRUE(BigUint::PowerOfTen(79) < p80);
+  EXPECT_TRUE(p80 > BigUint(999));
+  EXPECT_TRUE(p80 >= p80);
+  EXPECT_TRUE(p80 <= p80);
+}
+
+TEST(BigUintTest, FromDecimalRoundTrip) {
+  const std::string digits = "98765432109876543210987654321";
+  EXPECT_EQ(BigUint::FromDecimal(digits).ToString(), digits);
+}
+
+TEST(BigUintTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigUint(1000).ToDouble(), 1000.0);
+  double big = BigUint::PowerOfTen(30).ToDouble();
+  EXPECT_NEAR(big, 1e30, 1e16);
+}
+
+TEST(InternerTest, InternAndLookup) {
+  Interner interner;
+  uint32_t a = interner.Intern("alpha");
+  uint32_t b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.NameOf(a), "alpha");
+  EXPECT_EQ(interner.Find("beta"), std::optional<uint32_t>(b));
+  EXPECT_EQ(interner.Find("gamma"), std::nullopt);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err{Error("boom")};
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().message(), "boom");
+}
+
+}  // namespace
+}  // namespace gqzoo
