@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bag_semantics.dir/bench_bag_semantics.cc.o"
+  "CMakeFiles/bench_bag_semantics.dir/bench_bag_semantics.cc.o.d"
+  "bench_bag_semantics"
+  "bench_bag_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bag_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

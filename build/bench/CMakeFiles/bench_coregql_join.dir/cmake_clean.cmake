@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coregql_join.dir/bench_coregql_join.cc.o"
+  "CMakeFiles/bench_coregql_join.dir/bench_coregql_join.cc.o.d"
+  "bench_coregql_join"
+  "bench_coregql_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coregql_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cypher_fragment.dir/bench_cypher_fragment.cc.o"
+  "CMakeFiles/bench_cypher_fragment.dir/bench_cypher_fragment.cc.o.d"
+  "bench_cypher_fragment"
+  "bench_cypher_fragment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cypher_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_bank.dir/bench_fig2_bank.cc.o"
+  "CMakeFiles/bench_fig2_bank.dir/bench_fig2_bank.cc.o.d"
+  "bench_fig2_bank"
+  "bench_fig2_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

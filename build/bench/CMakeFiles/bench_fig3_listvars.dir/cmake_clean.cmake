@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_listvars.dir/bench_fig3_listvars.cc.o"
+  "CMakeFiles/bench_fig3_listvars.dir/bench_fig3_listvars.cc.o.d"
+  "bench_fig3_listvars"
+  "bench_fig3_listvars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_listvars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forall_subpattern.dir/bench_forall_subpattern.cc.o"
+  "CMakeFiles/bench_forall_subpattern.dir/bench_forall_subpattern.cc.o.d"
+  "bench_forall_subpattern"
+  "bench_forall_subpattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forall_subpattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_forall_subpattern.
+# This may be replaced when dependencies are built.

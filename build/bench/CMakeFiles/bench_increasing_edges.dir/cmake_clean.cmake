@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_increasing_edges.dir/bench_increasing_edges.cc.o"
+  "CMakeFiles/bench_increasing_edges.dir/bench_increasing_edges.cc.o.d"
+  "bench_increasing_edges"
+  "bench_increasing_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_increasing_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

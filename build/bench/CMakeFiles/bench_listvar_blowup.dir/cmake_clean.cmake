@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listvar_blowup.dir/bench_listvar_blowup.cc.o"
+  "CMakeFiles/bench_listvar_blowup.dir/bench_listvar_blowup.cc.o.d"
+  "bench_listvar_blowup"
+  "bench_listvar_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listvar_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_fixpoint.dir/bench_nested_fixpoint.cc.o"
+  "CMakeFiles/bench_nested_fixpoint.dir/bench_nested_fixpoint.cc.o.d"
+  "bench_nested_fixpoint"
+  "bench_nested_fixpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_fixpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

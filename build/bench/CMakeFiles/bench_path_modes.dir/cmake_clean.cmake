@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_modes.dir/bench_path_modes.cc.o"
+  "CMakeFiles/bench_path_modes.dir/bench_path_modes.cc.o.d"
+  "bench_path_modes"
+  "bench_path_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

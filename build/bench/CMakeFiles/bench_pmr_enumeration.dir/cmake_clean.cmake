@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pmr_enumeration.dir/bench_pmr_enumeration.cc.o"
+  "CMakeFiles/bench_pmr_enumeration.dir/bench_pmr_enumeration.cc.o.d"
+  "bench_pmr_enumeration"
+  "bench_pmr_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pmr_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpq_product.dir/bench_rpq_product.cc.o"
+  "CMakeFiles/bench_rpq_product.dir/bench_rpq_product.cc.o.d"
+  "bench_rpq_product"
+  "bench_rpq_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpq_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

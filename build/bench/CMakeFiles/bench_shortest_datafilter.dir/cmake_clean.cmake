@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shortest_datafilter.dir/bench_shortest_datafilter.cc.o"
+  "CMakeFiles/bench_shortest_datafilter.dir/bench_shortest_datafilter.cc.o.d"
+  "bench_shortest_datafilter"
+  "bench_shortest_datafilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shortest_datafilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

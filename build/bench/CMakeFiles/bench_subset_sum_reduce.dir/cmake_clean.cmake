@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subset_sum_reduce.dir/bench_subset_sum_reduce.cc.o"
+  "CMakeFiles/bench_subset_sum_reduce.dir/bench_subset_sum_reduce.cc.o.d"
+  "bench_subset_sum_reduce"
+  "bench_subset_sum_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subset_sum_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

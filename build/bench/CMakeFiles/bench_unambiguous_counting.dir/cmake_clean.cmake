@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unambiguous_counting.dir/bench_unambiguous_counting.cc.o"
+  "CMakeFiles/bench_unambiguous_counting.dir/bench_unambiguous_counting.cc.o.d"
+  "bench_unambiguous_counting"
+  "bench_unambiguous_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unambiguous_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coregql_analytics.dir/coregql_analytics.cpp.o"
+  "CMakeFiles/coregql_analytics.dir/coregql_analytics.cpp.o.d"
+  "coregql_analytics"
+  "coregql_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coregql_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

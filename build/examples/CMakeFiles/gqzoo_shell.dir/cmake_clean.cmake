@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_shell.dir/gqzoo_shell.cpp.o"
+  "CMakeFiles/gqzoo_shell.dir/gqzoo_shell.cpp.o.d"
+  "gqzoo_shell"
+  "gqzoo_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

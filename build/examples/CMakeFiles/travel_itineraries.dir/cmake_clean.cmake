@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_itineraries.dir/travel_itineraries.cpp.o"
+  "CMakeFiles/travel_itineraries.dir/travel_itineraries.cpp.o.d"
+  "travel_itineraries"
+  "travel_itineraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_itineraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

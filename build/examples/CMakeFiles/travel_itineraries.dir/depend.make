@@ -1,0 +1,2 @@
+# Empty dependencies file for travel_itineraries.
+# This may be replaced when dependencies are built.

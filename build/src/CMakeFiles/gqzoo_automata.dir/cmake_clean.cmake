@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_automata.dir/automata/counting.cc.o"
+  "CMakeFiles/gqzoo_automata.dir/automata/counting.cc.o.d"
+  "CMakeFiles/gqzoo_automata.dir/automata/glushkov.cc.o"
+  "CMakeFiles/gqzoo_automata.dir/automata/glushkov.cc.o.d"
+  "CMakeFiles/gqzoo_automata.dir/automata/nfa.cc.o"
+  "CMakeFiles/gqzoo_automata.dir/automata/nfa.cc.o.d"
+  "CMakeFiles/gqzoo_automata.dir/automata/operations.cc.o"
+  "CMakeFiles/gqzoo_automata.dir/automata/operations.cc.o.d"
+  "libgqzoo_automata.a"
+  "libgqzoo_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coregql/algebra.cc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/algebra.cc.o" "gcc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/algebra.cc.o.d"
+  "/root/repo/src/coregql/group_eval.cc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/group_eval.cc.o" "gcc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/group_eval.cc.o.d"
+  "/root/repo/src/coregql/optimize.cc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/optimize.cc.o" "gcc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/optimize.cc.o.d"
+  "/root/repo/src/coregql/pattern.cc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/pattern.cc.o" "gcc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/pattern.cc.o.d"
+  "/root/repo/src/coregql/pattern_eval.cc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/pattern_eval.cc.o" "gcc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/pattern_eval.cc.o.d"
+  "/root/repo/src/coregql/pattern_parser.cc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/pattern_parser.cc.o" "gcc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/pattern_parser.cc.o.d"
+  "/root/repo/src/coregql/query.cc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/query.cc.o" "gcc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/query.cc.o.d"
+  "/root/repo/src/coregql/query_parser.cc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/query_parser.cc.o" "gcc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/query_parser.cc.o.d"
+  "/root/repo/src/coregql/relation.cc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/relation.cc.o" "gcc" "src/CMakeFiles/gqzoo_coregql.dir/coregql/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gqzoo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gqzoo_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gqzoo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

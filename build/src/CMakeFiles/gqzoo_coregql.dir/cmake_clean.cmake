@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_coregql.dir/coregql/algebra.cc.o"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/algebra.cc.o.d"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/group_eval.cc.o"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/group_eval.cc.o.d"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/optimize.cc.o"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/optimize.cc.o.d"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/pattern.cc.o"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/pattern.cc.o.d"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/pattern_eval.cc.o"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/pattern_eval.cc.o.d"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/pattern_parser.cc.o"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/pattern_parser.cc.o.d"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/query.cc.o"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/query.cc.o.d"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/query_parser.cc.o"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/query_parser.cc.o.d"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/relation.cc.o"
+  "CMakeFiles/gqzoo_coregql.dir/coregql/relation.cc.o.d"
+  "libgqzoo_coregql.a"
+  "libgqzoo_coregql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_coregql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crpq/crpq.cc" "src/CMakeFiles/gqzoo_crpq.dir/crpq/crpq.cc.o" "gcc" "src/CMakeFiles/gqzoo_crpq.dir/crpq/crpq.cc.o.d"
+  "/root/repo/src/crpq/crpq_parser.cc" "src/CMakeFiles/gqzoo_crpq.dir/crpq/crpq_parser.cc.o" "gcc" "src/CMakeFiles/gqzoo_crpq.dir/crpq/crpq_parser.cc.o.d"
+  "/root/repo/src/crpq/eval.cc" "src/CMakeFiles/gqzoo_crpq.dir/crpq/eval.cc.o" "gcc" "src/CMakeFiles/gqzoo_crpq.dir/crpq/eval.cc.o.d"
+  "/root/repo/src/crpq/join.cc" "src/CMakeFiles/gqzoo_crpq.dir/crpq/join.cc.o" "gcc" "src/CMakeFiles/gqzoo_crpq.dir/crpq/join.cc.o.d"
+  "/root/repo/src/crpq/modes.cc" "src/CMakeFiles/gqzoo_crpq.dir/crpq/modes.cc.o" "gcc" "src/CMakeFiles/gqzoo_crpq.dir/crpq/modes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gqzoo_pmr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gqzoo_rpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gqzoo_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gqzoo_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gqzoo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gqzoo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_crpq.dir/crpq/crpq.cc.o"
+  "CMakeFiles/gqzoo_crpq.dir/crpq/crpq.cc.o.d"
+  "CMakeFiles/gqzoo_crpq.dir/crpq/crpq_parser.cc.o"
+  "CMakeFiles/gqzoo_crpq.dir/crpq/crpq_parser.cc.o.d"
+  "CMakeFiles/gqzoo_crpq.dir/crpq/eval.cc.o"
+  "CMakeFiles/gqzoo_crpq.dir/crpq/eval.cc.o.d"
+  "CMakeFiles/gqzoo_crpq.dir/crpq/join.cc.o"
+  "CMakeFiles/gqzoo_crpq.dir/crpq/join.cc.o.d"
+  "CMakeFiles/gqzoo_crpq.dir/crpq/modes.cc.o"
+  "CMakeFiles/gqzoo_crpq.dir/crpq/modes.cc.o.d"
+  "libgqzoo_crpq.a"
+  "libgqzoo_crpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_crpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

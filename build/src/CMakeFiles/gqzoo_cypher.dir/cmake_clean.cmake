@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_cypher.dir/cypher/cypher_fragment.cc.o"
+  "CMakeFiles/gqzoo_cypher.dir/cypher/cypher_fragment.cc.o.d"
+  "libgqzoo_cypher.a"
+  "libgqzoo_cypher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_cypher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

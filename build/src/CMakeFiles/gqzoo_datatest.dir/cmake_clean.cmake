@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_datatest.dir/datatest/dl_eval.cc.o"
+  "CMakeFiles/gqzoo_datatest.dir/datatest/dl_eval.cc.o.d"
+  "CMakeFiles/gqzoo_datatest.dir/datatest/dl_rpq.cc.o"
+  "CMakeFiles/gqzoo_datatest.dir/datatest/dl_rpq.cc.o.d"
+  "libgqzoo_datatest.a"
+  "libgqzoo_datatest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_datatest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

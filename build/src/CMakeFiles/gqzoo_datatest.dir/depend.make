@@ -1,0 +1,2 @@
+# Empty dependencies file for gqzoo_datatest.
+# This may be replaced when dependencies are built.

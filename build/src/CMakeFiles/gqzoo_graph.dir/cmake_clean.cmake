@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_graph.dir/graph/builtin_graphs.cc.o"
+  "CMakeFiles/gqzoo_graph.dir/graph/builtin_graphs.cc.o.d"
+  "CMakeFiles/gqzoo_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/gqzoo_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/gqzoo_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/gqzoo_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/gqzoo_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/gqzoo_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/gqzoo_graph.dir/graph/path.cc.o"
+  "CMakeFiles/gqzoo_graph.dir/graph/path.cc.o.d"
+  "libgqzoo_graph.a"
+  "libgqzoo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_lists.dir/lists/aggregate_paths.cc.o"
+  "CMakeFiles/gqzoo_lists.dir/lists/aggregate_paths.cc.o.d"
+  "CMakeFiles/gqzoo_lists.dir/lists/forall_subpattern.cc.o"
+  "CMakeFiles/gqzoo_lists.dir/lists/forall_subpattern.cc.o.d"
+  "CMakeFiles/gqzoo_lists.dir/lists/list_functions.cc.o"
+  "CMakeFiles/gqzoo_lists.dir/lists/list_functions.cc.o.d"
+  "libgqzoo_lists.a"
+  "libgqzoo_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

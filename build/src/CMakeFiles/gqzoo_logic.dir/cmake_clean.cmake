@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_logic.dir/logic/walk_logic.cc.o"
+  "CMakeFiles/gqzoo_logic.dir/logic/walk_logic.cc.o.d"
+  "libgqzoo_logic.a"
+  "libgqzoo_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_nested.dir/nested/regular_queries.cc.o"
+  "CMakeFiles/gqzoo_nested.dir/nested/regular_queries.cc.o.d"
+  "libgqzoo_nested.a"
+  "libgqzoo_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

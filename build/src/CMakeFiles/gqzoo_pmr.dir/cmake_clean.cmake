@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_pmr.dir/pmr/build.cc.o"
+  "CMakeFiles/gqzoo_pmr.dir/pmr/build.cc.o.d"
+  "CMakeFiles/gqzoo_pmr.dir/pmr/enumerate.cc.o"
+  "CMakeFiles/gqzoo_pmr.dir/pmr/enumerate.cc.o.d"
+  "CMakeFiles/gqzoo_pmr.dir/pmr/pmr.cc.o"
+  "CMakeFiles/gqzoo_pmr.dir/pmr/pmr.cc.o.d"
+  "libgqzoo_pmr.a"
+  "libgqzoo_pmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_pmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/ast.cc" "src/CMakeFiles/gqzoo_regex.dir/regex/ast.cc.o" "gcc" "src/CMakeFiles/gqzoo_regex.dir/regex/ast.cc.o.d"
+  "/root/repo/src/regex/lexer.cc" "src/CMakeFiles/gqzoo_regex.dir/regex/lexer.cc.o" "gcc" "src/CMakeFiles/gqzoo_regex.dir/regex/lexer.cc.o.d"
+  "/root/repo/src/regex/parser.cc" "src/CMakeFiles/gqzoo_regex.dir/regex/parser.cc.o" "gcc" "src/CMakeFiles/gqzoo_regex.dir/regex/parser.cc.o.d"
+  "/root/repo/src/regex/printer.cc" "src/CMakeFiles/gqzoo_regex.dir/regex/printer.cc.o" "gcc" "src/CMakeFiles/gqzoo_regex.dir/regex/printer.cc.o.d"
+  "/root/repo/src/regex/rewrite.cc" "src/CMakeFiles/gqzoo_regex.dir/regex/rewrite.cc.o" "gcc" "src/CMakeFiles/gqzoo_regex.dir/regex/rewrite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gqzoo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

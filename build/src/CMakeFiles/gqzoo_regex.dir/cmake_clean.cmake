@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_regex.dir/regex/ast.cc.o"
+  "CMakeFiles/gqzoo_regex.dir/regex/ast.cc.o.d"
+  "CMakeFiles/gqzoo_regex.dir/regex/lexer.cc.o"
+  "CMakeFiles/gqzoo_regex.dir/regex/lexer.cc.o.d"
+  "CMakeFiles/gqzoo_regex.dir/regex/parser.cc.o"
+  "CMakeFiles/gqzoo_regex.dir/regex/parser.cc.o.d"
+  "CMakeFiles/gqzoo_regex.dir/regex/printer.cc.o"
+  "CMakeFiles/gqzoo_regex.dir/regex/printer.cc.o.d"
+  "CMakeFiles/gqzoo_regex.dir/regex/rewrite.cc.o"
+  "CMakeFiles/gqzoo_regex.dir/regex/rewrite.cc.o.d"
+  "libgqzoo_regex.a"
+  "libgqzoo_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

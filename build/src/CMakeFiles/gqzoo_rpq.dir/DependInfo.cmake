@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpq/bag_semantics.cc" "src/CMakeFiles/gqzoo_rpq.dir/rpq/bag_semantics.cc.o" "gcc" "src/CMakeFiles/gqzoo_rpq.dir/rpq/bag_semantics.cc.o.d"
+  "/root/repo/src/rpq/cardinality.cc" "src/CMakeFiles/gqzoo_rpq.dir/rpq/cardinality.cc.o" "gcc" "src/CMakeFiles/gqzoo_rpq.dir/rpq/cardinality.cc.o.d"
+  "/root/repo/src/rpq/product_graph.cc" "src/CMakeFiles/gqzoo_rpq.dir/rpq/product_graph.cc.o" "gcc" "src/CMakeFiles/gqzoo_rpq.dir/rpq/product_graph.cc.o.d"
+  "/root/repo/src/rpq/rpq_eval.cc" "src/CMakeFiles/gqzoo_rpq.dir/rpq/rpq_eval.cc.o" "gcc" "src/CMakeFiles/gqzoo_rpq.dir/rpq/rpq_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gqzoo_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gqzoo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gqzoo_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gqzoo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

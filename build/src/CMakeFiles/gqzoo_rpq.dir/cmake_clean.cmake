@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_rpq.dir/rpq/bag_semantics.cc.o"
+  "CMakeFiles/gqzoo_rpq.dir/rpq/bag_semantics.cc.o.d"
+  "CMakeFiles/gqzoo_rpq.dir/rpq/cardinality.cc.o"
+  "CMakeFiles/gqzoo_rpq.dir/rpq/cardinality.cc.o.d"
+  "CMakeFiles/gqzoo_rpq.dir/rpq/product_graph.cc.o"
+  "CMakeFiles/gqzoo_rpq.dir/rpq/product_graph.cc.o.d"
+  "CMakeFiles/gqzoo_rpq.dir/rpq/rpq_eval.cc.o"
+  "CMakeFiles/gqzoo_rpq.dir/rpq/rpq_eval.cc.o.d"
+  "libgqzoo_rpq.a"
+  "libgqzoo_rpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_rpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

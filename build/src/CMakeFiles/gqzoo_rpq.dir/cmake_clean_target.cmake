@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgqzoo_rpq.a"
+)

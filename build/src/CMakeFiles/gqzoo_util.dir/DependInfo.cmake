@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/biguint.cc" "src/CMakeFiles/gqzoo_util.dir/util/biguint.cc.o" "gcc" "src/CMakeFiles/gqzoo_util.dir/util/biguint.cc.o.d"
+  "/root/repo/src/util/interner.cc" "src/CMakeFiles/gqzoo_util.dir/util/interner.cc.o" "gcc" "src/CMakeFiles/gqzoo_util.dir/util/interner.cc.o.d"
+  "/root/repo/src/util/value.cc" "src/CMakeFiles/gqzoo_util.dir/util/value.cc.o" "gcc" "src/CMakeFiles/gqzoo_util.dir/util/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_util.dir/util/biguint.cc.o"
+  "CMakeFiles/gqzoo_util.dir/util/biguint.cc.o.d"
+  "CMakeFiles/gqzoo_util.dir/util/interner.cc.o"
+  "CMakeFiles/gqzoo_util.dir/util/interner.cc.o.d"
+  "CMakeFiles/gqzoo_util.dir/util/value.cc.o"
+  "CMakeFiles/gqzoo_util.dir/util/value.cc.o.d"
+  "libgqzoo_util.a"
+  "libgqzoo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

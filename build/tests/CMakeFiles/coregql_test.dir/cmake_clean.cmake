@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coregql_test.dir/coregql_test.cc.o"
+  "CMakeFiles/coregql_test.dir/coregql_test.cc.o.d"
+  "coregql_test"
+  "coregql_test.pdb"
+  "coregql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coregql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

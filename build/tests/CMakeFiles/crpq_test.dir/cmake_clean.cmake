@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crpq_test.dir/crpq_test.cc.o"
+  "CMakeFiles/crpq_test.dir/crpq_test.cc.o.d"
+  "crpq_test"
+  "crpq_test.pdb"
+  "crpq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

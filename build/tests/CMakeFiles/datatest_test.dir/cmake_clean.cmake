@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datatest_test.dir/datatest_test.cc.o"
+  "CMakeFiles/datatest_test.dir/datatest_test.cc.o.d"
+  "datatest_test"
+  "datatest_test.pdb"
+  "datatest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datatest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqzoo_test_util.dir/test_util.cc.o"
+  "CMakeFiles/gqzoo_test_util.dir/test_util.cc.o.d"
+  "libgqzoo_test_util.a"
+  "libgqzoo_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqzoo_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_eval_test.dir/group_eval_test.cc.o"
+  "CMakeFiles/group_eval_test.dir/group_eval_test.cc.o.d"
+  "group_eval_test"
+  "group_eval_test.pdb"
+  "group_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmr_test.dir/pmr_test.cc.o"
+  "CMakeFiles/pmr_test.dir/pmr_test.cc.o.d"
+  "pmr_test"
+  "pmr_test.pdb"
+  "pmr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_logic_test.dir/walk_logic_test.cc.o"
+  "CMakeFiles/walk_logic_test.dir/walk_logic_test.cc.o.d"
+  "walk_logic_test"
+  "walk_logic_test.pdb"
+  "walk_logic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/regex_test[1]_include.cmake")
+include("/root/repo/build/tests/automata_test[1]_include.cmake")
+include("/root/repo/build/tests/rpq_test[1]_include.cmake")
+include("/root/repo/build/tests/pmr_test[1]_include.cmake")
+include("/root/repo/build/tests/crpq_test[1]_include.cmake")
+include("/root/repo/build/tests/datatest_test[1]_include.cmake")
+include("/root/repo/build/tests/coregql_test[1]_include.cmake")
+include("/root/repo/build/tests/cypher_test[1]_include.cmake")
+include("/root/repo/build/tests/lists_test[1]_include.cmake")
+include("/root/repo/build/tests/nested_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/modes_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/cardinality_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/group_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/optimize_test[1]_include.cmake")
+include("/root/repo/build/tests/walk_logic_test[1]_include.cmake")
+include("/root/repo/build/tests/dl_crpq_test[1]_include.cmake")
