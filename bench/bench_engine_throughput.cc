@@ -1,0 +1,119 @@
+// Engine throughput: queries/sec for a mixed-language workload dispatched
+// through the QueryEngine, cold cache vs warm cache, at 1/4/8 pool
+// threads. The warm-cache numbers show what the compiled-plan cache buys
+// (parsing + Glushkov construction amortized away); the thread sweep shows
+// executor scaling on concurrent submissions.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/graph/builtin_graphs.h"
+
+namespace gqzoo {
+namespace {
+
+QueryRequest Req(QueryLanguage language, const std::string& text) {
+  QueryRequest request;
+  request.language = language;
+  request.text = text;
+  return request;
+}
+
+std::vector<QueryRequest> MixedWorkload() {
+  std::vector<QueryRequest> mix = {
+      Req(QueryLanguage::kRpq, "Transfer+"),
+      Req(QueryLanguage::kRpq, "Transfer (Transfer|owner)?"),
+      Req(QueryLanguage::kRpq, "~Transfer"),
+      Req(QueryLanguage::kCrpq, "q(x, y) :- Transfer+(x, y)"),
+      Req(QueryLanguage::kCrpq,
+          "q(x, y) :- Transfer+(x, y), isBlocked(y, b)"),
+      Req(QueryLanguage::kDlCrpq, "q(x, y) := ( ()[Transfer] )+ () (x, y)"),
+      Req(QueryLanguage::kCoreGql, "MATCH (x)-[:Transfer]->(y) RETURN x, y"),
+      Req(QueryLanguage::kCoreGql,
+          "MATCH (x)-[:Transfer]->(y)-[:isBlocked]->(b) RETURN x, b"),
+      Req(QueryLanguage::kGqlGroup, "(x) (-[t:Transfer]->(v)){1,2} (y)"),
+      Req(QueryLanguage::kRegular,
+          "two(x, y) := Transfer(x, y), Transfer(y, x) ; "
+          "q(u, v) := two*(u, v)"),
+  };
+  QueryRequest paths = Req(QueryLanguage::kPaths, "Transfer+");
+  paths.paths.from = "a2";
+  paths.paths.to = "a4";
+  mix.push_back(paths);
+  return mix;
+}
+
+/// One iteration = the full mixed workload submitted to the pool and
+/// drained. state.range(0) = pool threads; state.range(1) = 1 keeps the
+/// plan cache warm across iterations, 0 clears it each time (every query
+/// recompiles: parse + automaton construction on the hot path).
+void BM_EngineMixedThroughput(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  QueryEngine::Options options;
+  options.num_threads = threads;
+  QueryEngine engine(Figure3Graph(), options);
+  std::vector<QueryRequest> mix = MixedWorkload();
+
+  size_t queries = 0;
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      engine.ClearPlanCache();
+      state.ResumeTiming();
+    }
+    std::vector<std::future<Result<QueryResponse>>> futures;
+    futures.reserve(mix.size());
+    for (const QueryRequest& request : mix) {
+      futures.push_back(engine.Submit(request));
+    }
+    for (auto& f : futures) {
+      Result<QueryResponse> r = f.get();
+      if (r.ok()) ++queries;
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(queries));
+  const auto stats = engine.plan_cache().GetStats();
+  state.counters["cache_hit_pct"] =
+      stats.hits + stats.misses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses);
+}
+BENCHMARK(BM_EngineMixedThroughput)
+    ->ArgsProduct({{1, 4, 8}, {0, 1}})
+    ->ArgNames({"threads", "warm"})
+    ->UseRealTime();
+
+/// Compile-vs-cache in isolation, single-threaded Execute on the caller:
+/// the same CoreGQL query repeatedly, either recompiled every time or
+/// served from the plan cache.
+void BM_EngineSingleQuery(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  QueryEngine engine(Figure3Graph());
+  QueryRequest request = Req(
+      QueryLanguage::kCoreGql,
+      "MATCH (x)-[:Transfer]->(y)-[:isBlocked]->(b) RETURN x, b");
+
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      engine.ClearPlanCache();
+      state.ResumeTiming();
+    }
+    Result<QueryResponse> r = engine.Execute(request);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineSingleQuery)->Arg(0)->Arg(1)->ArgNames({"warm"});
+
+}  // namespace
+}  // namespace gqzoo
+
+BENCHMARK_MAIN();

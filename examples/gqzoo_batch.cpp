@@ -1,0 +1,261 @@
+// gqzoo_batch: run a file of queries through the QueryEngine on a thread
+// pool and print a metrics report — the non-interactive counterpart of
+// gqzoo_shell, useful for load tests and for exercising the plan cache.
+//
+// Usage:  gqzoo_batch [options] <request-file>
+//   --graph <file>     property graph to load (default: Figure 3 graph)
+//   --threads <n>      pool size (default 4)
+//   --timeout-ms <n>   per-query deadline (default: none)
+//   --repeat <n>       run the request file n times (default 1; repeats
+//                      after the first are plan-cache hits)
+//   --quiet            suppress per-query output, print only the report
+//
+// Request-file format: one query per line, same surface as the shell.
+//   # comment / blank lines are skipped
+//   rpq <regex>              2rpq <regex>
+//   paths <from> <to> <all|shortest|simple|trail> <regex>
+//   kshortest <k> <from> <to> <regex>
+//   crpq <rule>              dlcrpq <rule>
+//   gql <query>              gqlopt <query>
+//   gqlgroup <pattern>       regular <rules>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/graph/builtin_graphs.h"
+#include "src/graph/graph_io.h"
+
+using namespace gqzoo;
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t start = s.find_first_not_of(" \t");
+  if (start == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(start, end - start + 1);
+}
+
+/// Parses one request line (shell query syntax). Returns false with
+/// `*error` set on a malformed line.
+bool ParseRequestLine(const std::string& line, QueryRequest* out,
+                      std::string* error) {
+  std::istringstream iss(line);
+  std::string command;
+  iss >> command;
+  std::string rest;
+  std::getline(iss, rest);
+  rest = Trim(rest);
+
+  QueryRequest request;
+  if (command == "rpq" || command == "2rpq") {
+    request.language = QueryLanguage::kRpq;
+    request.text = rest;
+  } else if (command == "crpq") {
+    request.language = QueryLanguage::kCrpq;
+    request.text = rest;
+  } else if (command == "dlcrpq") {
+    request.language = QueryLanguage::kDlCrpq;
+    request.text = rest;
+  } else if (command == "gql" || command == "gqlopt") {
+    request.language = QueryLanguage::kCoreGql;
+    request.text = rest;
+    request.optimize = command == "gqlopt";
+  } else if (command == "gqlgroup") {
+    request.language = QueryLanguage::kGqlGroup;
+    request.text = rest;
+  } else if (command == "regular") {
+    request.language = QueryLanguage::kRegular;
+    request.text = rest;
+  } else if (command == "paths") {
+    std::istringstream args(rest);
+    std::string from, to, mode_name;
+    if (!(args >> from >> to >> mode_name)) {
+      *error = "paths needs: <from> <to> <mode> <regex>";
+      return false;
+    }
+    std::string regex;
+    std::getline(args, regex);
+    request.language = QueryLanguage::kPaths;
+    request.text = Trim(regex);
+    request.paths.from = from;
+    request.paths.to = to;
+    request.paths.mode = mode_name == "shortest" ? PathMode::kShortest
+                         : mode_name == "simple" ? PathMode::kSimple
+                         : mode_name == "trail"  ? PathMode::kTrail
+                                                 : PathMode::kAll;
+  } else if (command == "kshortest") {
+    std::istringstream args(rest);
+    size_t k = 0;
+    std::string from, to;
+    if (!(args >> k >> from >> to) || k == 0) {
+      *error = "kshortest needs: <k> <from> <to> <regex>";
+      return false;
+    }
+    std::string regex;
+    std::getline(args, regex);
+    request.language = QueryLanguage::kPaths;
+    request.text = Trim(regex);
+    request.paths.from = from;
+    request.paths.to = to;
+    request.paths.k_shortest = k;
+  } else {
+    *error = "unknown query command '" + command + "'";
+    return false;
+  }
+  *out = std::move(request);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s [--graph <file>] [--threads <n>] [--timeout-ms <n>] "
+          "[--repeat <n>] [--quiet] <request-file>\n",
+          argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string graph_file;
+  std::string request_file;
+  size_t threads = 4;
+  long long timeout_ms = 0;
+  size_t repeat = 1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (strcmp(arg, "--graph") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      graph_file = v;
+    } else if (strcmp(arg, "--threads") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      threads = static_cast<size_t>(atoll(v));
+    } else if (strcmp(arg, "--timeout-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      timeout_ms = atoll(v);
+    } else if (strcmp(arg, "--repeat") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      repeat = static_cast<size_t>(atoll(v));
+    } else if (strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (request_file.empty()) {
+      request_file = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (request_file.empty() || threads == 0 || repeat == 0) {
+    return Usage(argv[0]);
+  }
+
+  PropertyGraph graph = Figure3Graph();
+  if (!graph_file.empty()) {
+    std::ifstream in(graph_file);
+    if (!in) {
+      fprintf(stderr, "cannot open graph '%s'\n", graph_file.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<PropertyGraph> g = ParsePropertyGraph(buffer.str());
+    if (!g.ok()) {
+      fprintf(stderr, "graph parse error: %s\n", g.error().message().c_str());
+      return 1;
+    }
+    graph = std::move(g).value();
+  }
+
+  std::ifstream in(request_file);
+  if (!in) {
+    fprintf(stderr, "cannot open requests '%s'\n", request_file.c_str());
+    return 1;
+  }
+  std::vector<QueryRequest> requests;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    QueryRequest request;
+    std::string error;
+    if (!ParseRequestLine(line, &request, &error)) {
+      fprintf(stderr, "%s:%zu: %s\n", request_file.c_str(), lineno,
+              error.c_str());
+      return 1;
+    }
+    if (timeout_ms > 0) request.timeout = std::chrono::milliseconds(timeout_ms);
+    requests.push_back(std::move(request));
+  }
+  if (requests.empty()) {
+    fprintf(stderr, "no requests in '%s'\n", request_file.c_str());
+    return 1;
+  }
+
+  QueryEngine::Options options;
+  options.num_threads = threads;
+  QueryEngine engine(std::move(graph), options);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  futures.reserve(requests.size() * repeat);
+  for (size_t round = 0; round < repeat; ++round) {
+    for (const QueryRequest& request : requests) {
+      futures.push_back(engine.Submit(request));
+    }
+  }
+
+  size_t ok = 0, failed = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<QueryResponse> r = futures[i].get();
+    const QueryRequest& request = requests[i % requests.size()];
+    if (r.ok()) {
+      ++ok;
+      if (!quiet) {
+        printf("[%zu] %s %s -> %zu rows%s%s (%lldus)\n", i,
+               QueryLanguageName(request.language), request.text.c_str(),
+               r.value().num_rows, r.value().truncated ? " (truncated)" : "",
+               r.value().cache_hit ? " [cached]" : "",
+               static_cast<long long>(r.value().latency.count()));
+      }
+    } else {
+      ++failed;
+      if (!quiet) {
+        printf("[%zu] %s %s -> error [%s]: %s\n", i,
+               QueryLanguageName(request.language), request.text.c_str(),
+               ErrorCodeName(r.error().code()),
+               r.error().message().c_str());
+      }
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  printf("\n%zu queries (%zu ok, %zu failed) in %.3fs  =  %.0f queries/sec  "
+         "[%zu threads]\n\n",
+         futures.size(), ok, failed, secs,
+         secs > 0 ? static_cast<double>(futures.size()) / secs : 0.0,
+         engine.num_threads());
+  printf("%s", engine.StatsReport().c_str());
+  return failed == 0 ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 // gqzoo_shell: an interactive shell over the whole zoo. Load a property
 // graph from the text format and run queries in any of the implemented
-// languages. This is the "downstream user" surface of the library.
+// languages. All query commands dispatch through the QueryEngine, so the
+// shell gets plan caching, deadlines, and metrics for free.
 //
 // Usage:  gqzoo_shell [graph-file]      (defaults to the Figure 3 graph)
 //
@@ -20,6 +21,8 @@
 //   gqlgroup <pattern>     evaluate a pattern under GQL group-variable
 //                          semantics (repetition collects lists)
 //   regular <rules>        run a regular query (rules separated by ';')
+//   timeout <ms>           set the default per-query deadline (0 = off)
+//   stats                  engine metrics + plan-cache report
 //   help                   this text
 //   quit
 
@@ -29,21 +32,9 @@
 #include <sstream>
 #include <string>
 
-#include "src/coregql/group_eval.h"
-#include "src/coregql/optimize.h"
-#include "src/coregql/pattern_parser.h"
-#include "src/coregql/query.h"
-#include "src/crpq/crpq_parser.h"
-#include "src/crpq/eval.h"
-#include "src/crpq/modes.h"
-#include "src/datatest/dl_eval.h"
+#include "src/engine/engine.h"
 #include "src/graph/builtin_graphs.h"
 #include "src/graph/graph_io.h"
-#include "src/nested/regular_queries.h"
-#include "src/pmr/build.h"
-#include "src/pmr/enumerate.h"
-#include "src/regex/parser.h"
-#include "src/rpq/rpq_eval.h"
 
 using namespace gqzoo;
 
@@ -55,12 +46,12 @@ constexpr const char* kHelp = R"(commands:
   kshortest <k> <from> <to> <regex>
   crpq <rule> | dlcrpq <rule> | gql <query> | gqlopt <query>
   gqlgroup <pattern> | regular <rules>
-  help | quit
+  timeout <ms> | stats | help | quit
 )";
 
 class Shell {
  public:
-  Shell() : graph_(Figure3Graph()) {}
+  Shell() : engine_(Figure3Graph()) {}
 
   bool LoadFile(const std::string& path) {
     std::ifstream in(path);
@@ -75,9 +66,10 @@ class Shell {
       printf("parse error: %s\n", g.error().message().c_str());
       return false;
     }
-    graph_ = std::move(g).value();
-    printf("loaded %zu nodes, %zu edges\n", graph_.NumNodes(),
-           graph_.NumEdges());
+    PropertyGraph graph = std::move(g).value();
+    printf("loaded %zu nodes, %zu edges\n", graph.NumNodes(),
+           graph.NumEdges());
+    engine_.SetGraph(std::move(graph));
     return true;
   }
 
@@ -95,53 +87,76 @@ class Shell {
     } else if (command == "load") {
       LoadFile(rest);
     } else if (command == "show") {
-      printf("%s", PropertyGraphToText(graph_).c_str());
+      printf("%s", PropertyGraphToText(*engine_.graph_snapshot()).c_str());
+    } else if (command == "stats") {
+      printf("%s", engine_.StatsReport().c_str());
+    } else if (command == "timeout") {
+      SetTimeout(rest);
     } else if (command == "rpq" || command == "2rpq") {
-      RunRpq(rest);
+      Run(MakeRequest(QueryLanguage::kRpq, rest));
     } else if (command == "paths") {
       RunPaths(rest);
     } else if (command == "kshortest") {
       RunKShortest(rest);
     } else if (command == "crpq") {
-      RunCrpq(rest, RegexDialect::kPlain);
+      Run(MakeRequest(QueryLanguage::kCrpq, rest));
     } else if (command == "dlcrpq") {
-      RunCrpq(rest, RegexDialect::kDl);
+      Run(MakeRequest(QueryLanguage::kDlCrpq, rest));
     } else if (command == "gql") {
-      RunGql(rest, /*optimize=*/false);
+      Run(MakeRequest(QueryLanguage::kCoreGql, rest));
     } else if (command == "gqlopt") {
-      RunGql(rest, /*optimize=*/true);
+      QueryRequest request = MakeRequest(QueryLanguage::kCoreGql, rest);
+      request.optimize = true;
+      Run(request);
     } else if (command == "gqlgroup") {
-      RunGqlGroup(rest);
+      Run(MakeRequest(QueryLanguage::kGqlGroup, rest));
     } else if (command == "regular") {
-      RunRegular(rest);
+      Run(MakeRequest(QueryLanguage::kRegular, rest));
     } else if (!command.empty()) {
       printf("unknown command '%s' (try 'help')\n", command.c_str());
     }
   }
 
  private:
-  void RunRpq(const std::string& text) {
-    Result<RegexPtr> r = ParseRegex(text, RegexDialect::kPlain);
-    if (!r.ok()) {
-      printf("%s\n", r.error().message().c_str());
-      return;
-    }
-    auto pairs = EvalRpq(graph_.skeleton(), *r.value());
-    for (const auto& [u, v] : pairs) {
-      printf("  (%s, %s)\n", graph_.NodeName(u).c_str(),
-             graph_.NodeName(v).c_str());
-    }
-    printf("%zu pairs\n", pairs.size());
+  static std::string Trim(const std::string& s) {
+    size_t start = s.find_first_not_of(' ');
+    return start == std::string::npos ? "" : s.substr(start);
   }
 
-  bool ResolveNode(const std::string& name, NodeId* out) {
-    std::optional<NodeId> n = graph_.FindNode(name);
-    if (!n.has_value()) {
-      printf("unknown node '%s'\n", name.c_str());
-      return false;
+  static QueryRequest MakeRequest(QueryLanguage language,
+                                  const std::string& text) {
+    QueryRequest request;
+    request.language = language;
+    request.text = Trim(text);  // identical queries share a cache entry
+    return request;
+  }
+
+  /// Runs through the engine and prints either the rendered rows or the
+  /// error; the REPL survives both.
+  void Run(const QueryRequest& request) {
+    Result<QueryResponse> r = engine_.Execute(request);
+    if (!r.ok()) {
+      printf("error [%s]: %s\n", ErrorCodeName(r.error().code()),
+             r.error().message().c_str());
+      return;
     }
-    *out = *n;
-    return true;
+    printf("%s", r.value().text.c_str());
+  }
+
+  void SetTimeout(const std::string& args) {
+    std::istringstream iss(args);
+    long long ms = -1;
+    if (!(iss >> ms) || ms < 0) {
+      printf("usage: timeout <ms>   (0 disables the deadline)\n");
+      return;
+    }
+    if (ms == 0) {
+      engine_.set_default_timeout(std::nullopt);
+      printf("deadline disabled\n");
+    } else {
+      engine_.set_default_timeout(std::chrono::milliseconds(ms));
+      printf("default deadline set to %lldms\n", ms);
+    }
   }
 
   void RunPaths(const std::string& args) {
@@ -150,156 +165,34 @@ class Shell {
     iss >> from >> to >> mode_name;
     std::string regex;
     std::getline(iss, regex);
-    NodeId u, v;
-    if (!ResolveNode(from, &u) || !ResolveNode(to, &v)) return;
-    PathMode mode = mode_name == "shortest" ? PathMode::kShortest
-                    : mode_name == "simple" ? PathMode::kSimple
-                    : mode_name == "trail"  ? PathMode::kTrail
-                                            : PathMode::kAll;
-    // Try the dl dialect first (covers data tests), else plain.
-    Result<RegexPtr> dl = ParseRegex(regex, RegexDialect::kDl);
-    EnumerationLimits limits;
-    limits.max_results = 50;
-    limits.max_length = 32;
-    std::vector<PathBinding> results;
-    EnumerationStats stats;
-    if (dl.ok()) {
-      DlNfa nfa = DlNfa::FromRegex(*dl.value(), graph_);
-      DlEvaluator evaluator(graph_, nfa);
-      results = evaluator.CollectModePaths(u, v, mode, limits, &stats);
-    } else {
-      Result<RegexPtr> plain = ParseRegex(regex, RegexDialect::kPlain);
-      if (!plain.ok()) {
-        printf("%s\n", plain.error().message().c_str());
-        return;
-      }
-      Nfa nfa = Nfa::FromRegex(*plain.value(), graph_.skeleton());
-      results = CollectModePaths(graph_.skeleton(), nfa, u, v, mode, limits,
-                                 &stats);
-    }
-    for (const PathBinding& pb : results) {
-      printf("  %s", pb.path.ToString(graph_.skeleton()).c_str());
-      if (!pb.mu.lists.empty()) {
-        printf("  %s", pb.mu.ToString(graph_.skeleton()).c_str());
-      }
-      printf("\n");
-    }
-    printf("%zu paths%s\n", results.size(),
-           stats.truncated ? " (truncated)" : "");
+    QueryRequest request = MakeRequest(QueryLanguage::kPaths, regex);
+    request.paths.from = from;
+    request.paths.to = to;
+    request.paths.mode = mode_name == "shortest" ? PathMode::kShortest
+                         : mode_name == "simple" ? PathMode::kSimple
+                         : mode_name == "trail"  ? PathMode::kTrail
+                                                 : PathMode::kAll;
+    Run(request);
   }
 
   void RunKShortest(const std::string& args) {
     std::istringstream iss(args);
     size_t k = 0;
     std::string from, to;
-    iss >> k >> from >> to;
+    if (!(iss >> k >> from >> to) || k == 0) {
+      printf("usage: kshortest <k> <from> <to> <regex>\n");
+      return;
+    }
     std::string regex;
     std::getline(iss, regex);
-    NodeId u, v;
-    if (!ResolveNode(from, &u) || !ResolveNode(to, &v)) return;
-    Result<RegexPtr> r = ParseRegex(regex, RegexDialect::kPlain);
-    if (!r.ok()) {
-      printf("%s\n", r.error().message().c_str());
-      return;
-    }
-    Nfa nfa = Nfa::FromRegex(*r.value(), graph_.skeleton());
-    if (nfa.HasInverse()) {
-      printf("kshortest requires a one-way regex\n");
-      return;
-    }
-    Pmr pmr = BuildPmrBetween(graph_.skeleton(), nfa, u, v);
-    for (const PathBinding& pb : KShortestPathBindings(pmr, k)) {
-      printf("  [len %zu] %s\n", pb.path.Length(),
-             pb.path.ToString(graph_.skeleton()).c_str());
-    }
+    QueryRequest request = MakeRequest(QueryLanguage::kPaths, regex);
+    request.paths.from = from;
+    request.paths.to = to;
+    request.paths.k_shortest = k;
+    Run(request);
   }
 
-  void RunCrpq(const std::string& text, RegexDialect dialect) {
-    Result<Crpq> q = ParseCrpq(text, dialect);
-    if (!q.ok()) {
-      printf("%s\n", q.error().message().c_str());
-      return;
-    }
-    Result<CrpqResult> r =
-        dialect == RegexDialect::kDl
-            ? EvalDlCrpq(graph_, q.value())
-            : EvalCrpq(graph_.skeleton(), q.value());
-    if (!r.ok()) {
-      printf("%s\n", r.error().message().c_str());
-      return;
-    }
-    printf("%s%zu rows\n", r.value().ToString(graph_.skeleton()).c_str(),
-           r.value().rows.size());
-  }
-
-  void RunGql(const std::string& text, bool optimize) {
-    Result<CoreGqlQuery> query = ParseCoreGqlQuery(text);
-    if (!query.ok()) {
-      printf("%s\n", query.error().message().c_str());
-      return;
-    }
-    CoreGqlQuery prepared = query.value();
-    if (optimize) {
-      PushdownStats stats;
-      prepared = PushDownConditions(prepared, &stats);
-      printf("(pushdown: %zu labels, %zu selections)\n", stats.labels_pushed,
-             stats.selections_pushed);
-    }
-    Result<CoreQueryResult> r = EvalCoreGqlQuery(graph_, prepared);
-    if (!r.ok()) {
-      printf("%s\n", r.error().message().c_str());
-      return;
-    }
-    printf("%s%zu rows%s\n",
-           r.value().relation.ToString(graph_.skeleton()).c_str(),
-           r.value().relation.NumRows(),
-           r.value().truncated ? " (truncated)" : "");
-  }
-
-  void RunGqlGroup(const std::string& text) {
-    Result<CorePatternPtr> pattern = ParseCorePattern(text);
-    if (!pattern.ok()) {
-      printf("%s\n", pattern.error().message().c_str());
-      return;
-    }
-    Result<GqlEvalResult> r = EvalGqlGroupPattern(graph_, *pattern.value());
-    if (!r.ok()) {
-      printf("%s\n", r.error().message().c_str());
-      return;
-    }
-    size_t shown = 0;
-    for (const GqlPathRow& row : r.value().rows) {
-      if (++shown > 50) {
-        printf("  ... (%zu rows total)\n", r.value().rows.size());
-        break;
-      }
-      printf("  %s", row.path.ToString(graph_.skeleton()).c_str());
-      for (const auto& [var, value] : row.mu) {
-        printf("  %s -> %s", var.c_str(),
-               value.ToString(graph_.skeleton()).c_str());
-      }
-      printf("\n");
-    }
-    printf("%zu rows%s\n", r.value().rows.size(),
-           r.value().truncated ? " (truncated)" : "");
-  }
-
-  void RunRegular(const std::string& text) {
-    Result<RegularQuery> q = ParseRegularQuery(text);
-    if (!q.ok()) {
-      printf("%s\n", q.error().message().c_str());
-      return;
-    }
-    Result<CrpqResult> r = EvalRegularQuery(graph_.skeleton(), q.value());
-    if (!r.ok()) {
-      printf("%s\n", r.error().message().c_str());
-      return;
-    }
-    printf("%s%zu rows\n", r.value().ToString(graph_.skeleton()).c_str(),
-           r.value().rows.size());
-  }
-
-  PropertyGraph graph_;
+  QueryEngine engine_;
 };
 
 }  // namespace
@@ -307,7 +200,9 @@ class Shell {
 int main(int argc, char** argv) {
   Shell shell;
   if (argc > 1) {
-    if (!shell.LoadFile(argv[1])) return 1;
+    if (!shell.LoadFile(argv[1])) {
+      printf("continuing with the paper's Figure 3 graph\n");
+    }
   } else {
     printf("no graph file given; starting with the paper's Figure 3 graph\n");
   }

@@ -111,9 +111,17 @@ Result<std::vector<GqlPathRow>> EvalRepeat(EvalContext* ctx,
   if (p.lo() == 0) {
     for (const Partial& partial : current) result.push_back(to_row(partial));
   }
-  for (size_t j = 1; j <= p.hi(); ++j) {
+  bool cancelled = false;
+  for (size_t j = 1; j <= p.hi() && !cancelled; ++j) {
     std::set<Partial> next;
     for (const Partial& prefix : current) {
+      // One round over a large frontier can take seconds; probe inside it,
+      // not just per round.
+      if (ShouldStop(ctx->options.cancel)) {
+        ctx->truncated = true;
+        cancelled = true;
+        break;
+      }
       for (const GqlPathRow* r : by_src[prefix.path.Tgt(g.skeleton())]) {
         if (prefix.path.Length() + r->path.Length() >
             ctx->options.max_path_length) {
@@ -133,6 +141,7 @@ Result<std::vector<GqlPathRow>> EvalRepeat(EvalContext* ctx,
         next.insert(std::move(extended));
       }
     }
+    if (cancelled) break;
     if (j >= p.lo()) {
       for (const Partial& partial : next) result.push_back(to_row(partial));
     }
@@ -143,11 +152,17 @@ Result<std::vector<GqlPathRow>> EvalRepeat(EvalContext* ctx,
       break;
     }
   }
-  SortUnique(&result);
+  // A cancelled evaluation is partial and gets discarded by deadline-aware
+  // callers; don't burn post-deadline time ordering it.
+  if (!cancelled) SortUnique(&result);
   return result;
 }
 
 Result<std::vector<GqlPathRow>> Eval(EvalContext* ctx, const CorePattern& p) {
+  if (ShouldStop(ctx->options.cancel)) {
+    ctx->truncated = true;
+    return std::vector<GqlPathRow>{};
+  }
   const PropertyGraph& g = ctx->g;
   switch (p.kind()) {
     case CorePattern::Kind::kNode: {

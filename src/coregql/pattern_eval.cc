@@ -79,13 +79,14 @@ void SortUnique(std::vector<CorePairRow>* rows) {
 // over all nodes ([[π]]^0 in Figure 4).
 std::vector<std::pair<NodeId, NodeId>> ComposeSteps(
     const PropertyGraph& g, const std::set<std::pair<NodeId, NodeId>>& step,
-    size_t lo, size_t hi) {
+    size_t lo, size_t hi, const CancellationToken* cancel) {
   const size_t n = g.NumNodes();
   std::vector<std::vector<NodeId>> adj(n);
   for (const auto& [u, v] : step) adj[u].push_back(v);
 
   std::set<std::pair<NodeId, NodeId>> result;
   for (NodeId u = 0; u < n; ++u) {
+    if (ShouldStop(cancel)) break;
     // BFS layers from u; layer[j] = nodes reachable in exactly j steps.
     // Accumulate nodes whose step count can land in [lo, hi]. To decide
     // "exactly j" membership without exponential bookkeeping we track, for
@@ -116,7 +117,9 @@ std::vector<std::pair<NodeId, NodeId>> ComposeSteps(
 }
 
 Result<std::vector<CorePairRow>> EvalPairsRec(const PropertyGraph& g,
-                                              const CorePattern& p) {
+                                              const CorePattern& p,
+                                              const CancellationToken* cancel) {
+  if (ShouldStop(cancel)) return std::vector<CorePairRow>{};
   switch (p.kind()) {
     case CorePattern::Kind::kNode: {
       std::vector<CorePairRow> rows;
@@ -141,15 +144,16 @@ Result<std::vector<CorePairRow>> EvalPairsRec(const PropertyGraph& g,
       return rows;
     }
     case CorePattern::Kind::kConcat: {
-      Result<std::vector<CorePairRow>> lhs = EvalPairsRec(g, *p.left());
+      Result<std::vector<CorePairRow>> lhs = EvalPairsRec(g, *p.left(), cancel);
       if (!lhs.ok()) return lhs;
-      Result<std::vector<CorePairRow>> rhs = EvalPairsRec(g, *p.right());
+      Result<std::vector<CorePairRow>> rhs = EvalPairsRec(g, *p.right(), cancel);
       if (!rhs.ok()) return rhs;
       // Index the right-hand rows by source node.
       std::vector<std::vector<const CorePairRow*>> by_src(g.NumNodes());
       for (const CorePairRow& r : rhs.value()) by_src[r.src].push_back(&r);
       std::vector<CorePairRow> rows;
       for (const CorePairRow& l : lhs.value()) {
+        if (ShouldStop(cancel)) break;
         for (const CorePairRow* r : by_src[l.tgt]) {
           CoreBinding merged;
           if (!MergeBindings(l.mu, r->mu, &merged)) continue;
@@ -160,9 +164,9 @@ Result<std::vector<CorePairRow>> EvalPairsRec(const PropertyGraph& g,
       return rows;
     }
     case CorePattern::Kind::kUnion: {
-      Result<std::vector<CorePairRow>> lhs = EvalPairsRec(g, *p.left());
+      Result<std::vector<CorePairRow>> lhs = EvalPairsRec(g, *p.left(), cancel);
       if (!lhs.ok()) return lhs;
-      Result<std::vector<CorePairRow>> rhs = EvalPairsRec(g, *p.right());
+      Result<std::vector<CorePairRow>> rhs = EvalPairsRec(g, *p.right(), cancel);
       if (!rhs.ok()) return rhs;
       std::vector<CorePairRow> rows = std::move(lhs).value();
       rows.insert(rows.end(), rhs.value().begin(), rhs.value().end());
@@ -170,18 +174,18 @@ Result<std::vector<CorePairRow>> EvalPairsRec(const PropertyGraph& g,
       return rows;
     }
     case CorePattern::Kind::kRepeat: {
-      Result<std::vector<CorePairRow>> inner = EvalPairsRec(g, *p.child());
+      Result<std::vector<CorePairRow>> inner = EvalPairsRec(g, *p.child(), cancel);
       if (!inner.ok()) return inner;
       std::set<std::pair<NodeId, NodeId>> step;
       for (const CorePairRow& r : inner.value()) step.insert({r.src, r.tgt});
       std::vector<CorePairRow> rows;
-      for (const auto& [u, v] : ComposeSteps(g, step, p.lo(), p.hi())) {
+      for (const auto& [u, v] : ComposeSteps(g, step, p.lo(), p.hi(), cancel)) {
         rows.push_back({u, v, {}});  // µ∅: repetition erases bindings
       }
       return rows;
     }
     case CorePattern::Kind::kCondition: {
-      Result<std::vector<CorePairRow>> inner = EvalPairsRec(g, *p.child());
+      Result<std::vector<CorePairRow>> inner = EvalPairsRec(g, *p.child(), cancel);
       if (!inner.ok()) return inner;
       std::vector<CorePairRow> rows;
       for (CorePairRow& r : inner.value()) {
@@ -209,6 +213,10 @@ struct PathEvalContext {
 Result<std::vector<CorePathRow>> EvalPathsRec(PathEvalContext* ctx,
                                               const CorePattern& p) {
   const PropertyGraph& g = ctx->g;
+  if (ShouldStop(ctx->options.cancel)) {
+    ctx->truncated = true;
+    return std::vector<CorePathRow>{};
+  }
   switch (p.kind()) {
     case CorePattern::Kind::kNode: {
       std::vector<CorePathRow> rows;
@@ -245,6 +253,10 @@ Result<std::vector<CorePathRow>> EvalPathsRec(PathEvalContext* ctx,
       }
       std::vector<CorePathRow> rows;
       for (const CorePathRow& l : lhs.value()) {
+        if (ShouldStop(ctx->options.cancel)) {
+          ctx->truncated = true;
+          break;
+        }
         for (const CorePathRow* r : by_src[l.path.Tgt(g.skeleton())]) {
           if (l.path.Length() + r->path.Length() >
               ctx->options.max_path_length) {
@@ -295,6 +307,10 @@ Result<std::vector<CorePathRow>> EvalPathsRec(PathEvalContext* ctx,
       for (size_t j = 1; j <= p.hi(); ++j) {
         std::set<Path> next;
         for (const Path& prefix : current) {
+          if (ShouldStop(ctx->options.cancel)) {
+            ctx->truncated = true;
+            break;
+          }
           for (const CorePathRow* r : by_src[prefix.Tgt(g.skeleton())]) {
             if (prefix.Length() + r->path.Length() >
                 ctx->options.max_path_length) {
@@ -338,11 +354,12 @@ Result<std::vector<CorePathRow>> EvalPathsRec(PathEvalContext* ctx,
 
 }  // namespace
 
-Result<std::vector<CorePairRow>> EvalPatternPairs(const PropertyGraph& g,
-                                                  const CorePattern& pattern) {
+Result<std::vector<CorePairRow>> EvalPatternPairs(
+    const PropertyGraph& g, const CorePattern& pattern,
+    const CancellationToken* cancel) {
   Result<bool> valid = pattern.Validate();
   if (!valid.ok()) return valid.error();
-  Result<std::vector<CorePairRow>> rows = EvalPairsRec(g, pattern);
+  Result<std::vector<CorePairRow>> rows = EvalPairsRec(g, pattern, cancel);
   if (!rows.ok()) return rows;
   std::vector<CorePairRow> out = std::move(rows).value();
   SortUnique(&out);

@@ -6,6 +6,7 @@
 #include "src/coregql/pattern.h"
 #include "src/graph/graph.h"
 #include "src/graph/path.h"
+#include "src/util/cancellation.h"
 #include "src/util/result.h"
 
 namespace gqzoo {
@@ -41,8 +42,9 @@ struct CorePairRow {
 /// projected to endpoints (repetition contributes endpoint pairs computed
 /// by reachability over the one-iteration pair relation). This is all a
 /// CoreGQL *relation* needs (Section 4.1.2: outputs are first-normal-form).
-Result<std::vector<CorePairRow>> EvalPatternPairs(const PropertyGraph& g,
-                                                  const CorePattern& pattern);
+Result<std::vector<CorePairRow>> EvalPatternPairs(
+    const PropertyGraph& g, const CorePattern& pattern,
+    const CancellationToken* cancel = nullptr);
 
 /// One result of path-level evaluation: the matched path itself plus µ.
 /// Needed for the `p = π` path-binding extension of Section 5.2.
@@ -62,6 +64,9 @@ struct CorePathRow {
 struct CorePathEvalOptions {
   size_t max_path_length = 32;
   size_t max_results = 200000;
+  /// Optional cooperative cancellation (deadlines); enumeration returns a
+  /// truncated result once the token trips. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct CorePathEvalResult {

@@ -27,7 +27,8 @@ Result<CoreRelation> EvalPatternEntry(const PropertyGraph& g,
                                       bool* truncated) {
   std::vector<std::string> fv = entry.pattern->FreeVariables();
   if (!entry.path_var.has_value()) {
-    Result<std::vector<CorePairRow>> rows = EvalPatternPairs(g, *entry.pattern);
+    Result<std::vector<CorePairRow>> rows =
+        EvalPatternPairs(g, *entry.pattern, options.path_options.cancel);
     if (!rows.ok()) return rows.error();
     CoreRelation rel(fv);
     for (const CorePairRow& row : rows.value()) {

@@ -43,9 +43,11 @@ Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
   std::vector<std::pair<NodeId, NodeId>> pairs;
   if (from_const.value().has_value()) {
     NodeId u = *from_const.value();
-    for (NodeId v : EvalRpqFrom(g, nfa, u)) pairs.emplace_back(u, v);
+    for (NodeId v : EvalRpqFrom(g, nfa, u, options.cancel)) {
+      pairs.emplace_back(u, v);
+    }
   } else {
-    pairs = EvalRpq(g, nfa);
+    pairs = EvalRpq(g, nfa, options.cancel);
   }
   if (to_const.value().has_value()) {
     NodeId v = *to_const.value();
@@ -66,8 +68,13 @@ Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
   EnumerationLimits limits;
   limits.max_results = options.max_bindings_per_pair;
   limits.max_length = options.max_path_length;
+  limits.cancel = options.cancel;
 
   for (const auto& [u, v] : pairs) {
+    if (ShouldStop(options.cancel)) {
+      *truncated = true;
+      break;
+    }
     std::vector<CrpqValue> prefix;
     if (!atom.from.is_constant) prefix.push_back(u);
     if (!atom.to.is_constant && !same_var) prefix.push_back(v);
@@ -105,6 +112,10 @@ Result<CrpqResult> EvalCrpq(const EdgeLabeledGraph& g, const Crpq& q,
   Relation joined;
   bool first = true;
   for (const CrpqAtom& atom : q.atoms) {
+    if (ShouldStop(options.cancel)) {
+      truncated = true;
+      break;
+    }
     Result<Relation> rel = EvalAtom(g, atom, options, &truncated);
     if (!rel.ok()) return rel.error();
     if (first) {

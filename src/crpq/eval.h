@@ -15,6 +15,9 @@ struct CrpqEvalOptions {
   size_t max_bindings_per_pair = 100000;
   /// Maximum path length explored during enumeration.
   size_t max_path_length = 1000;
+  /// Optional cooperative cancellation (deadlines); evaluation returns a
+  /// truncated result once the token trips. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Evaluates a CRPQ / l-CRPQ on `g` per Sections 3.1.2 and 3.1.5.

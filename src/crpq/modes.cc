@@ -69,6 +69,12 @@ class RestrictedSearch {
  private:
   void Dfs(NodeId node, uint32_t state, size_t depth) {
     if (stopped_) return;
+    if (ShouldStop(limits_.cancel)) {
+      stats_.cancelled = true;
+      stats_.truncated = true;
+      stopped_ = true;
+      return;
+    }
     if (node == target_ && nfa_.accepting(state)) {
       out_->push_back(current_);
       ++stats_.emitted;
@@ -154,9 +160,13 @@ std::vector<PathBinding> CollectModePaths(const EdgeLabeledGraph& g,
     case PathMode::kTrail: {
       RestrictedSearch search(g, nfa, v, mode, limits, &results);
       local = search.Run(u);
-      std::sort(results.begin(), results.end());
-      results.erase(std::unique(results.begin(), results.end()),
-                    results.end());
+      // Skip ordering cancelled (partial, to-be-discarded) results so
+      // deadlines stay prompt.
+      if (!local.cancelled) {
+        std::sort(results.begin(), results.end());
+        results.erase(std::unique(results.begin(), results.end()),
+                      results.end());
+      }
       break;
     }
   }

@@ -177,6 +177,12 @@ class DlDfs {
 
   void Recurse(const Config& config, bool /*is_start*/) {
     if (stopped_) return;
+    if (ShouldStop(limits_.cancel)) {
+      stats_.cancelled = true;
+      stats_.truncated = true;
+      stopped_ = true;
+      return;
+    }
     // Emit if accepting at the target with the right length.
     if (nfa_.accepting(config.state) && TgtOf(g_, config.obj) == target_ &&
         (exact_length_ == SIZE_MAX || path_len_ == exact_length_)) {
@@ -219,7 +225,8 @@ class DlDfs {
 
 }  // namespace
 
-std::vector<NodeId> DlEvaluator::ReachableFrom(NodeId u) const {
+std::vector<NodeId> DlEvaluator::ReachableFrom(
+    NodeId u, const CancellationToken* cancel) const {
   ValuationInterner interner;
   uint32_t nu0 = interner.Intern(nfa_->InitialValuation());
   std::set<Config> visited;
@@ -240,6 +247,7 @@ std::vector<NodeId> DlEvaluator::ReachableFrom(NodeId u) const {
     try_push(nfa_->initial(), o, nu0);
   });
   while (!queue.empty()) {
+    if (ShouldStop(cancel)) break;
     Config c = queue.front();
     queue.pop_front();
     if (nfa_->accepting(c.state)) reached.insert(TgtOf(*g_, c.obj));
@@ -250,15 +258,18 @@ std::vector<NodeId> DlEvaluator::ReachableFrom(NodeId u) const {
   return std::vector<NodeId>(reached.begin(), reached.end());
 }
 
-std::vector<std::pair<NodeId, NodeId>> DlEvaluator::AllPairs() const {
+std::vector<std::pair<NodeId, NodeId>> DlEvaluator::AllPairs(
+    const CancellationToken* cancel) const {
   std::vector<std::pair<NodeId, NodeId>> pairs;
   for (NodeId u = 0; u < g_->NumNodes(); ++u) {
-    for (NodeId v : ReachableFrom(u)) pairs.emplace_back(u, v);
+    if (ShouldStop(cancel)) break;
+    for (NodeId v : ReachableFrom(u, cancel)) pairs.emplace_back(u, v);
   }
   return pairs;
 }
 
-size_t DlEvaluator::ShortestLength(NodeId u, NodeId v) const {
+size_t DlEvaluator::ShortestLength(NodeId u, NodeId v,
+                                   const CancellationToken* cancel) const {
   ValuationInterner interner;
   uint32_t nu0 = interner.Intern(nfa_->InitialValuation());
   std::map<Config, size_t> dist;
@@ -290,6 +301,7 @@ size_t DlEvaluator::ShortestLength(NodeId u, NodeId v) const {
   });
   size_t best = SIZE_MAX;
   while (!queue.empty()) {
+    if (ShouldStop(cancel)) break;
     auto [c, d] = queue.front();
     queue.pop_front();
     if (dist[c] != d) continue;  // stale entry
@@ -312,7 +324,7 @@ std::vector<PathBinding> DlEvaluator::CollectModePaths(
   std::vector<PathBinding> results;
   EnumerationStats local;
   if (mode == PathMode::kShortest) {
-    size_t best = ShortestLength(u, v);
+    size_t best = ShortestLength(u, v, limits.cancel);
     if (best != SIZE_MAX) {
       EnumerationLimits bounded = limits;
       bounded.max_length = std::min(bounded.max_length, best);
@@ -344,6 +356,10 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
   Relation joined;
   bool first = true;
   for (const CrpqAtom& atom : q.atoms) {
+    if (ShouldStop(options.cancel)) {
+      truncated = true;
+      break;
+    }
     DlNfa nfa = DlNfa::FromRegex(*atom.regex, g);
     DlEvaluator evaluator(g, nfa);
     std::vector<std::string> list_vars = atom.regex->CaptureVariables();
@@ -364,9 +380,11 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
     std::vector<std::pair<NodeId, NodeId>> pairs;
     if (from_const.value().has_value()) {
       NodeId u = *from_const.value();
-      for (NodeId v : evaluator.ReachableFrom(u)) pairs.emplace_back(u, v);
+      for (NodeId v : evaluator.ReachableFrom(u, options.cancel)) {
+        pairs.emplace_back(u, v);
+      }
     } else {
-      pairs = evaluator.AllPairs();
+      pairs = evaluator.AllPairs(options.cancel);
     }
     if (to_const.value().has_value()) {
       NodeId v = *to_const.value();
@@ -386,8 +404,13 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
     EnumerationLimits limits;
     limits.max_results = options.max_bindings_per_pair;
     limits.max_length = options.max_path_length;
+    limits.cancel = options.cancel;
 
     for (const auto& [u, v] : pairs) {
+      if (ShouldStop(options.cancel)) {
+        truncated = true;
+        break;
+      }
       std::vector<CrpqValue> prefix;
       if (!atom.from.is_constant) prefix.push_back(u);
       if (!atom.to.is_constant && !same_var) prefix.push_back(v);

@@ -32,11 +32,14 @@ class DlEvaluator {
 
   /// All nodes `v` such that some non-empty-endpoint path from `u` to `v`
   /// satisfies the dl-RPQ (σ endpoints: src(p) = u, tgt(p) = v; paths may
-  /// start/end with edges).
-  std::vector<NodeId> ReachableFrom(NodeId u) const;
+  /// start/end with edges). Stops early (partial result) when `cancel`
+  /// trips.
+  std::vector<NodeId> ReachableFrom(
+      NodeId u, const CancellationToken* cancel = nullptr) const;
 
   /// All endpoint pairs ([[R]] projected to (src, tgt)).
-  std::vector<std::pair<NodeId, NodeId>> AllPairs() const;
+  std::vector<std::pair<NodeId, NodeId>> AllPairs(
+      const CancellationToken* cancel = nullptr) const;
 
   /// Enumerates `mode(σ_{u,v}([[R]]_G))`, deduplicated. `shortest` is
   /// computed by first finding the optimal length via 0/1-weighted BFS on
@@ -47,7 +50,8 @@ class DlEvaluator {
 
   /// Length of the shortest path from `u` to `v` satisfying the dl-RPQ, or
   /// SIZE_MAX if none exists.
-  size_t ShortestLength(NodeId u, NodeId v) const;
+  size_t ShortestLength(NodeId u, NodeId v,
+                        const CancellationToken* cancel = nullptr) const;
 
  private:
   const PropertyGraph* g_;
@@ -59,6 +63,8 @@ class DlEvaluator {
 struct DlCrpqEvalOptions {
   size_t max_bindings_per_pair = 100000;
   size_t max_path_length = 1000;
+  /// Optional cooperative cancellation (deadlines). Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,

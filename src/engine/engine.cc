@@ -1,0 +1,330 @@
+#include "src/engine/engine.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+#include <variant>
+
+#include "src/coregql/group_eval.h"
+#include "src/coregql/query.h"
+#include "src/crpq/eval.h"
+#include "src/crpq/modes.h"
+#include "src/datatest/dl_eval.h"
+#include "src/nested/regular_queries.h"
+#include "src/pmr/build.h"
+#include "src/pmr/enumerate.h"
+#include "src/rpq/rpq_eval.h"
+
+namespace gqzoo {
+
+QueryEngine::QueryEngine(PropertyGraph graph)
+    : QueryEngine(std::move(graph), Options{}) {}
+
+QueryEngine::QueryEngine(PropertyGraph graph, Options options)
+    : graph_(std::make_shared<const PropertyGraph>(std::move(graph))),
+      default_timeout_(options.default_timeout),
+      cache_(options.cache_capacity_per_shard, options.cache_shards),
+      pool_(options.num_threads) {}
+
+void QueryEngine::SetGraph(PropertyGraph graph) {
+  auto next = std::make_shared<const PropertyGraph>(std::move(graph));
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    graph_ = std::move(next);
+    ++epoch_;
+  }
+  metrics_.graph_epoch_bumps.Increment();
+}
+
+uint64_t QueryEngine::graph_epoch() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return epoch_;
+}
+
+std::shared_ptr<const PropertyGraph> QueryEngine::graph_snapshot() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return graph_;
+}
+
+void QueryEngine::set_default_timeout(
+    std::optional<std::chrono::milliseconds> t) {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  default_timeout_ = t;
+}
+
+std::optional<std::chrono::milliseconds> QueryEngine::default_timeout() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return default_timeout_;
+}
+
+Result<QueryResponse> QueryEngine::Execute(const QueryRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  metrics_.queries_total.Increment();
+  metrics_.RecordLanguage(request.language);
+
+  // Snapshot (graph, epoch, timeout) atomically; in-flight queries keep
+  // their graph alive even if SetGraph races with them.
+  std::shared_ptr<const PropertyGraph> graph;
+  uint64_t epoch;
+  std::optional<std::chrono::milliseconds> timeout = request.timeout;
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    graph = graph_;
+    epoch = epoch_;
+    if (!timeout.has_value()) timeout = default_timeout_;
+  }
+
+  PlanOptions plan_options;
+  plan_options.optimize = request.optimize;
+  PlanCacheKey key{request.language,
+                   PlanCacheKey::WithOptions(request.text, plan_options),
+                   epoch};
+  bool cache_hit = false;
+  PlanPtr plan = cache_.Get(key);
+  if (plan != nullptr) {
+    cache_hit = true;
+    metrics_.cache_hits.Increment();
+  } else {
+    metrics_.cache_misses.Increment();
+    Result<PlanPtr> compiled = CompilePlan(request.language, request.text,
+                                           *graph, epoch, plan_options);
+    if (!compiled.ok()) {
+      metrics_.queries_error.Increment();
+      if (compiled.error().code() == ErrorCode::kParse) {
+        metrics_.parse_errors.Increment();
+      }
+      return compiled.error();
+    }
+    plan = std::move(compiled).value();
+    cache_.Put(key, plan);
+  }
+
+  CancellationToken token;
+  const CancellationToken* cancel = nullptr;
+  if (timeout.has_value() && timeout->count() > 0) {
+    token = CancellationToken::WithTimeout(*timeout);
+    cancel = &token;
+  }
+
+  Result<QueryResponse> result = ExecutePlan(*plan, *graph, request, cancel);
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  metrics_.latency.Record(elapsed);
+
+  // A tripped token means the evaluators unwound early with a partial
+  // result; surface that as a deadline error rather than silent truncation.
+  if (cancel != nullptr && cancel->Cancelled()) {
+    metrics_.queries_error.Increment();
+    metrics_.deadline_exceeded.Increment();
+    return Error(ErrorCode::kDeadlineExceeded,
+                 "deadline of " + std::to_string(timeout->count()) +
+                     "ms exceeded");
+  }
+  if (!result.ok()) {
+    metrics_.queries_error.Increment();
+    return result;
+  }
+  QueryResponse response = std::move(result).value();
+  response.cache_hit = cache_hit;
+  response.latency = elapsed;
+  if (response.truncated) metrics_.truncated_results.Increment();
+  metrics_.queries_ok.Increment();
+  return response;
+}
+
+std::future<Result<QueryResponse>> QueryEngine::Submit(QueryRequest request) {
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> future = promise->get_future();
+  pool_.Submit([this, promise, request = std::move(request)]() {
+    promise->set_value(Execute(request));
+  });
+  return future;
+}
+
+Result<QueryResponse> QueryEngine::ExecutePlan(
+    const Plan& plan, const PropertyGraph& g, const QueryRequest& request,
+    const CancellationToken* cancel) const {
+  QueryResponse response;
+  std::ostringstream out;
+
+  if (const auto* rpq = std::get_if<RpqPlan>(&plan.compiled)) {
+    auto pairs = EvalRpq(g.skeleton(), rpq->nfa, cancel);
+    size_t shown = 0;
+    for (const auto& [u, v] : pairs) {
+      if (shown++ >= request.max_display_rows) {
+        out << "  ... (" << pairs.size() << " pairs total)\n";
+        break;
+      }
+      out << "  (" << g.NodeName(u) << ", " << g.NodeName(v) << ")\n";
+    }
+    out << pairs.size() << " pairs\n";
+    response.num_rows = pairs.size();
+
+  } else if (const auto* crpq = std::get_if<CrpqPlan>(&plan.compiled)) {
+    CrpqEvalOptions options;
+    if (request.max_results) options.max_bindings_per_pair = *request.max_results;
+    if (request.max_path_length) options.max_path_length = *request.max_path_length;
+    options.cancel = cancel;
+    Result<CrpqResult> r = EvalCrpq(g.skeleton(), crpq->query, options);
+    if (!r.ok()) return r.error();
+    out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
+        << (r.value().truncated ? " (truncated)" : "") << "\n";
+    response.num_rows = r.value().rows.size();
+    response.truncated = r.value().truncated;
+
+  } else if (const auto* dl = std::get_if<DlCrpqPlan>(&plan.compiled)) {
+    DlCrpqEvalOptions options;
+    if (request.max_results) options.max_bindings_per_pair = *request.max_results;
+    if (request.max_path_length) options.max_path_length = *request.max_path_length;
+    options.cancel = cancel;
+    Result<CrpqResult> r = EvalDlCrpq(g, dl->query, options);
+    if (!r.ok()) return r.error();
+    out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
+        << (r.value().truncated ? " (truncated)" : "") << "\n";
+    response.num_rows = r.value().rows.size();
+    response.truncated = r.value().truncated;
+
+  } else if (const auto* gql = std::get_if<CoreGqlPlan>(&plan.compiled)) {
+    CoreQueryEvalOptions options;
+    if (request.max_path_length) {
+      options.path_options.max_path_length = *request.max_path_length;
+    }
+    if (request.max_results) options.path_options.max_results = *request.max_results;
+    options.path_options.cancel = cancel;
+    Result<CoreQueryResult> r = EvalCoreGqlQuery(g, gql->query, options);
+    if (!r.ok()) return r.error();
+    if (gql->optimized) {
+      out << "(pushdown: " << gql->pushdown.labels_pushed << " labels, "
+          << gql->pushdown.selections_pushed << " selections)\n";
+    }
+    out << r.value().relation.ToString(g.skeleton())
+        << r.value().relation.NumRows() << " rows"
+        << (r.value().truncated ? " (truncated)" : "") << "\n";
+    response.num_rows = r.value().relation.NumRows();
+    response.truncated = r.value().truncated;
+
+  } else if (const auto* group = std::get_if<GqlGroupPlan>(&plan.compiled)) {
+    CorePathEvalOptions options;
+    if (request.max_path_length) options.max_path_length = *request.max_path_length;
+    if (request.max_results) options.max_results = *request.max_results;
+    options.cancel = cancel;
+    Result<GqlEvalResult> r = EvalGqlGroupPattern(g, *group->pattern, options);
+    if (!r.ok()) return r.error();
+    size_t shown = 0;
+    for (const GqlPathRow& row : r.value().rows) {
+      if (++shown > request.max_display_rows) {
+        out << "  ... (" << r.value().rows.size() << " rows total)\n";
+        break;
+      }
+      out << "  " << row.path.ToString(g.skeleton());
+      for (const auto& [var, value] : row.mu) {
+        out << "  " << var << " -> " << value.ToString(g.skeleton());
+      }
+      out << "\n";
+    }
+    out << r.value().rows.size() << " rows"
+        << (r.value().truncated ? " (truncated)" : "") << "\n";
+    response.num_rows = r.value().rows.size();
+    response.truncated = r.value().truncated;
+
+  } else if (const auto* regular = std::get_if<RegularPlan>(&plan.compiled)) {
+    CrpqEvalOptions options;
+    if (request.max_results) options.max_bindings_per_pair = *request.max_results;
+    if (request.max_path_length) options.max_path_length = *request.max_path_length;
+    options.cancel = cancel;
+    Result<CrpqResult> r = EvalRegularQuery(g.skeleton(), regular->query, options);
+    if (!r.ok()) return r.error();
+    out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
+        << (r.value().truncated ? " (truncated)" : "") << "\n";
+    response.num_rows = r.value().rows.size();
+    response.truncated = r.value().truncated;
+
+  } else if (const auto* paths = std::get_if<PathsPlan>(&plan.compiled)) {
+    std::optional<NodeId> u = g.FindNode(request.paths.from);
+    if (!u.has_value()) {
+      return Error(ErrorCode::kNotFound,
+                   "unknown node '" + request.paths.from + "'");
+    }
+    std::optional<NodeId> v = g.FindNode(request.paths.to);
+    if (!v.has_value()) {
+      return Error(ErrorCode::kNotFound,
+                   "unknown node '" + request.paths.to + "'");
+    }
+
+    if (request.paths.k_shortest > 0) {
+      if (!paths->nfa.has_value() || paths->nfa->HasInverse()) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "kshortest requires a plain one-way regex");
+      }
+      Pmr pmr = BuildPmrBetween(g.skeleton(), *paths->nfa, *u, *v);
+      std::vector<PathBinding> results =
+          KShortestPathBindings(pmr, request.paths.k_shortest);
+      size_t shown = 0;
+      for (const PathBinding& pb : results) {
+        if (shown++ >= request.max_display_rows) {
+          out << "  ... (" << results.size() << " paths total)\n";
+          break;
+        }
+        out << "  [len " << pb.path.Length() << "] "
+            << pb.path.ToString(g.skeleton()) << "\n";
+      }
+      out << results.size() << " paths\n";
+      response.num_rows = results.size();
+    } else {
+      EnumerationLimits limits;
+      limits.max_results = request.max_results.value_or(50);
+      limits.max_length = request.max_path_length.value_or(32);
+      limits.cancel = cancel;
+      EnumerationStats stats;
+      std::vector<PathBinding> results;
+      if (paths->dl_nfa.has_value()) {
+        DlEvaluator evaluator(g, *paths->dl_nfa);
+        results = evaluator.CollectModePaths(*u, *v, request.paths.mode,
+                                             limits, &stats);
+      } else {
+        results = CollectModePaths(g.skeleton(), *paths->nfa, *u, *v,
+                                   request.paths.mode, limits, &stats);
+      }
+      size_t shown = 0;
+      for (const PathBinding& pb : results) {
+        if (shown++ >= request.max_display_rows) {
+          out << "  ... (" << results.size() << " paths total)\n";
+          break;
+        }
+        out << "  " << pb.path.ToString(g.skeleton());
+        if (!pb.mu.lists.empty()) {
+          out << "  " << pb.mu.ToString(g.skeleton());
+        }
+        out << "\n";
+      }
+      out << results.size() << " paths"
+          << (stats.truncated ? " (truncated)" : "") << "\n";
+      response.num_rows = results.size();
+      response.truncated = stats.truncated;
+    }
+  } else {
+    return Error(ErrorCode::kInvalidArgument, "unsupported plan kind");
+  }
+
+  response.text = out.str();
+  return response;
+}
+
+std::string QueryEngine::StatsReport() const {
+  std::string out = metrics_.ReportText();
+  PlanCache::Stats s = cache_.GetStats();
+  char line[160];
+  snprintf(line, sizeof(line),
+           "plan_cache     entries %zu  hits %llu  misses %llu  "
+           "evictions %llu  (%zu shards x %zu)\n",
+           s.entries, static_cast<unsigned long long>(s.hits),
+           static_cast<unsigned long long>(s.misses),
+           static_cast<unsigned long long>(s.evictions), cache_.num_shards(),
+           cache_.capacity_per_shard());
+  out += line;
+  out += "threads        " + std::to_string(pool_.num_threads()) + "\n";
+  return out;
+}
+
+}  // namespace gqzoo

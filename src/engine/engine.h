@@ -1,0 +1,140 @@
+#ifndef GQZOO_ENGINE_ENGINE_H_
+#define GQZOO_ENGINE_ENGINE_H_
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/crpq/crpq.h"
+#include "src/engine/executor.h"
+#include "src/engine/language.h"
+#include "src/engine/metrics.h"
+#include "src/engine/plan.h"
+#include "src/engine/plan_cache.h"
+#include "src/graph/graph.h"
+#include "src/util/cancellation.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// Runtime parameters for QueryLanguage::kPaths — not part of the compiled
+/// plan (the plan caches the regex + automaton; endpoints and mode vary per
+/// request).
+struct PathRequestParams {
+  std::string from;
+  std::string to;
+  PathMode mode = PathMode::kAll;
+  /// When > 0, stream the k shortest matching paths (plain one-way regexes
+  /// only) instead of mode-restricted enumeration.
+  size_t k_shortest = 0;
+};
+
+/// One query for the engine. `language` + `text` identify the plan;
+/// everything else is execution-time policy.
+struct QueryRequest {
+  QueryLanguage language = QueryLanguage::kRpq;
+  std::string text;
+
+  /// Per-query deadline; falls back to the engine's default when unset.
+  /// Exceeding it returns ErrorCode::kDeadlineExceeded.
+  std::optional<std::chrono::milliseconds> timeout;
+
+  /// CoreGQL only: WHERE-pushdown before evaluation (the shell's `gqlopt`).
+  bool optimize = false;
+
+  /// Overrides for the per-language enumeration limits (defaults preserve
+  /// each evaluator's historical limits).
+  std::optional<size_t> max_results;
+  std::optional<size_t> max_path_length;
+
+  /// Row cap for the rendered `text` of listing-style results (rpq, paths,
+  /// gqlgroup); counts are always exact.
+  size_t max_display_rows = 50;
+
+  PathRequestParams paths;  // kPaths only
+};
+
+/// A successful query outcome: rendered rows plus execution metadata.
+struct QueryResponse {
+  std::string text;  // human-readable rows, shell-style
+  size_t num_rows = 0;
+  bool truncated = false;   // an enumeration limit cut the result short
+  bool cache_hit = false;   // plan came from the compiled-plan cache
+  std::chrono::microseconds latency{0};
+};
+
+/// The unified query-engine facade: language dispatch, compiled-plan
+/// caching, a fixed thread pool, per-query deadlines, and metrics.
+///
+/// Thread-safety: `Execute` may be called concurrently from any thread
+/// (including pool threads via `Submit`); `SetGraph` may race with
+/// executions — in-flight queries keep the graph snapshot they started
+/// with alive via shared_ptr, and the epoch bump makes their plans
+/// uncacheable for later requests.
+class QueryEngine {
+ public:
+  struct Options {
+    /// 0 = hardware concurrency.
+    size_t num_threads = 0;
+    size_t cache_shards = 8;
+    size_t cache_capacity_per_shard = 64;
+    /// Applied when a request has no timeout of its own; unset = unbounded.
+    std::optional<std::chrono::milliseconds> default_timeout;
+  };
+
+  explicit QueryEngine(PropertyGraph graph);
+  QueryEngine(PropertyGraph graph, Options options);
+
+  /// Compiles (or fetches from cache) and runs the query on the calling
+  /// thread, honoring the deadline cooperatively.
+  Result<QueryResponse> Execute(const QueryRequest& request);
+
+  /// Runs the query on the thread pool. The future never throws; errors
+  /// come back as Result errors.
+  std::future<Result<QueryResponse>> Submit(QueryRequest request);
+
+  /// Replaces the graph and bumps the epoch, invalidating every cached
+  /// plan. In-flight queries finish against the graph they started with.
+  void SetGraph(PropertyGraph graph);
+
+  uint64_t graph_epoch() const;
+  /// A consistent snapshot (graph, epoch) for read access.
+  std::shared_ptr<const PropertyGraph> graph_snapshot() const;
+
+  void set_default_timeout(std::optional<std::chrono::milliseconds> t);
+  std::optional<std::chrono::milliseconds> default_timeout() const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  PlanCache& plan_cache() { return cache_; }
+
+  /// Drops all cached plans (cold-cache benchmarking).
+  void ClearPlanCache() { cache_.Clear(); }
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Metrics report + plan-cache stats, for `stats` in the shell and the
+  /// batch driver's final report.
+  std::string StatsReport() const;
+
+ private:
+  Result<QueryResponse> ExecutePlan(const Plan& plan, const PropertyGraph& g,
+                                    const QueryRequest& request,
+                                    const CancellationToken* cancel) const;
+
+  mutable std::mutex graph_mu_;
+  std::shared_ptr<const PropertyGraph> graph_;
+  uint64_t epoch_ = 0;
+  std::optional<std::chrono::milliseconds> default_timeout_;
+
+  PlanCache cache_;
+  MetricsRegistry metrics_;
+  ThreadPool pool_;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_ENGINE_ENGINE_H_

@@ -1,0 +1,37 @@
+#include "src/engine/language.h"
+
+#include <algorithm>
+
+namespace gqzoo {
+
+const char* QueryLanguageName(QueryLanguage language) {
+  switch (language) {
+    case QueryLanguage::kRpq: return "rpq";
+    case QueryLanguage::kCrpq: return "crpq";
+    case QueryLanguage::kDlCrpq: return "dlcrpq";
+    case QueryLanguage::kCoreGql: return "gql";
+    case QueryLanguage::kGqlGroup: return "gqlgroup";
+    case QueryLanguage::kRegular: return "regular";
+    case QueryLanguage::kPaths: return "paths";
+  }
+  return "unknown";
+}
+
+Result<QueryLanguage> ParseQueryLanguage(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "rpq" || lower == "2rpq") return QueryLanguage::kRpq;
+  if (lower == "crpq") return QueryLanguage::kCrpq;
+  if (lower == "dlcrpq") return QueryLanguage::kDlCrpq;
+  if (lower == "gql" || lower == "coregql") return QueryLanguage::kCoreGql;
+  if (lower == "gqlgroup") return QueryLanguage::kGqlGroup;
+  if (lower == "regular") return QueryLanguage::kRegular;
+  if (lower == "paths") return QueryLanguage::kPaths;
+  return Error(ErrorCode::kInvalidArgument,
+               "unknown query language '" + name +
+                   "' (expected rpq|2rpq|crpq|dlcrpq|gql|gqlgroup|regular|"
+                   "paths)");
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,36 @@
+#ifndef GQZOO_ENGINE_LANGUAGE_H_
+#define GQZOO_ENGINE_LANGUAGE_H_
+
+#include <string>
+
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// The query languages of the zoo that the engine dispatches over
+/// (Figure 1 of the paper). 2RPQs (Remark 9) are not a separate entry:
+/// the plain regex dialect already admits inverse atoms `~a`, so they ride
+/// on `kRpq`.
+enum class QueryLanguage : uint8_t {
+  kRpq = 0,   // RPQs / 2RPQs (3.1.1, Remark 9): endpoint pairs
+  kCrpq,      // CRPQs / l-CRPQs (3.1.2, 3.1.5)
+  kDlCrpq,    // dl-CRPQs (3.2.2; dl-dialect regexes)
+  kCoreGql,   // CoreGQL MATCH/WHERE/RETURN (Section 4)
+  kGqlGroup,  // GQL group-variable pattern semantics (Examples 1-2)
+  kRegular,   // regular queries / nested CRPQs (3.1.3)
+  kPaths,     // mode-restricted path enumeration over one (dl-)regex
+};
+
+inline constexpr size_t kNumQueryLanguages = 7;
+
+/// Canonical lower-case name ("rpq", "crpq", ..., "paths").
+const char* QueryLanguageName(QueryLanguage language);
+
+/// Parses a language name as used by the shell and the batch driver.
+/// Accepts the canonical names plus the aliases "2rpq" (→ kRpq),
+/// "gql"/"coregql" (→ kCoreGql) and "gqlgroup" (→ kGqlGroup).
+Result<QueryLanguage> ParseQueryLanguage(const std::string& name);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_ENGINE_LANGUAGE_H_

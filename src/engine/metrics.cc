@@ -1,0 +1,111 @@
+#include "src/engine/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gqzoo {
+
+namespace {
+
+// Index of the highest set bit; 0 for 0.
+size_t BucketOf(uint64_t us) {
+  size_t b = 0;
+  while (us > 1 && b + 1 < LatencyHistogram::kNumBuckets) {
+    us >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(std::chrono::microseconds latency) {
+  uint64_t us = static_cast<uint64_t>(std::max<int64_t>(latency.count(), 0));
+  buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (prev < us &&
+         !max_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::PercentileUpperBoundUs(double p) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * total);
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank) return uint64_t{1} << (i + 1);
+  }
+  return uint64_t{1} << kNumBuckets;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsRegistry::ReportText() const {
+  char line[160];
+  std::string out = "== engine metrics ==\n";
+  auto row = [&](const char* name, uint64_t value) {
+    snprintf(line, sizeof(line), "%-24s %10llu\n", name,
+             static_cast<unsigned long long>(value));
+    out += line;
+  };
+  row("queries_total", queries_total.value());
+  row("queries_ok", queries_ok.value());
+  row("queries_error", queries_error.value());
+  row("parse_errors", parse_errors.value());
+  row("deadline_exceeded", deadline_exceeded.value());
+  row("cache_hits", cache_hits.value());
+  row("cache_misses", cache_misses.value());
+  row("truncated_results", truncated_results.value());
+  row("graph_epoch_bumps", graph_epoch_bumps.value());
+  for (size_t i = 0; i < kNumQueryLanguages; ++i) {
+    uint64_t n = queries_by_language[i].value();
+    if (n == 0) continue;
+    std::string name =
+        std::string("queries[") +
+        QueryLanguageName(static_cast<QueryLanguage>(i)) + "]";
+    row(name.c_str(), n);
+  }
+  uint64_t n = latency.count();
+  if (n > 0) {
+    snprintf(line, sizeof(line),
+             "latency_us     mean %llu  p50 <%llu  p95 <%llu  p99 <%llu  "
+             "max %llu  (n=%llu)\n",
+             static_cast<unsigned long long>(latency.sum_us() / n),
+             static_cast<unsigned long long>(
+                 latency.PercentileUpperBoundUs(50)),
+             static_cast<unsigned long long>(
+                 latency.PercentileUpperBoundUs(95)),
+             static_cast<unsigned long long>(
+                 latency.PercentileUpperBoundUs(99)),
+             static_cast<unsigned long long>(latency.max_us()),
+             static_cast<unsigned long long>(n));
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  queries_total.Reset();
+  queries_ok.Reset();
+  queries_error.Reset();
+  parse_errors.Reset();
+  deadline_exceeded.Reset();
+  cache_hits.Reset();
+  cache_misses.Reset();
+  truncated_results.Reset();
+  graph_epoch_bumps.Reset();
+  for (auto& c : queries_by_language) c.Reset();
+  latency.Reset();
+}
+
+}  // namespace gqzoo

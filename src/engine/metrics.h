@@ -1,0 +1,87 @@
+#ifndef GQZOO_ENGINE_METRICS_H_
+#define GQZOO_ENGINE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "src/engine/language.h"
+
+namespace gqzoo {
+
+/// A monotonically increasing counter, safe for concurrent increments.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A lock-free latency histogram with power-of-two microsecond buckets:
+/// bucket i counts latencies in [2^i, 2^(i+1)) µs (bucket 0 also catches
+/// sub-microsecond queries). Good enough for engine-level percentiles
+/// without allocating per observation.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;  // up to ~71 minutes
+
+  void Record(std::chrono::microseconds latency);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Total across all observations, in microseconds.
+  uint64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  uint64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
+
+  /// Upper bound (in µs) of the bucket containing the p-th percentile
+  /// (p in [0, 100]); 0 when empty.
+  uint64_t PercentileUpperBoundUs(double p) const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+/// Engine-wide metrics: query counters (total / per outcome / per
+/// language), plan-cache deltas, and a latency histogram. All operations
+/// are thread-safe; `ReportText()` renders the registry for the shell's
+/// `stats` command and the batch driver's final report.
+class MetricsRegistry {
+ public:
+  Counter queries_total;
+  Counter queries_ok;
+  Counter queries_error;       // all failures, including the two below
+  Counter parse_errors;        // ErrorCode::kParse
+  Counter deadline_exceeded;   // ErrorCode::kDeadlineExceeded / kCancelled
+  Counter cache_hits;          // compiled-plan cache
+  Counter cache_misses;
+  Counter truncated_results;   // evaluator hit an enumeration limit
+  Counter graph_epoch_bumps;   // SetGraph calls (cache invalidations)
+  std::array<Counter, kNumQueryLanguages> queries_by_language;
+
+  LatencyHistogram latency;
+
+  void RecordLanguage(QueryLanguage language) {
+    queries_by_language[static_cast<size_t>(language)].Increment();
+  }
+
+  /// Multi-line, human-readable dump of every counter plus latency
+  /// mean/p50/p95/p99/max.
+  std::string ReportText() const;
+
+  void Reset();
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_ENGINE_METRICS_H_

@@ -1,0 +1,98 @@
+#include "src/engine/plan.h"
+
+#include <utility>
+
+#include "src/coregql/pattern_parser.h"
+#include "src/crpq/crpq_parser.h"
+#include "src/regex/parser.h"
+
+namespace gqzoo {
+
+namespace {
+
+Error AsParseError(const Error& e) {
+  return Error(ErrorCode::kParse, e.message());
+}
+
+}  // namespace
+
+Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
+                            const PropertyGraph& g, uint64_t graph_epoch,
+                            const PlanOptions& options) {
+  auto plan = std::make_shared<Plan>();
+  plan->language = language;
+  plan->text = text;
+  plan->graph_epoch = graph_epoch;
+
+  switch (language) {
+    case QueryLanguage::kRpq: {
+      Result<RegexPtr> regex = ParseRegex(text, RegexDialect::kPlain);
+      if (!regex.ok()) return AsParseError(regex.error());
+      Nfa nfa = Nfa::FromRegex(*regex.value(), g.skeleton());
+      plan->compiled = RpqPlan{std::move(regex).value(), std::move(nfa)};
+      break;
+    }
+    case QueryLanguage::kCrpq: {
+      Result<Crpq> query = ParseCrpq(text, RegexDialect::kPlain);
+      if (!query.ok()) return AsParseError(query.error());
+      Result<bool> valid = query.value().Validate();
+      if (!valid.ok()) return AsParseError(valid.error());
+      plan->compiled = CrpqPlan{std::move(query).value()};
+      break;
+    }
+    case QueryLanguage::kDlCrpq: {
+      Result<Crpq> query = ParseCrpq(text, RegexDialect::kDl);
+      if (!query.ok()) return AsParseError(query.error());
+      Result<bool> valid = query.value().Validate();
+      if (!valid.ok()) return AsParseError(valid.error());
+      plan->compiled = DlCrpqPlan{std::move(query).value()};
+      break;
+    }
+    case QueryLanguage::kCoreGql: {
+      Result<CoreGqlQuery> query = ParseCoreGqlQuery(text);
+      if (!query.ok()) return AsParseError(query.error());
+      CoreGqlPlan compiled;
+      compiled.optimized = options.optimize;
+      if (options.optimize) {
+        compiled.query = PushDownConditions(query.value(), &compiled.pushdown);
+      } else {
+        compiled.query = std::move(query).value();
+      }
+      plan->compiled = std::move(compiled);
+      break;
+    }
+    case QueryLanguage::kGqlGroup: {
+      Result<CorePatternPtr> pattern = ParseCorePattern(text);
+      if (!pattern.ok()) return AsParseError(pattern.error());
+      plan->compiled = GqlGroupPlan{std::move(pattern).value()};
+      break;
+    }
+    case QueryLanguage::kRegular: {
+      Result<RegularQuery> query = ParseRegularQuery(text);
+      if (!query.ok()) return AsParseError(query.error());
+      plan->compiled = RegularPlan{std::move(query).value()};
+      break;
+    }
+    case QueryLanguage::kPaths: {
+      // dl dialect first (covers data tests), then plain — the shell's
+      // historical behavior. Report the plain-dialect error on double
+      // failure; it is the more common dialect.
+      PathsPlan compiled;
+      Result<RegexPtr> dl = ParseRegex(text, RegexDialect::kDl);
+      if (dl.ok()) {
+        compiled.dl_nfa = DlNfa::FromRegex(*dl.value(), g);
+        compiled.regex = std::move(dl).value();
+      } else {
+        Result<RegexPtr> plain = ParseRegex(text, RegexDialect::kPlain);
+        if (!plain.ok()) return AsParseError(plain.error());
+        compiled.nfa = Nfa::FromRegex(*plain.value(), g.skeleton());
+        compiled.regex = std::move(plain).value();
+      }
+      plan->compiled = std::move(compiled);
+      break;
+    }
+  }
+  return PlanPtr(std::move(plan));
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,94 @@
+#ifndef GQZOO_ENGINE_PLAN_H_
+#define GQZOO_ENGINE_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "src/automata/nfa.h"
+#include "src/coregql/optimize.h"
+#include "src/coregql/query.h"
+#include "src/crpq/crpq.h"
+#include "src/datatest/dl_rpq.h"
+#include "src/engine/language.h"
+#include "src/nested/regular_queries.h"
+#include "src/regex/ast.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+
+/// Compiled forms per language. Parsing and automaton construction happen
+/// once at compile time; execution reuses them. Automata resolve label
+/// names against a specific graph (Nfa::FromRegex takes the graph), which
+/// is why plans are keyed by graph epoch and cannot outlive a mutation.
+
+struct RpqPlan {
+  RegexPtr regex;
+  Nfa nfa;  // Glushkov automaton, labels resolved against the plan's graph
+};
+
+struct CrpqPlan {
+  Crpq query;
+};
+
+struct DlCrpqPlan {
+  Crpq query;  // atoms carry dl-dialect regexes
+};
+
+struct CoreGqlPlan {
+  CoreGqlQuery query;  // WHERE pushdown already applied when requested
+  bool optimized = false;
+  PushdownStats pushdown;
+};
+
+struct GqlGroupPlan {
+  CorePatternPtr pattern;
+};
+
+struct RegularPlan {
+  RegularQuery query;
+};
+
+/// Path enumeration over a single regex. The dl dialect is tried first
+/// (it covers data tests), falling back to the plain dialect — mirroring
+/// what the interactive shell always did.
+struct PathsPlan {
+  RegexPtr regex;
+  std::optional<DlNfa> dl_nfa;  // set iff the regex parsed as dl dialect
+  std::optional<Nfa> nfa;       // set otherwise (plain dialect)
+};
+
+/// A compiled, immutable, shareable query plan. Produced by `CompilePlan`,
+/// cached by `PlanCache`, executed by `QueryEngine`. Safe to execute from
+/// several threads concurrently (execution only reads it).
+struct Plan {
+  QueryLanguage language;
+  std::string text;       // the source query text
+  uint64_t graph_epoch;   // epoch of the graph the plan was compiled against
+  // monostate only while under construction in CompilePlan (some
+  // alternatives, e.g. RpqPlan's Nfa, are not default-constructible).
+  std::variant<std::monostate, RpqPlan, CrpqPlan, DlCrpqPlan, CoreGqlPlan,
+               GqlGroupPlan, RegularPlan, PathsPlan>
+      compiled;
+};
+
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// Options that change the compiled artifact (and therefore participate in
+/// the cache key, see PlanCacheKey::OptionsFingerprint).
+struct PlanOptions {
+  /// CoreGQL only: apply WHERE-pushdown (the shell's `gqlopt`) at compile
+  /// time, so cached plans skip the rewrite too.
+  bool optimize = false;
+};
+
+/// Parses `text` in `language` and compiles automata against `g`.
+/// Parse and validation failures come back as ErrorCode::kParse.
+Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
+                            const PropertyGraph& g, uint64_t graph_epoch,
+                            const PlanOptions& options = {});
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_ENGINE_PLAN_H_

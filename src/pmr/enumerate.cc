@@ -27,6 +27,12 @@ class Enumerator {
  private:
   void Dfs(uint32_t node, size_t depth) {
     if (stopped_) return;
+    if (ShouldStop(limits_.cancel)) {
+      stats_.cancelled = true;
+      stats_.truncated = true;
+      stopped_ = true;
+      return;
+    }
     if (pmr_.IsTarget(node)) {
       ++stats_.emitted;
       if (!emit_(current_)) {
@@ -95,8 +101,12 @@ std::vector<PathBinding> CollectPathBindings(const Pmr& pmr,
         results.push_back(pb);
         return true;
       });
-  std::sort(results.begin(), results.end());
-  results.erase(std::unique(results.begin(), results.end()), results.end());
+  // A cancelled enumeration is partial and gets discarded by deadline-aware
+  // callers; don't burn post-deadline time ordering it.
+  if (!local.cancelled) {
+    std::sort(results.begin(), results.end());
+    results.erase(std::unique(results.begin(), results.end()), results.end());
+  }
   if (stats != nullptr) *stats = local;
   return results;
 }
@@ -133,6 +143,11 @@ EnumerationStats EnumeratePathBindingsByLength(
                    Binding()});
   }
   while (!frontier.empty()) {
+    if (ShouldStop(limits.cancel)) {
+      stats.cancelled = true;
+      stats.truncated = true;
+      return stats;
+    }
     PartialWalk walk = frontier.top();
     frontier.pop();
     if (pmr.IsTarget(walk.node)) {

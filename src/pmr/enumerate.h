@@ -7,6 +7,7 @@
 #include "src/graph/path_binding.h"
 #include "src/pmr/pmr.h"
 #include "src/util/biguint.h"
+#include "src/util/cancellation.h"
 
 namespace gqzoo {
 
@@ -16,12 +17,17 @@ struct EnumerationLimits {
   size_t max_results = SIZE_MAX;
   /// Skip (and stop extending) PMR walks longer than this many edges.
   size_t max_length = SIZE_MAX;
+  /// Optional cooperative cancellation (deadlines); enumeration stops — and
+  /// reports `cancelled` — as soon as the token trips. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Outcome of an enumeration: whether the limits cut it short.
 struct EnumerationStats {
   size_t emitted = 0;
   bool truncated = false;
+  /// The cancellation token tripped mid-enumeration; results are partial.
+  bool cancelled = false;
 };
 
 /// Enumerates SPaths(pmr) together with their capture bindings, by DFS over

@@ -12,7 +12,7 @@ namespace {
 // returns early if `visit` returns false.
 template <typename Visit>
 void ProductBfsFrom(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u,
-                    Visit visit) {
+                    const CancellationToken* cancel, Visit visit) {
   const uint32_t num_states = nfa.num_states();
   std::vector<bool> seen(g.NumNodes() * num_states, false);
   std::vector<bool> reported(g.NumNodes(), false);
@@ -26,6 +26,7 @@ void ProductBfsFrom(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u,
   };
   push(u, nfa.initial());
   while (!queue.empty()) {
+    if (ShouldStop(cancel)) return;
     uint32_t id = queue.front();
     queue.pop_front();
     NodeId v = id / num_states;
@@ -52,10 +53,12 @@ void ProductBfsFrom(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u,
 }  // namespace
 
 std::vector<std::pair<NodeId, NodeId>> EvalRpq(const EdgeLabeledGraph& g,
-                                               const Nfa& nfa) {
+                                               const Nfa& nfa,
+                                               const CancellationToken* cancel) {
   std::vector<std::pair<NodeId, NodeId>> result;
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    ProductBfsFrom(g, nfa, u, [&](NodeId v) {
+    if (ShouldStop(cancel)) break;
+    ProductBfsFrom(g, nfa, u, cancel, [&](NodeId v) {
       result.emplace_back(u, v);
       return true;
     });
@@ -65,14 +68,15 @@ std::vector<std::pair<NodeId, NodeId>> EvalRpq(const EdgeLabeledGraph& g,
 }
 
 std::vector<std::pair<NodeId, NodeId>> EvalRpq(const EdgeLabeledGraph& g,
-                                               const Regex& regex) {
-  return EvalRpq(g, Nfa::FromRegex(regex, g));
+                                               const Regex& regex,
+                                               const CancellationToken* cancel) {
+  return EvalRpq(g, Nfa::FromRegex(regex, g), cancel);
 }
 
 std::vector<NodeId> EvalRpqFrom(const EdgeLabeledGraph& g, const Nfa& nfa,
-                                NodeId u) {
+                                NodeId u, const CancellationToken* cancel) {
   std::vector<NodeId> result;
-  ProductBfsFrom(g, nfa, u, [&](NodeId v) {
+  ProductBfsFrom(g, nfa, u, cancel, [&](NodeId v) {
     result.push_back(v);
     return true;
   });
@@ -80,10 +84,10 @@ std::vector<NodeId> EvalRpqFrom(const EdgeLabeledGraph& g, const Nfa& nfa,
   return result;
 }
 
-bool EvalRpqPair(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u,
-                 NodeId v) {
+bool EvalRpqPair(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u, NodeId v,
+                 const CancellationToken* cancel) {
   bool found = false;
-  ProductBfsFrom(g, nfa, u, [&](NodeId reached) {
+  ProductBfsFrom(g, nfa, u, cancel, [&](NodeId reached) {
     if (reached == v) {
       found = true;
       return false;

@@ -7,26 +7,34 @@
 #include "src/automata/nfa.h"
 #include "src/graph/graph.h"
 #include "src/regex/ast.h"
+#include "src/util/cancellation.h"
 
 namespace gqzoo {
 
 /// RPQ evaluation by product-graph reachability (Section 6.2): polynomial
 /// time in |G| and |N_R|.
+///
+/// All entry points accept an optional cooperative `CancellationToken`;
+/// when it trips mid-search the result is a (valid but incomplete) prefix —
+/// callers that care distinguish via `token->Cancelled()`.
 
 /// `[[R]]_G`: all node pairs `(u, v)` connected by a path whose edge-label
 /// word is in L(R). Result is sorted and duplicate-free (set semantics).
-std::vector<std::pair<NodeId, NodeId>> EvalRpq(const EdgeLabeledGraph& g,
-                                               const Nfa& nfa);
-std::vector<std::pair<NodeId, NodeId>> EvalRpq(const EdgeLabeledGraph& g,
-                                               const Regex& regex);
+std::vector<std::pair<NodeId, NodeId>> EvalRpq(
+    const EdgeLabeledGraph& g, const Nfa& nfa,
+    const CancellationToken* cancel = nullptr);
+std::vector<std::pair<NodeId, NodeId>> EvalRpq(
+    const EdgeLabeledGraph& g, const Regex& regex,
+    const CancellationToken* cancel = nullptr);
 
 /// All `v` with `(u, v) ∈ [[R]]_G`: a single lazy BFS from `(u, q0)`.
 std::vector<NodeId> EvalRpqFrom(const EdgeLabeledGraph& g, const Nfa& nfa,
-                                NodeId u);
+                                NodeId u,
+                                const CancellationToken* cancel = nullptr);
 
 /// Is `(u, v) ∈ [[R]]_G`? Early-exiting BFS.
-bool EvalRpqPair(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u,
-                 NodeId v);
+bool EvalRpqPair(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u, NodeId v,
+                 const CancellationToken* cancel = nullptr);
 
 }  // namespace gqzoo
 

@@ -2,26 +2,59 @@
 #define GQZOO_UTIL_RESULT_H_
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
 
 namespace gqzoo {
 
-/// A lightweight error type carrying a human-readable message.
+/// Machine-readable classification of an `Error`. Most library errors are
+/// `kGeneric`; the query engine uses the finer codes to route outcomes
+/// (e.g. counting parse errors vs. deadline hits separately in metrics).
+enum class ErrorCode : uint8_t {
+  kGeneric = 0,
+  kParse,             // query text failed to parse / validate
+  kNotFound,          // a named node/label/file does not exist
+  kInvalidArgument,   // malformed request (bad language, bad parameters)
+  kDeadlineExceeded,  // cooperative cancellation tripped by a deadline
+  kCancelled,         // cooperative cancellation tripped explicitly
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+/// A lightweight error type carrying a human-readable message and an
+/// optional machine-readable code.
 ///
 /// The library does not use exceptions (see DESIGN.md); every operation that
 /// can fail — parsing, lookups by name, ill-formed path construction —
 /// returns `Result<T>` instead.
 class Error {
  public:
-  explicit Error(std::string message) : message_(std::move(message)) {}
+  explicit Error(std::string message)
+      : message_(std::move(message)) {}
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
 
   const std::string& message() const { return message_; }
+  ErrorCode code() const { return code_; }
 
  private:
+  ErrorCode code_ = ErrorCode::kGeneric;
   std::string message_;
 };
+
+inline const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric: return "GENERIC";
+    case ErrorCode::kParse: return "PARSE";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kCancelled: return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
 
 /// Either a value of type `T` or an `Error`.
 ///

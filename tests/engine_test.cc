@@ -1,0 +1,318 @@
+#include "src/engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/engine/language.h"
+#include "src/engine/plan_cache.h"
+#include "src/graph/builtin_graphs.h"
+#include "src/graph/graph.h"
+
+namespace gqzoo {
+namespace {
+
+QueryRequest Req(QueryLanguage language, const std::string& text) {
+  QueryRequest request;
+  request.language = language;
+  request.text = text;
+  return request;
+}
+
+/// The Figure 5 graph as a property graph: a chain s → v1 → ... → t of
+/// `n` segments with two parallel a-edges each, i.e. 2^n distinct s→t
+/// paths (all shortest).
+PropertyGraph Figure5Chain(size_t n) {
+  PropertyGraph g;
+  std::vector<NodeId> nodes;
+  nodes.push_back(g.AddNode("s", "Node"));
+  for (size_t i = 1; i < n; ++i) {
+    nodes.push_back(g.AddNode("v" + std::to_string(i), "Node"));
+  }
+  nodes.push_back(g.AddNode("t", "Node"));
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(nodes[i], nodes[i + 1], "a");
+    g.AddEdge(nodes[i], nodes[i + 1], "a");
+  }
+  return g;
+}
+
+TEST(QueryLanguageTest, NamesRoundTrip) {
+  for (size_t i = 0; i < kNumQueryLanguages; ++i) {
+    QueryLanguage language = static_cast<QueryLanguage>(i);
+    Result<QueryLanguage> parsed =
+        ParseQueryLanguage(QueryLanguageName(language));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), language);
+  }
+  EXPECT_FALSE(ParseQueryLanguage("sparql").ok());
+  // Aliases from the shell's command surface.
+  Result<QueryLanguage> two_rpq = ParseQueryLanguage("2rpq");
+  ASSERT_TRUE(two_rpq.ok());
+  EXPECT_EQ(two_rpq.value(), QueryLanguage::kRpq);
+}
+
+TEST(QueryEngineTest, ExecutesEveryLanguage) {
+  QueryEngine engine(Figure3Graph());
+  std::vector<QueryRequest> requests = {
+      Req(QueryLanguage::kRpq, "Transfer+"),
+      Req(QueryLanguage::kRpq, "~Transfer"),
+      Req(QueryLanguage::kCrpq, "q(x, y) :- Transfer+(x, y)"),
+      Req(QueryLanguage::kDlCrpq, "q(x, y) := ( ()[Transfer] )+ () (x, y)"),
+      Req(QueryLanguage::kCoreGql, "MATCH (x)-[:Transfer]->(y) RETURN x, y"),
+      Req(QueryLanguage::kGqlGroup, "(x) (-[t:Transfer]->(v)){1,2} (y)"),
+      Req(QueryLanguage::kRegular,
+          "two(x, y) := Transfer(x, y), Transfer(y, x) ; "
+          "q(u, v) := two*(u, v)"),
+  };
+  QueryRequest paths = Req(QueryLanguage::kPaths, "Transfer+");
+  paths.paths.from = "a2";
+  paths.paths.to = "a4";
+  requests.push_back(paths);
+
+  for (const QueryRequest& request : requests) {
+    Result<QueryResponse> r = engine.Execute(request);
+    ASSERT_TRUE(r.ok()) << QueryLanguageName(request.language) << " "
+                        << request.text << ": "
+                        << (r.ok() ? "" : r.error().message());
+    EXPECT_FALSE(r.value().cache_hit);
+  }
+  EXPECT_EQ(engine.metrics().queries_ok.value(), requests.size());
+  EXPECT_EQ(engine.metrics().queries_error.value(), 0u);
+}
+
+TEST(QueryEngineTest, SecondExecutionHitsPlanCache) {
+  QueryEngine engine(Figure3Graph());
+  QueryRequest request = Req(QueryLanguage::kCoreGql,
+                             "MATCH (x)-[:Transfer]->(y) RETURN x, y");
+
+  Result<QueryResponse> cold = engine.Execute(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.value().cache_hit);
+  EXPECT_EQ(engine.metrics().cache_hits.value(), 0u);
+  EXPECT_EQ(engine.metrics().cache_misses.value(), 1u);
+
+  Result<QueryResponse> warm = engine.Execute(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().cache_hit);
+  EXPECT_EQ(engine.metrics().cache_hits.value(), 1u);
+  EXPECT_EQ(engine.metrics().cache_misses.value(), 1u);
+  // Same plan, same answer.
+  EXPECT_EQ(cold.value().text, warm.value().text);
+  EXPECT_EQ(cold.value().num_rows, warm.value().num_rows);
+}
+
+TEST(QueryEngineTest, OptimizedAndPlainPlansAreDistinctEntries) {
+  QueryEngine engine(Figure3Graph());
+  QueryRequest plain = Req(QueryLanguage::kCoreGql,
+                           "MATCH (x)-[:Transfer]->(y) RETURN x, y");
+  QueryRequest optimized = plain;
+  optimized.optimize = true;
+
+  ASSERT_TRUE(engine.Execute(plain).ok());
+  Result<QueryResponse> r = engine.Execute(optimized);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().cache_hit);  // different cache key
+  EXPECT_EQ(engine.plan_cache().GetStats().entries, 2u);
+}
+
+TEST(QueryEngineTest, LruEvictionInTinyCache) {
+  QueryEngine::Options options;
+  options.cache_shards = 1;
+  options.cache_capacity_per_shard = 2;
+  QueryEngine engine(Figure3Graph(), options);
+
+  ASSERT_TRUE(engine.Execute(Req(QueryLanguage::kRpq, "Transfer")).ok());
+  ASSERT_TRUE(engine.Execute(Req(QueryLanguage::kRpq, "Transfer+")).ok());
+  ASSERT_TRUE(engine.Execute(Req(QueryLanguage::kRpq, "Transfer*")).ok());
+
+  PlanCache::Stats stats = engine.plan_cache().GetStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+
+  // "Transfer" was the least recently used, so it was evicted and has to
+  // be recompiled; "Transfer*" is still resident.
+  Result<QueryResponse> evicted =
+      engine.Execute(Req(QueryLanguage::kRpq, "Transfer"));
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_FALSE(evicted.value().cache_hit);
+  Result<QueryResponse> resident =
+      engine.Execute(Req(QueryLanguage::kRpq, "Transfer*"));
+  ASSERT_TRUE(resident.ok());
+  EXPECT_TRUE(resident.value().cache_hit);
+}
+
+TEST(QueryEngineTest, GraphEpochInvalidatesCachedPlans) {
+  QueryEngine engine(Figure5Chain(3));
+  QueryRequest request = Req(QueryLanguage::kRpq, "a+");
+
+  Result<QueryResponse> before = engine.Execute(request);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(engine.Execute(request).value().cache_hit);
+  EXPECT_EQ(engine.graph_epoch(), 0u);
+
+  engine.SetGraph(Figure5Chain(5));
+  EXPECT_EQ(engine.graph_epoch(), 1u);
+  EXPECT_EQ(engine.metrics().graph_epoch_bumps.value(), 1u);
+
+  Result<QueryResponse> after = engine.Execute(request);
+  ASSERT_TRUE(after.ok());
+  // The old plan's automaton was resolved against the old graph; the new
+  // epoch forces a recompile, and the answer reflects the new graph.
+  EXPECT_FALSE(after.value().cache_hit);
+  EXPECT_GT(after.value().num_rows, before.value().num_rows);
+}
+
+TEST(QueryEngineTest, DeadlineExceededOnFigure5PathEnumeration) {
+  // Figure 5, n = 30: 2^30 s→t paths. Unbounded `all` enumeration cannot
+  // finish; the 100ms deadline must trip and surface as an error well
+  // within 500ms (cooperative cancellation polls every few iterations).
+  QueryEngine engine(Figure5Chain(30));
+  QueryRequest request = Req(QueryLanguage::kPaths, "a+");
+  request.paths.from = "s";
+  request.paths.to = "t";
+  request.paths.mode = PathMode::kAll;
+  request.max_results = SIZE_MAX;  // no result-count safety net
+  request.timeout = std::chrono::milliseconds(100);
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<QueryResponse> r = engine.Execute(request);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(500));
+  EXPECT_EQ(engine.metrics().deadline_exceeded.value(), 1u);
+  EXPECT_EQ(engine.metrics().queries_error.value(), 1u);
+
+  // The engine is still healthy after a deadline: a cheap query succeeds.
+  QueryRequest cheap = Req(QueryLanguage::kRpq, "a");
+  EXPECT_TRUE(engine.Execute(cheap).ok());
+}
+
+TEST(QueryEngineTest, DefaultTimeoutAppliesWhenRequestHasNone) {
+  QueryEngine::Options options;
+  options.default_timeout = std::chrono::milliseconds(50);
+  QueryEngine engine(Figure5Chain(30), options);
+
+  QueryRequest request = Req(QueryLanguage::kPaths, "a+");
+  request.paths.from = "s";
+  request.paths.to = "t";
+  request.max_results = SIZE_MAX;
+
+  Result<QueryResponse> r = engine.Execute(request);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kDeadlineExceeded);
+
+  // Disabling the default deadline lets a bounded query of the same shape
+  // finish (small result cap => quick).
+  engine.set_default_timeout(std::nullopt);
+  request.max_results = 10;
+  Result<QueryResponse> bounded = engine.Execute(request);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_TRUE(bounded.value().truncated);
+  EXPECT_EQ(bounded.value().num_rows, 10u);
+}
+
+TEST(QueryEngineTest, ConcurrentMixedLanguageExecution) {
+  QueryEngine::Options options;
+  options.num_threads = 8;
+  QueryEngine engine(Figure3Graph(), options);
+  ASSERT_EQ(engine.num_threads(), 8u);
+
+  std::vector<QueryRequest> mix = {
+      Req(QueryLanguage::kRpq, "Transfer+"),
+      Req(QueryLanguage::kRpq, "~Transfer"),
+      Req(QueryLanguage::kCrpq, "q(x, y) :- Transfer+(x, y)"),
+      Req(QueryLanguage::kDlCrpq, "q(x, y) := ( ()[Transfer] )+ () (x, y)"),
+      Req(QueryLanguage::kCoreGql, "MATCH (x)-[:Transfer]->(y) RETURN x, y"),
+      Req(QueryLanguage::kGqlGroup, "(x) (-[t:Transfer]->(v)){1,2} (y)"),
+      Req(QueryLanguage::kRegular, "q(u, v) := Transfer(u, v)"),
+  };
+  QueryRequest paths = Req(QueryLanguage::kPaths, "Transfer+");
+  paths.paths.from = "a2";
+  paths.paths.to = "a4";
+  mix.push_back(paths);
+
+  // 3 rounds of 8 languages = 24 in-flight queries across the pool; later
+  // rounds should be plan-cache hits.
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int round = 0; round < 3; ++round) {
+    for (const QueryRequest& request : mix) {
+      futures.push_back(engine.Submit(request));
+    }
+  }
+  size_t hits = 0;
+  for (auto& f : futures) {
+    Result<QueryResponse> r = f.get();
+    ASSERT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message());
+    if (r.value().cache_hit) ++hits;
+  }
+  EXPECT_EQ(engine.metrics().queries_total.value(), futures.size());
+  EXPECT_EQ(engine.metrics().queries_ok.value(), futures.size());
+  // Every plan is compiled at most a handful of times (concurrent misses
+  // on the same key can race), and the steady state is all hits.
+  EXPECT_GE(hits, futures.size() - 2 * mix.size());
+  EXPECT_EQ(engine.metrics().cache_hits.value(), hits);
+}
+
+TEST(QueryEngineTest, ParseErrorsPropagateAndAreCounted) {
+  QueryEngine engine(Figure3Graph());
+
+  Result<QueryResponse> bad_rpq =
+      engine.Execute(Req(QueryLanguage::kRpq, "(("));
+  ASSERT_FALSE(bad_rpq.ok());
+  EXPECT_EQ(bad_rpq.error().code(), ErrorCode::kParse);
+
+  Result<QueryResponse> bad_gql =
+      engine.Execute(Req(QueryLanguage::kCoreGql, "MATCH ("));
+  ASSERT_FALSE(bad_gql.ok());
+  EXPECT_EQ(bad_gql.error().code(), ErrorCode::kParse);
+
+  Result<QueryResponse> bad_crpq =
+      engine.Execute(Req(QueryLanguage::kCrpq, "q(w) :- a(x, y)"));
+  ASSERT_FALSE(bad_crpq.ok());
+  EXPECT_EQ(bad_crpq.error().code(), ErrorCode::kParse);
+
+  EXPECT_EQ(engine.metrics().parse_errors.value(), 3u);
+  EXPECT_EQ(engine.metrics().queries_error.value(), 3u);
+  EXPECT_EQ(engine.plan_cache().GetStats().entries, 0u);  // never cached
+
+  // The engine keeps serving after parse errors.
+  EXPECT_TRUE(engine.Execute(Req(QueryLanguage::kRpq, "Transfer")).ok());
+}
+
+TEST(QueryEngineTest, PathQueriesResolveEndpointsPerRequest) {
+  QueryEngine engine(Figure5Chain(4));
+
+  QueryRequest request = Req(QueryLanguage::kPaths, "a+");
+  request.paths.from = "s";
+  request.paths.to = "t";
+  Result<QueryResponse> all = engine.Execute(request);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().num_rows, 16u);  // 2^4 s→t paths
+
+  // Same plan (cache hit), different endpoints.
+  request.paths.to = "v2";
+  Result<QueryResponse> prefix = engine.Execute(request);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_TRUE(prefix.value().cache_hit);
+  EXPECT_EQ(prefix.value().num_rows, 4u);  // 2^2 s→v2 paths
+
+  request.paths.to = "nowhere";
+  Result<QueryResponse> missing = engine.Execute(request);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code(), ErrorCode::kNotFound);
+
+  // k-shortest through the same cached plan.
+  request.paths.to = "t";
+  request.paths.k_shortest = 3;
+  Result<QueryResponse> kshortest = engine.Execute(request);
+  ASSERT_TRUE(kshortest.ok());
+  EXPECT_EQ(kshortest.value().num_rows, 3u);
+}
+
+}  // namespace
+}  // namespace gqzoo
