@@ -1,0 +1,105 @@
+// Admission control under overload: a burst of 4× the admission capacity
+// in mixed-language submissions, drained through the pool, with shedding
+// on (capacity = 32) vs off (unbounded queue). Shedding bounds the queue:
+// the shed fraction comes back as instant kOverloaded errors instead of
+// sitting in line, so burst drain time stays flat as offered load grows.
+// The thread sweep (1/4/8) shows how much of the drain is execution vs
+// queueing. Every query carries a small deadline and a memory budget, so
+// the bench also exercises the governed (context-polling) hot paths rather
+// than the ungoverned fast path.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/graph/builtin_graphs.h"
+
+namespace gqzoo {
+namespace {
+
+QueryRequest Req(QueryLanguage language, const std::string& text) {
+  QueryRequest request;
+  request.language = language;
+  request.text = text;
+  request.timeout = std::chrono::milliseconds(100);
+  request.memory_budget = 16ull << 20;
+  return request;
+}
+
+std::vector<QueryRequest> MixedWorkload() {
+  std::vector<QueryRequest> mix = {
+      Req(QueryLanguage::kRpq, "Transfer+"),
+      Req(QueryLanguage::kRpq, "~Transfer"),
+      Req(QueryLanguage::kCrpq, "q(x, y) :- Transfer+(x, y)"),
+      Req(QueryLanguage::kDlCrpq, "q(x, y) := ( ()[Transfer] )+ () (x, y)"),
+      Req(QueryLanguage::kCoreGql, "MATCH (x)-[:Transfer]->(y) RETURN x, y"),
+      Req(QueryLanguage::kGqlGroup, "(x) (-[t:Transfer]->(v)){1,2} (y)"),
+  };
+  QueryRequest paths = Req(QueryLanguage::kPaths, "Transfer+");
+  paths.paths.from = "a2";
+  paths.paths.to = "a4";
+  mix.push_back(paths);
+  return mix;
+}
+
+/// One iteration = a burst of `4 * capacity` submissions drained to
+/// completion. state.range(0) = pool threads; state.range(1) = 1 enables
+/// shedding at capacity 32, 0 disables admission control entirely.
+void BM_GovernorOverloadBurst(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const bool shedding = state.range(1) != 0;
+  constexpr size_t kCapacity = 32;
+  constexpr size_t kBurst = 4 * kCapacity;
+
+  QueryEngine::Options options;
+  options.num_threads = threads;
+  options.governor.admission_capacity = shedding ? kCapacity : 0;
+  QueryEngine engine(Figure3Graph(), options);
+  std::vector<QueryRequest> mix = MixedWorkload();
+
+  // Warm the plan cache so the burst measures admission + execution, not
+  // first-compile latency.
+  for (const QueryRequest& request : mix) {
+    benchmark::DoNotOptimize(engine.Execute(request));
+  }
+
+  size_t completed = 0, shed = 0;
+  for (auto _ : state) {
+    std::vector<std::future<Result<QueryResponse>>> futures;
+    futures.reserve(kBurst);
+    for (size_t i = 0; i < kBurst; ++i) {
+      futures.push_back(engine.Submit(mix[i % mix.size()]));
+    }
+    for (auto& f : futures) {
+      Result<QueryResponse> r = f.get();
+      if (!r.ok() && r.error().code() == ErrorCode::kOverloaded) {
+        ++shed;
+      } else {
+        ++completed;
+      }
+    }
+  }
+  state.counters["burst"] = static_cast<double>(kBurst);
+  state.counters["completed_per_burst"] = benchmark::Counter(
+      static_cast<double>(completed) / state.iterations());
+  state.counters["shed_per_burst"] = benchmark::Counter(
+      static_cast<double>(shed) / state.iterations());
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(completed), benchmark::Counter::kIsRate);
+  state.counters["queue_high_water"] = static_cast<double>(
+      engine.metrics().queue_depth_high_water.value());
+}
+
+BENCHMARK(BM_GovernorOverloadBurst)
+    ->ArgsProduct({{1, 4, 8}, {0, 1}})
+    ->ArgNames({"threads", "shedding"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace gqzoo
+
+BENCHMARK_MAIN();

@@ -6,6 +6,11 @@
 //   --graph <file>     property graph to load (default: Figure 3 graph)
 //   --threads <n>      pool size (default 4)
 //   --timeout-ms <n>   per-query deadline (default: none)
+//   --memlimit <n>     per-query memory budget in bytes (default: none)
+//   --row-budget <n>   per-query result-row budget (default: none)
+//   --step-budget <n>  per-query step/fuel budget (default: none)
+//   --capacity <n>     admission-control queue depth; submissions beyond it
+//                      are shed with OVERLOADED (default 256, 0 = unbounded)
 //   --repeat <n>       run the request file n times (default 1; repeats
 //                      after the first are plan-cache hits)
 //   --quiet            suppress per-query output, print only the report
@@ -117,7 +122,8 @@ bool ParseRequestLine(const std::string& line, QueryRequest* out,
 int Usage(const char* argv0) {
   fprintf(stderr,
           "usage: %s [--graph <file>] [--threads <n>] [--timeout-ms <n>] "
-          "[--repeat <n>] [--quiet] <request-file>\n",
+          "[--memlimit <n>] [--row-budget <n>] [--step-budget <n>] "
+          "[--capacity <n>] [--repeat <n>] [--quiet] <request-file>\n",
           argv0);
   return 2;
 }
@@ -129,6 +135,10 @@ int main(int argc, char** argv) {
   std::string request_file;
   size_t threads = 4;
   long long timeout_ms = 0;
+  long long memlimit = 0;
+  long long row_budget = 0;
+  long long step_budget = 0;
+  size_t capacity = 256;
   size_t repeat = 1;
   bool quiet = false;
 
@@ -149,6 +159,22 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       timeout_ms = atoll(v);
+    } else if (strcmp(arg, "--memlimit") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      memlimit = atoll(v);
+    } else if (strcmp(arg, "--row-budget") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      row_budget = atoll(v);
+    } else if (strcmp(arg, "--step-budget") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      step_budget = atoll(v);
+    } else if (strcmp(arg, "--capacity") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      capacity = static_cast<size_t>(atoll(v));
     } else if (strcmp(arg, "--repeat") == 0) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -204,6 +230,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (timeout_ms > 0) request.timeout = std::chrono::milliseconds(timeout_ms);
+    if (memlimit > 0) request.memory_budget = static_cast<uint64_t>(memlimit);
+    if (row_budget > 0) request.row_budget = static_cast<uint64_t>(row_budget);
+    if (step_budget > 0) {
+      request.step_budget = static_cast<uint64_t>(step_budget);
+    }
     requests.push_back(std::move(request));
   }
   if (requests.empty()) {
@@ -213,6 +244,7 @@ int main(int argc, char** argv) {
 
   QueryEngine::Options options;
   options.num_threads = threads;
+  options.governor.admission_capacity = capacity;
   QueryEngine engine(std::move(graph), options);
 
   const auto start = std::chrono::steady_clock::now();
@@ -224,10 +256,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  size_t ok = 0, failed = 0;
+  size_t ok = 0, failed = 0, shed = 0;
   for (size_t i = 0; i < futures.size(); ++i) {
     Result<QueryResponse> r = futures[i].get();
     const QueryRequest& request = requests[i % requests.size()];
+    if (!r.ok() && r.error().code() == ErrorCode::kOverloaded) ++shed;
     if (r.ok()) {
       ++ok;
       if (!quiet) {
@@ -251,9 +284,9 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  printf("\n%zu queries (%zu ok, %zu failed) in %.3fs  =  %.0f queries/sec  "
-         "[%zu threads]\n\n",
-         futures.size(), ok, failed, secs,
+  printf("\n%zu queries (%zu ok, %zu failed, %zu shed) in %.3fs  =  "
+         "%.0f queries/sec  [%zu threads]\n\n",
+         futures.size(), ok, failed, shed, secs,
          secs > 0 ? static_cast<double>(futures.size()) / secs : 0.0,
          engine.num_threads());
   printf("%s", engine.StatsReport().c_str());

@@ -22,6 +22,7 @@
 //                          semantics (repetition collects lists)
 //   regular <rules>        run a regular query (rules separated by ';')
 //   timeout <ms>           set the default per-query deadline (0 = off)
+//   memlimit <bytes>       set the default per-query memory budget (0 = off)
 //   stats                  engine metrics + plan-cache report
 //   help                   this text
 //   quit
@@ -46,7 +47,7 @@ constexpr const char* kHelp = R"(commands:
   kshortest <k> <from> <to> <regex>
   crpq <rule> | dlcrpq <rule> | gql <query> | gqlopt <query>
   gqlgroup <pattern> | regular <rules>
-  timeout <ms> | stats | help | quit
+  timeout <ms> | memlimit <bytes> | stats | help | quit
 )";
 
 class Shell {
@@ -92,6 +93,8 @@ class Shell {
       printf("%s", engine_.StatsReport().c_str());
     } else if (command == "timeout") {
       SetTimeout(rest);
+    } else if (command == "memlimit") {
+      SetMemLimit(rest);
     } else if (command == "rpq" || command == "2rpq") {
       Run(MakeRequest(QueryLanguage::kRpq, rest));
     } else if (command == "paths") {
@@ -156,6 +159,23 @@ class Shell {
     } else {
       engine_.set_default_timeout(std::chrono::milliseconds(ms));
       printf("default deadline set to %lldms\n", ms);
+    }
+  }
+
+  void SetMemLimit(const std::string& args) {
+    std::istringstream iss(args);
+    long long bytes = -1;
+    if (!(iss >> bytes) || bytes < 0) {
+      printf("usage: memlimit <bytes>   (0 disables the memory budget)\n");
+      return;
+    }
+    ResourceBudgets budgets = engine_.default_budgets();
+    budgets.memory_bytes = static_cast<uint64_t>(bytes);
+    engine_.set_default_budgets(budgets);
+    if (bytes == 0) {
+      printf("memory budget disabled\n");
+    } else {
+      printf("default memory budget set to %lld bytes\n", bytes);
     }
   }
 

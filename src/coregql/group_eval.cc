@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "src/util/failpoint.h"
+
 namespace gqzoo {
 
 std::string GqlValue::ToString(const EdgeLabeledGraph& g) const {
@@ -103,21 +105,59 @@ Result<std::vector<GqlPathRow>> EvalRepeat(EvalContext* ctx,
     return row;
   };
 
+  // The frontier of partial compositions is this evaluator's blow-up term
+  // (the 6-clique bag-semantics query grows it past any machine): account
+  // it per inserted Partial, releasing each round's frontier when the next
+  // one replaces it.
+  const QueryContext* gov = ctx->options.cancel;
+  auto partial_bytes = [](const Partial& partial) {
+    uint64_t bytes = 96 + partial.path.objects().size() * sizeof(ObjectRef);
+    for (const auto& [var, values] : partial.groups) {
+      bytes += 48 + var.size() + values.size() * 24;
+    }
+    return bytes;
+  };
+  ScopedMemoryCharge frontier_bytes(gov);
+  uint64_t current_bytes = 0;
+  bool cancelled = false;
+
   std::set<Partial> current;
   for (NodeId n = 0; n < g.NumNodes(); ++n) {
-    current.insert({Path::OfNode(n), {}});
+    Partial start{Path::OfNode(n), {}};
+    const uint64_t bytes = partial_bytes(start);
+    if (!frontier_bytes.Charge(bytes)) {
+      ctx->truncated = true;
+      cancelled = true;
+      break;
+    }
+    current_bytes += bytes;
+    current.insert(std::move(start));
   }
   std::vector<GqlPathRow> result;
-  if (p.lo() == 0) {
-    for (const Partial& partial : current) result.push_back(to_row(partial));
+  auto emit = [&](const Partial& partial) {
+    if (!ChargeRows(gov) || !ChargeMemory(gov, partial_bytes(partial))) {
+      ctx->truncated = true;
+      cancelled = true;
+      return false;
+    }
+    result.push_back(to_row(partial));
+    return true;
+  };
+  if (p.lo() == 0 && !cancelled) {
+    for (const Partial& partial : current) {
+      if (!emit(partial)) break;
+    }
   }
-  bool cancelled = false;
   for (size_t j = 1; j <= p.hi() && !cancelled; ++j) {
+    if (gov != nullptr && Failpoint::ShouldFail("coregql.frontier")) {
+      gov->Trip(StopCause::kMemoryBudget);
+    }
     std::set<Partial> next;
+    uint64_t next_bytes = 0;
     for (const Partial& prefix : current) {
       // One round over a large frontier can take seconds; probe inside it,
       // not just per round.
-      if (ShouldStop(ctx->options.cancel)) {
+      if (ShouldStop(gov)) {
         ctx->truncated = true;
         cancelled = true;
         break;
@@ -138,15 +178,30 @@ Result<std::vector<GqlPathRow>> EvalRepeat(EvalContext* ctx,
           auto it = r->mu.find(v);
           if (it != r->mu.end()) extended.groups[v].push_back(it->second);
         }
-        next.insert(std::move(extended));
+        auto [pos, inserted] = next.insert(std::move(extended));
+        if (inserted) {
+          const uint64_t bytes = partial_bytes(*pos);
+          if (!frontier_bytes.Charge(bytes)) {
+            ctx->truncated = true;
+            cancelled = true;
+            break;
+          }
+          next_bytes += bytes;
+        }
       }
+      if (cancelled) break;
     }
     if (cancelled) break;
     if (j >= p.lo()) {
-      for (const Partial& partial : next) result.push_back(to_row(partial));
+      for (const Partial& partial : next) {
+        if (!emit(partial)) break;
+      }
+      if (cancelled) break;
     }
     if (next.empty() || next == current) break;
     current = std::move(next);
+    frontier_bytes.Release(current_bytes);
+    current_bytes = next_bytes;
     if (result.size() > ctx->options.max_results) {
       ctx->truncated = true;
       break;
@@ -217,6 +272,13 @@ Result<std::vector<GqlPathRow>> Eval(EvalContext* ctx, const CorePattern& p) {
           if (outcome == MergeOutcome::kMismatch) continue;
           Result<Path> joined = Path::Concat(g.skeleton(), l.path, r->path);
           if (!joined.ok()) continue;
+          const uint64_t row_bytes =
+              96 + joined.value().objects().size() * sizeof(ObjectRef);
+          if (!ChargeMemory(ctx->options.cancel, row_bytes)) {
+            // Context tripped; result is partial and will be discarded.
+            ctx->truncated = true;
+            return rows;
+          }
           rows.push_back({std::move(joined).value(), std::move(merged)});
         }
       }

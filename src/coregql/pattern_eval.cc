@@ -157,6 +157,7 @@ Result<std::vector<CorePairRow>> EvalPairsRec(const PropertyGraph& g,
         for (const CorePairRow* r : by_src[l.tgt]) {
           CoreBinding merged;
           if (!MergeBindings(l.mu, r->mu, &merged)) continue;
+          if (!ChargeMemory(cancel, 48 + merged.size() * 48)) break;
           rows.push_back({l.src, r->tgt, std::move(merged)});
         }
       }
@@ -267,6 +268,12 @@ Result<std::vector<CorePathRow>> EvalPathsRec(PathEvalContext* ctx,
           if (!MergeBindings(l.mu, r->mu, &merged)) continue;
           Result<Path> joined = Path::Concat(g.skeleton(), l.path, r->path);
           if (!joined.ok()) continue;
+          if (!ChargeMemory(ctx->options.cancel,
+                            96 + joined.value().objects().size() *
+                                     sizeof(ObjectRef))) {
+            ctx->truncated = true;
+            break;
+          }
           rows.push_back({std::move(joined).value(), std::move(merged)});
           if (rows.size() > ctx->options.max_results) {
             ctx->truncated = true;
@@ -319,7 +326,14 @@ Result<std::vector<CorePathRow>> EvalPathsRec(PathEvalContext* ctx,
             }
             Result<Path> joined =
                 Path::Concat(g.skeleton(), prefix, r->path);
-            if (joined.ok()) next.insert(std::move(joined).value());
+            if (!joined.ok()) continue;
+            if (!ChargeMemory(ctx->options.cancel,
+                              96 + joined.value().objects().size() *
+                                       sizeof(ObjectRef))) {
+              ctx->truncated = true;
+              break;
+            }
+            next.insert(std::move(joined).value());
           }
         }
         if (j >= p.lo()) {

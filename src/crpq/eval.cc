@@ -81,6 +81,11 @@ Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
     if (list_vars.empty()) {
       // Modes act only through list variables (see eval.h): the atom
       // contributes the endpoint pair itself.
+      if (!ChargeMemory(options.cancel,
+                        prefix.size() * sizeof(CrpqValue) + 32)) {
+        *truncated = true;
+        break;
+      }
       rel.rows.push_back(std::move(prefix));
       continue;
     }
@@ -88,12 +93,24 @@ Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
     std::vector<PathBinding> bindings =
         CollectModePaths(g, nfa, u, v, atom.mode, limits, &stats);
     if (stats.truncated) *truncated = true;
+    if (stats.cancelled) break;
     // Distinct µ projections (several paths may induce the same µ).
     std::set<std::vector<CrpqValue>> seen;
     for (const PathBinding& pb : bindings) {
       std::vector<CrpqValue> row = prefix;
       for (const std::string& z : list_vars) row.push_back(pb.mu.Get(z));
-      if (seen.insert(row).second) rel.rows.push_back(std::move(row));
+      if (seen.insert(row).second) {
+        if (!ChargeMemory(options.cancel,
+                          row.size() * sizeof(CrpqValue) + 32)) {
+          *truncated = true;
+          break;
+        }
+        rel.rows.push_back(std::move(row));
+      }
+    }
+    if (ShouldStop(options.cancel)) {
+      *truncated = true;
+      break;
     }
   }
   Dedupe(&rel);
@@ -122,7 +139,7 @@ Result<CrpqResult> EvalCrpq(const EdgeLabeledGraph& g, const Crpq& q,
       joined = std::move(rel).value();
       first = false;
     } else {
-      joined = NaturalJoin(joined, rel.value());
+      joined = NaturalJoin(joined, rel.value(), options.cancel);
     }
     if (joined.rows.empty()) break;  // early out: conjunction is empty
   }

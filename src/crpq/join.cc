@@ -1,9 +1,12 @@
 #include "src/crpq/join.h"
 
+#include "src/util/failpoint.h"
+
 namespace gqzoo {
 namespace crpq_internal {
 
-Relation NaturalJoin(const Relation& a, const Relation& b) {
+Relation NaturalJoin(const Relation& a, const Relation& b,
+                     const QueryContext* ctx) {
   std::vector<size_t> shared_a, shared_b;
   std::vector<size_t> b_only;
   for (size_t j = 0; j < b.schema.size(); ++j) {
@@ -19,18 +22,33 @@ Relation NaturalJoin(const Relation& a, const Relation& b) {
   out.schema = a.schema;
   for (size_t j : b_only) out.schema.push_back(b.schema[j]);
 
+  // The hash index on the shared columns is transient (scoped charge);
+  // the output tuples are the join's dominant retained term — charged
+  // tuple-by-tuple at allocation, which is also where the simulated
+  // alloc-failure fail-point fires.
+  ScopedMemoryCharge index_bytes(ctx);
   std::map<std::vector<CrpqValue>, std::vector<size_t>> index;
   for (size_t i = 0; i < b.rows.size(); ++i) {
+    if (!index_bytes.Charge(shared_b.size() * sizeof(CrpqValue) + 48)) {
+      return out;
+    }
     std::vector<CrpqValue> key;
     for (size_t j : shared_b) key.push_back(b.rows[i][j]);
     index[std::move(key)].push_back(i);
   }
+  const uint64_t tuple_bytes = out.schema.size() * sizeof(CrpqValue) + 32;
   for (const auto& row_a : a.rows) {
+    if (ShouldStop(ctx)) return out;
     std::vector<CrpqValue> key;
     for (size_t j : shared_a) key.push_back(row_a[j]);
     auto it = index.find(key);
     if (it == index.end()) continue;
     for (size_t i : it->second) {
+      if (ctx != nullptr && Failpoint::ShouldFail("crpq.join.alloc")) {
+        ctx->Trip(StopCause::kMemoryBudget);
+        return out;
+      }
+      if (!ChargeMemory(ctx, tuple_bytes)) return out;
       std::vector<CrpqValue> row = row_a;
       for (size_t j : b_only) row.push_back(b.rows[i][j]);
       out.rows.push_back(std::move(row));

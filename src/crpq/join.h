@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/crpq/crpq.h"
+#include "src/util/query_context.h"
 
 namespace gqzoo {
 namespace crpq_internal {
@@ -25,8 +26,12 @@ inline void Dedupe(Relation* r) {
 }
 
 /// Natural join on shared columns (only endpoint variables can be shared,
-/// by conditions (3)–(4) of Section 3.1.5).
-Relation NaturalJoin(const Relation& a, const Relation& b);
+/// by conditions (3)–(4) of Section 3.1.5). `ctx` (optional) governs the
+/// join: output tuples are charged against the memory budget at
+/// allocation — the join is where conjunctive queries blow up — and the
+/// result is partial once the context trips (callers must check it).
+Relation NaturalJoin(const Relation& a, const Relation& b,
+                     const QueryContext* ctx = nullptr);
 
 /// Projects `joined` onto `head` and deduplicates; returns false if some
 /// head column is missing (only possible when the join short-circuited

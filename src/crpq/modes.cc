@@ -76,6 +76,13 @@ class RestrictedSearch {
       return;
     }
     if (node == target_ && nfa_.accepting(state)) {
+      if (!ChargeRows(limits_.cancel) ||
+          !ChargeMemory(limits_.cancel, ApproxBytes(current_))) {
+        stats_.cancelled = true;
+        stats_.truncated = true;
+        stopped_ = true;
+        return;
+      }
       out_->push_back(current_);
       ++stats_.emitted;
       if (stats_.emitted >= limits_.max_results) {
@@ -148,11 +155,26 @@ std::vector<PathBinding> CollectModePaths(const EdgeLabeledGraph& g,
   switch (mode) {
     case PathMode::kAll: {
       Pmr pmr = BuildPmrBetween(g, nfa, u, v);
+      // Charge the succinct representation itself (nodes + edges) for the
+      // duration of the enumeration; the emitted bindings are charged by
+      // the enumerator.
+      ScopedMemoryCharge pmr_bytes(limits.cancel);
+      if (!pmr_bytes.Charge(pmr.NumNodes() * 32 + pmr.NumEdges() * 16)) {
+        local.cancelled = true;
+        local.truncated = true;
+        break;
+      }
       results = CollectPathBindings(pmr, limits, &local);
       break;
     }
     case PathMode::kShortest: {
       Pmr pmr = BuildPmrBetween(g, nfa, u, v).ShortestRestriction();
+      ScopedMemoryCharge pmr_bytes(limits.cancel);
+      if (!pmr_bytes.Charge(pmr.NumNodes() * 32 + pmr.NumEdges() * 16)) {
+        local.cancelled = true;
+        local.truncated = true;
+        break;
+      }
       results = CollectPathBindings(pmr, limits, &local);
       break;
     }

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "src/crpq/join.h"
+#include "src/util/failpoint.h"
 
 namespace gqzoo {
 
@@ -177,6 +178,9 @@ class DlDfs {
 
   void Recurse(const Config& config, bool /*is_start*/) {
     if (stopped_) return;
+    if (limits_.cancel != nullptr && Failpoint::ShouldFail("datatest.recurse")) {
+      limits_.cancel->Trip(StopCause::kStepBudget);
+    }
     if (ShouldStop(limits_.cancel)) {
       stats_.cancelled = true;
       stats_.truncated = true;
@@ -186,7 +190,15 @@ class DlDfs {
     // Emit if accepting at the target with the right length.
     if (nfa_.accepting(config.state) && TgtOf(g_, config.obj) == target_ &&
         (exact_length_ == SIZE_MAX || path_len_ == exact_length_)) {
-      out_->push_back({Path::MakeUnchecked(path_objects_), mu_});
+      PathBinding binding{Path::MakeUnchecked(path_objects_), mu_};
+      if (!ChargeRows(limits_.cancel) ||
+          !ChargeMemory(limits_.cancel, ApproxBytes(binding))) {
+        stats_.cancelled = true;
+        stats_.truncated = true;
+        stopped_ = true;
+        return;
+      }
+      out_->push_back(std::move(binding));
       ++stats_.emitted;
       if (stats_.emitted >= limits_.max_results) {
         stats_.truncated = true;
@@ -233,20 +245,33 @@ std::vector<NodeId> DlEvaluator::ReachableFrom(
   std::deque<Config> queue;
   std::set<NodeId> reached;
 
+  // The configuration space (state × object × valuation) is the working
+  // set of this product reachability; ~48 B per visited entry (set node +
+  // Config + the queue slot it transits through).
+  ScopedMemoryCharge visited_bytes(cancel);
+  bool out_of_budget = false;
+
   auto try_push = [&](uint32_t from_state, ObjectRef o,
                       uint32_t nu_id) {
     for (const DlNfa::Transition& t : nfa_->Out(from_state)) {
+      if (out_of_budget) return;
       Valuation next;
       if (!t.atom.Matches(*g_, o, interner.Get(nu_id), &next)) continue;
       Config c{t.to, o, interner.Intern(next)};
-      if (visited.insert(c).second) queue.push_back(c);
+      if (visited.insert(c).second) {
+        if (!visited_bytes.Charge(48)) {
+          out_of_budget = true;
+          return;
+        }
+        queue.push_back(c);
+      }
     }
   };
 
   ForEachStart(*g_, u, [&](ObjectRef o, bool) {
     try_push(nfa_->initial(), o, nu0);
   });
-  while (!queue.empty()) {
+  while (!queue.empty() && !out_of_budget) {
     if (ShouldStop(cancel)) break;
     Config c = queue.front();
     queue.pop_front();
@@ -275,9 +300,18 @@ size_t DlEvaluator::ShortestLength(NodeId u, NodeId v,
   std::map<Config, size_t> dist;
   std::deque<std::pair<Config, size_t>> queue;  // 0/1-weighted BFS
 
+  // ~64 B per distinct configuration in the distance map.
+  ScopedMemoryCharge dist_bytes(cancel);
+  bool out_of_budget = false;
+
   auto relax = [&](const Config& c, size_t d, bool front) {
+    if (out_of_budget) return;
     auto it = dist.find(c);
     if (it != dist.end() && it->second <= d) return;
+    if (it == dist.end() && !dist_bytes.Charge(64)) {
+      out_of_budget = true;
+      return;
+    }
     dist[c] = d;
     if (front) {
       queue.emplace_front(c, d);
@@ -300,7 +334,7 @@ size_t DlEvaluator::ShortestLength(NodeId u, NodeId v,
     expand(nfa_->initial(), o, nu0, 0, edge_append);
   });
   size_t best = SIZE_MAX;
-  while (!queue.empty()) {
+  while (!queue.empty() && !out_of_budget) {
     if (ShouldStop(cancel)) break;
     auto [c, d] = queue.front();
     queue.pop_front();
@@ -415,6 +449,11 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
       if (!atom.from.is_constant) prefix.push_back(u);
       if (!atom.to.is_constant && !same_var) prefix.push_back(v);
       if (list_vars.empty()) {
+        if (!ChargeMemory(options.cancel,
+                          prefix.size() * sizeof(CrpqValue) + 32)) {
+          truncated = true;
+          break;
+        }
         rel.rows.push_back(std::move(prefix));
         continue;
       }
@@ -422,11 +461,23 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
       std::vector<PathBinding> bindings =
           evaluator.CollectModePaths(u, v, atom.mode, limits, &stats);
       if (stats.truncated) truncated = true;
+      if (stats.cancelled) break;
       std::set<std::vector<CrpqValue>> seen;
       for (const PathBinding& pb : bindings) {
         std::vector<CrpqValue> row = prefix;
         for (const std::string& z : list_vars) row.push_back(pb.mu.Get(z));
-        if (seen.insert(row).second) rel.rows.push_back(std::move(row));
+        if (seen.insert(row).second) {
+          if (!ChargeMemory(options.cancel,
+                            row.size() * sizeof(CrpqValue) + 32)) {
+            truncated = true;
+            break;
+          }
+          rel.rows.push_back(std::move(row));
+        }
+      }
+      if (ShouldStop(options.cancel)) {
+        truncated = true;
+        break;
       }
     }
     Dedupe(&rel);
@@ -435,7 +486,7 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
       joined = std::move(rel);
       first = false;
     } else {
-      joined = NaturalJoin(joined, rel);
+      joined = NaturalJoin(joined, rel, options.cancel);
     }
     if (joined.rows.empty()) break;
   }

@@ -14,6 +14,7 @@
 #include "src/pmr/build.h"
 #include "src/pmr/enumerate.h"
 #include "src/rpq/rpq_eval.h"
+#include "src/util/failpoint.h"
 
 namespace gqzoo {
 
@@ -23,7 +24,9 @@ QueryEngine::QueryEngine(PropertyGraph graph)
 QueryEngine::QueryEngine(PropertyGraph graph, Options options)
     : graph_(std::make_shared<const PropertyGraph>(std::move(graph))),
       default_timeout_(options.default_timeout),
+      default_budgets_(options.default_budgets),
       cache_(options.cache_capacity_per_shard, options.cache_shards),
+      governor_(options.governor),
       pool_(options.num_threads) {}
 
 void QueryEngine::SetGraph(PropertyGraph graph) {
@@ -57,21 +60,68 @@ std::optional<std::chrono::milliseconds> QueryEngine::default_timeout() const {
   return default_timeout_;
 }
 
+void QueryEngine::set_default_budgets(const ResourceBudgets& budgets) {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  default_budgets_ = budgets;
+}
+
+ResourceBudgets QueryEngine::default_budgets() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return default_budgets_;
+}
+
 Result<QueryResponse> QueryEngine::Execute(const QueryRequest& request) {
+  return ExecuteFrom(request, std::chrono::steady_clock::now());
+}
+
+Result<QueryResponse> QueryEngine::ExecuteFrom(
+    const QueryRequest& request, QueryContext::Clock::time_point admitted_at) {
   const auto start = std::chrono::steady_clock::now();
+  const size_t lang = static_cast<size_t>(request.language);
   metrics_.queries_total.Increment();
   metrics_.RecordLanguage(request.language);
 
-  // Snapshot (graph, epoch, timeout) atomically; in-flight queries keep
-  // their graph alive even if SetGraph races with them.
+  // Snapshot (graph, epoch, timeout, budgets) atomically; in-flight
+  // queries keep their graph alive even if SetGraph races with them.
   std::shared_ptr<const PropertyGraph> graph;
   uint64_t epoch;
   std::optional<std::chrono::milliseconds> timeout = request.timeout;
+  ResourceBudgets budgets;
   {
     std::lock_guard<std::mutex> lock(graph_mu_);
     graph = graph_;
     epoch = epoch_;
     if (!timeout.has_value()) timeout = default_timeout_;
+    budgets = default_budgets_;
+  }
+  if (request.memory_budget) budgets.memory_bytes = *request.memory_budget;
+  if (request.row_budget) budgets.result_rows = *request.row_budget;
+  if (request.step_budget) budgets.steps = *request.step_budget;
+
+  QueryContext ctx;
+  if (timeout.has_value() && timeout->count() > 0) {
+    ctx = QueryContext::WithDeadline(admitted_at + *timeout);
+  }
+  ctx.set_budgets(budgets);
+  // Ungoverned queries keep passing a null context so evaluators skip all
+  // polling, exactly as before budgets existed.
+  const QueryContext* cancel =
+      (ctx.deadline().has_value() || budgets.any()) ? &ctx : nullptr;
+
+  // Anchoring the deadline at admission means a query can arrive here with
+  // nothing left: its whole budget was spent waiting in the queue. Fail
+  // fast without compiling or evaluating anything.
+  if (cancel != nullptr && ctx.Cancelled()) {
+    metrics_.queries_error.Increment();
+    metrics_.deadline_exceeded.Increment();
+    metrics_.cancelled_by_language[lang].Increment();
+    const auto waited =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - admitted_at);
+    return Error(ErrorCode::kDeadlineExceeded,
+                 "deadline of " + std::to_string(timeout->count()) +
+                     "ms exceeded before execution started (queued for " +
+                     std::to_string(waited.count()) + "ms)");
   }
 
   PlanOptions plan_options;
@@ -99,27 +149,41 @@ Result<QueryResponse> QueryEngine::Execute(const QueryRequest& request) {
     cache_.Put(key, plan);
   }
 
-  CancellationToken token;
-  const CancellationToken* cancel = nullptr;
-  if (timeout.has_value() && timeout->count() > 0) {
-    token = CancellationToken::WithTimeout(*timeout);
-    cancel = &token;
-  }
-
   Result<QueryResponse> result = ExecutePlan(*plan, *graph, request, cancel);
 
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
   metrics_.latency.Record(elapsed);
 
-  // A tripped token means the evaluators unwound early with a partial
-  // result; surface that as a deadline error rather than silent truncation.
-  if (cancel != nullptr && cancel->Cancelled()) {
-    metrics_.queries_error.Increment();
-    metrics_.deadline_exceeded.Increment();
-    return Error(ErrorCode::kDeadlineExceeded,
-                 "deadline of " + std::to_string(timeout->count()) +
-                     "ms exceeded");
+  // A tripped context means the evaluators unwound early with a partial
+  // result; surface the stop cause as the matching error rather than
+  // silent truncation.
+  if (cancel != nullptr) {
+    metrics_.peak_query_bytes.Update(ctx.memory_peak_bytes());
+    (void)ctx.Cancelled();  // fold a just-passed deadline into the cause
+    switch (ctx.stop_cause()) {
+      case StopCause::kNone:
+        break;
+      case StopCause::kDeadline:
+        metrics_.queries_error.Increment();
+        metrics_.deadline_exceeded.Increment();
+        metrics_.cancelled_by_language[lang].Increment();
+        return Error(ErrorCode::kDeadlineExceeded,
+                     "deadline of " + std::to_string(timeout->count()) +
+                         "ms exceeded");
+      case StopCause::kCancelled:
+        metrics_.queries_error.Increment();
+        metrics_.cancelled.Increment();
+        metrics_.cancelled_by_language[lang].Increment();
+        return Error(ErrorCode::kCancelled, "query cancelled");
+      default: {  // one of the resource budgets ran out
+        metrics_.queries_error.Increment();
+        metrics_.resource_exhausted.Increment();
+        metrics_.exhausted_by_language[lang].Increment();
+        return Error(ErrorCode::kResourceExhausted,
+                     "resource budget exhausted: " + ctx.Report().ToString());
+      }
+    }
   }
   if (!result.ok()) {
     metrics_.queries_error.Increment();
@@ -136,9 +200,43 @@ Result<QueryResponse> QueryEngine::Execute(const QueryRequest& request) {
 std::future<Result<QueryResponse>> QueryEngine::Submit(QueryRequest request) {
   auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
   std::future<Result<QueryResponse>> future = promise->get_future();
-  pool_.Submit([this, promise, request = std::move(request)]() {
-    promise->set_value(Execute(request));
-  });
+  const auto admitted_at = std::chrono::steady_clock::now();
+  const QueryLanguage language = request.language;
+  const size_t lang = static_cast<size_t>(language);
+
+  if (Failpoint::ShouldFail("engine.submit") || !governor_.TryAdmit()) {
+    metrics_.queries_total.Increment();
+    metrics_.RecordLanguage(language);
+    metrics_.queries_error.Increment();
+    metrics_.overloaded_shed.Increment();
+    metrics_.shed_by_language[lang].Increment();
+    promise->set_value(
+        Error(ErrorCode::kOverloaded,
+              "query shed: engine at admission capacity (" +
+                  std::to_string(governor_.options().admission_capacity) +
+                  " in flight); retry later"));
+    return future;
+  }
+  metrics_.queue_depth_high_water.Update(governor_.high_water());
+
+  bool accepted =
+      pool_.Submit([this, promise, admitted_at,
+                    request = std::move(request)]() {
+        governor_.BeginExecution();
+        Result<QueryResponse> result = ExecuteFrom(request, admitted_at);
+        // Free the slot before fulfilling the promise: a caller observing
+        // the future must see the query's admission already released.
+        governor_.EndExecution();
+        promise->set_value(std::move(result));
+      });
+  if (!accepted) {
+    governor_.CancelAdmission();
+    metrics_.queries_total.Increment();
+    metrics_.RecordLanguage(language);
+    metrics_.queries_error.Increment();
+    promise->set_value(Error(ErrorCode::kUnavailable,
+                             "engine thread pool is shut down"));
+  }
   return future;
 }
 
@@ -259,7 +357,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
       }
       Pmr pmr = BuildPmrBetween(g.skeleton(), *paths->nfa, *u, *v);
       std::vector<PathBinding> results =
-          KShortestPathBindings(pmr, request.paths.k_shortest);
+          KShortestPathBindings(pmr, request.paths.k_shortest, cancel);
       size_t shown = 0;
       for (const PathBinding& pb : results) {
         if (shown++ >= request.max_display_rows) {
@@ -322,6 +420,14 @@ std::string QueryEngine::StatsReport() const {
            static_cast<unsigned long long>(s.misses),
            static_cast<unsigned long long>(s.evictions), cache_.num_shards(),
            cache_.capacity_per_shard());
+  out += line;
+  snprintf(line, sizeof(line),
+           "governor       in_flight %zu  high_water %zu  shed %llu  "
+           "(capacity %zu, max_concurrent %zu)\n",
+           governor_.in_flight(), governor_.high_water(),
+           static_cast<unsigned long long>(governor_.shed_total()),
+           governor_.options().admission_capacity,
+           governor_.options().max_concurrent);
   out += line;
   out += "threads        " + std::to_string(pool_.num_threads()) + "\n";
   return out;

@@ -10,12 +10,13 @@
 
 #include "src/crpq/crpq.h"
 #include "src/engine/executor.h"
+#include "src/engine/governor.h"
 #include "src/engine/language.h"
 #include "src/engine/metrics.h"
 #include "src/engine/plan.h"
 #include "src/engine/plan_cache.h"
 #include "src/graph/graph.h"
-#include "src/util/cancellation.h"
+#include "src/util/query_context.h"
 #include "src/util/result.h"
 
 namespace gqzoo {
@@ -39,8 +40,17 @@ struct QueryRequest {
   std::string text;
 
   /// Per-query deadline; falls back to the engine's default when unset.
-  /// Exceeding it returns ErrorCode::kDeadlineExceeded.
+  /// Exceeding it returns ErrorCode::kDeadlineExceeded. For `Submit`, the
+  /// clock starts at submission, so queue wait counts against it.
   std::optional<std::chrono::milliseconds> timeout;
+
+  /// Per-query resource budgets; each falls back to the engine default
+  /// when unset (an explicit 0 means unlimited, overriding the default).
+  /// Exceeding any returns ErrorCode::kResourceExhausted with a
+  /// structured BudgetReport in the message.
+  std::optional<uint64_t> memory_budget;  // accounted bytes
+  std::optional<uint64_t> row_budget;     // emitted result rows
+  std::optional<uint64_t> step_budget;    // hot-loop iterations (fuel)
 
   /// CoreGQL only: WHERE-pushdown before evaluation (the shell's `gqlopt`).
   bool optimize = false;
@@ -83,6 +93,11 @@ class QueryEngine {
     size_t cache_capacity_per_shard = 64;
     /// Applied when a request has no timeout of its own; unset = unbounded.
     std::optional<std::chrono::milliseconds> default_timeout;
+    /// Applied when a request has no budget of its own; 0 = unlimited.
+    ResourceBudgets default_budgets;
+    /// Admission control (see governor.h). Applies to `Submit` only;
+    /// direct `Execute` calls are the caller's own thread and bypass it.
+    GovernorOptions governor;
   };
 
   explicit QueryEngine(PropertyGraph graph);
@@ -92,7 +107,10 @@ class QueryEngine {
   /// thread, honoring the deadline cooperatively.
   Result<QueryResponse> Execute(const QueryRequest& request);
 
-  /// Runs the query on the thread pool. The future never throws; errors
+  /// Runs the query on the thread pool, subject to admission control: at
+  /// capacity the query is shed immediately with `kOverloaded` (the future
+  /// is ready at once). The deadline clock starts *here*, so time spent
+  /// queued counts against the query. The future never throws; errors
   /// come back as Result errors.
   std::future<Result<QueryResponse>> Submit(QueryRequest request);
 
@@ -106,6 +124,11 @@ class QueryEngine {
 
   void set_default_timeout(std::optional<std::chrono::milliseconds> t);
   std::optional<std::chrono::milliseconds> default_timeout() const;
+
+  void set_default_budgets(const ResourceBudgets& budgets);
+  ResourceBudgets default_budgets() const;
+
+  const ResourceGovernor& governor() const { return governor_; }
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -121,6 +144,13 @@ class QueryEngine {
   std::string StatsReport() const;
 
  private:
+  /// `Execute` with the deadline anchored at `admitted_at` instead of now
+  /// — a query that burned its whole deadline waiting in the queue fails
+  /// fast with `kDeadlineExceeded`, before compiling or evaluating.
+  Result<QueryResponse> ExecuteFrom(const QueryRequest& request,
+                                    QueryContext::Clock::time_point
+                                        admitted_at);
+
   Result<QueryResponse> ExecutePlan(const Plan& plan, const PropertyGraph& g,
                                     const QueryRequest& request,
                                     const CancellationToken* cancel) const;
@@ -129,9 +159,11 @@ class QueryEngine {
   std::shared_ptr<const PropertyGraph> graph_;
   uint64_t epoch_ = 0;
   std::optional<std::chrono::milliseconds> default_timeout_;
+  ResourceBudgets default_budgets_;
 
   PlanCache cache_;
   MetricsRegistry metrics_;
+  ResourceGovernor governor_;
   ThreadPool pool_;
 };
 

@@ -15,21 +15,29 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   wake_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  // Joining is serialized through joined_: Shutdown() may be called both
+  // explicitly and from the destructor, and must not double-join.
+  std::call_once(joined_, [this] {
+    for (std::thread& t : workers_) t.join();
+  });
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
   wake_.notify_one();
+  return true;
 }
 
 void ThreadPool::Drain() {

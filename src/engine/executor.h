@@ -28,7 +28,16 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not block indefinitely on other queued
   /// tasks (the pool is fixed-size and has no work stealing).
-  void Submit(std::function<void()> task);
+  ///
+  /// Returns false — and drops the task — once `Shutdown()` has begun.
+  /// Submitting to a shutting-down pool used to race silently (the task
+  /// could be queued and never run); now it is a visible, testable error
+  /// the caller must handle.
+  [[nodiscard]] bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, runs everything already queued, and joins the
+  /// workers. Idempotent and thread-safe; invoked by the destructor.
+  void Shutdown();
 
   /// Blocks until the queue is empty and all workers are idle.
   void Drain();
@@ -45,6 +54,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t active_ = 0;
   bool shutdown_ = false;
+  std::once_flag joined_;
   std::vector<std::thread> workers_;
 };
 

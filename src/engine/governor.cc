@@ -1,0 +1,54 @@
+#include "src/engine/governor.h"
+
+namespace gqzoo {
+
+bool ResourceGovernor::TryAdmit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.admission_capacity != 0 &&
+      in_flight_ >= options_.admission_capacity) {
+    ++shed_;
+    return false;
+  }
+  ++in_flight_;
+  if (in_flight_ > high_water_) high_water_ = in_flight_;
+  return true;
+}
+
+void ResourceGovernor::CancelAdmission() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+}
+
+void ResourceGovernor::BeginExecution() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.max_concurrent != 0) {
+    run_slot_.wait(lock, [this] { return running_ < options_.max_concurrent; });
+  }
+  ++running_;
+}
+
+void ResourceGovernor::EndExecution() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    --in_flight_;
+  }
+  run_slot_.notify_one();
+}
+
+size_t ResourceGovernor::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+size_t ResourceGovernor::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+uint64_t ResourceGovernor::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,73 @@
+#ifndef GQZOO_ENGINE_GOVERNOR_H_
+#define GQZOO_ENGINE_GOVERNOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace gqzoo {
+
+/// Admission-control knobs for the query engine.
+struct GovernorOptions {
+  /// Upper bound on in-flight queries (queued + running) admitted via
+  /// `Submit`. Submissions past the bound are shed immediately with
+  /// `kOverloaded` instead of growing the queue without limit — under
+  /// sustained overload a fast "try later" beats a slow deadline miss.
+  /// 0 disables admission control.
+  size_t admission_capacity = 256;
+
+  /// Upper bound on queries *evaluating* concurrently. Worker threads past
+  /// the gate wait (the wait counts against the query's deadline, which is
+  /// anchored at submission). 0 means no gate beyond the pool size.
+  size_t max_concurrent = 0;
+};
+
+/// Tracks in-flight queries against the configured bounds.
+///
+/// Why in-flight (queued + running) rather than queue length alone: with a
+/// fixed pool, "K in flight" is the promise that matters to a caller — a
+/// query admitted as number K is at worst K pool-slots away from running —
+/// and it makes shedding deterministic: submitting 2K queries to an idle
+/// engine admits exactly K and sheds exactly K, regardless of how fast
+/// workers pick tasks up.
+class ResourceGovernor {
+ public:
+  explicit ResourceGovernor(const GovernorOptions& options)
+      : options_(options) {}
+
+  /// Claims an in-flight slot. False (shed) when at capacity.
+  bool TryAdmit();
+
+  /// Returns a slot claimed by `TryAdmit` without running (e.g. the pool
+  /// rejected the task).
+  void CancelAdmission();
+
+  /// Blocks until a concurrent-execution slot is free (no-op without a
+  /// max-concurrent gate). Call from the worker thread, after `TryAdmit`.
+  void BeginExecution();
+
+  /// Releases both the execution slot and the in-flight slot.
+  void EndExecution();
+
+  size_t in_flight() const;
+  /// Highest number of simultaneously in-flight queries seen.
+  size_t high_water() const;
+  /// Total submissions shed by `TryAdmit`.
+  uint64_t shed_total() const;
+
+  const GovernorOptions& options() const { return options_; }
+
+ private:
+  const GovernorOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable run_slot_;
+  size_t in_flight_ = 0;
+  size_t running_ = 0;
+  size_t high_water_ = 0;
+  uint64_t shed_ = 0;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_ENGINE_GOVERNOR_H_

@@ -63,18 +63,30 @@ std::string MetricsRegistry::ReportText() const {
   row("queries_error", queries_error.value());
   row("parse_errors", parse_errors.value());
   row("deadline_exceeded", deadline_exceeded.value());
+  row("cancelled", cancelled.value());
+  row("resource_exhausted", resource_exhausted.value());
+  row("overloaded_shed", overloaded_shed.value());
   row("cache_hits", cache_hits.value());
   row("cache_misses", cache_misses.value());
   row("truncated_results", truncated_results.value());
   row("graph_epoch_bumps", graph_epoch_bumps.value());
-  for (size_t i = 0; i < kNumQueryLanguages; ++i) {
-    uint64_t n = queries_by_language[i].value();
-    if (n == 0) continue;
-    std::string name =
-        std::string("queries[") +
-        QueryLanguageName(static_cast<QueryLanguage>(i)) + "]";
-    row(name.c_str(), n);
-  }
+  row("queue_depth_high_water", queue_depth_high_water.value());
+  row("peak_query_bytes", peak_query_bytes.value());
+  auto per_language = [&](const char* prefix,
+                          const std::array<Counter, kNumQueryLanguages>& a) {
+    for (size_t i = 0; i < kNumQueryLanguages; ++i) {
+      uint64_t n = a[i].value();
+      if (n == 0) continue;
+      std::string name = std::string(prefix) + "[" +
+                         QueryLanguageName(static_cast<QueryLanguage>(i)) +
+                         "]";
+      row(name.c_str(), n);
+    }
+  };
+  per_language("queries", queries_by_language);
+  per_language("shed", shed_by_language);
+  per_language("exhausted", exhausted_by_language);
+  per_language("cancelled", cancelled_by_language);
   uint64_t n = latency.count();
   if (n > 0) {
     snprintf(line, sizeof(line),
@@ -100,11 +112,19 @@ void MetricsRegistry::Reset() {
   queries_error.Reset();
   parse_errors.Reset();
   deadline_exceeded.Reset();
+  cancelled.Reset();
+  resource_exhausted.Reset();
+  overloaded_shed.Reset();
   cache_hits.Reset();
   cache_misses.Reset();
   truncated_results.Reset();
   graph_epoch_bumps.Reset();
+  queue_depth_high_water.Reset();
+  peak_query_bytes.Reset();
   for (auto& c : queries_by_language) c.Reset();
+  for (auto& c : shed_by_language) c.Reset();
+  for (auto& c : exhausted_by_language) c.Reset();
+  for (auto& c : cancelled_by_language) c.Reset();
   latency.Reset();
 }
 

@@ -24,6 +24,23 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// A running-maximum gauge (high-water marks: queue depth, peak accounted
+/// bytes). `Update` keeps the largest value ever observed.
+class MaxGauge {
+ public:
+  void Update(uint64_t v) {
+    uint64_t prev = value_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !value_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
 /// A lock-free latency histogram with power-of-two microsecond buckets:
 /// bucket i counts latencies in [2^i, 2^(i+1)) µs (bucket 0 also catches
 /// sub-microsecond queries). Good enough for engine-level percentiles
@@ -62,12 +79,21 @@ class MetricsRegistry {
   Counter queries_ok;
   Counter queries_error;       // all failures, including the two below
   Counter parse_errors;        // ErrorCode::kParse
-  Counter deadline_exceeded;   // ErrorCode::kDeadlineExceeded / kCancelled
+  Counter deadline_exceeded;   // ErrorCode::kDeadlineExceeded
+  Counter cancelled;           // ErrorCode::kCancelled (explicit cancel)
+  Counter resource_exhausted;  // ErrorCode::kResourceExhausted (budgets)
+  Counter overloaded_shed;     // ErrorCode::kOverloaded (admission control)
   Counter cache_hits;          // compiled-plan cache
   Counter cache_misses;
   Counter truncated_results;   // evaluator hit an enumeration limit
   Counter graph_epoch_bumps;   // SetGraph calls (cache invalidations)
   std::array<Counter, kNumQueryLanguages> queries_by_language;
+  std::array<Counter, kNumQueryLanguages> shed_by_language;
+  std::array<Counter, kNumQueryLanguages> exhausted_by_language;
+  std::array<Counter, kNumQueryLanguages> cancelled_by_language;  // + deadline
+
+  MaxGauge queue_depth_high_water;  // governor in-flight high-water mark
+  MaxGauge peak_query_bytes;        // largest per-query accounted footprint
 
   LatencyHistogram latency;
 

@@ -66,6 +66,17 @@ struct PathBinding {
   }
 };
 
+/// Approximate resident footprint of a path binding, for the query
+/// engine's budget accounting (QueryContext::ChargeMemory). Dominant terms
+/// only: the object sequence plus per-variable list storage and overhead.
+inline uint64_t ApproxBytes(const PathBinding& pb) {
+  uint64_t bytes = 64 + pb.path.objects().size() * sizeof(ObjectRef);
+  for (const auto& [var, list] : pb.mu.lists) {
+    bytes += 48 + var.size() + list.size() * sizeof(ObjectRef);
+  }
+  return bytes;
+}
+
 }  // namespace gqzoo
 
 #endif  // GQZOO_GRAPH_PATH_BINDING_H_

@@ -4,6 +4,8 @@
 #include <queue>
 #include <set>
 
+#include "src/util/failpoint.h"
+
 namespace gqzoo {
 
 namespace {
@@ -34,6 +36,23 @@ class Enumerator {
       return;
     }
     if (pmr_.IsTarget(node)) {
+      if (limits_.cancel != nullptr &&
+          Failpoint::ShouldFail("pmr.enumerate.emit")) {
+        limits_.cancel->RequestCancel();
+        stats_.cancelled = true;
+        stats_.truncated = true;
+        stopped_ = true;
+        return;
+      }
+      // Each emitted binding is charged against the row and memory budgets;
+      // Figure 5's 2^n paths run out of budget here, not of address space.
+      if (!ChargeRows(limits_.cancel) ||
+          !ChargeMemory(limits_.cancel, ApproxBytes(current_))) {
+        stats_.cancelled = true;
+        stats_.truncated = true;
+        stopped_ = true;
+        return;
+      }
       ++stats_.emitted;
       if (!emit_(current_)) {
         stopped_ = true;
@@ -136,11 +155,29 @@ EnumerationStats EnumeratePathBindingsByLength(
   std::priority_queue<PartialWalk, std::vector<PartialWalk>,
                       std::greater<PartialWalk>>
       frontier;
+  // The best-first frontier is this enumerator's dominant memory term
+  // (the DFS enumerator holds one walk; this one holds a queue of them) —
+  // charge it walk-by-walk, releasing as walks are popped.
+  ScopedMemoryCharge frontier_bytes(limits.cancel);
+  auto walk_bytes = [](const PartialWalk& w) {
+    uint64_t bytes = 96 + w.objects.size() * sizeof(ObjectRef);
+    for (const auto& [var, list] : w.mu.lists) {
+      bytes += 48 + var.size() + list.size() * sizeof(ObjectRef);
+    }
+    return bytes;
+  };
+  auto out_of_budget = [&stats] {
+    stats.cancelled = true;
+    stats.truncated = true;
+    return stats;
+  };
   uint64_t sequence = 0;
   for (uint32_t s : pmr.sources()) {
-    frontier.push({0, sequence++, s,
-                   {ObjectRef::Node(pmr.GammaNode(s))},
-                   Binding()});
+    PartialWalk start{0, sequence++, s,
+                      {ObjectRef::Node(pmr.GammaNode(s))},
+                      Binding()};
+    if (!frontier_bytes.Charge(walk_bytes(start))) return out_of_budget();
+    frontier.push(std::move(start));
   }
   while (!frontier.empty()) {
     if (ShouldStop(limits.cancel)) {
@@ -150,7 +187,9 @@ EnumerationStats EnumeratePathBindingsByLength(
     }
     PartialWalk walk = frontier.top();
     frontier.pop();
+    frontier_bytes.Release(walk_bytes(walk));
     if (pmr.IsTarget(walk.node)) {
+      if (!ChargeRows(limits.cancel)) return out_of_budget();
       ++stats.emitted;
       PathBinding pb{Path::MakeUnchecked(walk.objects), walk.mu};
       if (!emit(pb)) return stats;
@@ -175,16 +214,19 @@ EnumerationStats EnumeratePathBindingsByLength(
         next.mu.Append(pmr.capture_names()[edge.capture],
                        ObjectRef::Edge(edge.gamma));
       }
+      if (!frontier_bytes.Charge(walk_bytes(next))) return out_of_budget();
       frontier.push(std::move(next));
     }
   }
   return stats;
 }
 
-std::vector<PathBinding> KShortestPathBindings(const Pmr& pmr, size_t k) {
+std::vector<PathBinding> KShortestPathBindings(const Pmr& pmr, size_t k,
+                                               const QueryContext* ctx) {
   std::vector<PathBinding> out;
   std::set<PathBinding> seen;
   EnumerationLimits limits;  // bounded by the emit callback below
+  limits.cancel = ctx;
   EnumeratePathBindingsByLength(pmr, limits, [&](const PathBinding& pb) {
     if (seen.insert(pb).second) out.push_back(pb);
     return out.size() < k;

@@ -17,8 +17,10 @@ struct EnumerationLimits {
   size_t max_results = SIZE_MAX;
   /// Skip (and stop extending) PMR walks longer than this many edges.
   size_t max_length = SIZE_MAX;
-  /// Optional cooperative cancellation (deadlines); enumeration stops — and
-  /// reports `cancelled` — as soon as the token trips. Not owned.
+  /// Optional cooperative governance (deadline, cancel, resource budgets);
+  /// enumeration stops — and reports `cancelled` — as soon as the context
+  /// trips. Emitted bindings are charged against the row and memory
+  /// budgets; the ordered enumerator also charges its frontier. Not owned.
   const CancellationToken* cancel = nullptr;
 };
 
@@ -58,8 +60,11 @@ EnumerationStats EnumeratePathBindingsByLength(
 
 /// The k shortest distinct results, in nondecreasing length order (ties in
 /// deterministic walk order). Convenience wrapper over the ordered
-/// enumerator with on-the-fly deduplication.
-std::vector<PathBinding> KShortestPathBindings(const Pmr& pmr, size_t k);
+/// enumerator with on-the-fly deduplication; `ctx` (optional) governs the
+/// search like `EnumerationLimits::cancel`.
+std::vector<PathBinding> KShortestPathBindings(const Pmr& pmr, size_t k,
+                                               const QueryContext* ctx =
+                                                   nullptr);
 
 /// Number of S→T walks in the PMR, or nullopt if infinite. (This counts
 /// PMR walks, which upper-bounds |SPaths|; on PMRs built by BuildPmr from

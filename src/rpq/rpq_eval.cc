@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/util/failpoint.h"
+
 namespace gqzoo {
 
 namespace {
@@ -14,6 +16,18 @@ template <typename Visit>
 void ProductBfsFrom(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u,
                     const CancellationToken* cancel, Visit visit) {
   const uint32_t num_states = nfa.num_states();
+  const uint64_t product_states =
+      static_cast<uint64_t>(g.NumNodes()) * num_states;
+  if (cancel != nullptr && Failpoint::ShouldFail("rpq.product.bfs")) {
+    cancel->Trip(StopCause::kMemoryBudget);
+  }
+  // Account the product-automaton working set up front: the seen bitmap
+  // plus the worst-case BFS queue (one 4-byte id per product state).
+  ScopedMemoryCharge working_set(cancel);
+  if (!working_set.Charge(product_states / 8 + product_states * 4 +
+                          g.NumNodes() / 8)) {
+    return;
+  }
   std::vector<bool> seen(g.NumNodes() * num_states, false);
   std::vector<bool> reported(g.NumNodes(), false);
   std::deque<uint32_t> queue;
@@ -59,6 +73,10 @@ std::vector<std::pair<NodeId, NodeId>> EvalRpq(const EdgeLabeledGraph& g,
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
     if (ShouldStop(cancel)) break;
     ProductBfsFrom(g, nfa, u, cancel, [&](NodeId v) {
+      if (!ChargeRows(cancel) ||
+          !ChargeMemory(cancel, sizeof(std::pair<NodeId, NodeId>))) {
+        return false;
+      }
       result.emplace_back(u, v);
       return true;
     });
@@ -77,6 +95,7 @@ std::vector<NodeId> EvalRpqFrom(const EdgeLabeledGraph& g, const Nfa& nfa,
                                 NodeId u, const CancellationToken* cancel) {
   std::vector<NodeId> result;
   ProductBfsFrom(g, nfa, u, cancel, [&](NodeId v) {
+    if (!ChargeMemory(cancel, sizeof(NodeId))) return false;
     result.push_back(v);
     return true;
   });

@@ -1,91 +1,16 @@
 #ifndef GQZOO_UTIL_CANCELLATION_H_
 #define GQZOO_UTIL_CANCELLATION_H_
 
-#include <atomic>
-#include <chrono>
-#include <optional>
+#include "src/util/query_context.h"
 
 namespace gqzoo {
 
-/// Cooperative cancellation for long-running evaluations.
-///
-/// Several of the paper's languages have provably exponential worst cases
-/// (Figure 5 path enumeration, the subset-sum `reduce` query, simple/trail
-/// search), so a serving engine must be able to bound a query's runtime.
-/// Evaluators cannot be preempted; instead the hot loops poll a token and
-/// unwind early when it trips. A token trips either because a deadline
-/// passed or because `RequestCancel()` was called (possibly from another
-/// thread — all state is atomic).
-///
-/// `ShouldStop()` is designed for tight loops: it only probes the clock
-/// every `kProbeInterval` calls, so the steady-state cost is one relaxed
-/// atomic increment.
-class CancellationToken {
- public:
-  using Clock = std::chrono::steady_clock;
-
-  CancellationToken() = default;
-
-  /// A token that trips `timeout` from now.
-  static CancellationToken WithTimeout(Clock::duration timeout) {
-    CancellationToken token;
-    token.deadline_ = Clock::now() + timeout;
-    return token;
-  }
-
-  /// Tokens are passed by pointer into evaluators; moving one while an
-  /// evaluation holds a pointer to it is a bug, so copies/moves rebuild the
-  /// atomics instead of being defaulted.
-  CancellationToken(const CancellationToken& o)
-      : deadline_(o.deadline_),
-        cancelled_(o.cancelled_.load(std::memory_order_relaxed)) {}
-  CancellationToken& operator=(const CancellationToken& o) {
-    deadline_ = o.deadline_;
-    cancelled_.store(o.cancelled_.load(std::memory_order_relaxed),
-                     std::memory_order_relaxed);
-    probe_count_.store(0, std::memory_order_relaxed);
-    return *this;
-  }
-
-  /// Trips the token (thread-safe, idempotent).
-  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
-
-  /// True once the token has tripped: explicit cancel or deadline passed.
-  /// Always probes the clock; use from non-hot paths.
-  bool Cancelled() const {
-    if (cancelled_.load(std::memory_order_relaxed)) return true;
-    if (deadline_.has_value() && Clock::now() >= *deadline_) {
-      cancelled_.store(true, std::memory_order_relaxed);
-      return true;
-    }
-    return false;
-  }
-
-  /// Hot-loop check: like `Cancelled()` but only probes the clock every
-  /// `kProbeInterval` calls, so cancellation lags by at most that many loop
-  /// iterations.
-  bool ShouldStop() const {
-    if (cancelled_.load(std::memory_order_relaxed)) return true;
-    if (!deadline_.has_value()) return false;
-    uint32_t n = probe_count_.fetch_add(1, std::memory_order_relaxed);
-    if ((n & (kProbeInterval - 1)) != 0) return false;
-    return Cancelled();
-  }
-
-  std::optional<Clock::time_point> deadline() const { return deadline_; }
-
- private:
-  static constexpr uint32_t kProbeInterval = 64;  // must be a power of two
-
-  std::optional<Clock::time_point> deadline_;
-  mutable std::atomic<bool> cancelled_{false};
-  mutable std::atomic<uint32_t> probe_count_{0};
-};
-
-/// Null-safe helper for evaluators that take an optional token pointer.
-inline bool ShouldStop(const CancellationToken* token) {
-  return token != nullptr && token->ShouldStop();
-}
+/// The PR-1 `CancellationToken` (deadline + cooperative cancel) grew
+/// resource budgets and became `QueryContext`. The alias keeps the
+/// original spelling — and the `cancel` field name in every evaluator
+/// option struct — working unchanged; see query_context.h for the full
+/// story.
+using CancellationToken = QueryContext;
 
 }  // namespace gqzoo
 

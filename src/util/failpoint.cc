@@ -1,0 +1,75 @@
+#include "src/util/failpoint.h"
+
+#include <map>
+#include <mutex>
+
+namespace gqzoo {
+
+namespace {
+
+struct PointState {
+  bool armed = false;
+  uint64_t after_n = 0;  // passes to skip before firing
+  uint64_t passes = 0;   // passes seen since (re-)arming
+  uint64_t fired = 0;    // lifetime fire count
+};
+
+std::mutex* RegistryMutex() {
+  static std::mutex* mu = new std::mutex;
+  return mu;
+}
+
+std::map<std::string, PointState>* Registry() {
+  static auto* registry = new std::map<std::string, PointState>;
+  return registry;
+}
+
+}  // namespace
+
+void Failpoint::Arm(const std::string& name, uint64_t after_n) {
+  std::lock_guard<std::mutex> lock(*RegistryMutex());
+  PointState& state = (*Registry())[name];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.after_n = after_n;
+  state.passes = 0;
+}
+
+void Failpoint::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(*RegistryMutex());
+  auto it = Registry()->find(name);
+  if (it == Registry()->end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Failpoint::DisarmAll() {
+  std::lock_guard<std::mutex> lock(*RegistryMutex());
+  for (auto& [name, state] : *Registry()) {
+    if (state.armed) {
+      state.armed = false;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t Failpoint::FireCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(*RegistryMutex());
+  auto it = Registry()->find(name);
+  return it == Registry()->end() ? 0 : it->second.fired;
+}
+
+bool Failpoint::ShouldFailSlow(const char* name) {
+  std::lock_guard<std::mutex> lock(*RegistryMutex());
+  auto it = Registry()->find(name);
+  if (it == Registry()->end() || !it->second.armed) return false;
+  PointState& state = it->second;
+  if (state.passes++ < state.after_n) return false;
+  // Fire once, then disarm so the unwind path isn't re-injected.
+  state.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  ++state.fired;
+  return true;
+}
+
+}  // namespace gqzoo

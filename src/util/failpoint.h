@@ -1,0 +1,75 @@
+#ifndef GQZOO_UTIL_FAILPOINT_H_
+#define GQZOO_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gqzoo {
+
+/// Deterministic fault injection at named sites.
+///
+/// Graceful-degradation paths (budget exhaustion, cancellation, simulated
+/// allocation failure) are hard to hit on demand from the outside — a test
+/// either over-sizes the workload (slow, fragile) or never exercises the
+/// unwind at all. A fail-point is a named hook compiled into the hot path;
+/// tests arm it with `Failpoint::Arm("crpq.join.alloc", after_n)` and the
+/// site fires exactly once on its `after_n`-th pass, then disarms itself.
+///
+/// The disarmed fast path is one relaxed atomic load of a global counter,
+/// so production code pays essentially nothing for carrying the hooks.
+///
+/// Named sites in this codebase (grep for `Failpoint::ShouldFail`):
+///   "rpq.product.bfs"     product-graph BFS setup    → memory exhaustion
+///   "crpq.join.alloc"     join output-tuple alloc    → memory exhaustion
+///   "coregql.frontier"    group-repeat frontier round → memory exhaustion
+///   "pmr.enumerate.emit"  path-binding emission      → cancellation
+///   "datatest.recurse"    dl-RPQ configuration step  → step-budget trip
+///   "engine.submit"       engine admission           → forced shed
+class Failpoint {
+ public:
+  /// Arms `name`: `ShouldFail(name)` returns false for the first `after_n`
+  /// passes, fires (returns true) exactly once on the next pass, then the
+  /// point disarms itself. Re-arming an armed point resets its pass count.
+  static void Arm(const std::string& name, uint64_t after_n = 0);
+
+  /// Disarms `name` (no-op when not armed). Fire counts are retained.
+  static void Disarm(const std::string& name);
+
+  /// Disarms every point. Call from test teardown.
+  static void DisarmAll();
+
+  /// How many times `name` has fired since the process started.
+  static uint64_t FireCount(const std::string& name);
+
+  /// The injection site hook. `name` should be a string literal.
+  static bool ShouldFail(const char* name) {
+    if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+    return ShouldFailSlow(name);
+  }
+
+ private:
+  static bool ShouldFailSlow(const char* name);
+
+  // Number of currently armed points; the fast-path gate.
+  static inline std::atomic<int> armed_count_{0};
+};
+
+/// Test helper: arms a point for the current scope, disarms on exit.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string name, uint64_t after_n = 0)
+      : name_(std::move(name)) {
+    Failpoint::Arm(name_, after_n);
+  }
+  ~ScopedFailpoint() { Failpoint::Disarm(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_UTIL_FAILPOINT_H_

@@ -1,0 +1,35 @@
+#include "src/util/query_context.h"
+
+#include <cstdio>
+
+namespace gqzoo {
+
+namespace {
+
+// "12345678" or "unlimited" for a budget of 0.
+std::string BudgetToString(uint64_t budget) {
+  if (budget == 0) return "unlimited";
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(budget));
+  return buf;
+}
+
+}  // namespace
+
+std::string BudgetReport::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "cause=%s memory=%llu/%s bytes (peak %llu) rows=%llu/%s "
+           "steps=%llu/%s",
+           StopCauseName(cause),
+           static_cast<unsigned long long>(memory_bytes),
+           BudgetToString(budgets.memory_bytes).c_str(),
+           static_cast<unsigned long long>(memory_peak_bytes),
+           static_cast<unsigned long long>(result_rows),
+           BudgetToString(budgets.result_rows).c_str(),
+           static_cast<unsigned long long>(steps),
+           BudgetToString(budgets.steps).c_str());
+  return buf;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,290 @@
+#ifndef GQZOO_UTIL_QUERY_CONTEXT_H_
+#define GQZOO_UTIL_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gqzoo {
+
+/// Why a `QueryContext` tripped. The first cause to fire wins; later trips
+/// are ignored so the report names the budget that actually stopped the
+/// query.
+enum class StopCause : uint8_t {
+  kNone = 0,
+  kCancelled,     // RequestCancel() was called
+  kDeadline,      // the deadline passed
+  kMemoryBudget,  // accounted bytes exceeded the memory budget
+  kRowBudget,     // emitted rows exceeded the result-row budget
+  kStepBudget,    // hot-loop iterations exceeded the step (fuel) budget
+};
+
+inline const char* StopCauseName(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone: return "NONE";
+    case StopCause::kCancelled: return "CANCELLED";
+    case StopCause::kDeadline: return "DEADLINE";
+    case StopCause::kMemoryBudget: return "MEMORY_BUDGET";
+    case StopCause::kRowBudget: return "ROW_BUDGET";
+    case StopCause::kStepBudget: return "STEP_BUDGET";
+  }
+  return "UNKNOWN";
+}
+
+/// Per-query resource ceilings. 0 means unlimited. Memory is *accounted*,
+/// not measured: evaluators charge approximate sizes for the structures
+/// whose growth the paper's adversarial instances drive to blow up
+/// (BFS/DFS frontiers, join tuples × row width, product-automaton state
+/// bitmaps, PMR nodes, emitted path bindings).
+struct ResourceBudgets {
+  uint64_t memory_bytes = 0;
+  uint64_t result_rows = 0;
+  uint64_t steps = 0;
+
+  bool any() const {
+    return memory_bytes != 0 || result_rows != 0 || steps != 0;
+  }
+};
+
+/// Structured snapshot of a query's resource consumption — which budget
+/// tripped (if any), how much of each resource was consumed, and how far
+/// the evaluation got. Returned verbatim in `kResourceExhausted` messages.
+struct BudgetReport {
+  StopCause cause = StopCause::kNone;
+  ResourceBudgets budgets;
+  uint64_t memory_bytes = 0;       // currently accounted
+  uint64_t memory_peak_bytes = 0;  // high-water mark
+  uint64_t result_rows = 0;        // rows emitted before the stop
+  uint64_t steps = 0;              // hot-loop iterations executed
+
+  std::string ToString() const;
+};
+
+/// Everything an evaluator needs to run *governed*: a deadline, a
+/// cancellation flag, and resource budgets, polled cooperatively from the
+/// same hot loops.
+///
+/// This generalizes the PR-1 `CancellationToken` (which only carried
+/// deadline + cancel); that name survives as an alias, so existing call
+/// sites and the `cancel` field in evaluator option structs are unchanged.
+/// Several of the paper's languages have provably exponential worst cases
+/// in *space* as well as time (Figure 5 path enumeration holds 2^n paths,
+/// the 6-clique bag-semantics query counts ~10^80 walks), so a deadline
+/// alone cannot keep a hostile query from taking the process down — the
+/// budgets bound space and fuel cooperatively the same way the deadline
+/// bounds time.
+///
+/// All mutation is on `mutable` relaxed atomics so a `const QueryContext*`
+/// can be shared across threads; `ShouldStop()` stays one relaxed
+/// fetch_add in the steady state (the step counter doubles as the clock
+/// probe throttle).
+class QueryContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  QueryContext() = default;
+
+  /// A context whose deadline trips `timeout` from now.
+  static QueryContext WithTimeout(Clock::duration timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+
+  /// A context with an absolute deadline — used by the engine to anchor
+  /// the clock at admission time, so queue wait counts against the query.
+  static QueryContext WithDeadline(Clock::time_point deadline) {
+    QueryContext ctx;
+    ctx.deadline_ = deadline;
+    return ctx;
+  }
+
+  /// Contexts are passed by pointer into evaluators; moving one while an
+  /// evaluation holds a pointer to it is a bug, so copies/moves rebuild
+  /// the atomics instead of being defaulted.
+  QueryContext(const QueryContext& o)
+      : deadline_(o.deadline_),
+        budgets_(o.budgets_),
+        cause_(o.cause_.load(std::memory_order_relaxed)),
+        steps_(o.steps_.load(std::memory_order_relaxed)),
+        memory_(o.memory_.load(std::memory_order_relaxed)),
+        memory_peak_(o.memory_peak_.load(std::memory_order_relaxed)),
+        rows_(o.rows_.load(std::memory_order_relaxed)) {}
+  QueryContext& operator=(const QueryContext& o) {
+    deadline_ = o.deadline_;
+    budgets_ = o.budgets_;
+    cause_.store(o.cause_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    steps_.store(o.steps_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    memory_.store(o.memory_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    memory_peak_.store(o.memory_peak_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    rows_.store(o.rows_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Installs budgets. Call before handing the context to an evaluator;
+  /// budgets are plain fields, not atomics.
+  void set_budgets(const ResourceBudgets& budgets) { budgets_ = budgets; }
+  const ResourceBudgets& budgets() const { return budgets_; }
+
+  /// Trips the context (thread-safe, idempotent).
+  void RequestCancel() const { Trip(StopCause::kCancelled); }
+
+  /// Records `cause` as the stop reason if nothing tripped yet. Public so
+  /// fail-points can inject any failure mode at a named site.
+  void Trip(StopCause cause) const {
+    uint8_t expected = 0;
+    cause_.compare_exchange_strong(expected, static_cast<uint8_t>(cause),
+                                   std::memory_order_relaxed);
+  }
+
+  /// True once the context has tripped for any reason. Always probes the
+  /// clock; use from non-hot paths.
+  bool Cancelled() const {
+    if (cause_.load(std::memory_order_relaxed) != 0) return true;
+    if (deadline_.has_value() && Clock::now() >= *deadline_) {
+      Trip(StopCause::kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// Hot-loop check: one relaxed fetch_add in the steady state. Each call
+  /// burns one unit of the step budget; the clock is only probed every
+  /// `kProbeInterval` calls, so deadline detection lags by at most that
+  /// many loop iterations.
+  bool ShouldStop() const {
+    if (cause_.load(std::memory_order_relaxed) != 0) return true;
+    uint64_t n = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (budgets_.steps != 0 && n > budgets_.steps) {
+      Trip(StopCause::kStepBudget);
+      return true;
+    }
+    if (deadline_.has_value() && (n & (kProbeInterval - 1)) == 0) {
+      return Cancelled();
+    }
+    return false;
+  }
+
+  /// Accounts `bytes` against the memory budget. Returns false (and trips
+  /// the context) when the budget is exceeded; the caller should unwind,
+  /// keeping whatever partial state it has. Charges are approximate by
+  /// design — they track the dominant growth terms, not every allocation.
+  bool ChargeMemory(uint64_t bytes) const {
+    uint64_t now = memory_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    uint64_t peak = memory_peak_.load(std::memory_order_relaxed);
+    while (peak < now &&
+           !memory_peak_.compare_exchange_weak(peak, now,
+                                               std::memory_order_relaxed)) {
+    }
+    if (budgets_.memory_bytes != 0 && now > budgets_.memory_bytes) {
+      Trip(StopCause::kMemoryBudget);
+      return false;
+    }
+    return true;
+  }
+
+  /// Returns a previous charge (e.g. a frontier round that was dropped).
+  void ReleaseMemory(uint64_t bytes) const {
+    memory_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// Accounts `n` result rows. Returns false (and trips) over budget.
+  bool ChargeRows(uint64_t n = 1) const {
+    uint64_t now = rows_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (budgets_.result_rows != 0 && now > budgets_.result_rows) {
+      Trip(StopCause::kRowBudget);
+      return false;
+    }
+    return true;
+  }
+
+  StopCause stop_cause() const {
+    return static_cast<StopCause>(cause_.load(std::memory_order_relaxed));
+  }
+  std::optional<Clock::time_point> deadline() const { return deadline_; }
+  uint64_t memory_bytes() const {
+    return memory_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_peak_bytes() const {
+    return memory_peak_.load(std::memory_order_relaxed);
+  }
+  uint64_t result_rows() const { return rows_.load(std::memory_order_relaxed); }
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+
+  /// Snapshot for error reporting and metrics.
+  BudgetReport Report() const {
+    BudgetReport report;
+    report.cause = stop_cause();
+    report.budgets = budgets_;
+    report.memory_bytes = memory_bytes();
+    report.memory_peak_bytes = memory_peak_bytes();
+    report.result_rows = result_rows();
+    report.steps = steps();
+    return report;
+  }
+
+ private:
+  static constexpr uint64_t kProbeInterval = 64;  // must be a power of two
+
+  std::optional<Clock::time_point> deadline_;
+  ResourceBudgets budgets_;
+  mutable std::atomic<uint8_t> cause_{0};  // StopCause; first trip wins
+  mutable std::atomic<uint64_t> steps_{0};
+  mutable std::atomic<uint64_t> memory_{0};
+  mutable std::atomic<uint64_t> memory_peak_{0};
+  mutable std::atomic<uint64_t> rows_{0};
+};
+
+/// Null-safe helpers for evaluators that take an optional context pointer.
+/// An ungoverned evaluation (null context) never stops and never runs out.
+inline bool ShouldStop(const QueryContext* ctx) {
+  return ctx != nullptr && ctx->ShouldStop();
+}
+inline bool ChargeMemory(const QueryContext* ctx, uint64_t bytes) {
+  return ctx == nullptr || ctx->ChargeMemory(bytes);
+}
+inline bool ChargeRows(const QueryContext* ctx, uint64_t n = 1) {
+  return ctx == nullptr || ctx->ChargeRows(n);
+}
+
+/// RAII accumulator for *transient* structures (frontiers, visited sets,
+/// join indexes): charges are summed and returned to the context when the
+/// scope ends, so back-to-back evaluations inside one query don't leak
+/// accounted bytes. Null-safe like the free helpers.
+class ScopedMemoryCharge {
+ public:
+  explicit ScopedMemoryCharge(const QueryContext* ctx) : ctx_(ctx) {}
+  ~ScopedMemoryCharge() {
+    if (ctx_ != nullptr && total_ != 0) ctx_->ReleaseMemory(total_);
+  }
+  ScopedMemoryCharge(const ScopedMemoryCharge&) = delete;
+  ScopedMemoryCharge& operator=(const ScopedMemoryCharge&) = delete;
+
+  /// Charges `bytes`; false when the memory budget tripped.
+  bool Charge(uint64_t bytes) {
+    total_ += bytes;
+    return ctx_ == nullptr || ctx_->ChargeMemory(bytes);
+  }
+
+  /// Returns part of the accumulated charge early (e.g. a popped frontier
+  /// entry or a dropped round).
+  void Release(uint64_t bytes) {
+    total_ -= bytes;
+    if (ctx_ != nullptr) ctx_->ReleaseMemory(bytes);
+  }
+
+  uint64_t total() const { return total_; }
+
+ private:
+  const QueryContext* ctx_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_UTIL_QUERY_CONTEXT_H_

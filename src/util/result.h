@@ -19,6 +19,9 @@ enum class ErrorCode : uint8_t {
   kInvalidArgument,   // malformed request (bad language, bad parameters)
   kDeadlineExceeded,  // cooperative cancellation tripped by a deadline
   kCancelled,         // cooperative cancellation tripped explicitly
+  kResourceExhausted,  // a per-query budget (memory/rows/steps) ran out
+  kOverloaded,         // admission control shed the query; retry later
+  kUnavailable,        // the engine is shutting down; don't retry here
 };
 
 const char* ErrorCodeName(ErrorCode code);
@@ -52,6 +55,9 @@ inline const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case ErrorCode::kCancelled: return "CANCELLED";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kOverloaded: return "OVERLOADED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

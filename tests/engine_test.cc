@@ -2,14 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <future>
 #include <string>
 #include <vector>
 
+#include "src/engine/executor.h"
 #include "src/engine/language.h"
 #include "src/engine/plan_cache.h"
 #include "src/graph/builtin_graphs.h"
+#include "src/graph/generators.h"
 #include "src/graph/graph.h"
+#include "src/graph/graph_io.h"
 
 namespace gqzoo {
 namespace {
@@ -312,6 +317,208 @@ TEST(QueryEngineTest, PathQueriesResolveEndpointsPerRequest) {
   Result<QueryResponse> kshortest = engine.Execute(request);
   ASSERT_TRUE(kshortest.ok());
   EXPECT_EQ(kshortest.value().num_rows, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Resource governor: budgets, queue-wait deadlines, admission control.
+
+TEST(QueryEngineTest, MemoryBudgetTripsOnFigure5PathEnumeration) {
+  // Figure 5, n = 30: 2^30 s→t paths. With a 64 MB accounted-memory budget
+  // the enumeration must stop with kResourceExhausted (not OOM) and report
+  // which budget tripped; the engine stays healthy afterwards.
+  QueryEngine engine(Figure5Chain(30));
+  QueryRequest request = Req(QueryLanguage::kPaths, "a+");
+  request.paths.from = "s";
+  request.paths.to = "t";
+  request.paths.mode = PathMode::kAll;
+  request.max_results = SIZE_MAX;
+  request.memory_budget = 64ull << 20;
+
+  Result<QueryResponse> r = engine.Execute(request);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(r.error().message().find("resource budget exhausted"),
+            std::string::npos)
+      << r.error().message();
+  EXPECT_NE(r.error().message().find("memory"), std::string::npos)
+      << r.error().message();
+  EXPECT_EQ(engine.metrics().resource_exhausted.value(), 1u);
+  EXPECT_GE(engine.metrics().peak_query_bytes.value(), 64ull << 20);
+
+  // Subsequent queries run normally.
+  EXPECT_TRUE(engine.Execute(Req(QueryLanguage::kRpq, "a")).ok());
+}
+
+TEST(QueryEngineTest, MemoryBudgetTripsOnCliqueGroupSemantics) {
+  // Bag-semantics repetition over the 6-clique: the group-variable frontier
+  // grows as ~30^j partial compositions. A 64 MB budget must stop it.
+  QueryEngine engine(ToPropertyGraph(Clique(6)));
+  QueryRequest request =
+      Req(QueryLanguage::kGqlGroup, "(x) (-[t:a]->(v)){1,8} (y)");
+  request.max_results = SIZE_MAX;
+  request.memory_budget = 64ull << 20;
+
+  Result<QueryResponse> r = engine.Execute(request);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(r.error().message().find("memory"), std::string::npos)
+      << r.error().message();
+  EXPECT_TRUE(engine.Execute(Req(QueryLanguage::kRpq, "a")).ok());
+}
+
+TEST(QueryEngineTest, RowBudgetTripsWithStructuredReport) {
+  QueryEngine engine(Figure5Chain(10));  // 1024 s→t paths
+  QueryRequest request = Req(QueryLanguage::kPaths, "a+");
+  request.paths.from = "s";
+  request.paths.to = "t";
+  request.max_results = SIZE_MAX;
+  request.row_budget = 100;
+
+  Result<QueryResponse> r = engine.Execute(request);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(r.error().message().find("rows"), std::string::npos)
+      << r.error().message();
+  // The report carries partial progress: rows consumed over the limit.
+  EXPECT_NE(r.error().message().find("rows=101/100"), std::string::npos)
+      << r.error().message();
+}
+
+TEST(QueryEngineTest, StepBudgetBoundsWork) {
+  QueryEngine engine(Figure5Chain(30));
+  QueryRequest request = Req(QueryLanguage::kRpq, "a+");
+  request.step_budget = 50;
+
+  Result<QueryResponse> r = engine.Execute(request);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(r.error().message().find("steps"), std::string::npos)
+      << r.error().message();
+}
+
+TEST(QueryEngineTest, ExplicitZeroBudgetOverridesEngineDefault) {
+  QueryEngine engine(Figure5Chain(4));  // 16 s→t paths
+  ResourceBudgets defaults;
+  defaults.result_rows = 5;
+  engine.set_default_budgets(defaults);
+
+  QueryRequest request = Req(QueryLanguage::kPaths, "a+");
+  request.paths.from = "s";
+  request.paths.to = "t";
+  Result<QueryResponse> capped = engine.Execute(request);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.error().code(), ErrorCode::kResourceExhausted);
+
+  request.row_budget = 0;  // explicit 0 = unlimited, overriding the default
+  Result<QueryResponse> unlimited = engine.Execute(request);
+  ASSERT_TRUE(unlimited.ok());
+  EXPECT_EQ(unlimited.value().num_rows, 16u);
+}
+
+TEST(QueryEngineTest, QueueWaitCountsAgainstSubmitDeadline) {
+  // One worker; a 300ms blocker occupies it. A victim with a 25ms deadline
+  // queued behind it must come back kDeadlineExceeded *without ever being
+  // evaluated* — the deadline clock starts at Submit, and the fail-fast
+  // check fires before compilation.
+  QueryEngine::Options options;
+  options.num_threads = 1;
+  QueryEngine engine(Figure5Chain(30), options);
+
+  QueryRequest blocker = Req(QueryLanguage::kPaths, "a+");
+  blocker.paths.from = "s";
+  blocker.paths.to = "t";
+  blocker.paths.mode = PathMode::kAll;
+  blocker.max_results = SIZE_MAX;
+  blocker.timeout = std::chrono::milliseconds(300);
+
+  QueryRequest victim = Req(QueryLanguage::kRpq, "a");
+  victim.timeout = std::chrono::milliseconds(25);
+
+  std::future<Result<QueryResponse>> blocked = engine.Submit(blocker);
+  std::future<Result<QueryResponse>> shed = engine.Submit(victim);
+
+  Result<QueryResponse> victim_result = shed.get();
+  ASSERT_FALSE(victim_result.ok());
+  EXPECT_EQ(victim_result.error().code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_NE(victim_result.error().message().find("before execution started"),
+            std::string::npos)
+      << victim_result.error().message();
+
+  Result<QueryResponse> blocker_result = blocked.get();
+  ASSERT_FALSE(blocker_result.ok());
+  EXPECT_EQ(blocker_result.error().code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.metrics().deadline_exceeded.value(), 2u);
+}
+
+TEST(QueryEngineTest, AdmissionControlShedsExactOverflow) {
+  // Capacity 4, two workers, eight long-running submissions: the first four
+  // are admitted (queued or running both count as in flight), the next four
+  // are shed immediately with kOverloaded.
+  QueryEngine::Options options;
+  options.num_threads = 2;
+  options.governor.admission_capacity = 4;
+  QueryEngine engine(Figure5Chain(30), options);
+
+  QueryRequest heavy = Req(QueryLanguage::kPaths, "a+");
+  heavy.paths.from = "s";
+  heavy.paths.to = "t";
+  heavy.paths.mode = PathMode::kAll;
+  heavy.max_results = SIZE_MAX;
+  heavy.timeout = std::chrono::milliseconds(200);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(engine.Submit(heavy));
+
+  size_t shed = 0, deadline = 0;
+  for (auto& f : futures) {
+    Result<QueryResponse> r = f.get();
+    ASSERT_FALSE(r.ok());
+    if (r.error().code() == ErrorCode::kOverloaded) {
+      ++shed;
+      EXPECT_NE(r.error().message().find("shed"), std::string::npos);
+    } else {
+      EXPECT_EQ(r.error().code(), ErrorCode::kDeadlineExceeded);
+      ++deadline;
+    }
+  }
+  EXPECT_EQ(shed, 4u);
+  EXPECT_EQ(deadline, 4u);
+  EXPECT_EQ(engine.metrics().overloaded_shed.value(), 4u);
+  EXPECT_EQ(engine.metrics().queue_depth_high_water.value(), 4u);
+  EXPECT_EQ(engine.governor().shed_total(), 4u);
+  EXPECT_EQ(engine.governor().in_flight(), 0u);
+
+  // Once drained, submissions are admitted again.
+  Result<QueryResponse> after = engine.Submit(Req(QueryLanguage::kRpq, "a")).get();
+  EXPECT_TRUE(after.ok());
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+  pool.Shutdown();  // drains the queue, joins the workers
+  EXPECT_EQ(ran.load(), 1);
+  // A task submitted after shutdown is rejected, not silently dropped into
+  // a queue nobody serves.
+  EXPECT_FALSE(pool.Submit([&] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 1);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(QueryEngineTest, MaxConcurrentGateStillCompletesAllAdmitted) {
+  QueryEngine::Options options;
+  options.num_threads = 4;
+  options.governor.admission_capacity = 16;
+  options.governor.max_concurrent = 1;  // serialize execution
+  QueryEngine engine(Figure3Graph(), options);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(engine.Submit(Req(QueryLanguage::kRpq, "Transfer+")));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(engine.governor().in_flight(), 0u);
 }
 
 }  // namespace

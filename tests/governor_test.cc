@@ -1,0 +1,290 @@
+// The resource governor's building blocks in isolation: QueryContext
+// budget accounting and first-cause-wins stop reporting, the deterministic
+// fail-point registry, and the admission controller — plus each named
+// fail-point injected through the full engine stack.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/engine/governor.h"
+#include "src/graph/builtin_graphs.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_io.h"
+#include "src/util/failpoint.h"
+#include "src/util/query_context.h"
+
+namespace gqzoo {
+namespace {
+
+// --------------------------------------------------------------- QueryContext
+
+TEST(QueryContextTest, UnlimitedContextNeverStops) {
+  QueryContext ctx;
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.ChargeMemory(1ull << 40));
+  EXPECT_TRUE(ctx.ChargeRows(1ull << 30));
+  EXPECT_EQ(ctx.stop_cause(), StopCause::kNone);
+}
+
+TEST(QueryContextTest, NullContextHelpersAreNoOps) {
+  const QueryContext* null_ctx = nullptr;
+  EXPECT_FALSE(ShouldStop(null_ctx));
+  EXPECT_TRUE(ChargeMemory(null_ctx, 1ull << 40));
+  EXPECT_TRUE(ChargeRows(null_ctx));
+}
+
+TEST(QueryContextTest, StepBudgetTripsAtExactCount) {
+  QueryContext ctx;
+  ResourceBudgets budgets;
+  budgets.steps = 10;
+  ctx.set_budgets(budgets);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(ctx.ShouldStop()) << i;
+  EXPECT_TRUE(ctx.ShouldStop());  // step 11 exceeds the budget
+  EXPECT_EQ(ctx.stop_cause(), StopCause::kStepBudget);
+  EXPECT_EQ(ctx.Report().steps, 11u);
+}
+
+TEST(QueryContextTest, MemoryAccountingTracksPeakAndRelease) {
+  QueryContext ctx;
+  ResourceBudgets budgets;
+  budgets.memory_bytes = 1000;
+  ctx.set_budgets(budgets);
+
+  EXPECT_TRUE(ctx.ChargeMemory(600));
+  EXPECT_TRUE(ctx.ChargeMemory(300));
+  EXPECT_EQ(ctx.memory_bytes(), 900u);
+  ctx.ReleaseMemory(500);
+  EXPECT_EQ(ctx.memory_bytes(), 400u);
+  EXPECT_EQ(ctx.memory_peak_bytes(), 900u);  // peak survives the release
+  EXPECT_TRUE(ctx.ChargeMemory(600));        // back to exactly the limit
+  EXPECT_FALSE(ctx.ChargeMemory(1));         // one byte over trips
+  EXPECT_EQ(ctx.stop_cause(), StopCause::kMemoryBudget);
+  EXPECT_TRUE(ctx.ShouldStop());
+}
+
+TEST(QueryContextTest, RowBudgetTrips) {
+  QueryContext ctx;
+  ResourceBudgets budgets;
+  budgets.result_rows = 3;
+  ctx.set_budgets(budgets);
+  EXPECT_TRUE(ctx.ChargeRows(3));
+  EXPECT_FALSE(ctx.ChargeRows(1));
+  EXPECT_EQ(ctx.stop_cause(), StopCause::kRowBudget);
+}
+
+TEST(QueryContextTest, FirstCauseWins) {
+  QueryContext ctx;
+  ResourceBudgets budgets;
+  budgets.memory_bytes = 100;
+  ctx.set_budgets(budgets);
+  EXPECT_FALSE(ctx.ChargeMemory(200));
+  ctx.RequestCancel();  // later cancellation must not overwrite the cause
+  EXPECT_EQ(ctx.stop_cause(), StopCause::kMemoryBudget);
+  EXPECT_STREQ(StopCauseName(ctx.stop_cause()), "MEMORY_BUDGET");
+}
+
+TEST(QueryContextTest, DeadlineTripsViaShouldStopProbe) {
+  QueryContext ctx = QueryContext::WithTimeout(std::chrono::milliseconds(5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // ShouldStop probes the clock every 64 steps; within 64 iterations the
+  // expired deadline must surface.
+  bool stopped = false;
+  for (int i = 0; i < 64 && !stopped; ++i) stopped = ctx.ShouldStop();
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(ctx.stop_cause(), StopCause::kDeadline);
+}
+
+TEST(QueryContextTest, BudgetReportRendersLimitsAndConsumption) {
+  QueryContext ctx;
+  ResourceBudgets budgets;
+  budgets.memory_bytes = 64;
+  ctx.set_budgets(budgets);
+  EXPECT_FALSE(ctx.ChargeMemory(100));
+  std::string report = ctx.Report().ToString();
+  EXPECT_NE(report.find("MEMORY_BUDGET"), std::string::npos) << report;
+  EXPECT_NE(report.find("memory=100/64"), std::string::npos) << report;
+  EXPECT_NE(report.find("unlimited"), std::string::npos) << report;
+}
+
+TEST(ScopedMemoryChargeTest, ReleasesOnDestruction) {
+  QueryContext ctx;
+  ResourceBudgets budgets;
+  budgets.memory_bytes = 1000;
+  ctx.set_budgets(budgets);
+  {
+    ScopedMemoryCharge scope(&ctx);
+    EXPECT_TRUE(scope.Charge(400));
+    EXPECT_TRUE(scope.Charge(300));
+    scope.Release(200);
+    EXPECT_EQ(ctx.memory_bytes(), 500u);
+  }
+  EXPECT_EQ(ctx.memory_bytes(), 0u);          // remainder released
+  EXPECT_EQ(ctx.memory_peak_bytes(), 700u);   // peak preserved
+}
+
+// ------------------------------------------------------------------ Failpoint
+
+TEST(FailpointTest, FiresExactlyOnceThenDisarms) {
+  Failpoint::DisarmAll();
+  Failpoint::Arm("test.point");
+  EXPECT_TRUE(Failpoint::ShouldFail("test.point"));
+  EXPECT_FALSE(Failpoint::ShouldFail("test.point"));  // auto-disarmed
+  EXPECT_EQ(Failpoint::FireCount("test.point"), 1u);
+}
+
+TEST(FailpointTest, AfterNSkipsFirstPasses) {
+  Failpoint::DisarmAll();
+  Failpoint::Arm("test.after", /*after_n=*/3);
+  EXPECT_FALSE(Failpoint::ShouldFail("test.after"));
+  EXPECT_FALSE(Failpoint::ShouldFail("test.after"));
+  EXPECT_FALSE(Failpoint::ShouldFail("test.after"));
+  EXPECT_TRUE(Failpoint::ShouldFail("test.after"));
+  EXPECT_FALSE(Failpoint::ShouldFail("test.after"));
+}
+
+TEST(FailpointTest, UnarmedPointsAreFreeAndSilent) {
+  Failpoint::DisarmAll();
+  EXPECT_FALSE(Failpoint::ShouldFail("test.never.armed"));
+  EXPECT_EQ(Failpoint::FireCount("test.never.armed"), 0u);
+}
+
+TEST(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  Failpoint::DisarmAll();
+  {
+    ScopedFailpoint scoped("test.scoped");
+    // Never hit inside the scope.
+  }
+  EXPECT_FALSE(Failpoint::ShouldFail("test.scoped"));
+}
+
+// ------------------------------------------------------- ResourceGovernor
+
+TEST(ResourceGovernorTest, AdmitsUpToCapacityThenSheds) {
+  GovernorOptions options;
+  options.admission_capacity = 3;
+  ResourceGovernor governor(options);
+  EXPECT_TRUE(governor.TryAdmit());
+  EXPECT_TRUE(governor.TryAdmit());
+  EXPECT_TRUE(governor.TryAdmit());
+  EXPECT_FALSE(governor.TryAdmit());  // full
+  EXPECT_EQ(governor.shed_total(), 1u);
+  EXPECT_EQ(governor.high_water(), 3u);
+
+  governor.BeginExecution();
+  governor.EndExecution();
+  EXPECT_EQ(governor.in_flight(), 2u);
+  EXPECT_TRUE(governor.TryAdmit());  // slot freed
+  EXPECT_EQ(governor.high_water(), 3u);
+}
+
+TEST(ResourceGovernorTest, CancelAdmissionFreesTheSlot) {
+  GovernorOptions options;
+  options.admission_capacity = 1;
+  ResourceGovernor governor(options);
+  EXPECT_TRUE(governor.TryAdmit());
+  EXPECT_FALSE(governor.TryAdmit());
+  governor.CancelAdmission();
+  EXPECT_TRUE(governor.TryAdmit());
+}
+
+TEST(ResourceGovernorTest, ZeroCapacityDisablesShedding) {
+  ResourceGovernor governor(GovernorOptions{/*admission_capacity=*/0,
+                                            /*max_concurrent=*/0});
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(governor.TryAdmit());
+  EXPECT_EQ(governor.shed_total(), 0u);
+}
+
+// ----------------------------------------- fail points through the engine
+
+// Every evaluator has a named injection site; arming it must surface as a
+// clean kResourceExhausted (or kOverloaded for the submit site) through
+// the full engine stack, proving the unwind paths, not just the happy path.
+
+QueryRequest Budgeted(QueryLanguage language, const std::string& text) {
+  QueryRequest request;
+  request.language = language;
+  request.text = text;
+  // A huge (but set) budget forces a governed context without ever
+  // tripping organically — only the fail point can stop the query.
+  request.memory_budget = 1ull << 40;
+  return request;
+}
+
+TEST(FailpointInjectionTest, RpqProductBfs) {
+  Failpoint::DisarmAll();
+  QueryEngine engine(ToPropertyGraph(Clique(4)));
+  ScopedFailpoint scoped("rpq.product.bfs");
+  Result<QueryResponse> r = engine.Execute(Budgeted(QueryLanguage::kRpq, "a+"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(Failpoint::FireCount("rpq.product.bfs"), 1u);
+  // Disarmed: the same query now succeeds.
+  EXPECT_TRUE(engine.Execute(Budgeted(QueryLanguage::kRpq, "a+")).ok());
+}
+
+TEST(FailpointInjectionTest, CrpqJoinAlloc) {
+  Failpoint::DisarmAll();
+  QueryEngine engine(ToPropertyGraph(Clique(4)));
+  ScopedFailpoint scoped("crpq.join.alloc");
+  Result<QueryResponse> r = engine.Execute(
+      Budgeted(QueryLanguage::kCrpq, "q(x, z) :- a+(x, y), a+(y, z)"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(Failpoint::FireCount("crpq.join.alloc"), 1u);
+}
+
+TEST(FailpointInjectionTest, CoreGqlFrontier) {
+  Failpoint::DisarmAll();
+  QueryEngine engine(ToPropertyGraph(Clique(4)));
+  ScopedFailpoint scoped("coregql.frontier");
+  Result<QueryResponse> r = engine.Execute(
+      Budgeted(QueryLanguage::kGqlGroup, "(x) (-[t:a]->(v)){1,3} (y)"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(FailpointInjectionTest, PmrEnumerateEmit) {
+  Failpoint::DisarmAll();
+  QueryEngine engine(ToPropertyGraph(Clique(4)));
+  ScopedFailpoint scoped("pmr.enumerate.emit");
+  QueryRequest request = Budgeted(QueryLanguage::kPaths, "a+");
+  request.paths.from = "q0";
+  request.paths.to = "q1";
+  Result<QueryResponse> r = engine.Execute(request);
+  ASSERT_FALSE(r.ok());
+  // The emit site cancels (simulating an alloc failure mid-emission).
+  EXPECT_EQ(r.error().code(), ErrorCode::kCancelled);
+}
+
+TEST(FailpointInjectionTest, DatatestRecurse) {
+  Failpoint::DisarmAll();
+  QueryEngine engine(ToPropertyGraph(Clique(4)));
+  ScopedFailpoint scoped("datatest.recurse");
+  Result<QueryResponse> r = engine.Execute(Budgeted(
+      QueryLanguage::kDlCrpq, "q(x, y) := ( ()[a^z] )+ () (x, y)"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(FailpointInjectionTest, EngineSubmitShedsOneQuery) {
+  Failpoint::DisarmAll();
+  QueryEngine engine(Figure3Graph());
+  ScopedFailpoint scoped("engine.submit");
+  QueryRequest request;
+  request.language = QueryLanguage::kRpq;
+  request.text = "Transfer";
+  Result<QueryResponse> shed = engine.Submit(request).get();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error().code(), ErrorCode::kOverloaded);
+  EXPECT_EQ(engine.metrics().overloaded_shed.value(), 1u);
+  // Fired once; the next submission goes through.
+  EXPECT_TRUE(engine.Submit(request).get().ok());
+}
+
+}  // namespace
+}  // namespace gqzoo

@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <random>
 #include <set>
+#include <vector>
 
 #include "src/coregql/pattern_parser.h"
+#include "src/engine/engine.h"
 #include "src/coregql/query.h"
 #include "src/crpq/crpq_parser.h"
 #include "src/datatest/dl_eval.h"
@@ -70,6 +73,85 @@ TEST(ParserFuzzTest, MutatedQueriesNeverCrash) {
     }
   }
   SUCCEED();
+}
+
+// Malformed graph files must come back as Result errors that name the
+// offending line — never crashes, never silent acceptance.
+TEST(GraphIoRobustnessTest, MalformedInputsReportLineNumbers) {
+  const struct {
+    const char* label;
+    std::string text;
+  } cases[] = {
+      {"truncated node line", "node a :N\nnode b"},
+      {"truncated edge line", "node a :N\nedge e :T a ->"},
+      {"edge to unknown endpoint", "node a :N\nedge e :T a -> zz"},
+      {"property block never closed", "node a :N { k = 1"},
+      {"unterminated string", "node a :N { s = \"oops"},
+      {"stray punctuation", "node a :N\n-> -> ->"},
+      {"non-utf8 garbage", std::string("node a :N\n\xff\xfe\x80\x81 junk")},
+      {"garbage after valid prefix",
+       "node a :N\nedge e :T a -> a\n\x01\x02\x03"},
+  };
+  for (const auto& c : cases) {
+    Result<PropertyGraph> g = ParsePropertyGraph(c.text);
+    ASSERT_FALSE(g.ok()) << c.label;
+    EXPECT_NE(g.error().message().find("line "), std::string::npos)
+        << c.label << ": " << g.error().message();
+  }
+  // Huge numeric literals saturate instead of crashing; the graph itself
+  // still round-trips.
+  Result<PropertyGraph> huge = ParsePropertyGraph(
+      "node a :N { k = 99999999999999999999999999999 }\n"
+      "edge e :T a -> a { w = 1e500 }");
+  ASSERT_TRUE(huge.ok()) << (huge.ok() ? "" : huge.error().message());
+  EXPECT_EQ(huge.value().NumNodes(), 1u);
+}
+
+// Overload drill: twice the admission capacity in concurrent mixed-language
+// submissions. Some must be shed with kOverloaded, nothing may deadlock,
+// and the pool must drain clean (checked again under TSan in CI).
+TEST(EngineOverloadTest, MixedLanguageOverloadDrainsClean) {
+  QueryEngine::Options options;
+  options.num_threads = 2;
+  options.governor.admission_capacity = 4;
+  QueryEngine engine(RandomPropertyGraph(12, 40, 3, 77), options);
+
+  std::vector<QueryRequest> mix;
+  auto req = [](QueryLanguage language, const std::string& text) {
+    QueryRequest r;
+    r.language = language;
+    r.text = text;
+    r.timeout = std::chrono::milliseconds(150);
+    return r;
+  };
+  mix.push_back(req(QueryLanguage::kRpq, "a+"));
+  mix.push_back(req(QueryLanguage::kCrpq, "q(x, y) :- a+(x, y), a*(y, x)"));
+  mix.push_back(req(QueryLanguage::kCoreGql,
+                    "MATCH (x)-[:a]->(y)-[:a]->(z) RETURN x, z"));
+  mix.push_back(req(QueryLanguage::kGqlGroup, "(x) (-[t:a]->(v)){1,4} (y)"));
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int round = 0; round < 2; ++round) {
+    for (const QueryRequest& r : mix) futures.push_back(engine.Submit(r));
+  }
+  size_t shed = 0, completed = 0;
+  for (auto& f : futures) {
+    Result<QueryResponse> r = f.get();  // nothing may hang
+    if (!r.ok() && r.error().code() == ErrorCode::kOverloaded) {
+      ++shed;
+    } else {
+      ++completed;  // ok, deadline, or budget — all are orderly outcomes
+    }
+  }
+  EXPECT_EQ(shed + completed, futures.size());
+  EXPECT_EQ(engine.metrics().overloaded_shed.value(), shed);
+  EXPECT_LE(engine.metrics().queue_depth_high_water.value(), 4u);
+  EXPECT_EQ(engine.governor().in_flight(), 0u);
+  // The engine serves new queries after the storm.
+  QueryRequest after;
+  after.language = QueryLanguage::kRpq;
+  after.text = "a";
+  EXPECT_TRUE(engine.Submit(after).get().ok());
 }
 
 TEST(ConsistencyTest, PairEvaluatorsAgree) {
