@@ -2,6 +2,7 @@
 #define GQZOO_AUTOMATA_COUNTING_H_
 
 #include "src/automata/nfa.h"
+#include "src/graph/csr.h"
 #include "src/util/biguint.h"
 
 namespace gqzoo {
@@ -16,6 +17,10 @@ BigUint CountAcceptingRuns(const Nfa& a, const std::vector<LabelId>& word);
 /// from `u` to `v` of length ≤ `max_len` — the paper's recipe for path
 /// counting.
 BigUint CountRunsOnPaths(const EdgeLabeledGraph& g, const Nfa& a, NodeId u,
+                         NodeId v, size_t max_len);
+/// Label-sliced variant: each DP step expands per NFA transition over
+/// exactly the label slice it matches. Same count (addition commutes).
+BigUint CountRunsOnPaths(const GraphSnapshot& s, const Nfa& a, NodeId u,
                          NodeId v, size_t max_len);
 
 }  // namespace gqzoo

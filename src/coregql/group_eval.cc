@@ -219,29 +219,52 @@ Result<std::vector<GqlPathRow>> Eval(EvalContext* ctx, const CorePattern& p) {
     return std::vector<GqlPathRow>{};
   }
   const PropertyGraph& g = ctx->g;
+  const GraphSnapshot* snap = ctx->options.snapshot;
   switch (p.kind()) {
     case CorePattern::Kind::kNode: {
       std::vector<GqlPathRow> rows;
-      for (NodeId n = 0; n < g.NumNodes(); ++n) {
-        ObjectRef o = ObjectRef::Node(n);
-        if (!LabelMatches(g, o, p.label())) continue;
+      auto emit = [&](NodeId n) {
         GqlPathRow row;
         row.path = Path::OfNode(n);
-        if (p.var().has_value()) row.mu[*p.var()] = GqlValue(o);
+        if (p.var().has_value()) row.mu[*p.var()] = GqlValue(ObjectRef::Node(n));
         rows.push_back(std::move(row));
+      };
+      if (snap != nullptr && snap->has_node_labels() &&
+          p.label().has_value()) {
+        std::optional<LabelId> l = g.FindLabel(*p.label());
+        if (l.has_value()) {
+          for (NodeId n : snap->NodesWithLabel(*l)) emit(n);
+        }
+        return rows;
+      }
+      for (NodeId n = 0; n < g.NumNodes(); ++n) {
+        if (!LabelMatches(g, ObjectRef::Node(n), p.label())) continue;
+        emit(n);
       }
       return rows;
     }
     case CorePattern::Kind::kEdge: {
       std::vector<GqlPathRow> rows;
-      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      auto emit = [&](EdgeId e) {
         ObjectRef o = ObjectRef::Edge(e);
-        if (!LabelMatches(g, o, p.label())) continue;
         GqlPathRow row;
         row.path = Path::MakeUnchecked({ObjectRef::Node(g.Src(e)), o,
                                         ObjectRef::Node(g.Tgt(e))});
         if (p.var().has_value()) row.mu[*p.var()] = GqlValue(o);
         rows.push_back(std::move(row));
+      };
+      if (snap != nullptr && p.label().has_value()) {
+        std::optional<LabelId> l = g.FindLabel(*p.label());
+        if (l.has_value()) {
+          for (const GraphSnapshot::Hop& hop : snap->EdgesWithLabel(*l)) {
+            emit(hop.edge);
+          }
+        }
+        return rows;
+      }
+      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+        if (!LabelMatches(g, ObjectRef::Edge(e), p.label())) continue;
+        emit(e);
       }
       return rows;
     }

@@ -117,36 +117,63 @@ std::vector<std::pair<NodeId, NodeId>> ComposeSteps(
 }
 
 Result<std::vector<CorePairRow>> EvalPairsRec(const PropertyGraph& g,
+                                              const GraphSnapshot* snap,
                                               const CorePattern& p,
                                               const CancellationToken* cancel) {
   if (ShouldStop(cancel)) return std::vector<CorePairRow>{};
   switch (p.kind()) {
     case CorePattern::Kind::kNode: {
       std::vector<CorePairRow> rows;
-      for (NodeId n = 0; n < g.NumNodes(); ++n) {
-        ObjectRef o = ObjectRef::Node(n);
-        if (!LabelMatches(g, o, p.label())) continue;
+      auto emit = [&](NodeId n) {
         CoreBinding mu;
-        if (p.var().has_value()) mu[*p.var()] = o;
+        if (p.var().has_value()) mu[*p.var()] = ObjectRef::Node(n);
         rows.push_back({n, n, std::move(mu)});
+      };
+      if (snap != nullptr && snap->has_node_labels() &&
+          p.label().has_value()) {
+        // Index lookup instead of an all-nodes scan; ids ascend, matching
+        // the scan's emission order.
+        std::optional<LabelId> l = g.FindLabel(*p.label());
+        if (l.has_value()) {
+          for (NodeId n : snap->NodesWithLabel(*l)) emit(n);
+        }
+        return rows;
+      }
+      for (NodeId n = 0; n < g.NumNodes(); ++n) {
+        if (!LabelMatches(g, ObjectRef::Node(n), p.label())) continue;
+        emit(n);
       }
       return rows;
     }
     case CorePattern::Kind::kEdge: {
       std::vector<CorePairRow> rows;
-      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-        ObjectRef o = ObjectRef::Edge(e);
-        if (!LabelMatches(g, o, p.label())) continue;
+      auto emit = [&](EdgeId e) {
         CoreBinding mu;
-        if (p.var().has_value()) mu[*p.var()] = o;
+        if (p.var().has_value()) mu[*p.var()] = ObjectRef::Edge(e);
         rows.push_back({g.Src(e), g.Tgt(e), std::move(mu)});
+      };
+      if (snap != nullptr && p.label().has_value()) {
+        std::optional<LabelId> l = g.FindLabel(*p.label());
+        if (l.has_value()) {
+          // Graph-wide label slice, sorted by edge id like the scan.
+          for (const GraphSnapshot::Hop& hop : snap->EdgesWithLabel(*l)) {
+            emit(hop.edge);
+          }
+        }
+        return rows;
+      }
+      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+        if (!LabelMatches(g, ObjectRef::Edge(e), p.label())) continue;
+        emit(e);
       }
       return rows;
     }
     case CorePattern::Kind::kConcat: {
-      Result<std::vector<CorePairRow>> lhs = EvalPairsRec(g, *p.left(), cancel);
+      Result<std::vector<CorePairRow>> lhs =
+          EvalPairsRec(g, snap, *p.left(), cancel);
       if (!lhs.ok()) return lhs;
-      Result<std::vector<CorePairRow>> rhs = EvalPairsRec(g, *p.right(), cancel);
+      Result<std::vector<CorePairRow>> rhs =
+          EvalPairsRec(g, snap, *p.right(), cancel);
       if (!rhs.ok()) return rhs;
       // Index the right-hand rows by source node.
       std::vector<std::vector<const CorePairRow*>> by_src(g.NumNodes());
@@ -165,9 +192,11 @@ Result<std::vector<CorePairRow>> EvalPairsRec(const PropertyGraph& g,
       return rows;
     }
     case CorePattern::Kind::kUnion: {
-      Result<std::vector<CorePairRow>> lhs = EvalPairsRec(g, *p.left(), cancel);
+      Result<std::vector<CorePairRow>> lhs =
+          EvalPairsRec(g, snap, *p.left(), cancel);
       if (!lhs.ok()) return lhs;
-      Result<std::vector<CorePairRow>> rhs = EvalPairsRec(g, *p.right(), cancel);
+      Result<std::vector<CorePairRow>> rhs =
+          EvalPairsRec(g, snap, *p.right(), cancel);
       if (!rhs.ok()) return rhs;
       std::vector<CorePairRow> rows = std::move(lhs).value();
       rows.insert(rows.end(), rhs.value().begin(), rhs.value().end());
@@ -175,7 +204,8 @@ Result<std::vector<CorePairRow>> EvalPairsRec(const PropertyGraph& g,
       return rows;
     }
     case CorePattern::Kind::kRepeat: {
-      Result<std::vector<CorePairRow>> inner = EvalPairsRec(g, *p.child(), cancel);
+      Result<std::vector<CorePairRow>> inner =
+          EvalPairsRec(g, snap, *p.child(), cancel);
       if (!inner.ok()) return inner;
       std::set<std::pair<NodeId, NodeId>> step;
       for (const CorePairRow& r : inner.value()) step.insert({r.src, r.tgt});
@@ -186,7 +216,8 @@ Result<std::vector<CorePairRow>> EvalPairsRec(const PropertyGraph& g,
       return rows;
     }
     case CorePattern::Kind::kCondition: {
-      Result<std::vector<CorePairRow>> inner = EvalPairsRec(g, *p.child(), cancel);
+      Result<std::vector<CorePairRow>> inner =
+          EvalPairsRec(g, snap, *p.child(), cancel);
       if (!inner.ok()) return inner;
       std::vector<CorePairRow> rows;
       for (CorePairRow& r : inner.value()) {
@@ -218,28 +249,51 @@ Result<std::vector<CorePathRow>> EvalPathsRec(PathEvalContext* ctx,
     ctx->truncated = true;
     return std::vector<CorePathRow>{};
   }
+  const GraphSnapshot* snap = ctx->options.snapshot;
   switch (p.kind()) {
     case CorePattern::Kind::kNode: {
       std::vector<CorePathRow> rows;
-      for (NodeId n = 0; n < g.NumNodes(); ++n) {
-        ObjectRef o = ObjectRef::Node(n);
-        if (!LabelMatches(g, o, p.label())) continue;
+      auto emit = [&](NodeId n) {
         CoreBinding mu;
-        if (p.var().has_value()) mu[*p.var()] = o;
+        if (p.var().has_value()) mu[*p.var()] = ObjectRef::Node(n);
         rows.push_back({Path::OfNode(n), std::move(mu)});
+      };
+      if (snap != nullptr && snap->has_node_labels() &&
+          p.label().has_value()) {
+        std::optional<LabelId> l = g.FindLabel(*p.label());
+        if (l.has_value()) {
+          for (NodeId n : snap->NodesWithLabel(*l)) emit(n);
+        }
+        return rows;
+      }
+      for (NodeId n = 0; n < g.NumNodes(); ++n) {
+        if (!LabelMatches(g, ObjectRef::Node(n), p.label())) continue;
+        emit(n);
       }
       return rows;
     }
     case CorePattern::Kind::kEdge: {
       std::vector<CorePathRow> rows;
-      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      auto emit = [&](EdgeId e) {
         ObjectRef o = ObjectRef::Edge(e);
-        if (!LabelMatches(g, o, p.label())) continue;
         CoreBinding mu;
         if (p.var().has_value()) mu[*p.var()] = o;
         rows.push_back({Path::MakeUnchecked({ObjectRef::Node(g.Src(e)), o,
                                              ObjectRef::Node(g.Tgt(e))}),
                         std::move(mu)});
+      };
+      if (snap != nullptr && p.label().has_value()) {
+        std::optional<LabelId> l = g.FindLabel(*p.label());
+        if (l.has_value()) {
+          for (const GraphSnapshot::Hop& hop : snap->EdgesWithLabel(*l)) {
+            emit(hop.edge);
+          }
+        }
+        return rows;
+      }
+      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+        if (!LabelMatches(g, ObjectRef::Edge(e), p.label())) continue;
+        emit(e);
       }
       return rows;
     }
@@ -370,13 +424,16 @@ Result<std::vector<CorePathRow>> EvalPathsRec(PathEvalContext* ctx,
 
 Result<std::vector<CorePairRow>> EvalPatternPairs(
     const PropertyGraph& g, const CorePattern& pattern,
-    const CancellationToken* cancel) {
+    const CancellationToken* cancel, const GraphSnapshot* snapshot) {
   Result<bool> valid = pattern.Validate();
   if (!valid.ok()) return valid.error();
-  Result<std::vector<CorePairRow>> rows = EvalPairsRec(g, pattern, cancel);
+  Result<std::vector<CorePairRow>> rows =
+      EvalPairsRec(g, snapshot, pattern, cancel);
   if (!rows.ok()) return rows;
   std::vector<CorePairRow> out = std::move(rows).value();
-  SortUnique(&out);
+  // A partial result left by a trip is discarded by the caller; skip the
+  // final ordering pass (same contract as the RPQ evaluator).
+  if (!HasStopped(cancel)) SortUnique(&out);
   return out;
 }
 
@@ -390,7 +447,10 @@ Result<CorePathEvalResult> EvalPatternPaths(const PropertyGraph& g,
   if (!rows.ok()) return rows.error();
   CorePathEvalResult result;
   result.rows = std::move(rows).value();
-  SortUniquePaths(&result.rows);
+  // Skip the final ordering pass only when the *context tripped* (result
+  // to be discarded) — a merely truncated enumeration is still returned
+  // to the user and stays sorted.
+  if (!HasStopped(options.cancel)) SortUniquePaths(&result.rows);
   result.truncated = ctx.truncated;
   return result;
 }

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/coregql/pattern.h"
+#include "src/graph/csr.h"
 #include "src/graph/graph.h"
 #include "src/graph/path.h"
 #include "src/util/cancellation.h"
@@ -42,9 +43,15 @@ struct CorePairRow {
 /// projected to endpoints (repetition contributes endpoint pairs computed
 /// by reachability over the one-iteration pair relation). This is all a
 /// CoreGQL *relation* needs (Section 4.1.2: outputs are first-normal-form).
+/// `snapshot` (optional, not owned, over the same graph) turns the node
+/// and edge atom scans into index lookups: a label-filtered node atom
+/// reads `NodesWithLabel`, a label-filtered edge atom reads
+/// `EdgesWithLabel`, instead of scanning and filtering every element.
+/// Results are identical.
 Result<std::vector<CorePairRow>> EvalPatternPairs(
     const PropertyGraph& g, const CorePattern& pattern,
-    const CancellationToken* cancel = nullptr);
+    const CancellationToken* cancel = nullptr,
+    const GraphSnapshot* snapshot = nullptr);
 
 /// One result of path-level evaluation: the matched path itself plus µ.
 /// Needed for the `p = π` path-binding extension of Section 5.2.
@@ -67,6 +74,9 @@ struct CorePathEvalOptions {
   /// Optional cooperative cancellation (deadlines); enumeration returns a
   /// truncated result once the token trips. Not owned.
   const CancellationToken* cancel = nullptr;
+  /// Optional label-partitioned view of the same graph (not owned); see
+  /// EvalPatternPairs.
+  const GraphSnapshot* snapshot = nullptr;
 };
 
 struct CorePathEvalResult {

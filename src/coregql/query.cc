@@ -28,7 +28,8 @@ Result<CoreRelation> EvalPatternEntry(const PropertyGraph& g,
   std::vector<std::string> fv = entry.pattern->FreeVariables();
   if (!entry.path_var.has_value()) {
     Result<std::vector<CorePairRow>> rows =
-        EvalPatternPairs(g, *entry.pattern, options.path_options.cancel);
+        EvalPatternPairs(g, *entry.pattern, options.path_options.cancel,
+                         options.path_options.snapshot);
     if (!rows.ok()) return rows.error();
     CoreRelation rel(fv);
     for (const CorePairRow& row : rows.value()) {

@@ -39,13 +39,24 @@ Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
   Result<std::optional<NodeId>> to_const = resolve(atom.to);
   if (!to_const.ok()) return to_const.error();
 
-  // Endpoint pairs of [[R]]_G, restricted by constants.
+  // Endpoint pairs of [[R]]_G, restricted by constants. With a snapshot,
+  // reachability runs over label slices, and the unconstrained case — one
+  // product BFS per source node, the dominant cost of atom seeding — is
+  // sharded across the pool.
   std::vector<std::pair<NodeId, NodeId>> pairs;
   if (from_const.value().has_value()) {
     NodeId u = *from_const.value();
-    for (NodeId v : EvalRpqFrom(g, nfa, u, options.cancel)) {
-      pairs.emplace_back(u, v);
-    }
+    std::vector<NodeId> reached =
+        options.snapshot != nullptr
+            ? EvalRpqFrom(*options.snapshot, nfa, u, options.cancel)
+            : EvalRpqFrom(g, nfa, u, options.cancel);
+    for (NodeId v : reached) pairs.emplace_back(u, v);
+  } else if (options.snapshot != nullptr) {
+    ParallelRpqOptions seed;
+    seed.pool = options.pool;
+    seed.num_shards = options.num_shards;
+    seed.cancel = options.cancel;
+    pairs = EvalRpqParallel(*options.snapshot, nfa, seed);
   } else {
     pairs = EvalRpq(g, nfa, options.cancel);
   }
@@ -91,7 +102,10 @@ Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
     }
     EnumerationStats stats;
     std::vector<PathBinding> bindings =
-        CollectModePaths(g, nfa, u, v, atom.mode, limits, &stats);
+        options.snapshot != nullptr
+            ? CollectModePaths(*options.snapshot, nfa, u, v, atom.mode, limits,
+                               &stats)
+            : CollectModePaths(g, nfa, u, v, atom.mode, limits, &stats);
     if (stats.truncated) *truncated = true;
     if (stats.cancelled) break;
     // Distinct µ projections (several paths may induce the same µ).
@@ -113,7 +127,9 @@ Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
       break;
     }
   }
-  Dedupe(&rel);
+  // A relation left partial by a trip is about to be thrown away by the
+  // engine; don't burn time sorting it (same contract as the RPQ path).
+  if (!HasStopped(options.cancel)) Dedupe(&rel);
   return rel;
 }
 

@@ -3,7 +3,9 @@
 
 #include "src/crpq/crpq.h"
 #include "src/crpq/modes.h"
+#include "src/graph/csr.h"
 #include "src/util/result.h"
+#include "src/util/thread_pool.h"
 
 namespace gqzoo {
 
@@ -18,6 +20,17 @@ struct CrpqEvalOptions {
   /// Optional cooperative cancellation (deadlines); evaluation returns a
   /// truncated result once the token trips. Not owned.
   const CancellationToken* cancel = nullptr;
+  /// Optional label-partitioned view of the same graph (not owned; must
+  /// outlive the call). When set, atom reachability, product-graph
+  /// construction, and path search all iterate per-label slices instead of
+  /// filtering full adjacency lists. Results are identical.
+  const GraphSnapshot* snapshot = nullptr;
+  /// Optional pool (not owned) for sharding unconstrained atom seeding
+  /// (`R(x, y)` with both endpoints free) by source node. Requires
+  /// `snapshot`; ignored without it.
+  ThreadPool* pool = nullptr;
+  /// Shards for the parallel atom seeding; 0 = pick from pool size.
+  size_t num_shards = 0;
 };
 
 /// Evaluates a CRPQ / l-CRPQ on `g` per Sections 3.1.2 and 3.1.5.

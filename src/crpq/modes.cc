@@ -45,12 +45,22 @@ namespace {
 
 // Backtracking search for simple paths / trails matching the NFA from u to
 // v. State: (graph node, NFA state), plus the used-node or used-edge set.
+//
+// With a snapshot the successor loop inverts: instead of scanning every
+// out-edge and testing each transition's predicate, each transition
+// iterates exactly its label slice. The path *set* is unchanged; the
+// visit order differs, which only shows once `max_results` truncates (the
+// surviving subset is order-dependent either way). Path search requires
+// one-way automata (like the PMR path), so transitions always step
+// forward.
 class RestrictedSearch {
  public:
-  RestrictedSearch(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId target,
-                   PathMode mode, const EnumerationLimits& limits,
+  RestrictedSearch(const EdgeLabeledGraph& g, const GraphSnapshot* snapshot,
+                   const Nfa& nfa, NodeId target, PathMode mode,
+                   const EnumerationLimits& limits,
                    std::vector<PathBinding>* out)
       : g_(g),
+        snapshot_(snapshot),
         nfa_(nfa),
         target_(target),
         mode_(mode),
@@ -95,42 +105,59 @@ class RestrictedSearch {
       stats_.truncated = true;
       return;
     }
-    for (EdgeId e : g_.OutEdges(node)) {
-      if (mode_ == PathMode::kTrail && used_edges_[e]) continue;
-      NodeId next = g_.Tgt(e);
-      if (mode_ == PathMode::kSimple && used_nodes_[next]) continue;
-      LabelId l = g_.EdgeLabel(e);
+    if (snapshot_ != nullptr) {
       for (const Nfa::Transition& t : nfa_.Out(state)) {
-        if (!t.pred.Matches(l)) continue;
-        // Extend.
-        used_edges_[e] = true;
-        used_nodes_[next] = true;
-        current_.path.AppendObject(g_, ObjectRef::Edge(e));
-        current_.path.AppendObject(g_, ObjectRef::Node(next));
-        const bool captured = t.capture != Nfa::kNoCapture;
-        if (captured) {
-          current_.mu.Append(nfa_.capture_names()[t.capture],
-                             ObjectRef::Edge(e));
-        }
-        Dfs(next, t.to, depth + 1);
-        // Backtrack.
-        if (captured) {
-          const std::string& var = nfa_.capture_names()[t.capture];
-          ObjectList& list = current_.mu.lists[var];
-          list.pop_back();
-          if (list.empty()) current_.mu.lists.erase(var);
-        }
-        std::vector<ObjectRef> objs = current_.path.objects();
-        objs.resize(objs.size() - 2);
-        current_.path = Path::MakeUnchecked(std::move(objs));
-        used_edges_[e] = false;
-        if (mode_ == PathMode::kSimple) used_nodes_[next] = false;
+        snapshot_->ForEachMatch(node, t.pred, /*inverse=*/false,
+                                [&](const GraphSnapshot::Hop& hop) {
+                                  if (stopped_) return;
+                                  Step(hop.edge, hop.node, t, depth);
+                                });
         if (stopped_) return;
+      }
+    } else {
+      for (EdgeId e : g_.OutEdges(node)) {
+        LabelId l = g_.EdgeLabel(e);
+        NodeId next = g_.Tgt(e);
+        for (const Nfa::Transition& t : nfa_.Out(state)) {
+          if (!t.pred.Matches(l)) continue;
+          Step(e, next, t, depth);
+          if (stopped_) return;
+        }
       }
     }
   }
 
+  // Tries one (edge, transition) extension: mode checks, extend, recurse,
+  // backtrack.
+  void Step(EdgeId e, NodeId next, const Nfa::Transition& t, size_t depth) {
+    if (mode_ == PathMode::kTrail && used_edges_[e]) return;
+    if (mode_ == PathMode::kSimple && used_nodes_[next]) return;
+    // Extend.
+    used_edges_[e] = true;
+    used_nodes_[next] = true;
+    current_.path.AppendObject(g_, ObjectRef::Edge(e));
+    current_.path.AppendObject(g_, ObjectRef::Node(next));
+    const bool captured = t.capture != Nfa::kNoCapture;
+    if (captured) {
+      current_.mu.Append(nfa_.capture_names()[t.capture], ObjectRef::Edge(e));
+    }
+    Dfs(next, t.to, depth + 1);
+    // Backtrack.
+    if (captured) {
+      const std::string& var = nfa_.capture_names()[t.capture];
+      ObjectList& list = current_.mu.lists[var];
+      list.pop_back();
+      if (list.empty()) current_.mu.lists.erase(var);
+    }
+    std::vector<ObjectRef> objs = current_.path.objects();
+    objs.resize(objs.size() - 2);
+    current_.path = Path::MakeUnchecked(std::move(objs));
+    used_edges_[e] = false;
+    if (mode_ == PathMode::kSimple) used_nodes_[next] = false;
+  }
+
   const EdgeLabeledGraph& g_;
+  const GraphSnapshot* snapshot_;
   const Nfa& nfa_;
   NodeId target_;
   PathMode mode_;
@@ -143,18 +170,22 @@ class RestrictedSearch {
   bool stopped_ = false;
 };
 
-}  // namespace
-
-std::vector<PathBinding> CollectModePaths(const EdgeLabeledGraph& g,
-                                          const Nfa& nfa, NodeId u, NodeId v,
-                                          PathMode mode,
-                                          const EnumerationLimits& limits,
-                                          EnumerationStats* stats) {
+// Shared body: `snapshot` may be null (seed adjacency).
+std::vector<PathBinding> CollectModePathsImpl(const EdgeLabeledGraph& g,
+                                              const GraphSnapshot* snapshot,
+                                              const Nfa& nfa, NodeId u,
+                                              NodeId v, PathMode mode,
+                                              const EnumerationLimits& limits,
+                                              EnumerationStats* stats) {
   std::vector<PathBinding> results;
   EnumerationStats local;
+  auto build_pmr = [&] {
+    return snapshot != nullptr ? BuildPmrBetween(*snapshot, nfa, u, v)
+                               : BuildPmrBetween(g, nfa, u, v);
+  };
   switch (mode) {
     case PathMode::kAll: {
-      Pmr pmr = BuildPmrBetween(g, nfa, u, v);
+      Pmr pmr = build_pmr();
       // Charge the succinct representation itself (nodes + edges) for the
       // duration of the enumeration; the emitted bindings are charged by
       // the enumerator.
@@ -168,7 +199,7 @@ std::vector<PathBinding> CollectModePaths(const EdgeLabeledGraph& g,
       break;
     }
     case PathMode::kShortest: {
-      Pmr pmr = BuildPmrBetween(g, nfa, u, v).ShortestRestriction();
+      Pmr pmr = build_pmr().ShortestRestriction();
       ScopedMemoryCharge pmr_bytes(limits.cancel);
       if (!pmr_bytes.Charge(pmr.NumNodes() * 32 + pmr.NumEdges() * 16)) {
         local.cancelled = true;
@@ -180,7 +211,7 @@ std::vector<PathBinding> CollectModePaths(const EdgeLabeledGraph& g,
     }
     case PathMode::kSimple:
     case PathMode::kTrail: {
-      RestrictedSearch search(g, nfa, v, mode, limits, &results);
+      RestrictedSearch search(g, snapshot, nfa, v, mode, limits, &results);
       local = search.Run(u);
       // Skip ordering cancelled (partial, to-be-discarded) results so
       // deadlines stay prompt.
@@ -194,6 +225,24 @@ std::vector<PathBinding> CollectModePaths(const EdgeLabeledGraph& g,
   }
   if (stats != nullptr) *stats = local;
   return results;
+}
+
+}  // namespace
+
+std::vector<PathBinding> CollectModePaths(const EdgeLabeledGraph& g,
+                                          const Nfa& nfa, NodeId u, NodeId v,
+                                          PathMode mode,
+                                          const EnumerationLimits& limits,
+                                          EnumerationStats* stats) {
+  return CollectModePathsImpl(g, nullptr, nfa, u, v, mode, limits, stats);
+}
+
+std::vector<PathBinding> CollectModePaths(const GraphSnapshot& s,
+                                          const Nfa& nfa, NodeId u, NodeId v,
+                                          PathMode mode,
+                                          const EnumerationLimits& limits,
+                                          EnumerationStats* stats) {
+  return CollectModePathsImpl(s.graph(), &s, nfa, u, v, mode, limits, stats);
 }
 
 }  // namespace gqzoo

@@ -6,6 +6,7 @@
 
 #include "src/automata/nfa.h"
 #include "src/crpq/crpq.h"
+#include "src/graph/csr.h"
 #include "src/graph/path_binding.h"
 #include "src/pmr/enumerate.h"
 
@@ -29,6 +30,18 @@ std::vector<PathBinding> ApplyMode(PathMode mode,
 ///    Section 6.3 lives here).
 /// Results are deduplicated (set semantics).
 std::vector<PathBinding> CollectModePaths(const EdgeLabeledGraph& g,
+                                          const Nfa& nfa, NodeId u, NodeId v,
+                                          PathMode mode,
+                                          const EnumerationLimits& limits,
+                                          EnumerationStats* stats = nullptr);
+
+/// Label-sliced variant: the PMR modes build their product graph from the
+/// snapshot's per-label edge lists, and the simple/trail backtracking
+/// search expands each NFA transition over exactly its label slice instead
+/// of filtering the node's full adjacency. Same path sets; a `max_results`
+/// truncation may keep a different (equally arbitrary) subset under
+/// kSimple/kTrail because the search visits successors in slice order.
+std::vector<PathBinding> CollectModePaths(const GraphSnapshot& s,
                                           const Nfa& nfa, NodeId u, NodeId v,
                                           PathMode mode,
                                           const EnumerationLimits& limits,

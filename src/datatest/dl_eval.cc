@@ -39,27 +39,55 @@ struct Config {
 };
 
 // Calls `fn(candidate, is_edge_append)` for each object that may extend a
-// path whose last object is `last`: the collapse candidate (`last` itself)
-// and the append candidates.
+// path whose last object is `last` — the collapse candidate (`last`
+// itself) and the append candidates — restricted to objects transition
+// atom `atom` can possibly match: an atom only matches objects of its
+// target kind (DlAtom::Matches rejects the rest), and an edge-targeting
+// *label* atom only edges satisfying its predicate. With a snapshot the
+// label case iterates exactly its label slice; without one (or for test
+// atoms, whose properties any label may carry) the full adjacency list is
+// scanned. The match set is identical either way.
 template <typename Fn>
-void ForEachSuccessor(const PropertyGraph& g, ObjectRef last, Fn fn) {
+void ForEachSuccessor(const PropertyGraph& g, const GraphSnapshot* snap,
+                      const DlAtom& atom, ObjectRef last, Fn fn) {
   fn(last, /*edge_append=*/false);  // collapse: p · path(o) = p
   if (last.is_node()) {
-    for (EdgeId e : g.OutEdges(last.id)) {
-      fn(ObjectRef::Edge(e), /*edge_append=*/true);
+    if (atom.target != Atom::Target::kEdge) return;
+    if (snap != nullptr && !atom.is_test) {
+      snap->ForEachMatch(last.id, atom.pred, /*inverse=*/false,
+                         [&](const GraphSnapshot::Hop& hop) {
+                           fn(ObjectRef::Edge(hop.edge), /*edge_append=*/true);
+                         });
+    } else {
+      for (EdgeId e : g.OutEdges(last.id)) {
+        fn(ObjectRef::Edge(e), /*edge_append=*/true);
+      }
     }
   } else {
+    if (atom.target != Atom::Target::kNode) return;
     fn(ObjectRef::Node(g.Tgt(last.id)), /*edge_append=*/false);
   }
 }
 
 // Calls `fn(candidate, is_edge)` for each object that can start a path with
-// src = u: the node u itself or an out-edge of u.
+// src = u — the node u itself or an out-edge of u — restricted like
+// ForEachSuccessor by the transition atom taken first.
 template <typename Fn>
-void ForEachStart(const PropertyGraph& g, NodeId u, Fn fn) {
-  fn(ObjectRef::Node(u), /*edge_append=*/false);
-  for (EdgeId e : g.OutEdges(u)) {
-    fn(ObjectRef::Edge(e), /*edge_append=*/true);
+void ForEachStart(const PropertyGraph& g, const GraphSnapshot* snap,
+                  const DlAtom& atom, NodeId u, Fn fn) {
+  if (atom.target == Atom::Target::kNode) {
+    fn(ObjectRef::Node(u), /*edge_append=*/false);
+    return;
+  }
+  if (snap != nullptr && !atom.is_test) {
+    snap->ForEachMatch(u, atom.pred, /*inverse=*/false,
+                       [&](const GraphSnapshot::Hop& hop) {
+                         fn(ObjectRef::Edge(hop.edge), /*edge_append=*/true);
+                       });
+  } else {
+    for (EdgeId e : g.OutEdges(u)) {
+      fn(ObjectRef::Edge(e), /*edge_append=*/true);
+    }
   }
 }
 
@@ -72,10 +100,11 @@ NodeId TgtOf(const PropertyGraph& g, ObjectRef o) {
 // `shortest`).
 class DlDfs {
  public:
-  DlDfs(const PropertyGraph& g, const DlNfa& nfa, NodeId target, PathMode mode,
-        const EnumerationLimits& limits, size_t exact_length,
-        std::vector<PathBinding>* out)
+  DlDfs(const PropertyGraph& g, const GraphSnapshot* snap, const DlNfa& nfa,
+        NodeId target, PathMode mode, const EnumerationLimits& limits,
+        size_t exact_length, std::vector<PathBinding>* out)
       : g_(g),
+        snap_(snap),
         nfa_(nfa),
         target_(target),
         mode_(mode),
@@ -89,7 +118,7 @@ class DlDfs {
     uint32_t nu0 = interner_.Intern(nfa_.InitialValuation());
     for (const DlNfa::Transition& t : nfa_.Out(nfa_.initial())) {
       if (stopped_) break;
-      ForEachStart(g_, start, [&](ObjectRef o, bool edge_append) {
+      ForEachStart(g_, snap_, t.atom, start, [&](ObjectRef o, bool edge_append) {
         if (stopped_) return;
         TryStep(nfa_.initial(), o, nu0, t, /*collapse=*/false, edge_append,
                 /*is_start=*/true);
@@ -208,16 +237,18 @@ class DlDfs {
     }
     for (const DlNfa::Transition& t : nfa_.Out(config.state)) {
       if (stopped_) return;
-      ForEachSuccessor(g_, config.obj, [&](ObjectRef o, bool edge_append) {
-        if (stopped_) return;
-        bool collapse = o == config.obj;
-        TryStep(config.state, o, config.nu, t, collapse, edge_append,
-                /*is_start=*/false);
-      });
+      ForEachSuccessor(g_, snap_, t.atom, config.obj,
+                       [&](ObjectRef o, bool edge_append) {
+                         if (stopped_) return;
+                         bool collapse = o == config.obj;
+                         TryStep(config.state, o, config.nu, t, collapse,
+                                 edge_append, /*is_start=*/false);
+                       });
     }
   }
 
   const PropertyGraph& g_;
+  const GraphSnapshot* snap_;
   const DlNfa& nfa_;
   NodeId target_;
   PathMode mode_;
@@ -251,34 +282,36 @@ std::vector<NodeId> DlEvaluator::ReachableFrom(
   ScopedMemoryCharge visited_bytes(cancel);
   bool out_of_budget = false;
 
-  auto try_push = [&](uint32_t from_state, ObjectRef o,
+  auto try_push = [&](const DlNfa::Transition& t, ObjectRef o,
                       uint32_t nu_id) {
-    for (const DlNfa::Transition& t : nfa_->Out(from_state)) {
-      if (out_of_budget) return;
-      Valuation next;
-      if (!t.atom.Matches(*g_, o, interner.Get(nu_id), &next)) continue;
-      Config c{t.to, o, interner.Intern(next)};
-      if (visited.insert(c).second) {
-        if (!visited_bytes.Charge(48)) {
-          out_of_budget = true;
-          return;
-        }
-        queue.push_back(c);
+    if (out_of_budget) return;
+    Valuation next;
+    if (!t.atom.Matches(*g_, o, interner.Get(nu_id), &next)) return;
+    Config c{t.to, o, interner.Intern(next)};
+    if (visited.insert(c).second) {
+      if (!visited_bytes.Charge(48)) {
+        out_of_budget = true;
+        return;
       }
+      queue.push_back(c);
     }
   };
 
-  ForEachStart(*g_, u, [&](ObjectRef o, bool) {
-    try_push(nfa_->initial(), o, nu0);
-  });
+  // Transition-major expansion: each transition enumerates only the
+  // candidates its atom can match (its label slice, given a snapshot).
+  for (const DlNfa::Transition& t : nfa_->Out(nfa_->initial())) {
+    ForEachStart(*g_, snapshot_, t.atom, u,
+                 [&](ObjectRef o, bool) { try_push(t, o, nu0); });
+  }
   while (!queue.empty() && !out_of_budget) {
     if (ShouldStop(cancel)) break;
     Config c = queue.front();
     queue.pop_front();
     if (nfa_->accepting(c.state)) reached.insert(TgtOf(*g_, c.obj));
-    ForEachSuccessor(*g_, c.obj, [&](ObjectRef o, bool) {
-      try_push(c.state, o, c.nu);
-    });
+    for (const DlNfa::Transition& t : nfa_->Out(c.state)) {
+      ForEachSuccessor(*g_, snapshot_, t.atom, c.obj,
+                       [&](ObjectRef o, bool) { try_push(t, o, c.nu); });
+    }
   }
   return std::vector<NodeId>(reached.begin(), reached.end());
 }
@@ -320,19 +353,19 @@ size_t DlEvaluator::ShortestLength(NodeId u, NodeId v,
     }
   };
 
-  auto expand = [&](uint32_t from_state, ObjectRef o, uint32_t nu_id, size_t d,
-                    bool edge_append) {
-    for (const DlNfa::Transition& t : nfa_->Out(from_state)) {
-      Valuation next;
-      if (!t.atom.Matches(*g_, o, interner.Get(nu_id), &next)) continue;
-      Config c{t.to, o, interner.Intern(next)};
-      relax(c, d + (edge_append ? 1 : 0), !edge_append);
-    }
+  auto expand = [&](const DlNfa::Transition& t, ObjectRef o, uint32_t nu_id,
+                    size_t d, bool edge_append) {
+    Valuation next;
+    if (!t.atom.Matches(*g_, o, interner.Get(nu_id), &next)) return;
+    Config c{t.to, o, interner.Intern(next)};
+    relax(c, d + (edge_append ? 1 : 0), !edge_append);
   };
 
-  ForEachStart(*g_, u, [&](ObjectRef o, bool edge_append) {
-    expand(nfa_->initial(), o, nu0, 0, edge_append);
-  });
+  for (const DlNfa::Transition& t : nfa_->Out(nfa_->initial())) {
+    ForEachStart(*g_, snapshot_, t.atom, u, [&](ObjectRef o, bool edge_append) {
+      expand(t, o, nu0, 0, edge_append);
+    });
+  }
   size_t best = SIZE_MAX;
   while (!queue.empty() && !out_of_budget) {
     if (ShouldStop(cancel)) break;
@@ -344,10 +377,13 @@ size_t DlEvaluator::ShortestLength(NodeId u, NodeId v,
       best = std::min(best, d);
       continue;
     }
-    ForEachSuccessor(*g_, c.obj, [&](ObjectRef o, bool edge_append) {
-      bool is_edge_append = edge_append && !(o == c.obj);
-      expand(c.state, o, c.nu, d, is_edge_append);
-    });
+    for (const DlNfa::Transition& t : nfa_->Out(c.state)) {
+      ForEachSuccessor(*g_, snapshot_, t.atom, c.obj,
+                       [&](ObjectRef o, bool edge_append) {
+                         bool is_edge_append = edge_append && !(o == c.obj);
+                         expand(t, o, c.nu, d, is_edge_append);
+                       });
+    }
   }
   return best;
 }
@@ -362,15 +398,20 @@ std::vector<PathBinding> DlEvaluator::CollectModePaths(
     if (best != SIZE_MAX) {
       EnumerationLimits bounded = limits;
       bounded.max_length = std::min(bounded.max_length, best);
-      DlDfs dfs(*g_, *nfa_, v, PathMode::kAll, bounded, best, &results);
+      DlDfs dfs(*g_, snapshot_, *nfa_, v, PathMode::kAll, bounded, best,
+                &results);
       local = dfs.Run(u);
     }
   } else {
-    DlDfs dfs(*g_, *nfa_, v, mode, limits, SIZE_MAX, &results);
+    DlDfs dfs(*g_, snapshot_, *nfa_, v, mode, limits, SIZE_MAX, &results);
     local = dfs.Run(u);
   }
-  std::sort(results.begin(), results.end());
-  results.erase(std::unique(results.begin(), results.end()), results.end());
+  // Skip ordering cancelled (partial, to-be-discarded) results so
+  // deadlines stay prompt.
+  if (!local.cancelled) {
+    std::sort(results.begin(), results.end());
+    results.erase(std::unique(results.begin(), results.end()), results.end());
+  }
   if (stats != nullptr) *stats = local;
   return results;
 }
@@ -395,7 +436,7 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
       break;
     }
     DlNfa nfa = DlNfa::FromRegex(*atom.regex, g);
-    DlEvaluator evaluator(g, nfa);
+    DlEvaluator evaluator(g, nfa, options.snapshot);
     std::vector<std::string> list_vars = atom.regex->CaptureVariables();
 
     auto resolve = [&](const CrpqTerm& t) -> Result<std::optional<NodeId>> {
@@ -480,7 +521,9 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
         break;
       }
     }
-    Dedupe(&rel);
+    // A relation left partial by a trip is about to be thrown away by the
+    // engine; don't burn time sorting it (same contract as the RPQ path).
+    if (!HasStopped(options.cancel)) Dedupe(&rel);
 
     if (first) {
       joined = std::move(rel);

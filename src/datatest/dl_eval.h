@@ -6,6 +6,7 @@
 
 #include "src/crpq/crpq.h"
 #include "src/datatest/dl_rpq.h"
+#include "src/graph/csr.h"
 #include "src/graph/path_binding.h"
 #include "src/pmr/enumerate.h"
 
@@ -27,8 +28,14 @@ namespace gqzoo {
 /// complexity of [Libkin, Martens, Vrgoč 2016].
 class DlEvaluator {
  public:
-  DlEvaluator(const PropertyGraph& g, const DlNfa& nfa)
-      : g_(&g), nfa_(&nfa) {}
+  /// `snapshot` (optional, not owned, must be over the same graph) routes
+  /// configuration expansion through per-label adjacency slices: an
+  /// edge-targeting label atom enumerates only the out-edges its predicate
+  /// matches instead of the node's full adjacency list. Result sets are
+  /// unchanged.
+  DlEvaluator(const PropertyGraph& g, const DlNfa& nfa,
+              const GraphSnapshot* snapshot = nullptr)
+      : g_(&g), nfa_(&nfa), snapshot_(snapshot) {}
 
   /// All nodes `v` such that some non-empty-endpoint path from `u` to `v`
   /// satisfies the dl-RPQ (σ endpoints: src(p) = u, tgt(p) = v; paths may
@@ -56,6 +63,7 @@ class DlEvaluator {
  private:
   const PropertyGraph* g_;
   const DlNfa* nfa_;
+  const GraphSnapshot* snapshot_;
 };
 
 /// Evaluates a dl-CRPQ (Section 3.2.2): the Crpq structure with dl-dialect
@@ -65,6 +73,9 @@ struct DlCrpqEvalOptions {
   size_t max_path_length = 1000;
   /// Optional cooperative cancellation (deadlines). Not owned.
   const CancellationToken* cancel = nullptr;
+  /// Optional label-partitioned view of the same graph (not owned); see
+  /// DlEvaluator.
+  const GraphSnapshot* snapshot = nullptr;
 };
 
 Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,

@@ -23,17 +23,32 @@ QueryEngine::QueryEngine(PropertyGraph graph)
 
 QueryEngine::QueryEngine(PropertyGraph graph, Options options)
     : graph_(std::make_shared<const PropertyGraph>(std::move(graph))),
+      snapshot_(BuildSnapshot(graph_)),
+      rpq_shards_(options.rpq_shards),
       default_timeout_(options.default_timeout),
       default_budgets_(options.default_budgets),
       cache_(options.cache_capacity_per_shard, options.cache_shards),
       governor_(options.governor),
       pool_(options.num_threads) {}
 
+std::shared_ptr<const GraphSnapshot> QueryEngine::BuildSnapshot(
+    std::shared_ptr<const PropertyGraph> graph) {
+  // The snapshot borrows the graph's arrays; the deleter's capture keeps
+  // the graph alive for as long as any query pins the snapshot.
+  return std::shared_ptr<const GraphSnapshot>(
+      new GraphSnapshot(*graph),
+      [graph](const GraphSnapshot* s) { delete s; });
+}
+
 void QueryEngine::SetGraph(PropertyGraph graph) {
   auto next = std::make_shared<const PropertyGraph>(std::move(graph));
+  // Build the next epoch's CSR outside the lock: snapshot construction is
+  // O(|E|) and must not stall concurrent executions.
+  auto next_snapshot = BuildSnapshot(next);
   {
     std::lock_guard<std::mutex> lock(graph_mu_);
     graph_ = std::move(next);
+    snapshot_ = std::move(next_snapshot);
     ++epoch_;
   }
   metrics_.graph_epoch_bumps.Increment();
@@ -47,6 +62,11 @@ uint64_t QueryEngine::graph_epoch() const {
 std::shared_ptr<const PropertyGraph> QueryEngine::graph_snapshot() const {
   std::lock_guard<std::mutex> lock(graph_mu_);
   return graph_;
+}
+
+std::shared_ptr<const GraphSnapshot> QueryEngine::csr_snapshot() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return snapshot_;
 }
 
 void QueryEngine::set_default_timeout(
@@ -81,15 +101,18 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
   metrics_.queries_total.Increment();
   metrics_.RecordLanguage(request.language);
 
-  // Snapshot (graph, epoch, timeout, budgets) atomically; in-flight
-  // queries keep their graph alive even if SetGraph races with them.
+  // Snapshot (graph, CSR, epoch, timeout, budgets) atomically; in-flight
+  // queries keep the graph and CSR they started with alive even if
+  // SetGraph races with them.
   std::shared_ptr<const PropertyGraph> graph;
+  std::shared_ptr<const GraphSnapshot> snapshot;
   uint64_t epoch;
   std::optional<std::chrono::milliseconds> timeout = request.timeout;
   ResourceBudgets budgets;
   {
     std::lock_guard<std::mutex> lock(graph_mu_);
     graph = graph_;
+    snapshot = snapshot_;
     epoch = epoch_;
     if (!timeout.has_value()) timeout = default_timeout_;
     budgets = default_budgets_;
@@ -126,9 +149,8 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
 
   PlanOptions plan_options;
   plan_options.optimize = request.optimize;
-  PlanCacheKey key{request.language,
-                   PlanCacheKey::WithOptions(request.text, plan_options),
-                   epoch};
+  PlanCacheKey key =
+      PlanCacheKey::For(request.language, request.text, epoch, plan_options);
   bool cache_hit = false;
   PlanPtr plan = cache_.Get(key);
   if (plan != nullptr) {
@@ -149,7 +171,8 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
     cache_.Put(key, plan);
   }
 
-  Result<QueryResponse> result = ExecutePlan(*plan, *graph, request, cancel);
+  Result<QueryResponse> result =
+      ExecutePlan(*plan, *graph, *snapshot, request, cancel);
 
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
@@ -241,13 +264,17 @@ std::future<Result<QueryResponse>> QueryEngine::Submit(QueryRequest request) {
 }
 
 Result<QueryResponse> QueryEngine::ExecutePlan(
-    const Plan& plan, const PropertyGraph& g, const QueryRequest& request,
-    const CancellationToken* cancel) const {
+    const Plan& plan, const PropertyGraph& g, const GraphSnapshot& snapshot,
+    const QueryRequest& request, const CancellationToken* cancel) {
   QueryResponse response;
   std::ostringstream out;
 
   if (const auto* rpq = std::get_if<RpqPlan>(&plan.compiled)) {
-    auto pairs = EvalRpq(g.skeleton(), rpq->nfa, cancel);
+    ParallelRpqOptions rpq_options;
+    rpq_options.pool = &pool_;
+    rpq_options.num_shards = rpq_shards_;
+    rpq_options.cancel = cancel;
+    auto pairs = EvalRpqParallel(snapshot, rpq->nfa, rpq_options);
     size_t shown = 0;
     for (const auto& [u, v] : pairs) {
       if (shown++ >= request.max_display_rows) {
@@ -264,6 +291,9 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     if (request.max_results) options.max_bindings_per_pair = *request.max_results;
     if (request.max_path_length) options.max_path_length = *request.max_path_length;
     options.cancel = cancel;
+    options.snapshot = &snapshot;
+    options.pool = &pool_;
+    options.num_shards = rpq_shards_;
     Result<CrpqResult> r = EvalCrpq(g.skeleton(), crpq->query, options);
     if (!r.ok()) return r.error();
     out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
@@ -276,6 +306,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     if (request.max_results) options.max_bindings_per_pair = *request.max_results;
     if (request.max_path_length) options.max_path_length = *request.max_path_length;
     options.cancel = cancel;
+    options.snapshot = &snapshot;
     Result<CrpqResult> r = EvalDlCrpq(g, dl->query, options);
     if (!r.ok()) return r.error();
     out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
@@ -290,6 +321,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     }
     if (request.max_results) options.path_options.max_results = *request.max_results;
     options.path_options.cancel = cancel;
+    options.path_options.snapshot = &snapshot;
     Result<CoreQueryResult> r = EvalCoreGqlQuery(g, gql->query, options);
     if (!r.ok()) return r.error();
     if (gql->optimized) {
@@ -307,6 +339,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     if (request.max_path_length) options.max_path_length = *request.max_path_length;
     if (request.max_results) options.max_results = *request.max_results;
     options.cancel = cancel;
+    options.snapshot = &snapshot;
     Result<GqlEvalResult> r = EvalGqlGroupPattern(g, *group->pattern, options);
     if (!r.ok()) return r.error();
     size_t shown = 0;
@@ -331,6 +364,8 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     if (request.max_results) options.max_bindings_per_pair = *request.max_results;
     if (request.max_path_length) options.max_path_length = *request.max_path_length;
     options.cancel = cancel;
+    // No snapshot: regular queries evaluate against a mutable working copy
+    // of the graph (rules add edges), which no cached CSR describes.
     Result<CrpqResult> r = EvalRegularQuery(g.skeleton(), regular->query, options);
     if (!r.ok()) return r.error();
     out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
@@ -355,7 +390,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
         return Error(ErrorCode::kInvalidArgument,
                      "kshortest requires a plain one-way regex");
       }
-      Pmr pmr = BuildPmrBetween(g.skeleton(), *paths->nfa, *u, *v);
+      Pmr pmr = BuildPmrBetween(snapshot, *paths->nfa, *u, *v);
       std::vector<PathBinding> results =
           KShortestPathBindings(pmr, request.paths.k_shortest, cancel);
       size_t shown = 0;
@@ -377,11 +412,11 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
       EnumerationStats stats;
       std::vector<PathBinding> results;
       if (paths->dl_nfa.has_value()) {
-        DlEvaluator evaluator(g, *paths->dl_nfa);
+        DlEvaluator evaluator(g, *paths->dl_nfa, &snapshot);
         results = evaluator.CollectModePaths(*u, *v, request.paths.mode,
                                              limits, &stats);
       } else {
-        results = CollectModePaths(g.skeleton(), *paths->nfa, *u, *v,
+        results = CollectModePaths(snapshot, *paths->nfa, *u, *v,
                                    request.paths.mode, limits, &stats);
       }
       size_t shown = 0;

@@ -15,6 +15,7 @@
 #include "src/engine/metrics.h"
 #include "src/engine/plan.h"
 #include "src/engine/plan_cache.h"
+#include "src/graph/csr.h"
 #include "src/graph/graph.h"
 #include "src/util/query_context.h"
 #include "src/util/result.h"
@@ -98,6 +99,9 @@ class QueryEngine {
     /// Admission control (see governor.h). Applies to `Submit` only;
     /// direct `Execute` calls are the caller's own thread and bypass it.
     GovernorOptions governor;
+    /// Shard count for parallel RPQ evaluation over the CSR snapshot;
+    /// 0 = auto (4 shards per participating thread).
+    size_t rpq_shards = 0;
   };
 
   explicit QueryEngine(PropertyGraph graph);
@@ -121,6 +125,9 @@ class QueryEngine {
   uint64_t graph_epoch() const;
   /// A consistent snapshot (graph, epoch) for read access.
   std::shared_ptr<const PropertyGraph> graph_snapshot() const;
+  /// The label-indexed CSR snapshot of the current graph epoch. Holding
+  /// the returned pointer also keeps the underlying graph alive.
+  std::shared_ptr<const GraphSnapshot> csr_snapshot() const;
 
   void set_default_timeout(std::optional<std::chrono::milliseconds> t);
   std::optional<std::chrono::milliseconds> default_timeout() const;
@@ -152,12 +159,20 @@ class QueryEngine {
                                         admitted_at);
 
   Result<QueryResponse> ExecutePlan(const Plan& plan, const PropertyGraph& g,
+                                    const GraphSnapshot& snapshot,
                                     const QueryRequest& request,
-                                    const CancellationToken* cancel) const;
+                                    const CancellationToken* cancel);
+
+  /// Builds a CSR snapshot whose lifetime also pins `graph` (the snapshot
+  /// borrows the graph's adjacency arrays).
+  static std::shared_ptr<const GraphSnapshot> BuildSnapshot(
+      std::shared_ptr<const PropertyGraph> graph);
 
   mutable std::mutex graph_mu_;
   std::shared_ptr<const PropertyGraph> graph_;
+  std::shared_ptr<const GraphSnapshot> snapshot_;  // built from *graph_
   uint64_t epoch_ = 0;
+  size_t rpq_shards_ = 0;
   std::optional<std::chrono::milliseconds> default_timeout_;
   ResourceBudgets default_budgets_;
 

@@ -76,7 +76,7 @@ struct Plan {
 using PlanPtr = std::shared_ptr<const Plan>;
 
 /// Options that change the compiled artifact (and therefore participate in
-/// the cache key, see PlanCacheKey::OptionsFingerprint).
+/// the cache key as structural fields, see PlanCacheKey::For).
 struct PlanOptions {
   /// CoreGQL only: apply WHERE-pushdown (the shell's `gqlopt`) at compile
   /// time, so cached plans skip the rewrite too.

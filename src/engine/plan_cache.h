@@ -12,32 +12,39 @@
 
 namespace gqzoo {
 
-/// Cache key: (language, query text + option fingerprint, graph epoch).
-/// A graph mutation bumps the engine's epoch, so plans compiled against an
-/// older graph can never be returned again — stale entries simply age out
-/// of the LRU lists.
+/// Cache key: (language, query text, plan options, graph epoch). A graph
+/// mutation bumps the engine's epoch, so plans compiled against an older
+/// graph can never be returned again — stale entries simply age out of the
+/// LRU lists.
+///
+/// Options are keyed *structurally* — as their own fields — rather than
+/// serialized into the text. An earlier scheme appended a "\x01opt" marker
+/// to the text for optimized compiles, which collided: the unoptimized
+/// query whose literal text is `X + "\x01opt"` shared a cache entry with
+/// the optimized compile of `X`. Structural fields cannot collide with any
+/// query text.
 struct PlanCacheKey {
   QueryLanguage language;
-  std::string text;  // query text, plus option fingerprint when non-default
+  std::string text;  // query text, verbatim
   uint64_t graph_epoch;
+  bool optimize = false;  // PlanOptions::optimize
+
+  static PlanCacheKey For(QueryLanguage language, std::string text,
+                          uint64_t graph_epoch, const PlanOptions& options) {
+    return PlanCacheKey{language, std::move(text), graph_epoch,
+                        options.optimize};
+  }
 
   bool operator==(const PlanCacheKey& o) const {
     return language == o.language && graph_epoch == o.graph_epoch &&
-           text == o.text;
+           optimize == o.optimize && text == o.text;
   }
 
   size_t Hash() const {
     size_t h = std::hash<std::string>()(text);
     h = HashCombine(h, static_cast<size_t>(language));
-    return HashCombine(h, static_cast<size_t>(graph_epoch));
-  }
-
-  /// Folds plan options into the key text so that, e.g., an optimized and
-  /// an unoptimized compile of the same CoreGQL query occupy distinct
-  /// entries. The marker uses '\x01', which cannot occur in query text.
-  static std::string WithOptions(const std::string& text,
-                                 const PlanOptions& options) {
-    return options.optimize ? text + "\x01opt" : text;
+    h = HashCombine(h, static_cast<size_t>(graph_epoch));
+    return HashCombine(h, static_cast<size_t>(optimize));
   }
 };
 

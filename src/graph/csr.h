@@ -1,0 +1,176 @@
+#ifndef GQZOO_GRAPH_CSR_H_
+#define GQZOO_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace gqzoo {
+
+struct LabelPred;  // automata/nfa.h; only ForEachMatch below needs it
+
+/// An immutable, label-partitioned CSR view of a graph — the adjacency
+/// substrate every regular-path evaluator iterates.
+///
+/// Every practical engine surveyed in Angles et al. keeps adjacency
+/// partitioned by edge label, because the inner loop of product-automaton
+/// evaluation asks "successors of v via label a", not "successors of v".
+/// The seed `EdgeLabeledGraph` answers that in O(deg(v)) by filtering;
+/// this snapshot answers it in O(deg_a(v)) by slicing:
+///
+///  * `hops` — one entry per edge per direction, grouped by node, then by
+///    label within the node, then by edge id (deterministic order);
+///  * `node_begin` — per-node extents into `hops` (the wildcard slice);
+///  * label runs — per-node directories of (label, begin, end) runs, so a
+///    single-label slice is a binary search over the labels *present at
+///    that node* (memory stays O(|E|), unlike a dense |N|x|L| offset
+///    table, and degenerate graphs with thousands of labels cost nothing).
+///
+/// Snapshots are immutable: build once per graph epoch, share freely
+/// across threads (all reads, no synchronization). The `QueryEngine`
+/// caches one next to its plan cache and in-flight queries pin the
+/// snapshot they started with. A snapshot borrows the graph it was built
+/// from — the owner must keep that graph alive (the engine pairs the two
+/// behind one lock).
+class GraphSnapshot {
+ public:
+  /// One adjacency entry: the traversed edge and the node on its far side
+  /// (target for out-hops, source for in-hops).
+  struct Hop {
+    EdgeId edge;
+    NodeId node;
+  };
+
+  /// A contiguous run of hops; iterable and random-accessible.
+  class Slice {
+   public:
+    Slice() : begin_(nullptr), end_(nullptr) {}
+    Slice(const Hop* begin, const Hop* end) : begin_(begin), end_(end) {}
+    const Hop* begin() const { return begin_; }
+    const Hop* end() const { return end_; }
+    size_t size() const { return static_cast<size_t>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+    const Hop& operator[](size_t i) const { return begin_[i]; }
+
+   private:
+    const Hop* begin_;
+    const Hop* end_;
+  };
+
+  explicit GraphSnapshot(const EdgeLabeledGraph& g);
+  /// Also indexes nodes by node label (`NodesWithLabel`), which the
+  /// CoreGQL pattern evaluator uses for label-filtered node atoms.
+  explicit GraphSnapshot(const PropertyGraph& g);
+
+  GraphSnapshot(const GraphSnapshot&) = delete;
+  GraphSnapshot& operator=(const GraphSnapshot&) = delete;
+
+  const EdgeLabeledGraph& graph() const { return *g_; }
+  size_t NumNodes() const { return num_nodes_; }
+  size_t NumEdges() const { return g_->NumEdges(); }
+  size_t NumLabels() const { return num_labels_; }
+
+  /// All out/in hops of `v` (the wildcard slice).
+  Slice Out(NodeId v) const { return NodeSlice(out_, v); }
+  Slice In(NodeId v) const { return NodeSlice(in_, v); }
+
+  /// Hops of `v` whose edge carries label `l` — O(log #labels-at-v) lookup,
+  /// then a dense scan of exactly deg_l(v) entries.
+  Slice Out(NodeId v, LabelId l) const { return LabelSlice(out_, v, l); }
+  Slice In(NodeId v, LabelId l) const { return LabelSlice(in_, v, l); }
+
+  /// All edges carrying label `l`, graph-wide and sorted by edge id (the
+  /// CoreGQL edge-atom and product-graph construction slices).
+  Slice EdgesWithLabel(LabelId l) const;
+
+  /// All nodes with node label `l`; empty unless built from a
+  /// `PropertyGraph`. Sorted by node id.
+  const std::vector<NodeId>& NodesWithLabel(LabelId l) const;
+  bool has_node_labels() const { return has_node_labels_; }
+
+  /// Calls `fn(const Hop&)` for every out (or, when `inverse`, in) hop of
+  /// `v` whose edge label satisfies `pred`. Single-label predicates touch
+  /// only their label slice; negated sets iterate per label *run* and skip
+  /// excluded runs wholesale, so no per-edge label test ever runs.
+  template <typename Fn>
+  void ForEachMatch(NodeId v, const LabelPred& pred, bool inverse,
+                    Fn&& fn) const;
+
+  /// Approximate resident size, for memory accounting.
+  size_t ApproxBytes() const;
+
+ private:
+  /// Per-node run of same-label hops: hops[begin, end) all carry `label`.
+  struct LabelRun {
+    LabelId label;
+    uint32_t begin;
+    uint32_t end;
+  };
+
+  /// One direction of adjacency.
+  struct Csr {
+    std::vector<Hop> hops;           // grouped by node, then label, then edge
+    std::vector<uint32_t> node_begin;  // size num_nodes + 1, extents in hops
+    std::vector<LabelRun> runs;        // per-node label directories
+    std::vector<uint32_t> runs_begin;  // size num_nodes + 1, extents in runs
+  };
+
+  void Build(const EdgeLabeledGraph& g);
+  static void BuildDirection(const EdgeLabeledGraph& g, bool inverse,
+                             Csr* csr);
+
+  Slice NodeSlice(const Csr& csr, NodeId v) const {
+    const Hop* base = csr.hops.data();
+    return Slice(base + csr.node_begin[v], base + csr.node_begin[v + 1]);
+  }
+  Slice LabelSlice(const Csr& csr, NodeId v, LabelId l) const;
+
+  const EdgeLabeledGraph* g_;
+  size_t num_nodes_ = 0;
+  size_t num_labels_ = 0;
+  Csr out_;
+  Csr in_;
+  std::vector<Hop> label_edges_;          // all edges grouped by label
+  std::vector<uint32_t> label_begin_;     // size num_labels + 1
+  bool has_node_labels_ = false;
+  std::vector<std::vector<NodeId>> nodes_by_label_;
+};
+
+}  // namespace gqzoo
+
+// ForEachMatch needs LabelPred's definition; nfa.h includes graph.h, so
+// the template lives in a trailer included after both.
+#include "src/automata/nfa.h"
+
+namespace gqzoo {
+
+template <typename Fn>
+void GraphSnapshot::ForEachMatch(NodeId v, const LabelPred& pred, bool inverse,
+                                 Fn&& fn) const {
+  const Csr& csr = inverse ? in_ : out_;
+  switch (pred.kind) {
+    case LabelPred::Kind::kNone:
+      return;
+    case LabelPred::Kind::kOne:
+      for (const Hop& hop : LabelSlice(csr, v, pred.labels[0])) fn(hop);
+      return;
+    case LabelPred::Kind::kAny:
+      for (const Hop& hop : NodeSlice(csr, v)) fn(hop);
+      return;
+    case LabelPred::Kind::kNegSet: {
+      const Hop* base = csr.hops.data();
+      for (uint32_t r = csr.runs_begin[v]; r < csr.runs_begin[v + 1]; ++r) {
+        const LabelRun& run = csr.runs[r];
+        if (pred.Matches(run.label)) {
+          for (uint32_t i = run.begin; i < run.end; ++i) fn(base[i]);
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_GRAPH_CSR_H_

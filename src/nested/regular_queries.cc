@@ -114,8 +114,14 @@ Result<CrpqResult> EvalRegularQuery(const EdgeLabeledGraph& g,
                                     const RegularQuery& query,
                                     const CrpqEvalOptions& options) {
   EdgeLabeledGraph working = g;
+  // Each rule materializes new edges into `working`, so any snapshot the
+  // caller passed describes a stale graph: evaluate rules and the main
+  // query against the mutable copy directly.
+  CrpqEvalOptions local = options;
+  local.snapshot = nullptr;
+  local.pool = nullptr;
   for (const RegularQueryRule& rule : query.rules) {
-    Result<CrpqResult> pairs = EvalCrpq(working, rule.query, options);
+    Result<CrpqResult> pairs = EvalCrpq(working, rule.query, local);
     if (!pairs.ok()) return pairs;
     if (pairs.value().head.size() != 2) {
       return Error("rule '" + rule.name + "' did not produce a binary result");
@@ -131,7 +137,7 @@ Result<CrpqResult> EvalRegularQuery(const EdgeLabeledGraph& g,
                       label);
     }
   }
-  return EvalCrpq(working, query.main, options);
+  return EvalCrpq(working, query.main, local);
 }
 
 }  // namespace gqzoo

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/automata/nfa.h"
+#include "src/graph/csr.h"
 #include "src/pmr/pmr.h"
 #include "src/rpq/product_graph.h"
 
@@ -17,12 +18,22 @@ namespace gqzoo {
 /// result also represents the l-RPQ bindings.
 ///
 /// When `sources` (`targets`) is empty, all graph nodes qualify.
+///
+/// The `GraphSnapshot` overloads build the underlying product graph via
+/// label slices (each NFA transition pulls exactly its matching edges);
+/// the resulting PMR — node ids, edge order, everything — is identical to
+/// the seed path's.
 Pmr BuildPmr(const EdgeLabeledGraph& g, const Nfa& nfa,
+             const std::vector<NodeId>& sources,
+             const std::vector<NodeId>& targets);
+Pmr BuildPmr(const GraphSnapshot& s, const Nfa& nfa,
              const std::vector<NodeId>& sources,
              const std::vector<NodeId>& targets);
 
 /// Convenience: single endpoint pair (σ_{u,v}([[R]]_G) as a PMR).
 Pmr BuildPmrBetween(const EdgeLabeledGraph& g, const Nfa& nfa, NodeId u,
+                    NodeId v);
+Pmr BuildPmrBetween(const GraphSnapshot& s, const Nfa& nfa, NodeId u,
                     NodeId v);
 
 }  // namespace gqzoo

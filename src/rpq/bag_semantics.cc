@@ -28,7 +28,9 @@ struct MemoKeyHash {
 
 class BagCounter {
  public:
-  explicit BagCounter(const EdgeLabeledGraph& g) : g_(g) {
+  explicit BagCounter(const EdgeLabeledGraph& g,
+                      const GraphSnapshot* snap = nullptr)
+      : g_(g), snap_(snap) {
     assert(g.NumNodes() <= 64 && "bag counting uses a 64-bit node bitmask");
   }
 
@@ -48,9 +50,16 @@ class BagCounter {
         return BigUint(u == v ? 1 : 0);
       case Regex::Op::kAtom: {
         uint64_t count = 0;
-        for (EdgeId e : g_.OutEdges(u)) {
-          if (g_.Tgt(e) == v && AtomMatches(r.atom(), g_.EdgeLabel(e))) {
-            ++count;
+        if (snap_ != nullptr) {
+          snap_->ForEachMatch(u, AtomPred(r.atom()), /*inverse=*/false,
+                              [&](const GraphSnapshot::Hop& hop) {
+                                if (hop.node == v) ++count;
+                              });
+        } else {
+          for (EdgeId e : g_.OutEdges(u)) {
+            if (g_.Tgt(e) == v && AtomMatches(r.atom(), g_.EdgeLabel(e))) {
+              ++count;
+            }
           }
         }
         return BigUint(count);
@@ -109,6 +118,30 @@ class BagCounter {
     }
   }
 
+  // Resolves a regex atom to a LabelPred over this graph's interned labels,
+  // matching AtomMatches exactly (unresolvable kOne → None, kTest → None).
+  LabelPred AtomPred(const Atom& atom) {
+    switch (atom.label_kind) {
+      case Atom::LabelKind::kOne: {
+        std::optional<LabelId> l = g_.FindLabel(atom.labels[0]);
+        return l.has_value() ? LabelPred::One(*l) : LabelPred::None();
+      }
+      case Atom::LabelKind::kNegSet: {
+        std::vector<LabelId> ids;
+        for (const std::string& name : atom.labels) {
+          std::optional<LabelId> l = g_.FindLabel(name);
+          if (l.has_value()) ids.push_back(*l);
+        }
+        return LabelPred::NegSet(std::move(ids));
+      }
+      case Atom::LabelKind::kAny:
+        return LabelPred::Any();
+      case Atom::LabelKind::kTest:
+        return LabelPred::None();
+    }
+    return LabelPred::None();
+  }
+
   bool AtomMatches(const Atom& atom, LabelId label) {
     switch (atom.label_kind) {
       case Atom::LabelKind::kOne: {
@@ -131,6 +164,7 @@ class BagCounter {
   }
 
   const EdgeLabeledGraph& g_;
+  const GraphSnapshot* snap_;
   std::unordered_map<MemoKey, BigUint, MemoKeyHash> memo_;
 };
 
@@ -147,6 +181,23 @@ BigUint BagCountTotal(const Regex& regex, const EdgeLabeledGraph& g) {
   BigUint total;
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
     for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      total += counter.Count(regex, u, v);
+    }
+  }
+  return total;
+}
+
+BigUint BagCount(const Regex& regex, const GraphSnapshot& s, NodeId u,
+                 NodeId v) {
+  BagCounter counter(s.graph(), &s);
+  return counter.Count(regex, u, v);
+}
+
+BigUint BagCountTotal(const Regex& regex, const GraphSnapshot& s) {
+  BagCounter counter(s.graph(), &s);
+  BigUint total;
+  for (NodeId u = 0; u < s.NumNodes(); ++u) {
+    for (NodeId v = 0; v < s.NumNodes(); ++v) {
       total += counter.Count(regex, u, v);
     }
   }

@@ -1,6 +1,7 @@
 #ifndef GQZOO_RPQ_BAG_SEMANTICS_H_
 #define GQZOO_RPQ_BAG_SEMANTICS_H_
 
+#include "src/graph/csr.h"
 #include "src/graph/graph.h"
 #include "src/regex/ast.h"
 #include "src/util/biguint.h"
@@ -31,6 +32,12 @@ BigUint BagCount(const Regex& regex, const EdgeLabeledGraph& g, NodeId u,
 
 /// Total multiplicity over all pairs: Σ_{u,v} BagCount(regex, g, u, v).
 BigUint BagCountTotal(const Regex& regex, const EdgeLabeledGraph& g);
+
+/// Label-sliced variants: atom counting iterates only the out-slice of the
+/// atom's label instead of all out-edges. Counts are identical.
+BigUint BagCount(const Regex& regex, const GraphSnapshot& s, NodeId u,
+                 NodeId v);
+BigUint BagCountTotal(const Regex& regex, const GraphSnapshot& s);
 
 }  // namespace gqzoo
 

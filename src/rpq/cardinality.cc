@@ -27,6 +27,30 @@ GraphStatistics::GraphStatistics(const EdgeLabeledGraph& g)
   }
 }
 
+GraphStatistics::GraphStatistics(const GraphSnapshot& s)
+    : num_nodes_(s.NumNodes()), num_edges_(s.graph().NumEdges()) {
+  const EdgeLabeledGraph& g = s.graph();
+  const size_t num_labels = g.NumLabels();
+  edge_count_.assign(num_labels, 0);
+  distinct_src_.resize(num_labels);
+  distinct_tgt_.resize(num_labels);
+  std::vector<NodeId> srcs, tgts;
+  for (LabelId l = 0; l < num_labels; ++l) {
+    GraphSnapshot::Slice slice = s.EdgesWithLabel(l);
+    edge_count_[l] = slice.size();
+    srcs.clear();
+    tgts.clear();
+    for (const GraphSnapshot::Hop& hop : slice) {
+      srcs.push_back(g.Src(hop.edge));
+      tgts.push_back(hop.node);
+    }
+    std::sort(srcs.begin(), srcs.end());
+    std::sort(tgts.begin(), tgts.end());
+    distinct_src_[l] = std::unique(srcs.begin(), srcs.end()) - srcs.begin();
+    distinct_tgt_[l] = std::unique(tgts.begin(), tgts.end()) - tgts.begin();
+  }
+}
+
 size_t GraphStatistics::EdgeCount(LabelId l) const {
   return l < edge_count_.size() ? edge_count_[l] : 0;
 }
@@ -113,6 +137,20 @@ double EstimateRpqCardinalitySampling(const EdgeLabeledGraph& g,
   }
   return static_cast<double>(total) / static_cast<double>(sample_size) *
          static_cast<double>(g.NumNodes());
+}
+
+double EstimateRpqCardinalitySampling(const GraphSnapshot& s, const Nfa& nfa,
+                                      size_t sample_size, uint64_t seed) {
+  if (s.NumNodes() == 0 || sample_size == 0) return 0.0;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<NodeId> pick(
+      0, static_cast<NodeId>(s.NumNodes() - 1));
+  size_t total = 0;
+  for (size_t i = 0; i < sample_size; ++i) {
+    total += EvalRpqFrom(s, nfa, pick(rng)).size();
+  }
+  return static_cast<double>(total) / static_cast<double>(sample_size) *
+         static_cast<double>(s.NumNodes());
 }
 
 }  // namespace gqzoo

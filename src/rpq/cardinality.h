@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/automata/nfa.h"
+#include "src/graph/csr.h"
 #include "src/graph/graph.h"
 
 namespace gqzoo {
@@ -19,6 +20,9 @@ namespace gqzoo {
 class GraphStatistics {
  public:
   explicit GraphStatistics(const EdgeLabeledGraph& g);
+  /// Builds the same synopsis from a snapshot's per-label edge lists
+  /// (one pass per label slice instead of a full edge scan).
+  explicit GraphStatistics(const GraphSnapshot& s);
 
   size_t num_nodes() const { return num_nodes_; }
   size_t EdgeCount(LabelId l) const;
@@ -54,6 +58,11 @@ double EstimateRpqCardinalitySynopsis(const GraphStatistics& stats,
 double EstimateRpqCardinalitySampling(const EdgeLabeledGraph& g,
                                       const Nfa& nfa, size_t sample_size,
                                       uint64_t seed);
+
+/// Snapshot variant: the sampled single-source evaluations run on the
+/// label-indexed CSR. Same estimate for the same seed.
+double EstimateRpqCardinalitySampling(const GraphSnapshot& s, const Nfa& nfa,
+                                      size_t sample_size, uint64_t seed);
 
 }  // namespace gqzoo
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/automata/nfa.h"
+#include "src/graph/csr.h"
 #include "src/graph/graph.h"
 
 namespace gqzoo {
@@ -18,6 +19,12 @@ namespace gqzoo {
 /// structure is just adjacency lists plus bookkeeping. Transitions keep
 /// their capture annotation so the PMR layer (src/pmr) can enumerate
 /// l-RPQ bindings from the same structure.
+///
+/// Ids stay 32-bit because this class *materializes* one adjacency list
+/// per product node — a product past 2^32 nodes could not be allocated in
+/// any case — but the constructors size the product in 64 bits and throw
+/// `std::length_error` instead of silently wrapping (the lazy BFS in
+/// rpq_eval handles oversized products; only materialization is bounded).
 class ProductGraph {
  public:
   struct Arc {
@@ -28,11 +35,23 @@ class ProductGraph {
   };
 
   ProductGraph(const EdgeLabeledGraph& g, const Nfa& nfa);
+  /// Label-sliced construction: instead of testing every (edge, transition)
+  /// combination, each transition pulls exactly its matching edges from the
+  /// snapshot's per-label edge lists. Per-node arc lists are canonicalized
+  /// to the seed constructor's order (edge-major, transition order within
+  /// an edge) so downstream enumeration — including truncated-binding
+  /// prefixes — is identical.
+  ProductGraph(const GraphSnapshot& s, const Nfa& nfa);
 
   uint32_t num_product_nodes() const {
     return static_cast<uint32_t>(out_.size());
   }
-  uint32_t Encode(NodeId v, uint32_t q) const { return v * num_states_ + q; }
+  /// 64-bit arithmetic: `v * num_states` overflows uint32 on the paper's
+  /// large families even when the materialized product (guarded at
+  /// construction) fits.
+  uint32_t Encode(NodeId v, uint32_t q) const {
+    return static_cast<uint32_t>(static_cast<uint64_t>(v) * num_states_ + q);
+  }
   NodeId GraphNode(uint32_t id) const { return id / num_states_; }
   uint32_t State(uint32_t id) const { return id % num_states_; }
 
@@ -48,6 +67,11 @@ class ProductGraph {
   bool Accepting(uint32_t id) const { return nfa_->accepting(State(id)); }
 
  private:
+  /// Throws std::length_error unless the product fits 32-bit ids.
+  void AllocateProduct(size_t num_nodes);
+  void AddArcsFor(uint32_t q, const Nfa::Transition& t, EdgeId e, NodeId src,
+                  NodeId tgt);
+
   const EdgeLabeledGraph* graph_;
   const Nfa* nfa_;
   uint32_t num_states_;

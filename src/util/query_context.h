@@ -203,6 +203,42 @@ class QueryContext {
     return true;
   }
 
+  /// Fork/merge support for source-sharded evaluation. A shard runs
+  /// against its own *copy* of the parent context (same deadline and
+  /// budgets; counters snapshotted as a base), so the hot-loop atomics
+  /// stay core-local instead of ping-ponging one cache line between
+  /// shards. When a shard finishes (or trips), the parent absorbs the
+  /// shard's consumption *delta* relative to `base` plus its stop cause;
+  /// `Trip`'s compare-exchange makes the first merged cause win. Budget
+  /// enforcement during the run is per-shard (each shard is bounded by the
+  /// full remaining budget — approximate by design, like all accounting
+  /// here); the merged totals are re-checked so the parent trips once the
+  /// combined consumption exceeds a budget.
+  void MergeShard(const QueryContext& shard, const BudgetReport& base) const {
+    steps_.fetch_add(shard.steps() - base.steps, std::memory_order_relaxed);
+    rows_.fetch_add(shard.result_rows() - base.result_rows,
+                    std::memory_order_relaxed);
+    memory_.fetch_add(shard.memory_bytes() - base.memory_bytes,
+                      std::memory_order_relaxed);
+    uint64_t shard_peak = shard.memory_peak_bytes();
+    uint64_t peak = memory_peak_.load(std::memory_order_relaxed);
+    while (peak < shard_peak &&
+           !memory_peak_.compare_exchange_weak(peak, shard_peak,
+                                               std::memory_order_relaxed)) {
+    }
+    StopCause cause = shard.stop_cause();
+    if (cause != StopCause::kNone) Trip(cause);
+    if (budgets_.steps != 0 && steps() > budgets_.steps) {
+      Trip(StopCause::kStepBudget);
+    }
+    if (budgets_.memory_bytes != 0 && memory_bytes() > budgets_.memory_bytes) {
+      Trip(StopCause::kMemoryBudget);
+    }
+    if (budgets_.result_rows != 0 && result_rows() > budgets_.result_rows) {
+      Trip(StopCause::kRowBudget);
+    }
+  }
+
   StopCause stop_cause() const {
     return static_cast<StopCause>(cause_.load(std::memory_order_relaxed));
   }
@@ -244,6 +280,13 @@ class QueryContext {
 /// An ungoverned evaluation (null context) never stops and never runs out.
 inline bool ShouldStop(const QueryContext* ctx) {
   return ctx != nullptr && ctx->ShouldStop();
+}
+/// Has the context already tripped? Unlike `ShouldStop` this burns no step
+/// budget and never probes the clock — the right check for "did we stop?"
+/// decisions after a loop, e.g. skipping the final sort of a partial
+/// result that the caller is about to discard.
+inline bool HasStopped(const QueryContext* ctx) {
+  return ctx != nullptr && ctx->stop_cause() != StopCause::kNone;
 }
 inline bool ChargeMemory(const QueryContext* ctx, uint64_t bytes) {
   return ctx == nullptr || ctx->ChargeMemory(bytes);

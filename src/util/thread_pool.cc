@@ -1,4 +1,4 @@
-#include "src/engine/executor.h"
+#include "src/util/thread_pool.h"
 
 #include <utility>
 

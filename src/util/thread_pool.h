@@ -1,0 +1,63 @@
+#ifndef GQZOO_UTIL_THREAD_POOL_H_
+#define GQZOO_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gqzoo {
+
+/// A fixed-size thread pool with a FIFO task queue — the execution
+/// substrate of the query engine. Deliberately minimal: deadlines and
+/// cancellation are handled cooperatively inside tasks (CancellationToken),
+/// never by killing threads, so a pool thread is always safe to reuse.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1; 0 means
+  /// hardware_concurrency).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains: waits for queued and running tasks to finish, then joins.
+  ~ThreadPool();
+
+  /// Enqueues a task. Tasks must not block indefinitely on other queued
+  /// tasks (the pool is fixed-size and has no work stealing).
+  ///
+  /// Returns false — and drops the task — once `Shutdown()` has begun.
+  /// Submitting to a shutting-down pool used to race silently (the task
+  /// could be queued and never run); now it is a visible, testable error
+  /// the caller must handle.
+  [[nodiscard]] bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, runs everything already queued, and joins the
+  /// workers. Idempotent and thread-safe; invoked by the destructor.
+  void Shutdown();
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Drain();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;   // workers wait for tasks / shutdown
+  std::condition_variable idle_;   // Drain() waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::once_flag joined_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_UTIL_THREAD_POOL_H_

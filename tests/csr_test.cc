@@ -1,0 +1,547 @@
+// GraphSnapshot (label-indexed CSR) coverage: slice primitives against
+// brute-force adjacency filtering, differential tests pinning every
+// language's snapshot-backed evaluation to the seed scan-based evaluation,
+// the 64-bit product-state id regression, and parallel RPQ sharding.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/automata/counting.h"
+#include "src/coregql/group_eval.h"
+#include "src/coregql/pattern_parser.h"
+#include "src/coregql/query.h"
+#include "src/crpq/crpq_parser.h"
+#include "src/crpq/eval.h"
+#include "src/crpq/modes.h"
+#include "src/datatest/dl_eval.h"
+#include "src/graph/builtin_graphs.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_io.h"
+#include "src/pmr/build.h"
+#include "src/pmr/enumerate.h"
+#include "src/rpq/bag_semantics.h"
+#include "src/rpq/cardinality.h"
+#include "src/rpq/product_graph.h"
+#include "src/rpq/rpq_eval.h"
+#include "src/util/query_context.h"
+#include "src/util/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace gqzoo {
+namespace {
+
+using testing_util::Rx;
+
+// ---------------------------------------------------------------------------
+// Slice primitives.
+
+TEST(GraphSnapshotTest, SlicesMatchAdjacencyFiltering) {
+  EdgeLabeledGraph g = RandomGraph(30, 120, 5, 7);
+  GraphSnapshot snap(g);
+  ASSERT_EQ(snap.NumNodes(), g.NumNodes());
+  ASSERT_EQ(snap.NumEdges(), g.NumEdges());
+  EXPECT_GT(snap.ApproxBytes(), 0u);
+
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    // Wildcard slices carry exactly the node's out/in edges.
+    std::multiset<EdgeId> out_expected(g.OutEdges(v).begin(),
+                                       g.OutEdges(v).end());
+    std::multiset<EdgeId> out_got;
+    for (const GraphSnapshot::Hop& hop : snap.Out(v)) {
+      EXPECT_EQ(hop.node, g.Tgt(hop.edge));
+      out_got.insert(hop.edge);
+    }
+    EXPECT_EQ(out_got, out_expected);
+
+    std::multiset<EdgeId> in_expected(g.InEdges(v).begin(),
+                                      g.InEdges(v).end());
+    std::multiset<EdgeId> in_got;
+    for (const GraphSnapshot::Hop& hop : snap.In(v)) {
+      EXPECT_EQ(hop.node, g.Src(hop.edge));
+      in_got.insert(hop.edge);
+    }
+    EXPECT_EQ(in_got, in_expected);
+
+    // Per-label slices partition the wildcard slice.
+    for (LabelId l = 0; l < g.NumLabels(); ++l) {
+      std::multiset<EdgeId> expected;
+      for (EdgeId e : g.OutEdges(v)) {
+        if (g.EdgeLabel(e) == l) expected.insert(e);
+      }
+      std::multiset<EdgeId> got;
+      for (const GraphSnapshot::Hop& hop : snap.Out(v, l)) {
+        EXPECT_EQ(g.EdgeLabel(hop.edge), l);
+        got.insert(hop.edge);
+      }
+      EXPECT_EQ(got, expected);
+    }
+  }
+
+  // Graph-wide label lists are sorted by edge id and complete.
+  size_t total = 0;
+  for (LabelId l = 0; l < g.NumLabels(); ++l) {
+    GraphSnapshot::Slice slice = snap.EdgesWithLabel(l);
+    total += slice.size();
+    EdgeId prev = 0;
+    bool first = true;
+    for (const GraphSnapshot::Hop& hop : slice) {
+      EXPECT_EQ(g.EdgeLabel(hop.edge), l);
+      EXPECT_EQ(hop.node, g.Tgt(hop.edge));
+      if (!first) {
+        EXPECT_LT(prev, hop.edge);
+      }
+      prev = hop.edge;
+      first = false;
+    }
+  }
+  EXPECT_EQ(total, g.NumEdges());
+}
+
+TEST(GraphSnapshotTest, ForEachMatchHonorsEveryPredicateKind) {
+  EdgeLabeledGraph g = RandomGraph(20, 80, 4, 11);
+  GraphSnapshot snap(g);
+  std::vector<LabelPred> preds = {
+      LabelPred::None(), LabelPred::Any(), LabelPred::One(0),
+      LabelPred::One(3), LabelPred::NegSet({1, 2})};
+  for (const LabelPred& pred : preds) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      for (bool inverse : {false, true}) {
+        std::multiset<EdgeId> expected;
+        for (EdgeId e : inverse ? g.InEdges(v) : g.OutEdges(v)) {
+          if (pred.Matches(g.EdgeLabel(e))) expected.insert(e);
+        }
+        std::multiset<EdgeId> got;
+        snap.ForEachMatch(v, pred, inverse,
+                          [&](const GraphSnapshot::Hop& hop) {
+                            got.insert(hop.edge);
+                          });
+        EXPECT_EQ(got, expected);
+      }
+    }
+  }
+}
+
+TEST(GraphSnapshotTest, NodeLabelIndexFromPropertyGraph) {
+  PropertyGraph g;
+  NodeId a = g.AddNode("a", "Account");
+  NodeId b = g.AddNode("b", "Person");
+  NodeId c = g.AddNode("c", "Account");
+  g.AddEdge(a, b, "owner");
+  g.AddEdge(c, b, "owner");
+  GraphSnapshot snap(g);
+  EXPECT_TRUE(snap.has_node_labels());
+  LabelId account = *g.FindLabel("Account");
+  LabelId person = *g.FindLabel("Person");
+  EXPECT_EQ(snap.NodesWithLabel(account), (std::vector<NodeId>{a, c}));
+  EXPECT_EQ(snap.NodesWithLabel(person), (std::vector<NodeId>{b}));
+
+  GraphSnapshot skeleton_only(g.skeleton());
+  EXPECT_FALSE(skeleton_only.has_node_labels());
+  EXPECT_TRUE(skeleton_only.NodesWithLabel(account).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Product-state id overflow regression (the PR's headline bugfix).
+//
+// Product ids were packed as `uint32_t id = v * num_states + q`; with
+// 65536 nodes and a 65537-state automaton, the state (65535, 1) encodes to
+// 65535 * 65537 + 1 = 2^32 + 64800, which wraps to the id of (0, 64800).
+// The aliased entry was marked visited before the real one, so the seed
+// BFS dropped the only answer. 64-bit ids make the encoding injective.
+TEST(RpqOverflowRegressionTest, ProductIdsPastFourBillionDoNotAlias) {
+  EdgeLabeledGraph g;
+  std::vector<NodeId> nodes;
+  nodes.reserve(65536);
+  for (size_t i = 0; i < 65536; ++i) {
+    nodes.push_back(g.AddNode("n" + std::to_string(i)));
+  }
+  LabelId j = g.InternLabel("j");
+  g.AddEdge(nodes[0], nodes[65535], j);
+
+  // 65537 states; only 0 -j-> 1 matters, 1 accepting. The dead states
+  // exist purely to push the product size past 2^32.
+  Nfa nfa(65537);
+  nfa.AddTransition(0, {1, LabelPred::One(j), Nfa::kNoCapture, false});
+  nfa.set_accepting(1, true);
+  ASSERT_GT(static_cast<uint64_t>(g.NumNodes()) * nfa.num_states(),
+            uint64_t{1} << 32);
+
+  std::vector<NodeId> reached = EvalRpqFrom(g, nfa, nodes[0]);
+  EXPECT_EQ(reached, (std::vector<NodeId>{nodes[65535]}));
+
+  GraphSnapshot snap(g);
+  EXPECT_EQ(EvalRpqFrom(snap, nfa, nodes[0]),
+            (std::vector<NodeId>{nodes[65535]}));
+  EXPECT_TRUE(EvalRpqPair(g, nfa, nodes[0], nodes[65535]));
+}
+
+TEST(RpqOverflowRegressionTest, MaterializedProductPastLimitThrows) {
+  // ProductGraph materializes per-node adjacency, so it keeps 32-bit ids
+  // but must refuse (not wrap) when the product exceeds them.
+  EdgeLabeledGraph g;
+  for (size_t i = 0; i < 65536; ++i) g.AddNode("n" + std::to_string(i));
+  Nfa nfa(65537);
+  nfa.set_accepting(0, true);
+  EXPECT_THROW(ProductGraph(g, nfa), std::length_error);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: snapshot evaluation is byte-identical to the seed scans.
+
+struct DiffCase {
+  uint64_t seed;
+  const char* regex;
+};
+
+class SnapshotRpqDifferentialTest : public ::testing::TestWithParam<DiffCase> {
+};
+
+TEST_P(SnapshotRpqDifferentialTest, AllFromPairAndParallelAgree) {
+  EdgeLabeledGraph g = RandomGraph(60, 360, 8, GetParam().seed);
+  GraphSnapshot snap(g);
+  Nfa nfa = Nfa::FromRegex(*Rx(GetParam().regex), g);
+
+  auto seed_pairs = EvalRpq(g, nfa);
+  EXPECT_EQ(EvalRpq(snap, nfa), seed_pairs);
+
+  ThreadPool pool(3);
+  ParallelRpqOptions parallel;
+  parallel.pool = &pool;
+  EXPECT_EQ(EvalRpqParallel(snap, nfa, parallel), seed_pairs);
+  parallel.num_shards = 7;
+  EXPECT_EQ(EvalRpqParallel(snap, nfa, parallel), seed_pairs);
+
+  for (NodeId u = 0; u < g.NumNodes(); u += 9) {
+    EXPECT_EQ(EvalRpqFrom(snap, nfa, u), EvalRpqFrom(g, nfa, u));
+    for (NodeId v = 0; v < g.NumNodes(); v += 13) {
+      EXPECT_EQ(EvalRpqPair(snap, nfa, u, v), EvalRpqPair(g, nfa, u, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, SnapshotRpqDifferentialTest,
+    ::testing::Values(DiffCase{1, "a"}, DiffCase{2, "a b c"},
+                      DiffCase{3, "(a|b)* c"}, DiffCase{4, "!{a,b}*"},
+                      DiffCase{5, "_ _"}, DiffCase{6, "(a b)* (c|d)"},
+                      DiffCase{7, "~a* b"}, DiffCase{8, "(~a|b)*"}));
+
+TEST(SnapshotDifferentialTest, ProductGraphArcOrderMatchesSeed) {
+  for (uint64_t seed : {3u, 17u, 91u}) {
+    EdgeLabeledGraph g = RandomGraph(25, 120, 6, seed);
+    GraphSnapshot snap(g);
+    for (const char* regex : {"a (b|c)*", "!{a} d*", "_ a"}) {
+      Nfa nfa = Nfa::FromRegex(*Rx(regex), g);
+      ProductGraph from_graph(g, nfa);
+      ProductGraph from_snap(snap, nfa);
+      ASSERT_EQ(from_snap.num_product_nodes(), from_graph.num_product_nodes());
+      ASSERT_EQ(from_snap.NumArcs(), from_graph.NumArcs());
+      for (uint32_t id = 0; id < from_graph.num_product_nodes(); ++id) {
+        const auto& a = from_graph.Out(id);
+        const auto& b = from_snap.Out(id);
+        ASSERT_EQ(a.size(), b.size()) << regex << " node " << id;
+        for (size_t i = 0; i < a.size(); ++i) {
+          EXPECT_EQ(a[i].to, b[i].to);
+          EXPECT_EQ(a[i].edge, b[i].edge);
+          EXPECT_EQ(a[i].capture, b[i].capture);
+          EXPECT_EQ(a[i].reversed, b[i].reversed);
+        }
+      }
+    }
+  }
+}
+
+TEST(SnapshotDifferentialTest, ModeEnumerationsAgree) {
+  EdgeLabeledGraph g = RandomGraph(12, 40, 3, 23);
+  GraphSnapshot snap(g);
+  for (const char* regex : {"a b*", "(a|b) c?", "a{1,3}"}) {
+    Nfa nfa = Nfa::FromRegex(*Rx(regex), g);
+    EnumerationLimits limits;
+    limits.max_results = 100000;  // non-truncating: path sets must be equal
+    limits.max_length = 8;
+    for (PathMode mode : {PathMode::kAll, PathMode::kShortest,
+                          PathMode::kSimple, PathMode::kTrail}) {
+      for (NodeId u = 0; u < g.NumNodes(); u += 3) {
+        for (NodeId v = 0; v < g.NumNodes(); v += 4) {
+          EnumerationStats seed_stats, snap_stats;
+          auto seed_paths =
+              CollectModePaths(g, nfa, u, v, mode, limits, &seed_stats);
+          auto snap_paths =
+              CollectModePaths(snap, nfa, u, v, mode, limits, &snap_stats);
+          EXPECT_EQ(seed_paths, snap_paths)
+              << regex << " mode " << static_cast<int>(mode) << " " << u
+              << "->" << v;
+          EXPECT_EQ(seed_stats.truncated, snap_stats.truncated);
+        }
+      }
+    }
+  }
+}
+
+TEST(SnapshotDifferentialTest, KShortestOverSnapshotPmrAgrees) {
+  EdgeLabeledGraph g = RandomGraph(15, 60, 3, 31);
+  GraphSnapshot snap(g);
+  Nfa nfa = Nfa::FromRegex(*Rx("a (b|c)*"), g);
+  for (NodeId u = 0; u < g.NumNodes(); u += 4) {
+    for (NodeId v = 0; v < g.NumNodes(); v += 5) {
+      Pmr seed_pmr = BuildPmrBetween(g, nfa, u, v);
+      Pmr snap_pmr = BuildPmrBetween(snap, nfa, u, v);
+      EXPECT_EQ(KShortestPathBindings(seed_pmr, 5),
+                KShortestPathBindings(snap_pmr, 5));
+    }
+  }
+}
+
+std::set<std::string> CrpqRows(const EdgeLabeledGraph& g,
+                               const CrpqResult& r) {
+  std::set<std::string> out;
+  for (const auto& row : r.rows) {
+    std::string s;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) s += ",";
+      s += CrpqValueToString(g, row[i]);
+    }
+    out.insert(s);
+  }
+  return out;
+}
+
+TEST(SnapshotDifferentialTest, CrpqEvaluationAgrees) {
+  EdgeLabeledGraph g = RandomGraph(25, 110, 4, 41);
+  GraphSnapshot snap(g);
+  const char* queries[] = {
+      "q(x, y) := a* (x, y)",
+      "q(x, z) := (a|b)+ (x, y), c* (y, z)",
+      "q(x) := a b (x, y), !{c} (y, x)",
+  };
+  for (const char* text : queries) {
+    Result<Crpq> q = ParseCrpq(text);
+    ASSERT_TRUE(q.ok()) << text;
+    Result<CrpqResult> seed_r = EvalCrpq(g, q.value());
+    ASSERT_TRUE(seed_r.ok());
+
+    CrpqEvalOptions options;
+    options.snapshot = &snap;
+    Result<CrpqResult> snap_r = EvalCrpq(g, q.value(), options);
+    ASSERT_TRUE(snap_r.ok());
+    EXPECT_EQ(CrpqRows(g, seed_r.value()), CrpqRows(g, snap_r.value()));
+    EXPECT_EQ(seed_r.value().truncated, snap_r.value().truncated);
+
+    ThreadPool pool(2);
+    options.pool = &pool;
+    options.num_shards = 5;
+    Result<CrpqResult> par_r = EvalCrpq(g, q.value(), options);
+    ASSERT_TRUE(par_r.ok());
+    EXPECT_EQ(CrpqRows(g, seed_r.value()), CrpqRows(g, par_r.value()));
+  }
+}
+
+TEST(SnapshotDifferentialTest, DlCrpqEvaluationAgrees) {
+  PropertyGraph g = Figure3Graph();
+  GraphSnapshot snap(g);
+  const char* queries[] = {
+      "q(x, y) := ( ()[Transfer] )+ () (x, y)",
+      "q(x) := ( ()[Transfer][amount > 5000000] )+ () (x, y)",
+      "q(z) := trail ()[Transfer^z]( ()[Transfer^z] )+ () (@a3, @a3)",
+      "q(x, y) := shortest ( ()[Transfer] )+ () (x, y)",
+  };
+  for (const char* text : queries) {
+    Result<Crpq> q = ParseCrpq(text, RegexDialect::kDl);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.error().message();
+    Result<CrpqResult> seed_r = EvalDlCrpq(g, q.value());
+    ASSERT_TRUE(seed_r.ok()) << seed_r.error().message();
+
+    DlCrpqEvalOptions options;
+    options.snapshot = &snap;
+    Result<CrpqResult> snap_r = EvalDlCrpq(g, q.value(), options);
+    ASSERT_TRUE(snap_r.ok());
+    EXPECT_EQ(CrpqRows(g.skeleton(), seed_r.value()),
+              CrpqRows(g.skeleton(), snap_r.value()))
+        << text;
+    EXPECT_EQ(seed_r.value().truncated, snap_r.value().truncated);
+  }
+}
+
+TEST(SnapshotDifferentialTest, CoreGqlQueriesAgree) {
+  PropertyGraph g = RandomPropertyGraph(20, 60, 10, 53);
+  GraphSnapshot snap(g);
+  const char* queries[] = {
+      "MATCH (x)-[e]->(y) RETURN x, e, y",
+      "MATCH (x:N)->(y) WHERE x.k = y.k RETURN x, y",
+      "MATCH (x)-[:a]->(y), (y)-[:a]->(z) RETURN x, z",
+      "MATCH (x)-[e:a]->(y) WHERE e.k = 3 RETURN x, y",
+  };
+  for (const char* text : queries) {
+    Result<CoreQueryResult> seed_r = RunCoreGql(g, text);
+    ASSERT_TRUE(seed_r.ok()) << text << ": " << seed_r.error().message();
+    CoreQueryEvalOptions options;
+    options.path_options.snapshot = &snap;
+    Result<CoreQueryResult> snap_r = RunCoreGql(g, text, options);
+    ASSERT_TRUE(snap_r.ok());
+    EXPECT_EQ(seed_r.value().relation.ToString(g.skeleton()),
+              snap_r.value().relation.ToString(g.skeleton()))
+        << text;
+    EXPECT_EQ(seed_r.value().truncated, snap_r.value().truncated);
+  }
+}
+
+TEST(SnapshotDifferentialTest, GqlGroupPatternsAgree) {
+  PropertyGraph g = ToPropertyGraph(RandomGraph(12, 36, 2, 61));
+  GraphSnapshot snap(g);
+  const char* patterns[] = {
+      "(x) ( ()-[z:a]->() ){2} (y)",
+      "(x) ( ()-[:a]->() | ()-[:b]->() ) (y)",
+      "( ()-[z:a]->() ){1,2}",
+  };
+  for (const char* text : patterns) {
+    Result<CorePatternPtr> p = ParseCorePattern(text);
+    ASSERT_TRUE(p.ok()) << text << ": " << p.error().message();
+    Result<GqlEvalResult> seed_r = EvalGqlGroupPattern(g, *p.value());
+    ASSERT_TRUE(seed_r.ok()) << seed_r.error().message();
+    CorePathEvalOptions options;
+    options.snapshot = &snap;
+    Result<GqlEvalResult> snap_r = EvalGqlGroupPattern(g, *p.value(), options);
+    ASSERT_TRUE(snap_r.ok());
+    ASSERT_EQ(seed_r.value().rows.size(), snap_r.value().rows.size()) << text;
+    for (size_t i = 0; i < seed_r.value().rows.size(); ++i) {
+      EXPECT_EQ(seed_r.value().rows[i].path.ToString(g.skeleton()),
+                snap_r.value().rows[i].path.ToString(g.skeleton()));
+    }
+  }
+}
+
+TEST(SnapshotDifferentialTest, CountingBagAndCardinalityAgree) {
+  EdgeLabeledGraph g = RandomGraph(10, 40, 4, 71);
+  GraphSnapshot snap(g);
+
+  Nfa nfa = Nfa::FromRegex(*Rx("(a|b)* c"), g);
+  size_t bound = g.NumNodes() * nfa.num_states() + 1;
+  for (NodeId u = 0; u < g.NumNodes(); u += 2) {
+    for (NodeId v = 0; v < g.NumNodes(); v += 3) {
+      EXPECT_EQ(CountRunsOnPaths(snap, nfa, u, v, bound).ToString(),
+                CountRunsOnPaths(g, nfa, u, v, bound).ToString());
+    }
+  }
+
+  for (const char* regex : {"a*", "(a|b) c?", "!{a} b*"}) {
+    RegexPtr r = Rx(regex);
+    EXPECT_EQ(BagCountTotal(*r, snap).ToString(),
+              BagCountTotal(*r, g).ToString())
+        << regex;
+    EXPECT_EQ(BagCount(*r, snap, 0, 5).ToString(),
+              BagCount(*r, g, 0, 5).ToString());
+  }
+
+  GraphStatistics seed_stats(g);
+  GraphStatistics snap_stats(snap);
+  ASSERT_EQ(snap_stats.num_nodes(), seed_stats.num_nodes());
+  for (LabelId l = 0; l < g.NumLabels(); ++l) {
+    EXPECT_EQ(snap_stats.EdgeCount(l), seed_stats.EdgeCount(l));
+    EXPECT_EQ(snap_stats.DistinctSources(l), seed_stats.DistinctSources(l));
+    EXPECT_EQ(snap_stats.DistinctTargets(l), seed_stats.DistinctTargets(l));
+  }
+  EXPECT_EQ(EstimateRpqCardinalitySampling(snap, nfa, 8, 99),
+            EstimateRpqCardinalitySampling(g, nfa, 8, 99));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel evaluation: budgets, cancellation, degenerate pools.
+
+TEST(ParallelRpqTest, SmallGraphsFallBackToSequential) {
+  EdgeLabeledGraph g = Figure2Graph();  // < kMinParallelNodes
+  GraphSnapshot snap(g);
+  Nfa nfa = Nfa::FromRegex(*Rx("Transfer*"), g);
+  ThreadPool pool(2);
+  ParallelRpqOptions options;
+  options.pool = &pool;
+  EXPECT_EQ(EvalRpqParallel(snap, nfa, options), EvalRpq(g, nfa));
+}
+
+TEST(ParallelRpqTest, NullPoolAndSingleShardWork) {
+  EdgeLabeledGraph g = RandomGraph(200, 800, 4, 83);
+  GraphSnapshot snap(g);
+  Nfa nfa = Nfa::FromRegex(*Rx("a b*"), g);
+  auto expected = EvalRpq(g, nfa);
+  EXPECT_EQ(EvalRpqParallel(snap, nfa, {}), expected);
+  ThreadPool pool(2);
+  ParallelRpqOptions one_shard;
+  one_shard.pool = &pool;
+  one_shard.num_shards = 1;
+  EXPECT_EQ(EvalRpqParallel(snap, nfa, one_shard), expected);
+}
+
+TEST(ParallelRpqTest, SubmitToShutDownPoolStillCompletes) {
+  EdgeLabeledGraph g = RandomGraph(300, 1200, 4, 89);
+  GraphSnapshot snap(g);
+  Nfa nfa = Nfa::FromRegex(*Rx("(a|b) c*"), g);
+  ThreadPool pool(2);
+  pool.Shutdown();  // Submit returns false; the caller runs every shard
+  ParallelRpqOptions options;
+  options.pool = &pool;
+  EXPECT_EQ(EvalRpqParallel(snap, nfa, options), EvalRpq(g, nfa));
+}
+
+TEST(ParallelRpqTest, ShardBudgetsMergeIntoParentContext) {
+  EdgeLabeledGraph g = RandomGraph(400, 2400, 3, 97);
+  GraphSnapshot snap(g);
+  Nfa nfa = Nfa::FromRegex(*Rx("(a|b|c)*"), g);
+
+  // Generous budget: merged accounting must report work but not trip.
+  {
+    QueryContext ctx;
+    ResourceBudgets budgets;
+    budgets.steps = 100000000;
+    ctx.set_budgets(budgets);
+    ThreadPool pool(3);
+    ParallelRpqOptions options;
+    options.pool = &pool;
+    options.cancel = &ctx;
+    auto pairs = EvalRpqParallel(snap, nfa, options);
+    EXPECT_EQ(ctx.stop_cause(), StopCause::kNone);
+    EXPECT_GT(ctx.Report().steps, 0u);
+    EXPECT_EQ(pairs, EvalRpq(g, nfa));
+  }
+
+  // Tiny budget: some shard trips, the cause propagates to the parent,
+  // and the partial result is returned unsorted-but-valid (no crash, no
+  // deadlock — helpers must all retire before EvalRpqParallel returns).
+  {
+    QueryContext ctx;
+    ResourceBudgets budgets;
+    budgets.steps = 500;
+    ctx.set_budgets(budgets);
+    ThreadPool pool(3);
+    ParallelRpqOptions options;
+    options.pool = &pool;
+    options.cancel = &ctx;
+    (void)EvalRpqParallel(snap, nfa, options);
+    EXPECT_EQ(ctx.stop_cause(), StopCause::kStepBudget);
+  }
+}
+
+TEST(ParallelRpqTest, TrippedEvaluationSkipsFinalSort) {
+  // PR-1 contract: a stopped evaluation returns whatever it has without
+  // spending time sorting. Verify via the sequential snapshot path, whose
+  // output ordering for a completed run is sorted.
+  EdgeLabeledGraph g = RandomGraph(400, 2400, 3, 101);
+  GraphSnapshot snap(g);
+  Nfa nfa = Nfa::FromRegex(*Rx("(a|b|c)*"), g);
+
+  QueryContext ctx;
+  ResourceBudgets budgets;
+  budgets.steps = 200;
+  ctx.set_budgets(budgets);
+  auto partial = EvalRpq(snap, nfa, &ctx);
+  EXPECT_EQ(ctx.stop_cause(), StopCause::kStepBudget);
+  auto full = EvalRpq(snap, nfa, nullptr);
+  EXPECT_LT(partial.size(), full.size());
+  EXPECT_TRUE(std::is_sorted(full.begin(), full.end()));
+}
+
+}  // namespace
+}  // namespace gqzoo

@@ -123,6 +123,51 @@ TEST(QueryEngineTest, OptimizedAndPlainPlansAreDistinctEntries) {
   EXPECT_EQ(engine.plan_cache().GetStats().entries, 2u);
 }
 
+TEST(QueryEngineTest, PlanCacheKeyHasNoDelimiterCollision) {
+  // Regression: options used to be folded into the key by appending
+  // "\x01opt" to the text, so the *unoptimized* compile of the literal
+  // query `X + "\x01opt"` shared a cache entry with the *optimized*
+  // compile of `X`. Structural keys must keep them distinct.
+  const std::string base = "MATCH (x)-[:Transfer]->(y) RETURN x, y";
+  PlanCacheKey optimized{QueryLanguage::kCoreGql, base, 0, true};
+  PlanCacheKey collider{QueryLanguage::kCoreGql, base + "\x01opt", 0, false};
+  EXPECT_FALSE(optimized == collider);
+
+  // End to end: the colliding text is a parse error, so a shared cache
+  // entry would instead return the optimized plan's (successful) response.
+  QueryEngine engine(Figure3Graph());
+  QueryRequest opt_req = Req(QueryLanguage::kCoreGql, base);
+  opt_req.optimize = true;
+  ASSERT_TRUE(engine.Execute(opt_req).ok());
+
+  QueryRequest collider_req =
+      Req(QueryLanguage::kCoreGql, base + "\x01opt");
+  Result<QueryResponse> r = engine.Execute(collider_req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kParse);
+}
+
+TEST(QueryEngineTest, CsrSnapshotFollowsGraphEpoch) {
+  QueryEngine engine(Figure3Graph());
+  std::shared_ptr<const GraphSnapshot> before = engine.csr_snapshot();
+  ASSERT_NE(before, nullptr);
+  const size_t before_nodes = before->NumNodes();
+  EXPECT_EQ(before_nodes, engine.graph_snapshot()->NumNodes());
+
+  // In-flight queries pin the snapshot they started with; a graph swap
+  // must produce a fresh snapshot without disturbing the pinned one.
+  engine.SetGraph(ToPropertyGraph(Clique(4)));
+  std::shared_ptr<const GraphSnapshot> after = engine.csr_snapshot();
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(after->NumNodes(), 4u);
+  EXPECT_EQ(before->NumNodes(), before_nodes);  // still valid and unchanged
+  EXPECT_NE(before_nodes, 4u);
+
+  Result<QueryResponse> r = engine.Execute(Req(QueryLanguage::kRpq, "a"));
+  ASSERT_TRUE(r.ok()) << r.error().message();
+  EXPECT_EQ(r.value().num_rows, 12u);  // K4: every ordered pair once
+}
+
 TEST(QueryEngineTest, LruEvictionInTinyCache) {
   QueryEngine::Options options;
   options.cache_shards = 1;
