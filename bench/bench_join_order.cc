@@ -1,0 +1,199 @@
+// Conjunct join-order benchmarks: planner (statistics-driven, smallest-
+// first) vs textual order on the two CRPQ families of DESIGN.md's planner
+// section.
+//
+//  * Star joins where the textual order is pessimal — two high-fanout
+//    atoms listed before a rare one, so textual evaluation materializes a
+//    centers·fanout² intermediate while the planner starts from the rare
+//    atom and keeps every intermediate proportional to the answer.
+//  * Chains on label-balanced random graphs, where textual order is
+//    already reasonable — the planner must not regress it.
+//
+// Both variants run through `EvalCrpq` with precompiled atom automata, so
+// the measured delta is purely the join order (atom evaluation and the
+// Glushkov construction are outside the loop).
+//
+// `--smoke` (consumed before benchmark flags) shrinks every size so the CI
+// Release job can execute each benchmark once as a correctness/latency
+// smoke check. Full runs emit BENCH_join_order.json via
+// --benchmark_format=json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/crpq/crpq_parser.h"
+#include "src/crpq/eval.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/planner/cost_model.h"
+#include "src/planner/planner.h"
+#include "src/planner/stats.h"
+
+namespace gqzoo {
+namespace {
+
+/// The pessimal star family (see tests/planner_test.cc): `centers` hubs
+/// fan out over `fanout` targets via big1/big2; only `rare_centers` hubs
+/// carry a rare edge. Textual `big1, big2, rare` joins the two big atoms
+/// first.
+EdgeLabeledGraph StarJoinGraph(size_t centers, size_t fanout,
+                               size_t rare_centers) {
+  EdgeLabeledGraph g;
+  std::vector<NodeId> hubs, t1, t2;
+  for (size_t i = 0; i < centers; ++i) {
+    hubs.push_back(g.AddNode("c" + std::to_string(i)));
+  }
+  for (size_t j = 0; j < fanout; ++j) {
+    t1.push_back(g.AddNode("s" + std::to_string(j)));
+    t2.push_back(g.AddNode("t" + std::to_string(j)));
+  }
+  for (size_t i = 0; i < centers; ++i) {
+    for (size_t j = 0; j < fanout; ++j) {
+      g.AddEdge(hubs[i], t1[j], "big1");
+      g.AddEdge(hubs[i], t2[j], "big2");
+    }
+  }
+  for (size_t i = 0; i < rare_centers; ++i) {
+    NodeId w = g.AddNode("r" + std::to_string(i));
+    g.AddEdge(hubs[i], w, "rare");
+  }
+  return g;
+}
+
+/// Shared fixture: a parsed query with precompiled automata and the
+/// planner's order, evaluated with or without that order.
+struct Workload {
+  EdgeLabeledGraph g;
+  GraphSnapshot snapshot;
+  Crpq query;
+  std::vector<Nfa> nfas;
+  std::vector<size_t> order;
+
+  Workload(EdgeLabeledGraph graph, const std::string& text)
+      : g(std::move(graph)), snapshot(g), query(ParseCrpq(text).value()) {
+    SnapshotStats stats(snapshot);
+    std::vector<Conjunct> conjuncts;
+    for (const CrpqAtom& atom : query.atoms) {
+      nfas.push_back(Nfa::FromRegex(*atom.regex, g));
+      Conjunct c;
+      if (!atom.from.is_constant) c.vars.push_back(atom.from.name);
+      if (!atom.to.is_constant) c.vars.push_back(atom.to.name);
+      c.est_rows = EstimateCrpqAtom(stats, nfas.back(),
+                                    atom.regex->Nullable(), atom)
+                       .rows;
+      conjuncts.push_back(std::move(c));
+    }
+    order = GreedyJoinOrder(conjuncts);
+  }
+
+  size_t Run(bool planned) const {
+    CrpqEvalOptions options;
+    options.snapshot = &snapshot;
+    options.atom_nfas = &nfas;
+    if (planned) options.join_order = &order;
+    return EvalCrpq(g, query, options).value().rows.size();
+  }
+};
+
+constexpr const char* kStarQuery =
+    "q(x) := big1(x, y), big2(x, z), rare(x, w)";
+
+void BM_Star_Textual(benchmark::State& state) {
+  Workload w(StarJoinGraph(static_cast<size_t>(state.range(0)),
+                           static_cast<size_t>(state.range(1)),
+                           /*rare_centers=*/4),
+             kStarQuery);
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = w.Run(/*planned=*/false);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void BM_Star_Planned(benchmark::State& state) {
+  Workload w(StarJoinGraph(static_cast<size_t>(state.range(0)),
+                           static_cast<size_t>(state.range(1)),
+                           /*rare_centers=*/4),
+             kStarQuery);
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = w.Run(/*planned=*/true);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+// Chain family: a 3-atom chain over a label-balanced random graph. The
+// textual order is already connected and near-optimal; planner and textual
+// should be within noise of each other.
+constexpr const char* kChainQuery = "q(x, w) := a(x, y), b(y, z), c(z, w)";
+
+void BM_Chain_Textual(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Workload w(RandomGraph(n, 8 * n, 3, /*seed=*/17), kChainQuery);
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = w.Run(/*planned=*/false);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void BM_Chain_Planned(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Workload w(RandomGraph(n, 8 * n, 3, /*seed=*/17), kChainQuery);
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = w.Run(/*planned=*/true);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void Register(bool smoke) {
+  using benchmark::RegisterBenchmark;
+  // {centers, fanout}: textual builds centers·fanout² join tuples, planner
+  // rare_centers·fanout².
+  const std::vector<std::vector<int64_t>> star_sizes =
+      smoke ? std::vector<std::vector<int64_t>>{{40, 10}}
+            : std::vector<std::vector<int64_t>>{{100, 20}, {200, 40}};
+  for (const auto& args : star_sizes) {
+    RegisterBenchmark("BM_Star_Textual", BM_Star_Textual)->Args(args);
+    RegisterBenchmark("BM_Star_Planned", BM_Star_Planned)->Args(args);
+  }
+  const int64_t chain_n = smoke ? 64 : 256;
+  RegisterBenchmark("BM_Chain_Textual", BM_Chain_Textual)->Arg(chain_n);
+  RegisterBenchmark("BM_Chain_Planned", BM_Chain_Planned)->Arg(chain_n);
+}
+
+}  // namespace
+}  // namespace gqzoo
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // Smoke mode: tiny sizes plus a minimal repetition budget — one pass
+  // that proves every benchmark still runs, not a measurement.
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time.data());
+  int filtered_argc = static_cast<int>(args.size());
+  gqzoo::Register(smoke);
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

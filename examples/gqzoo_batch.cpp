@@ -13,6 +13,10 @@
 //                      are shed with OVERLOADED (default 256, 0 = unbounded)
 //   --repeat <n>       run the request file n times (default 1; repeats
 //                      after the first are plan-cache hits)
+//   --explain          render each query's plan (conjunct join order +
+//                      cardinality estimates) instead of executing it
+//   --textual-order    evaluate conjuncts in textual order, ignoring the
+//                      planner (for differential runs / benchmarks)
 //   --quiet            suppress per-query output, print only the report
 //
 // Request-file format: one query per line, same surface as the shell.
@@ -123,7 +127,8 @@ int Usage(const char* argv0) {
   fprintf(stderr,
           "usage: %s [--graph <file>] [--threads <n>] [--timeout-ms <n>] "
           "[--memlimit <n>] [--row-budget <n>] [--step-budget <n>] "
-          "[--capacity <n>] [--repeat <n>] [--quiet] <request-file>\n",
+          "[--capacity <n>] [--repeat <n>] [--explain] [--textual-order] "
+          "[--quiet] <request-file>\n",
           argv0);
   return 2;
 }
@@ -140,6 +145,8 @@ int main(int argc, char** argv) {
   long long step_budget = 0;
   size_t capacity = 256;
   size_t repeat = 1;
+  bool explain = false;
+  bool textual_order = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -179,6 +186,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       repeat = static_cast<size_t>(atoll(v));
+    } else if (strcmp(arg, "--explain") == 0) {
+      explain = true;
+    } else if (strcmp(arg, "--textual-order") == 0) {
+      textual_order = true;
     } else if (strcmp(arg, "--quiet") == 0) {
       quiet = true;
     } else if (arg[0] == '-') {
@@ -235,6 +246,8 @@ int main(int argc, char** argv) {
     if (step_budget > 0) {
       request.step_budget = static_cast<uint64_t>(step_budget);
     }
+    request.explain = explain;
+    request.textual_join_order = textual_order;
     requests.push_back(std::move(request));
   }
   if (requests.empty()) {
@@ -263,7 +276,11 @@ int main(int argc, char** argv) {
     if (!r.ok() && r.error().code() == ErrorCode::kOverloaded) ++shed;
     if (r.ok()) {
       ++ok;
-      if (!quiet) {
+      if (explain && !quiet) {
+        printf("[%zu] %s %s%s\n%s", i, QueryLanguageName(request.language),
+               request.text.c_str(), r.value().cache_hit ? " [cached]" : "",
+               r.value().text.c_str());
+      } else if (!quiet) {
         printf("[%zu] %s %s -> %zu rows%s%s (%lldus)\n", i,
                QueryLanguageName(request.language), request.text.c_str(),
                r.value().num_rows, r.value().truncated ? " (truncated)" : "",

@@ -21,6 +21,9 @@
 //   gqlgroup <pattern>     evaluate a pattern under GQL group-variable
 //                          semantics (repetition collects lists)
 //   regular <rules>        run a regular query (rules separated by ';')
+//   explain <command...>   show the compiled plan (conjunct join order +
+//                          cardinality estimates) instead of executing,
+//                          e.g. `explain crpq q(x) :- a(x,y), b(y,z)`
 //   timeout <ms>           set the default per-query deadline (0 = off)
 //   memlimit <bytes>       set the default per-query memory budget (0 = off)
 //   stats                  engine metrics + plan-cache report
@@ -47,6 +50,7 @@ constexpr const char* kHelp = R"(commands:
   kshortest <k> <from> <to> <regex>
   crpq <rule> | dlcrpq <rule> | gql <query> | gqlopt <query>
   gqlgroup <pattern> | regular <rules>
+  explain <command...>   (plan + join order, no execution)
   timeout <ms> | memlimit <bytes> | stats | help | quit
 )";
 
@@ -85,6 +89,12 @@ class Shell {
 
     if (command == "help") {
       printf("%s", kHelp);
+    } else if (command == "explain") {
+      // Re-dispatch the rest of the line with the EXPLAIN flag armed; any
+      // query command works (`explain crpq ...`, `explain gql ...`).
+      explain_ = true;
+      Dispatch(rest);
+      explain_ = false;
     } else if (command == "load") {
       LoadFile(rest);
     } else if (command == "show") {
@@ -136,7 +146,8 @@ class Shell {
 
   /// Runs through the engine and prints either the rendered rows or the
   /// error; the REPL survives both.
-  void Run(const QueryRequest& request) {
+  void Run(QueryRequest request) {
+    request.explain = explain_;
     Result<QueryResponse> r = engine_.Execute(request);
     if (!r.ok()) {
       printf("error [%s]: %s\n", ErrorCodeName(r.error().code()),
@@ -213,6 +224,7 @@ class Shell {
   }
 
   QueryEngine engine_;
+  bool explain_ = false;  // armed by the `explain` prefix command
 };
 
 }  // namespace

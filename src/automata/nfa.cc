@@ -1,6 +1,7 @@
 #include "src/automata/nfa.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 
 #include "src/automata/glushkov.h"
@@ -66,9 +67,16 @@ LabelPred ResolvePred(const Atom& atom, const EdgeLabeledGraph& g) {
   return LabelPred::None();
 }
 
+std::atomic<uint64_t> nfa_compile_count{0};
+
 }  // namespace
 
+uint64_t Nfa::CompileCount() {
+  return nfa_compile_count.load(std::memory_order_relaxed);
+}
+
 Nfa Nfa::FromRegex(const Regex& regex, const EdgeLabeledGraph& g) {
+  nfa_compile_count.fetch_add(1, std::memory_order_relaxed);
   GlushkovAutomaton glushkov = BuildGlushkov(regex);
   Nfa nfa(static_cast<uint32_t>(glushkov.position_atoms.size() + 1));
   nfa.set_initial(0);

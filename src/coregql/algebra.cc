@@ -1,19 +1,20 @@
 #include "src/coregql/algebra.h"
 
 #include <algorithm>
-#include <map>
 #include <set>
 
 namespace gqzoo {
 
 CoreRelation Select(
     const CoreRelation& r,
-    const std::function<bool(const std::vector<CoreCell>&)>& pred) {
+    const std::function<bool(const std::vector<CoreCell>&)>& pred,
+    const QueryContext* ctx) {
   CoreRelation out(r.schema());
   for (const auto& row : r.rows()) {
+    if (ShouldStop(ctx)) break;
     if (pred(row)) out.AddRow(row);
   }
-  out.Normalize();
+  out.Normalize(ctx);
   return out;
 }
 
@@ -36,39 +37,10 @@ Result<CoreRelation> Project(const CoreRelation& r,
   return out;
 }
 
-CoreRelation NaturalJoinRel(const CoreRelation& a, const CoreRelation& b) {
-  std::vector<size_t> shared_a, shared_b, b_only;
-  for (size_t j = 0; j < b.schema().size(); ++j) {
-    size_t i = a.AttrIndex(b.schema()[j]);
-    if (i != SIZE_MAX) {
-      shared_a.push_back(i);
-      shared_b.push_back(j);
-    } else {
-      b_only.push_back(j);
-    }
-  }
-  std::vector<std::string> schema = a.schema();
-  for (size_t j : b_only) schema.push_back(b.schema()[j]);
-  CoreRelation out(std::move(schema));
-
-  std::map<std::vector<CoreCell>, std::vector<size_t>> index;
-  for (size_t i = 0; i < b.rows().size(); ++i) {
-    std::vector<CoreCell> key;
-    for (size_t j : shared_b) key.push_back(b.rows()[i][j]);
-    index[std::move(key)].push_back(i);
-  }
-  for (const auto& row_a : a.rows()) {
-    std::vector<CoreCell> key;
-    for (size_t j : shared_a) key.push_back(row_a[j]);
-    auto it = index.find(key);
-    if (it == index.end()) continue;
-    for (size_t i : it->second) {
-      std::vector<CoreCell> row = row_a;
-      for (size_t j : b_only) row.push_back(b.rows()[i][j]);
-      out.AddRow(std::move(row));
-    }
-  }
-  out.Normalize();
+CoreRelation NaturalJoinRel(const CoreRelation& a, const CoreRelation& b,
+                            const QueryContext* ctx) {
+  CoreRelation out(rel::NaturalJoin(a.table(), b.table(), ctx));
+  out.Normalize(ctx);
   return out;
 }
 

@@ -11,16 +11,22 @@ namespace gqzoo {
 /// Relational algebra over CoreGQL relations (component (3) of CoreGQL,
 /// Section 4.1.3). All operators implement set semantics.
 
-/// σ_pred: keeps rows for which `pred(row)` is true.
+/// σ_pred: keeps rows for which `pred(row)` is true. `ctx` (optional)
+/// makes the scan cooperative and skips normalization once tripped.
 CoreRelation Select(const CoreRelation& r,
-                    const std::function<bool(const std::vector<CoreCell>&)>& pred);
+                    const std::function<bool(const std::vector<CoreCell>&)>& pred,
+                    const QueryContext* ctx = nullptr);
 
 /// π_attrs: projection (duplicates removed). Fails on unknown attributes.
 Result<CoreRelation> Project(const CoreRelation& r,
                              const std::vector<std::string>& attrs);
 
-/// Natural join on shared attribute names (cartesian product if none).
-CoreRelation NaturalJoinRel(const CoreRelation& a, const CoreRelation& b);
+/// Natural join on shared attribute names (cartesian product if none),
+/// via the shared relational kernel's hash join. `ctx` (optional) charges
+/// output tuples against the memory budget — the join is where CoreGQL
+/// blocks blow up — and makes the result partial once the context trips.
+CoreRelation NaturalJoinRel(const CoreRelation& a, const CoreRelation& b,
+                            const QueryContext* ctx = nullptr);
 
 /// Set union / difference / intersection; schemas must match exactly.
 Result<CoreRelation> UnionRel(const CoreRelation& a, const CoreRelation& b);

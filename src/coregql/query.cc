@@ -46,7 +46,7 @@ Result<CoreRelation> EvalPatternEntry(const PropertyGraph& g,
       }
       if (complete) rel.AddRow(std::move(cells));
     }
-    rel.Normalize();
+    rel.Normalize(options.path_options.cancel);
     return rel;
   }
   // Path-binding entry: enumerative evaluation.
@@ -72,28 +72,40 @@ Result<CoreRelation> EvalPatternEntry(const PropertyGraph& g,
     }
     if (complete) rel.AddRow(std::move(cells));
   }
-  rel.Normalize();
+  rel.Normalize(options.path_options.cancel);
   return rel;
 }
 
 Result<CoreRelation> EvalBlock(const PropertyGraph& g,
                                const CoreMatchBlock& block,
+                               const std::vector<size_t>* order,
                                const CoreQueryEvalOptions& options,
                                bool* truncated) {
   if (block.patterns.empty()) return Error("MATCH block has no patterns");
-  CoreRelation joined;
-  bool first = true;
+  const QueryContext* ctx = options.path_options.cancel;
+  // All entries are evaluated in textual order first, so which error
+  // surfaces never depends on the planner's join order.
+  std::vector<CoreRelation> entry_rels;
+  entry_rels.reserve(block.patterns.size());
   for (const CoreMatchBlock::PatternEntry& entry : block.patterns) {
     Result<CoreRelation> rel = EvalPatternEntry(g, entry, options, truncated);
     if (!rel.ok()) return rel;
-    joined = first ? std::move(rel).value()
-                   : NaturalJoinRel(joined, rel.value());
-    first = false;
+    entry_rels.push_back(std::move(rel).value());
+  }
+  bool use_order = order != nullptr && order->size() == block.patterns.size();
+  CoreRelation joined;
+  for (size_t step = 0; step < entry_rels.size(); ++step) {
+    size_t idx = use_order ? (*order)[step] : step;
+    joined = step == 0 ? std::move(entry_rels[idx])
+                       : NaturalJoinRel(joined, entry_rels[idx], ctx);
   }
   if (block.where != nullptr) {
-    joined = Select(joined, [&](const std::vector<CoreCell>& row) {
-      return EvalCoreCondition(g, *block.where, RowBinding(joined, row));
-    });
+    joined = Select(
+        joined,
+        [&](const std::vector<CoreCell>& row) {
+          return EvalCoreCondition(g, *block.where, RowBinding(joined, row));
+        },
+        ctx);
   }
   // RETURN: the Ω projection of Section 4.1.2.
   std::vector<std::string> out_schema;
@@ -129,7 +141,7 @@ Result<CoreRelation> EvalBlock(const PropertyGraph& g,
     }
     if (compatible) out.AddRow(std::move(cells));
   }
-  out.Normalize();
+  out.Normalize(ctx);
   return out;
 }
 
@@ -143,13 +155,21 @@ Result<CoreQueryResult> EvalCoreGqlQuery(const PropertyGraph& g,
     return Error("malformed query: block/operator count mismatch");
   }
   CoreQueryResult result;
+  auto block_order = [&](size_t i) -> const std::vector<size_t>* {
+    if (options.block_orders == nullptr ||
+        i >= options.block_orders->size()) {
+      return nullptr;
+    }
+    return &(*options.block_orders)[i];
+  };
   Result<CoreRelation> acc =
-      EvalBlock(g, query.blocks[0], options, &result.truncated);
+      EvalBlock(g, query.blocks[0], block_order(0), options, &result.truncated);
   if (!acc.ok()) return acc.error();
   CoreRelation current = std::move(acc).value();
   for (size_t i = 0; i < query.ops.size(); ++i) {
-    Result<CoreRelation> next =
-        EvalBlock(g, query.blocks[i + 1], options, &result.truncated);
+    Result<CoreRelation> next = EvalBlock(g, query.blocks[i + 1],
+                                          block_order(i + 1), options,
+                                          &result.truncated);
     if (!next.ok()) return next.error();
     Result<CoreRelation> combined = [&]() {
       switch (query.ops[i]) {

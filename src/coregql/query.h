@@ -51,6 +51,10 @@ struct CoreGqlQuery {
 
 struct CoreQueryEvalOptions {
   CorePathEvalOptions path_options;
+  /// Per-block join orders from the planner (block i joins its pattern
+  /// entries in the order `(*block_orders)[i]`). Null, or an entry whose
+  /// size does not match the block's pattern count, means textual order.
+  const std::vector<std::vector<size_t>>* block_orders = nullptr;
 };
 
 struct CoreQueryResult {

@@ -1,6 +1,5 @@
 #include "src/coregql/relation.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace gqzoo {
@@ -15,31 +14,19 @@ std::string CoreCellToString(const EdgeLabeledGraph& g, const CoreCell& cell) {
   return std::get<Path>(cell).ToString(g);
 }
 
-size_t CoreRelation::AttrIndex(const std::string& name) const {
-  for (size_t i = 0; i < schema_.size(); ++i) {
-    if (schema_[i] == name) return i;
-  }
-  return SIZE_MAX;
-}
-
 void CoreRelation::AddRow(std::vector<CoreCell> row) {
-  assert(row.size() == schema_.size());
-  rows_.push_back(std::move(row));
-}
-
-void CoreRelation::Normalize() {
-  std::sort(rows_.begin(), rows_.end());
-  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+  assert(row.size() == table_.schema.size());
+  table_.rows.push_back(std::move(row));
 }
 
 std::string CoreRelation::ToString(const EdgeLabeledGraph& g) const {
   std::string out;
-  for (size_t i = 0; i < schema_.size(); ++i) {
+  for (size_t i = 0; i < schema().size(); ++i) {
     if (i > 0) out += " | ";
-    out += schema_[i];
+    out += schema()[i];
   }
   out += "\n";
-  for (const auto& row : rows_) {
+  for (const auto& row : rows()) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out += " | ";
       out += CoreCellToString(g, row[i]);

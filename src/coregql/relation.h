@@ -2,11 +2,14 @@
 #define GQZOO_COREGQL_RELATION_H_
 
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
 #include "src/graph/graph.h"
 #include "src/graph/path.h"
+#include "src/rel/rel.h"
+#include "src/util/query_context.h"
 #include "src/util/value.h"
 
 namespace gqzoo {
@@ -19,32 +22,47 @@ using CoreCell = std::variant<ObjectRef, Value, Path>;
 
 std::string CoreCellToString(const EdgeLabeledGraph& g, const CoreCell& cell);
 
-/// A relation over named attributes, under set semantics.
+/// A relation over named attributes, under set semantics — a thin facade
+/// over the shared relational kernel (`rel::Table<CoreCell>`), which the
+/// algebra operators (algebra.h) evaluate through.
 class CoreRelation {
  public:
   CoreRelation() = default;
-  explicit CoreRelation(std::vector<std::string> schema)
-      : schema_(std::move(schema)) {}
+  explicit CoreRelation(std::vector<std::string> schema) {
+    table_.schema = std::move(schema);
+  }
+  explicit CoreRelation(rel::Table<CoreCell> table)
+      : table_(std::move(table)) {}
 
-  const std::vector<std::string>& schema() const { return schema_; }
-  const std::vector<std::vector<CoreCell>>& rows() const { return rows_; }
-  size_t NumRows() const { return rows_.size(); }
+  const std::vector<std::string>& schema() const { return table_.schema; }
+  const std::vector<std::vector<CoreCell>>& rows() const {
+    return table_.rows;
+  }
+  size_t NumRows() const { return table_.rows.size(); }
 
   /// Index of an attribute, or SIZE_MAX.
-  size_t AttrIndex(const std::string& name) const;
+  size_t AttrIndex(const std::string& name) const {
+    return table_.AttrIndex(name);
+  }
 
   /// Adds a row (arity-checked in debug builds). Call Normalize() after a
   /// batch of inserts to restore set semantics.
   void AddRow(std::vector<CoreCell> row);
 
-  /// Sorts rows and removes duplicates (set semantics).
-  void Normalize();
+  /// Sorts rows and removes duplicates (set semantics). Skipped on a
+  /// tripped context — a partial relation is about to be discarded, so
+  /// normalization would only delay the unwind.
+  void Normalize(const QueryContext* ctx = nullptr) {
+    rel::Dedupe(&table_, ctx);
+  }
+
+  /// The kernel view, for the relational-algebra operators.
+  const rel::Table<CoreCell>& table() const { return table_; }
 
   std::string ToString(const EdgeLabeledGraph& g) const;
 
  private:
-  std::vector<std::string> schema_;
-  std::vector<std::vector<CoreCell>> rows_;
+  rel::Table<CoreCell> table_;
 };
 
 }  // namespace gqzoo

@@ -15,37 +15,28 @@ using crpq_internal::NaturalJoin;
 using crpq_internal::ProjectHead;
 using crpq_internal::Relation;
 
-// Builds the relation of one atom. Columns: endpoint variables (if not
-// constants), then the atom's list variables.
-Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
-                          const CrpqEvalOptions& options, bool* truncated) {
-  Nfa nfa = Nfa::FromRegex(*atom.regex, g);
+// Builds the relation of one atom over its precompiled automaton.
+// Columns: endpoint variables (if not constants), then the atom's list
+// variables. Validation (constants, two-way × list vars) has already run
+// for every atom, so lookups here cannot fail.
+Relation EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
+                  const Nfa& nfa, const CrpqEvalOptions& options,
+                  bool* truncated) {
   std::vector<std::string> list_vars = atom.regex->CaptureVariables();
-  if (nfa.HasInverse() && !list_vars.empty()) {
-    return Error(
-        "two-way atoms (~a) cannot be combined with list variables: paths "
-        "are one-way (Remark 9)");
-  }
 
-  // Resolve constant endpoints.
-  auto resolve = [&](const CrpqTerm& t) -> Result<std::optional<NodeId>> {
-    if (!t.is_constant) return std::optional<NodeId>();
-    std::optional<NodeId> n = g.FindNode(t.name);
-    if (!n.has_value()) return Error("unknown node constant '@" + t.name + "'");
-    return std::optional<NodeId>(*n);
+  auto resolve = [&](const CrpqTerm& t) -> std::optional<NodeId> {
+    return t.is_constant ? g.FindNode(t.name) : std::nullopt;
   };
-  Result<std::optional<NodeId>> from_const = resolve(atom.from);
-  if (!from_const.ok()) return from_const.error();
-  Result<std::optional<NodeId>> to_const = resolve(atom.to);
-  if (!to_const.ok()) return to_const.error();
+  std::optional<NodeId> from_const = resolve(atom.from);
+  std::optional<NodeId> to_const = resolve(atom.to);
 
   // Endpoint pairs of [[R]]_G, restricted by constants. With a snapshot,
   // reachability runs over label slices, and the unconstrained case — one
   // product BFS per source node, the dominant cost of atom seeding — is
   // sharded across the pool.
   std::vector<std::pair<NodeId, NodeId>> pairs;
-  if (from_const.value().has_value()) {
-    NodeId u = *from_const.value();
+  if (from_const.has_value()) {
+    NodeId u = *from_const;
     std::vector<NodeId> reached =
         options.snapshot != nullptr
             ? EvalRpqFrom(*options.snapshot, nfa, u, options.cancel)
@@ -60,8 +51,8 @@ Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
   } else {
     pairs = EvalRpq(g, nfa, options.cancel);
   }
-  if (to_const.value().has_value()) {
-    NodeId v = *to_const.value();
+  if (to_const.has_value()) {
+    NodeId v = *to_const;
     std::erase_if(pairs, [v](const auto& p) { return p.second != v; });
   }
   // Same variable at both endpoints is a self-join: R(x, x).
@@ -129,7 +120,7 @@ Result<Relation> EvalAtom(const EdgeLabeledGraph& g, const CrpqAtom& atom,
   }
   // A relation left partial by a trip is about to be thrown away by the
   // engine; don't burn time sorting it (same contract as the RPQ path).
-  if (!HasStopped(options.cancel)) Dedupe(&rel);
+  Dedupe(&rel, options.cancel);
   return rel;
 }
 
@@ -141,21 +132,54 @@ Result<CrpqResult> EvalCrpq(const EdgeLabeledGraph& g, const Crpq& q,
   if (!valid.ok()) return valid.error();
   if (q.atoms.empty()) return Error("CRPQ has no atoms");
 
+  // Compile (or borrow from the plan) every atom's automaton up front.
+  std::vector<Nfa> local_nfas;
+  const std::vector<Nfa>* nfas = options.atom_nfas;
+  if (nfas == nullptr || nfas->size() != q.atoms.size()) {
+    local_nfas.reserve(q.atoms.size());
+    for (const CrpqAtom& atom : q.atoms) {
+      local_nfas.push_back(Nfa::FromRegex(*atom.regex, g));
+    }
+    nfas = &local_nfas;
+  }
+
+  // Validate every atom before evaluating any, in textual order: which
+  // error surfaces must not depend on the planner's join order or on an
+  // early-out over an empty intermediate join.
+  for (size_t i = 0; i < q.atoms.size(); ++i) {
+    const CrpqAtom& atom = q.atoms[i];
+    if ((*nfas)[i].HasInverse() &&
+        !atom.regex->CaptureVariables().empty()) {
+      return Error(
+          "two-way atoms (~a) cannot be combined with list variables: paths "
+          "are one-way (Remark 9)");
+    }
+    for (const CrpqTerm* t : {&atom.from, &atom.to}) {
+      if (t->is_constant && !g.FindNode(t->name).has_value()) {
+        return Error("unknown node constant '@" + t->name + "'");
+      }
+    }
+  }
+
+  const std::vector<size_t>* order = options.join_order;
+  const bool use_order =
+      order != nullptr && order->size() == q.atoms.size();
+
   bool truncated = false;
   Relation joined;
   bool first = true;
-  for (const CrpqAtom& atom : q.atoms) {
+  for (size_t step = 0; step < q.atoms.size(); ++step) {
+    const size_t idx = use_order ? (*order)[step] : step;
     if (ShouldStop(options.cancel)) {
       truncated = true;
       break;
     }
-    Result<Relation> rel = EvalAtom(g, atom, options, &truncated);
-    if (!rel.ok()) return rel.error();
+    Relation rel = EvalAtom(g, q.atoms[idx], (*nfas)[idx], options, &truncated);
     if (first) {
-      joined = std::move(rel).value();
+      joined = std::move(rel);
       first = false;
     } else {
-      joined = NaturalJoin(joined, rel.value(), options.cancel);
+      joined = NaturalJoin(joined, rel, options.cancel);
     }
     if (joined.rows.empty()) break;  // early out: conjunction is empty
   }
@@ -164,7 +188,7 @@ Result<CrpqResult> EvalCrpq(const EdgeLabeledGraph& g, const Crpq& q,
   result.head = q.head;
   result.truncated = truncated;
   if (!joined.rows.empty()) {
-    ProjectHead(joined, q.head, &result.rows);
+    ProjectHead(joined, q.head, &result.rows, options.cancel);
   }
   return result;
 }

@@ -1,6 +1,9 @@
 #ifndef GQZOO_CRPQ_EVAL_H_
 #define GQZOO_CRPQ_EVAL_H_
 
+#include <vector>
+
+#include "src/automata/nfa.h"
 #include "src/crpq/crpq.h"
 #include "src/crpq/modes.h"
 #include "src/graph/csr.h"
@@ -31,6 +34,15 @@ struct CrpqEvalOptions {
   ThreadPool* pool = nullptr;
   /// Shards for the parallel atom seeding; 0 = pick from pool size.
   size_t num_shards = 0;
+  /// Precompiled per-atom automata, parallel to the query's atoms (not
+  /// owned; must outlive the call). Compiled plans supply these so cached
+  /// executions never re-run the Glushkov construction; when null, each
+  /// atom's NFA is compiled on the fly (direct callers, regular queries).
+  const std::vector<Nfa>* atom_nfas = nullptr;
+  /// Conjunct execution order: a permutation of atom indices from the
+  /// planner. Null (or wrong size) = textual order. Results are identical
+  /// either way under set semantics; only intermediate-join sizes differ.
+  const std::vector<size_t>* join_order = nullptr;
 };
 
 /// Evaluates a CRPQ / l-CRPQ on `g` per Sections 3.1.2 and 3.1.5.

@@ -1,78 +1,19 @@
 #include "src/crpq/join.h"
 
-#include "src/util/failpoint.h"
-
 namespace gqzoo {
 namespace crpq_internal {
 
 Relation NaturalJoin(const Relation& a, const Relation& b,
                      const QueryContext* ctx) {
-  std::vector<size_t> shared_a, shared_b;
-  std::vector<size_t> b_only;
-  for (size_t j = 0; j < b.schema.size(); ++j) {
-    auto it = std::find(a.schema.begin(), a.schema.end(), b.schema[j]);
-    if (it != a.schema.end()) {
-      shared_a.push_back(static_cast<size_t>(it - a.schema.begin()));
-      shared_b.push_back(j);
-    } else {
-      b_only.push_back(j);
-    }
-  }
-  Relation out;
-  out.schema = a.schema;
-  for (size_t j : b_only) out.schema.push_back(b.schema[j]);
-
-  // The hash index on the shared columns is transient (scoped charge);
-  // the output tuples are the join's dominant retained term — charged
-  // tuple-by-tuple at allocation, which is also where the simulated
-  // alloc-failure fail-point fires.
-  ScopedMemoryCharge index_bytes(ctx);
-  std::map<std::vector<CrpqValue>, std::vector<size_t>> index;
-  for (size_t i = 0; i < b.rows.size(); ++i) {
-    if (!index_bytes.Charge(shared_b.size() * sizeof(CrpqValue) + 48)) {
-      return out;
-    }
-    std::vector<CrpqValue> key;
-    for (size_t j : shared_b) key.push_back(b.rows[i][j]);
-    index[std::move(key)].push_back(i);
-  }
-  const uint64_t tuple_bytes = out.schema.size() * sizeof(CrpqValue) + 32;
-  for (const auto& row_a : a.rows) {
-    if (ShouldStop(ctx)) return out;
-    std::vector<CrpqValue> key;
-    for (size_t j : shared_a) key.push_back(row_a[j]);
-    auto it = index.find(key);
-    if (it == index.end()) continue;
-    for (size_t i : it->second) {
-      if (ctx != nullptr && Failpoint::ShouldFail("crpq.join.alloc")) {
-        ctx->Trip(StopCause::kMemoryBudget);
-        return out;
-      }
-      if (!ChargeMemory(ctx, tuple_bytes)) return out;
-      std::vector<CrpqValue> row = row_a;
-      for (size_t j : b_only) row.push_back(b.rows[i][j]);
-      out.rows.push_back(std::move(row));
-    }
-  }
-  return out;
+  return rel::NaturalJoin(a, b, ctx, "crpq.join.alloc");
 }
 
 bool ProjectHead(const Relation& joined, const std::vector<std::string>& head,
-                 std::vector<std::vector<CrpqValue>>* rows) {
-  std::vector<size_t> indices;
-  for (const std::string& x : head) {
-    auto it = std::find(joined.schema.begin(), joined.schema.end(), x);
-    if (it == joined.schema.end()) return false;
-    indices.push_back(static_cast<size_t>(it - joined.schema.begin()));
-  }
-  for (const auto& row : joined.rows) {
-    std::vector<CrpqValue> out_row;
-    out_row.reserve(indices.size());
-    for (size_t i : indices) out_row.push_back(row[i]);
-    rows->push_back(std::move(out_row));
-  }
-  std::sort(rows->begin(), rows->end());
-  rows->erase(std::unique(rows->begin(), rows->end()), rows->end());
+                 std::vector<std::vector<CrpqValue>>* rows,
+                 const QueryContext* ctx) {
+  Relation projected;
+  if (!rel::Project(joined, head, &projected, ctx)) return false;
+  *rows = std::move(projected.rows);
   return true;
 }
 

@@ -1,43 +1,42 @@
 #ifndef GQZOO_CRPQ_JOIN_H_
 #define GQZOO_CRPQ_JOIN_H_
 
-#include <algorithm>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "src/crpq/crpq.h"
+#include "src/rel/rel.h"
 #include "src/util/query_context.h"
 
 namespace gqzoo {
 namespace crpq_internal {
 
-/// An intermediate relation over named columns of CrpqValue cells, shared
-/// by the l-CRPQ and dl-CRPQ evaluators.
-struct Relation {
-  std::vector<std::string> schema;
-  std::vector<std::vector<CrpqValue>> rows;
-};
+/// The intermediate relation of the l-CRPQ / dl-CRPQ evaluators is the
+/// shared relational kernel instantiated at CrpqValue cells (endpoint
+/// nodes and object lists). Only endpoint variables can be shared between
+/// atoms, by conditions (3)–(4) of Section 3.1.5.
+using Relation = rel::Table<CrpqValue>;
 
-/// Deduplicates rows (set semantics).
-inline void Dedupe(Relation* r) {
-  std::sort(r->rows.begin(), r->rows.end());
-  r->rows.erase(std::unique(r->rows.begin(), r->rows.end()), r->rows.end());
+/// Deduplicates rows (set semantics). Skipped on a tripped context: a
+/// partial relation is about to be discarded, don't burn time sorting it.
+inline void Dedupe(Relation* r, const QueryContext* ctx = nullptr) {
+  rel::Dedupe(r, ctx);
 }
 
-/// Natural join on shared columns (only endpoint variables can be shared,
-/// by conditions (3)–(4) of Section 3.1.5). `ctx` (optional) governs the
-/// join: output tuples are charged against the memory budget at
-/// allocation — the join is where conjunctive queries blow up — and the
-/// result is partial once the context trips (callers must check it).
+/// Natural join on shared columns. `ctx` (optional) governs the join:
+/// output tuples are charged against the memory budget at allocation — the
+/// join is where conjunctive queries blow up — and the result is partial
+/// once the context trips (callers must check it). The per-tuple
+/// allocation is also the `"crpq.join.alloc"` fail-point site.
 Relation NaturalJoin(const Relation& a, const Relation& b,
                      const QueryContext* ctx = nullptr);
 
-/// Projects `joined` onto `head` and deduplicates; returns false if some
-/// head column is missing (only possible when the join short-circuited
-/// empty).
+/// Projects `joined` onto `head` and deduplicates (normalization skipped
+/// when `ctx` has tripped); returns false if some head column is missing
+/// (only possible when the join short-circuited empty).
 bool ProjectHead(const Relation& joined, const std::vector<std::string>& head,
-                 std::vector<std::vector<CrpqValue>>* rows);
+                 std::vector<std::vector<CrpqValue>>* rows,
+                 const QueryContext* ctx = nullptr);
 
 }  // namespace crpq_internal
 }  // namespace gqzoo

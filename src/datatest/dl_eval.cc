@@ -427,42 +427,61 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
   if (!valid.ok()) return valid.error();
   if (q.atoms.empty()) return Error("dl-CRPQ has no atoms");
 
+  // Compile (or borrow from the plan) every atom's automaton up front, and
+  // validate constants in textual order so errors are independent of the
+  // planner's join order.
+  std::vector<DlNfa> local_nfas;
+  const std::vector<DlNfa>* nfas = options.atom_nfas;
+  if (nfas == nullptr || nfas->size() != q.atoms.size()) {
+    local_nfas.reserve(q.atoms.size());
+    for (const CrpqAtom& atom : q.atoms) {
+      local_nfas.push_back(DlNfa::FromRegex(*atom.regex, g));
+    }
+    nfas = &local_nfas;
+  }
+  for (const CrpqAtom& atom : q.atoms) {
+    for (const CrpqTerm* t : {&atom.from, &atom.to}) {
+      if (t->is_constant && !g.FindNode(t->name).has_value()) {
+        return Error("unknown node constant '@" + t->name + "'");
+      }
+    }
+  }
+
+  const std::vector<size_t>* order = options.join_order;
+  const bool use_order =
+      order != nullptr && order->size() == q.atoms.size();
+
   bool truncated = false;
   Relation joined;
   bool first = true;
-  for (const CrpqAtom& atom : q.atoms) {
+  for (size_t step = 0; step < q.atoms.size(); ++step) {
+    const size_t atom_idx = use_order ? (*order)[step] : step;
+    const CrpqAtom& atom = q.atoms[atom_idx];
     if (ShouldStop(options.cancel)) {
       truncated = true;
       break;
     }
-    DlNfa nfa = DlNfa::FromRegex(*atom.regex, g);
+    const DlNfa& nfa = (*nfas)[atom_idx];
     DlEvaluator evaluator(g, nfa, options.snapshot);
     std::vector<std::string> list_vars = atom.regex->CaptureVariables();
 
-    auto resolve = [&](const CrpqTerm& t) -> Result<std::optional<NodeId>> {
-      if (!t.is_constant) return std::optional<NodeId>();
-      std::optional<NodeId> n = g.FindNode(t.name);
-      if (!n.has_value()) {
-        return Error("unknown node constant '@" + t.name + "'");
-      }
-      return std::optional<NodeId>(*n);
+    auto resolve = [&](const CrpqTerm& t) -> std::optional<NodeId> {
+      return t.is_constant ? g.FindNode(t.name) : std::nullopt;
     };
-    Result<std::optional<NodeId>> from_const = resolve(atom.from);
-    if (!from_const.ok()) return from_const.error();
-    Result<std::optional<NodeId>> to_const = resolve(atom.to);
-    if (!to_const.ok()) return to_const.error();
+    std::optional<NodeId> from_const = resolve(atom.from);
+    std::optional<NodeId> to_const = resolve(atom.to);
 
     std::vector<std::pair<NodeId, NodeId>> pairs;
-    if (from_const.value().has_value()) {
-      NodeId u = *from_const.value();
+    if (from_const.has_value()) {
+      NodeId u = *from_const;
       for (NodeId v : evaluator.ReachableFrom(u, options.cancel)) {
         pairs.emplace_back(u, v);
       }
     } else {
       pairs = evaluator.AllPairs(options.cancel);
     }
-    if (to_const.value().has_value()) {
-      NodeId v = *to_const.value();
+    if (to_const.has_value()) {
+      NodeId v = *to_const;
       std::erase_if(pairs, [v](const auto& p) { return p.second != v; });
     }
     const bool same_var = !atom.from.is_constant && !atom.to.is_constant &&
@@ -523,7 +542,7 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
     }
     // A relation left partial by a trip is about to be thrown away by the
     // engine; don't burn time sorting it (same contract as the RPQ path).
-    if (!HasStopped(options.cancel)) Dedupe(&rel);
+    Dedupe(&rel, options.cancel);
 
     if (first) {
       joined = std::move(rel);
@@ -538,7 +557,7 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
   result.head = q.head;
   result.truncated = truncated;
   if (!joined.rows.empty()) {
-    ProjectHead(joined, q.head, &result.rows);
+    ProjectHead(joined, q.head, &result.rows, options.cancel);
   }
   return result;
 }

@@ -76,6 +76,12 @@ struct DlCrpqEvalOptions {
   /// Optional label-partitioned view of the same graph (not owned); see
   /// DlEvaluator.
   const GraphSnapshot* snapshot = nullptr;
+  /// Precompiled per-atom automata, parallel to the query's atoms (not
+  /// owned). Null = compile per call; see CrpqEvalOptions::atom_nfas.
+  const std::vector<DlNfa>* atom_nfas = nullptr;
+  /// Planner execution order over atom indices; null (or wrong size) =
+  /// textual order. Result sets are identical either way.
+  const std::vector<size_t>* join_order = nullptr;
 };
 
 Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,

@@ -1,5 +1,7 @@
 #include "src/datatest/dl_rpq.h"
 
+#include <atomic>
+
 #include "src/automata/glushkov.h"
 
 namespace gqzoo {
@@ -35,7 +37,16 @@ bool DlAtom::Matches(const PropertyGraph& g, ObjectRef o, const Valuation& nu,
   return false;
 }
 
+namespace {
+std::atomic<uint64_t> dl_nfa_compile_count{0};
+}  // namespace
+
+uint64_t DlNfa::CompileCount() {
+  return dl_nfa_compile_count.load(std::memory_order_relaxed);
+}
+
 DlNfa DlNfa::FromRegex(const Regex& regex, const PropertyGraph& g) {
+  dl_nfa_compile_count.fetch_add(1, std::memory_order_relaxed);
   GlushkovAutomaton glushkov = BuildGlushkov(regex);
   DlNfa nfa;
   nfa.out_.assign(glushkov.position_atoms.size() + 1, {});

@@ -60,6 +60,10 @@ class DlNfa {
   /// resolve to match-nothing predicates / always-failing tests.
   static DlNfa FromRegex(const Regex& regex, const PropertyGraph& g);
 
+  /// Number of FromRegex calls since process start (monotone; thread-safe).
+  /// Lets tests assert that cached plans do not recompile their automata.
+  static uint64_t CompileCount();
+
   uint32_t num_states() const { return static_cast<uint32_t>(out_.size()); }
   uint32_t initial() const { return 0; }
   bool accepting(uint32_t s) const { return accepting_[s]; }

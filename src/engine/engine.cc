@@ -18,12 +18,40 @@
 
 namespace gqzoo {
 
+namespace {
+
+/// Renders a compiled plan for EXPLAIN. Only conjunctive plans (CRPQ,
+/// dl-CRPQ, CoreGQL) carry a join order; everything else compiles to a
+/// single automaton with nothing to reorder.
+std::string RenderExplain(const Plan& plan) {
+  if (const auto* crpq = std::get_if<CrpqPlan>(&plan.compiled)) {
+    return crpq->explain.ToString();
+  }
+  if (const auto* dl = std::get_if<DlCrpqPlan>(&plan.compiled)) {
+    return dl->explain.ToString();
+  }
+  if (const auto* gql = std::get_if<CoreGqlPlan>(&plan.compiled)) {
+    std::string out;
+    for (size_t i = 0; i < gql->block_explains.size(); ++i) {
+      if (gql->block_explains.size() > 1) {
+        out += "block " + std::to_string(i + 1) + ":\n";
+      }
+      out += gql->block_explains[i].ToString();
+    }
+    return out;
+  }
+  return "nothing to reorder: plan compiles to a single automaton\n";
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(PropertyGraph graph)
     : QueryEngine(std::move(graph), Options{}) {}
 
 QueryEngine::QueryEngine(PropertyGraph graph, Options options)
     : graph_(std::make_shared<const PropertyGraph>(std::move(graph))),
       snapshot_(BuildSnapshot(graph_)),
+      stats_(std::make_shared<const SnapshotStats>(*snapshot_)),
       rpq_shards_(options.rpq_shards),
       default_timeout_(options.default_timeout),
       default_budgets_(options.default_budgets),
@@ -42,13 +70,15 @@ std::shared_ptr<const GraphSnapshot> QueryEngine::BuildSnapshot(
 
 void QueryEngine::SetGraph(PropertyGraph graph) {
   auto next = std::make_shared<const PropertyGraph>(std::move(graph));
-  // Build the next epoch's CSR outside the lock: snapshot construction is
+  // Build the next epoch's CSR and statistics outside the lock: both are
   // O(|E|) and must not stall concurrent executions.
   auto next_snapshot = BuildSnapshot(next);
+  auto next_stats = std::make_shared<const SnapshotStats>(*next_snapshot);
   {
     std::lock_guard<std::mutex> lock(graph_mu_);
     graph_ = std::move(next);
     snapshot_ = std::move(next_snapshot);
+    stats_ = std::move(next_stats);
     ++epoch_;
   }
   metrics_.graph_epoch_bumps.Increment();
@@ -106,6 +136,7 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
   // SetGraph races with them.
   std::shared_ptr<const PropertyGraph> graph;
   std::shared_ptr<const GraphSnapshot> snapshot;
+  std::shared_ptr<const SnapshotStats> stats;
   uint64_t epoch;
   std::optional<std::chrono::milliseconds> timeout = request.timeout;
   ResourceBudgets budgets;
@@ -113,6 +144,7 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
     std::lock_guard<std::mutex> lock(graph_mu_);
     graph = graph_;
     snapshot = snapshot_;
+    stats = stats_;
     epoch = epoch_;
     if (!timeout.has_value()) timeout = default_timeout_;
     budgets = default_budgets_;
@@ -159,7 +191,8 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
   } else {
     metrics_.cache_misses.Increment();
     Result<PlanPtr> compiled = CompilePlan(request.language, request.text,
-                                           *graph, epoch, plan_options);
+                                           *graph, epoch, plan_options,
+                                           stats.get());
     if (!compiled.ok()) {
       metrics_.queries_error.Increment();
       if (compiled.error().code() == ErrorCode::kParse) {
@@ -169,6 +202,19 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
     }
     plan = std::move(compiled).value();
     cache_.Put(key, plan);
+  }
+
+  if (request.explain) {
+    // EXPLAIN renders the compiled plan instead of executing it. The plan
+    // was compiled (and cached) exactly as execution would have used it.
+    QueryResponse response;
+    response.text = RenderExplain(*plan);
+    response.cache_hit = cache_hit;
+    response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    metrics_.latency.Record(response.latency);
+    metrics_.queries_ok.Increment();
+    return response;
   }
 
   Result<QueryResponse> result =
@@ -294,6 +340,8 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     options.snapshot = &snapshot;
     options.pool = &pool_;
     options.num_shards = rpq_shards_;
+    options.atom_nfas = &crpq->atom_nfas;
+    if (!request.textual_join_order) options.join_order = &crpq->join_order;
     Result<CrpqResult> r = EvalCrpq(g.skeleton(), crpq->query, options);
     if (!r.ok()) return r.error();
     out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
@@ -307,6 +355,8 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     if (request.max_path_length) options.max_path_length = *request.max_path_length;
     options.cancel = cancel;
     options.snapshot = &snapshot;
+    options.atom_nfas = &dl->atom_nfas;
+    if (!request.textual_join_order) options.join_order = &dl->join_order;
     Result<CrpqResult> r = EvalDlCrpq(g, dl->query, options);
     if (!r.ok()) return r.error();
     out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
@@ -322,6 +372,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     if (request.max_results) options.path_options.max_results = *request.max_results;
     options.path_options.cancel = cancel;
     options.path_options.snapshot = &snapshot;
+    if (!request.textual_join_order) options.block_orders = &gql->block_orders;
     Result<CoreQueryResult> r = EvalCoreGqlQuery(g, gql->query, options);
     if (!r.ok()) return r.error();
     if (gql->optimized) {

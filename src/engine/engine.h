@@ -56,6 +56,16 @@ struct QueryRequest {
   /// CoreGQL only: WHERE-pushdown before evaluation (the shell's `gqlopt`).
   bool optimize = false;
 
+  /// Render the plan (conjunct join order + per-atom estimates) instead of
+  /// executing it. The plan is still compiled/cached exactly as it would be
+  /// for execution.
+  bool explain = false;
+
+  /// Ignore the planner's join order and evaluate conjuncts in textual
+  /// order (differential testing / benchmarking). Execution-time policy:
+  /// the cached plan is shared with planner-ordered requests.
+  bool textual_join_order = false;
+
   /// Overrides for the per-language enumeration limits (defaults preserve
   /// each evaluator's historical limits).
   std::optional<size_t> max_results;
@@ -171,6 +181,9 @@ class QueryEngine {
   mutable std::mutex graph_mu_;
   std::shared_ptr<const PropertyGraph> graph_;
   std::shared_ptr<const GraphSnapshot> snapshot_;  // built from *graph_
+  /// Per-label statistics read off `*snapshot_` (same epoch), feeding the
+  /// conjunct planner at compile time. Rebuilt with the snapshot.
+  std::shared_ptr<const SnapshotStats> stats_;
   uint64_t epoch_ = 0;
   size_t rpq_shards_ = 0;
   std::optional<std::chrono::milliseconds> default_timeout_;

@@ -4,6 +4,8 @@
 
 #include "src/coregql/pattern_parser.h"
 #include "src/crpq/crpq_parser.h"
+#include "src/planner/cost_model.h"
+#include "src/planner/planner.h"
 #include "src/regex/parser.h"
 
 namespace gqzoo {
@@ -14,11 +16,51 @@ Error AsParseError(const Error& e) {
   return Error(ErrorCode::kParse, e.message());
 }
 
+// Display form of an atom for EXPLAIN: "mode regex(from, to)".
+std::string AtomLabel(const CrpqAtom& atom) {
+  std::string out;
+  if (atom.mode != PathMode::kAll) {
+    out += PathModeName(atom.mode);
+    out += " ";
+  }
+  out += atom.regex->ToString();
+  out += "(";
+  out += atom.from.is_constant ? "@" + atom.from.name : atom.from.name;
+  out += ", ";
+  out += atom.to.is_constant ? "@" + atom.to.name : atom.to.name;
+  out += ")";
+  return out;
+}
+
+// Join variables of an atom: its non-constant endpoints. List variables
+// are never shared between atoms (condition (4) of Section 3.1.5), so
+// they play no role in connectivity.
+std::vector<std::string> AtomVars(const CrpqAtom& atom) {
+  std::vector<std::string> vars;
+  if (!atom.from.is_constant) vars.push_back(atom.from.name);
+  if (!atom.to.is_constant && atom.to.name != atom.from.name) {
+    vars.push_back(atom.to.name);
+  }
+  return vars;
+}
+
+// Orders `conjuncts` with the greedy planner when stats were supplied,
+// falling back to textual order (recorded as such) otherwise or for
+// single-conjunct queries.
+std::vector<size_t> OrderConjuncts(const std::vector<Conjunct>& conjuncts,
+                                   bool have_stats, ExplainInfo* explain) {
+  if (have_stats && conjuncts.size() > 1) {
+    return GreedyJoinOrder(conjuncts, explain);
+  }
+  return TextualJoinOrder(conjuncts, explain);
+}
+
 }  // namespace
 
 Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
                             const PropertyGraph& g, uint64_t graph_epoch,
-                            const PlanOptions& options) {
+                            const PlanOptions& options,
+                            const SnapshotStats* stats) {
   auto plan = std::make_shared<Plan>();
   plan->language = language;
   plan->text = text;
@@ -37,7 +79,24 @@ Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
       if (!query.ok()) return AsParseError(query.error());
       Result<bool> valid = query.value().Validate();
       if (!valid.ok()) return AsParseError(valid.error());
-      plan->compiled = CrpqPlan{std::move(query).value()};
+      CrpqPlan compiled;
+      compiled.query = std::move(query).value();
+      std::vector<Conjunct> conjuncts;
+      for (const CrpqAtom& atom : compiled.query.atoms) {
+        compiled.atom_nfas.push_back(Nfa::FromRegex(*atom.regex, g.skeleton()));
+        Conjunct c;
+        c.vars = AtomVars(atom);
+        c.label = AtomLabel(atom);
+        if (stats != nullptr) {
+          c.est_rows = EstimateCrpqAtom(*stats, compiled.atom_nfas.back(),
+                                        atom.regex->Nullable(), atom)
+                           .rows;
+        }
+        conjuncts.push_back(std::move(c));
+      }
+      compiled.join_order =
+          OrderConjuncts(conjuncts, stats != nullptr, &compiled.explain);
+      plan->compiled = std::move(compiled);
       break;
     }
     case QueryLanguage::kDlCrpq: {
@@ -45,7 +104,24 @@ Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
       if (!query.ok()) return AsParseError(query.error());
       Result<bool> valid = query.value().Validate();
       if (!valid.ok()) return AsParseError(valid.error());
-      plan->compiled = DlCrpqPlan{std::move(query).value()};
+      DlCrpqPlan compiled;
+      compiled.query = std::move(query).value();
+      std::vector<Conjunct> conjuncts;
+      for (const CrpqAtom& atom : compiled.query.atoms) {
+        compiled.atom_nfas.push_back(DlNfa::FromRegex(*atom.regex, g));
+        Conjunct c;
+        c.vars = AtomVars(atom);
+        c.label = AtomLabel(atom);
+        if (stats != nullptr) {
+          c.est_rows = EstimateDlCrpqAtom(*stats, compiled.atom_nfas.back(),
+                                          atom.regex->Nullable(), atom)
+                           .rows;
+        }
+        conjuncts.push_back(std::move(c));
+      }
+      compiled.join_order =
+          OrderConjuncts(conjuncts, stats != nullptr, &compiled.explain);
+      plan->compiled = std::move(compiled);
       break;
     }
     case QueryLanguage::kCoreGql: {
@@ -57,6 +133,26 @@ Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
         compiled.query = PushDownConditions(query.value(), &compiled.pushdown);
       } else {
         compiled.query = std::move(query).value();
+      }
+      for (const CoreMatchBlock& block : compiled.query.blocks) {
+        std::vector<Conjunct> conjuncts;
+        for (const CoreMatchBlock::PatternEntry& entry : block.patterns) {
+          Conjunct c;
+          if (entry.path_var.has_value()) c.vars.push_back(*entry.path_var);
+          std::vector<std::string> fv = entry.pattern->FreeVariables();
+          c.vars.insert(c.vars.end(), fv.begin(), fv.end());
+          c.label = (entry.path_var.has_value() ? *entry.path_var + " = " : "") +
+                    entry.pattern->ToString();
+          if (stats != nullptr) {
+            c.est_rows =
+                EstimateCorePattern(*stats, g.skeleton(), *entry.pattern);
+          }
+          conjuncts.push_back(std::move(c));
+        }
+        ExplainInfo explain;
+        compiled.block_orders.push_back(
+            OrderConjuncts(conjuncts, stats != nullptr, &explain));
+        compiled.block_explains.push_back(std::move(explain));
       }
       plan->compiled = std::move(compiled);
       break;

@@ -13,6 +13,8 @@
 #include "src/datatest/dl_rpq.h"
 #include "src/engine/language.h"
 #include "src/nested/regular_queries.h"
+#include "src/planner/explain.h"
+#include "src/planner/stats.h"
 #include "src/regex/ast.h"
 #include "src/util/result.h"
 
@@ -30,16 +32,30 @@ struct RpqPlan {
 
 struct CrpqPlan {
   Crpq query;
+  /// Per-atom Glushkov automata, parallel to `query.atoms` — compiled once
+  /// here so cached plans never recompile them per execution.
+  std::vector<Nfa> atom_nfas;
+  /// Conjunct execution order from the statistics-driven planner (textual
+  /// when compiled without stats), plus the EXPLAIN record behind it.
+  std::vector<size_t> join_order;
+  ExplainInfo explain;
 };
 
 struct DlCrpqPlan {
   Crpq query;  // atoms carry dl-dialect regexes
+  std::vector<DlNfa> atom_nfas;  // parallel to query.atoms
+  std::vector<size_t> join_order;
+  ExplainInfo explain;
 };
 
 struct CoreGqlPlan {
   CoreGqlQuery query;  // WHERE pushdown already applied when requested
   bool optimized = false;
   PushdownStats pushdown;
+  /// Per-block pattern-entry execution orders + EXPLAIN records, parallel
+  /// to `query.blocks`.
+  std::vector<std::vector<size_t>> block_orders;
+  std::vector<ExplainInfo> block_explains;
 };
 
 struct GqlGroupPlan {
@@ -85,9 +101,18 @@ struct PlanOptions {
 
 /// Parses `text` in `language` and compiles automata against `g`.
 /// Parse and validation failures come back as ErrorCode::kParse.
+///
+/// `stats` (optional, not owned, same epoch as `g`) enables the conjunct
+/// planner for CRPQ / dl-CRPQ / CoreGQL plans: atom result sizes are
+/// estimated from the per-label statistics and conjuncts are ordered
+/// smallest-first, connected-preferred. Without stats, conjuncts keep
+/// their textual order. `stats` is deliberately *not* a PlanOptions field:
+/// it does not change plan identity (the cache key already carries the
+/// graph epoch, which determines the statistics).
 Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
                             const PropertyGraph& g, uint64_t graph_epoch,
-                            const PlanOptions& options = {});
+                            const PlanOptions& options = {},
+                            const SnapshotStats* stats = nullptr);
 
 }  // namespace gqzoo
 

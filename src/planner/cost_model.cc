@@ -1,0 +1,182 @@
+#include "src/planner/cost_model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gqzoo {
+
+namespace {
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<uint64_t>::max() / a) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return a * b;
+}
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  return s < a ? std::numeric_limits<uint64_t>::max() : s;
+}
+
+/// Several paths (and hence list bindings) can share one endpoint pair;
+/// list-variable atoms get a flat multiplier since the statistics say
+/// nothing about path multiplicity.
+constexpr uint64_t kListVarFudge = 4;
+
+/// Edge/source/target bounds accumulated over a first or last set.
+struct BoundarySet {
+  uint64_t edges = 0;
+  uint64_t nodes = 0;  // distinct endpoint nodes on this side
+};
+
+// Folds endpoint-side bounds into the final estimate, shared by both
+// dialects once the first/last sets are reduced to BoundarySets.
+AtomEstimate Finish(const SnapshotStats& stats, BoundarySet first,
+                    BoundarySet last, bool nullable, bool has_list_vars,
+                    const CrpqAtom& atom) {
+  const uint64_t n = stats.num_nodes();
+  const uint64_t e = stats.num_edges();
+  first.edges = std::min(first.edges, e);
+  last.edges = std::min(last.edges, e);
+  first.nodes = std::min(first.nodes, n);
+  last.nodes = std::min(last.nodes, n);
+
+  AtomEstimate est;
+  est.distinct_from = std::max<uint64_t>(1, first.nodes);
+  est.distinct_to = std::max<uint64_t>(1, last.nodes);
+  // A match consumes a first-set edge and a last-set edge, and binds at
+  // most distinct_from × distinct_to endpoint pairs.
+  uint64_t pairs = std::min(std::min(first.edges, last.edges),
+                            SatMul(est.distinct_from, est.distinct_to));
+  if (nullable) {
+    // ε matches contribute (v, v) for every node.
+    pairs = SatAdd(pairs, n);
+    est.distinct_from = std::max<uint64_t>(est.distinct_from, n);
+    est.distinct_to = std::max<uint64_t>(est.distinct_to, n);
+  }
+
+  const bool same_var = !atom.from.is_constant && !atom.to.is_constant &&
+                        atom.from.name == atom.to.name;
+  if (same_var) {
+    // R(x, x) keeps only the diagonal.
+    pairs = std::min(pairs, std::min(est.distinct_from, est.distinct_to));
+  }
+  if (atom.from.is_constant) {
+    pairs = std::max<uint64_t>(1, pairs / est.distinct_from);
+    est.distinct_from = 1;
+  }
+  if (atom.to.is_constant) {
+    pairs = std::max<uint64_t>(1, pairs / est.distinct_to);
+    est.distinct_to = 1;
+  }
+  est.rows = std::max<uint64_t>(1, pairs);
+  if (has_list_vars) est.rows = SatMul(est.rows, kListVarFudge);
+  return est;
+}
+
+}  // namespace
+
+AtomEstimate EstimateCrpqAtom(const SnapshotStats& stats, const Nfa& nfa,
+                              bool nullable, const CrpqAtom& atom) {
+  BoundarySet first, last;
+  for (const Nfa::Transition& t : nfa.Out(nfa.initial())) {
+    first.edges = SatAdd(first.edges, stats.EdgesMatching(t.pred));
+    first.nodes = SatAdd(first.nodes, t.inverse ? stats.TargetsMatching(t.pred)
+                                                : stats.SourcesMatching(t.pred));
+  }
+  for (uint32_t s = 0; s < nfa.num_states(); ++s) {
+    for (const Nfa::Transition& t : nfa.Out(s)) {
+      if (!nfa.accepting(t.to)) continue;
+      last.edges = SatAdd(last.edges, stats.EdgesMatching(t.pred));
+      last.nodes = SatAdd(last.nodes, t.inverse ? stats.SourcesMatching(t.pred)
+                                                : stats.TargetsMatching(t.pred));
+    }
+  }
+  return Finish(stats, first, last, nullable,
+                !atom.regex->CaptureVariables().empty(), atom);
+}
+
+AtomEstimate EstimateDlCrpqAtom(const SnapshotStats& stats, const DlNfa& nfa,
+                                bool nullable, const CrpqAtom& atom) {
+  const uint64_t n = stats.num_nodes();
+  const uint64_t e = stats.num_edges();
+  auto fold = [&](const DlAtom& a, BoundarySet* side) {
+    if (a.is_test) {
+      // Tests re-match the current object: no edge-label selectivity.
+      side->edges = SatAdd(side->edges, e);
+      side->nodes = SatAdd(side->nodes, n);
+      return;
+    }
+    if (a.target == Atom::Target::kNode) {
+      uint64_t nodes = stats.NodesMatching(a.pred);
+      side->edges = SatAdd(side->edges, e);
+      side->nodes = SatAdd(side->nodes, nodes);
+      return;
+    }
+    side->edges = SatAdd(side->edges, stats.EdgesMatching(a.pred));
+    side->nodes = SatAdd(side->nodes, stats.SourcesMatching(a.pred));
+  };
+  BoundarySet first, last;
+  for (const DlNfa::Transition& t : nfa.Out(nfa.initial())) {
+    fold(t.atom, &first);
+  }
+  for (uint32_t s = 0; s < nfa.num_states(); ++s) {
+    for (const DlNfa::Transition& t : nfa.Out(s)) {
+      if (!nfa.accepting(t.to)) continue;
+      if (t.atom.is_test || t.atom.target == Atom::Target::kNode) {
+        fold(t.atom, &last);
+      } else {
+        last.edges = SatAdd(last.edges, stats.EdgesMatching(t.atom.pred));
+        last.nodes = SatAdd(last.nodes, stats.TargetsMatching(t.atom.pred));
+      }
+    }
+  }
+  return Finish(stats, first, last, nullable,
+                !atom.regex->CaptureVariables().empty(), atom);
+}
+
+uint64_t EstimateCorePattern(const SnapshotStats& stats,
+                             const EdgeLabeledGraph& g, const CorePattern& p) {
+  const uint64_t n = std::max<uint64_t>(1, stats.num_nodes());
+  const uint64_t e = stats.num_edges();
+  switch (p.kind()) {
+    case CorePattern::Kind::kNode: {
+      if (!p.label().has_value() || !stats.has_node_labels()) return n;
+      std::optional<LabelId> l = g.FindLabel(*p.label());
+      return l.has_value() ? std::max<uint64_t>(1, stats.NodeLabelCount(*l))
+                           : 1;
+    }
+    case CorePattern::Kind::kEdge: {
+      if (!p.label().has_value()) return std::max<uint64_t>(1, e);
+      std::optional<LabelId> l = g.FindLabel(*p.label());
+      return l.has_value() ? std::max<uint64_t>(1, stats.EdgeCount(*l)) : 1;
+    }
+    case CorePattern::Kind::kConcat: {
+      // Left and right meet on one shared endpoint: the classic
+      // |L| · |R| / n join selectivity.
+      uint64_t left = EstimateCorePattern(stats, g, *p.left());
+      uint64_t right = EstimateCorePattern(stats, g, *p.right());
+      return std::max<uint64_t>(1, SatMul(left, right) / n);
+    }
+    case CorePattern::Kind::kUnion:
+      return SatAdd(EstimateCorePattern(stats, g, *p.left()),
+                    EstimateCorePattern(stats, g, *p.right()));
+    case CorePattern::Kind::kRepeat: {
+      uint64_t inner = EstimateCorePattern(stats, g, *p.child());
+      // Transitive closure can reach up to n² pairs; estimate a small
+      // constant blow-up over one iteration, capped there.
+      uint64_t grown = std::min(SatMul(inner, 4), SatMul(n, n));
+      if (p.lo() == 0) grown = SatAdd(grown, n);  // ε contributes identity
+      return std::max<uint64_t>(1, grown);
+    }
+    case CorePattern::Kind::kCondition: {
+      // WHERE prunes; assume 1-in-3 selectivity (documented fudge).
+      uint64_t inner = EstimateCorePattern(stats, g, *p.child());
+      return std::max<uint64_t>(1, inner / 3);
+    }
+  }
+  return n;
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,56 @@
+#ifndef GQZOO_PLANNER_COST_MODEL_H_
+#define GQZOO_PLANNER_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/automata/nfa.h"
+#include "src/coregql/pattern.h"
+#include "src/crpq/crpq.h"
+#include "src/datatest/dl_rpq.h"
+#include "src/planner/stats.h"
+
+namespace gqzoo {
+
+/// The cost model's view of one conjunct: an estimated result-set size
+/// plus estimated distinct endpoint bindings (used to account for constant
+/// endpoints and self-joins).
+///
+/// Estimates consult only the regex's *first and last label sets* — the
+/// transitions out of the Glushkov automaton's initial state and into its
+/// accepting states. That is deliberate: first/last sets are exactly what
+/// per-label statistics can bound without evaluating the regex (a match
+/// must start with a first-set edge and end with a last-set edge, so
+/// |[[R]]| ≤ min(first-set edges, last-set edges) and the endpoint columns
+/// are bounded by the matching distinct sources/targets), and they are
+/// free — the NFA is already compiled into the plan. Anything deeper
+/// (e.g. chain selectivity through the regex body) would amount to
+/// partially evaluating the query at plan time.
+struct AtomEstimate {
+  uint64_t rows = 1;
+  uint64_t distinct_from = 1;
+  uint64_t distinct_to = 1;
+};
+
+/// Estimate for a plain / l-CRPQ atom compiled to `nfa`. `atom` supplies
+/// endpoint shape (constants, self-join) and list variables; `nullable`
+/// is `regex->Nullable()` (ε-matches contribute the identity pairs).
+AtomEstimate EstimateCrpqAtom(const SnapshotStats& stats, const Nfa& nfa,
+                              bool nullable, const CrpqAtom& atom);
+
+/// Estimate for a dl-CRPQ atom. Data-test and node atoms in the first /
+/// last sets carry no edge-label selectivity and degrade to whole-graph
+/// bounds (node-label counts for node atoms where available).
+AtomEstimate EstimateDlCrpqAtom(const SnapshotStats& stats, const DlNfa& nfa,
+                                bool nullable, const CrpqAtom& atom);
+
+/// Estimated match-relation size of a CoreGQL pattern, by structural
+/// recursion: node/edge atoms read label cardinalities, concatenation
+/// applies the shared-endpoint join selectivity |L|·|R|/n, union adds,
+/// repetition and conditions apply documented fudge factors (DESIGN.md).
+/// `g` resolves label names.
+uint64_t EstimateCorePattern(const SnapshotStats& stats,
+                             const EdgeLabeledGraph& g, const CorePattern& p);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_PLANNER_COST_MODEL_H_

@@ -1,0 +1,37 @@
+#ifndef GQZOO_PLANNER_EXPLAIN_H_
+#define GQZOO_PLANNER_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gqzoo {
+
+/// One conjunct in the chosen execution order.
+struct ExplainEntry {
+  size_t conjunct = 0;  // index of the conjunct in textual order
+  std::string label;    // display form (atom regex / pattern text)
+  std::vector<std::string> vars;  // join variables
+  uint64_t est_rows = 0;          // cost-model estimate
+  /// True when the conjunct shares a variable with the relation already
+  /// joined at this point (false for the first conjunct and for forced
+  /// cartesian products).
+  bool connected = false;
+};
+
+/// The record the conjunct planner attaches to a compiled plan: the chosen
+/// join order with per-conjunct estimates, rendered by `explain` in the
+/// shell and `--explain` in the batch driver. Execution follows
+/// `order[i].conjunct`; when `planned` is false the order is textual (the
+/// plan was compiled without statistics, or the query has a single
+/// conjunct).
+struct ExplainInfo {
+  bool planned = false;
+  std::vector<ExplainEntry> order;
+
+  std::string ToString() const;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_PLANNER_EXPLAIN_H_

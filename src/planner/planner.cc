@@ -1,0 +1,108 @@
+#include "src/planner/planner.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace gqzoo {
+
+namespace {
+
+void Record(const std::vector<Conjunct>& conjuncts,
+            const std::vector<size_t>& order,
+            const std::vector<bool>& connected, bool planned,
+            ExplainInfo* explain) {
+  if (explain == nullptr) return;
+  explain->planned = planned;
+  explain->order.clear();
+  for (size_t step = 0; step < order.size(); ++step) {
+    const Conjunct& c = conjuncts[order[step]];
+    ExplainEntry entry;
+    entry.conjunct = order[step];
+    entry.label = c.label;
+    entry.vars = c.vars;
+    entry.est_rows = c.est_rows;
+    entry.connected = connected[step];
+    explain->order.push_back(std::move(entry));
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> GreedyJoinOrder(const std::vector<Conjunct>& conjuncts,
+                                    ExplainInfo* explain) {
+  const size_t n = conjuncts.size();
+  std::vector<size_t> order;
+  std::vector<bool> connected_at(n, false);
+  std::vector<bool> used(n, false);
+  std::set<std::string> bound;
+
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = SIZE_MAX;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool connected =
+          step > 0 && std::any_of(conjuncts[i].vars.begin(),
+                                  conjuncts[i].vars.end(),
+                                  [&](const std::string& v) {
+                                    return bound.count(v) > 0;
+                                  });
+      // Prefer connected over cartesian, then cheaper, then textual.
+      if (best == SIZE_MAX || (connected && !best_connected) ||
+          (connected == best_connected &&
+           conjuncts[i].est_rows < conjuncts[best].est_rows)) {
+        best = i;
+        best_connected = connected;
+      }
+    }
+    used[best] = true;
+    connected_at[step] = best_connected;
+    order.push_back(best);
+    bound.insert(conjuncts[best].vars.begin(), conjuncts[best].vars.end());
+  }
+  Record(conjuncts, order, connected_at, /*planned=*/true, explain);
+  return order;
+}
+
+std::vector<size_t> TextualJoinOrder(const std::vector<Conjunct>& conjuncts,
+                                     ExplainInfo* explain) {
+  const size_t n = conjuncts.size();
+  std::vector<size_t> order(n);
+  std::vector<bool> connected_at(n, false);
+  std::set<std::string> bound;
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = i;
+    connected_at[i] =
+        i > 0 && std::any_of(conjuncts[i].vars.begin(), conjuncts[i].vars.end(),
+                             [&](const std::string& v) {
+                               return bound.count(v) > 0;
+                             });
+    bound.insert(conjuncts[i].vars.begin(), conjuncts[i].vars.end());
+  }
+  Record(conjuncts, order, connected_at, /*planned=*/false, explain);
+  return order;
+}
+
+std::string ExplainInfo::ToString() const {
+  std::ostringstream out;
+  out << "join order (" << (planned ? "planner" : "textual") << "):\n";
+  for (size_t step = 0; step < order.size(); ++step) {
+    const ExplainEntry& e = order[step];
+    out << "  " << step + 1 << ". [" << e.conjunct << "] " << e.label;
+    out << "  est_rows=" << e.est_rows;
+    if (step > 0) out << (e.connected ? "" : "  CARTESIAN");
+    if (!e.vars.empty()) {
+      out << "  vars=(";
+      for (size_t i = 0; i < e.vars.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << e.vars[i];
+      }
+      out << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gqzoo

@@ -1,0 +1,43 @@
+#ifndef GQZOO_PLANNER_PLANNER_H_
+#define GQZOO_PLANNER_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/planner/explain.h"
+
+namespace gqzoo {
+
+/// The planner's view of one conjunct of a conjunctive query: the CRPQ /
+/// dl-CRPQ atoms of Section 3.1.5 or the pattern entries of a CoreGQL
+/// MATCH block. `vars` are the *join* variables (endpoint variables for
+/// atoms — list variables are never shared, by condition (4); free
+/// variables plus the path variable for pattern entries).
+struct Conjunct {
+  std::vector<std::string> vars;
+  uint64_t est_rows = 1;
+  std::string label;  // display form for EXPLAIN
+};
+
+/// Greedy smallest-first join ordering: start from the cheapest conjunct,
+/// then repeatedly append the cheapest conjunct *connected* to the
+/// already-joined variable set (sharing at least one variable), falling
+/// back to the globally cheapest only when no conjunct is connected — a
+/// cartesian product is then unavoidable no matter the order. Ties break
+/// toward textual order, so equal estimates (in particular the no-stats
+/// case) reproduce the textual plan on connected queries.
+///
+/// Returns the execution order as a permutation of conjunct indices and,
+/// when `explain` is non-null, records the per-step entries (estimate and
+/// connectedness) there with `planned = true`.
+std::vector<size_t> GreedyJoinOrder(const std::vector<Conjunct>& conjuncts,
+                                    ExplainInfo* explain = nullptr);
+
+/// The identity (textual) order, recorded with `planned = false`.
+std::vector<size_t> TextualJoinOrder(const std::vector<Conjunct>& conjuncts,
+                                     ExplainInfo* explain = nullptr);
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_PLANNER_PLANNER_H_

@@ -1,0 +1,124 @@
+#include "src/planner/stats.h"
+
+#include <algorithm>
+
+namespace gqzoo {
+
+SnapshotStats::SnapshotStats(const GraphSnapshot& snapshot)
+    : num_nodes_(snapshot.NumNodes()),
+      num_edges_(snapshot.NumEdges()),
+      num_labels_(snapshot.NumLabels()),
+      has_node_labels_(snapshot.has_node_labels()) {
+  const EdgeLabeledGraph& g = snapshot.graph();
+  edge_count_.resize(num_labels_, 0);
+  distinct_src_.resize(num_labels_, 0);
+  distinct_tgt_.resize(num_labels_, 0);
+  node_label_count_.resize(num_labels_, 0);
+
+  std::vector<NodeId> srcs, tgts;
+  std::vector<NodeId> all_srcs, all_tgts;
+  all_srcs.reserve(num_edges_);
+  all_tgts.reserve(num_edges_);
+  auto count_distinct = [](std::vector<NodeId>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+    return static_cast<uint64_t>(v->size());
+  };
+  for (LabelId l = 0; l < num_labels_; ++l) {
+    GraphSnapshot::Slice slice = snapshot.EdgesWithLabel(l);
+    edge_count_[l] = slice.size();
+    srcs.clear();
+    tgts.clear();
+    srcs.reserve(slice.size());
+    tgts.reserve(slice.size());
+    for (const GraphSnapshot::Hop& hop : slice) {
+      srcs.push_back(g.Src(hop.edge));
+      tgts.push_back(hop.node);  // label-wide slices store the target
+    }
+    all_srcs.insert(all_srcs.end(), srcs.begin(), srcs.end());
+    all_tgts.insert(all_tgts.end(), tgts.begin(), tgts.end());
+    distinct_src_[l] = count_distinct(&srcs);
+    distinct_tgt_[l] = count_distinct(&tgts);
+    if (has_node_labels_) {
+      node_label_count_[l] = snapshot.NodesWithLabel(l).size();
+    }
+  }
+  any_src_ = count_distinct(&all_srcs);
+  any_tgt_ = count_distinct(&all_tgts);
+}
+
+uint64_t SnapshotStats::EdgeCount(LabelId l) const {
+  return l < num_labels_ ? edge_count_[l] : 0;
+}
+
+uint64_t SnapshotStats::DistinctSources(LabelId l) const {
+  return l < num_labels_ ? distinct_src_[l] : 0;
+}
+
+uint64_t SnapshotStats::DistinctTargets(LabelId l) const {
+  return l < num_labels_ ? distinct_tgt_[l] : 0;
+}
+
+uint64_t SnapshotStats::NodeLabelCount(LabelId l) const {
+  return l < num_labels_ ? node_label_count_[l] : 0;
+}
+
+namespace {
+
+// Sums `per_label` over the labels a predicate admits, capped at `cap`.
+uint64_t SumMatching(const LabelPred& pred,
+                     const std::vector<uint64_t>& per_label, uint64_t total,
+                     uint64_t cap) {
+  switch (pred.kind) {
+    case LabelPred::Kind::kNone:
+      return 0;
+    case LabelPred::Kind::kOne:
+      return pred.labels[0] < per_label.size() ? per_label[pred.labels[0]] : 0;
+    case LabelPred::Kind::kAny:
+      return std::min(total, cap);
+    case LabelPred::Kind::kNegSet: {
+      uint64_t excluded = 0;
+      for (LabelId l : pred.labels) {
+        if (l < per_label.size()) excluded += per_label[l];
+      }
+      uint64_t kept = total > excluded ? total - excluded : 0;
+      return std::min(kept, cap);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint64_t SnapshotStats::EdgesMatching(const LabelPred& pred) const {
+  return SumMatching(pred, edge_count_, num_edges_, num_edges_);
+}
+
+uint64_t SnapshotStats::SourcesMatching(const LabelPred& pred) const {
+  // kNegSet: subtracting per-label distinct counts can undershoot (a node
+  // may source both an excluded and an admitted label), so fall back to
+  // the any-label count as a safe upper bound.
+  if (pred.kind == LabelPred::Kind::kNegSet) {
+    return std::min<uint64_t>(any_src_, num_nodes_);
+  }
+  return SumMatching(pred, distinct_src_, any_src_, num_nodes_);
+}
+
+uint64_t SnapshotStats::TargetsMatching(const LabelPred& pred) const {
+  if (pred.kind == LabelPred::Kind::kNegSet) {
+    return std::min<uint64_t>(any_tgt_, num_nodes_);
+  }
+  return SumMatching(pred, distinct_tgt_, any_tgt_, num_nodes_);
+}
+
+uint64_t SnapshotStats::NodesMatching(const LabelPred& pred) const {
+  if (!has_node_labels_) return num_nodes_;
+  if (pred.kind == LabelPred::Kind::kOne) {
+    return NodeLabelCount(pred.labels[0]);
+  }
+  // Node labels are not partitioned like edge labels; stay conservative
+  // for the compound predicates.
+  return num_nodes_;
+}
+
+}  // namespace gqzoo

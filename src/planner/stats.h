@@ -1,0 +1,69 @@
+#ifndef GQZOO_PLANNER_STATS_H_
+#define GQZOO_PLANNER_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/automata/nfa.h"
+#include "src/graph/csr.h"
+
+namespace gqzoo {
+
+/// Exact per-label statistics read off a `GraphSnapshot`, built once per
+/// graph epoch next to the snapshot itself and shared read-only by every
+/// plan compilation of that epoch.
+///
+/// The snapshot's label-partitioned CSR already holds per-label edge
+/// slices, so edge counts are free; distinct source/target counts cost one
+/// sort-unique per label at build time (O(E log E) total, amortized over
+/// every query of the epoch). These are *exact* counts, not sketches —
+/// the cost model's error comes from composing them across a regex, never
+/// from the base statistics.
+class SnapshotStats {
+ public:
+  /// Borrows `snapshot` (and its graph) for the duration of construction
+  /// only; the built statistics are self-contained.
+  explicit SnapshotStats(const GraphSnapshot& snapshot);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return num_edges_; }
+  size_t num_labels() const { return num_labels_; }
+
+  /// Number of edges carrying label `l`.
+  uint64_t EdgeCount(LabelId l) const;
+  /// Number of distinct source / target nodes over edges with label `l`.
+  uint64_t DistinctSources(LabelId l) const;
+  uint64_t DistinctTargets(LabelId l) const;
+  /// Number of nodes carrying node label `l` (0 when the snapshot was
+  /// built without node labels; see `has_node_labels`).
+  uint64_t NodeLabelCount(LabelId l) const;
+  bool has_node_labels() const { return has_node_labels_; }
+
+  /// Lifts the per-label counts to automaton transition predicates (the
+  /// label algebra of Remark 11): exact for kOne/kAny/kNone, and for
+  /// kNegSet on edges; distinct-node counts for non-singleton predicates
+  /// are sums capped at the node count (an upper bound — a node can source
+  /// edges of several labels).
+  uint64_t EdgesMatching(const LabelPred& pred) const;
+  uint64_t SourcesMatching(const LabelPred& pred) const;
+  uint64_t TargetsMatching(const LabelPred& pred) const;
+  /// Node-label analogue for node atoms (dl-RPQs, CoreGQL node patterns);
+  /// every node matches when the snapshot has no node-label index.
+  uint64_t NodesMatching(const LabelPred& pred) const;
+
+ private:
+  size_t num_nodes_ = 0;
+  size_t num_edges_ = 0;
+  size_t num_labels_ = 0;
+  bool has_node_labels_ = false;
+  std::vector<uint64_t> edge_count_;
+  std::vector<uint64_t> distinct_src_;
+  std::vector<uint64_t> distinct_tgt_;
+  std::vector<uint64_t> node_label_count_;
+  uint64_t any_src_ = 0;  // distinct sources over all edges
+  uint64_t any_tgt_ = 0;  // distinct targets over all edges
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_PLANNER_STATS_H_

@@ -1,0 +1,69 @@
+#ifndef GQZOO_REL_CELL_H_
+#define GQZOO_REL_CELL_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/path.h"
+#include "src/util/interner.h"
+#include "src/util/value.h"
+
+namespace gqzoo {
+namespace rel {
+
+/// Hashing for the cell universe of the relational kernel (rel.h).
+///
+/// The kernel's hash join keys rows by their shared columns, so every cell
+/// type a `Table<Cell>` instantiation uses needs a `HashCell` overload.
+/// The two instantiations in the tree share these component types:
+///
+///   - `CrpqValue  = std::variant<NodeId, ObjectList>`  (crpq/crpq.h)
+///   - `CoreCell   = std::variant<ObjectRef, Value, Path>` (coregql/relation.h)
+///
+/// Variants hash as (alternative index, alternative hash) so equal cells
+/// hash equal and cells of different alternatives rarely collide.
+
+inline size_t HashCell(uint32_t v) {  // NodeId / EdgeId / LabelId
+  return HashCombine(0x9e3779b97f4a7c15ull, v);
+}
+
+inline size_t HashCell(const ObjectRef& o) { return ObjectRefHash()(o); }
+
+inline size_t HashCell(const ObjectList& list) {
+  size_t h = list.size();
+  for (const ObjectRef& o : list) h = HashCombine(h, ObjectRefHash()(o));
+  return h;
+}
+
+inline size_t HashCell(const Value& v) { return v.Hash(); }
+
+inline size_t HashCell(const Path& p) { return p.Hash(); }
+
+template <typename... Ts>
+size_t HashCell(const std::variant<Ts...>& cell) {
+  return HashCombine(
+      cell.index(),
+      std::visit([](const auto& alt) { return HashCell(alt); }, cell));
+}
+
+/// Hash of a join key (the shared-column projection of a row).
+template <typename Cell>
+size_t HashRow(const std::vector<Cell>& row) {
+  size_t h = row.size();
+  for (const Cell& cell : row) h = HashCombine(h, HashCell(cell));
+  return h;
+}
+
+template <typename Cell>
+struct RowHash {
+  size_t operator()(const std::vector<Cell>& row) const {
+    return HashRow(row);
+  }
+};
+
+}  // namespace rel
+}  // namespace gqzoo
+
+#endif  // GQZOO_REL_CELL_H_

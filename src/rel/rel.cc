@@ -1,0 +1,22 @@
+#include "src/rel/rel.h"
+
+namespace gqzoo {
+namespace rel {
+
+JoinLayout ComputeJoinLayout(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  JoinLayout layout;
+  for (size_t j = 0; j < b.size(); ++j) {
+    auto it = std::find(a.begin(), a.end(), b[j]);
+    if (it != a.end()) {
+      layout.shared_a.push_back(static_cast<size_t>(it - a.begin()));
+      layout.shared_b.push_back(j);
+    } else {
+      layout.b_only.push_back(j);
+    }
+  }
+  return layout;
+}
+
+}  // namespace rel
+}  // namespace gqzoo

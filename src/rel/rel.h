@@ -1,0 +1,186 @@
+#ifndef GQZOO_REL_REL_H_
+#define GQZOO_REL_REL_H_
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/rel/cell.h"
+#include "src/util/failpoint.h"
+#include "src/util/query_context.h"
+
+namespace gqzoo {
+namespace rel {
+
+/// The unified relational kernel: one schema'd relation type over a
+/// generic cell, shared by the l-CRPQ / dl-CRPQ evaluators
+/// (`Cell = CrpqValue`) and CoreGQL (`Cell = CoreCell`).
+///
+/// Relations are under set semantics; operators that can introduce
+/// duplicates (projection) normalize, and the join of normalized inputs is
+/// normalized by construction. Every operator takes an optional
+/// `QueryContext`: output tuples are charged against the memory budget at
+/// allocation (the join is where conjunctive queries blow up, Section
+/// 3.1.5), and a tripped context makes operators unwind promptly with a
+/// partial result — in particular, normalization is *skipped* on a tripped
+/// context, since the caller is about to discard the rows anyway (the
+/// prompt-unwinding contract of the resource governor).
+template <typename Cell>
+struct Table {
+  std::vector<std::string> schema;
+  std::vector<std::vector<Cell>> rows;
+
+  size_t AttrIndex(const std::string& name) const {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i] == name) return i;
+    }
+    return SIZE_MAX;
+  }
+};
+
+/// The column pairing of a natural join: positions of shared attributes in
+/// each input, plus the b-only tail appended to a's schema.
+struct JoinLayout {
+  std::vector<size_t> shared_a;
+  std::vector<size_t> shared_b;
+  std::vector<size_t> b_only;
+};
+
+JoinLayout ComputeJoinLayout(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+
+/// Sorts rows and removes duplicates (set semantics). Skipped on a tripped
+/// context: partial results are discarded by the caller, so ordering them
+/// would only delay the unwind.
+template <typename Cell>
+void Dedupe(Table<Cell>* t, const QueryContext* ctx = nullptr) {
+  if (HasStopped(ctx)) return;
+  std::sort(t->rows.begin(), t->rows.end());
+  t->rows.erase(std::unique(t->rows.begin(), t->rows.end()), t->rows.end());
+}
+
+/// Natural join on shared attribute names (cartesian product if none).
+///
+/// The build index on `b`'s shared columns is an unordered, reserve-ahead
+/// hash map — transient, so its bytes are a scoped charge returned when
+/// the join finishes. Output tuples are the join's dominant retained term:
+/// each is charged at allocation, which is also where the simulated
+/// alloc-failure fail-point (`alloc_failpoint`, when non-null and the join
+/// is governed) fires. Output order: for each `a` row in order, the
+/// matching `b` rows in `b` order — identical to the ordered-map
+/// predecessor, so rendered results are byte-stable.
+template <typename Cell>
+Table<Cell> NaturalJoin(const Table<Cell>& a, const Table<Cell>& b,
+                        const QueryContext* ctx = nullptr,
+                        const char* alloc_failpoint = nullptr) {
+  JoinLayout layout = ComputeJoinLayout(a.schema, b.schema);
+  Table<Cell> out;
+  out.schema = a.schema;
+  for (size_t j : layout.b_only) out.schema.push_back(b.schema[j]);
+
+  ScopedMemoryCharge index_bytes(ctx);
+  std::unordered_map<std::vector<Cell>, std::vector<size_t>, RowHash<Cell>>
+      index;
+  index.reserve(b.rows.size());
+  for (size_t i = 0; i < b.rows.size(); ++i) {
+    if (!index_bytes.Charge(layout.shared_b.size() * sizeof(Cell) + 48)) {
+      return out;
+    }
+    std::vector<Cell> key;
+    key.reserve(layout.shared_b.size());
+    for (size_t j : layout.shared_b) key.push_back(b.rows[i][j]);
+    index[std::move(key)].push_back(i);
+  }
+
+  const uint64_t tuple_bytes = out.schema.size() * sizeof(Cell) + 32;
+  std::vector<Cell> key;
+  for (const auto& row_a : a.rows) {
+    if (ShouldStop(ctx)) return out;
+    key.clear();
+    for (size_t j : layout.shared_a) key.push_back(row_a[j]);
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (size_t i : it->second) {
+      if (ctx != nullptr && alloc_failpoint != nullptr &&
+          Failpoint::ShouldFail(alloc_failpoint)) {
+        ctx->Trip(StopCause::kMemoryBudget);
+        return out;
+      }
+      if (!ChargeMemory(ctx, tuple_bytes)) return out;
+      std::vector<Cell> row = row_a;
+      for (size_t j : layout.b_only) row.push_back(b.rows[i][j]);
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+/// Semijoin-style filter: the rows of `a` that join with at least one row
+/// of `b` on the shared attributes (all of `a` when none are shared). The
+/// planner-ordered evaluators use this shape to pre-shrink an expensive
+/// conjunct against an already-computed small one without materializing
+/// the join.
+template <typename Cell>
+Table<Cell> SemiJoin(const Table<Cell>& a, const Table<Cell>& b,
+                     const QueryContext* ctx = nullptr) {
+  JoinLayout layout = ComputeJoinLayout(a.schema, b.schema);
+  Table<Cell> out;
+  out.schema = a.schema;
+  if (layout.shared_b.empty()) {
+    if (!b.rows.empty()) out.rows = a.rows;
+    return out;
+  }
+  ScopedMemoryCharge index_bytes(ctx);
+  std::unordered_map<std::vector<Cell>, bool, RowHash<Cell>> index;
+  index.reserve(b.rows.size());
+  for (const auto& row_b : b.rows) {
+    if (!index_bytes.Charge(layout.shared_b.size() * sizeof(Cell) + 48)) {
+      return out;
+    }
+    std::vector<Cell> key;
+    key.reserve(layout.shared_b.size());
+    for (size_t j : layout.shared_b) key.push_back(row_b[j]);
+    index.emplace(std::move(key), true);
+  }
+  std::vector<Cell> key;
+  for (const auto& row_a : a.rows) {
+    if (ShouldStop(ctx)) return out;
+    key.clear();
+    for (size_t j : layout.shared_a) key.push_back(row_a[j]);
+    if (index.find(key) == index.end()) continue;
+    if (!ChargeMemory(ctx, a.schema.size() * sizeof(Cell) + 32)) return out;
+    out.rows.push_back(row_a);
+  }
+  return out;
+}
+
+/// π_attrs with normalization (duplicates removed unless the context has
+/// tripped). Returns false if some attribute is missing from the schema.
+template <typename Cell>
+bool Project(const Table<Cell>& t, const std::vector<std::string>& attrs,
+             Table<Cell>* out, const QueryContext* ctx = nullptr) {
+  std::vector<size_t> indices;
+  for (const std::string& x : attrs) {
+    size_t i = t.AttrIndex(x);
+    if (i == SIZE_MAX) return false;
+    indices.push_back(i);
+  }
+  out->schema = attrs;
+  out->rows.clear();
+  out->rows.reserve(t.rows.size());
+  for (const auto& row : t.rows) {
+    std::vector<Cell> out_row;
+    out_row.reserve(indices.size());
+    for (size_t i : indices) out_row.push_back(row[i]);
+    out->rows.push_back(std::move(out_row));
+  }
+  Dedupe(out, ctx);
+  return true;
+}
+
+}  // namespace rel
+}  // namespace gqzoo
+
+#endif  // GQZOO_REL_REL_H_
