@@ -33,6 +33,7 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -270,10 +271,27 @@ int main(int argc, char** argv) {
   }
 
   size_t ok = 0, failed = 0, shed = 0;
+  // Per-case failure records for the exit summary: a non-OK status must be
+  // visible (and the exit code nonzero) even under --quiet.
+  struct FailedCase {
+    size_t index;
+    ErrorCode code;
+    std::string query;
+    std::string message;
+  };
+  std::vector<FailedCase> failures;
+  std::map<ErrorCode, size_t> failures_by_code;
   for (size_t i = 0; i < futures.size(); ++i) {
     Result<QueryResponse> r = futures[i].get();
     const QueryRequest& request = requests[i % requests.size()];
     if (!r.ok() && r.error().code() == ErrorCode::kOverloaded) ++shed;
+    if (!r.ok()) {
+      failures.push_back({i, r.error().code(),
+                          std::string(QueryLanguageName(request.language)) +
+                              " " + request.text,
+                          r.error().message()});
+      ++failures_by_code[r.error().code()];
+    }
     if (r.ok()) {
       ++ok;
       if (explain && !quiet) {
@@ -307,5 +325,17 @@ int main(int argc, char** argv) {
          secs > 0 ? static_cast<double>(futures.size()) / secs : 0.0,
          engine.num_threads());
   printf("%s", engine.StatsReport().c_str());
+
+  if (!failures.empty()) {
+    printf("\nFAILED: %zu of %zu queries returned a non-OK status\n",
+           failures.size(), futures.size());
+    for (const auto& [code, count] : failures_by_code) {
+      printf("  %-20s %zu\n", ErrorCodeName(code), count);
+    }
+    for (const FailedCase& f : failures) {
+      printf("  [%zu] %s -> [%s] %s\n", f.index, f.query.c_str(),
+             ErrorCodeName(f.code), f.message.c_str());
+    }
+  }
   return failed == 0 ? 0 : 1;
 }

@@ -456,6 +456,12 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
       out << results.size() << " paths\n";
       response.num_rows = results.size();
     } else {
+      if (paths->nfa.has_value() && paths->nfa->HasInverse()) {
+        // PMRs and the simple/trail search are one-way; an inverse atom
+        // would be silently treated as forward (or trip a PMR assert).
+        return Error(ErrorCode::kInvalidArgument,
+                     "path enumeration requires a one-way regex");
+      }
       EnumerationLimits limits;
       limits.max_results = request.max_results.value_or(50);
       limits.max_length = request.max_path_length.value_or(32);

@@ -1,0 +1,137 @@
+#include "src/fuzz/fuzz_case.h"
+
+#include <sstream>
+
+#include "src/graph/graph_io.h"
+
+namespace gqzoo {
+namespace fuzz {
+
+namespace {
+
+const char* PathModeToken(PathMode mode) {
+  switch (mode) {
+    case PathMode::kAll: return "all";
+    case PathMode::kShortest: return "shortest";
+    case PathMode::kSimple: return "simple";
+    case PathMode::kTrail: return "trail";
+  }
+  return "all";
+}
+
+Result<PathMode> ParsePathModeToken(const std::string& s) {
+  if (s == "all") return PathMode::kAll;
+  if (s == "shortest") return PathMode::kShortest;
+  if (s == "simple") return PathMode::kSimple;
+  if (s == "trail") return PathMode::kTrail;
+  return Error(ErrorCode::kParse, "unknown path mode '" + s + "'");
+}
+
+}  // namespace
+
+QueryRequest FuzzCase::ToRequest() const {
+  QueryRequest request;
+  request.language = language;
+  request.text = query_text;
+  if (language == QueryLanguage::kPaths) {
+    request.paths.from = paths_from;
+    request.paths.to = paths_to;
+    request.paths.mode = paths_mode;
+  }
+  return request;
+}
+
+std::string FuzzCase::ToText() const {
+  std::ostringstream out;
+  out << "# gqzoo fuzz case\n";
+  out << "seed " << seed << "\n";
+  out << "lang " << QueryLanguageName(language) << "\n";
+  out << "query " << query_text << "\n";
+  if (language == QueryLanguage::kPaths) {
+    out << "paths " << paths_from << " " << paths_to << " "
+        << PathModeToken(paths_mode) << "\n";
+  }
+  if (step_budget != 0) out << "budget_steps " << step_budget << "\n";
+  if (memory_budget != 0) out << "budget_memory " << memory_budget << "\n";
+  out << "graph\n" << graph_text;
+  if (!graph_text.empty() && graph_text.back() != '\n') out << "\n";
+  out << "end\n";
+  return out.str();
+}
+
+Result<FuzzCase> ParseFuzzCase(const std::string& text) {
+  FuzzCase c;
+  std::istringstream in(text);
+  std::string line;
+  bool in_graph = false;
+  bool saw_query = false;
+  std::ostringstream graph;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (in_graph) {
+      if (line == "end") {
+        in_graph = false;
+        continue;
+      }
+      graph << line << "\n";
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    std::string rest;
+    std::getline(fields, rest);
+    if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+    if (key == "seed") {
+      c.seed = strtoull(rest.c_str(), nullptr, 10);
+    } else if (key == "lang") {
+      Result<QueryLanguage> lang = ParseQueryLanguage(rest);
+      if (!lang.ok()) return lang.error();
+      c.language = lang.value();
+    } else if (key == "query") {
+      c.query_text = rest;
+      saw_query = true;
+    } else if (key == "paths") {
+      std::istringstream args(rest);
+      std::string from, to, mode;
+      if (!(args >> from >> to >> mode)) {
+        return Error(ErrorCode::kParse,
+                     "line " + std::to_string(lineno) +
+                         ": paths needs <from> <to> <mode>");
+      }
+      c.paths_from = from;
+      c.paths_to = to;
+      Result<PathMode> m = ParsePathModeToken(mode);
+      if (!m.ok()) return m.error();
+      c.paths_mode = m.value();
+    } else if (key == "budget_steps") {
+      c.step_budget = strtoull(rest.c_str(), nullptr, 10);
+    } else if (key == "budget_memory") {
+      c.memory_budget = strtoull(rest.c_str(), nullptr, 10);
+    } else if (key == "graph") {
+      in_graph = true;
+    } else {
+      return Error(ErrorCode::kParse, "line " + std::to_string(lineno) +
+                                          ": unknown key '" + key + "'");
+    }
+  }
+  if (in_graph) {
+    return Error(ErrorCode::kParse, "unterminated graph block (missing 'end')");
+  }
+  if (!saw_query) return Error(ErrorCode::kParse, "case has no query line");
+  c.graph_text = graph.str();
+  if (c.graph_text.empty()) {
+    return Error(ErrorCode::kParse, "case has no graph block");
+  }
+  return c;
+}
+
+Result<PropertyGraph> ParseCaseGraph(const FuzzCase& c) {
+  return ParsePropertyGraph(c.graph_text);
+}
+
+}  // namespace fuzz
+}  // namespace gqzoo

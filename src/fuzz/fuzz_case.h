@@ -1,0 +1,65 @@
+#ifndef GQZOO_FUZZ_FUZZ_CASE_H_
+#define GQZOO_FUZZ_FUZZ_CASE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/crpq/crpq.h"
+#include "src/engine/engine.h"
+#include "src/engine/language.h"
+#include "src/graph/graph.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+namespace fuzz {
+
+/// One generated test case: a property graph (as gqzoo graph text), a query
+/// in one of the zoo languages (as surface text), and the execution policy
+/// the oracle should inject. Everything is text so a case round-trips
+/// through a corpus file and a failing case is a ready-to-commit artifact.
+struct FuzzCase {
+  /// The per-case seed that generated this case (0 for hand-written
+  /// corpus entries). Purely informational after generation.
+  uint64_t seed = 0;
+
+  std::string graph_text;  // graph_io text format
+  QueryLanguage language = QueryLanguage::kRpq;
+  std::string query_text;
+
+  /// kPaths only: endpoints and mode.
+  std::string paths_from;
+  std::string paths_to;
+  PathMode paths_mode = PathMode::kAll;
+
+  /// Injected budgets for the error-parity leg of the oracle (0 = none;
+  /// the ungoverned differential legs always run without them).
+  uint64_t step_budget = 0;
+  uint64_t memory_budget = 0;
+
+  /// Builds the engine request for this case (no budgets attached).
+  QueryRequest ToRequest() const;
+
+  /// Serializes to the corpus file format (parsed back by ParseFuzzCase):
+  ///
+  ///     # gqzoo fuzz case
+  ///     seed 42
+  ///     lang crpq
+  ///     query q(x, y) := a(x, y), b(y, x)
+  ///     budget_steps 500
+  ///     graph
+  ///     node n0 :N
+  ///     edge :a n0 -> n0
+  ///     end
+  std::string ToText() const;
+};
+
+Result<FuzzCase> ParseFuzzCase(const std::string& text);
+
+/// Parses the case's graph text (convenience; errors mean a corpus file or
+/// a minimizer step produced an invalid graph).
+Result<PropertyGraph> ParseCaseGraph(const FuzzCase& c);
+
+}  // namespace fuzz
+}  // namespace gqzoo
+
+#endif  // GQZOO_FUZZ_FUZZ_CASE_H_

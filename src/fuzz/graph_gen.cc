@@ -1,0 +1,237 @@
+#include "src/fuzz/graph_gen.h"
+
+#include <cassert>
+
+namespace gqzoo {
+namespace fuzz {
+
+namespace {
+
+constexpr const char* kEdgeLabels[] = {"a", "b", "c", "d", "e", "f"};
+constexpr size_t kMaxAlphabet = sizeof(kEdgeLabels) / sizeof(kEdgeLabels[0]);
+
+const char* NodeLabelFor(FuzzRng* rng) {
+  return rng->Percent(75) ? "N" : "M";
+}
+
+/// Copies `g` applying node/edge keep-masks, an edge-label rename, and a
+/// name prefix, into `*out` (which may already hold other elements — the
+/// disjoint-union path). Properties ride along verbatim.
+void CopyInto(const PropertyGraph& g, const std::vector<bool>* keep_nodes,
+              const std::vector<bool>* keep_edges,
+              const std::map<std::string, std::string>* rename,
+              const std::string& prefix, PropertyGraph* out) {
+  std::vector<NodeId> node_map(g.NumNodes(), kInvalidId);
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (keep_nodes != nullptr && !(*keep_nodes)[n]) continue;
+    // Node and edge labels share one interner, so the rename map applies
+    // to both.
+    std::string node_label = g.LabelName(g.NodeLabel(n));
+    if (rename != nullptr) {
+      auto it = rename->find(node_label);
+      if (it != rename->end()) node_label = it->second;
+    }
+    NodeId copy = out->AddNode(prefix + g.NodeName(n), node_label);
+    node_map[n] = copy;
+    for (const auto& [prop, value] : g.PropertiesOf(ObjectRef::Node(n))) {
+      out->SetProperty(ObjectRef::Node(copy), g.PropertyName(prop), value);
+    }
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (keep_edges != nullptr && !(*keep_edges)[e]) continue;
+    NodeId src = node_map[g.Src(e)];
+    NodeId tgt = node_map[g.Tgt(e)];
+    if (src == kInvalidId || tgt == kInvalidId) continue;  // endpoint dropped
+    std::string label = g.LabelName(g.EdgeLabel(e));
+    if (rename != nullptr) {
+      auto it = rename->find(label);
+      if (it != rename->end()) label = it->second;
+    }
+    EdgeId copy = out->AddEdge(src, tgt, label, prefix + g.EdgeName(e));
+    for (const auto& [prop, value] : g.PropertiesOf(ObjectRef::Edge(e))) {
+      out->SetProperty(ObjectRef::Edge(copy), g.PropertyName(prop), value);
+    }
+  }
+}
+
+void MaybeProps(FuzzRng* rng, const GraphGenOptions& options, ObjectRef o,
+                PropertyGraph* g) {
+  if (!rng->Percent(options.property_percent)) return;
+  g->SetProperty(o, "k", Value(static_cast<int64_t>(rng->Below(5))));
+}
+
+}  // namespace
+
+const char* GraphFamilyName(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kChain: return "chain";
+    case GraphFamily::kCycle: return "cycle";
+    case GraphFamily::kClique: return "clique";
+    case GraphFamily::kParallelChain: return "parallel-chain";
+    case GraphFamily::kDiamond: return "diamond";
+    case GraphFamily::kRandom: return "random";
+    case GraphFamily::kSparseRandom: return "sparse-random";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> LabelAlphabet(size_t num_labels) {
+  if (num_labels > kMaxAlphabet) num_labels = kMaxAlphabet;
+  std::vector<std::string> labels;
+  for (size_t i = 0; i < num_labels; ++i) labels.push_back(kEdgeLabels[i]);
+  return labels;
+}
+
+PropertyGraph GenGraph(FuzzRng* rng, const GraphGenOptions& options,
+                       GraphFamily* family_out,
+                       std::vector<std::string>* labels_out) {
+  const auto family =
+      static_cast<GraphFamily>(rng->Index(kNumGraphFamilies));
+  const size_t num_labels = rng->Range(1, options.max_labels);
+  std::vector<std::string> labels = LabelAlphabet(num_labels);
+  if (family_out != nullptr) *family_out = family;
+  if (labels_out != nullptr) *labels_out = labels;
+
+  PropertyGraph g;
+  auto add_node = [&]() {
+    NodeId n = g.AddNode("n" + std::to_string(g.NumNodes()),
+                         NodeLabelFor(rng));
+    MaybeProps(rng, options, ObjectRef::Node(n), &g);
+    return n;
+  };
+  auto add_edge = [&](NodeId src, NodeId tgt) {
+    EdgeId e = g.AddEdge(src, tgt, labels[rng->Index(labels.size())]);
+    MaybeProps(rng, options, ObjectRef::Edge(e), &g);
+    return e;
+  };
+
+  switch (family) {
+    case GraphFamily::kChain: {
+      const size_t n = rng->Range(2, options.max_nodes);
+      for (size_t i = 0; i < n; ++i) add_node();
+      for (size_t i = 0; i + 1 < n; ++i) {
+        add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+      }
+      break;
+    }
+    case GraphFamily::kCycle: {
+      const size_t n = rng->Range(2, options.max_nodes);
+      for (size_t i = 0; i < n; ++i) add_node();
+      for (size_t i = 0; i < n; ++i) {
+        add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+      }
+      break;
+    }
+    case GraphFamily::kClique: {
+      // Dense: keep tiny so the full oracle matrix stays fast.
+      const size_t n = rng->Range(2, options.max_nodes < 5 ? options.max_nodes : 5);
+      for (size_t i = 0; i < n; ++i) add_node();
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          if (i != j) add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+        }
+      }
+      break;
+    }
+    case GraphFamily::kParallelChain: {
+      const size_t hops = rng->Range(1, 4);
+      const size_t parallel = rng->Range(2, 3);
+      for (size_t i = 0; i <= hops; ++i) add_node();
+      for (size_t i = 0; i < hops; ++i) {
+        for (size_t p = 0; p < parallel; ++p) {
+          add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+        }
+      }
+      break;
+    }
+    case GraphFamily::kDiamond: {
+      // source -> layer of `width` -> sink, possibly repeated.
+      const size_t diamonds = rng->Range(1, 2);
+      const size_t width = rng->Range(2, 3);
+      NodeId tail = add_node();
+      for (size_t d = 0; d < diamonds; ++d) {
+        std::vector<NodeId> layer;
+        for (size_t w = 0; w < width; ++w) layer.push_back(add_node());
+        NodeId sink = add_node();
+        for (NodeId mid : layer) {
+          add_edge(tail, mid);
+          add_edge(mid, sink);
+        }
+        tail = sink;
+      }
+      break;
+    }
+    case GraphFamily::kRandom: {
+      const size_t n = rng->Range(2, options.max_nodes);
+      const size_t m = rng->Range(1, options.max_edges);
+      for (size_t i = 0; i < n; ++i) add_node();
+      for (size_t i = 0; i < m; ++i) {
+        add_edge(static_cast<NodeId>(rng->Index(n)),
+                 static_cast<NodeId>(rng->Index(n)));
+      }
+      break;
+    }
+    case GraphFamily::kSparseRandom: {
+      const size_t n = rng->Range(3, options.max_nodes);
+      for (size_t i = 0; i < n; ++i) add_node();
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          if (rng->Percent(15)) {
+            add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+          }
+        }
+      }
+      break;
+    }
+  }
+  return g;
+}
+
+PropertyGraph RenameEdgeLabels(
+    const PropertyGraph& g, const std::map<std::string, std::string>& rename) {
+  PropertyGraph out;
+  CopyInto(g, nullptr, nullptr, &rename, "", &out);
+  return out;
+}
+
+PropertyGraph DisjointUnion(const PropertyGraph& a, const PropertyGraph& b,
+                            const std::string& b_prefix) {
+  PropertyGraph out;
+  CopyInto(a, nullptr, nullptr, nullptr, "", &out);
+  CopyInto(b, nullptr, nullptr, nullptr, b_prefix, &out);
+  return out;
+}
+
+PropertyGraph WithEdgeSubset(const PropertyGraph& g,
+                             const std::vector<bool>& keep) {
+  assert(keep.size() == g.NumEdges());
+  PropertyGraph out;
+  CopyInto(g, nullptr, &keep, nullptr, "", &out);
+  return out;
+}
+
+PropertyGraph WithNodeSubset(const PropertyGraph& g,
+                             const std::vector<bool>& keep) {
+  assert(keep.size() == g.NumNodes());
+  PropertyGraph out;
+  CopyInto(g, &keep, nullptr, nullptr, "", &out);
+  return out;
+}
+
+PropertyGraph WithExtraEdge(const PropertyGraph& g, NodeId src, NodeId tgt,
+                            const std::string& label) {
+  PropertyGraph out;
+  CopyInto(g, nullptr, nullptr, nullptr, "", &out);
+  // Pick a name no surviving edge uses (auto-names would collide with a
+  // preserved "e<k>" after a subset mutation dropped earlier edges).
+  std::string name;
+  for (size_t i = out.NumEdges();; ++i) {
+    name = "x" + std::to_string(i);
+    if (!out.FindEdge(name).has_value()) break;
+  }
+  out.AddEdge(src, tgt, label, name);
+  return out;
+}
+
+}  // namespace fuzz
+}  // namespace gqzoo

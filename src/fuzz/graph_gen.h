@@ -1,0 +1,94 @@
+#ifndef GQZOO_FUZZ_GRAPH_GEN_H_
+#define GQZOO_FUZZ_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/rng.h"
+#include "src/graph/graph.h"
+
+namespace gqzoo {
+namespace fuzz {
+
+/// The graph families the generator draws from — the paper's benchmark
+/// shapes (chain / clique / parallel-chain are the Figure-5, 6-clique and
+/// blow-up instances) plus unstructured random graphs. Families matter
+/// because the historical bugs cluster on them: id overflow needed a dense
+/// product (clique × many NFA states), path-mode divergence needs parallel
+/// edges (ParallelChain), truncation bugs need diamonds of equal-length
+/// alternatives.
+enum class GraphFamily : uint8_t {
+  kChain = 0,
+  kCycle,
+  kClique,
+  kParallelChain,  // Figure 5: `parallel^n` equally-short s→t paths
+  kDiamond,        // layered fan-out/fan-in
+  kRandom,         // uniform endpoints, parallel edges allowed
+  kSparseRandom,   // Erdős–Rényi-ish, lower density
+};
+
+inline constexpr size_t kNumGraphFamilies = 7;
+
+const char* GraphFamilyName(GraphFamily family);
+
+/// Size bounds for generated graphs. Small by default: differential
+/// verdicts need the full oracle matrix per case, and tiny graphs shrink
+/// counterexamples before the minimizer even runs.
+struct GraphGenOptions {
+  size_t max_nodes = 10;
+  size_t max_edges = 24;
+  /// Edge-label alphabet size (labels "a", "b", "c", ...; at most 6).
+  size_t max_labels = 3;
+  /// Chance (percent) that nodes/edges carry the integer property "k"
+  /// (drawn from a small range so data tests hit and miss).
+  uint64_t property_percent = 60;
+};
+
+/// The edge-label alphabet the generator used for `num_labels` labels —
+/// query generation draws its atoms from the same alphabet (including, by
+/// design, one label that the graph may not contain, to exercise the
+/// match-nothing predicate path).
+std::vector<std::string> LabelAlphabet(size_t num_labels);
+
+/// Deterministically generates a property graph from `rng`. Every node gets
+/// label "N" or "M"; nodes are named "n0", "n1", ... so queries can use
+/// `@nK` constants. `family_out`/`labels_out` (optional) report what was
+/// picked so the query generator can agree on the alphabet.
+PropertyGraph GenGraph(FuzzRng* rng, const GraphGenOptions& options,
+                       GraphFamily* family_out = nullptr,
+                       std::vector<std::string>* labels_out = nullptr);
+
+// --- Rebuild-style mutations (graphs are append-only, so every mutation
+// --- reconstructs; names and property values are preserved).
+
+/// Renames edge labels through `rename` (identity for labels not in the
+/// map). Node labels and properties are untouched.
+PropertyGraph RenameEdgeLabels(const PropertyGraph& g,
+                               const std::map<std::string, std::string>& rename);
+
+/// Disjoint union: all of `a`, then all of `b` with node/edge names
+/// prefixed by `b_prefix` (labels shared — the union is over the same
+/// alphabet, which is what the monotonicity properties need).
+PropertyGraph DisjointUnion(const PropertyGraph& a, const PropertyGraph& b,
+                            const std::string& b_prefix);
+
+/// Keeps exactly the edges whose index has `keep[e]` true (node set and
+/// properties preserved). `keep` must have size NumEdges().
+PropertyGraph WithEdgeSubset(const PropertyGraph& g,
+                             const std::vector<bool>& keep);
+
+/// Drops the nodes whose index has `keep[n]` false, along with their
+/// incident edges. `keep` must have size NumNodes().
+PropertyGraph WithNodeSubset(const PropertyGraph& g,
+                             const std::vector<bool>& keep);
+
+/// Returns `g` plus one extra edge `src -> tgt` with `label`.
+PropertyGraph WithExtraEdge(const PropertyGraph& g, NodeId src, NodeId tgt,
+                            const std::string& label);
+
+}  // namespace fuzz
+}  // namespace gqzoo
+
+#endif  // GQZOO_FUZZ_GRAPH_GEN_H_

@@ -1,0 +1,66 @@
+#ifndef GQZOO_FUZZ_METAMORPHIC_H_
+#define GQZOO_FUZZ_METAMORPHIC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/fuzz_case.h"
+#include "src/fuzz/oracle.h"
+#include "src/fuzz/rng.h"
+#include "src/graph/graph.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+namespace fuzz {
+
+/// A language-independent canonical form of a query result: one string per
+/// row (node/edge *names*, so it is stable under graph rebuilds that
+/// preserve names), sorted. Metamorphic properties compare these.
+struct CanonicalResult {
+  std::vector<std::string> rows;
+  bool truncated = false;
+};
+
+/// Evaluates the case's query over `g` at the library level and
+/// canonicalizes. Errors pass through (callers typically skip the property
+/// on error — status parity is the oracle's job, not the metamorphic
+/// suite's).
+Result<CanonicalResult> EvalCanonical(const PropertyGraph& g,
+                                      const FuzzCase& c,
+                                      const OracleOptions& options);
+
+/// Replaces whole identifier tokens of `text` per `rename`, leaving every
+/// other token (keywords, variables, numbers, punctuation) alone — safe
+/// for all query dialects because edge labels are always standalone
+/// identifier tokens in each surface syntax.
+std::string RenameLabelsInQuery(const std::string& text,
+                                const std::map<std::string, std::string>& rename);
+
+/// Runs the metamorphic properties that apply to the case's language:
+///
+///   label-rename invariance   bijectively rename edge labels in graph and
+///                             query: byte-identical canonical result
+///                             (all languages);
+///   disjoint-union            evaluate over G ⊎ G (copy prefixed "u_"):
+///                             kPaths results are unchanged, kRpq and
+///                             kGqlGroup results double exactly, kCoreGql
+///                             results are a superset (property rows
+///                             dedupe under set semantics);
+///   conjunct permutation      shuffling CRPQ / dl-CRPQ atoms leaves the
+///                             answer set unchanged;
+///   edge-addition             adding one edge can only grow an RPQ's
+///   monotonicity              answer set;
+///   union idempotence         [[R]] = [[(R)|(R)]] for RPQs.
+///
+/// `rng` drives the random choices (permutation, added edge); divergences
+/// are appended to `report` with "meta."-prefixed check names. Properties
+/// are skipped (not failed) when the base run errors or truncates — a
+/// truncated result set satisfies no algebraic identity.
+void RunMetamorphic(const FuzzCase& c, FuzzRng* rng,
+                    const OracleOptions& options, OracleReport* report);
+
+}  // namespace fuzz
+}  // namespace gqzoo
+
+#endif  // GQZOO_FUZZ_METAMORPHIC_H_

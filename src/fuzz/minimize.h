@@ -1,0 +1,66 @@
+#ifndef GQZOO_FUZZ_MINIMIZE_H_
+#define GQZOO_FUZZ_MINIMIZE_H_
+
+#include <string>
+
+#include "src/fuzz/fuzz_case.h"
+#include "src/fuzz/oracle.h"
+
+namespace gqzoo {
+namespace fuzz {
+
+struct MinimizeOptions {
+  /// Oracle configuration the verdict re-runs under; should match the
+  /// options of the run that found the failure or the verdict may not
+  /// reproduce.
+  OracleOptions oracle;
+  /// Also re-run the metamorphic properties when judging a candidate
+  /// (needed when the original failure was a "meta.*" check).
+  bool include_metamorphic = true;
+  /// Reduction passes over the whole case; each pass is a fixpoint
+  /// iteration of edge-ddmin + node pruning + conjunct dropping.
+  size_t max_rounds = 6;
+};
+
+struct MinimizeResult {
+  FuzzCase reduced;
+  /// The check name the reduced case still fails (the verdict pins the
+  /// original failure's check so the search cannot drift to a different
+  /// bug mid-reduction).
+  std::string check;
+  size_t evaluations = 0;  // verdict runs spent
+  bool reproduced = false;  // original case failed under the verdict at all
+};
+
+/// Shrinks a failing case with delta debugging while preserving "fails the
+/// same check":
+///
+///   edges      ddmin over the edge set (chunked removal with granularity
+///              doubling, the classic algorithm);
+///   nodes      drop nodes that end up isolated and are not referenced by
+///              the query (as `@name` constants or path endpoints);
+///   conjuncts  for (dl-)CRPQs, drop atoms one at a time, re-deriving the
+///              head from the surviving variables;
+///   budgets    clear injected budgets if the failure persists without
+///              them (an ungoverned repro is strictly more useful).
+///
+/// Candidates are validated by re-running the oracle (and, optionally, the
+/// metamorphic suite) — a candidate whose graph or query no longer parses
+/// simply fails the verdict and is discarded, so every reduction step is
+/// self-checking.
+MinimizeResult MinimizeCase(const FuzzCase& failing,
+                            const MinimizeOptions& options);
+
+/// First failing check of `c` under `options` ("" when the case passes).
+/// Exposed for tests and for the CLI's verdict print-out.
+std::string FirstFailure(const FuzzCase& c, const MinimizeOptions& options);
+
+/// Renders a ready-to-paste GoogleTest regression body replaying `c`
+/// library-only through the oracle, plus the corpus-file content in a
+/// comment header. `check` names the divergence for the test name.
+std::string EmitRegressionTest(const FuzzCase& c, const std::string& check);
+
+}  // namespace fuzz
+}  // namespace gqzoo
+
+#endif  // GQZOO_FUZZ_MINIMIZE_H_

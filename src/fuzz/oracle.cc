@@ -1,0 +1,752 @@
+#include "src/fuzz/oracle.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "src/automata/nfa.h"
+#include "src/coregql/group_eval.h"
+#include "src/coregql/pattern_parser.h"
+#include "src/coregql/query.h"
+#include "src/crpq/crpq_parser.h"
+#include "src/crpq/eval.h"
+#include "src/crpq/modes.h"
+#include "src/datatest/dl_eval.h"
+#include "src/graph/csr.h"
+#include "src/regex/parser.h"
+#include "src/rpq/bag_semantics.h"
+#include "src/rpq/cardinality.h"
+#include "src/rpq/rpq_eval.h"
+#include "src/util/failpoint.h"
+#include "src/util/query_context.h"
+
+namespace gqzoo {
+namespace fuzz {
+
+namespace {
+
+constexpr size_t kMaxDetail = 400;
+
+std::string Brief(std::string s) {
+  if (s.size() > kMaxDetail) {
+    s.resize(kMaxDetail);
+    s += "...";
+  }
+  return s;
+}
+
+std::string PairsBrief(const EdgeLabeledGraph& g,
+                       const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  std::ostringstream out;
+  out << pairs.size() << " pairs:";
+  size_t shown = 0;
+  for (const auto& [u, v] : pairs) {
+    if (shown++ >= 8) {
+      out << " ...";
+      break;
+    }
+    out << " (" << g.NodeName(u) << "," << g.NodeName(v) << ")";
+  }
+  return out.str();
+}
+
+/// Whether the bag-counting semantics covers every atom of `r` (no inverse
+/// atoms — the counter walks forward only — and no data tests).
+bool BagSafe(const Regex& r) {
+  switch (r.op()) {
+    case Regex::Op::kEpsilon:
+      return true;
+    case Regex::Op::kAtom:
+      return !r.atom().inverse && !r.atom().is_test() &&
+             !r.atom().capture.has_value();
+    case Regex::Op::kConcat:
+    case Regex::Op::kUnion:
+      return BagSafe(*r.left()) && BagSafe(*r.right());
+    case Regex::Op::kStar:
+    case Regex::Op::kPlus:
+    case Regex::Op::kOptional:
+      return BagSafe(*r.child());
+  }
+  return false;
+}
+
+ResourceBudgets CaseBudgets(const FuzzCase& c) {
+  ResourceBudgets budgets;
+  budgets.steps = c.step_budget;
+  budgets.memory_bytes = c.memory_budget;
+  return budgets;
+}
+
+/// What the engine is expected to do with this case, as observed by the
+/// library-level run: succeed, or fail with exactly this code.
+using ExpectedStatus = std::optional<ErrorCode>;
+
+class OracleRun {
+ public:
+  OracleRun(const FuzzCase& c, const OracleOptions& options,
+            const PropertyGraph& g, OracleReport* report)
+      : c_(c),
+        options_(options),
+        g_(g),
+        snap_(g),
+        report_(report) {}
+
+  void Run() {
+    ExpectedStatus expected;
+    switch (c_.language) {
+      case QueryLanguage::kRpq: expected = CheckRpq(); break;
+      case QueryLanguage::kCrpq: expected = CheckCrpq(); break;
+      case QueryLanguage::kDlCrpq: expected = CheckDlCrpq(); break;
+      case QueryLanguage::kCoreGql: expected = CheckCoreGql(); break;
+      case QueryLanguage::kGqlGroup: expected = CheckGqlGroup(); break;
+      case QueryLanguage::kPaths: expected = CheckPaths(); break;
+      case QueryLanguage::kRegular:
+        // No second substrate to compare against (regular queries mutate a
+        // working copy of the graph); the harness does not generate these.
+        return;
+    }
+    CheckEngine(expected);
+  }
+
+ private:
+  bool Check(bool agree, const std::string& check, const std::string& detail) {
+    ++report_->checks;
+    if (!agree) report_->Add(check, Brief(detail));
+    return agree;
+  }
+
+  // --- Library-level matrices, one per language. Each returns the status
+  // --- the engine must reproduce for the same case.
+
+  ExpectedStatus CheckRpq() {
+    Result<RegexPtr> parsed = ParseRegex(c_.query_text, RegexDialect::kPlain);
+    if (!parsed.ok()) return ErrorCode::kParse;
+    report_->parsed = true;
+    const Regex& regex = *parsed.value();
+    Nfa nfa = Nfa::FromRegex(regex, g_.skeleton());
+
+    const auto base = EvalRpq(g_.skeleton(), nfa);
+    const auto from_snapshot = EvalRpq(snap_, nfa);
+    Check(base == from_snapshot, "rpq.graph-vs-snapshot",
+          "graph: " + PairsBrief(g_.skeleton(), base) +
+              " | snapshot: " + PairsBrief(g_.skeleton(), from_snapshot));
+
+    ParallelRpqOptions par;
+    par.pool = options_.pool;
+    par.num_shards = options_.rpq_shards;
+    const auto sharded = EvalRpqParallel(snap_, nfa, par);
+    Check(base == sharded, "rpq.serial-vs-sharded",
+          "serial: " + PairsBrief(g_.skeleton(), base) +
+              " | sharded: " + PairsBrief(g_.skeleton(), sharded));
+
+    Check(base == EvalRpq(g_.skeleton(), nfa), "rpq.rerun-determinism",
+          "two ungoverned runs returned different relations");
+
+    CheckStatistics();
+
+    const double est_graph =
+        EstimateRpqCardinalitySampling(g_.skeleton(), nfa, 4, c_.seed);
+    const double est_snap =
+        EstimateRpqCardinalitySampling(snap_, nfa, 4, c_.seed);
+    Check(est_graph == est_snap, "rpq.sampling-graph-vs-snapshot",
+          "graph est " + std::to_string(est_graph) + " vs snapshot est " +
+              std::to_string(est_snap));
+
+    if (options_.bag_checks && g_.NumNodes() <= 8 && BagSafe(regex)) {
+      for (NodeId u = 0; u < g_.NumNodes(); ++u) {
+        for (NodeId v = 0; v < g_.NumNodes(); ++v) {
+          const BigUint count_graph = BagCount(regex, g_.skeleton(), u, v);
+          const BigUint count_snap = BagCount(regex, snap_, u, v);
+          if (!Check(count_graph == count_snap, "bag.graph-vs-snapshot",
+                     "(" + g_.NodeName(u) + "," + g_.NodeName(v) +
+                         "): graph " + count_graph.ToString() +
+                         " vs snapshot " + count_snap.ToString())) {
+            return std::nullopt;  // one report per case is enough
+          }
+          const bool in_set = std::binary_search(
+              base.begin(), base.end(), std::make_pair(u, v));
+          if (!Check(!count_graph.is_zero() == in_set,
+                     "bag.positivity-vs-set",
+                     "(" + g_.NodeName(u) + "," + g_.NodeName(v) +
+                         "): bag count " + count_graph.ToString() +
+                         " but set membership " +
+                         (in_set ? "true" : "false"))) {
+            return std::nullopt;
+          }
+        }
+      }
+    }
+
+    if (c_.step_budget != 0 || c_.memory_budget != 0) {
+      QueryContext ctx1, ctx2;
+      ctx1.set_budgets(CaseBudgets(c_));
+      ctx2.set_budgets(CaseBudgets(c_));
+      const auto run1 = EvalRpq(g_.skeleton(), nfa, &ctx1);
+      const auto run2 = EvalRpq(g_.skeleton(), nfa, &ctx2);
+      Check(run1 == run2 && ctx1.stop_cause() == ctx2.stop_cause(),
+            "rpq.governed-determinism",
+            std::string("same budget, different outcome: ") +
+                StopCauseName(ctx1.stop_cause()) + "/" +
+                std::to_string(run1.size()) + " vs " +
+                StopCauseName(ctx2.stop_cause()) + "/" +
+                std::to_string(run2.size()));
+    }
+    return std::nullopt;
+  }
+
+  void CheckStatistics() {
+    const GraphStatistics stats_graph(g_.skeleton());
+    const GraphStatistics stats_snap(snap_);
+    for (LabelId l = 0; l < g_.skeleton().NumLabels(); ++l) {
+      const bool agree =
+          stats_graph.EdgeCount(l) == stats_snap.EdgeCount(l) &&
+          stats_graph.DistinctSources(l) == stats_snap.DistinctSources(l) &&
+          stats_graph.DistinctTargets(l) == stats_snap.DistinctTargets(l);
+      Check(agree, "stats.graph-vs-snapshot",
+            "label '" + g_.skeleton().LabelName(l) + "': (" +
+                std::to_string(stats_graph.EdgeCount(l)) + "," +
+                std::to_string(stats_graph.DistinctSources(l)) + "," +
+                std::to_string(stats_graph.DistinctTargets(l)) + ") vs (" +
+                std::to_string(stats_snap.EdgeCount(l)) + "," +
+                std::to_string(stats_snap.DistinctSources(l)) + "," +
+                std::to_string(stats_snap.DistinctTargets(l)) + ")");
+    }
+  }
+
+  /// Shared shape for the three conjunctive languages: compare a base run
+  /// against variants, all through CrpqResult.
+  ExpectedStatus CompareCrpqRuns(
+      const char* prefix, const Result<CrpqResult>& base,
+      const std::vector<std::pair<const char*, Result<CrpqResult>>>&
+          variants) {
+    for (const auto& [name, variant] : variants) {
+      const std::string check = std::string(prefix) + "." + name;
+      if (base.ok() != variant.ok()) {
+        Check(false, check,
+              base.ok()
+                  ? "base succeeded but variant failed: " +
+                        variant.error().message()
+                  : "base failed but variant succeeded: " +
+                        base.error().message());
+        continue;
+      }
+      if (!base.ok()) {
+        Check(base.error().code() == variant.error().code(), check,
+              std::string("error codes differ: ") +
+                  ErrorCodeName(base.error().code()) + " vs " +
+                  ErrorCodeName(variant.error().code()));
+        continue;
+      }
+      Check(base.value().ToString(g_.skeleton()) ==
+                    variant.value().ToString(g_.skeleton()) &&
+                base.value().truncated == variant.value().truncated,
+            check,
+            "base:\n" + base.value().ToString(g_.skeleton()) +
+                (base.value().truncated ? "(truncated)\n" : "") +
+                "variant:\n" + variant.value().ToString(g_.skeleton()) +
+                (variant.value().truncated ? "(truncated)\n" : ""));
+    }
+    if (!base.ok()) return base.error().code();
+    return std::nullopt;
+  }
+
+  ExpectedStatus CheckCrpq() {
+    Result<Crpq> q = ParseCrpq(c_.query_text, RegexDialect::kPlain);
+    if (!q.ok()) return ErrorCode::kParse;
+    report_->parsed = true;
+
+    CrpqEvalOptions base_options;
+    base_options.max_bindings_per_pair = options_.max_bindings_per_pair;
+    base_options.max_path_length = options_.max_path_length;
+    Result<CrpqResult> base = EvalCrpq(g_.skeleton(), q.value(), base_options);
+
+    CrpqEvalOptions snap_options = base_options;
+    snap_options.snapshot = &snap_;
+    CrpqEvalOptions sharded_options = snap_options;
+    sharded_options.pool = options_.pool;
+    sharded_options.num_shards = options_.rpq_shards;
+
+    std::vector<std::pair<const char*, Result<CrpqResult>>> variants;
+    variants.emplace_back("graph-vs-snapshot",
+                          EvalCrpq(g_.skeleton(), q.value(), snap_options));
+    variants.emplace_back("serial-vs-sharded",
+                          EvalCrpq(g_.skeleton(), q.value(), sharded_options));
+    variants.emplace_back("rerun-determinism",
+                          EvalCrpq(g_.skeleton(), q.value(), base_options));
+    ExpectedStatus expected = CompareCrpqRuns("crpq", base, variants);
+
+    if (base.ok() && (c_.step_budget != 0 || c_.memory_budget != 0)) {
+      QueryContext ctx1, ctx2;
+      ctx1.set_budgets(CaseBudgets(c_));
+      ctx2.set_budgets(CaseBudgets(c_));
+      CrpqEvalOptions governed = base_options;
+      governed.cancel = &ctx1;
+      Result<CrpqResult> run1 = EvalCrpq(g_.skeleton(), q.value(), governed);
+      governed.cancel = &ctx2;
+      Result<CrpqResult> run2 = EvalCrpq(g_.skeleton(), q.value(), governed);
+      CompareCrpqRuns("crpq.governed-determinism", run1,
+                      {{"rerun", std::move(run2)}});
+      Check(ctx1.stop_cause() == ctx2.stop_cause(),
+            "crpq.governed-determinism.cause",
+            std::string(StopCauseName(ctx1.stop_cause())) + " vs " +
+                StopCauseName(ctx2.stop_cause()));
+    }
+    return expected;
+  }
+
+  ExpectedStatus CheckDlCrpq() {
+    Result<Crpq> q = ParseCrpq(c_.query_text, RegexDialect::kDl);
+    if (!q.ok()) return ErrorCode::kParse;
+    report_->parsed = true;
+
+    DlCrpqEvalOptions base_options;
+    base_options.max_bindings_per_pair = options_.max_bindings_per_pair;
+    base_options.max_path_length = options_.max_path_length;
+    Result<CrpqResult> base = EvalDlCrpq(g_, q.value(), base_options);
+
+    DlCrpqEvalOptions snap_options = base_options;
+    snap_options.snapshot = &snap_;
+
+    std::vector<std::pair<const char*, Result<CrpqResult>>> variants;
+    variants.emplace_back("graph-vs-snapshot",
+                          EvalDlCrpq(g_, q.value(), snap_options));
+    variants.emplace_back("rerun-determinism",
+                          EvalDlCrpq(g_, q.value(), base_options));
+    ExpectedStatus expected = CompareCrpqRuns("dlcrpq", base, variants);
+
+    if (base.ok() && (c_.step_budget != 0 || c_.memory_budget != 0)) {
+      QueryContext ctx1, ctx2;
+      ctx1.set_budgets(CaseBudgets(c_));
+      ctx2.set_budgets(CaseBudgets(c_));
+      DlCrpqEvalOptions governed = base_options;
+      governed.cancel = &ctx1;
+      Result<CrpqResult> run1 = EvalDlCrpq(g_, q.value(), governed);
+      governed.cancel = &ctx2;
+      Result<CrpqResult> run2 = EvalDlCrpq(g_, q.value(), governed);
+      CompareCrpqRuns("dlcrpq.governed-determinism", run1,
+                      {{"rerun", std::move(run2)}});
+      Check(ctx1.stop_cause() == ctx2.stop_cause(),
+            "dlcrpq.governed-determinism.cause",
+            std::string(StopCauseName(ctx1.stop_cause())) + " vs " +
+                StopCauseName(ctx2.stop_cause()));
+    }
+    return expected;
+  }
+
+  ExpectedStatus CheckCoreGql() {
+    Result<CoreGqlQuery> q = ParseCoreGqlQuery(c_.query_text);
+    if (!q.ok()) return ErrorCode::kParse;
+    report_->parsed = true;
+
+    CoreQueryEvalOptions base_options;
+    base_options.path_options.max_results = options_.max_results;
+    base_options.path_options.max_path_length = options_.max_path_length;
+    Result<CoreQueryResult> base =
+        EvalCoreGqlQuery(g_, q.value(), base_options);
+
+    CoreQueryEvalOptions snap_options = base_options;
+    snap_options.path_options.snapshot = &snap_;
+    Result<CoreQueryResult> from_snapshot =
+        EvalCoreGqlQuery(g_, q.value(), snap_options);
+
+    auto compare = [&](const char* check, const Result<CoreQueryResult>& a,
+                       const Result<CoreQueryResult>& b) {
+      if (a.ok() != b.ok()) {
+        Check(false, check,
+              a.ok() ? "base succeeded but variant failed: " +
+                           b.error().message()
+                     : "base failed but variant succeeded: " +
+                           a.error().message());
+        return;
+      }
+      if (!a.ok()) {
+        Check(a.error().code() == b.error().code(), check,
+              std::string("error codes differ: ") +
+                  ErrorCodeName(a.error().code()) + " vs " +
+                  ErrorCodeName(b.error().code()));
+        return;
+      }
+      Check(a.value().relation.ToString(g_.skeleton()) ==
+                    b.value().relation.ToString(g_.skeleton()) &&
+                a.value().truncated == b.value().truncated,
+            check,
+            "base:\n" + a.value().relation.ToString(g_.skeleton()) +
+                "variant:\n" + b.value().relation.ToString(g_.skeleton()));
+    };
+    compare("coregql.graph-vs-snapshot", base, from_snapshot);
+    compare("coregql.rerun-determinism", base,
+            EvalCoreGqlQuery(g_, q.value(), base_options));
+
+    if (!base.ok()) return base.error().code();
+    return std::nullopt;
+  }
+
+  ExpectedStatus CheckGqlGroup() {
+    Result<CorePatternPtr> pattern = ParseCorePattern(c_.query_text);
+    if (!pattern.ok()) return ErrorCode::kParse;
+    report_->parsed = true;
+
+    CorePathEvalOptions base_options;
+    base_options.max_results = options_.max_results;
+    base_options.max_path_length = options_.max_path_length;
+    Result<GqlEvalResult> base =
+        EvalGqlGroupPattern(g_, *pattern.value(), base_options);
+
+    CorePathEvalOptions snap_options = base_options;
+    snap_options.snapshot = &snap_;
+    Result<GqlEvalResult> from_snapshot =
+        EvalGqlGroupPattern(g_, *pattern.value(), snap_options);
+
+    if (base.ok() != from_snapshot.ok()) {
+      Check(false, "gqlgroup.graph-vs-snapshot",
+            base.ok() ? "base succeeded but snapshot leg failed: " +
+                            from_snapshot.error().message()
+                      : "base failed but snapshot leg succeeded: " +
+                            base.error().message());
+    } else if (!base.ok()) {
+      Check(base.error().code() == from_snapshot.error().code(),
+            "gqlgroup.graph-vs-snapshot",
+            std::string("error codes differ: ") +
+                ErrorCodeName(base.error().code()) + " vs " +
+                ErrorCodeName(from_snapshot.error().code()));
+    } else {
+      Check(base.value().rows == from_snapshot.value().rows &&
+                base.value().truncated == from_snapshot.value().truncated,
+            "gqlgroup.graph-vs-snapshot",
+            std::to_string(base.value().rows.size()) + " rows vs " +
+                std::to_string(from_snapshot.value().rows.size()) +
+                " rows (truncated " +
+                std::to_string(base.value().truncated) + "/" +
+                std::to_string(from_snapshot.value().truncated) + ")");
+    }
+    if (!base.ok()) return base.error().code();
+    return std::nullopt;
+  }
+
+  ExpectedStatus CheckPaths() {
+    // Mirror the engine's dialect resolution exactly: dl first, then
+    // plain (plan.cc); a mismatch here would be a false divergence.
+    Result<RegexPtr> dl = ParseRegex(c_.query_text, RegexDialect::kDl);
+    std::optional<DlNfa> dl_nfa;
+    std::optional<Nfa> nfa;
+    if (dl.ok()) {
+      dl_nfa = DlNfa::FromRegex(*dl.value(), g_);
+    } else {
+      Result<RegexPtr> plain =
+          ParseRegex(c_.query_text, RegexDialect::kPlain);
+      if (!plain.ok()) return ErrorCode::kParse;
+      nfa = Nfa::FromRegex(*plain.value(), g_.skeleton());
+    }
+    report_->parsed = true;
+
+    std::optional<NodeId> u = g_.FindNode(c_.paths_from);
+    std::optional<NodeId> v = g_.FindNode(c_.paths_to);
+    if (!u.has_value() || !v.has_value()) return ErrorCode::kNotFound;
+    // Path enumeration is one-way (PMRs have no inverse transitions); the
+    // engine rejects these up front and so do we.
+    if (nfa.has_value() && nfa->HasInverse()) {
+      return ErrorCode::kInvalidArgument;
+    }
+
+    EnumerationLimits limits;
+    limits.max_results = options_.max_results;
+    limits.max_length = options_.max_path_length;
+
+    EnumerationStats stats_graph, stats_snap;
+    std::vector<PathBinding> base, from_snapshot;
+    if (dl_nfa.has_value()) {
+      DlEvaluator eval_graph(g_, *dl_nfa);
+      DlEvaluator eval_snap(g_, *dl_nfa, &snap_);
+      base = eval_graph.CollectModePaths(*u, *v, c_.paths_mode, limits,
+                                         &stats_graph);
+      from_snapshot = eval_snap.CollectModePaths(*u, *v, c_.paths_mode,
+                                                 limits, &stats_snap);
+    } else {
+      base = CollectModePaths(g_.skeleton(), *nfa, *u, *v, c_.paths_mode,
+                              limits, &stats_graph);
+      from_snapshot = CollectModePaths(snap_, *nfa, *u, *v, c_.paths_mode,
+                                       limits, &stats_snap);
+    }
+    Check(stats_graph.truncated == stats_snap.truncated,
+          "paths.truncation-agreement",
+          std::string("graph truncated=") +
+              std::to_string(stats_graph.truncated) + " snapshot truncated=" +
+              std::to_string(stats_snap.truncated));
+    if (!stats_graph.truncated && !stats_snap.truncated) {
+      Check(base == from_snapshot, "paths.graph-vs-snapshot",
+            std::to_string(base.size()) + " paths vs " +
+                std::to_string(from_snapshot.size()) + " paths");
+    } else {
+      // Under truncation the kept subset is substrate-dependent (documented
+      // for kSimple/kTrail: successors are visited in slice order); the
+      // result *count* must still agree when both legs hit max_results.
+      Check(base.size() == from_snapshot.size(), "paths.truncated-count",
+            std::to_string(base.size()) + " paths vs " +
+                std::to_string(from_snapshot.size()) + " paths");
+    }
+
+    if (c_.step_budget != 0 || c_.memory_budget != 0) {
+      QueryContext ctx1, ctx2;
+      ctx1.set_budgets(CaseBudgets(c_));
+      ctx2.set_budgets(CaseBudgets(c_));
+      EnumerationLimits governed = limits;
+      std::vector<PathBinding> run1, run2;
+      governed.cancel = &ctx1;
+      if (dl_nfa.has_value()) {
+        run1 = DlEvaluator(g_, *dl_nfa)
+                   .CollectModePaths(*u, *v, c_.paths_mode, governed);
+        governed.cancel = &ctx2;
+        run2 = DlEvaluator(g_, *dl_nfa)
+                   .CollectModePaths(*u, *v, c_.paths_mode, governed);
+      } else {
+        run1 = CollectModePaths(g_.skeleton(), *nfa, *u, *v, c_.paths_mode,
+                                governed);
+        governed.cancel = &ctx2;
+        run2 = CollectModePaths(g_.skeleton(), *nfa, *u, *v, c_.paths_mode,
+                                governed);
+      }
+      Check(run1 == run2 && ctx1.stop_cause() == ctx2.stop_cause(),
+            "paths.governed-determinism",
+            std::string("same budget, different outcome: ") +
+                StopCauseName(ctx1.stop_cause()) + "/" +
+                std::to_string(run1.size()) + " vs " +
+                StopCauseName(ctx2.stop_cause()) + "/" +
+                std::to_string(run2.size()));
+    }
+    return std::nullopt;
+  }
+
+  // --- Engine-level matrix.
+
+  void CheckEngine(ExpectedStatus expected) {
+    if (!options_.engine_checks || options_.engine == nullptr) return;
+    QueryEngine& engine = *options_.engine;
+    engine.SetGraph(g_);  // epoch bump: the next Execute compiles cold
+
+    QueryRequest request = c_.ToRequest();
+    request.max_results = options_.max_results;
+    request.max_path_length = options_.max_path_length;
+
+    Result<QueryResponse> cold = engine.Execute(request);
+
+    // Library status vs engine status: same outcome, same ErrorCode.
+    if (expected.has_value()) {
+      Check(!cold.ok() && cold.error().code() == *expected,
+            "engine.status-vs-library",
+            cold.ok() ? std::string("library expected ") +
+                            ErrorCodeName(*expected) +
+                            " but engine succeeded"
+                      : std::string("library expected ") +
+                            ErrorCodeName(*expected) + " but engine said " +
+                            ErrorCodeName(cold.error().code()) + ": " +
+                            cold.error().message());
+    } else {
+      Check(cold.ok(), "engine.status-vs-library",
+            cold.ok() ? std::string()
+                      : "library succeeded but engine failed: " +
+                            std::string(
+                                ErrorCodeName(cold.error().code())) +
+                            ": " + cold.error().message());
+    }
+
+    // Cold vs cached plan: byte-identical response off the warm cache.
+    Result<QueryResponse> warm = engine.Execute(request);
+    if (cold.ok() != warm.ok()) {
+      Check(false, "engine.cold-vs-cached",
+            cold.ok() ? "cold ok but cached failed: " + warm.error().message()
+                      : "cold failed but cached ok");
+    } else if (!cold.ok()) {
+      Check(cold.error().code() == warm.error().code(),
+            "engine.cold-vs-cached",
+            std::string("error codes differ: ") +
+                ErrorCodeName(cold.error().code()) + " vs " +
+                ErrorCodeName(warm.error().code()));
+    } else {
+      Check(warm.value().cache_hit, "engine.cold-vs-cached",
+            "second execution missed the plan cache");
+      Check(cold.value().text == warm.value().text &&
+                cold.value().num_rows == warm.value().num_rows &&
+                cold.value().truncated == warm.value().truncated,
+            "engine.cold-vs-cached",
+            "cold:\n" + cold.value().text + "cached:\n" + warm.value().text);
+    }
+
+    // Planner order vs textual order.
+    QueryRequest textual_request = request;
+    textual_request.textual_join_order = true;
+    Result<QueryResponse> textual = engine.Execute(textual_request);
+    if (cold.ok() != textual.ok()) {
+      Check(false, "engine.planner-vs-textual",
+            cold.ok()
+                ? "planned ok but textual failed: " + textual.error().message()
+                : "planned failed but textual ok");
+    } else if (!cold.ok()) {
+      Check(cold.error().code() == textual.error().code(),
+            "engine.planner-vs-textual",
+            std::string("error codes differ: ") +
+                ErrorCodeName(cold.error().code()) + " vs " +
+                ErrorCodeName(textual.error().code()));
+    } else if (!cold.value().truncated && !textual.value().truncated) {
+      // Under set semantics without truncation the join order is
+      // invisible in the result.
+      Check(cold.value().text == textual.value().text,
+            "engine.planner-vs-textual",
+            "planned:\n" + cold.value().text + "textual:\n" +
+                textual.value().text);
+    }
+
+    // WHERE-pushdown on/off (CoreGQL only; the response prefixes a
+    // "(pushdown: ...)" header line that the comparison strips).
+    if (c_.language == QueryLanguage::kCoreGql && cold.ok()) {
+      QueryRequest optimized_request = request;
+      optimized_request.optimize = true;
+      Result<QueryResponse> optimized = engine.Execute(optimized_request);
+      if (!optimized.ok()) {
+        Check(false, "engine.pushdown",
+              "pushdown leg failed: " + optimized.error().message());
+      } else if (!cold.value().truncated && !optimized.value().truncated) {
+        std::string text = optimized.value().text;
+        if (text.rfind("(pushdown:", 0) == 0) {
+          size_t eol = text.find('\n');
+          text = eol == std::string::npos ? "" : text.substr(eol + 1);
+        }
+        Check(cold.value().text == text &&
+                  cold.value().num_rows == optimized.value().num_rows,
+              "engine.pushdown",
+              "plain:\n" + cold.value().text + "pushdown:\n" + text);
+      }
+    }
+
+    if (options_.error_parity) {
+      CheckGovernedLegs(request, cold);
+      CheckFailpointLegs(request, cold);
+    }
+  }
+
+  /// Budget injection: on every substrate the governed run must either
+  /// reproduce the ungoverned outcome or trip as RESOURCE_EXHAUSTED —
+  /// never a different answer, never a different error class.
+  void CheckGovernedLegs(const QueryRequest& request,
+                         const Result<QueryResponse>& cold) {
+    if (c_.step_budget == 0 && c_.memory_budget == 0) return;
+    for (bool textual : {false, true}) {
+      QueryRequest governed = request;
+      governed.textual_join_order = textual;
+      if (c_.step_budget != 0) governed.step_budget = c_.step_budget;
+      if (c_.memory_budget != 0) governed.memory_budget = c_.memory_budget;
+      Result<QueryResponse> run = options_.engine->Execute(governed);
+      const char* check =
+          textual ? "engine.budget-parity.textual" : "engine.budget-parity";
+      if (run.ok()) {
+        Check(cold.ok(), check,
+              cold.ok() ? std::string()
+                        : "governed run succeeded but ungoverned failed: " +
+                              cold.error().message());
+        if (cold.ok() && !cold.value().truncated && !run.value().truncated) {
+          Check(cold.value().text == run.value().text, check,
+                "budget did not trip but results differ:\nungoverned:\n" +
+                    cold.value().text + "governed:\n" + run.value().text);
+        }
+      } else {
+        const ErrorCode code = run.error().code();
+        const bool allowed =
+            code == ErrorCode::kResourceExhausted ||
+            (!cold.ok() && code == cold.error().code());
+        Check(allowed, check,
+              std::string("governed run failed with ") + ErrorCodeName(code) +
+                  " (ungoverned: " +
+                  (cold.ok() ? "OK"
+                             : ErrorCodeName(cold.error().code())) +
+                  "): " + run.error().message());
+      }
+    }
+  }
+
+  /// Armed fail-points: each site maps to a documented code, and every
+  /// substrate must surface exactly that code (or complete cleanly if the
+  /// site is never reached) — no wrong answers, no other classes.
+  void CheckFailpointLegs(const QueryRequest& request,
+                          const Result<QueryResponse>& cold) {
+    const char* site = nullptr;
+    ErrorCode expected_code = ErrorCode::kResourceExhausted;
+    switch (c_.language) {
+      case QueryLanguage::kRpq: site = "rpq.product.bfs"; break;
+      case QueryLanguage::kCrpq: site = "crpq.join.alloc"; break;
+      case QueryLanguage::kDlCrpq: site = "datatest.recurse"; break;
+      case QueryLanguage::kGqlGroup: site = "coregql.frontier"; break;
+      case QueryLanguage::kPaths:
+        site = "pmr.enumerate.emit";
+        expected_code = ErrorCode::kCancelled;
+        break;
+      default:
+        return;  // no fail-point on this plan's hot path
+    }
+    for (bool textual : {false, true}) {
+      ScopedFailpoint fp(site);
+      QueryRequest injected = request;
+      injected.textual_join_order = textual;
+      // A budget forces a governed context, which is what fail-points trip;
+      // large enough to never fire on its own.
+      injected.memory_budget = uint64_t{1} << 40;
+      Result<QueryResponse> run = options_.engine->Execute(injected);
+      const char* check = textual ? "engine.failpoint-parity.textual"
+                                  : "engine.failpoint-parity";
+      if (run.ok()) {
+        // Site not on this query's path (e.g. empty seed set): must then
+        // match the clean run.
+        Check(cold.ok(), check,
+              cold.ok() ? std::string()
+                        : "injected run succeeded but clean run failed: " +
+                              cold.error().message());
+        if (cold.ok() && !cold.value().truncated && !run.value().truncated) {
+          Check(cold.value().text == run.value().text, check,
+                "fail-point skipped but results differ");
+        }
+      } else {
+        const ErrorCode code = run.error().code();
+        const bool allowed = code == expected_code ||
+                             (!cold.ok() && code == cold.error().code());
+        Check(allowed, check,
+              std::string(site) + " surfaced as " + ErrorCodeName(code) +
+                  " (expected " + ErrorCodeName(expected_code) + "): " +
+                  run.error().message());
+      }
+    }
+  }
+
+  const FuzzCase& c_;
+  const OracleOptions& options_;
+  const PropertyGraph& g_;
+  GraphSnapshot snap_;
+  OracleReport* report_;
+};
+
+}  // namespace
+
+void OracleReport::Add(const std::string& check, const std::string& detail) {
+  divergences.push_back({check, detail});
+}
+
+std::string OracleReport::ToString() const {
+  std::ostringstream out;
+  out << checks << " checks, " << divergences.size() << " divergences";
+  for (const Divergence& d : divergences) {
+    out << "\n[" << d.check << "] " << d.detail;
+  }
+  return out.str();
+}
+
+OracleReport RunOracle(const FuzzCase& c, const OracleOptions& options) {
+  OracleReport report;
+  Result<PropertyGraph> parsed = ParseCaseGraph(c);
+  if (!parsed.ok()) {
+    report.Add("case.graph-parse", Brief(parsed.error().message()));
+    return report;
+  }
+  OracleRun(c, options, parsed.value(), &report).Run();
+  return report;
+}
+
+}  // namespace fuzz
+}  // namespace gqzoo

@@ -1,0 +1,71 @@
+#ifndef GQZOO_FUZZ_RNG_H_
+#define GQZOO_FUZZ_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gqzoo {
+namespace fuzz {
+
+/// The harness's only randomness source: SplitMix64, fully specified by its
+/// 64-bit state. Everything the fuzzer does — graph shapes, query text,
+/// substrate schedules — derives from one `uint64_t` seed through this
+/// generator, so a failure is reproducible from a single number on any
+/// platform (no dependence on std engine or distribution implementations,
+/// which the standard leaves underspecified for some distributions).
+class FuzzRng {
+ public:
+  explicit FuzzRng(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits (SplitMix64 step).
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n = 0 returns 0. The modulo bias is irrelevant for
+  /// fuzzing (and keeping it makes the mapping trivially portable).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return hi <= lo ? lo : lo + Below(hi - lo + 1);
+  }
+
+  size_t Index(size_t n) { return static_cast<size_t>(Below(n)); }
+
+  /// True once in `n` draws on average.
+  bool OneIn(uint64_t n) { return Below(n) == 0; }
+
+  /// True with probability `percent`/100.
+  bool Percent(uint64_t percent) { return Below(100) < percent; }
+
+  /// A decorrelated child generator for an independent decision stream.
+  /// Forking by a fixed tag keeps sibling streams stable when one stream
+  /// draws a different number of values (generator changes don't cascade).
+  FuzzRng Fork(uint64_t stream) const {
+    FuzzRng child(state_ ^ (0x632be59bd9b4e019ull * (stream + 1)));
+    child.Next();
+    return child;
+  }
+
+  uint64_t state() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Derives the per-case seed for case `index` of a run started at `seed`.
+/// Exposed so `gqzoo_fuzz --seed=S --case=I` can regenerate exactly one
+/// case of a longer run.
+inline uint64_t CaseSeed(uint64_t seed, uint64_t index) {
+  FuzzRng rng(seed ^ (0xd1342543de82ef95ull * (index + 1)));
+  return rng.Next();
+}
+
+}  // namespace fuzz
+}  // namespace gqzoo
+
+#endif  // GQZOO_FUZZ_RNG_H_

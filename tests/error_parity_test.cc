@@ -1,0 +1,204 @@
+// Table-driven error-path parity: for every cancellation/deadline/
+// fail-point trigger, each query language must surface the *documented*
+// status code through the full engine stack — the same class everywhere,
+// never a wrong answer, never a different error for the same cause.
+//
+// governor_test.cc proves individual sites unwind; this table pins the
+// cause → code mapping per language so a refactor can't silently reroute,
+// say, a deadline into kResourceExhausted for one evaluator only.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/crpq/crpq_parser.h"
+#include "src/crpq/eval.h"
+#include "src/engine/engine.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_io.h"
+#include "src/rpq/rpq_eval.h"
+#include "src/util/failpoint.h"
+#include "tests/test_util.h"
+
+namespace gqzoo {
+namespace {
+
+struct LanguageQuery {
+  QueryLanguage language;
+  const char* text;
+  const char* paths_from = "";
+  const char* paths_to = "";
+};
+
+/// One nontrivial query per language; all touch label `a` so every
+/// evaluator does real work on a clique before the trigger fires.
+const std::vector<LanguageQuery>& AllLanguages() {
+  static const std::vector<LanguageQuery> kQueries = {
+      {QueryLanguage::kRpq, "a+"},
+      {QueryLanguage::kCrpq, "q(x, z) :- a+(x, y), a+(y, z)"},
+      {QueryLanguage::kDlCrpq, "q(x, y) := ( ()[a^z] )+ () (x, y)"},
+      {QueryLanguage::kCoreGql, "MATCH (x) -[e:a]-> (y) RETURN x, y"},
+      {QueryLanguage::kGqlGroup, "(x) (-[t:a]->(v)){1,3} (y)"},
+      {QueryLanguage::kPaths, "a+", "q0", "q1"},
+  };
+  return kQueries;
+}
+
+QueryRequest RequestFor(const LanguageQuery& q) {
+  QueryRequest request;
+  request.language = q.language;
+  request.text = q.text;
+  request.paths.from = q.paths_from;
+  request.paths.to = q.paths_to;
+  return request;
+}
+
+TEST(ErrorParityTest, DeadlineMidRunIsDeadlineExceeded) {
+  // A 1ms deadline against walk enumeration on a clique (5^12 candidate
+  // walks) cannot be met on any machine; the cooperative probes must stop
+  // the query and surface exactly kDeadlineExceeded — not a partial OK,
+  // not kResourceExhausted.
+  QueryEngine engine(ToPropertyGraph(Clique(6)));
+  QueryRequest request;
+  request.language = QueryLanguage::kPaths;
+  request.text = "a+";
+  request.paths.from = "q0";
+  request.paths.to = "q1";
+  request.timeout = std::chrono::milliseconds(1);
+  request.max_results = 100000000;
+  request.max_path_length = 12;
+  Result<QueryResponse> r = engine.Execute(request);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kDeadlineExceeded)
+      << r.error().message();
+}
+
+TEST(ErrorParityTest, PreTrippedContextIsPreservedByEveryEvaluator) {
+  // Cancellation parity at the library layer: a context that is already
+  // tripped makes each evaluator unwind promptly, and none of them may
+  // overwrite the recorded cause (first trip wins) — that cause is what
+  // the engine maps to the documented status code.
+  PropertyGraph g = ToPropertyGraph(Clique(4));
+  for (StopCause cause : {StopCause::kCancelled, StopCause::kDeadline}) {
+    QueryContext ctx;
+    ctx.Trip(cause);
+
+    (void)EvalRpq(g.skeleton(), *testing_util::Rx("a+"), &ctx);
+
+    Crpq crpq =
+        ParseCrpq("q(x, z) :- a+(x, y), a+(y, z)", RegexDialect::kPlain)
+            .ValueOrDie();
+    CrpqEvalOptions crpq_options;
+    crpq_options.cancel = &ctx;
+    (void)EvalCrpq(g.skeleton(), crpq, crpq_options);
+
+    EXPECT_EQ(ctx.stop_cause(), cause) << StopCauseName(cause);
+  }
+}
+
+TEST(ErrorParityTest, TinyStepBudgetIsResourceExhaustedEverywhere) {
+  QueryEngine engine(ToPropertyGraph(Clique(6)));
+  for (const LanguageQuery& q : AllLanguages()) {
+    QueryRequest request = RequestFor(q);
+    request.step_budget = 1;  // trips on the first hot-loop iteration
+    Result<QueryResponse> r = engine.Execute(request);
+    ASSERT_FALSE(r.ok()) << QueryLanguageName(q.language);
+    EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted)
+        << QueryLanguageName(q.language) << ": " << r.error().message();
+  }
+}
+
+// The documented fail-point table (failpoint.h): site → language whose hot
+// path contains it → status class the unwind must surface.
+struct FailpointRow {
+  const char* site;
+  QueryLanguage language;
+  ErrorCode expected;
+};
+
+TEST(ErrorParityTest, FailpointSitesSurfaceDocumentedCodes) {
+  const FailpointRow kRows[] = {
+      {"rpq.product.bfs", QueryLanguage::kRpq, ErrorCode::kResourceExhausted},
+      {"crpq.join.alloc", QueryLanguage::kCrpq,
+       ErrorCode::kResourceExhausted},
+      {"datatest.recurse", QueryLanguage::kDlCrpq,
+       ErrorCode::kResourceExhausted},
+      // The frontier site lives in group_eval, so it belongs to kGqlGroup
+      // repetitions, not plain CoreGQL MATCH.
+      {"coregql.frontier", QueryLanguage::kGqlGroup,
+       ErrorCode::kResourceExhausted},
+      {"pmr.enumerate.emit", QueryLanguage::kPaths, ErrorCode::kCancelled},
+  };
+  QueryEngine engine(ToPropertyGraph(Clique(4)));
+  for (const FailpointRow& row : kRows) {
+    Failpoint::DisarmAll();
+    const LanguageQuery* q = nullptr;
+    for (const LanguageQuery& candidate : AllLanguages()) {
+      if (candidate.language == row.language) q = &candidate;
+    }
+    ASSERT_NE(q, nullptr);
+    QueryRequest request = RequestFor(*q);
+    // A set-but-huge budget forces a governed context (fail-points only
+    // fire on governed runs) without ever tripping on its own.
+    request.memory_budget = 1ull << 40;
+    // Keep the clean re-run cheap: dl-CRPQ capture enumeration on a
+    // clique explodes under the engine's default limits.
+    request.max_results = 50;
+    request.max_path_length = 6;
+
+    ScopedFailpoint scoped(row.site);
+    Result<QueryResponse> r = engine.Execute(request);
+    ASSERT_FALSE(r.ok()) << row.site;
+    EXPECT_EQ(r.error().code(), row.expected)
+        << row.site << ": " << r.error().message();
+    EXPECT_GE(Failpoint::FireCount(row.site), 1u) << row.site;
+
+    // Disarmed, the identical request succeeds: the trigger is the fail
+    // point, not the query.
+    Result<QueryResponse> clean = engine.Execute(request);
+    EXPECT_TRUE(clean.ok()) << row.site << ": " << clean.error().message();
+  }
+}
+
+TEST(ErrorParityTest, SubmitShedIsOverloadedForEveryLanguage) {
+  QueryEngine engine(ToPropertyGraph(Clique(4)));
+  for (const LanguageQuery& q : AllLanguages()) {
+    Failpoint::DisarmAll();
+    ScopedFailpoint scoped("engine.submit");
+    Result<QueryResponse> r = engine.Submit(RequestFor(q)).get();
+    ASSERT_FALSE(r.ok()) << QueryLanguageName(q.language);
+    EXPECT_EQ(r.error().code(), ErrorCode::kOverloaded)
+        << QueryLanguageName(q.language);
+  }
+}
+
+TEST(ErrorParityTest, StaticErrorsKeepTheirClassAcrossJoinOrders) {
+  // Parse and not-found outcomes must not depend on execution-time policy
+  // (planner vs textual order, budgets).
+  QueryEngine engine(ToPropertyGraph(Clique(4)));
+  QueryRequest bad;
+  bad.language = QueryLanguage::kCrpq;
+  bad.text = "q(x :- broken";
+  for (bool textual : {false, true}) {
+    bad.textual_join_order = textual;
+    Result<QueryResponse> r = engine.Execute(bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::kParse);
+  }
+
+  QueryRequest missing;
+  missing.language = QueryLanguage::kPaths;
+  missing.text = "a+";
+  missing.paths.from = "q0";
+  missing.paths.to = "no_such_node";
+  for (bool textual : {false, true}) {
+    missing.textual_join_order = textual;
+    Result<QueryResponse> r = engine.Execute(missing);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  }
+}
+
+}  // namespace
+}  // namespace gqzoo

@@ -1,0 +1,75 @@
+// Replays every committed fuzz case under tests/corpus/ through the full
+// library oracle and the metamorphic suite. Each file is a divergence the
+// harness once found (then minimized) or a hand-written probe of a fixed
+// bug; keeping them green means the fix stayed fixed.
+//
+// Engine-level legs run too, against a per-suite engine, so the corpus
+// also covers plan-cache, planner-vs-textual, and error-parity behavior.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/metamorphic.h"
+#include "src/fuzz/minimize.h"
+#include "src/fuzz/oracle.h"
+#include "src/util/thread_pool.h"
+
+#ifndef GQZOO_CORPUS_DIR
+#error "GQZOO_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace gqzoo {
+namespace fuzz {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GQZOO_CORPUS_DIR)) {
+    if (entry.path().extension() == ".case") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzCorpusTest, HasCommittedCases) {
+  EXPECT_GE(CorpusFiles().size(), 3u);
+}
+
+TEST(FuzzCorpusTest, EveryCaseReplaysClean) {
+  QueryEngine::Options engine_options;
+  engine_options.num_threads = 2;
+  engine_options.rpq_shards = 3;
+  QueryEngine engine(PropertyGraph(), engine_options);
+  ThreadPool pool(2);
+
+  for (const std::filesystem::path& file : CorpusFiles()) {
+    SCOPED_TRACE(file.filename().string());
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Result<FuzzCase> c = ParseFuzzCase(buffer.str());
+    ASSERT_TRUE(c.ok()) << c.error().message();
+
+    OracleOptions options;
+    options.engine = &engine;
+    options.pool = &pool;
+    OracleReport report = RunOracle(c.value(), options);
+    if (report.ok()) {
+      FuzzRng rng = FuzzRng(c.value().seed).Fork(7);
+      RunMetamorphic(c.value(), &rng, options, &report);
+    }
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace gqzoo

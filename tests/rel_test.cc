@@ -1,0 +1,217 @@
+// Unit tests for the unified relational kernel (src/rel/rel.h) on the
+// degenerate shapes the evaluator integration tests rarely reach: empty
+// inputs, all-duplicate inputs, arity-0 relations, and budget trips
+// mid-operator.
+
+#include "src/rel/rel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/crpq/crpq.h"
+#include "src/util/query_context.h"
+
+namespace gqzoo {
+namespace rel {
+namespace {
+
+using Cell = CrpqValue;  // variant<NodeId, ObjectList>; NodeId is enough here
+using IntTable = Table<Cell>;
+
+Cell N(uint32_t id) { return Cell(NodeId(id)); }
+
+IntTable Make(std::vector<std::string> schema,
+              std::vector<std::vector<uint32_t>> rows) {
+  IntTable t;
+  t.schema = std::move(schema);
+  for (const auto& row : rows) {
+    std::vector<Cell> cells;
+    for (uint32_t v : row) cells.push_back(N(v));
+    t.rows.push_back(std::move(cells));
+  }
+  return t;
+}
+
+TEST(JoinLayoutTest, SharedAndTailColumns) {
+  JoinLayout layout = ComputeJoinLayout({"x", "y"}, {"y", "z"});
+  EXPECT_EQ(layout.shared_a, std::vector<size_t>({1}));
+  EXPECT_EQ(layout.shared_b, std::vector<size_t>({0}));
+  EXPECT_EQ(layout.b_only, std::vector<size_t>({1}));
+}
+
+TEST(NaturalJoinTest, EmptyLeftInput) {
+  IntTable a = Make({"x", "y"}, {});
+  IntTable b = Make({"y", "z"}, {{1, 2}});
+  IntTable out = NaturalJoin(a, b);
+  EXPECT_EQ(out.schema, (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_TRUE(out.rows.empty());
+}
+
+TEST(NaturalJoinTest, EmptyRightInput) {
+  IntTable a = Make({"x", "y"}, {{1, 2}});
+  IntTable b = Make({"y", "z"}, {});
+  EXPECT_TRUE(NaturalJoin(a, b).rows.empty());
+}
+
+TEST(NaturalJoinTest, NoSharedAttributesIsCartesianProduct) {
+  IntTable a = Make({"x"}, {{1}, {2}});
+  IntTable b = Make({"y"}, {{3}, {4}});
+  IntTable out = NaturalJoin(a, b);
+  EXPECT_EQ(out.schema, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(out.rows.size(), 4u);
+}
+
+TEST(NaturalJoinTest, AllDuplicateKeysMultiplyOut) {
+  // Set semantics holds for *normalized* inputs; the kernel itself must
+  // still be exact on duplicate keys (each a-row pairs with each match).
+  IntTable a = Make({"x", "y"}, {{1, 7}, {2, 7}});
+  IntTable b = Make({"y", "z"}, {{7, 3}, {7, 4}});
+  IntTable out = NaturalJoin(a, b);
+  EXPECT_EQ(out.rows.size(), 4u);
+  for (const auto& row : out.rows) EXPECT_EQ(row[1], N(7));
+}
+
+TEST(NaturalJoinTest, ArityZeroInputs) {
+  // A 0-ary relation is TRUE (one empty row) or FALSE (no rows); the join
+  // of TRUE with anything is that thing.
+  IntTable true_rel;
+  true_rel.rows.push_back({});
+  IntTable a = Make({"x"}, {{1}, {2}});
+  IntTable out = NaturalJoin(true_rel, a);
+  EXPECT_EQ(out.schema, a.schema);
+  EXPECT_EQ(out.rows.size(), 2u);
+
+  IntTable false_rel;  // no rows, no columns
+  EXPECT_TRUE(NaturalJoin(false_rel, a).rows.empty());
+  EXPECT_TRUE(NaturalJoin(a, false_rel).rows.empty());
+}
+
+TEST(NaturalJoinTest, BudgetTripMidJoinUnwindsPromptly) {
+  IntTable a = Make({"x"}, {});
+  IntTable b = Make({"x"}, {});
+  for (uint32_t i = 0; i < 100; ++i) {
+    a.rows.push_back({N(i)});
+    b.rows.push_back({N(i)});
+  }
+  QueryContext ctx;
+  ResourceBudgets budgets;
+  budgets.memory_bytes = 512;  // a few output tuples, then trip
+  ctx.set_budgets(budgets);
+  IntTable out = NaturalJoin(a, b, &ctx);
+  EXPECT_EQ(ctx.stop_cause(), StopCause::kMemoryBudget);
+  EXPECT_LT(out.rows.size(), 100u);  // partial, not complete
+}
+
+TEST(NaturalJoinTest, AllocFailpointTripsAsMemoryBudget) {
+  IntTable a = Make({"x"}, {{1}});
+  IntTable b = Make({"x"}, {{1}});
+  QueryContext ctx;
+  ResourceBudgets budgets;
+  budgets.memory_bytes = 1ull << 40;
+  ctx.set_budgets(budgets);
+  ScopedFailpoint fp("rel.test.join.alloc");
+  IntTable out = NaturalJoin(a, b, &ctx, "rel.test.join.alloc");
+  EXPECT_TRUE(out.rows.empty());
+  EXPECT_EQ(ctx.stop_cause(), StopCause::kMemoryBudget);
+}
+
+TEST(SemiJoinTest, EmptyAndNoSharedAttributes) {
+  IntTable a = Make({"x"}, {{1}, {2}});
+  IntTable empty_b = Make({"y"}, {});
+  // No shared attrs: semijoin keeps all of `a` iff b is nonempty.
+  EXPECT_TRUE(SemiJoin(a, empty_b).rows.empty());
+  IntTable b = Make({"y"}, {{9}});
+  EXPECT_EQ(SemiJoin(a, b).rows.size(), 2u);
+}
+
+TEST(SemiJoinTest, FiltersOnSharedAttribute) {
+  IntTable a = Make({"x", "y"}, {{1, 7}, {2, 8}, {3, 7}});
+  IntTable b = Make({"y"}, {{7}});
+  IntTable out = SemiJoin(a, b);
+  ASSERT_EQ(out.rows.size(), 2u);
+  EXPECT_EQ(out.schema, a.schema);
+  EXPECT_EQ(out.rows[0][0], N(1));
+  EXPECT_EQ(out.rows[1][0], N(3));
+}
+
+TEST(SemiJoinTest, DuplicateProbeRowsAreKeptAsIs) {
+  // SemiJoin filters, it does not normalize: duplicates in `a` survive.
+  IntTable a = Make({"x"}, {{1}, {1}});
+  IntTable b = Make({"x"}, {{1}});
+  EXPECT_EQ(SemiJoin(a, b).rows.size(), 2u);
+}
+
+TEST(SemiJoinTest, BudgetTripReturnsPartial) {
+  IntTable a = Make({"x"}, {});
+  IntTable b = Make({"x"}, {});
+  for (uint32_t i = 0; i < 100; ++i) {
+    a.rows.push_back({N(i)});
+    b.rows.push_back({N(i)});
+  }
+  QueryContext ctx;
+  ResourceBudgets budgets;
+  budgets.steps = 10;  // SemiJoin burns one step per probe row
+  ctx.set_budgets(budgets);
+  IntTable out = SemiJoin(a, b, &ctx);
+  EXPECT_EQ(ctx.stop_cause(), StopCause::kStepBudget);
+  EXPECT_LT(out.rows.size(), 100u);
+}
+
+TEST(ProjectTest, MissingAttributeFails) {
+  IntTable a = Make({"x"}, {{1}});
+  IntTable out;
+  EXPECT_FALSE(Project(a, {"nope"}, &out));
+}
+
+TEST(ProjectTest, EmptyInputAndArityZeroTarget) {
+  IntTable a = Make({"x", "y"}, {{1, 2}, {3, 4}});
+  IntTable out;
+  // π over no attributes: the rows collapse to the single empty tuple.
+  ASSERT_TRUE(Project(a, {}, &out));
+  EXPECT_TRUE(out.schema.empty());
+  EXPECT_EQ(out.rows.size(), 1u);
+
+  IntTable empty = Make({"x"}, {});
+  ASSERT_TRUE(Project(empty, {"x"}, &out));
+  EXPECT_TRUE(out.rows.empty());
+}
+
+TEST(ProjectTest, AllDuplicatesNormalizeToOne) {
+  IntTable a = Make({"x", "y"}, {{1, 2}, {1, 3}, {1, 4}});
+  IntTable out;
+  ASSERT_TRUE(Project(a, {"x"}, &out));
+  EXPECT_EQ(out.rows.size(), 1u);
+  EXPECT_EQ(out.rows[0][0], N(1));
+}
+
+TEST(ProjectTest, ReordersColumns) {
+  IntTable a = Make({"x", "y"}, {{1, 2}});
+  IntTable out;
+  ASSERT_TRUE(Project(a, {"y", "x"}, &out));
+  EXPECT_EQ(out.rows[0][0], N(2));
+  EXPECT_EQ(out.rows[0][1], N(1));
+}
+
+TEST(DedupeTest, EmptyAllDuplicateAndTripped) {
+  IntTable empty = Make({"x"}, {});
+  Dedupe(&empty);
+  EXPECT_TRUE(empty.rows.empty());
+
+  IntTable dups = Make({"x"}, {{5}, {5}, {5}});
+  Dedupe(&dups);
+  EXPECT_EQ(dups.rows.size(), 1u);
+
+  // On a tripped context normalization is skipped (prompt unwinding): the
+  // caller discards partial rows anyway.
+  IntTable partial = Make({"x"}, {{5}, {5}});
+  QueryContext ctx;
+  ctx.RequestCancel();
+  Dedupe(&partial, &ctx);
+  EXPECT_EQ(partial.rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace gqzoo
