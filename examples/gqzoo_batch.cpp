@@ -19,7 +19,8 @@
 //                      planner (for differential runs / benchmarks)
 //   --quiet            suppress per-query output, print only the report
 //
-// Request-file format: one query per line, same surface as the shell.
+// Request-file format: one query or mutation per line, same surface as the
+// shell.
 //   # comment / blank lines are skipped
 //   rpq <regex>              2rpq <regex>
 //   paths <from> <to> <all|shortest|simple|trail> <regex>
@@ -27,6 +28,15 @@
 //   crpq <rule>              dlcrpq <rule>
 //   gql <query>              gqlopt <query>
 //   gqlgroup <pattern>       regular <rules>
+//   add-node <name> <label>  add-edge <name> <src> <tgt> <label>
+//   del-node <name>          del-edge <name>
+//   set-label <node> <label> set-prop node|edge <name> <property> <value>
+//
+// Mutation lines go through the engine's delta-overlay write path at their
+// position in the submission order, so a file can interleave reads and
+// writes; queries already in flight keep their pinned pre-write view. With
+// --repeat, mutations re-apply each round (an `add-node` repeats as a
+// duplicate-name error on round two — write request files accordingly).
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +50,7 @@
 
 #include "src/engine/engine.h"
 #include "src/graph/builtin_graphs.h"
+#include "src/graph/delta/delta.h"
 #include "src/graph/graph_io.h"
 
 using namespace gqzoo;
@@ -52,6 +63,14 @@ std::string Trim(const std::string& s) {
   size_t end = s.find_last_not_of(" \t\r");
   return s.substr(start, end - start + 1);
 }
+
+/// One line of the request file: either a query (submitted to the pool) or
+/// a mutation (applied through the delta write path in submission order).
+struct BatchLine {
+  bool is_mutation = false;
+  QueryRequest request;  // when !is_mutation
+  MutationOp op;         // when is_mutation
+};
 
 /// Parses one request line (shell query syntax). Returns false with
 /// `*error` set on a malformed line.
@@ -227,31 +246,53 @@ int main(int argc, char** argv) {
     fprintf(stderr, "cannot open requests '%s'\n", request_file.c_str());
     return 1;
   }
-  std::vector<QueryRequest> requests;
+  std::vector<BatchLine> lines;
   std::string line;
   size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
     line = Trim(line);
     if (line.empty() || line[0] == '#') continue;
-    QueryRequest request;
-    std::string error;
-    if (!ParseRequestLine(line, &request, &error)) {
-      fprintf(stderr, "%s:%zu: %s\n", request_file.c_str(), lineno,
-              error.c_str());
-      return 1;
+    BatchLine parsed;
+    std::istringstream head(line);
+    std::string verb;
+    head >> verb;
+    if (IsMutationCommand(verb)) {
+      Result<MutationOp> op = ParseMutationOp(line);
+      if (!op.ok()) {
+        fprintf(stderr, "%s:%zu: %s\n", request_file.c_str(), lineno,
+                op.error().message().c_str());
+        return 1;
+      }
+      parsed.is_mutation = true;
+      parsed.op = std::move(op).value();
+    } else {
+      QueryRequest request;
+      std::string error;
+      if (!ParseRequestLine(line, &request, &error)) {
+        fprintf(stderr, "%s:%zu: %s\n", request_file.c_str(), lineno,
+                error.c_str());
+        return 1;
+      }
+      if (timeout_ms > 0) {
+        request.timeout = std::chrono::milliseconds(timeout_ms);
+      }
+      if (memlimit > 0) {
+        request.memory_budget = static_cast<uint64_t>(memlimit);
+      }
+      if (row_budget > 0) {
+        request.row_budget = static_cast<uint64_t>(row_budget);
+      }
+      if (step_budget > 0) {
+        request.step_budget = static_cast<uint64_t>(step_budget);
+      }
+      request.explain = explain;
+      request.textual_join_order = textual_order;
+      parsed.request = std::move(request);
     }
-    if (timeout_ms > 0) request.timeout = std::chrono::milliseconds(timeout_ms);
-    if (memlimit > 0) request.memory_budget = static_cast<uint64_t>(memlimit);
-    if (row_budget > 0) request.row_budget = static_cast<uint64_t>(row_budget);
-    if (step_budget > 0) {
-      request.step_budget = static_cast<uint64_t>(step_budget);
-    }
-    request.explain = explain;
-    request.textual_join_order = textual_order;
-    requests.push_back(std::move(request));
+    lines.push_back(std::move(parsed));
   }
-  if (requests.empty()) {
+  if (lines.empty()) {
     fprintf(stderr, "no requests in '%s'\n", request_file.c_str());
     return 1;
   }
@@ -261,12 +302,37 @@ int main(int argc, char** argv) {
   options.governor.admission_capacity = capacity;
   QueryEngine engine(std::move(graph), options);
 
+  // Submission pass: queries fan out to the pool; mutation lines apply
+  // synchronously at their position, so writes land between the reads that
+  // surround them in the file (in-flight reads keep their pinned view).
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::future<Result<QueryResponse>>> futures;
-  futures.reserve(requests.size() * repeat);
+  std::vector<const QueryRequest*> submitted;  // parallel to `futures`
+  size_t mut_ok = 0, mut_failed = 0, mut_shed = 0;
+  size_t plans_invalidated = 0, compactions_scheduled = 0;
   for (size_t round = 0; round < repeat; ++round) {
-    for (const QueryRequest& request : requests) {
-      futures.push_back(engine.Submit(request));
+    for (const BatchLine& entry : lines) {
+      if (!entry.is_mutation) {
+        submitted.push_back(&entry.request);
+        futures.push_back(engine.Submit(entry.request));
+        continue;
+      }
+      MutationBatch batch;
+      batch.ops.push_back(entry.op);
+      Result<QueryEngine::MutationResult> r = engine.ApplyMutation(batch);
+      if (r.ok()) {
+        ++mut_ok;
+        plans_invalidated += r.value().plans_invalidated;
+        compactions_scheduled += r.value().compaction_scheduled ? 1 : 0;
+      } else {
+        ++mut_failed;
+        if (r.error().code() == ErrorCode::kOverloaded) ++mut_shed;
+        if (!quiet) {
+          printf("[write] %s -> error [%s]: %s\n", entry.op.ToString().c_str(),
+                 ErrorCodeName(r.error().code()),
+                 r.error().message().c_str());
+        }
+      }
     }
   }
 
@@ -283,7 +349,7 @@ int main(int argc, char** argv) {
   std::map<ErrorCode, size_t> failures_by_code;
   for (size_t i = 0; i < futures.size(); ++i) {
     Result<QueryResponse> r = futures[i].get();
-    const QueryRequest& request = requests[i % requests.size()];
+    const QueryRequest& request = *submitted[i];
     if (!r.ok() && r.error().code() == ErrorCode::kOverloaded) ++shed;
     if (!r.ok()) {
       failures.push_back({i, r.error().code(),
@@ -320,11 +386,17 @@ int main(int argc, char** argv) {
           .count();
 
   printf("\n%zu queries (%zu ok, %zu failed, %zu shed) in %.3fs  =  "
-         "%.0f queries/sec  [%zu threads]\n\n",
+         "%.0f queries/sec  [%zu threads]\n",
          futures.size(), ok, failed, shed, secs,
          secs > 0 ? static_cast<double>(futures.size()) / secs : 0.0,
          engine.num_threads());
-  printf("%s", engine.StatsReport().c_str());
+  if (mut_ok + mut_failed > 0) {
+    printf("%zu writes (%zu ok, %zu failed, %zu shed); "
+           "%zu plans invalidated, %zu compactions scheduled\n",
+           mut_ok + mut_failed, mut_ok, mut_failed, mut_shed,
+           plans_invalidated, compactions_scheduled);
+  }
+  printf("\n%s", engine.StatsReport().c_str());
 
   if (!failures.empty()) {
     printf("\nFAILED: %zu of %zu queries returned a non-OK status\n",
@@ -337,5 +409,5 @@ int main(int argc, char** argv) {
              ErrorCodeName(f.code), f.message.c_str());
     }
   }
-  return failed == 0 ? 0 : 1;
+  return failed == 0 && mut_failed == 0 ? 0 : 1;
 }

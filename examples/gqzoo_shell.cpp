@@ -24,9 +24,17 @@
 //   explain <command...>   show the compiled plan (conjunct join order +
 //                          cardinality estimates) instead of executing,
 //                          e.g. `explain crpq q(x) :- a(x,y), b(y,z)`
+//   add-node <name> <label>
+//   add-edge <name> <src> <tgt> <label>
+//   del-node <name> | del-edge <name>
+//   set-label <node> <label>
+//   set-prop node|edge <name> <property> <value>
+//                          mutate the loaded graph through the delta
+//                          overlay (no rebuild; readers see a merged view)
+//   compact                fold the pending delta into a fresh base now
 //   timeout <ms>           set the default per-query deadline (0 = off)
 //   memlimit <bytes>       set the default per-query memory budget (0 = off)
-//   stats                  engine metrics + plan-cache report
+//   stats                  engine metrics + plan-cache + delta report
 //   help                   this text
 //   quit
 
@@ -38,6 +46,7 @@
 
 #include "src/engine/engine.h"
 #include "src/graph/builtin_graphs.h"
+#include "src/graph/delta/delta.h"
 #include "src/graph/graph_io.h"
 
 using namespace gqzoo;
@@ -51,6 +60,9 @@ constexpr const char* kHelp = R"(commands:
   crpq <rule> | dlcrpq <rule> | gql <query> | gqlopt <query>
   gqlgroup <pattern> | regular <rules>
   explain <command...>   (plan + join order, no execution)
+  add-node <name> <label> | add-edge <name> <src> <tgt> <label>
+  del-node <name> | del-edge <name> | set-label <node> <label>
+  set-prop node|edge <name> <property> <value> | compact
   timeout <ms> | memlimit <bytes> | stats | help | quit
 )";
 
@@ -125,6 +137,12 @@ class Shell {
       Run(MakeRequest(QueryLanguage::kGqlGroup, rest));
     } else if (command == "regular") {
       Run(MakeRequest(QueryLanguage::kRegular, rest));
+    } else if (command == "compact") {
+      printf(engine_.CompactNow()
+                 ? "compacted: delta folded into a fresh base\n"
+                 : "nothing to compact\n");
+    } else if (IsMutationCommand(command)) {
+      RunMutation(line);
     } else if (!command.empty()) {
       printf("unknown command '%s' (try 'help')\n", command.c_str());
     }
@@ -155,6 +173,28 @@ class Shell {
       return;
     }
     printf("%s", r.value().text.c_str());
+  }
+
+  /// One mutation line through the engine's delta write path.
+  void RunMutation(const std::string& line) {
+    Result<MutationOp> op = ParseMutationOp(line);
+    if (!op.ok()) {
+      printf("error [%s]: %s\n", ErrorCodeName(op.error().code()),
+             op.error().message().c_str());
+      return;
+    }
+    MutationBatch batch;
+    batch.ops.push_back(std::move(op).value());
+    Result<QueryEngine::MutationResult> r = engine_.ApplyMutation(batch);
+    if (!r.ok()) {
+      printf("error [%s]: %s\n", ErrorCodeName(r.error().code()),
+             r.error().message().c_str());
+      return;
+    }
+    printf("ok (%llu ops pending%s%s)\n",
+           static_cast<unsigned long long>(r.value().pending_ops),
+           r.value().plans_invalidated > 0 ? ", plans invalidated" : "",
+           r.value().compaction_scheduled ? ", compaction scheduled" : "");
   }
 
   void SetTimeout(const std::string& args) {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <sstream>
+#include <thread>
 #include <utility>
 #include <variant>
 
@@ -57,7 +58,13 @@ QueryEngine::QueryEngine(PropertyGraph graph, Options options)
       default_budgets_(options.default_budgets),
       cache_(options.cache_capacity_per_shard, options.cache_shards),
       governor_(options.governor),
-      pool_(options.num_threads) {}
+      pool_(options.num_threads),
+      mutation_policy_(options.mutation),
+      mutation_(std::make_unique<MutationManager>(graph_, snapshot_, stats_)) {
+  published_ticket_ = mutation_->ticket();
+}
+
+QueryEngine::~QueryEngine() { pool_.Shutdown(); }
 
 std::shared_ptr<const GraphSnapshot> QueryEngine::BuildSnapshot(
     std::shared_ptr<const PropertyGraph> graph) {
@@ -74,14 +81,67 @@ void QueryEngine::SetGraph(PropertyGraph graph) {
   // O(|E|) and must not stall concurrent executions.
   auto next_snapshot = BuildSnapshot(next);
   auto next_stats = std::make_shared<const SnapshotStats>(*next_snapshot);
+  // Invalidation-version bump first: a reader that compiled against the
+  // outgoing graph and races past the eviction below must not re-insert
+  // its plan (see the Put guard in ExecuteFrom).
+  invalidation_version_.fetch_add(1, std::memory_order_acq_rel);
+  mutation_->ResetBase(next, next_snapshot, next_stats);
+  uint64_t current_epoch;
   {
     std::lock_guard<std::mutex> lock(graph_mu_);
     graph_ = std::move(next);
     snapshot_ = std::move(next_snapshot);
     stats_ = std::move(next_stats);
-    ++epoch_;
+    current_epoch = ++epoch_;
+    published_ticket_ = mutation_->ticket();
+    published_merged_ = false;
   }
   metrics_.graph_epoch_bumps.Increment();
+  metrics_.plan_invalidations_full.Increment();
+  metrics_.delta_pending_ops.Set(0);
+  // Stale-epoch entries can never be returned (the epoch is part of the
+  // key); evict them now instead of letting them age out of the LRU.
+  size_t evicted = cache_.EvictOtherEpochs(current_epoch);
+  if (evicted > 0) metrics_.plans_evicted_dead_epoch.Increment(evicted);
+}
+
+void QueryEngine::RefreshViewIfStale() {
+  const uint64_t current = mutation_->ticket();
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    if (published_ticket_ == current) return;
+  }
+  bool built_merged = false;
+  MutationManager::View view = mutation_->CurrentView(&built_merged);
+  if (built_merged) metrics_.merged_view_builds.Increment();
+  // The displaced generation can be the last reference to a whole graph
+  // (old merged view + the base a compaction just retired). Swap it out
+  // under the lock but destroy it on the pool: freeing tens of thousands
+  // of strings and map nodes on the first read after a compaction would
+  // show up directly in that reader's latency.
+  std::shared_ptr<const PropertyGraph> retired_graph;
+  std::shared_ptr<const GraphSnapshot> retired_snapshot;
+  std::shared_ptr<const SnapshotStats> retired_stats;
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    if (view.ticket < published_ticket_) return;  // a newer publish won
+    retired_graph = std::move(graph_);
+    retired_snapshot = std::move(snapshot_);
+    retired_stats = std::move(stats_);
+    graph_ = std::move(view.graph);
+    snapshot_ = std::move(view.snapshot);
+    stats_ = std::move(view.stats);
+    published_ticket_ = view.ticket;
+    published_merged_ = view.is_merged;
+  }
+  bool deferred = pool_.Submit(
+      [g = std::move(retired_graph), s = std::move(retired_snapshot),
+       st = std::move(retired_stats)]() mutable {
+        st.reset();
+        s.reset();
+        g.reset();
+      });
+  (void)deferred;  // pool shutting down: the locals free it here instead
 }
 
 uint64_t QueryEngine::graph_epoch() const {
@@ -90,11 +150,16 @@ uint64_t QueryEngine::graph_epoch() const {
 }
 
 std::shared_ptr<const PropertyGraph> QueryEngine::graph_snapshot() const {
+  // Accessors are readers too: pick up any published-but-unmaterialized
+  // delta, so `show` after a mutation renders the merged view (logically
+  // const — the view cache is rebuilt, observable state is unchanged).
+  const_cast<QueryEngine*>(this)->RefreshViewIfStale();
   std::lock_guard<std::mutex> lock(graph_mu_);
   return graph_;
 }
 
 std::shared_ptr<const GraphSnapshot> QueryEngine::csr_snapshot() const {
+  const_cast<QueryEngine*>(this)->RefreshViewIfStale();
   std::lock_guard<std::mutex> lock(graph_mu_);
   return snapshot_;
 }
@@ -131,13 +196,19 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
   metrics_.queries_total.Increment();
   metrics_.RecordLanguage(request.language);
 
+  // Publish any pending delta as a merged view before pinning. Pure-read
+  // workloads take only the one-atomic-compare fast path here.
+  RefreshViewIfStale();
+
   // Snapshot (graph, CSR, epoch, timeout, budgets) atomically; in-flight
   // queries keep the graph and CSR they started with alive even if
-  // SetGraph races with them.
+  // SetGraph or a mutation races with them (compaction publish included —
+  // the shared_ptrs pin the old generation until the query finishes).
   std::shared_ptr<const PropertyGraph> graph;
   std::shared_ptr<const GraphSnapshot> snapshot;
   std::shared_ptr<const SnapshotStats> stats;
   uint64_t epoch;
+  bool merged_view;
   std::optional<std::chrono::milliseconds> timeout = request.timeout;
   ResourceBudgets budgets;
   {
@@ -146,8 +217,37 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
     snapshot = snapshot_;
     stats = stats_;
     epoch = epoch_;
+    merged_view = published_merged_;
     if (!timeout.has_value()) timeout = default_timeout_;
     budgets = default_budgets_;
+  }
+
+  // Regular queries evaluate against a mutable working copy of the
+  // skeleton (rules add edges), which an overlay-mode view cannot provide.
+  // Force the pending delta into a plain base first; a bounded retry
+  // covers a concurrent background fold holding the compaction slot.
+  if (request.language == QueryLanguage::kRegular && merged_view) {
+    for (int attempt = 0; merged_view && attempt < 10; ++attempt) {
+      if (mutation_->Compact()) {
+        metrics_.compactions_run.Increment();
+        metrics_.delta_pending_ops.Set(mutation_->GetInfo().pending_ops);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      RefreshViewIfStale();
+      std::lock_guard<std::mutex> lock(graph_mu_);
+      graph = graph_;
+      snapshot = snapshot_;
+      stats = stats_;
+      epoch = epoch_;
+      merged_view = published_merged_;
+    }
+    if (merged_view) {
+      metrics_.queries_error.Increment();
+      return Error(ErrorCode::kUnavailable,
+                   "regular queries need a compacted graph and the pending "
+                   "delta could not be folded; retry");
+    }
   }
   if (request.memory_budget) budgets.memory_bytes = *request.memory_budget;
   if (request.row_budget) budgets.result_rows = *request.row_budget;
@@ -183,6 +283,11 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
   plan_options.optimize = request.optimize;
   PlanCacheKey key =
       PlanCacheKey::For(request.language, request.text, epoch, plan_options);
+  // Recorded before the cache probe: if any invalidation (label-scoped or
+  // SetGraph) lands while we compile, our plan may describe pre-mutation
+  // state and must not be inserted.
+  const uint64_t inval_version =
+      invalidation_version_.load(std::memory_order_acquire);
   bool cache_hit = false;
   PlanPtr plan = cache_.Get(key);
   if (plan != nullptr) {
@@ -201,7 +306,10 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
       return compiled.error();
     }
     plan = std::move(compiled).value();
-    cache_.Put(key, plan);
+    if (invalidation_version_.load(std::memory_order_acquire) ==
+        inval_version) {
+      cache_.Put(key, plan);
+    }
   }
 
   if (request.explain) {
@@ -264,6 +372,87 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
   if (response.truncated) metrics_.truncated_results.Increment();
   metrics_.queries_ok.Increment();
   return response;
+}
+
+Result<QueryEngine::MutationResult> QueryEngine::ApplyMutation(
+    const MutationBatch& batch) {
+  // Writes pass the same admission gate as submitted queries: under
+  // overload the whole batch is shed before touching any state.
+  if (Failpoint::ShouldFail("engine.apply_mutation") || !governor_.TryAdmit()) {
+    metrics_.write_sheds.Increment();
+    return Error(ErrorCode::kOverloaded,
+                 "write shed: engine at admission capacity (" +
+                     std::to_string(governor_.options().admission_capacity) +
+                     " in flight); retry later");
+  }
+  governor_.BeginExecution();
+
+  std::optional<std::chrono::milliseconds> timeout;
+  ResourceBudgets budgets;
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    timeout = default_timeout_;
+    budgets = default_budgets_;
+  }
+  QueryContext ctx;
+  if (timeout.has_value() && timeout->count() > 0) {
+    ctx = QueryContext::WithDeadline(std::chrono::steady_clock::now() +
+                                     *timeout);
+  }
+  ctx.set_budgets(budgets);
+  const QueryContext* cancel =
+      (ctx.deadline().has_value() || budgets.any()) ? &ctx : nullptr;
+
+  MutationManager::ApplyOutcome outcome;
+  size_t dropped = 0;
+  {
+    // apply → invalidate → publish, as one unit: a reader must never see
+    // this batch's data while a plan naming a touched label is cacheable.
+    std::lock_guard<std::mutex> write_lock(write_mu_);
+    outcome = mutation_->Apply(batch, mutation_policy_, cancel);
+    if (outcome.ops_applied > 0) {
+      metrics_.write_batches.Increment();
+      metrics_.write_ops.Increment(outcome.ops_applied);
+      if (!outcome.touched_labels.empty() ||
+          !outcome.touched_properties.empty()) {
+        invalidation_version_.fetch_add(1, std::memory_order_acq_rel);
+        dropped = cache_.InvalidateDeps(outcome.touched_labels,
+                                        outcome.touched_properties);
+        metrics_.plan_invalidations_scoped.Increment();
+        if (dropped > 0) metrics_.plans_invalidated.Increment(dropped);
+      }
+      mutation_->Publish();
+    }
+    metrics_.delta_pending_ops.Set(outcome.pending_ops);
+  }
+  governor_.EndExecution();
+
+  bool scheduled = false;
+  if (outcome.want_compaction) {
+    if (mutation_policy_.background_compaction) {
+      scheduled = pool_.Submit([this] {
+        if (mutation_->Compact()) metrics_.compactions_run.Increment();
+        metrics_.delta_pending_ops.Set(mutation_->GetInfo().pending_ops);
+      });
+    } else {
+      scheduled = CompactNow();
+    }
+  }
+
+  if (!outcome.applied.ok()) return outcome.applied.error();
+  MutationResult result;
+  result.applied = outcome.applied.value();
+  result.pending_ops = outcome.pending_ops;
+  result.plans_invalidated = dropped;
+  result.compaction_scheduled = scheduled;
+  return result;
+}
+
+bool QueryEngine::CompactNow() {
+  if (!mutation_->Compact()) return false;
+  metrics_.compactions_run.Increment();
+  metrics_.delta_pending_ops.Set(mutation_->GetInfo().pending_ops);
+  return true;
 }
 
 std::future<Result<QueryResponse>> QueryEngine::Submit(QueryRequest request) {
@@ -520,6 +709,15 @@ std::string QueryEngine::StatsReport() const {
            static_cast<unsigned long long>(governor_.shed_total()),
            governor_.options().admission_capacity,
            governor_.options().max_concurrent);
+  out += line;
+  MutationManager::Info delta = mutation_->GetInfo();
+  snprintf(line, sizeof(line),
+           "delta          pending_ops %llu  ~%zu bytes  compactions %llu  "
+           "base_resets %llu\n",
+           static_cast<unsigned long long>(delta.pending_ops),
+           delta.approx_delta_bytes,
+           static_cast<unsigned long long>(delta.compactions),
+           static_cast<unsigned long long>(delta.base_resets));
   out += line;
   out += "threads        " + std::to_string(pool_.num_threads()) + "\n";
   return out;

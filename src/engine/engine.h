@@ -1,6 +1,7 @@
 #ifndef GQZOO_ENGINE_ENGINE_H_
 #define GQZOO_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -13,9 +14,11 @@
 #include "src/engine/governor.h"
 #include "src/engine/language.h"
 #include "src/engine/metrics.h"
+#include "src/engine/mutation/write_path.h"
 #include "src/engine/plan.h"
 #include "src/engine/plan_cache.h"
 #include "src/graph/csr.h"
+#include "src/graph/delta/delta.h"
 #include "src/graph/graph.h"
 #include "src/util/query_context.h"
 #include "src/util/result.h"
@@ -112,10 +115,16 @@ class QueryEngine {
     /// Shard count for parallel RPQ evaluation over the CSR snapshot;
     /// 0 = auto (4 shards per participating thread).
     size_t rpq_shards = 0;
+    /// Delta-overlay write path: compaction thresholds and scheduling.
+    MutationPolicy mutation;
   };
 
   explicit QueryEngine(PropertyGraph graph);
   QueryEngine(PropertyGraph graph, Options options);
+  /// Drains the thread pool before member teardown: queued background
+  /// compactions capture `this` and use `mutation_`, which the implicit
+  /// member-destruction order would destroy before the pool joins.
+  ~QueryEngine();
 
   /// Compiles (or fetches from cache) and runs the query on the calling
   /// thread, honoring the deadline cooperatively.
@@ -129,8 +138,37 @@ class QueryEngine {
   std::future<Result<QueryResponse>> Submit(QueryRequest request);
 
   /// Replaces the graph and bumps the epoch, invalidating every cached
-  /// plan. In-flight queries finish against the graph they started with.
+  /// plan (stale-epoch entries are evicted eagerly, not LRU-aged). Any
+  /// pending delta is dropped. In-flight queries finish against the graph
+  /// they started with.
   void SetGraph(PropertyGraph graph);
+
+  /// Outcome of `ApplyMutation`.
+  struct MutationResult {
+    size_t applied = 0;          // ops applied (== batch size on success)
+    uint64_t pending_ops = 0;    // delta ops awaiting compaction
+    size_t plans_invalidated = 0;  // cache entries dropped (label-scoped)
+    bool compaction_scheduled = false;
+  };
+
+  /// Applies a mutation batch through the delta overlay: O(delta) work, no
+  /// graph clone, no epoch bump. Readers admitted afterwards see a merged
+  /// view layering the delta over the unchanged base; cached plans are
+  /// invalidated label-scoped (only plans naming a touched label or
+  /// property drop). Writes pass governor admission — under overload the
+  /// whole batch is shed with `kOverloaded` — and charge the engine's
+  /// default budgets per op. On a mid-batch validation error the valid
+  /// prefix stays applied (the error names the failing op).
+  Result<MutationResult> ApplyMutation(const MutationBatch& batch);
+
+  /// Synchronously folds any pending delta into a fresh base generation.
+  /// Returns false when there was nothing to fold or a background fold is
+  /// already running. Query-visible state does not change (merged views
+  /// and the compacted base assign identical ids).
+  bool CompactNow();
+
+  /// Write-path observability for `stats` in the shell.
+  MutationManager::Info delta_info() const { return mutation_->GetInfo(); }
 
   uint64_t graph_epoch() const;
   /// A consistent snapshot (graph, epoch) for read access.
@@ -173,6 +211,12 @@ class QueryEngine {
                                     const QueryRequest& request,
                                     const CancellationToken* cancel);
 
+  /// Re-publishes (graph_, snapshot_, stats_) from the mutation manager
+  /// when its ticket moved past the published one. Fast path: one atomic
+  /// load + one mutex'd compare. Called lazily by readers, so pure-read
+  /// workloads never pay for the write path.
+  void RefreshViewIfStale();
+
   /// Builds a CSR snapshot whose lifetime also pins `graph` (the snapshot
   /// borrows the graph's adjacency arrays).
   static std::shared_ptr<const GraphSnapshot> BuildSnapshot(
@@ -185,6 +229,10 @@ class QueryEngine {
   /// conjunct planner at compile time. Rebuilt with the snapshot.
   std::shared_ptr<const SnapshotStats> stats_;
   uint64_t epoch_ = 0;
+  /// Mutation-manager ticket of the published view, and whether that view
+  /// layers a pending delta (merged views block kRegular, see ExecuteFrom).
+  uint64_t published_ticket_ = 0;
+  bool published_merged_ = false;
   size_t rpq_shards_ = 0;
   std::optional<std::chrono::milliseconds> default_timeout_;
   ResourceBudgets default_budgets_;
@@ -193,6 +241,18 @@ class QueryEngine {
   MetricsRegistry metrics_;
   ResourceGovernor governor_;
   ThreadPool pool_;
+
+  MutationPolicy mutation_policy_;
+  std::unique_ptr<MutationManager> mutation_;
+  /// Serializes ApplyMutation's apply → invalidate → publish sequence so a
+  /// second writer cannot publish a first writer's data before the first
+  /// writer's plan invalidation ran.
+  std::mutex write_mu_;
+  /// Bumped before any plan-cache invalidation (scoped or full). A reader
+  /// records it before compiling and skips its `Put` when it moved — a plan
+  /// compiled against pre-mutation state must not outlive the invalidation
+  /// that raced with it.
+  std::atomic<uint64_t> invalidation_version_{0};
 };
 
 }  // namespace gqzoo

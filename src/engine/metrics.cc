@@ -70,8 +70,18 @@ std::string MetricsRegistry::ReportText() const {
   row("cache_misses", cache_misses.value());
   row("truncated_results", truncated_results.value());
   row("graph_epoch_bumps", graph_epoch_bumps.value());
+  row("write_batches", write_batches.value());
+  row("write_ops", write_ops.value());
+  row("write_sheds", write_sheds.value());
+  row("compactions_run", compactions_run.value());
+  row("merged_view_builds", merged_view_builds.value());
+  row("plan_invalidations_scoped", plan_invalidations_scoped.value());
+  row("plans_invalidated", plans_invalidated.value());
+  row("plan_invalidations_full", plan_invalidations_full.value());
+  row("plans_evicted_dead_epoch", plans_evicted_dead_epoch.value());
   row("queue_depth_high_water", queue_depth_high_water.value());
   row("peak_query_bytes", peak_query_bytes.value());
+  row("delta_pending_ops", delta_pending_ops.value());
   auto per_language = [&](const char* prefix,
                           const std::array<Counter, kNumQueryLanguages>& a) {
     for (size_t i = 0; i < kNumQueryLanguages; ++i) {
@@ -119,8 +129,18 @@ void MetricsRegistry::Reset() {
   cache_misses.Reset();
   truncated_results.Reset();
   graph_epoch_bumps.Reset();
+  write_batches.Reset();
+  write_ops.Reset();
+  write_sheds.Reset();
+  compactions_run.Reset();
+  merged_view_builds.Reset();
+  plan_invalidations_scoped.Reset();
+  plans_invalidated.Reset();
+  plan_invalidations_full.Reset();
+  plans_evicted_dead_epoch.Reset();
   queue_depth_high_water.Reset();
   peak_query_bytes.Reset();
+  delta_pending_ops.Reset();
   for (auto& c : queries_by_language) c.Reset();
   for (auto& c : shed_by_language) c.Reset();
   for (auto& c : exhausted_by_language) c.Reset();

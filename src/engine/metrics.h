@@ -24,6 +24,18 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// A point-in-time gauge (current delta size, pending-op counts): `Set`
+/// overwrites, unlike `Counter`/`MaxGauge` which only grow.
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
 /// A running-maximum gauge (high-water marks: queue depth, peak accounted
 /// bytes). `Update` keeps the largest value ever observed.
 class MaxGauge {
@@ -86,7 +98,18 @@ class MetricsRegistry {
   Counter cache_hits;          // compiled-plan cache
   Counter cache_misses;
   Counter truncated_results;   // evaluator hit an enumeration limit
-  Counter graph_epoch_bumps;   // SetGraph calls (cache invalidations)
+  Counter graph_epoch_bumps;   // SetGraph calls (base replacements); label-
+                               // scoped mutations do NOT bump the epoch —
+                               // they invalidate per-plan (see below)
+  Counter write_batches;            // ApplyMutation calls admitted
+  Counter write_ops;                // individual mutation ops applied
+  Counter write_sheds;              // write batches shed by admission control
+  Counter compactions_run;          // delta folds into a fresh base
+  Counter merged_view_builds;       // overlay+base merged views constructed
+  Counter plan_invalidations_scoped;  // label-scoped invalidation passes
+  Counter plans_invalidated;          // cache entries dropped by those passes
+  Counter plan_invalidations_full;    // whole-cache invalidations (SetGraph)
+  Counter plans_evicted_dead_epoch;   // stale-epoch entries evicted eagerly
   std::array<Counter, kNumQueryLanguages> queries_by_language;
   std::array<Counter, kNumQueryLanguages> shed_by_language;
   std::array<Counter, kNumQueryLanguages> exhausted_by_language;
@@ -94,6 +117,7 @@ class MetricsRegistry {
 
   MaxGauge queue_depth_high_water;  // governor in-flight high-water mark
   MaxGauge peak_query_bytes;        // largest per-query accounted footprint
+  Gauge delta_pending_ops;          // ops in the live overlay right now
 
   LatencyHistogram latency;
 

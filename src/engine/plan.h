@@ -75,6 +75,20 @@ struct PathsPlan {
   std::optional<Nfa> nfa;       // set otherwise (plain dialect)
 };
 
+/// The graph names a compiled plan resolved at *compile* time — the
+/// fingerprint the mutation path uses for label-scoped cache invalidation.
+/// Automata-compiled languages (RPQ / CRPQ / dl-CRPQ / Paths) bake interned
+/// label and property ids into their NFAs, so a plan stays valid across a
+/// mutation iff none of its named labels/properties were touched (wildcard
+/// `_` transitions match by exclusion and are unaffected: merged views only
+/// ever *append* label ids, never renumber). Languages that resolve names
+/// at evaluation time (CoreGQL, GqlGroup, Regular) have empty deps and
+/// survive every label-scoped mutation.
+struct PlanDeps {
+  std::vector<std::string> labels;      // sorted, unique
+  std::vector<std::string> properties;  // sorted, unique
+};
+
 /// A compiled, immutable, shareable query plan. Produced by `CompilePlan`,
 /// cached by `PlanCache`, executed by `QueryEngine`. Safe to execute from
 /// several threads concurrently (execution only reads it).
@@ -82,6 +96,7 @@ struct Plan {
   QueryLanguage language;
   std::string text;       // the source query text
   uint64_t graph_epoch;   // epoch of the graph the plan was compiled against
+  PlanDeps deps;          // names resolved at compile time
   // monostate only while under construction in CompilePlan (some
   // alternatives, e.g. RpqPlan's Nfa, are not default-constructible).
   std::variant<std::monostate, RpqPlan, CrpqPlan, DlCrpqPlan, CoreGqlPlan,

@@ -78,6 +78,20 @@ class PlanCache {
   /// Drops every entry (used by benchmarks to measure cold-cache cost).
   void Clear();
 
+  /// Label-scoped invalidation for the mutation path: drops exactly the
+  /// entries whose `Plan::deps` name a touched label or property. Plans
+  /// with empty deps (eval-time name resolution, pure-wildcard regexes)
+  /// survive. Returns the number of entries dropped.
+  size_t InvalidateDeps(const std::vector<std::string>& labels,
+                        const std::vector<std::string>& properties);
+
+  /// Eager eviction on base publish: drops every entry whose key was minted
+  /// under an epoch other than `current_epoch`. Such entries can never be
+  /// returned again (the epoch is part of the key) — evicting them on
+  /// `SetGraph` frees their memory now instead of waiting for LRU aging.
+  /// Returns the number of entries dropped.
+  size_t EvictOtherEpochs(uint64_t current_epoch);
+
   /// Aggregated over all shards.
   Stats GetStats() const;
 

@@ -53,6 +53,9 @@ std::string FuzzCase::ToText() const {
   }
   if (step_budget != 0) out << "budget_steps " << step_budget << "\n";
   if (memory_budget != 0) out << "budget_memory " << memory_budget << "\n";
+  for (const MutationOp& op : mutations) {
+    out << "mutate " << op.ToString() << "\n";
+  }
   out << "graph\n" << graph_text;
   if (!graph_text.empty() && graph_text.back() != '\n') out << "\n";
   out << "end\n";
@@ -107,6 +110,13 @@ Result<FuzzCase> ParseFuzzCase(const std::string& text) {
       Result<PathMode> m = ParsePathModeToken(mode);
       if (!m.ok()) return m.error();
       c.paths_mode = m.value();
+    } else if (key == "mutate") {
+      Result<MutationOp> op = ParseMutationOp(rest);
+      if (!op.ok()) {
+        return Error(ErrorCode::kParse, "line " + std::to_string(lineno) +
+                                            ": " + op.error().message());
+      }
+      c.mutations.push_back(std::move(op).value());
     } else if (key == "budget_steps") {
       c.step_budget = strtoull(rest.c_str(), nullptr, 10);
     } else if (key == "budget_memory") {

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/crpq/crpq.h"
 #include "src/engine/engine.h"
 #include "src/engine/language.h"
+#include "src/graph/delta/delta.h"
 #include "src/graph/graph.h"
 #include "src/util/result.h"
 
@@ -35,6 +37,11 @@ struct FuzzCase {
   /// the ungoverned differential legs always run without them).
   uint64_t step_budget = 0;
   uint64_t memory_budget = 0;
+
+  /// Mutation sequence applied before the delta-vs-rebuild differential
+  /// oracle (empty = pure-read case). Serialized as one `mutate <op>` line
+  /// per op in the shell's mutation syntax.
+  std::vector<MutationOp> mutations;
 
   /// Builds the engine request for this case (no budgets attached).
   QueryRequest ToRequest() const;

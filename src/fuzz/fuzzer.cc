@@ -73,6 +73,11 @@ FuzzCase GenCase(uint64_t case_seed, const FuzzerOptions& options) {
       c.memory_budget = budget_rng.Range(1 << 12, 1 << 20);
     }
   }
+
+  FuzzRng mutation_rng = rng.Fork(4);
+  if (mutation_rng.Percent(options.mutation_percent)) {
+    c.mutations = GenMutations(&mutation_rng, g, labels, options.mutation);
+  }
   return c;
 }
 
@@ -100,6 +105,9 @@ FuzzRunResult RunFuzzer(const FuzzerOptions& options, std::ostream* log) {
 
     OracleReport report = RunOracle(c, options.oracle);
     if (report.parsed) ++result.stats.queries_parsed;
+    if (report.ok() && !c.mutations.empty()) {
+      RunMutationOracle(c, options.oracle, &report);
+    }
     if (report.ok() && options.metamorphic) {
       FuzzRng meta_rng = FuzzRng(c.seed).Fork(7);
       RunMetamorphic(c, &meta_rng, options.oracle, &report);

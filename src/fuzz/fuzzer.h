@@ -10,6 +10,7 @@
 #include "src/fuzz/fuzz_case.h"
 #include "src/fuzz/graph_gen.h"
 #include "src/fuzz/minimize.h"
+#include "src/fuzz/mutation_gen.h"
 #include "src/fuzz/oracle.h"
 #include "src/fuzz/query_gen.h"
 
@@ -34,6 +35,10 @@ struct FuzzerOptions {
   OracleOptions oracle;
   GraphGenOptions graph;
   QueryGenOptions query;
+  MutationGenOptions mutation;
+  /// Percent of cases that carry a mutation sequence (and run the
+  /// delta-vs-rebuild differential oracle on top of the read-path matrix).
+  uint64_t mutation_percent = 35;
   /// Run the metamorphic suite on cases the oracle passes.
   bool metamorphic = true;
   /// Delta-debug failures down before reporting them.

@@ -10,6 +10,7 @@
 #include "src/crpq/crpq_parser.h"
 #include "src/fuzz/graph_gen.h"
 #include "src/fuzz/metamorphic.h"
+#include "src/fuzz/mutation_gen.h"
 #include "src/graph/graph_io.h"
 
 namespace gqzoo {
@@ -57,6 +58,7 @@ class Minimizer {
       changed |= DdminEdges();
       changed |= PruneNodes();
       changed |= DropConjuncts();
+      changed |= DropMutations();
       changed |= ClearBudgets();
       if (!changed) break;
     }
@@ -69,6 +71,9 @@ class Minimizer {
   std::string Verdict(const FuzzCase& c) {
     ++evaluations_;
     OracleReport report = RunOracle(c, options_.oracle);
+    if (report.ok() && !c.mutations.empty()) {
+      RunMutationOracle(c, options_.oracle, &report);
+    }
     if (report.ok() && options_.include_metamorphic) {
       FuzzRng rng = FuzzRng(c.seed).Fork(7);
       RunMetamorphic(c, &rng, options_.oracle, &report);
@@ -205,6 +210,37 @@ class Minimizer {
     return changed;
   }
 
+  /// Shrinks the mutation sequence: first try dropping it wholesale (the
+  /// failure may be a pure read-path bug), then ops one at a time from the
+  /// back (later ops rarely enable earlier ones, so backwards converges
+  /// faster on sequences whose prefix carries the bug).
+  bool DropMutations() {
+    if (best_.mutations.empty()) return false;
+    {
+      FuzzCase candidate = best_;
+      candidate.mutations.clear();
+      if (StillFails(candidate)) {
+        best_ = std::move(candidate);
+        return true;
+      }
+    }
+    bool changed = false;
+    for (bool retry = true; retry;) {
+      retry = false;
+      for (size_t i = best_.mutations.size(); i-- > 0;) {
+        FuzzCase candidate = best_;
+        candidate.mutations.erase(candidate.mutations.begin() + i);
+        if (StillFails(candidate)) {
+          best_ = std::move(candidate);
+          changed = true;
+          retry = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  }
+
   bool ClearBudgets() {
     if (best_.step_budget == 0 && best_.memory_budget == 0) return false;
     FuzzCase candidate = best_;
@@ -241,6 +277,9 @@ std::string SanitizeForTestName(const std::string& s) {
 
 std::string FirstFailure(const FuzzCase& c, const MinimizeOptions& options) {
   OracleReport report = RunOracle(c, options.oracle);
+  if (report.ok() && !c.mutations.empty()) {
+    RunMutationOracle(c, options.oracle, &report);
+  }
   if (report.ok() && options.include_metamorphic) {
     FuzzRng rng = FuzzRng(c.seed).Fork(7);
     RunMetamorphic(c, &rng, options.oracle, &report);

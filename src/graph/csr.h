@@ -101,6 +101,12 @@ class GraphSnapshot {
   size_t ApproxBytes() const;
 
  private:
+  /// The delta merger splice-builds snapshots of merged overlay views from
+  /// a base snapshot plus the overlay, without the per-node re-sort of the
+  /// public constructors (src/graph/delta/merge.cc).
+  friend class GraphDeltaMerger;
+  GraphSnapshot() = default;
+
   /// Per-node run of same-label hops: hops[begin, end) all carry `label`.
   struct LabelRun {
     LabelId label;
@@ -126,7 +132,7 @@ class GraphSnapshot {
   }
   Slice LabelSlice(const Csr& csr, NodeId v, LabelId l) const;
 
-  const EdgeLabeledGraph* g_;
+  const EdgeLabeledGraph* g_ = nullptr;
   size_t num_nodes_ = 0;
   size_t num_labels_ = 0;
   Csr out_;

@@ -1,10 +1,12 @@
 #include "src/graph/graph.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace gqzoo {
 
 NodeId EdgeLabeledGraph::AddNode(const std::string& name) {
+  assert(overlay_ == nullptr && "overlay graphs are immutable");
   NodeId id = static_cast<NodeId>(node_names_.size());
   std::string effective = name.empty() ? "n" + std::to_string(id) : name;
   assert(node_by_name_.find(effective) == node_by_name_.end() &&
@@ -24,6 +26,7 @@ EdgeId EdgeLabeledGraph::AddEdge(NodeId src, NodeId tgt,
 
 EdgeId EdgeLabeledGraph::AddEdge(NodeId src, NodeId tgt, LabelId label,
                                  const std::string& name) {
+  assert(overlay_ == nullptr && "overlay graphs are immutable");
   assert(src < NumNodes() && tgt < NumNodes());
   EdgeId id = static_cast<EdgeId>(edges_.size());
   edges_.push_back({src, tgt, label});
@@ -39,6 +42,17 @@ EdgeId EdgeLabeledGraph::AddEdge(NodeId src, NodeId tgt, LabelId label,
 
 std::optional<NodeId> EdgeLabeledGraph::FindNode(
     const std::string& name) const {
+  if (overlay_ != nullptr) {
+    // Added elements claim a name before the base holder is consulted; a
+    // delta only adds a name when its base holder (if any) is removed.
+    auto added = overlay_->added_node_by_name.find(name);
+    if (added != overlay_->added_node_by_name.end()) return added->second;
+    std::optional<NodeId> base_id = overlay_->base->FindNode(name);
+    if (!base_id.has_value()) return std::nullopt;
+    uint32_t here = overlay_->base_node_to_new[*base_id];
+    if (here == kInvalidId) return std::nullopt;
+    return here;
+  }
   auto it = node_by_name_.find(name);
   if (it == node_by_name_.end()) return std::nullopt;
   return it->second;
@@ -46,6 +60,15 @@ std::optional<NodeId> EdgeLabeledGraph::FindNode(
 
 std::optional<EdgeId> EdgeLabeledGraph::FindEdge(
     const std::string& name) const {
+  if (overlay_ != nullptr) {
+    auto added = overlay_->added_edge_by_name.find(name);
+    if (added != overlay_->added_edge_by_name.end()) return added->second;
+    std::optional<EdgeId> base_id = overlay_->base->FindEdge(name);
+    if (!base_id.has_value()) return std::nullopt;
+    uint32_t here = overlay_->base_edge_to_new[*base_id];
+    if (here == kInvalidId) return std::nullopt;
+    return here;
+  }
   auto it = edge_by_name_.find(name);
   if (it == edge_by_name_.end()) return std::nullopt;
   return it->second;
@@ -65,22 +88,63 @@ EdgeId PropertyGraph::AddEdge(NodeId src, NodeId tgt, const std::string& label,
 
 void PropertyGraph::SetProperty(ObjectRef o, const std::string& prop,
                                 Value v) {
+  assert(overlay_ == nullptr && "overlay graphs are immutable");
   PropertyId pid = properties_.Intern(prop);
   props_[{o, pid}] = std::move(v);
+}
+
+std::optional<ObjectRef> PropertyGraph::BaseRef(ObjectRef o) const {
+  const EdgeLabeledGraph::OverlayNames& names = *skeleton_.overlay_;
+  if (o.is_node()) {
+    uint32_t old = names.node_origin[o.id];
+    if (old >= names.base_nodes) return std::nullopt;
+    return ObjectRef::Node(old);
+  }
+  uint32_t old = names.edge_origin[o.id];
+  if (old >= names.base_edges) return std::nullopt;
+  return ObjectRef::Edge(old);
+}
+
+std::optional<ObjectRef> PropertyGraph::NewRef(ObjectRef base_ref) const {
+  const EdgeLabeledGraph::OverlayNames& names = *skeleton_.overlay_;
+  uint32_t here = base_ref.is_node() ? names.base_node_to_new[base_ref.id]
+                                     : names.base_edge_to_new[base_ref.id];
+  if (here == kInvalidId) return std::nullopt;
+  return ObjectRef{base_ref.kind, here};
 }
 
 std::optional<Value> PropertyGraph::GetProperty(ObjectRef o,
                                                 PropertyId prop) const {
   auto it = props_.find({o, prop});
-  if (it == props_.end()) return std::nullopt;
-  return it->second;
+  if (it != props_.end()) return it->second;
+  if (overlay_ == nullptr) return std::nullopt;
+  std::optional<ObjectRef> base_ref = BaseRef(o);
+  if (!base_ref.has_value()) return std::nullopt;  // added by the delta
+  return overlay_->base->GetProperty(*base_ref, prop);
 }
 
 std::optional<Value> PropertyGraph::GetProperty(
     ObjectRef o, const std::string& prop) const {
-  std::optional<PropertyId> pid = properties_.Find(prop);
+  std::optional<PropertyId> pid = FindProperty(prop);
   if (!pid.has_value()) return std::nullopt;
   return GetProperty(o, *pid);
+}
+
+std::optional<PropertyId> PropertyGraph::FindProperty(
+    const std::string& prop) const {
+  if (overlay_ == nullptr) return properties_.Find(prop);
+  std::optional<PropertyId> base_id = overlay_->base->FindProperty(prop);
+  if (base_id.has_value()) return base_id;
+  auto it = overlay_->added_prop_by_name.find(prop);
+  if (it == overlay_->added_prop_by_name.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& PropertyGraph::PropertyName(PropertyId p) const {
+  if (overlay_ == nullptr) return properties_.NameOf(p);
+  return p < overlay_->base_props
+             ? overlay_->base->PropertyName(p)
+             : overlay_->added_props[p - overlay_->base_props];
 }
 
 std::vector<std::pair<PropertyId, Value>> PropertyGraph::PropertiesOf(
@@ -89,9 +153,32 @@ std::vector<std::pair<PropertyId, Value>> PropertyGraph::PropertiesOf(
   for (const auto& [key, value] : props_) {
     if (key.first == o) result.emplace_back(key.second, value);
   }
+  if (overlay_ != nullptr) {
+    std::optional<ObjectRef> base_ref = BaseRef(o);
+    if (base_ref.has_value()) {
+      for (auto& [pid, value] : overlay_->base->PropertiesOf(*base_ref)) {
+        if (props_.count({o, pid}) == 0) {
+          result.emplace_back(pid, std::move(value));
+        }
+      }
+    }
+  }
   std::sort(result.begin(), result.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return result;
+}
+
+void PropertyGraph::ForEachProperty(
+    const std::function<void(ObjectRef, PropertyId, const Value&)>& fn) const {
+  for (const auto& [key, value] : props_) fn(key.first, key.second, value);
+  if (overlay_ == nullptr) return;
+  overlay_->base->ForEachProperty(
+      [&](ObjectRef base_ref, PropertyId p, const Value& v) {
+        std::optional<ObjectRef> here = NewRef(base_ref);
+        if (!here.has_value()) return;              // removed object
+        if (props_.count({*here, p}) != 0) return;  // overridden
+        fn(*here, p, v);
+      });
 }
 
 }  // namespace gqzoo

@@ -1,7 +1,10 @@
 #ifndef GQZOO_GRAPH_GRAPH_H_
 #define GQZOO_GRAPH_GRAPH_H_
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,6 +22,9 @@ using LabelId = uint32_t;
 using PropertyId = uint32_t;
 
 inline constexpr uint32_t kInvalidId = UINT32_MAX;
+
+class GraphDeltaMerger;
+class PropertyGraph;
 
 /// Whether a path object is a node or an edge ("objects" in the paper's
 /// terminology, "elements" in GQL/SQL-PGQ).
@@ -58,6 +64,13 @@ struct ObjectRefHash {
 /// Nodes and edges additionally carry display names (e.g. "a1", "t1") so
 /// query answers can be printed like the paper's examples; names play no
 /// semantic role.
+///
+/// A graph is either *plain* (built by AddNode/AddEdge, owns every array)
+/// or an *overlay* (a merged delta view, see src/graph/delta): the numeric
+/// hot-path arrays — edges, adjacency, labels-per-edge — are materialized
+/// in the merged id space, while strings (names, label text) and the
+/// name→id maps are borrowed from the immutable base generation through
+/// translation tables. Overlay graphs are immutable; the mutators assert.
 class EdgeLabeledGraph {
  public:
   struct EdgeData {
@@ -79,7 +92,8 @@ class EdgeLabeledGraph {
   EdgeId AddEdge(NodeId src, NodeId tgt, LabelId label,
                  const std::string& name = "");
 
-  size_t NumNodes() const { return node_names_.size(); }
+  // out_ is materialized in overlay views too, unlike node_names_.
+  size_t NumNodes() const { return out_.size(); }
   size_t NumEdges() const { return edges_.size(); }
 
   NodeId Src(EdgeId e) const { return edges_[e].src; }
@@ -91,15 +105,19 @@ class EdgeLabeledGraph {
 
   /// Label interning. Labels are shared between this graph's edges and, when
   /// this graph is the skeleton of a `PropertyGraph`, its node labels too.
-  LabelId InternLabel(const std::string& label) { return labels_.Intern(label); }
-  std::optional<LabelId> FindLabel(const std::string& label) const {
-    return labels_.Find(label);
+  LabelId InternLabel(const std::string& label) {
+    assert(overlay_ == nullptr && "overlay graphs are immutable");
+    return labels_.Intern(label);
   }
-  const std::string& LabelName(LabelId l) const { return labels_.NameOf(l); }
-  size_t NumLabels() const { return labels_.size(); }
+  std::optional<LabelId> FindLabel(const std::string& label) const;
+  const std::string& LabelName(LabelId l) const;
+  size_t NumLabels() const {
+    if (overlay_ == nullptr) return labels_.size();
+    return overlay_->base_labels + overlay_->added_labels.size();
+  }
 
-  const std::string& NodeName(NodeId n) const { return node_names_[n]; }
-  const std::string& EdgeName(EdgeId e) const { return edge_names_[e]; }
+  const std::string& NodeName(NodeId n) const;
+  const std::string& EdgeName(EdgeId e) const;
   std::optional<NodeId> FindNode(const std::string& name) const;
   std::optional<EdgeId> FindEdge(const std::string& name) const;
 
@@ -108,7 +126,35 @@ class EdgeLabeledGraph {
     return o.is_node() ? NodeName(o.id) : EdgeName(o.id);
   }
 
+  /// True when this graph is a merged delta view over a base generation.
+  bool is_overlay() const { return overlay_ != nullptr; }
+
  private:
+  friend class GraphDeltaMerger;
+  friend class PropertyGraph;
+
+  /// Borrowed-string tables of an overlay view. Ids below the `base_*`
+  /// counts are base ids ("old space"); a merged ("new space") id maps to
+  /// its old-space origin through `node_origin`/`edge_origin`, and base
+  /// ids map forward through `base_*_to_new` (kInvalidId = removed).
+  struct OverlayNames {
+    std::shared_ptr<const void> base_owner;  // pins the base generation
+    const EdgeLabeledGraph* base = nullptr;
+    uint32_t base_nodes = 0;
+    uint32_t base_edges = 0;
+    uint32_t base_labels = 0;
+    std::vector<uint32_t> node_origin;       // new id -> old-space id
+    std::vector<uint32_t> edge_origin;
+    std::vector<uint32_t> base_node_to_new;  // base id -> new id
+    std::vector<uint32_t> base_edge_to_new;
+    std::vector<std::string> added_node_names;  // by added ordinal
+    std::vector<std::string> added_edge_names;
+    std::unordered_map<std::string, NodeId> added_node_by_name;  // -> new id
+    std::unordered_map<std::string, EdgeId> added_edge_by_name;
+    std::vector<std::string> added_labels;  // ids base_labels + index
+    std::unordered_map<std::string, LabelId> added_label_by_name;
+  };
+
   std::vector<EdgeData> edges_;
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
@@ -117,7 +163,41 @@ class EdgeLabeledGraph {
   std::unordered_map<std::string, NodeId> node_by_name_;
   std::unordered_map<std::string, EdgeId> edge_by_name_;
   Interner labels_;
+  std::shared_ptr<const OverlayNames> overlay_;  // null for plain graphs
 };
+
+inline const std::string& EdgeLabeledGraph::NodeName(NodeId n) const {
+  if (overlay_ == nullptr) return node_names_[n];
+  uint32_t old = overlay_->node_origin[n];
+  return old < overlay_->base_nodes
+             ? overlay_->base->node_names_[old]
+             : overlay_->added_node_names[old - overlay_->base_nodes];
+}
+
+inline const std::string& EdgeLabeledGraph::EdgeName(EdgeId e) const {
+  if (overlay_ == nullptr) return edge_names_[e];
+  uint32_t old = overlay_->edge_origin[e];
+  return old < overlay_->base_edges
+             ? overlay_->base->edge_names_[old]
+             : overlay_->added_edge_names[old - overlay_->base_edges];
+}
+
+inline const std::string& EdgeLabeledGraph::LabelName(LabelId l) const {
+  if (overlay_ == nullptr) return labels_.NameOf(l);
+  return l < overlay_->base_labels
+             ? overlay_->base->labels_.NameOf(l)
+             : overlay_->added_labels[l - overlay_->base_labels];
+}
+
+inline std::optional<LabelId> EdgeLabeledGraph::FindLabel(
+    const std::string& label) const {
+  if (overlay_ == nullptr) return labels_.Find(label);
+  std::optional<LabelId> base_id = overlay_->base->labels_.Find(label);
+  if (base_id.has_value()) return base_id;
+  auto it = overlay_->added_label_by_name.find(label);
+  if (it == overlay_->added_label_by_name.end()) return std::nullopt;
+  return it->second;
+}
 
 /// A labeled property graph (Definition 6): extends the edge-labeled model
 /// with a label on every node and a partial property map
@@ -125,6 +205,11 @@ class EdgeLabeledGraph {
 ///
 /// Per Remark 7 each element has exactly one label. The underlying
 /// edge-labeled graph (`skeleton()`) is the restriction `λ|_E` of Section 2.
+///
+/// Like the skeleton, a property graph is either plain or an overlay view:
+/// overlay property lookups consult the view's own (small) override map
+/// first, then fall through to the base generation's map via the skeleton's
+/// id-translation tables.
 class PropertyGraph {
  public:
   PropertyGraph() = default;
@@ -146,15 +231,15 @@ class PropertyGraph {
   }
 
   PropertyId InternProperty(const std::string& prop) {
+    assert(overlay_ == nullptr && "overlay graphs are immutable");
     return properties_.Intern(prop);
   }
-  std::optional<PropertyId> FindProperty(const std::string& prop) const {
-    return properties_.Find(prop);
+  std::optional<PropertyId> FindProperty(const std::string& prop) const;
+  const std::string& PropertyName(PropertyId p) const;
+  size_t NumProperties() const {
+    if (overlay_ == nullptr) return properties_.size();
+    return overlay_->base_props + overlay_->added_props.size();
   }
-  const std::string& PropertyName(PropertyId p) const {
-    return properties_.NameOf(p);
-  }
-  size_t NumProperties() const { return properties_.size(); }
 
   /// The edge-labeled graph `(N, E, src, tgt, λ|_E)`.
   const EdgeLabeledGraph& skeleton() const { return skeleton_; }
@@ -192,21 +277,51 @@ class PropertyGraph {
     return skeleton_.ObjectName(o);
   }
 
+  bool is_overlay() const { return overlay_ != nullptr; }
+
   /// All properties defined on `o`, for printing/serialization.
   std::vector<std::pair<PropertyId, Value>> PropertiesOf(ObjectRef o) const;
 
+  /// Calls `fn(ObjectRef, PropertyId, const Value&)` for every property
+  /// assignment of the graph, in unspecified order — the bulk accessor the
+  /// delta compactor uses to copy a base generation's properties without
+  /// one whole-map scan per object. Overlay views enumerate their override
+  /// map plus the surviving, non-overridden base assignments.
+  void ForEachProperty(
+      const std::function<void(ObjectRef, PropertyId, const Value&)>& fn)
+      const;
+
  private:
+  friend class GraphDeltaMerger;
+
   struct PropKeyHash {
     size_t operator()(const std::pair<ObjectRef, PropertyId>& k) const {
       return HashCombine(ObjectRefHash()(k.first), k.second);
     }
   };
 
+  /// Borrowed property universe of an overlay view; the value overrides
+  /// themselves live in `props_` keyed by new-space ids.
+  struct OverlayProps {
+    std::shared_ptr<const PropertyGraph> base;
+    uint32_t base_props = 0;
+    std::vector<std::string> added_props;  // ids base_props + index
+    std::unordered_map<std::string, PropertyId> added_prop_by_name;
+  };
+
+  /// Maps a new-space object of an overlay view to its base-generation ref;
+  /// nullopt for objects added by the delta.
+  std::optional<ObjectRef> BaseRef(ObjectRef o) const;
+  /// Maps a base-generation object to its new-space ref; nullopt when the
+  /// delta removed it.
+  std::optional<ObjectRef> NewRef(ObjectRef base_ref) const;
+
   EdgeLabeledGraph skeleton_;
   std::vector<LabelId> node_labels_;
   Interner properties_;
   std::unordered_map<std::pair<ObjectRef, PropertyId>, Value, PropKeyHash>
       props_;
+  std::shared_ptr<const OverlayProps> overlay_;  // null for plain graphs
 };
 
 }  // namespace gqzoo

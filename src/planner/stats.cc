@@ -47,6 +47,55 @@ SnapshotStats::SnapshotStats(const GraphSnapshot& snapshot)
   any_tgt_ = count_distinct(&all_tgts);
 }
 
+SnapshotStats::SnapshotStats(const SnapshotStats& base,
+                             const GraphSnapshot& merged,
+                             const std::vector<LabelId>& touched_labels)
+    : num_nodes_(merged.NumNodes()),
+      num_edges_(merged.NumEdges()),
+      num_labels_(merged.NumLabels()),
+      has_node_labels_(merged.has_node_labels()),
+      edge_count_(base.edge_count_),
+      distinct_src_(base.distinct_src_),
+      distinct_tgt_(base.distinct_tgt_),
+      node_label_count_(base.node_label_count_) {
+  edge_count_.resize(num_labels_, 0);
+  distinct_src_.resize(num_labels_, 0);
+  distinct_tgt_.resize(num_labels_, 0);
+  node_label_count_.resize(num_labels_, 0);
+
+  const EdgeLabeledGraph& g = merged.graph();
+  std::vector<NodeId> srcs, tgts;
+  auto count_distinct = [](std::vector<NodeId>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+    return static_cast<uint64_t>(v->size());
+  };
+  for (LabelId l : touched_labels) {
+    if (l >= num_labels_) continue;
+    GraphSnapshot::Slice slice = merged.EdgesWithLabel(l);
+    edge_count_[l] = slice.size();
+    srcs.clear();
+    tgts.clear();
+    srcs.reserve(slice.size());
+    tgts.reserve(slice.size());
+    for (const GraphSnapshot::Hop& hop : slice) {
+      srcs.push_back(g.Src(hop.edge));
+      tgts.push_back(hop.node);
+    }
+    distinct_src_[l] = count_distinct(&srcs);
+    distinct_tgt_[l] = count_distinct(&tgts);
+    node_label_count_[l] =
+        has_node_labels_ ? merged.NodesWithLabel(l).size() : 0;
+  }
+  // A node is a distinct source (target) of some edge iff it has nonzero
+  // out- (in-) degree: one O(N) pass replaces the full ctor's whole-edge
+  // sort-unique.
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (!merged.Out(v).empty()) ++any_src_;
+    if (!merged.In(v).empty()) ++any_tgt_;
+  }
+}
+
 uint64_t SnapshotStats::EdgeCount(LabelId l) const {
   return l < num_labels_ ? edge_count_[l] : 0;
 }

@@ -25,6 +25,15 @@ class SnapshotStats {
   /// only; the built statistics are self-contained.
   explicit SnapshotStats(const GraphSnapshot& snapshot);
 
+  /// Incremental patch: copies `base`'s per-label counts and recomputes
+  /// only `touched_labels` (plus the cheap whole-graph aggregates) from
+  /// `merged` — how the delta write path keeps statistics current without
+  /// an O(E log E) rebuild per mutation. Labels absent from `touched_labels`
+  /// must have the same membership in `merged` as they had under `base`
+  /// (renumbering is fine; counts are id-agnostic).
+  SnapshotStats(const SnapshotStats& base, const GraphSnapshot& merged,
+                const std::vector<LabelId>& touched_labels);
+
   size_t num_nodes() const { return num_nodes_; }
   size_t num_edges() const { return num_edges_; }
   size_t num_labels() const { return num_labels_; }

@@ -26,6 +26,7 @@ namespace gqzoo {
 ///   "pmr.enumerate.emit"  path-binding emission      → cancellation
 ///   "datatest.recurse"    dl-RPQ configuration step  → step-budget trip
 ///   "engine.submit"       engine admission           → forced shed
+///   "engine.apply_mutation" write-batch admission    → forced write shed
 class Failpoint {
  public:
   /// Arms `name`: `ShouldFail(name)` returns false for the first `after_n`

@@ -31,6 +31,7 @@
 #include "src/fuzz/fuzzer.h"
 #include "src/fuzz/metamorphic.h"
 #include "src/fuzz/minimize.h"
+#include "src/fuzz/mutation_gen.h"
 #include "src/fuzz/oracle.h"
 #include "src/util/thread_pool.h"
 
@@ -113,6 +114,9 @@ int RunCaseFile(const CliOptions& cli) {
   }
 
   gqzoo::fuzz::OracleReport report = RunOracle(c.value(), oracle);
+  if (report.ok() && !c.value().mutations.empty()) {
+    RunMutationOracle(c.value(), oracle, &report);
+  }
   if (report.ok()) {
     gqzoo::fuzz::FuzzRng rng =
         gqzoo::fuzz::FuzzRng(c.value().seed).Fork(7);
