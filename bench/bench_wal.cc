@@ -1,0 +1,222 @@
+// Durability cost and recovery speed: what logging a mutation batch costs
+// on the write path, and how long WAL replay takes at startup.
+//
+// BM_AppendDurability drives one engine with single-op mutation batches
+// (alternating add-edge / remove-edge so the graph stays size-stable) in
+// four durability modes:
+//   mode=nowal   RAM-only engine — the pre-durability baseline.
+//   mode=nosync  WAL appended + flushed, fsync disabled (write() cost and
+//                framing/CRC overhead, no disk barrier).
+//   mode=fsync   fsync on every commit — the full per-batch durability
+//                barrier, dominated by the disk sync.
+//   mode=group   10 ms group-commit window — appends return once the
+//                bytes are written; one fsync covers every batch in the
+//                window. The acceptance bar is that group commit recovers
+//                the bulk of the throughput that per-batch fsync gives up
+//                (>=5x over fsync-each); BENCH_wal.json records the ratios
+//                against both the fsync and no-WAL bars.
+//
+// BM_RecoveryReplay measures QueryEngine::RecoverFrom on a directory
+// whose WAL holds N single-op batches past the checkpoint. Recovery
+// itself re-checkpoints (so a second open replays nothing) — each timed
+// iteration therefore copies a pristine template directory and manually
+// times just the RecoverFrom call. The acceptance bar is bounded replay
+// of a 10k-batch log, reported in BENCH_wal.json.
+//
+// `--smoke` (consumed before benchmark flags) shrinks sizes for the CI
+// bit-rot check. Full runs emit BENCH_wal.json via
+// --benchmark_format=json plus hand-reduced summary numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/graph/delta/delta.h"
+
+namespace gqzoo {
+namespace {
+
+std::vector<int64_t> g_replay_sizes = {1000, 10000};
+
+std::string FreshDir() {
+  char tmpl[] = "/tmp/gqzoo_bench_wal.XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+/// A deliberately small base graph: the measurements isolate the log
+/// append / replay cost, not checkpoint serialization of a big graph.
+PropertyGraph SeedGraph() {
+  PropertyGraph g;
+  for (int i = 0; i < 8; ++i) {
+    g.AddNode("n" + std::to_string(i), "N");
+  }
+  g.AddEdge(0, 1, "a", "t0");
+  return g;
+}
+
+/// Compaction off: nothing rotates the WAL or writes covering checkpoints
+/// behind the benchmark's back, so the log length is exactly the batch
+/// count the loop issued.
+QueryEngine::Options BaseOptions() {
+  QueryEngine::Options options;
+  options.num_threads = 2;
+  options.mutation.background_compaction = false;
+  options.mutation.compact_min_ops = size_t{1} << 30;
+  options.mutation.compact_ratio = 1e9;
+  return options;
+}
+
+/// One iteration = one acked single-op batch. mode: 0 nowal, 1 nosync,
+/// 2 fsync-each, 3 group commit (10 ms window).
+void BM_AppendDurability(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  QueryEngine::Options options = BaseOptions();
+  std::string dir;
+  if (mode != 0) {
+    dir = FreshDir();
+    options.durability.dir = dir;
+    options.durability.fsync = mode == 2;
+    options.durability.group_commit_window_ms = mode == 3 ? 10 : 0;
+  }
+  auto opened = QueryEngine::RecoverFrom(SeedGraph(), std::move(options));
+  if (!opened.ok()) {
+    state.SkipWithError(opened.error().message().c_str());
+    return;
+  }
+  QueryEngine& engine = *opened.value();
+
+  size_t serial = 0;
+  bool have_edge = false;
+  size_t errors = 0;
+  for (auto _ : state) {
+    MutationBatch batch;
+    if (have_edge) {
+      batch.RemoveEdge("bw" + std::to_string(serial));
+      ++serial;
+    } else {
+      batch.AddEdge("bw" + std::to_string(serial), "n0", "n1", "a");
+    }
+    have_edge = !have_edge;
+    if (!engine.ApplyMutation(batch).ok()) ++errors;
+  }
+  // Make the tail durable before the counters are read; the drain is
+  // outside the timed region, matching "acked" semantics per mode.
+  (void)engine.FlushWal();
+  state.counters["batches_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["errors"] = static_cast<double>(errors);
+  opened.value().reset();
+  if (!dir.empty()) std::filesystem::remove_all(dir);
+}
+
+/// Builds (once per size) a durable directory whose WAL holds `batches`
+/// single-op records past a near-empty checkpoint.
+const std::string& TemplateDir(int64_t batches) {
+  static std::map<int64_t, std::string> cache;
+  auto it = cache.find(batches);
+  if (it != cache.end()) return it->second;
+
+  std::string dir = FreshDir();
+  QueryEngine::Options options = BaseOptions();
+  options.durability.dir = dir;
+  options.durability.fsync = false;  // setup speed; the bytes still land
+  auto opened = QueryEngine::RecoverFrom(SeedGraph(), std::move(options));
+  QueryEngine& engine = *opened.value();
+  for (int64_t i = 0; i < batches; ++i) {
+    MutationBatch batch;
+    if (i % 2 == 0) {
+      batch.AddEdge("rw" + std::to_string(i), "n0", "n1", "a");
+    } else {
+      batch.RemoveEdge("rw" + std::to_string(i - 1));
+    }
+    (void)engine.ApplyMutation(batch);
+  }
+  (void)engine.FlushWal();
+  opened.value().reset();  // close cleanly; WAL keeps all `batches` records
+  return cache.emplace(batches, std::move(dir)).first->second;
+}
+
+/// Manually times RecoverFrom over a fresh copy of the template directory
+/// each iteration (recovery re-checkpoints, so the copy is mandatory —
+/// reopening in place would replay an empty tail).
+void BM_RecoveryReplay(benchmark::State& state) {
+  const int64_t batches = state.range(0);
+  const std::string& tmpl = TemplateDir(batches);
+  if (tmpl.empty()) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    std::string work = FreshDir();
+    std::filesystem::copy(tmpl, work,
+                          std::filesystem::copy_options::recursive |
+                              std::filesystem::copy_options::overwrite_existing);
+    QueryEngine::Options options = BaseOptions();
+    options.durability.dir = work;
+    const auto start = std::chrono::steady_clock::now();
+    auto opened = QueryEngine::RecoverFrom(PropertyGraph(), std::move(options));
+    const auto stop = std::chrono::steady_clock::now();
+    if (!opened.ok()) {
+      state.SkipWithError(opened.error().message().c_str());
+      return;
+    }
+    replayed = opened.value()->recovery_info().batches_replayed;
+    state.SetIterationTime(
+        std::chrono::duration<double>(stop - start).count());
+    opened.value().reset();
+    std::filesystem::remove_all(work);
+  }
+  state.counters["batches_replayed"] = static_cast<double>(replayed);
+  state.counters["replay_batches_per_sec"] = benchmark::Counter(
+      static_cast<double>(replayed) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void Register(bool smoke) {
+  if (smoke) g_replay_sizes = {128};
+  benchmark::RegisterBenchmark("BM_AppendDurability", BM_AppendDurability)
+      ->ArgsProduct({{0, 1, 2, 3}})
+      ->ArgNames({"mode"})
+      ->Unit(benchmark::kMicrosecond)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("BM_RecoveryReplay", BM_RecoveryReplay)
+      ->ArgsProduct({g_replay_sizes})
+      ->ArgNames({"log_batches"})
+      ->Unit(benchmark::kMillisecond)
+      ->UseManualTime();
+}
+
+}  // namespace
+}  // namespace gqzoo
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time.data());
+  int filtered_argc = static_cast<int>(args.size());
+  gqzoo::Register(smoke);
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,13 @@
 //
 // Usage:  gqzoo_batch [options] <request-file>
 //   --graph <file>     property graph to load (default: Figure 3 graph)
+//   --persist <dir>    durable mode: recover from <dir>'s WAL + checkpoint
+//                      (the --graph file only seeds a fresh directory) and
+//                      log every mutation before acknowledging it
+//   --no-fsync         do not fsync the WAL on commit (page-cache
+//                      durability only)
+//   --group-commit-ms <n>  fsync at most once per n ms (acks may precede
+//                      their fsync by up to one window)
 //   --threads <n>      pool size (default 4)
 //   --timeout-ms <n>   per-query deadline (default: none)
 //   --memlimit <n>     per-query memory budget in bytes (default: none)
@@ -44,6 +51,7 @@
 #include <fstream>
 #include <future>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -145,7 +153,8 @@ bool ParseRequestLine(const std::string& line, QueryRequest* out,
 
 int Usage(const char* argv0) {
   fprintf(stderr,
-          "usage: %s [--graph <file>] [--threads <n>] [--timeout-ms <n>] "
+          "usage: %s [--graph <file>] [--persist <dir>] [--no-fsync] "
+          "[--group-commit-ms <n>] [--threads <n>] [--timeout-ms <n>] "
           "[--memlimit <n>] [--row-budget <n>] [--step-budget <n>] "
           "[--capacity <n>] [--repeat <n>] [--explain] [--textual-order] "
           "[--quiet] <request-file>\n",
@@ -157,6 +166,9 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string graph_file;
+  std::string persist_dir;
+  bool no_fsync = false;
+  long long group_commit_ms = 0;
   std::string request_file;
   size_t threads = 4;
   long long timeout_ms = 0;
@@ -178,6 +190,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       graph_file = v;
+    } else if (strcmp(arg, "--persist") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      persist_dir = v;
+    } else if (strcmp(arg, "--no-fsync") == 0) {
+      no_fsync = true;
+    } else if (strcmp(arg, "--group-commit-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      group_commit_ms = atoll(v);
     } else if (strcmp(arg, "--threads") == 0) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -300,7 +322,39 @@ int main(int argc, char** argv) {
   QueryEngine::Options options;
   options.num_threads = threads;
   options.governor.admission_capacity = capacity;
-  QueryEngine engine(std::move(graph), options);
+  options.durability.dir = persist_dir;
+  options.durability.fsync = !no_fsync;
+  options.durability.group_commit_window_ms =
+      group_commit_ms > 0 ? static_cast<uint32_t>(group_commit_ms) : 0;
+  Result<std::unique_ptr<QueryEngine>> opened =
+      QueryEngine::RecoverFrom(std::move(graph), std::move(options));
+  if (!opened.ok()) {
+    fprintf(stderr, "cannot open engine [%s]: %s\n",
+            ErrorCodeName(opened.error().code()),
+            opened.error().message().c_str());
+    return 1;
+  }
+  std::unique_ptr<QueryEngine> engine_ptr = std::move(opened).value();
+  QueryEngine& engine = *engine_ptr;
+  if (!persist_dir.empty()) {
+    const storage::RecoveryInfo& info = engine.recovery_info();
+    if (info.recovered) {
+      fprintf(stderr,
+              "recovered from '%s': checkpoint lsn %llu, %llu batches "
+              "(%llu ops) replayed, last lsn %llu\n",
+              persist_dir.c_str(),
+              static_cast<unsigned long long>(info.checkpoint_lsn),
+              static_cast<unsigned long long>(info.batches_replayed),
+              static_cast<unsigned long long>(info.ops_replayed),
+              static_cast<unsigned long long>(info.last_lsn));
+    } else {
+      fprintf(stderr, "initialized durable directory '%s'\n",
+              persist_dir.c_str());
+    }
+    if (!info.warning.empty()) {
+      fprintf(stderr, "recovery warning: %s\n", info.warning.c_str());
+    }
+  }
 
   // Submission pass: queries fan out to the pool; mutation lines apply
   // synchronously at their position, so writes land between the reads that

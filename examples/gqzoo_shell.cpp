@@ -3,7 +3,18 @@
 // languages. All query commands dispatch through the QueryEngine, so the
 // shell gets plan caching, deadlines, and metrics for free.
 //
-// Usage:  gqzoo_shell [graph-file]      (defaults to the Figure 3 graph)
+// Usage:  gqzoo_shell [options] [graph-file]   (defaults to the Figure 3
+//                                                graph)
+//   --persist <dir>        durable mode: recover the graph from <dir>'s
+//                          write-ahead log + checkpoint (creating them on
+//                          first run; the graph-file argument only seeds a
+//                          fresh directory), then log every mutation before
+//                          acknowledging it
+//   --no-fsync             do not fsync the WAL on commit (page-cache
+//                          durability only: survives a process crash, not
+//                          an OS crash)
+//   --group-commit-ms <n>  fsync at most once per n ms; an ack may precede
+//                          its fsync by up to one window
 //
 // Commands:
 //   load <file>            load a property graph (gqzoo text format)
@@ -39,7 +50,9 @@
 //   quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -68,7 +81,44 @@ constexpr const char* kHelp = R"(commands:
 
 class Shell {
  public:
-  Shell() : engine_(Figure3Graph()) {}
+  /// Fails (returns a null engine inside) only when a durable directory is
+  /// unrecoverable; the caller checks `ok()`.
+  explicit Shell(QueryEngine::Options options) {
+    const std::string dir = options.durability.dir;
+    Result<std::unique_ptr<QueryEngine>> opened =
+        QueryEngine::RecoverFrom(Figure3Graph(), std::move(options));
+    if (!opened.ok()) {
+      printf("error [%s]: %s\n", ErrorCodeName(opened.error().code()),
+             opened.error().message().c_str());
+      return;
+    }
+    engine_ = std::move(opened).value();
+    if (engine_->durable()) {
+      const storage::RecoveryInfo& info = engine_->recovery_info();
+      if (info.recovered) {
+        printf("recovered from '%s': checkpoint lsn %llu, %llu batches "
+               "(%llu ops) replayed, last lsn %llu\n",
+               dir.c_str(),
+               static_cast<unsigned long long>(info.checkpoint_lsn),
+               static_cast<unsigned long long>(info.batches_replayed),
+               static_cast<unsigned long long>(info.ops_replayed),
+               static_cast<unsigned long long>(info.last_lsn));
+      } else {
+        printf("initialized durable directory '%s'\n", dir.c_str());
+      }
+      if (!info.warning.empty()) {
+        printf("recovery warning: %s\n", info.warning.c_str());
+      }
+    }
+  }
+
+  bool ok() const { return engine_ != nullptr; }
+
+  /// True when the durable directory already held state; a graph-file
+  /// argument is ignored then so it cannot clobber recovered data.
+  bool recovered() const {
+    return ok() && engine_->durable() && engine_->recovery_info().recovered;
+  }
 
   bool LoadFile(const std::string& path) {
     std::ifstream in(path);
@@ -86,7 +136,7 @@ class Shell {
     PropertyGraph graph = std::move(g).value();
     printf("loaded %zu nodes, %zu edges\n", graph.NumNodes(),
            graph.NumEdges());
-    engine_.SetGraph(std::move(graph));
+    engine_->SetGraph(std::move(graph));
     return true;
   }
 
@@ -110,9 +160,9 @@ class Shell {
     } else if (command == "load") {
       LoadFile(rest);
     } else if (command == "show") {
-      printf("%s", PropertyGraphToText(*engine_.graph_snapshot()).c_str());
+      printf("%s", PropertyGraphToText(*engine_->graph_snapshot()).c_str());
     } else if (command == "stats") {
-      printf("%s", engine_.StatsReport().c_str());
+      printf("%s", engine_->StatsReport().c_str());
     } else if (command == "timeout") {
       SetTimeout(rest);
     } else if (command == "memlimit") {
@@ -138,7 +188,7 @@ class Shell {
     } else if (command == "regular") {
       Run(MakeRequest(QueryLanguage::kRegular, rest));
     } else if (command == "compact") {
-      printf(engine_.CompactNow()
+      printf(engine_->CompactNow()
                  ? "compacted: delta folded into a fresh base\n"
                  : "nothing to compact\n");
     } else if (IsMutationCommand(command)) {
@@ -166,7 +216,7 @@ class Shell {
   /// error; the REPL survives both.
   void Run(QueryRequest request) {
     request.explain = explain_;
-    Result<QueryResponse> r = engine_.Execute(request);
+    Result<QueryResponse> r = engine_->Execute(request);
     if (!r.ok()) {
       printf("error [%s]: %s\n", ErrorCodeName(r.error().code()),
              r.error().message().c_str());
@@ -185,7 +235,7 @@ class Shell {
     }
     MutationBatch batch;
     batch.ops.push_back(std::move(op).value());
-    Result<QueryEngine::MutationResult> r = engine_.ApplyMutation(batch);
+    Result<QueryEngine::MutationResult> r = engine_->ApplyMutation(batch);
     if (!r.ok()) {
       printf("error [%s]: %s\n", ErrorCodeName(r.error().code()),
              r.error().message().c_str());
@@ -205,10 +255,10 @@ class Shell {
       return;
     }
     if (ms == 0) {
-      engine_.set_default_timeout(std::nullopt);
+      engine_->set_default_timeout(std::nullopt);
       printf("deadline disabled\n");
     } else {
-      engine_.set_default_timeout(std::chrono::milliseconds(ms));
+      engine_->set_default_timeout(std::chrono::milliseconds(ms));
       printf("default deadline set to %lldms\n", ms);
     }
   }
@@ -220,9 +270,9 @@ class Shell {
       printf("usage: memlimit <bytes>   (0 disables the memory budget)\n");
       return;
     }
-    ResourceBudgets budgets = engine_.default_budgets();
+    ResourceBudgets budgets = engine_->default_budgets();
     budgets.memory_bytes = static_cast<uint64_t>(bytes);
-    engine_.set_default_budgets(budgets);
+    engine_->set_default_budgets(budgets);
     if (bytes == 0) {
       printf("memory budget disabled\n");
     } else {
@@ -263,16 +313,49 @@ class Shell {
     Run(request);
   }
 
-  QueryEngine engine_;
+  std::unique_ptr<QueryEngine> engine_;
   bool explain_ = false;  // armed by the `explain` prefix command
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Shell shell;
-  if (argc > 1) {
-    if (!shell.LoadFile(argv[1])) {
+  QueryEngine::Options options;
+  std::string graph_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--persist") {
+      if (i + 1 >= argc) {
+        printf("--persist needs a directory argument\n");
+        return 1;
+      }
+      options.durability.dir = argv[++i];
+    } else if (arg == "--no-fsync") {
+      options.durability.fsync = false;
+    } else if (arg == "--group-commit-ms") {
+      if (i + 1 >= argc) {
+        printf("--group-commit-ms needs a number\n");
+        return 1;
+      }
+      options.durability.group_commit_window_ms = atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      printf("unknown flag '%s'\n", arg.c_str());
+      return 1;
+    } else {
+      graph_file = arg;
+    }
+  }
+
+  Shell shell(std::move(options));
+  if (!shell.ok()) return 1;
+  if (shell.recovered()) {
+    if (!graph_file.empty()) {
+      printf("ignoring '%s': the durable directory already holds a graph "
+             "(use `load` to replace it explicitly)\n",
+             graph_file.c_str());
+    }
+  } else if (!graph_file.empty()) {
+    if (!shell.LoadFile(graph_file)) {
       printf("continuing with the paper's Figure 3 graph\n");
     }
   } else {

@@ -1,5 +1,6 @@
 #include "src/engine/engine.h"
 
+#include <cassert>
 #include <cstdio>
 #include <sstream>
 #include <thread>
@@ -64,7 +65,37 @@ QueryEngine::QueryEngine(PropertyGraph graph, Options options)
   published_ticket_ = mutation_->ticket();
 }
 
-QueryEngine::~QueryEngine() { pool_.Shutdown(); }
+QueryEngine::~QueryEngine() {
+  pool_.Shutdown();
+  // Group-commit may still owe the disk an fsync for acked writes; pay it
+  // on the way out so a clean shutdown loses nothing.
+  if (durable_ != nullptr && !durable_->broken()) durable_->Sync();
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::RecoverFrom(
+    PropertyGraph initial, Options options) {
+  if (options.durability.dir.empty()) {
+    return std::unique_ptr<QueryEngine>(
+        new QueryEngine(std::move(initial), std::move(options)));
+  }
+  Result<storage::DurableStore::Opened> opened =
+      storage::DurableStore::Open(options.durability, std::move(initial));
+  if (!opened.ok()) return opened.error();
+  storage::DurableStore::Opened o = std::move(opened).value();
+  std::unique_ptr<QueryEngine> engine(
+      new QueryEngine(std::move(o.graph), std::move(options)));
+  // No writes can race this: we hold the only reference.
+  engine->durable_ = std::move(o.store);
+  engine->recovery_info_ = std::move(o.info);
+  engine->durable_checkpoint_lsn_ = engine->durable_->checkpoint_lsn();
+  return engine;
+}
+
+Result<bool> QueryEngine::FlushWal() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (durable_ == nullptr) return true;
+  return durable_->Sync();
+}
 
 std::shared_ptr<const GraphSnapshot> QueryEngine::BuildSnapshot(
     std::shared_ptr<const PropertyGraph> graph) {
@@ -76,6 +107,11 @@ std::shared_ptr<const GraphSnapshot> QueryEngine::BuildSnapshot(
 }
 
 void QueryEngine::SetGraph(PropertyGraph graph) {
+  // Taken for the whole replacement (write_mu_ before graph_mu_, the
+  // engine-wide order): the WAL ledger reset below must be atomic with the
+  // base reset, or a concurrent writer could log a batch against the
+  // outgoing generation after the checkpoint that supersedes it.
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   auto next = std::make_shared<const PropertyGraph>(std::move(graph));
   // Build the next epoch's CSR and statistics outside the lock: both are
   // O(|E|) and must not stall concurrent executions.
@@ -86,6 +122,17 @@ void QueryEngine::SetGraph(PropertyGraph graph) {
   // its plan (see the Put guard in ExecuteFrom).
   invalidation_version_.fetch_add(1, std::memory_order_acq_rel);
   mutation_->ResetBase(next, next_snapshot, next_stats);
+  if (durable_ != nullptr) {
+    // The adopted graph replaces everything logged so far: checkpoint it
+    // covering every assigned LSN and restart the ledger. In-flight
+    // compactions of the old generation are fenced off by the bump.
+    durable_generation_.fetch_add(1, std::memory_order_acq_rel);
+    pending_records_.clear();
+    checkpointed_ops_ = 0;
+    uint64_t covered = durable_->next_lsn() - 1;
+    Result<bool> ck = durable_->WriteCheckpoint(*next, covered, {});
+    if (ck.ok()) durable_checkpoint_lsn_ = covered;
+  }
   uint64_t current_epoch;
   {
     std::lock_guard<std::mutex> lock(graph_mu_);
@@ -228,10 +275,7 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
   // covers a concurrent background fold holding the compaction slot.
   if (request.language == QueryLanguage::kRegular && merged_view) {
     for (int attempt = 0; merged_view && attempt < 10; ++attempt) {
-      if (mutation_->Compact()) {
-        metrics_.compactions_run.Increment();
-        metrics_.delta_pending_ops.Set(mutation_->GetInfo().pending_ops);
-      } else {
+      if (!RunCompaction()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
       RefreshViewIfStale();
@@ -387,6 +431,15 @@ Result<QueryEngine::MutationResult> QueryEngine::ApplyMutation(
   }
   governor_.BeginExecution();
 
+  // A failed WAL append poisons the store: later writes must not publish
+  // over ops that were applied but never made durable.
+  if (durable_ != nullptr && durable_->broken()) {
+    governor_.EndExecution();
+    return Error(ErrorCode::kUnavailable,
+                 "durable store is broken after a failed WAL or checkpoint "
+                 "write; restart the process to recover");
+  }
+
   std::optional<std::chrono::milliseconds> timeout;
   ResourceBudgets budgets;
   {
@@ -411,6 +464,24 @@ Result<QueryEngine::MutationResult> QueryEngine::ApplyMutation(
     std::lock_guard<std::mutex> write_lock(write_mu_);
     outcome = mutation_->Apply(batch, mutation_policy_, cancel);
     if (outcome.ops_applied > 0) {
+      if (durable_ != nullptr) {
+        // WAL rule: durable before visible. Log exactly the applied prefix
+        // (a partial batch publishes its prefix). On failure nothing is
+        // published — the ops sit in the overlay behind an unbumped ticket
+        // and the sticky broken flag keeps every later write out, so the
+        // unlogged state can never reach a reader or a checkpoint.
+        std::vector<MutationOp> logged(
+            batch.ops.begin(),
+            batch.ops.begin() + static_cast<ptrdiff_t>(outcome.ops_applied));
+        Result<uint64_t> lsn = durable_->AppendBatch(logged);
+        if (!lsn.ok()) {
+          governor_.EndExecution();
+          return Error(lsn.error().code(),
+                       "write not acknowledged: " + lsn.error().message());
+        }
+        pending_records_.push_back(
+            storage::WalRecord{lsn.value(), std::move(logged)});
+      }
       metrics_.write_batches.Increment();
       metrics_.write_ops.Increment(outcome.ops_applied);
       if (!outcome.touched_labels.empty() ||
@@ -430,10 +501,7 @@ Result<QueryEngine::MutationResult> QueryEngine::ApplyMutation(
   bool scheduled = false;
   if (outcome.want_compaction) {
     if (mutation_policy_.background_compaction) {
-      scheduled = pool_.Submit([this] {
-        if (mutation_->Compact()) metrics_.compactions_run.Increment();
-        metrics_.delta_pending_ops.Set(mutation_->GetInfo().pending_ops);
-      });
+      scheduled = pool_.Submit([this] { RunCompaction(); });
     } else {
       scheduled = CompactNow();
     }
@@ -448,11 +516,51 @@ Result<QueryEngine::MutationResult> QueryEngine::ApplyMutation(
   return result;
 }
 
-bool QueryEngine::CompactNow() {
-  if (!mutation_->Compact()) return false;
+bool QueryEngine::CompactNow() { return RunCompaction(); }
+
+bool QueryEngine::RunCompaction() {
+  // A broken store must not fold: compaction rewrites the WAL, and the
+  // overlay may still hold ops whose append failed — folding them in would
+  // publish never-logged state as durable.
+  if (durable_ != nullptr && durable_->broken()) return false;
+  const uint64_t generation =
+      durable_generation_.load(std::memory_order_acquire);
+  MutationManager::CompactReport report;
+  if (!mutation_->Compact(&report)) return false;
   metrics_.compactions_run.Increment();
   metrics_.delta_pending_ops.Set(mutation_->GetInfo().pending_ops);
+  if (durable_ != nullptr) PersistCheckpoint(report, generation);
   return true;
+}
+
+void QueryEngine::PersistCheckpoint(
+    const MutationManager::CompactReport& report, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (durable_ == nullptr || durable_->broken()) return;
+  if (durable_generation_.load(std::memory_order_acquire) != generation) {
+    return;  // SetGraph restarted the ledger while we folded
+  }
+  if (report.total_ops_folded <= checkpointed_ops_) {
+    return;  // a later fold already checkpointed past this one
+  }
+  // Applies and their WAL appends serialize under write_mu_, so a fold
+  // boundary always lands on a record boundary: pop whole records until
+  // the op ledgers agree, and the last popped LSN is what the checkpoint
+  // covers.
+  uint64_t covered_lsn = durable_checkpoint_lsn_;
+  while (checkpointed_ops_ < report.total_ops_folded) {
+    assert(!pending_records_.empty() &&
+           "fold ledger ahead of the WAL record ledger");
+    if (pending_records_.empty()) return;
+    checkpointed_ops_ += pending_records_.front().ops.size();
+    covered_lsn = pending_records_.front().lsn;
+    pending_records_.pop_front();
+  }
+  std::vector<storage::WalRecord> residual(pending_records_.begin(),
+                                           pending_records_.end());
+  Result<bool> written =
+      durable_->WriteCheckpoint(*report.base, covered_lsn, residual);
+  if (written.ok()) durable_checkpoint_lsn_ = covered_lsn;
 }
 
 std::future<Result<QueryResponse>> QueryEngine::Submit(QueryRequest request) {
@@ -719,6 +827,19 @@ std::string QueryEngine::StatsReport() const {
            static_cast<unsigned long long>(delta.compactions),
            static_cast<unsigned long long>(delta.base_resets));
   out += line;
+  if (durable_ != nullptr) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    snprintf(line, sizeof(line),
+             "durable        wal_records %llu  wal_bytes %llu  syncs %llu  "
+             "checkpoints %llu  ckpt_lsn %llu%s\n",
+             static_cast<unsigned long long>(durable_->wal_records()),
+             static_cast<unsigned long long>(durable_->wal_bytes()),
+             static_cast<unsigned long long>(durable_->wal_syncs()),
+             static_cast<unsigned long long>(durable_->checkpoints_written()),
+             static_cast<unsigned long long>(durable_->checkpoint_lsn()),
+             durable_->broken() ? "  BROKEN" : "");
+    out += line;
+  }
   out += "threads        " + std::to_string(pool_.num_threads()) + "\n";
   return out;
 }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -20,6 +21,7 @@
 #include "src/graph/csr.h"
 #include "src/graph/delta/delta.h"
 #include "src/graph/graph.h"
+#include "src/storage/durable.h"
 #include "src/util/query_context.h"
 #include "src/util/result.h"
 
@@ -117,10 +119,25 @@ class QueryEngine {
     size_t rpq_shards = 0;
     /// Delta-overlay write path: compaction thresholds and scheduling.
     MutationPolicy mutation;
+    /// Durability: WAL + checkpoints under `durability.dir`. Empty dir =
+    /// RAM-only (the historical behavior). Engines with durability must be
+    /// built through `RecoverFrom`, which replays any existing state.
+    storage::DurabilityOptions durability;
   };
 
   explicit QueryEngine(PropertyGraph graph);
   QueryEngine(PropertyGraph graph, Options options);
+
+  /// The durable way in: opens `options.durability.dir`, recovers any
+  /// existing checkpoint + WAL state (replacing `initial` — the seed graph
+  /// only matters for a fresh directory), and returns an engine whose
+  /// writes are logged before they publish. Recovery policy: a torn WAL
+  /// tail (crash mid-append) is truncated with a warning in
+  /// `recovery_info()`; mid-log corruption or missing files fail with
+  /// `kDataLoss` rather than serving a silently incomplete graph. With an
+  /// empty `durability.dir` this is just the plain constructor.
+  static Result<std::unique_ptr<QueryEngine>> RecoverFrom(
+      PropertyGraph initial, Options options);
   /// Drains the thread pool before member teardown: queued background
   /// compactions capture `this` and use `mutation_`, which the implicit
   /// member-destruction order would destroy before the pool joins.
@@ -169,6 +186,18 @@ class QueryEngine {
 
   /// Write-path observability for `stats` in the shell.
   MutationManager::Info delta_info() const { return mutation_->GetInfo(); }
+
+  /// Whether this engine persists writes (built via RecoverFrom with a
+  /// durability dir).
+  bool durable() const { return durable_ != nullptr; }
+
+  /// What RecoverFrom found on startup (all-defaults for RAM-only engines
+  /// and fresh directories).
+  const storage::RecoveryInfo& recovery_info() const { return recovery_info_; }
+
+  /// Forces any group-commit-deferred WAL fsync to disk (no-op for
+  /// RAM-only engines). The shell calls this on clean exit.
+  Result<bool> FlushWal();
 
   uint64_t graph_epoch() const;
   /// A consistent snapshot (graph, epoch) for read access.
@@ -222,6 +251,20 @@ class QueryEngine {
   static std::shared_ptr<const GraphSnapshot> BuildSnapshot(
       std::shared_ptr<const PropertyGraph> graph);
 
+  /// All compaction goes through here: folds the pending delta and, when
+  /// durable, checkpoints the folded base + truncates the WAL. Returns
+  /// false when there was nothing to fold, a fold was already running, or
+  /// the durable store is broken (folding then would publish unlogged
+  /// state).
+  bool RunCompaction();
+
+  /// The checkpoint half of RunCompaction: pops the WAL ledger up to the
+  /// fold's cumulative op count, derives the covered LSN, and writes
+  /// checkpoint + rotated WAL. `generation` guards against a SetGraph that
+  /// landed between the fold and here.
+  void PersistCheckpoint(const MutationManager::CompactReport& report,
+                         uint64_t generation);
+
   mutable std::mutex graph_mu_;
   std::shared_ptr<const PropertyGraph> graph_;
   std::shared_ptr<const GraphSnapshot> snapshot_;  // built from *graph_
@@ -247,12 +290,28 @@ class QueryEngine {
   /// Serializes ApplyMutation's apply → invalidate → publish sequence so a
   /// second writer cannot publish a first writer's data before the first
   /// writer's plan invalidation ran.
-  std::mutex write_mu_;
+  mutable std::mutex write_mu_;
   /// Bumped before any plan-cache invalidation (scoped or full). A reader
   /// records it before compiling and skips its `Put` when it moved — a plan
   /// compiled against pre-mutation state must not outlive the invalidation
   /// that raced with it.
   std::atomic<uint64_t> invalidation_version_{0};
+
+  /// Null for RAM-only engines. All access is serialized under `write_mu_`
+  /// except the lock-free `broken()` probe.
+  std::unique_ptr<storage::DurableStore> durable_;
+  storage::RecoveryInfo recovery_info_;
+  /// The WAL ledger: records appended since the last checkpoint, in LSN
+  /// order (guarded by write_mu_). PersistCheckpoint pops the folded
+  /// prefix; what remains becomes the rotated WAL's residual.
+  std::deque<storage::WalRecord> pending_records_;
+  /// Ops covered by the last checkpoint, in the mutation manager's
+  /// cumulative-fold units (guarded by write_mu_).
+  uint64_t checkpointed_ops_ = 0;
+  uint64_t durable_checkpoint_lsn_ = 0;  // guarded by write_mu_
+  /// Bumped by SetGraph; a compaction captured before the bump must not
+  /// checkpoint (its fold ledger describes the dead generation).
+  std::atomic<uint64_t> durable_generation_{0};
 };
 
 }  // namespace gqzoo

@@ -92,7 +92,7 @@ MutationManager::View MutationManager::CurrentView(bool* built_merged) {
   return v;
 }
 
-bool MutationManager::Compact() {
+bool MutationManager::Compact(CompactReport* report) {
   bool expected = false;
   if (!compacting_.compare_exchange_strong(expected, true,
                                            std::memory_order_acq_rel)) {
@@ -152,6 +152,11 @@ bool MutationManager::Compact() {
     memo_ = View{};
     memo_valid_ = false;
     ++compactions_;
+    total_folded_ops_ += log.size();
+    if (report != nullptr) {
+      report->base = base_;
+      report->total_ops_folded = total_folded_ops_;
+    }
     ticket_.fetch_add(1, std::memory_order_acq_rel);
   }
   compacting_.store(false, std::memory_order_release);
@@ -170,6 +175,9 @@ void MutationManager::ResetBase(
   memo_ = View{};
   memo_valid_ = false;
   ++resets_;
+  // The fold ledger restarts with the adopted base; the engine resets its
+  // WAL accounting (and checkpoints the new base) in the same breath.
+  total_folded_ops_ = 0;
   ticket_.fetch_add(1, std::memory_order_acq_rel);
 }
 

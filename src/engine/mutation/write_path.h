@@ -80,6 +80,17 @@ class MutationManager {
     size_t approx_delta_bytes = 0;
   };
 
+  /// What a successful `Compact` folded — the durability hook. The engine
+  /// pairs `total_ops_folded` (cumulative applied ops now inside `base`,
+  /// since construction or the last ResetBase) with its per-batch WAL
+  /// ledger to find the covered LSN, then checkpoints `base` and truncates
+  /// the log. Cumulative rather than per-fold so late or out-of-order
+  /// checkpoint attempts are detectable as stale (total ≤ already covered).
+  struct CompactReport {
+    std::shared_ptr<const PropertyGraph> base;
+    uint64_t total_ops_folded = 0;
+  };
+
   MutationManager(std::shared_ptr<const PropertyGraph> base,
                   std::shared_ptr<const GraphSnapshot> base_snapshot,
                   std::shared_ptr<const SnapshotStats> base_stats);
@@ -108,7 +119,9 @@ class MutationManager {
   /// Folds the pending overlay into a fresh base generation. Returns false
   /// when there was nothing to fold or another fold is already running.
   /// Heavy phase (log replay + CSR + stats) runs outside the lock.
-  bool Compact();
+  /// `report`, when set, receives the new base and the cumulative fold
+  /// count on success (untouched on false).
+  bool Compact(CompactReport* report = nullptr);
 
   /// Adopts an externally supplied base (SetGraph), dropping any pending
   /// delta and aborting any in-flight compaction's publish.
@@ -139,6 +152,9 @@ class MutationManager {
   bool memo_valid_ = false;
   uint64_t compactions_ = 0;
   uint64_t resets_ = 0;  // ResetBase count; compaction aborts on change
+  /// Cumulative ops folded into `base_` by compactions since construction
+  /// or the last ResetBase (CompactReport::total_ops_folded).
+  uint64_t total_folded_ops_ = 0;
   std::atomic<uint64_t> ticket_{1};
   std::atomic<bool> compacting_{false};
 };

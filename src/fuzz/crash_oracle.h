@@ -1,0 +1,47 @@
+#ifndef GQZOO_FUZZ_CRASH_ORACLE_H_
+#define GQZOO_FUZZ_CRASH_ORACLE_H_
+
+#include "src/fuzz/fuzz_case.h"
+#include "src/fuzz/oracle.h"
+
+namespace gqzoo {
+namespace fuzz {
+
+/// In-memory crash-recovery differential oracle. Encodes the case's
+/// accepted mutation ops as WAL records (one acked batch per record, via
+/// the real `AppendWalRecord` encoder), then damages the byte image the
+/// way crashes do and checks the decoder + replay path against `GraphSim`
+/// snapshots taken at every record boundary:
+///
+///   crash.wal-roundtrip        the undamaged log decodes clean and replays
+///                              to a render byte-identical to the
+///                              simulator's final state;
+///   crash.torn-tail-truncate   EVERY proper byte-prefix of the log decodes
+///                              without `kDataLoss` — a torn append is
+///                              always recoverable — classified clean
+///                              exactly at record boundaries and torn (with
+///                              `valid_bytes` = the last boundary)
+///                              everywhere else;
+///   crash.prefix-consistency   each truncation recovers precisely the
+///                              acked-record prefix: replaying the decoded
+///                              records renders byte-identical to the
+///                              simulator snapshot at that boundary (every
+///                              acked batch durable, no batch half-applied);
+///   crash.midlog-dataloss      a flipped payload byte in a non-final
+///                              record fails `kDataLoss` (never silent
+///                              truncation of acked records), while the
+///                              same flip in the final record is a torn
+///                              tail truncating exactly one record;
+///   crash.checkpoint-roundtrip the final state round-trips through the
+///                              checkpoint codec byte-identically, and a
+///                              flipped or truncated checkpoint image fails
+///                              `kDataLoss`.
+///
+/// Pure library + bytes: no filesystem, no processes — the process-level
+/// companion is `tools/gqzoo_crash.cc`. Divergences append to `report`.
+void RunCrashOracle(const FuzzCase& c, OracleReport* report);
+
+}  // namespace fuzz
+}  // namespace gqzoo
+
+#endif  // GQZOO_FUZZ_CRASH_ORACLE_H_

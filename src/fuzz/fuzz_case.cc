@@ -63,6 +63,12 @@ std::string FuzzCase::ToText() const {
 }
 
 Result<FuzzCase> ParseFuzzCase(const std::string& text) {
+  if (text.size() > kMaxFuzzCaseBytes) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "fuzz case is " + std::to_string(text.size()) +
+                     " bytes; the cap is " +
+                     std::to_string(kMaxFuzzCaseBytes));
+  }
   FuzzCase c;
   std::istringstream in(text);
   std::string line;

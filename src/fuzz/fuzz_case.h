@@ -10,6 +10,7 @@
 #include "src/engine/language.h"
 #include "src/graph/delta/delta.h"
 #include "src/graph/graph.h"
+#include "src/graph/graph_io.h"
 #include "src/util/result.h"
 
 namespace gqzoo {
@@ -59,6 +60,11 @@ struct FuzzCase {
   ///     end
   std::string ToText() const;
 };
+
+/// Cap on a corpus `.case` file: the graph block is bounded by the graph
+/// parser's own cap, plus headroom for headers and mutation lines. Oversized
+/// input is rejected up front with kInvalidArgument (no partial parse).
+constexpr size_t kMaxFuzzCaseBytes = kMaxGraphTextBytes + (1u << 20);
 
 Result<FuzzCase> ParseFuzzCase(const std::string& text);
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "src/fuzz/crash_oracle.h"
 #include "src/fuzz/metamorphic.h"
 #include "src/graph/graph_io.h"
 
@@ -107,6 +108,9 @@ FuzzRunResult RunFuzzer(const FuzzerOptions& options, std::ostream* log) {
     if (report.parsed) ++result.stats.queries_parsed;
     if (report.ok() && !c.mutations.empty()) {
       RunMutationOracle(c, options.oracle, &report);
+    }
+    if (report.ok() && !c.mutations.empty()) {
+      RunCrashOracle(c, &report);
     }
     if (report.ok() && options.metamorphic) {
       FuzzRng meta_rng = FuzzRng(c.seed).Fork(7);

@@ -89,14 +89,12 @@ void GraphSim::InternProperty(const std::string& name) {
 }
 
 Result<bool> GraphSim::Apply(const MutationOp& op) {
-  if (op.name.empty()) {
-    return Error(ErrorCode::kInvalidArgument, "mutation subject needs a name");
-  }
+  // Same up-front identifier validation as DeltaOverlay::ApplyOne (shared
+  // predicate, so the two cannot drift on what is WAL-representable).
+  Result<bool> valid = ValidateMutationNames(op);
+  if (!valid.ok()) return valid;
   switch (op.kind) {
     case MutationOp::Kind::kAddNode: {
-      if (op.label.empty()) {
-        return Error(ErrorCode::kInvalidArgument, "label required");
-      }
       if (ResolveNodeIdx(op.name).has_value()) {
         return Error(ErrorCode::kInvalidArgument,
                      "node '" + op.name + "' already exists");
@@ -122,9 +120,6 @@ Result<bool> GraphSim::Apply(const MutationOp& op) {
       return true;
     }
     case MutationOp::Kind::kAddEdge: {
-      if (op.label.empty()) {
-        return Error(ErrorCode::kInvalidArgument, "label required");
-      }
       if (ResolveEdgeIdx(op.name).has_value()) {
         return Error(ErrorCode::kInvalidArgument,
                      "edge '" + op.name + "' already exists");
@@ -152,9 +147,6 @@ Result<bool> GraphSim::Apply(const MutationOp& op) {
       return true;
     }
     case MutationOp::Kind::kSetLabel: {
-      if (op.label.empty()) {
-        return Error(ErrorCode::kInvalidArgument, "label required");
-      }
       std::optional<size_t> id = ResolveNodeIdx(op.name);
       if (!id.has_value()) {
         return Error(ErrorCode::kNotFound, "unknown node '" + op.name + "'");
@@ -163,9 +155,6 @@ Result<bool> GraphSim::Apply(const MutationOp& op) {
       return true;
     }
     case MutationOp::Kind::kSetProperty: {
-      if (op.property.empty()) {
-        return Error(ErrorCode::kInvalidArgument, "property required");
-      }
       std::optional<size_t> id =
           op.on_edge ? ResolveEdgeIdx(op.name) : ResolveNodeIdx(op.name);
       if (!id.has_value()) {

@@ -95,9 +95,12 @@ std::vector<std::string> Tokenize(const std::string& line) {
     }
     if (i >= line.size()) break;
     if (line[i] == '"') {
-      // A quoted string token keeps its quotes for the value parser.
+      // A quoted string token keeps its quotes (and escapes) for the value
+      // parser; an escaped quote does not terminate the token.
       size_t j = i + 1;
-      while (j < line.size() && line[j] != '"') ++j;
+      while (j < line.size() && line[j] != '"') {
+        j += (line[j] == '\\' && j + 1 < line.size()) ? 2 : 1;
+      }
       if (j < line.size()) ++j;  // include closing quote
       out.push_back(line.substr(i, j - i));
       i = j;
@@ -124,7 +127,7 @@ Result<Value> ParseValueToken(const std::string& token) {
     if (token.size() < 2 || token.back() != '"') {
       return Error(ErrorCode::kParse, "unterminated string value: " + token);
     }
-    return Value(token.substr(1, token.size() - 2));
+    return Value(UnescapeStringLiteral(token.substr(1, token.size() - 2)));
   }
   // Integer first; fall back to double.
   char* end = nullptr;
@@ -141,6 +144,57 @@ Result<Value> ParseValueToken(const std::string& token) {
 bool IsMutationCommand(const std::string& word) {
   return word == "add-node" || word == "add-edge" || word == "del-node" ||
          word == "del-edge" || word == "set-label" || word == "set-prop";
+}
+
+bool IsValidMutationName(const std::string& s) {
+  if (s.empty() || s.size() > kMaxMutationNameLen) return false;
+  unsigned char first = static_cast<unsigned char>(s[0]);
+  if (!std::isalpha(first) && s[0] != '_') return false;
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '_') return false;
+  }
+  return true;
+}
+
+Result<bool> ValidateMutationNames(const MutationOp& op) {
+  auto bad = [](const char* what, const std::string& s) {
+    const std::string shown = s.size() > 64 ? s.substr(0, 64) + "..." : s;
+    return Error(ErrorCode::kInvalidArgument,
+                 std::string(what) + " '" + shown +
+                     "' is not a valid identifier ([A-Za-z_][A-Za-z0-9_]*, "
+                     "at most " + std::to_string(kMaxMutationNameLen) +
+                     " chars)");
+  };
+  if (!IsValidMutationName(op.name)) return bad("subject name", op.name);
+  switch (op.kind) {
+    case MutationOp::Kind::kAddNode:
+    case MutationOp::Kind::kSetLabel:
+      if (!IsValidMutationName(op.label)) return bad("label", op.label);
+      break;
+    case MutationOp::Kind::kAddEdge:
+      if (!IsValidMutationName(op.label)) return bad("label", op.label);
+      if (!IsValidMutationName(op.src)) return bad("source node", op.src);
+      if (!IsValidMutationName(op.tgt)) return bad("target node", op.tgt);
+      break;
+    case MutationOp::Kind::kSetProperty:
+      if (!IsValidMutationName(op.property)) {
+        return bad("property", op.property);
+      }
+      if (op.value.is_string() &&
+          op.value.as_string().size() > kMaxMutationValueLen) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "string value of " +
+                         std::to_string(op.value.as_string().size()) +
+                         " bytes exceeds the write path's cap of " +
+                         std::to_string(kMaxMutationValueLen));
+      }
+      break;
+    case MutationOp::Kind::kRemoveNode:
+    case MutationOp::Kind::kRemoveEdge:
+      break;
+  }
+  return true;
 }
 
 Result<MutationOp> ParseMutationOp(const std::string& line) {
@@ -334,15 +388,13 @@ void DeltaOverlay::RemoveEdgeInternal(uint32_t old_id,
 Result<bool> DeltaOverlay::ApplyOne(
     const MutationOp& op, std::vector<std::string>* touched_labels,
     std::vector<std::string>* touched_properties) {
-  if (op.name.empty()) {
-    return Error(ErrorCode::kInvalidArgument, "mutation subject needs a name");
-  }
+  // Identifier validation up front (before any interning or resolution):
+  // rejected ops must leave zero state behind, and accepted ops must be
+  // WAL-payload round-trip safe.
+  Result<bool> valid = ValidateMutationNames(op);
+  if (!valid.ok()) return valid;
   switch (op.kind) {
     case MutationOp::Kind::kAddNode: {
-      if (op.label.empty()) {
-        return Error(ErrorCode::kInvalidArgument,
-                     "add-node " + op.name + ": label required");
-      }
       if (ResolveNode(op.name).has_value()) {
         return Error(ErrorCode::kInvalidArgument,
                      "node '" + op.name + "' already exists");
@@ -393,10 +445,6 @@ Result<bool> DeltaOverlay::ApplyOne(
       return true;
     }
     case MutationOp::Kind::kAddEdge: {
-      if (op.label.empty()) {
-        return Error(ErrorCode::kInvalidArgument,
-                     "add-edge " + op.name + ": label required");
-      }
       if (ResolveEdge(op.name).has_value()) {
         return Error(ErrorCode::kInvalidArgument,
                      "edge '" + op.name + "' already exists");
@@ -428,10 +476,6 @@ Result<bool> DeltaOverlay::ApplyOne(
       return true;
     }
     case MutationOp::Kind::kSetLabel: {
-      if (op.label.empty()) {
-        return Error(ErrorCode::kInvalidArgument,
-                     "set-label " + op.name + ": label required");
-      }
       std::optional<uint32_t> id = ResolveNode(op.name);
       if (!id.has_value()) {
         return Error(ErrorCode::kNotFound, "unknown node '" + op.name + "'");
@@ -449,10 +493,6 @@ Result<bool> DeltaOverlay::ApplyOne(
       return true;
     }
     case MutationOp::Kind::kSetProperty: {
-      if (op.property.empty()) {
-        return Error(ErrorCode::kInvalidArgument,
-                     "set-prop " + op.name + ": property required");
-      }
       std::optional<uint32_t> id =
           op.on_edge ? ResolveEdge(op.name) : ResolveNode(op.name);
       if (!id.has_value()) {

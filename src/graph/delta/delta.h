@@ -69,6 +69,28 @@ Result<MutationOp> ParseMutationOp(const std::string& line);
 /// Whether `word` is one of the mutation command verbs above.
 bool IsMutationCommand(const std::string& word);
 
+/// Longest name/label/property identifier the write path accepts.
+inline constexpr size_t kMaxMutationNameLen = 1024;
+/// Longest string property value the write path accepts.
+inline constexpr size_t kMaxMutationValueLen = size_t{64} << 10;
+
+/// Whether `s` is a valid subject/label/property identifier for the write
+/// path: non-empty, at most `kMaxMutationNameLen` chars, first char
+/// alphabetic or '_', rest alphanumeric or '_'. This is exactly the graph
+/// text format's bare-identifier charset, so every op the overlay accepts
+/// round-trips losslessly through the WAL's line-oriented textual payload
+/// and through `PropertyGraphToText` — durability-safety by construction
+/// rather than by escaping names everywhere they are rendered. The
+/// reference simulator (`GraphSim`) enforces the identical rule.
+bool IsValidMutationName(const std::string& s);
+
+/// Checks every identifier `op` carries (subject, label, endpoints,
+/// property) against `IsValidMutationName`, and string values against
+/// `kMaxMutationValueLen`; `kInvalidArgument` on violation. Runs before any
+/// state change in both `DeltaOverlay::ApplyOne` and the fuzzer's
+/// reference simulator, so the two reject identically.
+Result<bool> ValidateMutationNames(const MutationOp& op);
+
 /// An ordered group of mutations applied as one write. Grouping amortizes
 /// admission and invalidation; it is not a transaction — on a mid-batch
 /// error the already-applied prefix stays (and only that prefix enters the

@@ -66,13 +66,26 @@ class GraphLexer {
     ++pos_;  // opening quote
     std::string out;
     while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        // Escape sequences per EscapeStringLiteral; an unknown escape
+        // yields the escaped character itself.
+        ++pos_;
+        switch (text_[pos_]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: out += text_[pos_]; break;
+        }
+        ++pos_;
+        continue;
+      }
       if (text_[pos_] == '\n') ++line_;
       out += text_[pos_++];
     }
     if (pos_ >= text_.size()) {
-      return Error("line " + std::to_string(start_line) +
-                   ": unterminated string literal");
+      return Error(ErrorCode::kInvalidArgument,
+                   "line " + std::to_string(start_line) +
+                       ": unterminated string literal");
     }
     ++pos_;  // closing quote
     return Token{Kind::kString, out, start_line};
@@ -118,8 +131,9 @@ class GraphLexer {
       ++pos_;
       return Token{Kind::kPunct, std::string(1, c), line_};
     }
-    return Error("line " + std::to_string(line_) +
-                 ": unexpected character '" + std::string(1, c) + "'");
+    return Error(ErrorCode::kInvalidArgument,
+                 "line " + std::to_string(line_) +
+                     ": unexpected character '" + std::string(1, c) + "'");
   }
 
   const std::string& text_;
@@ -133,15 +147,15 @@ class GraphParser {
 
   Result<PropertyGraph> Parse() {
     PropertyGraph g;
-    if (!Advance()) return Error(error_);
+    if (!Advance()) return Error(ErrorCode::kInvalidArgument, error_);
     while (current_.kind != GraphLexer::Kind::kEnd) {
       if (current_.kind != GraphLexer::Kind::kIdent) {
         return Err("expected 'node' or 'edge'");
       }
       if (current_.text == "node") {
-        if (!ParseNode(&g)) return Error(error_);
+        if (!ParseNode(&g)) return Error(ErrorCode::kInvalidArgument, error_);
       } else if (current_.text == "edge") {
-        if (!ParseEdge(&g)) return Error(error_);
+        if (!ParseEdge(&g)) return Error(ErrorCode::kInvalidArgument, error_);
       } else {
         return Err("expected 'node' or 'edge', got '" + current_.text + "'");
       }
@@ -269,7 +283,7 @@ class GraphParser {
 
   Error Err(const std::string& message) {
     Fail(message);
-    return Error(error_);
+    return Error(ErrorCode::kInvalidArgument, error_);
   }
 
   GraphLexer lexer_;
@@ -286,6 +300,13 @@ std::string ValueToText(const Value& v) {
 }  // namespace
 
 Result<PropertyGraph> ParsePropertyGraph(const std::string& text) {
+  if (text.size() > kMaxGraphTextBytes) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "graph text is " + std::to_string(text.size()) +
+                     " bytes; the loader caps inputs at " +
+                     std::to_string(kMaxGraphTextBytes) +
+                     " (truncated or runaway file?)");
+  }
   GraphParser parser(text);
   return parser.Parse();
 }

@@ -17,7 +17,15 @@ namespace gqzoo {
 ///
 /// Node declarations must precede the edges that use them. Values are
 /// integers, doubles, double-quoted strings, or `true`/`false`.
+///
+/// Truncated, garbled, or oversized inputs (> `kMaxGraphTextBytes`) are
+/// rejected with `kInvalidArgument`; the returned Result carries no
+/// partially-populated graph.
 Result<PropertyGraph> ParsePropertyGraph(const std::string& text);
+
+/// Upper bound on the text accepted by `ParsePropertyGraph` (a truncation /
+/// corruption guard for file-fed inputs, not a semantic limit).
+inline constexpr size_t kMaxGraphTextBytes = size_t{64} << 20;
 
 /// Serializes `g` to the text format above (round-trips with
 /// `ParsePropertyGraph`).

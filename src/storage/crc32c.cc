@@ -1,0 +1,61 @@
+#include "src/storage/crc32c.h"
+
+namespace gqzoo::storage {
+
+namespace {
+
+// 4 slicing tables, generated once at first use. Table 0 is the classic
+// byte-at-a-time table; table k folds a zero byte k positions later.
+struct Crc32cTables {
+  uint32_t t[4][256];
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 4; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cExtend(0, data, len);
+}
+
+uint32_t Crc32cExtend(uint32_t crc_in, const void* data, size_t len) {
+  const Crc32cTables& tb = Tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = crc_in ^ 0xFFFFFFFFu;
+  while (len >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[3][crc & 0xFF] ^ tb.t[2][(crc >> 8) & 0xFF] ^
+          tb.t[1][(crc >> 16) & 0xFF] ^ tb.t[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len--) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gqzoo::storage

@@ -1,0 +1,26 @@
+#ifndef GQZOO_STORAGE_CRC32C_H_
+#define GQZOO_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gqzoo::storage {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum the
+/// WAL and checkpoint file formats use. Software slicing-by-4 table
+/// implementation — no hardware intrinsics, so the on-disk format is
+/// identical on every build.
+uint32_t Crc32c(const void* data, size_t len);
+
+/// Extends `crc` (a finished Crc32c value) over more bytes, as if the two
+/// ranges had been checksummed contiguously: Crc32cExtend(Crc32c(a), b) ==
+/// Crc32c(a ++ b). Checkpoint encoding uses this to cover non-adjacent
+/// header fields and payload with one checksum.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+inline uint32_t Crc32c(std::string_view s) { return Crc32c(s.data(), s.size()); }
+
+}  // namespace gqzoo::storage
+
+#endif  // GQZOO_STORAGE_CRC32C_H_

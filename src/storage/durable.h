@@ -1,0 +1,131 @@
+#ifndef GQZOO_STORAGE_DURABLE_H_
+#define GQZOO_STORAGE_DURABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/storage/wal.h"
+#include "src/util/result.h"
+
+namespace gqzoo::storage {
+
+/// Durability knobs, embedded in `QueryEngine::Options`.
+struct DurabilityOptions {
+  /// Directory holding `wal.log` + `checkpoint-<covered_lsn>` files. Empty
+  /// disables durability entirely (the engine stays RAM-only).
+  std::string dir;
+  /// fsync the WAL on commit. Off trades OS-crash durability for speed.
+  bool fsync = true;
+  /// > 0 enables group commit: acked writes are fsynced at most once per
+  /// window, bounding loss after a crash to one window.
+  uint32_t group_commit_window_ms = 0;
+  /// Checkpoint files retained (newest first); older ones are pruned after
+  /// each successful checkpoint.
+  size_t keep_checkpoints = 2;
+};
+
+/// What `DurableStore::Open` found and did. Surfaced through
+/// `QueryEngine::recovery_info()` and the shell's startup banner.
+struct RecoveryInfo {
+  /// False when the directory was empty (fresh initialization).
+  bool recovered = false;
+  uint64_t checkpoint_lsn = 0;  // covered_lsn of the checkpoint loaded
+  uint64_t last_lsn = 0;        // highest LSN made live
+  uint64_t batches_replayed = 0;
+  uint64_t ops_replayed = 0;
+  /// A torn tail was detected and truncated (crash mid-append; the cut
+  /// records were never acked).
+  bool tail_truncated = false;
+  /// Human-readable notes: torn-tail details, checkpoint fallbacks.
+  std::string warning;
+};
+
+/// One durability directory: a write-ahead log plus checkpoint files.
+///
+/// Layout and invariants:
+///   * `wal.log` exists from initialization on; a directory holding
+///     checkpoints but no WAL (or vice versa with logged records) is
+///     `kDataLoss` — half of the durable state is gone.
+///   * `checkpoint-<C>` covers every write with lsn ≤ C; the WAL holds the
+///     records with lsn > C (plus possibly a few ≤ C that a crash left
+///     behind before rotation — recovery skips those).
+///   * All file replacement goes through write-temp → fsync → rename →
+///     fsync(dir), so a crash never leaves a half-written file under a
+///     live name; only the WAL's appended tail can be torn.
+///
+/// Recovery (`Open` on a non-empty dir): load the newest checkpoint that
+/// decodes (falling back to older ones with a warning), replay the WAL
+/// tail through a `DeltaOverlay`, verify LSN continuity against the
+/// checkpoint, then write a fresh checkpoint + empty WAL so recovery is
+/// idempotent and torn tails are physically removed. Torn tail ⇒ truncate
+/// + warn; anything else wrong ⇒ `kDataLoss`, refuse to serve.
+///
+/// Not thread-safe; the engine serializes all calls behind its write lock.
+class DurableStore {
+ public:
+  struct Opened {
+    std::unique_ptr<DurableStore> store;
+    /// The recovered graph (or `initial` when the directory was fresh).
+    PropertyGraph graph;
+    RecoveryInfo info;
+  };
+
+  /// Opens `options.dir` (creating it if needed). A fresh directory is
+  /// initialized to checkpoint(`initial`, covered_lsn = 0) + empty WAL.
+  static Result<Opened> Open(const DurabilityOptions& options,
+                             PropertyGraph initial);
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Logs one applied batch; returns its LSN. Called *before* the write is
+  /// published. Any failure marks the store broken: every later call fails
+  /// `kUnavailable` until the process restarts and recovers.
+  Result<uint64_t> AppendBatch(const std::vector<MutationOp>& ops);
+
+  /// Writes a checkpoint of `base` covering `covered_lsn` and rewrites the
+  /// WAL to hold exactly `residual` (records > covered_lsn that are not in
+  /// `base`), then prunes old checkpoints. The compactor calls this with
+  /// its folded base; `SetGraph` and recovery call it with an empty
+  /// residual.
+  Result<bool> WriteCheckpoint(const PropertyGraph& base, uint64_t covered_lsn,
+                               const std::vector<WalRecord>& residual);
+
+  /// Flushes any unsynced acked writes (group-commit flush / shutdown).
+  Result<bool> Sync();
+
+  /// LSN the next AppendBatch will use.
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t checkpoint_lsn() const { return checkpoint_lsn_; }
+  uint64_t checkpoints_written() const { return checkpoints_written_; }
+  uint64_t wal_bytes() const { return wal_ ? wal_->bytes() : 0; }
+  uint64_t wal_records() const { return wal_ ? wal_->appended_records() : 0; }
+  uint64_t wal_syncs() const { return wal_ ? wal_->syncs() : 0; }
+  bool broken() const { return broken_; }
+  const DurabilityOptions& options() const { return options_; }
+
+ private:
+  explicit DurableStore(DurabilityOptions options);
+
+  Result<bool> WriteCheckpointImpl(const PropertyGraph& base,
+                                   uint64_t covered_lsn,
+                                   const std::vector<WalRecord>& residual);
+  void PruneCheckpoints(uint64_t current_lsn);
+
+  DurabilityOptions options_;
+  std::string wal_path_;
+  std::unique_ptr<WalFile> wal_;
+  uint64_t next_lsn_ = 1;
+  uint64_t checkpoint_lsn_ = 0;
+  uint64_t checkpoints_written_ = 0;
+  /// Atomic: probed off-lock by the engine's compaction scheduling.
+  std::atomic<bool> broken_{false};
+};
+
+}  // namespace gqzoo::storage
+
+#endif  // GQZOO_STORAGE_DURABLE_H_

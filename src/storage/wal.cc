@@ -1,0 +1,334 @@
+#include "src/storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/storage/crc32c.h"
+#include "src/util/failpoint.h"
+
+namespace gqzoo::storage {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4] = {static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF),
+               static_cast<char>((v >> 16) & 0xFF),
+               static_cast<char>((v >> 24) & 0xFF)};
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(std::string_view s, size_t off) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(s[off])) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(s[off + 1])) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(s[off + 2])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(s[off + 3])) << 24);
+}
+
+uint64_t GetU64(std::string_view s, size_t off) {
+  return static_cast<uint64_t>(GetU32(s, off)) |
+         (static_cast<uint64_t>(GetU32(s, off + 4)) << 32);
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// write(2) loop handling EINTR and short writes; false on a real error.
+bool WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Error IoError(const std::string& what, const std::string& path) {
+  return Error(ErrorCode::kUnavailable,
+               what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string EncodeWalPayload(uint64_t lsn, const std::vector<MutationOp>& ops) {
+  std::string payload;
+  PutU64(&payload, lsn);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) payload += '\n';
+    payload += ops[i].ToString();
+  }
+  return payload;
+}
+
+void AppendWalRecord(std::string* out, uint64_t lsn,
+                     const std::vector<MutationOp>& ops) {
+  std::string payload = EncodeWalPayload(lsn, ops);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32c(payload));
+  out->append(payload);
+}
+
+Result<WalDecodeResult> DecodeWal(std::string_view bytes) {
+  if (bytes.size() < kWalMagicBytes ||
+      std::memcmp(bytes.data(), kWalMagic, kWalMagicBytes) != 0) {
+    return Error(ErrorCode::kDataLoss,
+                 "WAL magic mismatch: file is not a gqzoo write-ahead log "
+                 "(or its first bytes were destroyed)");
+  }
+  WalDecodeResult out;
+  size_t off = kWalMagicBytes;
+  uint64_t prev_lsn = 0;
+  while (off < bytes.size()) {
+    size_t rec_start = off;
+    size_t rem = bytes.size() - off;
+    if (rem < kWalFrameBytes) {
+      out.tail = WalTail::kTorn;
+      out.valid_bytes = rec_start;
+      out.warning = "torn tail: " + std::to_string(rem) +
+                    "-byte record header fragment at offset " +
+                    std::to_string(rec_start) + "; truncating";
+      return out;
+    }
+    uint32_t len = GetU32(bytes, off);
+    uint32_t crc = GetU32(bytes, off + 4);
+    // The encoder never frames a payload without its lsn or beyond the
+    // cap, and a torn append leaves a clean *prefix* of the true record —
+    // so a fully-present header with an impossible length is corruption,
+    // not a crash artifact.
+    if (len < kWalMinPayloadBytes || len > kMaxWalPayloadBytes) {
+      return Error(ErrorCode::kDataLoss,
+                   "WAL framing violation at offset " +
+                       std::to_string(rec_start) + ": declared payload of " +
+                       std::to_string(len) + " bytes is impossible");
+    }
+    if (kWalFrameBytes + static_cast<uint64_t>(len) > rem) {
+      out.tail = WalTail::kTorn;
+      out.valid_bytes = rec_start;
+      out.warning = "torn tail: record at offset " + std::to_string(rec_start) +
+                    " declares " + std::to_string(len) + " payload bytes, " +
+                    std::to_string(rem - kWalFrameBytes) +
+                    " present; truncating";
+      return out;
+    }
+    std::string_view payload = bytes.substr(off + kWalFrameBytes, len);
+    off += kWalFrameBytes + len;
+    if (Crc32c(payload) != crc) {
+      if (off == bytes.size()) {
+        // The final record checksums wrong but is the right length: the
+        // crash interleaved the append's data blocks, still a torn tail.
+        out.tail = WalTail::kTorn;
+        out.valid_bytes = rec_start;
+        out.warning = "torn tail: final record at offset " +
+                      std::to_string(rec_start) +
+                      " failed its checksum; truncating";
+        return out;
+      }
+      return Error(ErrorCode::kDataLoss,
+                   "WAL record at offset " + std::to_string(rec_start) +
+                       " failed its checksum with intact records after it — "
+                       "mid-log corruption, refusing to serve");
+    }
+    WalRecord rec;
+    rec.lsn = GetU64(payload, 0);
+    if (rec.lsn == 0 || (prev_lsn != 0 && rec.lsn != prev_lsn + 1)) {
+      return Error(ErrorCode::kDataLoss,
+                   "WAL LSN discontinuity at offset " +
+                       std::to_string(rec_start) + ": record carries lsn " +
+                       std::to_string(rec.lsn) + " after lsn " +
+                       std::to_string(prev_lsn));
+    }
+    prev_lsn = rec.lsn;
+    std::string_view text = payload.substr(kWalMinPayloadBytes);
+    size_t line_start = 0;
+    while (line_start < text.size()) {
+      size_t nl = text.find('\n', line_start);
+      if (nl == std::string_view::npos) nl = text.size();
+      std::string line(text.substr(line_start, nl - line_start));
+      line_start = nl + 1;
+      Result<MutationOp> op = ParseMutationOp(line);
+      if (!op.ok()) {
+        // The payload checksummed clean, so this is not bit rot — the
+        // record holds something the current parser rejects.
+        return Error(ErrorCode::kDataLoss,
+                     "WAL record lsn " + std::to_string(rec.lsn) +
+                         " holds an unparseable op (" + op.error().message() +
+                         ") despite a clean checksum");
+      }
+      rec.ops.push_back(std::move(op).value());
+    }
+    out.records.push_back(std::move(rec));
+    out.valid_bytes = off;
+  }
+  out.valid_bytes = bytes.size();
+  return out;
+}
+
+WalFile::~WalFile() {
+  if (fd_ >= 0) {
+    if (unsynced_) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<WalFile>> WalFile::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("cannot create WAL", path);
+  if (!WriteAll(fd, kWalMagic, kWalMagicBytes) || ::fsync(fd) != 0) {
+    Error e = IoError("cannot initialize WAL", path);
+    ::close(fd);
+    return e;
+  }
+  return std::unique_ptr<WalFile>(new WalFile(path, fd, kWalMagicBytes));
+}
+
+Result<std::unique_ptr<WalFile>> WalFile::OpenForAppend(const std::string& path,
+                                                        uint64_t valid_bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return IoError("cannot open WAL", path);
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0 || ::fsync(fd) != 0) {
+    Error e = IoError("cannot truncate WAL", path);
+    ::close(fd);
+    return e;
+  }
+  return std::unique_ptr<WalFile>(new WalFile(path, fd, valid_bytes));
+}
+
+Result<bool> WalFile::Append(uint64_t lsn, const std::vector<MutationOp>& ops,
+                             const WalFileOptions& opts) {
+  std::string rec;
+  AppendWalRecord(&rec, lsn, ops);
+  if (Failpoint::ShouldFail("storage.wal.append.before")) {
+    Failpoint::MaybeCrash("storage.wal.append.before");
+    return Error(ErrorCode::kUnavailable,
+                 "injected WAL append failure (storage.wal.append.before)");
+  }
+  if (Failpoint::ShouldFail("storage.wal.append.torn")) {
+    // Simulated torn write: a clean prefix of the record reaches the disk,
+    // then the process dies.
+    size_t keep = std::min<size_t>(
+        static_cast<size_t>(Failpoint::ArgFor("storage.wal.append.torn")),
+        rec.size());
+    WriteAll(fd_, rec.data(), keep);
+    ::fsync(fd_);
+    Failpoint::CrashNow("storage.wal.append.torn");
+  }
+  if (!WriteAll(fd_, rec.data(), rec.size())) {
+    return IoError("WAL append failed on", path_);
+  }
+  unsynced_ = true;
+  if (Failpoint::ShouldFail("storage.wal.append.before_sync")) {
+    Failpoint::MaybeCrash("storage.wal.append.before_sync");
+    return Error(ErrorCode::kUnavailable,
+                 "injected WAL sync failure (storage.wal.append.before_sync)");
+  }
+  if (opts.fsync) {
+    if (opts.group_commit_window_ms == 0) {
+      Result<bool> s = SyncNow();
+      if (!s.ok()) return s;
+    } else {
+      int64_t window_ns = int64_t{opts.group_commit_window_ms} * 1'000'000;
+      if (SteadyNowNs() - last_sync_ns_ >= window_ns) {
+        Result<bool> s = SyncNow();
+        if (!s.ok()) return s;
+      }
+    }
+  }
+  if (Failpoint::ShouldFail("storage.wal.append.after_sync")) {
+    Failpoint::MaybeCrash("storage.wal.append.after_sync");
+  }
+  bytes_ += rec.size();
+  ++appended_records_;
+  return true;
+}
+
+Result<bool> WalFile::Sync() {
+  if (!unsynced_) return true;
+  return SyncNow();
+}
+
+Result<bool> WalFile::SyncNow() {
+  if (::fsync(fd_) != 0) return IoError("WAL fsync failed on", path_);
+  unsynced_ = false;
+  ++syncs_;
+  last_sync_ns_ = SteadyNowNs();
+  return true;
+}
+
+Result<bool> SyncDirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return IoError("cannot open directory", dir);
+  if (::fsync(fd) != 0) {
+    Error e = IoError("directory fsync failed on", dir);
+    ::close(fd);
+    return e;
+  }
+  ::close(fd);
+  return true;
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Error(ErrorCode::kNotFound, "no such file: " + path);
+    }
+    return IoError("cannot open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Error e = IoError("read failed on", path);
+      ::close(fd);
+      return e;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Result<bool> WriteFileDurably(const std::string& path, std::string_view bytes,
+                              const char* torn_site) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("cannot create", path);
+  if (torn_site != nullptr && Failpoint::ShouldFail(torn_site)) {
+    size_t keep = std::min<size_t>(
+        static_cast<size_t>(Failpoint::ArgFor(torn_site)), bytes.size());
+    WriteAll(fd, bytes.data(), keep);
+    ::fsync(fd);
+    Failpoint::CrashNow(torn_site);
+  }
+  if (!WriteAll(fd, bytes.data(), bytes.size()) || ::fsync(fd) != 0) {
+    Error e = IoError("durable write failed on", path);
+    ::close(fd);
+    return e;
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace gqzoo::storage

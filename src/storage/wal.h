@@ -1,0 +1,170 @@
+#ifndef GQZOO_STORAGE_WAL_H_
+#define GQZOO_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/delta/delta.h"
+#include "src/util/result.h"
+
+namespace gqzoo::storage {
+
+/// Write-ahead log file format
+/// ---------------------------
+///
+///     +--------------------------+
+///     | magic "GQZWAL1\n"  (8 B) |
+///     +--------------------------+
+///     | record 0                 |
+///     | record 1                 |
+///     | ...                      |
+///     +--------------------------+
+///
+/// Each record frames the *applied prefix* of one mutation batch (the write
+/// path logs exactly the ops that succeeded, so replay is all-or-nothing
+/// per record):
+///
+///     [u32 payload_len] [u32 crc32c(payload)] [payload]
+///       payload = [u64 lsn] [op lines joined by '\n']
+///
+/// All integers little-endian. The op lines are `MutationOp::ToString()`
+/// shell syntax — identifiers are restricted to the bare-identifier charset
+/// and string values are escaped (see `IsValidMutationName`), so the
+/// line-oriented payload round-trips any loggable op byte-for-byte.
+///
+/// LSNs start at 1 and are strictly consecutive within a file; a checkpoint
+/// covering lsn C rewrites the log to hold exactly the records with
+/// lsn > C, so the first record of a well-formed log is `covered_lsn + 1`.
+///
+/// Corruption policy (`DecodeWal`):
+///   * bytes missing at the *end* of the file — a header that doesn't fit,
+///     a payload shorter than its declared length, or a CRC-mismatched
+///     *final* record — are a torn tail: the crash interrupted the last
+///     append. The tail is truncated (with a warning) and the prefix
+///     served.
+///   * a CRC mismatch or framing violation with intact records *after* it,
+///     or any LSN discontinuity, cannot be explained by a torn append —
+///     that is real corruption, `kDataLoss`, refuse to serve.
+
+inline constexpr char kWalMagic[] = "GQZWAL1\n";
+inline constexpr size_t kWalMagicBytes = 8;
+/// Per-record frame header: u32 payload_len + u32 crc.
+inline constexpr size_t kWalFrameBytes = 8;
+/// Payload always starts with the u64 lsn.
+inline constexpr size_t kWalMinPayloadBytes = 8;
+/// Upper bound on one record's payload; anything larger in a header is a
+/// framing violation, not a plausible record.
+inline constexpr size_t kMaxWalPayloadBytes = size_t{256} << 20;
+
+/// One decoded WAL record: the applied prefix of one mutation batch.
+struct WalRecord {
+  uint64_t lsn = 0;
+  std::vector<MutationOp> ops;
+};
+
+/// Encodes `ops` as the record payload for `lsn` (lsn + textual op lines).
+std::string EncodeWalPayload(uint64_t lsn, const std::vector<MutationOp>& ops);
+
+/// Appends one fully framed record to `out`. The file writer and the
+/// fuzzer's in-memory crash oracle share this exact byte layout.
+void AppendWalRecord(std::string* out, uint64_t lsn,
+                     const std::vector<MutationOp>& ops);
+
+enum class WalTail : uint8_t { kClean, kTorn };
+
+struct WalDecodeResult {
+  std::vector<WalRecord> records;
+  WalTail tail = WalTail::kClean;
+  /// Length of the valid prefix (magic + whole records). When the tail is
+  /// torn, truncating the file to this offset yields a clean log.
+  uint64_t valid_bytes = 0;
+  /// Human-readable torn-tail description; empty when clean.
+  std::string warning;
+};
+
+/// Decodes a complete WAL byte image (magic included), applying the
+/// corruption policy above. `kDataLoss` for mid-log corruption, LSN
+/// discontinuities, bad magic, or unparseable op lines inside a
+/// CRC-verified record; torn tails come back as `tail = kTorn` with the
+/// valid prefix decoded.
+Result<WalDecodeResult> DecodeWal(std::string_view bytes);
+
+struct WalFileOptions {
+  /// fsync after appends. Off = durability to the page cache only (data
+  /// survives a process crash but not an OS crash).
+  bool fsync = true;
+  /// When > 0 and fsync is on: group commit. Appends are acked as soon as
+  /// they are written; the file is fsynced at most once per window, so a
+  /// crash can lose up to one window of *acked* writes in exchange for
+  /// amortizing fsync across the batches inside a window.
+  uint32_t group_commit_window_ms = 0;
+};
+
+/// Append handle on one WAL file. Not thread-safe; the engine serializes
+/// all calls behind its write lock.
+class WalFile {
+ public:
+  ~WalFile();
+  WalFile(const WalFile&) = delete;
+  WalFile& operator=(const WalFile&) = delete;
+
+  /// Creates (or truncates) `path` as an empty log: magic written and
+  /// fsynced, file positioned for the first append.
+  static Result<std::unique_ptr<WalFile>> Create(const std::string& path);
+
+  /// Opens `path` for appending, first truncating it to `valid_bytes` (the
+  /// recovery path physically removes a torn tail before appending after
+  /// it).
+  static Result<std::unique_ptr<WalFile>> OpenForAppend(const std::string& path,
+                                                        uint64_t valid_bytes);
+
+  /// Appends one record and applies the sync policy in `opts`. On any
+  /// write/sync error the file must be considered broken (the caller stops
+  /// acking writes). Crash failpoints: storage.wal.append.before / .torn /
+  /// .before_sync / .after_sync.
+  Result<bool> Append(uint64_t lsn, const std::vector<MutationOp>& ops,
+                      const WalFileOptions& opts);
+
+  /// Forces an fsync if any acked append is still unsynced (group-commit
+  /// flush; also called on clean shutdown).
+  Result<bool> Sync();
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t syncs() const { return syncs_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalFile(std::string path, int fd, uint64_t bytes)
+      : path_(std::move(path)), fd_(fd), bytes_(bytes) {}
+
+  Result<bool> SyncNow();
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t bytes_ = 0;
+  uint64_t appended_records_ = 0;
+  uint64_t syncs_ = 0;
+  bool unsynced_ = false;
+  /// steady_clock epoch of the last fsync, for the group-commit window.
+  int64_t last_sync_ns_ = 0;
+};
+
+/// fsyncs the directory containing `path` (making a rename durable).
+Result<bool> SyncDirOf(const std::string& path);
+
+/// Reads a whole file into a string. `kNotFound` when missing.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// Writes `bytes` to `path` (create/truncate), fsyncs, closes. The
+/// `torn_site` failpoint, when fired, writes only `ArgFor(torn_site)` bytes
+/// and crashes the process.
+Result<bool> WriteFileDurably(const std::string& path, std::string_view bytes,
+                              const char* torn_site = nullptr);
+
+}  // namespace gqzoo::storage
+
+#endif  // GQZOO_STORAGE_WAL_H_

@@ -1,7 +1,10 @@
 #include "src/util/failpoint.h"
 
+#include <csignal>
+#include <cstdlib>
 #include <map>
 #include <mutex>
+#include <unistd.h>
 
 namespace gqzoo {
 
@@ -12,6 +15,10 @@ struct PointState {
   uint64_t after_n = 0;  // passes to skip before firing
   uint64_t passes = 0;   // passes seen since (re-)arming
   uint64_t fired = 0;    // lifetime fire count
+  // Crash-arming extras; retained across the fire-once self-disarm so the
+  // site can read them while going down.
+  Failpoint::CrashMode crash = Failpoint::CrashMode::kNone;
+  uint64_t arg = 0;
 };
 
 std::mutex* RegistryMutex() {
@@ -33,6 +40,84 @@ void Failpoint::Arm(const std::string& name, uint64_t after_n) {
   state.armed = true;
   state.after_n = after_n;
   state.passes = 0;
+  state.crash = CrashMode::kNone;  // soft arm overrides a stale crash arm
+  state.arg = 0;
+}
+
+void Failpoint::ArmCrash(const std::string& name, CrashMode mode,
+                         uint64_t after_n, uint64_t arg) {
+  std::lock_guard<std::mutex> lock(*RegistryMutex());
+  PointState& state = (*Registry())[name];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.after_n = after_n;
+  state.passes = 0;
+  state.crash = mode;
+  state.arg = arg;
+}
+
+Failpoint::CrashMode Failpoint::CrashModeFor(const char* name) {
+  std::lock_guard<std::mutex> lock(*RegistryMutex());
+  auto it = Registry()->find(name);
+  return it == Registry()->end() ? CrashMode::kNone : it->second.crash;
+}
+
+uint64_t Failpoint::ArgFor(const char* name) {
+  std::lock_guard<std::mutex> lock(*RegistryMutex());
+  auto it = Registry()->find(name);
+  return it == Registry()->end() ? 0 : it->second.arg;
+}
+
+void Failpoint::CrashNow(const char* name) {
+  CrashMode mode = CrashModeFor(name);
+  if (mode == CrashMode::kKill) {
+    ::raise(SIGKILL);
+  }
+  // kExit, kNone (always-crash sites), or a SIGKILL that somehow returned.
+  ::_exit(42);
+}
+
+void Failpoint::MaybeCrash(const char* name) {
+  if (CrashModeFor(name) != CrashMode::kNone) CrashNow(name);
+}
+
+size_t Failpoint::ArmFromEnv(const char* env_var) {
+  const char* spec = std::getenv(env_var);
+  if (spec == nullptr || *spec == '\0') return 0;
+  size_t armed = 0;
+  std::string s(spec);
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    std::string clause = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (clause.empty()) continue;
+    // site[:mode[:after_n[:arg]]]
+    std::string fields[4];
+    size_t nfields = 0, fpos = 0;
+    while (nfields < 4) {
+      size_t colon = clause.find(':', fpos);
+      if (colon == std::string::npos) {
+        fields[nfields++] = clause.substr(fpos);
+        break;
+      }
+      fields[nfields++] = clause.substr(fpos, colon - fpos);
+      fpos = colon + 1;
+    }
+    if (fields[0].empty()) continue;
+    CrashMode mode = CrashMode::kExit;
+    if (fields[1] == "kill") {
+      mode = CrashMode::kKill;
+    } else if (fields[1] == "fail") {
+      mode = CrashMode::kNone;
+    }
+    uint64_t after_n = fields[2].empty() ? 0 : std::strtoull(fields[2].c_str(), nullptr, 10);
+    uint64_t arg = fields[3].empty() ? 0 : std::strtoull(fields[3].c_str(), nullptr, 10);
+    ArmCrash(fields[0], mode, after_n, arg);
+    ++armed;
+  }
+  return armed;
 }
 
 void Failpoint::Disarm(const std::string& name) {

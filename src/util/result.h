@@ -22,6 +22,7 @@ enum class ErrorCode : uint8_t {
   kResourceExhausted,  // a per-query budget (memory/rows/steps) ran out
   kOverloaded,         // admission control shed the query; retry later
   kUnavailable,        // the engine is shutting down; don't retry here
+  kDataLoss,           // durable state is corrupt; refuse to serve it
 };
 
 const char* ErrorCodeName(ErrorCode code);
@@ -58,6 +59,7 @@ inline const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case ErrorCode::kOverloaded: return "OVERLOADED";
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -23,6 +23,41 @@ const char* CompareOpName(CompareOp op) {
   return "?";
 }
 
+std::string EscapeStringLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeStringLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) break;  // trailing lone backslash
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      default: out += s[i]; break;  // covers \\ and \" too
+    }
+  }
+  return out;
+}
+
 bool Value::operator<(const Value& other) const {
   if (data_.index() != other.data_.index()) {
     return data_.index() < other.data_.index();
@@ -84,7 +119,7 @@ std::string Value::ToString() const {
     return buf;
   }
   if (is_bool()) return as_bool() ? "true" : "false";
-  return "\"" + as_string() + "\"";
+  return "\"" + EscapeStringLiteral(as_string()) + "\"";
 }
 
 size_t Value::Hash() const {

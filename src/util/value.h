@@ -23,6 +23,18 @@ enum class CompareOp {
 /// Returns the textual spelling of `op` ("=", "!=", "<", ">", "<=", ">=").
 const char* CompareOpName(CompareOp op);
 
+/// Escapes `s` for embedding inside a double-quoted literal of the text
+/// formats (graph files, shell mutations, WAL payloads): `\` → `\\`,
+/// `"` → `\"`, and newline/tab/CR → `\n`/`\t`/`\r`. Inverse of
+/// `UnescapeStringLiteral`, so any byte string survives a quote →
+/// re-lex round trip.
+std::string EscapeStringLiteral(const std::string& s);
+
+/// Resolves the escape sequences produced by `EscapeStringLiteral`. An
+/// unknown escape `\x` yields `x` and a trailing lone `\` is dropped
+/// (matching the historical lexer behavior for hand-written files).
+std::string UnescapeStringLiteral(const std::string& s);
+
 /// A property value (the set `Values` of the paper).
 ///
 /// Values are atomic: 64-bit integers, doubles, strings, or booleans.

@@ -86,6 +86,63 @@ TEST(MutationOpTest, ParseRejectsMalformedLines) {
   EXPECT_FALSE(ParseMutationOp("").ok());
 }
 
+TEST(MutationOpTest, NastyStringValuesRoundTripExactly) {
+  // The textual form is both the shell surface and the WAL record payload,
+  // so values full of quoting hazards must survive serialize → parse with
+  // every byte intact — not merely re-render to the same string.
+  std::vector<std::string> values = {
+      "",
+      " ",
+      "two  spaces",
+      "she said \"hi\" and left",
+      "back\\slash and \\\" mix",
+      "tab\tnewline\nreturn\r",
+      "trailing backslash \\",
+      "\"",
+      std::string(kMaxMutationValueLen, 'v'),
+  };
+  for (const std::string& v : values) {
+    MutationOp op = MutationOp::SetNodeProperty("n", "p", Value(v));
+    Result<MutationOp> parsed = ParseMutationOp(op.ToString());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+    EXPECT_EQ(parsed.value().value.as_string(), v)
+        << "bytes changed across the round trip";
+    EXPECT_EQ(parsed.value().ToString(), op.ToString());
+  }
+}
+
+TEST(MutationOpTest, IdentifierValidationBoundaries) {
+  // Identifiers are the loophole-free half of WAL safety: names never get
+  // escaped anywhere, so the write path must reject anything outside the
+  // bare-identifier charset before it can reach a log record.
+  const std::string max_name(kMaxMutationNameLen, 'a');
+  EXPECT_TRUE(IsValidMutationName(max_name));
+  EXPECT_TRUE(IsValidMutationName("_x9"));
+  EXPECT_FALSE(IsValidMutationName(max_name + "a"));
+  EXPECT_FALSE(IsValidMutationName(""));
+  EXPECT_FALSE(IsValidMutationName("has space"));
+  EXPECT_FALSE(IsValidMutationName("has\"quote"));
+  EXPECT_FALSE(IsValidMutationName("has\nnewline"));
+  EXPECT_FALSE(IsValidMutationName("9starts_with_digit"));
+  EXPECT_FALSE(IsValidMutationName("dash-ed"));
+
+  EXPECT_TRUE(
+      ValidateMutationNames(MutationOp::AddNode(max_name, "L")).ok());
+  for (const MutationOp& bad : {
+           MutationOp::AddNode(max_name + "a", "L"),
+           MutationOp::AddNode("n", "bad label"),
+           MutationOp::AddEdge("e", "a b", "c", "L"),
+           MutationOp::SetLabel("n", "\"L\""),
+           MutationOp::SetNodeProperty("n", "bad prop", Value(1)),
+           MutationOp::SetNodeProperty(
+               "n", "p", Value(std::string(kMaxMutationValueLen + 1, 'v'))),
+       }) {
+    Result<bool> r = ValidateMutationNames(bad);
+    ASSERT_FALSE(r.ok()) << bad.ToString();
+    EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+  }
+}
+
 TEST(MutationOpTest, IsMutationCommandCoversAllVerbs) {
   for (const char* verb : {"add-node", "del-node", "add-edge", "del-edge",
                            "set-label", "set-prop"}) {

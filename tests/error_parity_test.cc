@@ -9,6 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -197,6 +202,89 @@ TEST(ErrorParityTest, StaticErrorsKeepTheirClassAcrossJoinOrders) {
     Result<QueryResponse> r = engine.Execute(missing);
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  }
+}
+
+// Durable-storage cause → code table: every way a durability directory can
+// be damaged maps to exactly one status class. kDataLoss is reserved for
+// damage that loses acked writes (the engine refuses to serve); a torn
+// tail — bytes a crash cut off an in-flight, never-acked append — recovers
+// OK with a warning; a live write failure is kUnavailable, not data loss.
+TEST(ErrorParityTest, DurableStorageDamageSurfacesDocumentedCodes) {
+  struct DamageRow {
+    const char* cause;
+    void (*damage)(const std::string& dir);
+    std::optional<ErrorCode> expected;  // nullopt = must recover OK
+  };
+  const DamageRow kRows[] = {
+      {"wal.log deleted (checkpoints present)",
+       [](const std::string& dir) {
+         std::filesystem::remove(dir + "/wal.log");
+       },
+       ErrorCode::kDataLoss},
+      {"all checkpoints deleted (WAL holds records)",
+       [](const std::string& dir) {
+         for (const auto& e : std::filesystem::directory_iterator(dir)) {
+           if (e.path().filename().string().rfind("checkpoint-", 0) == 0) {
+             std::filesystem::remove(e.path());
+           }
+         }
+       },
+       ErrorCode::kDataLoss},
+      {"mid-log WAL corruption (intact record after it)",
+       [](const std::string& dir) {
+         // Records begin after the 8-byte magic; byte magic+10 is inside
+         // the first record's payload, and a second record follows it.
+         std::fstream f(dir + "/wal.log",
+                        std::ios::binary | std::ios::in | std::ios::out);
+         f.seekp(18);
+         f.put('\x7e');
+       },
+       ErrorCode::kDataLoss},
+      {"torn WAL tail (crash mid-append)",
+       [](const std::string& dir) {
+         std::ofstream out(dir + "/wal.log",
+                           std::ios::binary | std::ios::app);
+         out << "\x40torn";
+       },
+       std::nullopt},
+  };
+  for (const DamageRow& row : kRows) {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "gqzoo_parity_dataloss.XXXXXX")
+                           .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    ASSERT_NE(mkdtemp(buf.data()), nullptr);
+    std::string dir = buf.data();
+
+    QueryEngine::Options options;
+    options.num_threads = 2;
+    options.durability.dir = dir;
+    {
+      Result<std::unique_ptr<QueryEngine>> engine =
+          QueryEngine::RecoverFrom(ToPropertyGraph(Clique(3)), options);
+      ASSERT_TRUE(engine.ok()) << row.cause;
+      // Two logged batches so the WAL has a record boundary mid-file.
+      for (const char* name : {"extra1", "extra2"}) {
+        MutationBatch batch;
+        batch.ops = {MutationOp::AddNode(name, "Added")};
+        ASSERT_TRUE(engine.value()->ApplyMutation(batch).ok()) << row.cause;
+      }
+    }
+    row.damage(dir);
+    Result<std::unique_ptr<QueryEngine>> r =
+        QueryEngine::RecoverFrom(ToPropertyGraph(Clique(3)), options);
+    if (row.expected.has_value()) {
+      ASSERT_FALSE(r.ok()) << row.cause << ": damage was not detected";
+      EXPECT_EQ(r.error().code(), *row.expected)
+          << row.cause << ": " << r.error().message();
+    } else {
+      ASSERT_TRUE(r.ok()) << row.cause << ": " << r.error().message();
+      EXPECT_FALSE(r.value()->recovery_info().warning.empty()) << row.cause;
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
   }
 }
 

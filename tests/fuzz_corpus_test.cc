@@ -70,6 +70,38 @@ TEST(FuzzCorpusTest, EveryCaseReplaysClean) {
   }
 }
 
+TEST(FuzzCorpusTest, OversizedCaseIsInvalidArgumentUpFront) {
+  std::string huge(kMaxFuzzCaseBytes + 1, '#');
+  Result<FuzzCase> r = ParseFuzzCase(huge);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FuzzCorpusTest, EveryByteTruncationOfEveryCaseFailsOrParsesCleanly) {
+  // A corpus file cut at any byte (editor crash, partial checkout) must
+  // never crash the loader or yield a half-parsed case: each cut either
+  // errors, or parses into a case whose graph text still stands alone.
+  for (const std::filesystem::path& file : CorpusFiles()) {
+    SCOPED_TRACE(file.filename().string());
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    for (size_t cut = 0; cut < text.size(); ++cut) {
+      Result<FuzzCase> r = ParseFuzzCase(text.substr(0, cut));
+      if (!r.ok()) continue;  // clean rejection is always acceptable
+      // An accepted prefix must be internally consistent: the graph block
+      // parses, and the case round-trips through its own serializer.
+      ASSERT_TRUE(ParseCaseGraph(r.value()).ok()) << "cut at " << cut;
+      Result<FuzzCase> again = ParseFuzzCase(r.value().ToText());
+      ASSERT_TRUE(again.ok()) << "cut at " << cut;
+      EXPECT_EQ(again.value().ToText(), r.value().ToText())
+          << "cut at " << cut;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fuzz
 }  // namespace gqzoo

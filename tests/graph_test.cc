@@ -263,6 +263,37 @@ TEST(GraphIoTest, ParseErrors) {
   EXPECT_FALSE(ParsePropertyGraph("frobnicate a :N").ok());
 }
 
+TEST(GraphIoTest, OversizedTextIsInvalidArgumentUpFront) {
+  // The cap is checked before any parsing: a huge input must be rejected
+  // by size alone (the filler here is not even valid graph text).
+  std::string huge(kMaxGraphTextBytes + 1, '#');
+  Result<PropertyGraph> r = ParsePropertyGraph(huge);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(GraphIoTest, EveryByteTruncationParsesOrRejectsCleanly) {
+  // A loader fed a partial file (crash mid-copy, truncated download) must
+  // never crash or accept structurally broken text; each cut either parses
+  // as a valid smaller graph or comes back kInvalidArgument.
+  std::string text = PropertyGraphToText(Figure3Graph());
+  for (size_t cut = 0; cut < text.size(); ++cut) {
+    std::string prefix = text.substr(0, cut);
+    Result<PropertyGraph> r = ParsePropertyGraph(prefix);
+    if (r.ok()) {
+      // Whatever parsed must itself round-trip (no half-ingested object).
+      std::string rendered = PropertyGraphToText(r.value());
+      Result<PropertyGraph> again = ParsePropertyGraph(rendered);
+      ASSERT_TRUE(again.ok()) << "cut at " << cut;
+      EXPECT_EQ(PropertyGraphToText(again.value()), rendered)
+          << "cut at " << cut;
+    } else {
+      EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument)
+          << "cut at " << cut << ": " << r.error().message();
+    }
+  }
+}
+
 TEST(GraphIoTest, ParsesValuesAndComments) {
   Result<PropertyGraph> g = ParsePropertyGraph(R"(
     # a small graph

@@ -1,0 +1,337 @@
+// Engine-level durability tests: recover/mutate/recover cycles through
+// QueryEngine::RecoverFrom, checkpoint-on-compaction, checkpoint fallback,
+// SetGraph resetting the durable state, the sticky broken-store behavior
+// after an injected WAL failure, and recovery idempotence.
+//
+// tools/gqzoo_crash.cc drives the same machinery across real process kills
+// at every failpoint site; these tests pin the in-process behavior that the
+// harness builds on.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/graph/graph_io.h"
+#include "src/util/failpoint.h"
+
+namespace gqzoo {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "gqzoo_recovery_test.XXXXXX")
+                           .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* made = mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+PropertyGraph SeedGraph() {
+  Result<PropertyGraph> g = ParsePropertyGraph(
+      "node a :Account { balance = 10 }\n"
+      "node b :Account\n"
+      "edge t0 :Transfer a -> b\n");
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+QueryEngine::Options DurableOptions(const std::string& dir) {
+  QueryEngine::Options options;
+  options.num_threads = 2;
+  options.durability.dir = dir;
+  // Compaction (and with it checkpointing) only on explicit CompactNow, so
+  // each test controls exactly which checkpoints exist.
+  options.mutation.background_compaction = false;
+  options.mutation.compact_min_ops = size_t{1} << 30;
+  options.mutation.compact_ratio = 1e9;
+  return options;
+}
+
+std::unique_ptr<QueryEngine> MustOpen(const std::string& dir) {
+  Result<std::unique_ptr<QueryEngine>> r =
+      QueryEngine::RecoverFrom(SeedGraph(), DurableOptions(dir));
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message());
+  return r.ok() ? std::move(r).value() : nullptr;
+}
+
+void MustApply(QueryEngine* engine, std::vector<MutationOp> ops) {
+  MutationBatch batch;
+  batch.ops = std::move(ops);
+  Result<QueryEngine::MutationResult> r = engine->ApplyMutation(batch);
+  ASSERT_TRUE(r.ok()) << r.error().message();
+  ASSERT_EQ(r.value().applied, batch.ops.size());
+}
+
+std::string Render(const QueryEngine& engine) {
+  return PropertyGraphToText(*engine.graph_snapshot());
+}
+
+TEST(RecoveryTest, FreshDirectoryThenRecoverCycles) {
+  TempDir dir;
+  std::string after_writes;
+  {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    EXPECT_TRUE(engine->durable());
+    EXPECT_FALSE(engine->recovery_info().recovered);
+    MustApply(engine.get(), {MutationOp::AddNode("c", "Bank"),
+                             MutationOp::AddEdge("t1", "b", "c", "Owns")});
+    MustApply(engine.get(),
+              {MutationOp::SetNodeProperty("c", "open", Value(true))});
+    after_writes = Render(*engine);
+  }
+  {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    const storage::RecoveryInfo& info = engine->recovery_info();
+    EXPECT_TRUE(info.recovered);
+    EXPECT_EQ(info.batches_replayed, 2u);
+    EXPECT_EQ(info.ops_replayed, 3u);
+    EXPECT_EQ(info.last_lsn, 2u);
+    EXPECT_EQ(Render(*engine), after_writes);
+    // More writes on top of the recovered state...
+    MustApply(engine.get(),
+              {MutationOp::SetNodeProperty("a", "balance", Value(11))});
+    after_writes = Render(*engine);
+  }
+  {
+    // ...survive a second cycle; recovery is not a one-shot trick.
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(Render(*engine), after_writes);
+  }
+}
+
+TEST(RecoveryTest, RecoveryIsIdempotent) {
+  TempDir dir;
+  std::string expected;
+  {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    MustApply(engine.get(), {MutationOp::AddNode("c", "Bank")});
+    expected = Render(*engine);
+  }
+  for (int round = 0; round < 3; ++round) {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(Render(*engine), expected) << "round " << round;
+  }
+  // After the first recovery wrote its checkpoint, later opens find the
+  // directory already clean and replay nothing.
+  std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->recovery_info().batches_replayed, 0u);
+}
+
+TEST(RecoveryTest, CompactionWritesACoveringCheckpoint) {
+  TempDir dir;
+  std::string expected;
+  uint64_t last_lsn = 0;
+  {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    for (int i = 0; i < 8; ++i) {
+      MustApply(engine.get(),
+                {MutationOp::AddNode("n" + std::to_string(i), "Account")});
+      ++last_lsn;
+    }
+    ASSERT_TRUE(engine->CompactNow());
+    // One more batch after the checkpoint: recovery must replay exactly it.
+    MustApply(engine.get(), {MutationOp::SetLabel("n0", "Bank")});
+    ++last_lsn;
+    expected = Render(*engine);
+  }
+  std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+  ASSERT_NE(engine, nullptr);
+  const storage::RecoveryInfo& info = engine->recovery_info();
+  EXPECT_EQ(info.checkpoint_lsn, last_lsn - 1)
+      << "the compaction checkpoint should cover every pre-compaction batch";
+  EXPECT_EQ(info.batches_replayed, 1u);
+  EXPECT_EQ(info.last_lsn, last_lsn);
+  EXPECT_EQ(Render(*engine), expected);
+}
+
+TEST(RecoveryTest, SetGraphResetsTheDurableState) {
+  TempDir dir;
+  Result<PropertyGraph> replacement = ParsePropertyGraph(
+      "node x :Fresh { v = 1 }\n"
+      "node y :Fresh\n"
+      "edge e :Link x -> y\n");
+  ASSERT_TRUE(replacement.ok());
+  std::string expected;
+  {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    MustApply(engine.get(), {MutationOp::AddNode("doomed", "Account")});
+    engine->SetGraph(std::move(replacement).value());
+    MustApply(engine.get(),
+              {MutationOp::SetNodeProperty("y", "v", Value(2))});
+    expected = Render(*engine);
+    EXPECT_EQ(expected.find("doomed"), std::string::npos);
+  }
+  std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(Render(*engine), expected)
+      << "recovery must see the replaced graph plus the post-SetGraph write, "
+         "not any pre-SetGraph state";
+}
+
+TEST(RecoveryTest, FailedWalAppendBreaksTheStoreUntilRestart) {
+  TempDir dir;
+  std::string before_failure;
+  {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    MustApply(engine.get(), {MutationOp::AddNode("c", "Bank")});
+    before_failure = Render(*engine);
+
+    // Soft-fail the next WAL append: the write must NOT be acknowledged and
+    // must NOT be visible, and the store goes sticky-broken.
+    Failpoint::Arm("storage.wal.append.before");
+    MutationBatch batch;
+    batch.ops = {MutationOp::AddNode("lost", "Account")};
+    Result<QueryEngine::MutationResult> r = engine->ApplyMutation(batch);
+    Failpoint::DisarmAll();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(Render(*engine), before_failure)
+        << "an unlogged write must not be published";
+
+    // Every later write fails kUnavailable without touching state.
+    Result<QueryEngine::MutationResult> later = engine->ApplyMutation(batch);
+    ASSERT_FALSE(later.ok());
+    EXPECT_EQ(later.error().code(), ErrorCode::kUnavailable);
+    EXPECT_FALSE(engine->CompactNow())
+        << "a broken store must not checkpoint";
+  }
+  // Restart recovers everything acked before the failure.
+  std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(Render(*engine), before_failure);
+}
+
+TEST(RecoveryTest, TornWalTailIsTruncatedWithAWarning) {
+  TempDir dir;
+  std::string expected;
+  {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    MustApply(engine.get(), {MutationOp::AddNode("c", "Bank")});
+    expected = Render(*engine);
+  }
+  {
+    std::ofstream out(dir.path() + "/wal.log",
+                      std::ios::binary | std::ios::app);
+    out << "\x20torn";  // shorter than a frame header: an interrupted append
+  }
+  std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_TRUE(engine->recovery_info().tail_truncated);
+  EXPECT_FALSE(engine->recovery_info().warning.empty());
+  EXPECT_EQ(Render(*engine), expected);
+  // The recovery checkpoint physically removed the tail: a second open is
+  // clean and warning-free.
+  engine = MustOpen(dir.path());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_FALSE(engine->recovery_info().tail_truncated);
+}
+
+TEST(RecoveryTest, MissingWalIsDataLoss) {
+  TempDir dir;
+  { ASSERT_NE(MustOpen(dir.path()), nullptr); }
+  std::filesystem::remove(dir.path() + "/wal.log");
+  Result<std::unique_ptr<QueryEngine>> r =
+      QueryEngine::RecoverFrom(SeedGraph(), DurableOptions(dir.path()));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kDataLoss);
+}
+
+TEST(RecoveryTest, AllCheckpointsCorruptIsDataLoss) {
+  TempDir dir;
+  { ASSERT_NE(MustOpen(dir.path()), nullptr); }
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("checkpoint-", 0) != 0) continue;
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "not a checkpoint";
+  }
+  Result<std::unique_ptr<QueryEngine>> r =
+      QueryEngine::RecoverFrom(SeedGraph(), DurableOptions(dir.path()));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kDataLoss);
+}
+
+TEST(RecoveryTest, CorruptNewestCheckpointFallsBackToTheOlderOne) {
+  // Build the one directory shape where an older checkpoint is genuinely
+  // load-bearing: a checkpoint that renamed into place but whose WAL
+  // rotation never happened, so the old WAL still holds every record above
+  // the *older* checkpoint. (An injected failure right after the rename
+  // leaves exactly that; the crash harness produces the same shape with a
+  // real kill at storage.ckpt.after_rename.)
+  TempDir dir;
+  std::string expected;
+  {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    for (int i = 0; i < 3; ++i) {
+      MustApply(engine.get(),
+                {MutationOp::AddNode("n" + std::to_string(i), "Account")});
+    }
+    expected = Render(*engine);
+    Failpoint::Arm("storage.ckpt.after_rename");
+    engine->CompactNow();  // folds, then fails to finish the checkpoint
+    Failpoint::DisarmAll();
+    EXPECT_EQ(Render(*engine), expected);
+  }
+
+  // Directory now: checkpoint-0 (init), checkpoint-3 (renamed before the
+  // injected failure), wal.log with records 1..3. Damage checkpoint-3;
+  // recovery must warn, fall back to checkpoint-0, and replay the WAL to
+  // the identical state.
+  std::string newest = dir.path() + "/checkpoint-3";
+  ASSERT_TRUE(std::filesystem::exists(newest));
+  {
+    std::fstream f(newest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(20);
+    f.put('\x7f');
+  }
+  std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_FALSE(engine->recovery_info().warning.empty())
+      << "falling back to an older checkpoint must be warned about";
+  EXPECT_EQ(engine->recovery_info().checkpoint_lsn, 0u);
+  EXPECT_EQ(engine->recovery_info().batches_replayed, 3u);
+  EXPECT_EQ(Render(*engine), expected);
+}
+
+TEST(RecoveryTest, RamOnlyEngineHasNoDurableState) {
+  QueryEngine::Options options;
+  options.num_threads = 2;
+  Result<std::unique_ptr<QueryEngine>> r =
+      QueryEngine::RecoverFrom(SeedGraph(), std::move(options));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value()->durable());
+  EXPECT_FALSE(r.value()->recovery_info().recovered);
+  MustApply(r.value().get(), {MutationOp::AddNode("c", "Bank")});
+}
+
+}  // namespace
+}  // namespace gqzoo

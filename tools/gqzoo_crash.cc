@@ -1,0 +1,584 @@
+// gqzoo_crash: process-level crash-recovery harness for the durability
+// subsystem.
+//
+// The parent drives a matrix of (crash site × kill mode × firing point)
+// cells. For each cell it forks a child of this same binary into a fresh
+// durability directory; the child arms the site from GQZOO_FAILPOINTS
+// (Failpoint::ArmFromEnv) and runs a fixed, deterministic mutation script
+// through a real QueryEngine, appending an fsynced ledger line to
+// `acks.log` after every acknowledged batch. The armed failpoint kills the
+// child mid-WAL-append, mid-checkpoint-write, or mid-WAL-rotation
+// (_exit or SIGKILL, plus simulated torn writes cut at a byte offset).
+//
+// The parent then recovers the directory in-process and checks, against a
+// GraphSim reference ledger, that the recovered graph renders
+// byte-identical to the state after some *whole* prefix of the script of
+// at least every acknowledged batch — every acked batch durable, no batch
+// half-applied — and that recovering twice is idempotent. After a clean
+// (uncrashed) run it also damages the WAL directly: a flipped mid-log byte
+// must make recovery refuse with kDataLoss (never silently truncate acked
+// writes), a truncated tail must recover with a torn-tail warning, and a
+// deleted WAL must be kDataLoss.
+//
+// Usage:
+//   gqzoo_crash                        # the full matrix
+//   gqzoo_crash --site=wal.append      # cells whose site contains the text
+//   gqzoo_crash --mode=kill            # restrict the kill mode
+//   gqzoo_crash --list                 # print the matrix, run nothing
+//   gqzoo_crash --workdir=PATH         # where cell directories live
+//   gqzoo_crash --keep                 # keep directories of passing cells
+//   gqzoo_crash --child --dir=D        # internal: the scripted victim
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/fuzz/mutation_gen.h"
+#include "src/graph/delta/delta.h"
+#include "src/graph/graph_io.h"
+#include "src/storage/wal.h"
+#include "src/util/failpoint.h"
+#include "src/util/value.h"
+
+namespace {
+
+using gqzoo::MutationBatch;
+using gqzoo::MutationOp;
+using gqzoo::ParsePropertyGraph;
+using gqzoo::PropertyGraph;
+using gqzoo::PropertyGraphToText;
+using gqzoo::QueryEngine;
+using gqzoo::Result;
+using gqzoo::Value;
+
+// Low enough that the script triggers several synchronous compactions —
+// and with them checkpoint writes and WAL rotations for the storage.ckpt.*
+// and storage.wal.rotate.* sites to fire from.
+constexpr size_t kCompactMinOps = 10;
+// Chosen so the clean run ends with two un-checkpointed residual records in
+// the WAL (the corruption scenarios need a non-empty log to damage).
+constexpr int kScriptBatches = 46;
+
+PropertyGraph InitialGraph() {
+  static const char* kText =
+      "node a :Account { owner = \"ann\", balance = 10 }\n"
+      "node b :Account { owner = \"bob\" }\n"
+      "node c :Bank\n"
+      "edge t0 :Transfer a -> b { amount = 3 }\n"
+      "edge t1 :Owns c -> a\n";
+  return ParsePropertyGraph(kText).value();
+}
+
+/// The fixed mutation script. Valid-by-construction: every op is accepted,
+/// so the child's acked-batch count and the parent's GraphSim ledger line
+/// up one-to-one.
+std::vector<MutationBatch> BuildScript() {
+  static const char* kLabels[3] = {"Account", "Bank", "Audit"};
+  std::vector<MutationBatch> batches;
+  for (int i = 0; i < kScriptBatches; ++i) {
+    MutationBatch b;
+    const std::string node = "w" + std::to_string(i);
+    b.AddNode(node, kLabels[i % 3]);
+    if (i % 2 == 0) {
+      b.AddEdge("s" + std::to_string(i), node,
+                i == 0 ? "a" : "w" + std::to_string(i - 1), "Transfer");
+    }
+    switch (i % 3) {
+      case 0:
+        b.SetNodeProperty(node, "balance", Value(static_cast<int64_t>(i)));
+        break;
+      case 1:
+        b.SetNodeProperty(node, "note",
+                          Value("n \"quoted\"\t" + std::to_string(i)));
+        break;
+      default:
+        b.SetNodeProperty(node, "flag", Value(i % 6 == 2));
+        break;
+    }
+    if (i % 11 == 10) b.RemoveNode("w" + std::to_string(i - 5));
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+QueryEngine::Options EngineOptions(const std::string& dir) {
+  QueryEngine::Options options;
+  options.num_threads = 2;
+  options.mutation.compact_min_ops = kCompactMinOps;
+  options.mutation.compact_ratio = 0;              // only the op-count trigger
+  options.mutation.background_compaction = false;  // deterministic firing
+  options.durability.dir = dir;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Child: apply the script, ledger every ack, die when the failpoint fires.
+
+int RunChild(const std::string& dir) {
+  gqzoo::Failpoint::ArmFromEnv();
+  Result<std::unique_ptr<QueryEngine>> opened =
+      QueryEngine::RecoverFrom(InitialGraph(), EngineOptions(dir));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "child: recover failed: %s\n",
+                 opened.error().message().c_str());
+    return 3;
+  }
+  std::unique_ptr<QueryEngine> engine = std::move(opened).value();
+
+  const std::string acks_path = dir + "/acks.log";
+  int ack_fd = ::open(acks_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (ack_fd < 0) {
+    std::perror("child: open acks.log");
+    return 3;
+  }
+  std::vector<MutationBatch> script = BuildScript();
+  for (size_t i = 0; i < script.size(); ++i) {
+    Result<QueryEngine::MutationResult> applied =
+        engine->ApplyMutation(script[i]);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "child: batch %zu rejected: %s\n", i,
+                   applied.error().message().c_str());
+      return 4;
+    }
+    // The ledger line is the ack: fsynced before the next batch so the
+    // parent can trust it even across SIGKILL.
+    char line[32];
+    int n = std::snprintf(line, sizeof(line), "%zu\n", i);
+    if (::write(ack_fd, line, static_cast<size_t>(n)) != n ||
+        ::fsync(ack_fd) != 0) {
+      std::perror("child: ack write");
+      return 3;
+    }
+  }
+  ::close(ack_fd);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Parent: the matrix.
+
+struct Cell {
+  std::string site;
+  std::string mode;    // "exit" or "kill"
+  uint64_t after_n;    // passes before the site fires
+  uint64_t arg;        // torn sites: bytes written before the crash
+  std::string spec() const {
+    std::string s = site + ":" + mode + ":" + std::to_string(after_n);
+    if (arg != 0) s += ":" + std::to_string(arg);
+    return s;
+  }
+};
+
+std::vector<Cell> BuildMatrix() {
+  // after_n for append sites counts WAL appends; for checkpoint/rotation
+  // sites pass 0 hits the *initialization* checkpoint of the fresh
+  // directory and pass 1 the first compaction checkpoint of real data.
+  struct Site {
+    const char* name;
+    std::vector<uint64_t> after;
+    std::vector<uint64_t> args;  // empty = not a torn site
+  };
+  const std::vector<Site> sites = {
+      {"storage.wal.append.before", {0, 4}, {}},
+      {"storage.wal.append.torn", {0, 4}, {0, 5, 13}},
+      {"storage.wal.append.before_sync", {0, 4}, {}},
+      {"storage.wal.append.after_sync", {0, 4}, {}},
+      {"storage.ckpt.write.torn", {0, 1}, {0, 7}},
+      {"storage.ckpt.before_rename", {0, 1}, {}},
+      {"storage.ckpt.after_rename", {0, 1}, {}},
+      {"storage.wal.rotate.torn", {0, 1}, {3, 10}},
+      {"storage.wal.rotate.before_rename", {0, 1}, {}},
+      {"storage.wal.rotate.after_rename", {0, 1}, {}},
+  };
+  std::vector<Cell> cells;
+  for (const Site& site : sites) {
+    for (const char* mode : {"exit", "kill"}) {
+      for (uint64_t after : site.after) {
+        if (site.args.empty()) {
+          cells.push_back({site.name, mode, after, 0});
+        } else {
+          for (uint64_t arg : site.args) {
+            cells.push_back({site.name, mode, after, arg});
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::string SelfExe() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+/// Renders the reference state after each whole batch prefix (index 0 = the
+/// initial graph).
+std::vector<std::string> ReferenceSnapshots(const PropertyGraph& initial) {
+  gqzoo::fuzz::GraphSim sim(initial);
+  std::vector<std::string> snapshots = {PropertyGraphToText(sim.Build())};
+  for (const MutationBatch& batch : BuildScript()) {
+    for (const MutationOp& op : batch.ops) {
+      Result<bool> ok = sim.Apply(op);
+      if (!ok.ok()) {
+        std::fprintf(stderr, "FATAL: script op rejected by GraphSim: %s\n",
+                     op.ToString().c_str());
+        std::exit(2);
+      }
+    }
+    snapshots.push_back(PropertyGraphToText(sim.Build()));
+  }
+  return snapshots;
+}
+
+size_t CountAcks(const std::string& dir) {
+  std::ifstream in(dir + "/acks.log");
+  size_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++n;
+  }
+  return n;
+}
+
+struct CellResult {
+  bool ok = false;
+  std::string detail;
+};
+
+/// Recovers `dir` and checks prefix consistency against the reference
+/// ledger: the recovered render must equal snapshot[j] for some whole
+/// prefix j with acked ≤ j ≤ total, and a second recovery must agree.
+CellResult VerifyRecovery(const std::string& dir,
+                          const std::vector<std::string>& snapshots,
+                          size_t acked) {
+  CellResult r;
+  std::string first_render;
+  for (int round = 0; round < 2; ++round) {
+    Result<std::unique_ptr<QueryEngine>> opened =
+        QueryEngine::RecoverFrom(InitialGraph(), EngineOptions(dir));
+    if (!opened.ok()) {
+      r.detail = "recovery failed: " + opened.error().message();
+      return r;
+    }
+    const std::string render =
+        PropertyGraphToText(*opened.value()->graph_snapshot());
+    if (round == 0) {
+      first_render = render;
+    } else if (render != first_render) {
+      r.detail = "second recovery disagreed with the first";
+      return r;
+    }
+  }
+  size_t matched = snapshots.size();
+  for (size_t j = 0; j < snapshots.size(); ++j) {
+    if (snapshots[j] == first_render) {
+      matched = j;
+      break;
+    }
+  }
+  if (matched == snapshots.size()) {
+    r.detail = "recovered state matches no whole batch prefix (acked " +
+               std::to_string(acked) + ")";
+    return r;
+  }
+  if (matched < acked) {
+    r.detail = "acked batch lost: recovered prefix " + std::to_string(matched) +
+               " < acked " + std::to_string(acked);
+    return r;
+  }
+  r.ok = true;
+  r.detail = "prefix " + std::to_string(matched) + "/" +
+             std::to_string(snapshots.size() - 1) + ", acked " +
+             std::to_string(acked);
+  return r;
+}
+
+CellResult RunCell(const std::string& self, const Cell& cell,
+                   const std::string& dir,
+                   const std::vector<std::string>& snapshots) {
+  CellResult r;
+  std::filesystem::create_directories(dir);
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    r.detail = "fork failed";
+    return r;
+  }
+  if (pid == 0) {
+    ::setenv("GQZOO_FAILPOINTS", cell.spec().c_str(), 1);
+    std::string dir_flag = "--dir=" + dir;
+    ::execl(self.c_str(), self.c_str(), "--child", dir_flag.c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+
+  const bool exited_42 = WIFEXITED(status) && WEXITSTATUS(status) == 42;
+  const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+  if (cell.mode == "exit" ? !exited_42 : !killed) {
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      r.detail = "failpoint never fired (child ran to completion)";
+    } else {
+      r.detail = "child died the wrong way (status " + std::to_string(status) +
+                 ")";
+    }
+    return r;
+  }
+  return VerifyRecovery(dir, snapshots, CountAcks(dir));
+}
+
+/// After a clean run, damage the WAL directly and check recovery's refusal
+/// policy end-to-end: mid-log flip ⇒ kDataLoss, torn tail ⇒ truncate +
+/// warn, missing WAL ⇒ kDataLoss.
+int RunCorruptionScenarios(const std::string& self, const std::string& workdir,
+                           const std::vector<std::string>& snapshots) {
+  int failures = 0;
+  auto scenario = [&](const char* name, auto damage, auto check) {
+    const std::string dir = workdir + "/" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      ::unsetenv("GQZOO_FAILPOINTS");
+      std::string dir_flag = "--dir=" + dir;
+      ::execl(self.c_str(), self.c_str(), "--child", dir_flag.c_str(),
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::printf("FAIL %-28s clean child run died (status %d)\n", name,
+                  status);
+      ++failures;
+      return;
+    }
+    if (!damage(dir)) {
+      std::printf("FAIL %-28s damage step could not run\n", name);
+      ++failures;
+      return;
+    }
+    std::string detail;
+    if (!check(dir, &detail)) {
+      std::printf("FAIL %-28s %s\n", name, detail.c_str());
+      std::printf("     dir kept for inspection: %s\n", dir.c_str());
+      ++failures;
+      return;
+    }
+    std::printf("ok   %-28s %s\n", name, detail.c_str());
+    std::filesystem::remove_all(dir);
+  };
+
+  // Flipping a byte inside the first residual record's payload (the WAL
+  // after a clean run holds the batches since the last checkpoint).
+  scenario(
+      "midlog-flip-kdataloss",
+      [](const std::string& dir) {
+        Result<std::string> bytes =
+            gqzoo::storage::ReadFileBytes(dir + "/wal.log");
+        if (!bytes.ok()) return false;
+        Result<gqzoo::storage::WalDecodeResult> decoded =
+            gqzoo::storage::DecodeWal(bytes.value());
+        if (!decoded.ok() || decoded.value().records.size() < 2) return false;
+        std::string damaged = bytes.value();
+        damaged[gqzoo::storage::kWalMagicBytes +
+                gqzoo::storage::kWalFrameBytes + 1] ^= 0xFF;
+        std::ofstream out(dir + "/wal.log", std::ios::binary);
+        out << damaged;
+        return out.good();
+      },
+      [](const std::string& dir, std::string* detail) {
+        Result<std::unique_ptr<QueryEngine>> opened =
+            QueryEngine::RecoverFrom(InitialGraph(), EngineOptions(dir));
+        if (opened.ok()) {
+          *detail = "recovery served a mid-log-corrupted WAL";
+          return false;
+        }
+        if (opened.error().code() != gqzoo::ErrorCode::kDataLoss) {
+          *detail = "expected kDataLoss, got " + opened.error().message();
+          return false;
+        }
+        *detail = "refused with kDataLoss";
+        return true;
+      });
+
+  scenario(
+      "torn-tail-truncate",
+      [](const std::string& dir) {
+        std::error_code ec;
+        const auto size =
+            std::filesystem::file_size(dir + "/wal.log", ec);
+        if (ec || size < gqzoo::storage::kWalMagicBytes + 4) return false;
+        std::filesystem::resize_file(dir + "/wal.log", size - 3, ec);
+        return !ec;
+      },
+      [&snapshots](const std::string& dir, std::string* detail) {
+        Result<std::unique_ptr<QueryEngine>> opened =
+            QueryEngine::RecoverFrom(InitialGraph(), EngineOptions(dir));
+        if (!opened.ok()) {
+          *detail = "torn tail was not recoverable: " +
+                    opened.error().message();
+          return false;
+        }
+        const gqzoo::storage::RecoveryInfo& info =
+            opened.value()->recovery_info();
+        if (!info.tail_truncated || info.warning.empty()) {
+          *detail = "tail truncation not surfaced in RecoveryInfo";
+          return false;
+        }
+        const std::string render =
+            PropertyGraphToText(*opened.value()->graph_snapshot());
+        // The cut record was the last acked batch; the rest must survive.
+        if (render != snapshots[snapshots.size() - 2]) {
+          *detail = "torn tail recovered to an unexpected prefix";
+          return false;
+        }
+        *detail = "truncated one record, warned";
+        return true;
+      });
+
+  scenario(
+      "missing-wal-kdataloss",
+      [](const std::string& dir) {
+        return std::filesystem::remove(dir + "/wal.log");
+      },
+      [](const std::string& dir, std::string* detail) {
+        Result<std::unique_ptr<QueryEngine>> opened =
+            QueryEngine::RecoverFrom(InitialGraph(), EngineOptions(dir));
+        if (opened.ok() ||
+            opened.error().code() != gqzoo::ErrorCode::kDataLoss) {
+          *detail = "deleted WAL must be kDataLoss";
+          return false;
+        }
+        *detail = "refused with kDataLoss";
+        return true;
+      });
+
+  return failures;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string child_dir;
+  std::string site_filter;
+  std::string mode_filter;
+  std::string workdir = "gqzoo_crash_work";
+  bool list_only = false;
+  bool keep = false;
+  bool child = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--child") {
+      child = true;
+    } else if (ParseFlag(arg, "dir", &value)) {
+      child_dir = value;
+    } else if (ParseFlag(arg, "site", &value)) {
+      site_filter = value;
+    } else if (ParseFlag(arg, "mode", &value)) {
+      mode_filter = value;
+    } else if (ParseFlag(arg, "workdir", &value)) {
+      workdir = value;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--keep") {
+      keep = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--site=SUBSTR] [--mode=exit|kill] [--list]\n"
+                   "          [--workdir=PATH] [--keep]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (child) {
+    if (child_dir.empty()) {
+      std::fprintf(stderr, "--child requires --dir\n");
+      return 2;
+    }
+    return RunChild(child_dir);
+  }
+
+  // The parent must never inherit an armed failpoint into itself.
+  ::unsetenv("GQZOO_FAILPOINTS");
+
+  std::vector<Cell> cells;
+  for (const Cell& cell : BuildMatrix()) {
+    if (!site_filter.empty() &&
+        cell.site.find(site_filter) == std::string::npos) {
+      continue;
+    }
+    if (!mode_filter.empty() && cell.mode != mode_filter) continue;
+    cells.push_back(cell);
+  }
+  if (list_only) {
+    for (const Cell& cell : cells) std::printf("%s\n", cell.spec().c_str());
+    return 0;
+  }
+
+  const std::string self = SelfExe();
+  if (self.empty()) {
+    std::fprintf(stderr, "cannot resolve /proc/self/exe\n");
+    return 2;
+  }
+  std::filesystem::create_directories(workdir);
+  const std::vector<std::string> snapshots = ReferenceSnapshots(InitialGraph());
+
+  int failures = 0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const std::string dir = workdir + "/cell-" + std::to_string(i);
+    std::filesystem::remove_all(dir);
+    CellResult result = RunCell(self, cell, dir, snapshots);
+    if (result.ok) {
+      std::printf("ok   %-44s %s\n", cell.spec().c_str(),
+                  result.detail.c_str());
+      if (!keep) std::filesystem::remove_all(dir);
+    } else {
+      std::printf("FAIL %-44s %s\n", cell.spec().c_str(),
+                  result.detail.c_str());
+      std::printf("     dir kept for inspection: %s\n", dir.c_str());
+      ++failures;
+    }
+  }
+
+  failures += RunCorruptionScenarios(self, workdir, snapshots);
+
+  if (failures != 0) {
+    std::printf("FAILED: %d of %zu crash cells + scenarios\n", failures,
+                cells.size() + 3);
+    return 1;
+  }
+  std::printf("OK: %zu crash cells + 3 corruption scenarios recovered "
+              "consistently\n",
+              cells.size());
+  if (!keep) {
+    std::error_code ec;
+    std::filesystem::remove_all(workdir, ec);
+  }
+  return 0;
+}
