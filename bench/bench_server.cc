@@ -1,0 +1,275 @@
+// Network front-end under open-loop load: what the server sustains when
+// requests arrive on a fixed schedule regardless of how fast responses
+// come back (no coordinated omission — latency is measured from each
+// request's *scheduled* arrival, so queueing behind a slow neighbour
+// counts against the tail).
+//
+// BM_ServerOpenLoop drives a mixed-language workload (RPQ, CRPQ, CoreGQL,
+// GQL group patterns, paths) over real loopback sockets: `conns` client
+// threads share one arrival schedule at `offered_qps` and each request is
+// a full wire round trip — QUERY frame out, ROWS chunks streamed back,
+// DONE with status and row count. Reported counters:
+//   qps_achieved   completed requests / wall time
+//   p50_us/p99_us  open-loop latency percentiles across all requests
+//   rows_per_req   mean result rows (sanity: the workload really ran)
+//   errors         DONEs with ok == false (must be 0 — no quotas here)
+//
+// Before the timed runs, every workload query is executed once through a
+// streaming client *and* once in-process, and the concatenated ROWS chunks
+// must be byte-identical to the in-process response text — the
+// zero-result-corruption bar from the acceptance criteria. A mismatch
+// fails the benchmark rather than producing numbers.
+//
+// `--smoke` (consumed before benchmark flags) shrinks the request count
+// and rate for the CI bit-rot check. Full runs emit BENCH_server.json via
+// --benchmark_format=json plus hand-reduced summary numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/graph/generators.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+namespace gqzoo {
+namespace {
+
+size_t g_requests = 512;
+std::vector<int64_t> g_offered_qps = {25, 50, 75};
+
+/// One workload entry: the wire-side request and its in-process mirror
+/// (same language, text, and options) for the byte-identity check.
+struct WorkItem {
+  std::string text;
+  server::ClientQueryOptions wire;
+  QueryRequest local;
+};
+
+WorkItem Item(QueryLanguage language, const std::string& text) {
+  WorkItem item;
+  item.text = text;
+  item.wire.language = QueryLanguageName(language);
+  item.wire.timeout_ms = 10000;
+  item.wire.max_display_rows = 100000;
+  item.local.language = language;
+  item.local.text = text;
+  item.local.timeout = std::chrono::milliseconds(10000);
+  item.local.max_display_rows = 100000;
+  return item;
+}
+
+/// The mixed-language mix over a 64-account Transfer ring. `Transfer+`
+/// (all-pairs reachability, 4096 rows) dominates the tail and streams
+/// across many 4 KiB chunks; the rest are single-step lookups and joins.
+std::vector<WorkItem> Workload() {
+  std::vector<WorkItem> mix = {
+      Item(QueryLanguage::kRpq, "Transfer"),
+      Item(QueryLanguage::kRpq, "~Transfer"),
+      Item(QueryLanguage::kRpq, "Transfer+"),
+      Item(QueryLanguage::kCrpq, "q(x, z) :- Transfer(x, y), Transfer(y, z)"),
+      Item(QueryLanguage::kCoreGql,
+           "MATCH (x)-[:Transfer]->(y) RETURN x, y"),
+      Item(QueryLanguage::kGqlGroup, "(x) (-[t:Transfer]->(v)){1,2} (y)"),
+  };
+  WorkItem paths = Item(QueryLanguage::kPaths, "Transfer+");
+  paths.wire.paths_from = "acct2";
+  paths.wire.paths_to = "acct9";
+  paths.wire.paths_mode = 1;  // shortest
+  paths.local.paths.from = "acct2";
+  paths.local.paths.to = "acct9";
+  paths.local.paths.mode = PathMode::kShortest;
+  mix.push_back(paths);
+  return mix;
+}
+
+PropertyGraph BenchGraph() { return TransferRing(64, 8, 10.0, 7); }
+
+/// Streams every workload query through the wire and diffs the chunk
+/// concatenation against the in-process engine — byte-identical or bust.
+bool CheckByteIdentity(QueryEngine* engine, const server::GraphServer& server,
+                       std::string* detail) {
+  Result<server::Client> connected =
+      server::Client::Connect("127.0.0.1", server.port());
+  if (!connected.ok()) {
+    *detail = "connect: " + connected.error().message();
+    return false;
+  }
+  server::Client client = std::move(connected).value();
+  if (Result<bool> hello = client.Hello("bench"); !hello.ok()) {
+    *detail = "hello: " + hello.error().message();
+    return false;
+  }
+  for (const WorkItem& item : Workload()) {
+    std::string streamed;
+    Result<server::DoneStatus> done =
+        client.Query(item.text, item.wire, [&](std::string_view chunk) {
+          streamed += chunk;
+          return true;
+        });
+    if (!done.ok() || !done.value().ok) {
+      *detail = "wire query '" + item.text + "' failed: " +
+                (done.ok() ? done.value().message : done.error().message());
+      return false;
+    }
+    Result<QueryResponse> local = engine->Execute(item.local);
+    if (!local.ok()) {
+      *detail = "local query '" + item.text + "' failed: " +
+                local.error().message();
+      return false;
+    }
+    if (streamed != local.value().text ||
+        done.value().num_rows != local.value().num_rows) {
+      *detail = "result corruption on '" + item.text +
+                "': streamed bytes differ from in-process text";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One iteration = `g_requests` arrivals at `offered_qps`, spread over
+/// `conns` connections. state.range(0) = offered QPS, state.range(1) =
+/// connections.
+void BM_ServerOpenLoop(benchmark::State& state) {
+  const double offered_qps = static_cast<double>(state.range(0));
+  const size_t conns = static_cast<size_t>(state.range(1));
+
+  QueryEngine::Options options;
+  options.num_threads = 4;
+  QueryEngine engine(BenchGraph(), options);
+  server::GraphServer server(&engine, server::ServerOptions{});
+  if (Result<bool> started = server.Start(); !started.ok()) {
+    state.SkipWithError(started.error().message().c_str());
+    return;
+  }
+  std::string detail;
+  if (!CheckByteIdentity(&engine, server, &detail)) {
+    state.SkipWithError(detail.c_str());
+    return;
+  }
+
+  const std::vector<WorkItem> mix = Workload();
+  std::vector<server::Client> clients;
+  for (size_t c = 0; c < conns; ++c) {
+    Result<server::Client> connected =
+        server::Client::Connect("127.0.0.1", server.port());
+    if (!connected.ok() || !connected.value().Hello("bench").ok()) {
+      state.SkipWithError("client setup failed");
+      return;
+    }
+    clients.push_back(std::move(connected).value());
+  }
+
+  const auto period = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(1.0 / offered_qps));
+  double total_seconds = 0;
+  size_t total_errors = 0;
+  uint64_t total_rows = 0;
+  std::vector<double> latencies_us;
+  for (auto _ : state) {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> errors{0};
+    std::atomic<uint64_t> rows{0};
+    std::vector<std::vector<double>> per_conn(conns);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < conns; ++c) {
+      workers.emplace_back([&, c] {
+        per_conn[c].reserve(g_requests / conns + 1);
+        while (true) {
+          const size_t i = next.fetch_add(1);
+          if (i >= g_requests) break;
+          const auto scheduled = start + period * static_cast<int64_t>(i);
+          std::this_thread::sleep_until(scheduled);
+          const WorkItem& item = mix[i % mix.size()];
+          Result<server::DoneStatus> done =
+              clients[c].Query(item.text, item.wire);
+          const auto finished = std::chrono::steady_clock::now();
+          if (!done.ok() || !done.value().ok) {
+            errors.fetch_add(1);
+          } else {
+            rows.fetch_add(done.value().num_rows);
+          }
+          per_conn[c].push_back(
+              std::chrono::duration<double, std::micro>(finished - scheduled)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    state.SetIterationTime(seconds);
+    total_seconds += seconds;
+    total_errors += errors.load();
+    total_rows += rows.load();
+    for (std::vector<double>& v : per_conn) {
+      latencies_us.insert(latencies_us.end(), v.begin(), v.end());
+    }
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto percentile = [&](double p) {
+    if (latencies_us.empty()) return 0.0;
+    const size_t idx = std::min(
+        latencies_us.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies_us.size())));
+    return latencies_us[idx];
+  };
+  const double completed =
+      static_cast<double>(g_requests) * static_cast<double>(state.iterations());
+  state.counters["qps_achieved"] =
+      total_seconds > 0 ? completed / total_seconds : 0;
+  state.counters["p50_us"] = percentile(0.50);
+  state.counters["p99_us"] = percentile(0.99);
+  state.counters["rows_per_req"] =
+      completed > 0 ? static_cast<double>(total_rows) / completed : 0;
+  state.counters["errors"] = static_cast<double>(total_errors);
+}
+
+void Register(bool smoke) {
+  if (smoke) {
+    g_requests = 32;
+    g_offered_qps = {200};
+  }
+  std::vector<int64_t> conns = {4};
+  benchmark::RegisterBenchmark("BM_ServerOpenLoop", BM_ServerOpenLoop)
+      ->ArgsProduct({g_offered_qps, conns})
+      ->ArgNames({"offered_qps", "conns"})
+      ->Unit(benchmark::kMillisecond)
+      ->UseManualTime()
+      ->Iterations(1);
+}
+
+}  // namespace
+}  // namespace gqzoo
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  gqzoo::Register(smoke);
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,6 +25,10 @@
 //   --textual-order    evaluate conjuncts in textual order, ignoring the
 //                      planner (for differential runs / benchmarks)
 //   --quiet            suppress per-query output, print only the report
+//   --connect <host:port>  client mode: send the request file to a running
+//                      gqzoo_serve over the wire protocol instead of an
+//                      in-process engine (streamed rows print as chunks)
+//   --tenant <name>    tenant id for --connect sessions (default "batch")
 //
 // Request-file format: one query or mutation per line, same surface as the
 // shell.
@@ -45,6 +49,7 @@
 // --repeat, mutations re-apply each round (an `add-node` repeats as a
 // duplicate-name error on round two — write request files accordingly).
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +65,8 @@
 #include "src/graph/builtin_graphs.h"
 #include "src/graph/delta/delta.h"
 #include "src/graph/graph_io.h"
+#include "src/server/client.h"
+#include "src/util/cli_flags.h"
 
 using namespace gqzoo;
 
@@ -157,9 +164,31 @@ int Usage(const char* argv0) {
           "[--group-commit-ms <n>] [--threads <n>] [--timeout-ms <n>] "
           "[--memlimit <n>] [--row-budget <n>] [--step-budget <n>] "
           "[--capacity <n>] [--repeat <n>] [--explain] [--textual-order] "
-          "[--quiet] <request-file>\n",
+          "[--quiet] [--connect <host:port>] [--tenant <name>] "
+          "<request-file>\n",
           argv0);
   return 2;
+}
+
+/// Maps a parsed in-process request onto the wire options the client
+/// sends, so `--connect` runs the same request file against a server.
+server::ClientQueryOptions ToClientOptions(const QueryRequest& request) {
+  server::ClientQueryOptions options;
+  options.language = QueryLanguageName(request.language);
+  if (request.timeout.has_value()) {
+    options.timeout_ms = static_cast<uint32_t>(request.timeout->count());
+  }
+  options.explain = request.explain;
+  options.optimize = request.optimize;
+  options.textual_join_order = request.textual_join_order;
+  options.paths_from = request.paths.from;
+  options.paths_to = request.paths.to;
+  options.paths_mode = request.paths.mode == PathMode::kShortest ? 1
+                       : request.paths.mode == PathMode::kSimple ? 2
+                       : request.paths.mode == PathMode::kTrail  ? 3
+                                                                 : 0;
+  options.k_shortest = static_cast<uint32_t>(request.paths.k_shortest);
+  return options;
 }
 
 }  // namespace
@@ -180,54 +209,58 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool textual_order = false;
   bool quiet = false;
+  std::string connect;
+  std::string tenant = "batch";
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    // Integer flags go through ParseFlagInt: a typo'd value is a usage
+    // error, not a silent 0.
+    auto int_flag = [&](long long min, long long max,
+                        long long* out) -> bool {
+      return ParseFlagInt(arg, next(), min, max, out);
+    };
+    long long v = 0;
     if (strcmp(arg, "--graph") == 0) {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      graph_file = v;
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      graph_file = value;
     } else if (strcmp(arg, "--persist") == 0) {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      persist_dir = v;
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      persist_dir = value;
     } else if (strcmp(arg, "--no-fsync") == 0) {
       no_fsync = true;
     } else if (strcmp(arg, "--group-commit-ms") == 0) {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      group_commit_ms = atoll(v);
+      if (!int_flag(0, 60 * 1000, &group_commit_ms)) return Usage(argv[0]);
     } else if (strcmp(arg, "--threads") == 0) {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      threads = static_cast<size_t>(atoll(v));
+      if (!int_flag(1, 1024, &v)) return Usage(argv[0]);
+      threads = static_cast<size_t>(v);
     } else if (strcmp(arg, "--timeout-ms") == 0) {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      timeout_ms = atoll(v);
+      if (!int_flag(0, 86400LL * 1000, &timeout_ms)) return Usage(argv[0]);
     } else if (strcmp(arg, "--memlimit") == 0) {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      memlimit = atoll(v);
+      if (!int_flag(0, INT64_MAX, &memlimit)) return Usage(argv[0]);
     } else if (strcmp(arg, "--row-budget") == 0) {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      row_budget = atoll(v);
+      if (!int_flag(0, INT64_MAX, &row_budget)) return Usage(argv[0]);
     } else if (strcmp(arg, "--step-budget") == 0) {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      step_budget = atoll(v);
+      if (!int_flag(0, INT64_MAX, &step_budget)) return Usage(argv[0]);
     } else if (strcmp(arg, "--capacity") == 0) {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      capacity = static_cast<size_t>(atoll(v));
+      if (!int_flag(0, 1 << 20, &v)) return Usage(argv[0]);
+      capacity = static_cast<size_t>(v);
     } else if (strcmp(arg, "--repeat") == 0) {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      repeat = static_cast<size_t>(atoll(v));
+      if (!int_flag(1, 1 << 20, &v)) return Usage(argv[0]);
+      repeat = static_cast<size_t>(v);
+    } else if (strcmp(arg, "--connect") == 0) {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      connect = value;
+    } else if (strcmp(arg, "--tenant") == 0) {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      tenant = value;
     } else if (strcmp(arg, "--explain") == 0) {
       explain = true;
     } else if (strcmp(arg, "--textual-order") == 0) {
@@ -317,6 +350,83 @@ int main(int argc, char** argv) {
   if (lines.empty()) {
     fprintf(stderr, "no requests in '%s'\n", request_file.c_str());
     return 1;
+  }
+
+  if (!connect.empty()) {
+    // Client mode: run the same request file against a gqzoo_serve
+    // instance instead of an in-process engine. Requests go one at a
+    // time over a single session (the server interleaves sessions; for
+    // load generation see bench_server).
+    size_t colon = connect.rfind(':');
+    long long port = 0;
+    if (colon == std::string::npos ||
+        !ParseFlagInt("--connect port", connect.c_str() + colon + 1, 1,
+                      65535, &port)) {
+      return Usage(argv[0]);
+    }
+    Result<server::Client> connected = server::Client::Connect(
+        connect.substr(0, colon), static_cast<uint16_t>(port));
+    if (!connected.ok()) {
+      fprintf(stderr, "cannot connect to '%s': %s\n", connect.c_str(),
+              connected.error().message().c_str());
+      return 1;
+    }
+    server::Client client = std::move(connected).value();
+    Result<bool> hello = client.Hello(tenant);
+    if (!hello.ok()) {
+      fprintf(stderr, "HELLO failed: %s\n", hello.error().message().c_str());
+      return 1;
+    }
+    size_t ok = 0, failed = 0, shed = 0, index = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t round = 0; round < repeat; ++round) {
+      for (const BatchLine& entry : lines) {
+        Result<server::DoneStatus> done =
+            entry.is_mutation
+                ? client.Mutate({entry.op.ToString()})
+                : client.Query(entry.request.text,
+                               ToClientOptions(entry.request),
+                               [&](std::string_view chunk) {
+                                 if (!quiet) {
+                                   fwrite(chunk.data(), 1, chunk.size(),
+                                          stdout);
+                                 }
+                                 return true;
+                               });
+        if (!done.ok()) {
+          fprintf(stderr, "connection lost at request %zu: %s\n", index,
+                  done.error().message().c_str());
+          return 1;
+        }
+        const server::DoneStatus& status = done.value();
+        if (status.ok) {
+          ++ok;
+          if (!quiet && !entry.is_mutation) {
+            printf("[%zu] -> %llu rows%s (%llu us)\n", index,
+                   static_cast<unsigned long long>(status.num_rows),
+                   status.truncated ? " (truncated)" : "",
+                   static_cast<unsigned long long>(status.latency_us));
+          }
+        } else {
+          ++failed;
+          if (status.code == ErrorCode::kOverloaded) ++shed;
+          if (!quiet) {
+            printf("[%zu] -> error [%s]: %s\n", index,
+                   ErrorCodeName(status.code), status.message.c_str());
+          }
+        }
+        ++index;
+      }
+    }
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    printf("\n%zu requests (%zu ok, %zu failed, %zu shed) in %.3fs over "
+           "'%s'\n",
+           index, ok, failed, shed, secs, connect.c_str());
+    Result<std::string> stats = client.Stats();
+    if (stats.ok()) printf("\n%s", stats.value().c_str());
+    return failed == 0 ? 0 : 1;
   }
 
   QueryEngine::Options options;

@@ -61,6 +61,7 @@
 #include "src/graph/builtin_graphs.h"
 #include "src/graph/delta/delta.h"
 #include "src/graph/graph_io.h"
+#include "src/util/cli_flags.h"
 
 using namespace gqzoo;
 
@@ -333,11 +334,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-fsync") {
       options.durability.fsync = false;
     } else if (arg == "--group-commit-ms") {
-      if (i + 1 >= argc) {
-        printf("--group-commit-ms needs a number\n");
+      long long ms = 0;
+      if (!ParseFlagInt("--group-commit-ms", i + 1 < argc ? argv[++i] : nullptr,
+                        0, 60 * 1000, &ms)) {
         return 1;
       }
-      options.durability.group_commit_window_ms = atoi(argv[++i]);
+      options.durability.group_commit_window_ms = static_cast<uint32_t>(ms);
     } else if (!arg.empty() && arg[0] == '-') {
       printf("unknown flag '%s'\n", arg.c_str());
       return 1;

@@ -45,6 +45,64 @@ std::string RenderExplain(const Plan& plan) {
   return "nothing to reorder: plan compiles to a single automaton\n";
 }
 
+/// Render target for ExecutePlan: accumulates rows into one string (the
+/// historical materialize-then-return path) or, when the request carries a
+/// RowSink, streams them in bounded chunks as the render loop produces
+/// them. Chunks flush only at row boundaries, and their concatenation is
+/// byte-identical to the sink-less text — the server's wire framing and
+/// the in-process response are the same bytes. A sink that refuses a chunk
+/// abandons the stream and cancels the query through the context, so a
+/// disconnected client stops the enumeration instead of rendering rows
+/// nobody will read.
+class ChunkedResultWriter {
+ public:
+  ChunkedResultWriter(RowSink* sink, const QueryContext* ctx)
+      : sink_(sink), ctx_(ctx) {}
+
+  template <typename T>
+  ChunkedResultWriter& operator<<(T&& v) {
+    if (!abandoned_) buf_ << std::forward<T>(v);
+    return *this;
+  }
+
+  /// Marks a row boundary — the only place a chunk may end.
+  void EndRow() {
+    if (sink_ != nullptr && !abandoned_ &&
+        buf_.tellp() >= static_cast<std::streamoff>(kChunkBytes)) {
+      FlushChunk();
+    }
+  }
+
+  /// True once the sink refused a chunk; render loops bail out early.
+  bool abandoned() const { return abandoned_; }
+
+  /// Flushes the tail (sink mode) and returns the materialized text
+  /// (sink-less mode; empty otherwise — the rows went through the sink).
+  std::string Finish() {
+    if (sink_ == nullptr) return std::move(buf_).str();
+    if (!abandoned_) FlushChunk();
+    return std::string();
+  }
+
+ private:
+  static constexpr size_t kChunkBytes = 4096;
+
+  void FlushChunk() {
+    std::string chunk = std::move(buf_).str();
+    buf_.str(std::string());
+    if (chunk.empty()) return;
+    if (!sink_->Write(chunk)) {
+      abandoned_ = true;
+      if (ctx_ != nullptr) ctx_->RequestCancel();
+    }
+  }
+
+  RowSink* sink_;
+  const QueryContext* ctx_;
+  std::ostringstream buf_;
+  bool abandoned_ = false;
+};
+
 }  // namespace
 
 QueryEngine::QueryEngine(PropertyGraph graph)
@@ -66,9 +124,14 @@ QueryEngine::QueryEngine(PropertyGraph graph, Options options)
 }
 
 QueryEngine::~QueryEngine() {
+  // Group-commit may still owe the disk an fsync for acked writes. Pay it
+  // *before* the pool is torn down: shutdown runs any queued compaction,
+  // which rotates the WAL — the acked tail must be durable while the live
+  // log still holds it, not after it has been rewritten.
+  (void)FlushWal();
   pool_.Shutdown();
-  // Group-commit may still owe the disk an fsync for acked writes; pay it
-  // on the way out so a clean shutdown loses nothing.
+  // Compactions that ran during shutdown may have appended or rotated; a
+  // final sync makes their output durable too.
   if (durable_ != nullptr && !durable_->broken()) durable_->Sync();
 }
 
@@ -302,10 +365,16 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
     ctx = QueryContext::WithDeadline(admitted_at + *timeout);
   }
   ctx.set_budgets(budgets);
+  if (request.cancel != nullptr) ctx.set_external_cancel(request.cancel.get());
   // Ungoverned queries keep passing a null context so evaluators skip all
-  // polling, exactly as before budgets existed.
+  // polling, exactly as before budgets existed. A request with an external
+  // cancel flag or a streaming sink is always governed: both need a live
+  // context to trip (disconnect mid-evaluation, sink refusing a chunk).
   const QueryContext* cancel =
-      (ctx.deadline().has_value() || budgets.any()) ? &ctx : nullptr;
+      (ctx.deadline().has_value() || budgets.any() ||
+       request.cancel != nullptr || request.sink != nullptr)
+          ? &ctx
+          : nullptr;
 
   // Anchoring the deadline at admission means a query can arrive here with
   // nothing left: its whole budget was spent waiting in the queue. Fail
@@ -361,6 +430,10 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
     // was compiled (and cached) exactly as execution would have used it.
     QueryResponse response;
     response.text = RenderExplain(*plan);
+    if (request.sink != nullptr) {
+      (void)request.sink->Write(response.text);
+      response.text.clear();
+    }
     response.cache_hit = cache_hit;
     response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - start);
@@ -610,7 +683,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     const Plan& plan, const PropertyGraph& g, const GraphSnapshot& snapshot,
     const QueryRequest& request, const CancellationToken* cancel) {
   QueryResponse response;
-  std::ostringstream out;
+  ChunkedResultWriter out(request.sink, cancel);
 
   if (const auto* rpq = std::get_if<RpqPlan>(&plan.compiled)) {
     ParallelRpqOptions rpq_options;
@@ -620,11 +693,13 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     auto pairs = EvalRpqParallel(snapshot, rpq->nfa, rpq_options);
     size_t shown = 0;
     for (const auto& [u, v] : pairs) {
+      if (out.abandoned()) break;
       if (shown++ >= request.max_display_rows) {
         out << "  ... (" << pairs.size() << " pairs total)\n";
         break;
       }
       out << "  (" << g.NodeName(u) << ", " << g.NodeName(v) << ")\n";
+      out.EndRow();
     }
     out << pairs.size() << " pairs\n";
     response.num_rows = pairs.size();
@@ -641,7 +716,9 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     if (!request.textual_join_order) options.join_order = &crpq->join_order;
     Result<CrpqResult> r = EvalCrpq(g.skeleton(), crpq->query, options);
     if (!r.ok()) return r.error();
-    out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
+    out << r.value().ToString(g.skeleton());
+    out.EndRow();
+    out << r.value().rows.size() << " rows"
         << (r.value().truncated ? " (truncated)" : "") << "\n";
     response.num_rows = r.value().rows.size();
     response.truncated = r.value().truncated;
@@ -656,7 +733,9 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     if (!request.textual_join_order) options.join_order = &dl->join_order;
     Result<CrpqResult> r = EvalDlCrpq(g, dl->query, options);
     if (!r.ok()) return r.error();
-    out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
+    out << r.value().ToString(g.skeleton());
+    out.EndRow();
+    out << r.value().rows.size() << " rows"
         << (r.value().truncated ? " (truncated)" : "") << "\n";
     response.num_rows = r.value().rows.size();
     response.truncated = r.value().truncated;
@@ -676,8 +755,9 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
       out << "(pushdown: " << gql->pushdown.labels_pushed << " labels, "
           << gql->pushdown.selections_pushed << " selections)\n";
     }
-    out << r.value().relation.ToString(g.skeleton())
-        << r.value().relation.NumRows() << " rows"
+    out << r.value().relation.ToString(g.skeleton());
+    out.EndRow();
+    out << r.value().relation.NumRows() << " rows"
         << (r.value().truncated ? " (truncated)" : "") << "\n";
     response.num_rows = r.value().relation.NumRows();
     response.truncated = r.value().truncated;
@@ -692,6 +772,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     if (!r.ok()) return r.error();
     size_t shown = 0;
     for (const GqlPathRow& row : r.value().rows) {
+      if (out.abandoned()) break;
       if (++shown > request.max_display_rows) {
         out << "  ... (" << r.value().rows.size() << " rows total)\n";
         break;
@@ -701,6 +782,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
         out << "  " << var << " -> " << value.ToString(g.skeleton());
       }
       out << "\n";
+      out.EndRow();
     }
     out << r.value().rows.size() << " rows"
         << (r.value().truncated ? " (truncated)" : "") << "\n";
@@ -716,7 +798,9 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     // of the graph (rules add edges), which no cached CSR describes.
     Result<CrpqResult> r = EvalRegularQuery(g.skeleton(), regular->query, options);
     if (!r.ok()) return r.error();
-    out << r.value().ToString(g.skeleton()) << r.value().rows.size() << " rows"
+    out << r.value().ToString(g.skeleton());
+    out.EndRow();
+    out << r.value().rows.size() << " rows"
         << (r.value().truncated ? " (truncated)" : "") << "\n";
     response.num_rows = r.value().rows.size();
     response.truncated = r.value().truncated;
@@ -743,12 +827,14 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
           KShortestPathBindings(pmr, request.paths.k_shortest, cancel);
       size_t shown = 0;
       for (const PathBinding& pb : results) {
+        if (out.abandoned()) break;
         if (shown++ >= request.max_display_rows) {
           out << "  ... (" << results.size() << " paths total)\n";
           break;
         }
         out << "  [len " << pb.path.Length() << "] "
             << pb.path.ToString(g.skeleton()) << "\n";
+        out.EndRow();
       }
       out << results.size() << " paths\n";
       response.num_rows = results.size();
@@ -775,6 +861,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
       }
       size_t shown = 0;
       for (const PathBinding& pb : results) {
+        if (out.abandoned()) break;
         if (shown++ >= request.max_display_rows) {
           out << "  ... (" << results.size() << " paths total)\n";
           break;
@@ -784,6 +871,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
           out << "  " << pb.mu.ToString(g.skeleton());
         }
         out << "\n";
+        out.EndRow();
       }
       out << results.size() << " paths"
           << (stats.truncated ? " (truncated)" : "") << "\n";
@@ -794,7 +882,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     return Error(ErrorCode::kInvalidArgument, "unsupported plan kind");
   }
 
-  response.text = out.str();
+  response.text = out.Finish();
   return response;
 }
 

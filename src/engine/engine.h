@@ -9,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/crpq/crpq.h"
 #include "src/engine/executor.h"
@@ -37,6 +38,23 @@ struct PathRequestParams {
   /// When > 0, stream the k shortest matching paths (plain one-way regexes
   /// only) instead of mode-restricted enumeration.
   size_t k_shortest = 0;
+};
+
+/// Receives rendered result rows incrementally as a query executes — the
+/// streaming alternative to materializing `QueryResponse::text`. Chunks
+/// arrive in order and concatenate to exactly the text a sink-less request
+/// would have returned (the network server relies on this byte-identity to
+/// stream over the wire what `Execute` would have buffered).
+///
+/// `Write` is called from whichever thread runs the query (the caller's
+/// thread for `Execute`, a pool thread for `Submit`); at most one call is
+/// in flight at a time. Returning false abandons the stream: the engine
+/// cancels the query (`kCancelled`) and stops delivering chunks — the
+/// back-pressure path for a client that disconnected mid-stream.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  virtual bool Write(std::string_view chunk) = 0;
 };
 
 /// One query for the engine. `language` + `text` identify the plan;
@@ -81,11 +99,24 @@ struct QueryRequest {
   size_t max_display_rows = 50;
 
   PathRequestParams paths;  // kPaths only
+
+  /// When set, rendered rows are delivered through the sink in chunks as
+  /// they are produced and `QueryResponse::text` comes back empty; the
+  /// concatenated chunks are byte-identical to the sink-less text. The sink
+  /// must outlive the execution (for `Submit`, until the future resolves).
+  RowSink* sink = nullptr;
+
+  /// External cancellation: when the pointee becomes true the query trips
+  /// with `kCancelled` at its next cooperative poll. The server sets this
+  /// from the connection thread when the peer disconnects or sends an
+  /// explicit cancel frame while the query runs on a pool thread.
+  std::shared_ptr<std::atomic<bool>> cancel;
 };
 
 /// A successful query outcome: rendered rows plus execution metadata.
 struct QueryResponse {
-  std::string text;  // human-readable rows, shell-style
+  std::string text;  // human-readable rows, shell-style (empty when the
+                     // request carried a RowSink — the rows went there)
   size_t num_rows = 0;
   bool truncated = false;   // an enumeration limit cut the result short
   bool cache_hit = false;   // plan came from the compiled-plan cache
@@ -138,9 +169,15 @@ class QueryEngine {
   /// empty `durability.dir` this is just the plain constructor.
   static Result<std::unique_ptr<QueryEngine>> RecoverFrom(
       PropertyGraph initial, Options options);
-  /// Drains the thread pool before member teardown: queued background
-  /// compactions capture `this` and use `mutation_`, which the implicit
-  /// member-destruction order would destroy before the pool joins.
+  /// Teardown order matters twice here. First the WAL is flushed *before*
+  /// the pool is torn down: with group commit, acked batches can sit
+  /// unsynced waiting for the next append to notice the window elapsed, and
+  /// a queued compaction run during shutdown rotates the log — flush the
+  /// acked tail while the ledger still describes it. Then the pool drains
+  /// before member teardown: queued background compactions capture `this`
+  /// and use `mutation_`, which the implicit member-destruction order would
+  /// destroy before the pool joins. A final sync covers anything those
+  /// shutdown-time compactions appended.
   ~QueryEngine();
 
   /// Compiles (or fetches from cache) and runs the query on the calling

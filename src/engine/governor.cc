@@ -1,5 +1,7 @@
 #include "src/engine/governor.h"
 
+#include <algorithm>
+
 namespace gqzoo {
 
 bool ResourceGovernor::TryAdmit() {
@@ -49,6 +51,52 @@ size_t ResourceGovernor::high_water() const {
 uint64_t ResourceGovernor::shed_total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return shed_;
+}
+
+TenantQuotas::TenantQuotas(const TenantQuotaOptions& options)
+    : options_(options),
+      burst_(options.burst > 0
+                 ? options.burst
+                 : (options.queries_per_sec > 1 ? options.queries_per_sec
+                                                : 1.0)) {}
+
+bool TenantQuotas::TryAcquire(const std::string& tenant) {
+  if (!enabled()) return true;
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, fresh] = buckets_.try_emplace(tenant);
+  Bucket& bucket = it->second;
+  if (fresh) {
+    bucket.tokens = burst_;
+    bucket.last_refill = now;
+  } else {
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket.last_refill).count();
+    bucket.tokens =
+        std::min(burst_, bucket.tokens + elapsed * options_.queries_per_sec);
+    bucket.last_refill = now;
+  }
+  if (bucket.tokens < 1.0) {
+    ++bucket.counts.shed;
+    ++shed_;
+    return false;
+  }
+  bucket.tokens -= 1.0;
+  ++bucket.counts.admitted;
+  return true;
+}
+
+uint64_t TenantQuotas::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+std::map<std::string, TenantQuotas::TenantCounts> TenantQuotas::Counts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, TenantCounts> out;
+  for (const auto& [tenant, bucket] : buckets_) out[tenant] = bucket.counts;
+  return out;
 }
 
 }  // namespace gqzoo

@@ -1,10 +1,13 @@
 #ifndef GQZOO_ENGINE_GOVERNOR_H_
 #define GQZOO_ENGINE_GOVERNOR_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <string>
 
 namespace gqzoo {
 
@@ -65,6 +68,61 @@ class ResourceGovernor {
   size_t in_flight_ = 0;
   size_t running_ = 0;
   size_t high_water_ = 0;
+  uint64_t shed_ = 0;
+};
+
+/// Per-tenant rate limits for the network front-end, layered *before* the
+/// engine-wide admission gate: quotas decide whose queries compete, the
+/// governor decides how many compete at once. 0 disables the dimension.
+struct TenantQuotaOptions {
+  /// Sustained refill rate of each tenant's token bucket.
+  double queries_per_sec = 0;
+  /// Bucket capacity (burst allowance). 0 = same as `queries_per_sec`
+  /// (clamped to at least 1 token so a conforming tenant is never starved).
+  double burst = 0;
+};
+
+/// Token buckets keyed by tenant id. A fresh tenant starts with a full
+/// bucket; each admitted query costs one token; tokens refill continuously
+/// at `queries_per_sec` up to `burst`. All operations are thread-safe (one
+/// mutex — the map is small and the critical section is a few arithmetic
+/// ops, so this is not a hot-path bottleneck at wire speeds).
+class TenantQuotas {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TenantQuotas(const TenantQuotaOptions& options);
+
+  /// Takes one token from `tenant`'s bucket. False = quota exhausted; the
+  /// caller sheds the query with `kOverloaded` ("retry later" — the bucket
+  /// refills on its own, unlike capacity shedding which needs load to end).
+  bool TryAcquire(const std::string& tenant);
+
+  /// True when quotas are configured at all (queries_per_sec > 0).
+  bool enabled() const { return options_.queries_per_sec > 0; }
+
+  uint64_t shed_total() const;
+
+  struct TenantCounts {
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+  };
+  /// Per-tenant admitted/shed counters, for the server's stats report.
+  std::map<std::string, TenantCounts> Counts() const;
+
+  const TenantQuotaOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    Clock::time_point last_refill;
+    TenantCounts counts;
+  };
+
+  const TenantQuotaOptions options_;
+  const double burst_;  // resolved capacity
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
   uint64_t shed_ = 0;
 };
 

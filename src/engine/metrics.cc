@@ -82,6 +82,17 @@ std::string MetricsRegistry::ReportText() const {
   row("queue_depth_high_water", queue_depth_high_water.value());
   row("peak_query_bytes", peak_query_bytes.value());
   row("delta_pending_ops", delta_pending_ops.value());
+  if (server_sessions_total.value() > 0) {
+    row("server_sessions_total", server_sessions_total.value());
+    row("server_connections", server_connections.value());
+    row("server_connections_hw", server_connections_high_water.value());
+    row("server_queries", server_queries.value());
+    row("server_mutations", server_mutations.value());
+    row("server_stream_chunks", server_stream_chunks.value());
+    row("server_stream_bytes", server_stream_bytes.value());
+    row("tenant_quota_shed", tenant_quota_shed.value());
+    row("server_drain_shed", server_drain_shed.value());
+  }
   auto per_language = [&](const char* prefix,
                           const std::array<Counter, kNumQueryLanguages>& a) {
     for (size_t i = 0; i < kNumQueryLanguages; ++i) {
@@ -141,6 +152,15 @@ void MetricsRegistry::Reset() {
   queue_depth_high_water.Reset();
   peak_query_bytes.Reset();
   delta_pending_ops.Reset();
+  server_sessions_total.Reset();
+  server_queries.Reset();
+  server_mutations.Reset();
+  server_stream_chunks.Reset();
+  server_stream_bytes.Reset();
+  tenant_quota_shed.Reset();
+  server_drain_shed.Reset();
+  server_connections.Reset();
+  server_connections_high_water.Reset();
   for (auto& c : queries_by_language) c.Reset();
   for (auto& c : shed_by_language) c.Reset();
   for (auto& c : exhausted_by_language) c.Reset();

@@ -110,6 +110,14 @@ class MetricsRegistry {
   Counter plans_invalidated;          // cache entries dropped by those passes
   Counter plan_invalidations_full;    // whole-cache invalidations (SetGraph)
   Counter plans_evicted_dead_epoch;   // stale-epoch entries evicted eagerly
+  // Network front-end (all zero for in-process-only engines).
+  Counter server_sessions_total;   // connections accepted over the lifetime
+  Counter server_queries;          // query frames handled
+  Counter server_mutations;        // mutation frames handled
+  Counter server_stream_chunks;    // row chunks written to sockets
+  Counter server_stream_bytes;     // row bytes written to sockets
+  Counter tenant_quota_shed;       // queries shed by per-tenant token buckets
+  Counter server_drain_shed;       // queries refused or cancelled by drain
   std::array<Counter, kNumQueryLanguages> queries_by_language;
   std::array<Counter, kNumQueryLanguages> shed_by_language;
   std::array<Counter, kNumQueryLanguages> exhausted_by_language;
@@ -118,6 +126,8 @@ class MetricsRegistry {
   MaxGauge queue_depth_high_water;  // governor in-flight high-water mark
   MaxGauge peak_query_bytes;        // largest per-query accounted footprint
   Gauge delta_pending_ops;          // ops in the live overlay right now
+  Gauge server_connections;         // sessions open right now
+  MaxGauge server_connections_high_water;
 
   LatencyHistogram latency;
 

@@ -1,0 +1,152 @@
+#ifndef GQZOO_SERVER_SERVER_H_
+#define GQZOO_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/engine/governor.h"
+#include "src/server/wire.h"
+#include "src/util/result.h"
+
+namespace gqzoo {
+namespace server {
+
+struct ServerOptions {
+  /// TCP port to bind on the loopback interface; 0 picks an ephemeral
+  /// port (read it back with `port()` — tests and the crash harness use
+  /// this to avoid collisions).
+  uint16_t port = 0;
+
+  /// Per-tenant token-bucket quotas, checked *before* the engine's
+  /// admission gate. Disabled by default (queries_per_sec == 0).
+  TenantQuotaOptions quota;
+
+  /// How long a graceful drain waits for in-flight queries before
+  /// cancelling them. Queries still running at the deadline are shed:
+  /// their DONE carries kUnavailable, like queries that arrived during
+  /// the drain.
+  std::chrono::milliseconds drain_deadline{2000};
+
+  /// Hard cap on concurrent sessions; connections past it are accepted
+  /// and immediately closed with a DONE(kOverloaded). 0 = unbounded.
+  size_t max_sessions = 256;
+};
+
+/// The network front-end: a thread-per-connection TCP server speaking the
+/// wire protocol of wire.h over loopback, multiplexing sessions onto one
+/// shared QueryEngine.
+///
+/// Lifecycle: construct -> Start() -> serve -> Shutdown(). Shutdown is the
+/// graceful drain the ops guide describes: stop accepting, let in-flight
+/// queries finish against `drain_deadline`, cancel stragglers (their DONE
+/// carries kUnavailable, never a hang), flush the WAL so every acked write
+/// is durable, then join all threads. The destructor drains too, so a
+/// scoped server is always torn down cleanly.
+///
+/// Each connection gets a session (tenant id, default language, default
+/// timeout) established by HELLO; queries stream their rows back as ROWS
+/// frames straight from the engine's RowSink, so a long result never
+/// materializes server-side. A client that disconnects or sends CANCEL
+/// mid-query trips the engine's cooperative cancellation.
+class GraphServer {
+ public:
+  GraphServer(QueryEngine* engine, ServerOptions options);
+  ~GraphServer();
+
+  GraphServer(const GraphServer&) = delete;
+  GraphServer& operator=(const GraphServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Fails (kUnavailable)
+  /// when the port is taken.
+  Result<bool> Start();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain; idempotent and safe to call from a signal-handling
+  /// thread. Returns the number of queries shed by the drain deadline.
+  size_t Shutdown();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Engine stats plus per-tenant quota counters (the STATS frame's body).
+  std::string StatsReport() const;
+
+  const TenantQuotas& quotas() const { return quotas_; }
+
+ private:
+  /// Per-connection state. The session object outlives its thread only
+  /// until Shutdown joins and clears the registry.
+  struct Session {
+    int fd = -1;
+    std::thread thread;
+    std::string tenant = "default";
+    QueryLanguage default_language = QueryLanguage::kRpq;
+    uint32_t default_timeout_ms = 0;
+
+    /// Set while a QUERY/MUTATE is being served; the drain uses it to
+    /// tell idle sessions (whose sockets it may shut down immediately)
+    /// from busy ones (which get to write their DONE first).
+    std::atomic<bool> busy{false};
+
+    /// The running query's external-cancel flag, shared with the
+    /// QueryRequest on the pool thread. Guarded by `mu`.
+    std::shared_ptr<std::atomic<bool>> active_cancel;
+    /// True when the *drain* (not the client) cancelled the query; the
+    /// resulting kCancelled is reported as kUnavailable.
+    bool drain_cancelled = false;
+    /// True when the peer vanished mid-query; no DONE is written.
+    bool peer_gone = false;
+    std::mutex mu;
+
+    /// Set by the connection thread as its last act; the accept loop
+    /// reaps (joins and erases) done sessions on idle ticks.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void Serve(Session* session);
+  void HandleHello(Session* session, const std::string& payload);
+  void HandleQuery(Session* session, const std::string& payload);
+  void HandleMutate(Session* session, const std::string& payload);
+
+  /// Decodes a QUERY payload against the session defaults. Returns false
+  /// with `*error` set on a malformed or unknown-language payload.
+  bool DecodeQuery(Session* session, const std::string& payload,
+                   QueryRequest* out, std::string* error);
+
+  QueryEngine* const engine_;
+  const ServerOptions options_;
+  TenantQuotas quotas_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  /// Set at the end of the drain: connection threads exit their read
+  /// loops at the next poll tick.
+  std::atomic<bool> stopping_{false};
+
+  /// Serializes Shutdown bodies (idempotence without a spin).
+  std::mutex shutdown_mu_;
+  std::atomic<size_t> active_sessions_{0};
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace server
+}  // namespace gqzoo
+
+#endif  // GQZOO_SERVER_SERVER_H_

@@ -1,0 +1,201 @@
+#include "src/server/wire.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+
+#include <cstring>
+
+namespace gqzoo {
+namespace server {
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+const char* PayloadReader::Take(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const char* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+bool PayloadReader::ReadU8(uint8_t* v) {
+  const char* p = Take(1);
+  if (p == nullptr) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool PayloadReader::ReadU32(uint32_t* v) {
+  const char* p = Take(4);
+  if (p == nullptr) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool PayloadReader::ReadU64(uint64_t* v) {
+  const char* p = Take(8);
+  if (p == nullptr) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool PayloadReader::ReadString(std::string* v) {
+  uint32_t len = 0;
+  if (!ReadU32(&len)) return false;
+  if (len > kMaxFramePayload) {
+    ok_ = false;
+    return false;
+  }
+  const char* p = Take(len);
+  if (p == nullptr) return false;
+  v->assign(p, len);
+  return true;
+}
+
+std::string EncodeDone(const DoneStatus& status) {
+  std::string payload;
+  AppendU8(&payload,
+           status.ok ? 0 : static_cast<uint8_t>(status.code) + 1);
+  AppendString(&payload, status.message);
+  AppendU64(&payload, status.num_rows);
+  AppendU8(&payload, status.truncated ? 1 : 0);
+  AppendU64(&payload, status.latency_us);
+  return payload;
+}
+
+Result<DoneStatus> DecodeDone(std::string_view payload) {
+  PayloadReader reader(payload);
+  DoneStatus status;
+  uint8_t code = 0;
+  uint8_t truncated = 0;
+  reader.ReadU8(&code);
+  reader.ReadString(&status.message);
+  reader.ReadU64(&status.num_rows);
+  reader.ReadU8(&truncated);
+  reader.ReadU64(&status.latency_us);
+  if (!reader.ok()) {
+    return Error("malformed DONE frame");
+  }
+  status.ok = code == 0;
+  if (!status.ok) status.code = static_cast<ErrorCode>(code - 1);
+  status.truncated = truncated != 0;
+  return status;
+}
+
+namespace {
+
+/// Sends all of `data`, retrying on EINTR and partial writes.
+bool SendAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `len` bytes. Returns 1 on success, 0 on clean EOF before
+/// the first byte, -1 on error or torn read.
+int RecvAll(int fd, char* data, size_t len) {
+  bool any = false;
+  while (len > 0) {
+    ssize_t n = recv(fd, data, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return any ? -1 : 0;
+    any = true;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+Result<bool> WriteFrame(int fd, FrameType type, std::string_view payload) {
+  std::string header;
+  header.reserve(5);
+  AppendU32(&header, static_cast<uint32_t>(payload.size()));
+  AppendU8(&header, static_cast<uint8_t>(type));
+  if (!SendAll(fd, header.data(), header.size()) ||
+      !SendAll(fd, payload.data(), payload.size())) {
+    return Error(ErrorCode::kUnavailable,
+                 std::string("write failed: ") + strerror(errno));
+  }
+  return true;
+}
+
+Result<Frame> ReadFrame(int fd) {
+  char header[5];
+  int rc = RecvAll(fd, header, sizeof(header));
+  if (rc == 0) {
+    return Error(ErrorCode::kUnavailable, "connection closed");
+  }
+  if (rc < 0) {
+    return Error("frame header read failed");
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    return Error("frame payload exceeds limit");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(static_cast<uint8_t>(header[4]));
+  frame.payload.resize(len);
+  if (len > 0 && RecvAll(fd, frame.payload.data(), len) != 1) {
+    return Error("frame payload read failed");
+  }
+  return frame;
+}
+
+bool WaitReadable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  int rc = poll(&pfd, 1, timeout_ms);
+  // POLLHUP/POLLERR also count: the next read observes the EOF/error.
+  return rc > 0;
+}
+
+}  // namespace server
+}  // namespace gqzoo

@@ -1,0 +1,40 @@
+#ifndef GQZOO_UTIL_CLI_FLAGS_H_
+#define GQZOO_UTIL_CLI_FLAGS_H_
+
+#include <errno.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+namespace gqzoo {
+
+/// Checked integer flag parsing for the example drivers, replacing the
+/// bare `atoi(argv[++i])` pattern: that accepted `--threads banana` as 0
+/// and silently wrapped out-of-range values. Parses `value` as a base-10
+/// integer, validates it against [min, max], and on any failure prints a
+/// usage-style diagnostic to stderr and returns false (callers exit with
+/// a usage error). `value` may be null (flag given without an argument).
+inline bool ParseFlagInt(const char* flag, const char* value, long long min,
+                         long long max, long long* out) {
+  if (value == nullptr) {
+    fprintf(stderr, "%s needs an integer argument\n", flag);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    fprintf(stderr, "%s: '%s' is not an integer\n", flag, value);
+    return false;
+  }
+  if (errno == ERANGE || parsed < min || parsed > max) {
+    fprintf(stderr, "%s: %s out of range [%lld, %lld]\n", flag, value, min,
+            max);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_UTIL_CLI_FLAGS_H_

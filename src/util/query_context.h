@@ -105,6 +105,7 @@ class QueryContext {
   QueryContext(const QueryContext& o)
       : deadline_(o.deadline_),
         budgets_(o.budgets_),
+        external_cancel_(o.external_cancel_),
         cause_(o.cause_.load(std::memory_order_relaxed)),
         steps_(o.steps_.load(std::memory_order_relaxed)),
         memory_(o.memory_.load(std::memory_order_relaxed)),
@@ -113,6 +114,7 @@ class QueryContext {
   QueryContext& operator=(const QueryContext& o) {
     deadline_ = o.deadline_;
     budgets_ = o.budgets_;
+    external_cancel_ = o.external_cancel_;
     cause_.store(o.cause_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
     steps_.store(o.steps_.load(std::memory_order_relaxed),
@@ -131,6 +133,17 @@ class QueryContext {
   void set_budgets(const ResourceBudgets& budgets) { budgets_ = budgets; }
   const ResourceBudgets& budgets() const { return budgets_; }
 
+  /// Attaches an external cancellation flag owned by the caller (the
+  /// network server's per-connection disconnect/cancel signal). The flag is
+  /// polled wherever the deadline is probed; once it reads true the context
+  /// trips with `kCancelled`. The flag must outlive every evaluation that
+  /// holds this context. Plain field, not atomic: install before handing
+  /// the context to an evaluator, like budgets.
+  void set_external_cancel(const std::atomic<bool>* flag) {
+    external_cancel_ = flag;
+  }
+  const std::atomic<bool>* external_cancel() const { return external_cancel_; }
+
   /// Trips the context (thread-safe, idempotent).
   void RequestCancel() const { Trip(StopCause::kCancelled); }
 
@@ -143,9 +156,14 @@ class QueryContext {
   }
 
   /// True once the context has tripped for any reason. Always probes the
-  /// clock; use from non-hot paths.
+  /// clock (and the external cancel flag); use from non-hot paths.
   bool Cancelled() const {
     if (cause_.load(std::memory_order_relaxed) != 0) return true;
+    if (external_cancel_ != nullptr &&
+        external_cancel_->load(std::memory_order_acquire)) {
+      Trip(StopCause::kCancelled);
+      return true;
+    }
     if (deadline_.has_value() && Clock::now() >= *deadline_) {
       Trip(StopCause::kDeadline);
       return true;
@@ -164,7 +182,8 @@ class QueryContext {
       Trip(StopCause::kStepBudget);
       return true;
     }
-    if (deadline_.has_value() && (n & (kProbeInterval - 1)) == 0) {
+    if ((deadline_.has_value() || external_cancel_ != nullptr) &&
+        (n & (kProbeInterval - 1)) == 0) {
       return Cancelled();
     }
     return false;
@@ -269,6 +288,9 @@ class QueryContext {
 
   std::optional<Clock::time_point> deadline_;
   ResourceBudgets budgets_;
+  /// Owned by the caller (e.g. a server connection); null for in-process
+  /// queries. Read-only here — the owner stores, we load.
+  const std::atomic<bool>* external_cancel_ = nullptr;
   mutable std::atomic<uint8_t> cause_{0};  // StopCause; first trip wins
   mutable std::atomic<uint64_t> steps_{0};
   mutable std::atomic<uint64_t> memory_{0};

@@ -322,6 +322,35 @@ TEST(RecoveryTest, CorruptNewestCheckpointFallsBackToTheOlderOne) {
   EXPECT_EQ(Render(*engine), expected);
 }
 
+TEST(RecoveryTest, GroupCommitWindowIsFlushedByDestructorOnlyExit) {
+  TempDir dir;
+  uint64_t acked = 0;
+  {
+    QueryEngine::Options options = DurableOptions(dir.path());
+    // A window far longer than the test: no append ever observes it
+    // elapsed, so every acked batch sits in the open group-commit window
+    // until shutdown. The destructor must flush that window (before the
+    // pool teardown, whose shutdown-time compactions can rotate the WAL)
+    // — an acked write may not evaporate on a clean destructor-only exit.
+    options.durability.group_commit_window_ms = 10u * 60 * 1000;
+    Result<std::unique_ptr<QueryEngine>> opened =
+        QueryEngine::RecoverFrom(SeedGraph(), std::move(options));
+    ASSERT_TRUE(opened.ok()) << opened.error().message();
+    std::unique_ptr<QueryEngine> engine = std::move(opened).value();
+    for (int i = 0; i < 5; ++i) {
+      MustApply(engine.get(),
+                {MutationOp::AddNode("n" + std::to_string(i), "Bank")});
+      ++acked;
+    }
+    // No FlushWal, no shell-style cleanup: the destructor is the exit.
+  }
+  std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_TRUE(engine->recovery_info().recovered);
+  EXPECT_EQ(engine->recovery_info().batches_replayed, acked);
+  EXPECT_EQ(engine->recovery_info().last_lsn, acked);
+}
+
 TEST(RecoveryTest, RamOnlyEngineHasNoDurableState) {
   QueryEngine::Options options;
   options.num_threads = 2;

@@ -20,6 +20,11 @@
 // writes), a truncated tail must recover with a torn-tail warning, and a
 // deleted WAL must be kDataLoss.
 //
+// A final drain scenario runs the same script over the network front-end
+// (a `--serve-child` with a 5-second group-commit window) and SIGTERMs the
+// server mid-script: the graceful drain must flush the WAL so every batch
+// whose DONE the client received survives recovery.
+//
 // Usage:
 //   gqzoo_crash                        # the full matrix
 //   gqzoo_crash --site=wal.append      # cells whose site contains the text
@@ -28,6 +33,7 @@
 //   gqzoo_crash --workdir=PATH         # where cell directories live
 //   gqzoo_crash --keep                 # keep directories of passing cells
 //   gqzoo_crash --child --dir=D        # internal: the scripted victim
+//   gqzoo_crash --serve-child --dir=D  # internal: the served victim
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -35,19 +41,25 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/engine/engine.h"
 #include "src/fuzz/mutation_gen.h"
 #include "src/graph/delta/delta.h"
 #include "src/graph/graph_io.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 #include "src/storage/wal.h"
 #include "src/util/failpoint.h"
 #include "src/util/value.h"
@@ -163,6 +175,66 @@ int RunChild(const std::string& dir) {
     }
   }
   ::close(ack_fd);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Serve child: the same durable engine, but behind the network front-end.
+// SIGTERM must drain gracefully — finish or shed in-flight work, flush the
+// group-commit window — so that no DONE-acked batch is ever lost.
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleServeStop(int) { g_serve_stop = 1; }
+
+int RunServeChild(const std::string& dir) {
+  QueryEngine::Options options = EngineOptions(dir);
+  // A huge group-commit window: DONE acks outrun fsyncs by design, so the
+  // drain's FlushWal is the *only* thing standing between an acked batch
+  // and data loss. That is exactly the property under test.
+  options.durability.group_commit_window_ms = 5000;
+  Result<std::unique_ptr<QueryEngine>> opened =
+      QueryEngine::RecoverFrom(InitialGraph(), options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "serve-child: recover failed: %s\n",
+                 opened.error().message().c_str());
+    return 3;
+  }
+  std::unique_ptr<QueryEngine> engine = std::move(opened).value();
+
+  gqzoo::server::ServerOptions server_options;
+  server_options.drain_deadline = std::chrono::milliseconds(2000);
+  gqzoo::server::GraphServer server(engine.get(), server_options);
+  Result<bool> started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve-child: start failed: %s\n",
+                 started.error().message().c_str());
+    return 3;
+  }
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleServeStop;
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  // Publish the ephemeral port via write-then-rename so the parent never
+  // reads a half-written file.
+  {
+    const std::string tmp = dir + "/port.txt.tmp";
+    std::ofstream out(tmp);
+    out << server.port() << "\n";
+    out.close();
+    if (!out.good() ||
+        std::rename(tmp.c_str(), (dir + "/port.txt").c_str()) != 0) {
+      std::fprintf(stderr, "serve-child: cannot publish port\n");
+      return 3;
+    }
+  }
+
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.Shutdown();
   return 0;
 }
 
@@ -473,6 +545,123 @@ int RunCorruptionScenarios(const std::string& self, const std::string& workdir,
   return failures;
 }
 
+/// SIGTERM-during-serve: run the script over the wire against a serve
+/// child whose group-commit window is far longer than the run, SIGTERM it
+/// mid-script, and check that every batch whose DONE the client saw
+/// survives recovery. This is the end-to-end drain guarantee: the drain's
+/// FlushWal — not the group-commit timer — makes the acked tail durable.
+int RunServeScenario(const std::string& self, const std::string& workdir,
+                     const std::vector<std::string>& snapshots) {
+  const char* name = "sigterm-during-serve";
+  const std::string dir = workdir + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    std::printf("FAIL %-28s fork failed\n", name);
+    return 1;
+  }
+  if (pid == 0) {
+    ::unsetenv("GQZOO_FAILPOINTS");
+    std::string dir_flag = "--dir=" + dir;
+    ::execl(self.c_str(), self.c_str(), "--serve-child", dir_flag.c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+
+  auto fail = [&](const std::string& detail) {
+    std::printf("FAIL %-28s %s\n", name, detail.c_str());
+    std::printf("     dir kept for inspection: %s\n", dir.c_str());
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return 1;
+  };
+
+  // Wait for the child to publish its port.
+  uint16_t port = 0;
+  const auto port_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (std::chrono::steady_clock::now() < port_deadline) {
+    std::ifstream in(dir + "/port.txt");
+    unsigned value = 0;
+    if (in >> value && value > 0 && value < 65536) {
+      port = static_cast<uint16_t>(value);
+      break;
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      return fail("serve child died before publishing its port (status " +
+                  std::to_string(status) + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (port == 0) return fail("serve child never published a port");
+
+  Result<gqzoo::server::Client> connected =
+      gqzoo::server::Client::Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    return fail("connect: " + connected.error().message());
+  }
+  gqzoo::server::Client client = std::move(connected).value();
+  Result<bool> hello = client.Hello("crash");
+  if (!hello.ok()) return fail("hello: " + hello.error().message());
+
+  // Stream the script over the wire; the SIGTERM lands halfway through,
+  // while MUTATE frames are still in flight. A DONE with ok=true is the
+  // server's durability promise; anything else (kUnavailable from the
+  // drain, a dropped connection) ends the run un-acked.
+  std::vector<MutationBatch> script = BuildScript();
+  size_t acked = 0;
+  for (size_t i = 0; i < script.size(); ++i) {
+    if (i == script.size() / 2) {
+      ::kill(pid, SIGTERM);
+      // Give the child's signal poll a beat so the drain is underway;
+      // the remaining sends land during it and are refused (or the
+      // connection is gone), ending the acked prefix mid-script.
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    std::vector<std::string> lines;
+    lines.reserve(script[i].ops.size());
+    for (const MutationOp& op : script[i].ops) lines.push_back(op.ToString());
+    Result<gqzoo::server::DoneStatus> done = client.Mutate(lines);
+    if (!done.ok() || !done.value().ok) break;
+    ++acked;
+  }
+  client.Close();
+
+  // The drain must end in a clean exit: every in-flight DONE written,
+  // the WAL flushed, exit code 0 — never a hang or a crash.
+  int status = 0;
+  const auto exit_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (::waitpid(pid, &status, WNOHANG) != pid) {
+    if (std::chrono::steady_clock::now() >= exit_deadline) {
+      return fail("serve child did not exit after SIGTERM");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return fail("serve child exited uncleanly (status " +
+                std::to_string(status) + ")");
+  }
+  if (acked == 0 || acked >= script.size()) {
+    return fail("drain timing degenerate: acked " + std::to_string(acked) +
+                " of " + std::to_string(script.size()));
+  }
+
+  CellResult result = VerifyRecovery(dir, snapshots, acked);
+  if (!result.ok) {
+    std::printf("FAIL %-28s %s\n", name, result.detail.c_str());
+    std::printf("     dir kept for inspection: %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("ok   %-28s %s\n", name, result.detail.c_str());
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
   std::string prefix = std::string("--") + name + "=";
   if (arg.rfind(prefix, 0) != 0) return false;
@@ -490,11 +679,14 @@ int main(int argc, char** argv) {
   bool list_only = false;
   bool keep = false;
   bool child = false;
+  bool serve_child = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string value;
     if (arg == "--child") {
       child = true;
+    } else if (arg == "--serve-child") {
+      serve_child = true;
     } else if (ParseFlag(arg, "dir", &value)) {
       child_dir = value;
     } else if (ParseFlag(arg, "site", &value)) {
@@ -515,12 +707,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (child) {
+  if (child || serve_child) {
     if (child_dir.empty()) {
-      std::fprintf(stderr, "--child requires --dir\n");
+      std::fprintf(stderr, "--child/--serve-child requires --dir\n");
       return 2;
     }
-    return RunChild(child_dir);
+    return child ? RunChild(child_dir) : RunServeChild(child_dir);
   }
 
   // The parent must never inherit an armed failpoint into itself.
@@ -567,14 +759,15 @@ int main(int argc, char** argv) {
   }
 
   failures += RunCorruptionScenarios(self, workdir, snapshots);
+  failures += RunServeScenario(self, workdir, snapshots);
 
   if (failures != 0) {
     std::printf("FAILED: %d of %zu crash cells + scenarios\n", failures,
-                cells.size() + 3);
+                cells.size() + 4);
     return 1;
   }
-  std::printf("OK: %zu crash cells + 3 corruption scenarios recovered "
-              "consistently\n",
+  std::printf("OK: %zu crash cells + 3 corruption scenarios + 1 drain "
+              "scenario recovered consistently\n",
               cells.size());
   if (!keep) {
     std::error_code ec;
