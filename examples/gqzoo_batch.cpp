@@ -450,10 +450,11 @@ int main(int argc, char** argv) {
     const storage::RecoveryInfo& info = engine.recovery_info();
     if (info.recovered) {
       fprintf(stderr,
-              "recovered from '%s': checkpoint lsn %llu, %llu batches "
+              "recovered from '%s': checkpoint lsn %llu%s, %llu batches "
               "(%llu ops) replayed, last lsn %llu\n",
               persist_dir.c_str(),
               static_cast<unsigned long long>(info.checkpoint_lsn),
+              info.mapped ? " (mapped)" : "",
               static_cast<unsigned long long>(info.batches_replayed),
               static_cast<unsigned long long>(info.ops_replayed),
               static_cast<unsigned long long>(info.last_lsn));

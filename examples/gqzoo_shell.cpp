@@ -97,10 +97,11 @@ class Shell {
     if (engine_->durable()) {
       const storage::RecoveryInfo& info = engine_->recovery_info();
       if (info.recovered) {
-        printf("recovered from '%s': checkpoint lsn %llu, %llu batches "
+        printf("recovered from '%s': checkpoint lsn %llu%s, %llu batches "
                "(%llu ops) replayed, last lsn %llu\n",
                dir.c_str(),
                static_cast<unsigned long long>(info.checkpoint_lsn),
+               info.mapped ? " (mapped)" : "",
                static_cast<unsigned long long>(info.batches_replayed),
                static_cast<unsigned long long>(info.ops_replayed),
                static_cast<unsigned long long>(info.last_lsn));

@@ -8,7 +8,7 @@
 namespace gqzoo {
 
 std::string GqlValue::ToString(const EdgeLabeledGraph& g) const {
-  if (is_element()) return g.ObjectName(element_);
+  if (is_element()) return std::string(g.ObjectName(element_));
   std::string out = "list(";
   for (size_t i = 0; i < list_.size(); ++i) {
     if (i > 0) out += ", ";

@@ -6,7 +6,7 @@ namespace gqzoo {
 
 std::string CoreCellToString(const EdgeLabeledGraph& g, const CoreCell& cell) {
   if (std::holds_alternative<ObjectRef>(cell)) {
-    return g.ObjectName(std::get<ObjectRef>(cell));
+    return std::string(g.ObjectName(std::get<ObjectRef>(cell)));
   }
   if (std::holds_alternative<Value>(cell)) {
     return std::get<Value>(cell).ToString();

@@ -105,7 +105,7 @@ std::string Crpq::ToString() const {
 
 std::string CrpqValueToString(const EdgeLabeledGraph& g, const CrpqValue& v) {
   if (std::holds_alternative<NodeId>(v)) {
-    return g.NodeName(std::get<NodeId>(v));
+    return std::string(g.NodeName(std::get<NodeId>(v)));
   }
   return ListToString(g, std::get<ObjectList>(v));
 }

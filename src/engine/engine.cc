@@ -109,9 +109,19 @@ QueryEngine::QueryEngine(PropertyGraph graph)
     : QueryEngine(std::move(graph), Options{}) {}
 
 QueryEngine::QueryEngine(PropertyGraph graph, Options options)
-    : graph_(std::make_shared<const PropertyGraph>(std::move(graph))),
-      snapshot_(BuildSnapshot(graph_)),
-      stats_(std::make_shared<const SnapshotStats>(*snapshot_)),
+    : QueryEngine(std::make_shared<const PropertyGraph>(std::move(graph)),
+                  std::move(options), nullptr, nullptr) {}
+
+QueryEngine::QueryEngine(std::shared_ptr<const PropertyGraph> graph,
+                         Options options,
+                         std::shared_ptr<const GraphSnapshot> snapshot,
+                         std::shared_ptr<const SnapshotStats> stats)
+    : graph_(std::move(graph)),
+      snapshot_(snapshot != nullptr ? std::move(snapshot)
+                                    : BuildSnapshot(graph_)),
+      stats_(stats != nullptr
+                 ? std::move(stats)
+                 : std::make_shared<const SnapshotStats>(*snapshot_)),
       rpq_shards_(options.rpq_shards),
       default_timeout_(options.default_timeout),
       default_budgets_(options.default_budgets),
@@ -145,8 +155,11 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::RecoverFrom(
       storage::DurableStore::Open(options.durability, std::move(initial));
   if (!opened.ok()) return opened.error();
   storage::DurableStore::Opened o = std::move(opened).value();
+  // On the mapped fast path o.snapshot/o.stats carry the checkpoint's CSR
+  // and statistics, so the engine starts without any O(|E|) build at all.
   std::unique_ptr<QueryEngine> engine(
-      new QueryEngine(std::move(o.graph), std::move(options)));
+      new QueryEngine(std::move(o.graph), std::move(options),
+                      std::move(o.snapshot), std::move(o.stats)));
   // No writes can race this: we hold the only reference.
   engine->durable_ = std::move(o.store);
   engine->recovery_info_ = std::move(o.info);

@@ -265,6 +265,14 @@ class QueryEngine {
   std::string StatsReport() const;
 
  private:
+  /// Primary constructor: adopts an already shared graph epoch, optionally
+  /// with a prebuilt snapshot/stats pair (the memory-mapped artifacts of
+  /// an instant restart). Null snapshot/stats are built here — the public
+  /// constructors delegate with nulls.
+  QueryEngine(std::shared_ptr<const PropertyGraph> graph, Options options,
+              std::shared_ptr<const GraphSnapshot> snapshot,
+              std::shared_ptr<const SnapshotStats> stats);
+
   /// `Execute` with the deadline anchored at `admitted_at` instead of now
   /// — a query that burned its whole deadline waiting in the queue fails
   /// fast with `kDeadlineExceeded`, before compiling or evaluating.

@@ -31,7 +31,7 @@ void CopyInto(const PropertyGraph& g, const std::vector<bool>* keep_nodes,
       auto it = rename->find(node_label);
       if (it != rename->end()) node_label = it->second;
     }
-    NodeId copy = out->AddNode(prefix + g.NodeName(n), node_label);
+    NodeId copy = out->AddNode(prefix + std::string(g.NodeName(n)), node_label);
     node_map[n] = copy;
     for (const auto& [prop, value] : g.PropertiesOf(ObjectRef::Node(n))) {
       out->SetProperty(ObjectRef::Node(copy), g.PropertyName(prop), value);
@@ -47,7 +47,7 @@ void CopyInto(const PropertyGraph& g, const std::vector<bool>* keep_nodes,
       auto it = rename->find(label);
       if (it != rename->end()) label = it->second;
     }
-    EdgeId copy = out->AddEdge(src, tgt, label, prefix + g.EdgeName(e));
+    EdgeId copy = out->AddEdge(src, tgt, label, prefix + std::string(g.EdgeName(e)));
     for (const auto& [prop, value] : g.PropertiesOf(ObjectRef::Edge(e))) {
       out->SetProperty(ObjectRef::Edge(copy), g.PropertyName(prop), value);
     }

@@ -61,8 +61,8 @@ Result<CanonicalResult> EvalCanonical(const PropertyGraph& g,
       if (!regex.ok()) return regex.error();
       Nfa nfa = Nfa::FromRegex(*regex.value(), g.skeleton());
       for (const auto& [u, v] : EvalRpq(g.skeleton(), nfa)) {
-        canon.rows.push_back("(" + g.NodeName(u) + ", " + g.NodeName(v) +
-                             ")");
+        canon.rows.push_back("(" + std::string(g.NodeName(u)) + ", " +
+                             std::string(g.NodeName(v)) + ")");
       }
       break;
     }
@@ -368,8 +368,8 @@ class MetamorphicRun {
     if (got.value().truncated) return;
     if (!IsSubset(base.rows, got.value().rows)) {
       Fail("meta.edge-addition",
-           "adding edge " + g_.NodeName(src) + " -[" + label + "]-> " +
-               g_.NodeName(tgt) + " removed answers (" +
+           "adding edge " + std::string(g_.NodeName(src)) + " -[" + label +
+               "]-> " + std::string(g_.NodeName(tgt)) + " removed answers (" +
                std::to_string(base.rows.size()) + " -> " +
                std::to_string(got.value().rows.size()) + ")");
     }

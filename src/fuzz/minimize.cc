@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/crpq/crpq_parser.h"
+#include "src/fuzz/crash_oracle.h"
 #include "src/fuzz/graph_gen.h"
 #include "src/fuzz/metamorphic.h"
 #include "src/fuzz/mutation_gen.h"
@@ -73,6 +74,9 @@ class Minimizer {
     OracleReport report = RunOracle(c, options_.oracle);
     if (report.ok() && !c.mutations.empty()) {
       RunMutationOracle(c, options_.oracle, &report);
+    }
+    if (report.ok() && !c.mutations.empty()) {
+      RunCrashOracle(c, &report);
     }
     if (report.ok() && options_.include_metamorphic) {
       FuzzRng rng = FuzzRng(c.seed).Fork(7);
@@ -141,7 +145,7 @@ class Minimizer {
     bool any = false;
     for (NodeId n = 0; n < g.NumNodes(); ++n) {
       if (g.OutEdges(n).empty() && g.InEdges(n).empty() &&
-          referenced.count(g.NodeName(n)) == 0) {
+          referenced.count(std::string(g.NodeName(n))) == 0) {
         keep[n] = false;
         any = true;
       }
@@ -154,7 +158,7 @@ class Minimizer {
     for (NodeId n = 0; n < g.NumNodes(); ++n) {
       if (keep[n]) continue;
       Result<PropertyGraph> current = ParseCaseGraph(best_);
-      std::optional<NodeId> id = current.value().FindNode(g.NodeName(n));
+      std::optional<NodeId> id = current.value().FindNode(std::string(g.NodeName(n)));
       if (!id.has_value()) continue;
       std::vector<bool> single(current.value().NumNodes(), true);
       single[*id] = false;
@@ -279,6 +283,9 @@ std::string FirstFailure(const FuzzCase& c, const MinimizeOptions& options) {
   OracleReport report = RunOracle(c, options.oracle);
   if (report.ok() && !c.mutations.empty()) {
     RunMutationOracle(c, options.oracle, &report);
+  }
+  if (report.ok() && !c.mutations.empty()) {
+    RunCrashOracle(c, &report);
   }
   if (report.ok() && options.include_metamorphic) {
     FuzzRng rng = FuzzRng(c.seed).Fork(7);

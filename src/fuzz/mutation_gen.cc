@@ -41,15 +41,16 @@ GraphSim::GraphSim(const PropertyGraph& base) : base_(&base) {
   nodes_.reserve(base_nodes_);
   for (size_t n = 0; n < base_nodes_; ++n) {
     NodeId id = static_cast<NodeId>(n);
-    nodes_.push_back({base.NodeName(id), base.LabelName(base.NodeLabel(id))});
-    node_by_name_[base.NodeName(id)] = n;
+    nodes_.push_back(
+        {std::string(base.NodeName(id)), base.LabelName(base.NodeLabel(id))});
+    node_by_name_[std::string(base.NodeName(id))] = n;
   }
   edges_.reserve(base_edges_);
   for (size_t e = 0; e < base_edges_; ++e) {
     EdgeId id = static_cast<EdgeId>(e);
-    edges_.push_back({base.EdgeName(id), base.Src(id), base.Tgt(id),
-                      base.LabelName(base.EdgeLabel(id))});
-    edge_by_name_[base.EdgeName(id)] = e;
+    edges_.push_back({std::string(base.EdgeName(id)), base.Src(id),
+                      base.Tgt(id), base.LabelName(base.EdgeLabel(id))});
+    edge_by_name_[std::string(base.EdgeName(id))] = e;
   }
   alive_nodes_ = base_nodes_;
   alive_edges_ = base_edges_;

@@ -14,10 +14,12 @@
 #include "src/crpq/modes.h"
 #include "src/datatest/dl_eval.h"
 #include "src/graph/csr.h"
+#include "src/graph/graph_io.h"
 #include "src/regex/parser.h"
 #include "src/rpq/bag_semantics.h"
 #include "src/rpq/cardinality.h"
 #include "src/rpq/rpq_eval.h"
+#include "src/storage/snapshot_format.h"
 #include "src/util/failpoint.h"
 #include "src/util/query_context.h"
 
@@ -93,6 +95,7 @@ class OracleRun {
         report_(report) {}
 
   void Run() {
+    CheckMappedEpoch();
     ExpectedStatus expected;
     switch (c_.language) {
       case QueryLanguage::kRpq: expected = CheckRpq(); break;
@@ -116,6 +119,30 @@ class OracleRun {
     return agree;
   }
 
+  /// Serialize -> mmap -> query: round-trip the case graph through the
+  /// on-disk snapshot format and reconstitute an epoch served by mapped
+  /// accessors. Any encode/open failure or render difference is a
+  /// divergence; on success every language check gains a graph-vs-mapped
+  /// leg evaluated over the mapped graph + mapped CSR snapshot.
+  void CheckMappedEpoch() {
+    Result<storage::SnapshotFile> file = storage::SnapshotFile::FromBytes(
+        storage::SnapshotCodec::EncodeSnapshot(g_, 0));
+    Result<storage::MappedGraph> m =
+        file.ok() ? storage::SnapshotCodec::Open(std::move(file).value())
+                  : file.error();
+    ++report_->checks;
+    if (!m.ok()) {
+      report_->Add("mapped.open",
+                   Brief("snapshot round-trip failed: " + m.error().message()));
+      return;
+    }
+    mapped_ = std::move(m).value();
+    have_mapped_ =
+        Check(PropertyGraphToText(*mapped_.graph) == PropertyGraphToText(g_),
+              "mapped.render",
+              "mapped epoch renders differently from the source graph");
+  }
+
   // --- Library-level matrices, one per language. Each returns the status
   // --- the engine must reproduce for the same case.
 
@@ -131,6 +158,12 @@ class OracleRun {
     Check(base == from_snapshot, "rpq.graph-vs-snapshot",
           "graph: " + PairsBrief(g_.skeleton(), base) +
               " | snapshot: " + PairsBrief(g_.skeleton(), from_snapshot));
+    if (have_mapped_) {
+      const auto from_mapped = EvalRpq(*mapped_.snapshot, nfa);
+      Check(base == from_mapped, "rpq.graph-vs-mapped",
+            "graph: " + PairsBrief(g_.skeleton(), base) +
+                " | mapped: " + PairsBrief(g_.skeleton(), from_mapped));
+    }
 
     ParallelRpqOptions par;
     par.pool = options_.pool;
@@ -159,8 +192,8 @@ class OracleRun {
           const BigUint count_graph = BagCount(regex, g_.skeleton(), u, v);
           const BigUint count_snap = BagCount(regex, snap_, u, v);
           if (!Check(count_graph == count_snap, "bag.graph-vs-snapshot",
-                     "(" + g_.NodeName(u) + "," + g_.NodeName(v) +
-                         "): graph " + count_graph.ToString() +
+                     "(" + std::string(g_.NodeName(u)) + "," +
+                         std::string(g_.NodeName(v)) + "): graph " + count_graph.ToString() +
                          " vs snapshot " + count_snap.ToString())) {
             return std::nullopt;  // one report per case is enough
           }
@@ -168,8 +201,8 @@ class OracleRun {
               base.begin(), base.end(), std::make_pair(u, v));
           if (!Check(!count_graph.is_zero() == in_set,
                      "bag.positivity-vs-set",
-                     "(" + g_.NodeName(u) + "," + g_.NodeName(v) +
-                         "): bag count " + count_graph.ToString() +
+                     "(" + std::string(g_.NodeName(u)) + "," +
+                         std::string(g_.NodeName(v)) + "): bag count " + count_graph.ToString() +
                          " but set membership " +
                          (in_set ? "true" : "false"))) {
             return std::nullopt;
@@ -274,6 +307,13 @@ class OracleRun {
                           EvalCrpq(g_.skeleton(), q.value(), sharded_options));
     variants.emplace_back("rerun-determinism",
                           EvalCrpq(g_.skeleton(), q.value(), base_options));
+    if (have_mapped_) {
+      CrpqEvalOptions mapped_options = base_options;
+      mapped_options.snapshot = mapped_.snapshot.get();
+      variants.emplace_back(
+          "graph-vs-mapped",
+          EvalCrpq(mapped_.graph->skeleton(), q.value(), mapped_options));
+    }
     ExpectedStatus expected = CompareCrpqRuns("crpq", base, variants);
 
     if (base.ok() && (c_.step_budget != 0 || c_.memory_budget != 0)) {
@@ -313,6 +353,13 @@ class OracleRun {
                           EvalDlCrpq(g_, q.value(), snap_options));
     variants.emplace_back("rerun-determinism",
                           EvalDlCrpq(g_, q.value(), base_options));
+    if (have_mapped_) {
+      DlCrpqEvalOptions mapped_options = base_options;
+      mapped_options.snapshot = mapped_.snapshot.get();
+      variants.emplace_back(
+          "graph-vs-mapped",
+          EvalDlCrpq(*mapped_.graph, q.value(), mapped_options));
+    }
     ExpectedStatus expected = CompareCrpqRuns("dlcrpq", base, variants);
 
     if (base.ok() && (c_.step_budget != 0 || c_.memory_budget != 0)) {
@@ -377,6 +424,12 @@ class OracleRun {
     compare("coregql.graph-vs-snapshot", base, from_snapshot);
     compare("coregql.rerun-determinism", base,
             EvalCoreGqlQuery(g_, q.value(), base_options));
+    if (have_mapped_) {
+      CoreQueryEvalOptions mapped_options = base_options;
+      mapped_options.path_options.snapshot = mapped_.snapshot.get();
+      compare("coregql.graph-vs-mapped", base,
+              EvalCoreGqlQuery(*mapped_.graph, q.value(), mapped_options));
+    }
 
     if (!base.ok()) return base.error().code();
     return std::nullopt;
@@ -398,27 +451,35 @@ class OracleRun {
     Result<GqlEvalResult> from_snapshot =
         EvalGqlGroupPattern(g_, *pattern.value(), snap_options);
 
-    if (base.ok() != from_snapshot.ok()) {
-      Check(false, "gqlgroup.graph-vs-snapshot",
-            base.ok() ? "base succeeded but snapshot leg failed: " +
-                            from_snapshot.error().message()
-                      : "base failed but snapshot leg succeeded: " +
-                            base.error().message());
-    } else if (!base.ok()) {
-      Check(base.error().code() == from_snapshot.error().code(),
-            "gqlgroup.graph-vs-snapshot",
-            std::string("error codes differ: ") +
-                ErrorCodeName(base.error().code()) + " vs " +
-                ErrorCodeName(from_snapshot.error().code()));
-    } else {
-      Check(base.value().rows == from_snapshot.value().rows &&
-                base.value().truncated == from_snapshot.value().truncated,
-            "gqlgroup.graph-vs-snapshot",
-            std::to_string(base.value().rows.size()) + " rows vs " +
-                std::to_string(from_snapshot.value().rows.size()) +
-                " rows (truncated " +
-                std::to_string(base.value().truncated) + "/" +
-                std::to_string(from_snapshot.value().truncated) + ")");
+    auto compare = [&](const char* check, const Result<GqlEvalResult>& b) {
+      if (base.ok() != b.ok()) {
+        Check(false, check,
+              base.ok() ? "base succeeded but variant leg failed: " +
+                              b.error().message()
+                        : "base failed but variant leg succeeded: " +
+                              base.error().message());
+      } else if (!base.ok()) {
+        Check(base.error().code() == b.error().code(), check,
+              std::string("error codes differ: ") +
+                  ErrorCodeName(base.error().code()) + " vs " +
+                  ErrorCodeName(b.error().code()));
+      } else {
+        Check(base.value().rows == b.value().rows &&
+                  base.value().truncated == b.value().truncated,
+              check,
+              std::to_string(base.value().rows.size()) + " rows vs " +
+                  std::to_string(b.value().rows.size()) +
+                  " rows (truncated " + std::to_string(base.value().truncated) +
+                  "/" + std::to_string(b.value().truncated) + ")");
+      }
+    };
+    compare("gqlgroup.graph-vs-snapshot", from_snapshot);
+    if (have_mapped_) {
+      CorePathEvalOptions mapped_options = base_options;
+      mapped_options.snapshot = mapped_.snapshot.get();
+      compare("gqlgroup.graph-vs-mapped",
+              EvalGqlGroupPattern(*mapped_.graph, *pattern.value(),
+                                  mapped_options));
     }
     if (!base.ok()) return base.error().code();
     return std::nullopt;
@@ -477,6 +538,24 @@ class OracleRun {
       Check(base == from_snapshot, "paths.graph-vs-snapshot",
             std::to_string(base.size()) + " paths vs " +
                 std::to_string(from_snapshot.size()) + " paths");
+      if (have_mapped_) {
+        EnumerationStats stats_mapped;
+        std::vector<PathBinding> from_mapped;
+        if (dl_nfa.has_value()) {
+          DlEvaluator eval_mapped(*mapped_.graph, *dl_nfa,
+                                  mapped_.snapshot.get());
+          from_mapped = eval_mapped.CollectModePaths(*u, *v, c_.paths_mode,
+                                                     limits, &stats_mapped);
+        } else {
+          from_mapped = CollectModePaths(*mapped_.snapshot, *nfa, *u, *v,
+                                         c_.paths_mode, limits, &stats_mapped);
+        }
+        Check(!stats_mapped.truncated && base == from_mapped,
+              "paths.graph-vs-mapped",
+              std::to_string(base.size()) + " paths vs " +
+                  std::to_string(from_mapped.size()) + " paths (truncated " +
+                  std::to_string(stats_mapped.truncated) + ")");
+      }
     } else {
       // Under truncation the kept subset is substrate-dependent (documented
       // for kSimple/kTrail: successors are visited in slice order); the
@@ -720,6 +799,10 @@ class OracleRun {
   const PropertyGraph& g_;
   GraphSnapshot snap_;
   OracleReport* report_;
+  /// The case graph round-tripped through the on-disk snapshot format
+  /// (CheckMappedEpoch); valid only when have_mapped_.
+  storage::MappedGraph mapped_;
+  bool have_mapped_ = false;
 };
 
 }  // namespace

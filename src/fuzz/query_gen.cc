@@ -11,7 +11,7 @@ namespace {
 /// missing one (all substrates must agree on the resulting error).
 std::string PickNodeName(FuzzRng* rng, const PropertyGraph& g) {
   if (g.NumNodes() == 0 || rng->Percent(5)) return "nope";
-  return g.NodeName(static_cast<NodeId>(rng->Index(g.NumNodes())));
+  return std::string(g.NodeName(static_cast<NodeId>(rng->Index(g.NumNodes()))));
 }
 
 std::string PickLabel(FuzzRng* rng, const std::vector<std::string>& labels) {

@@ -4,38 +4,60 @@
 
 namespace gqzoo {
 
-GraphSnapshot::GraphSnapshot(const EdgeLabeledGraph& g) : g_(&g) { Build(g); }
+GraphSnapshot::GraphSnapshot(const EdgeLabeledGraph& g) : g_(&g) {
+  Build(g);
+  FinalizeViews();
+}
 
 GraphSnapshot::GraphSnapshot(const PropertyGraph& g) : g_(&g.skeleton()) {
   Build(g.skeleton());
   has_node_labels_ = true;
-  nodes_by_label_.assign(num_labels_, {});
+  // Flat CSR-style index: counting sort of nodes by label (node ids stay
+  // ascending within a label because nodes are visited in id order).
+  owned_->nodes_by_label_begin.assign(num_labels_ + 1, 0);
   for (NodeId n = 0; n < g.NumNodes(); ++n) {
     LabelId l = g.NodeLabel(n);
-    if (l < num_labels_) nodes_by_label_[l].push_back(n);
+    if (l < num_labels_) ++owned_->nodes_by_label_begin[l + 1];
   }
+  for (size_t l = 0; l < num_labels_; ++l) {
+    owned_->nodes_by_label_begin[l + 1] += owned_->nodes_by_label_begin[l];
+  }
+  owned_->nodes_by_label.resize(owned_->nodes_by_label_begin[num_labels_]);
+  std::vector<uint32_t> cursor(owned_->nodes_by_label_begin.begin(),
+                               owned_->nodes_by_label_begin.end() - 1);
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    LabelId l = g.NodeLabel(n);
+    if (l < num_labels_) owned_->nodes_by_label[cursor[l]++] = n;
+  }
+  FinalizeViews();
 }
 
 void GraphSnapshot::Build(const EdgeLabeledGraph& g) {
+  owned_ = std::make_unique<Owned>();
   num_nodes_ = g.NumNodes();
   num_labels_ = g.NumLabels();
-  BuildDirection(g, /*inverse=*/false, &out_);
-  BuildDirection(g, /*inverse=*/true, &in_);
+  BuildDirection(g, /*inverse=*/false, &owned_->out);
+  BuildDirection(g, /*inverse=*/true, &owned_->in);
 
   // Graph-wide per-label edge lists (counting sort by label; edge ids stay
   // ascending within a label because edges are visited in id order).
-  label_begin_.assign(num_labels_ + 1, 0);
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) ++label_begin_[g.EdgeLabel(e) + 1];
-  for (size_t l = 0; l < num_labels_; ++l) label_begin_[l + 1] += label_begin_[l];
-  label_edges_.resize(g.NumEdges());
-  std::vector<uint32_t> cursor(label_begin_.begin(), label_begin_.end() - 1);
+  owned_->label_begin.assign(num_labels_ + 1, 0);
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    label_edges_[cursor[g.EdgeLabel(e)]++] = Hop{e, g.Tgt(e)};
+    ++owned_->label_begin[g.EdgeLabel(e) + 1];
+  }
+  for (size_t l = 0; l < num_labels_; ++l) {
+    owned_->label_begin[l + 1] += owned_->label_begin[l];
+  }
+  owned_->label_edges.resize(g.NumEdges());
+  std::vector<uint32_t> cursor(owned_->label_begin.begin(),
+                               owned_->label_begin.end() - 1);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    owned_->label_edges[cursor[g.EdgeLabel(e)]++] = Hop{e, g.Tgt(e)};
   }
 }
 
 void GraphSnapshot::BuildDirection(const EdgeLabeledGraph& g, bool inverse,
-                                   Csr* csr) {
+                                   OwnedCsr* csr) {
   const size_t n = g.NumNodes();
   const size_t m = g.NumEdges();
 
@@ -85,7 +107,18 @@ void GraphSnapshot::BuildDirection(const EdgeLabeledGraph& g, bool inverse,
   }
 }
 
-GraphSnapshot::Slice GraphSnapshot::LabelSlice(const Csr& csr, NodeId v,
+void GraphSnapshot::FinalizeViews() {
+  out_ = CsrView{owned_->out.hops, owned_->out.node_begin, owned_->out.runs,
+                 owned_->out.runs_begin};
+  in_ = CsrView{owned_->in.hops, owned_->in.node_begin, owned_->in.runs,
+                owned_->in.runs_begin};
+  label_edges_ = owned_->label_edges;
+  label_begin_ = owned_->label_begin;
+  nodes_by_label_ = owned_->nodes_by_label;
+  nodes_by_label_begin_ = owned_->nodes_by_label_begin;
+}
+
+GraphSnapshot::Slice GraphSnapshot::LabelSlice(const CsrView& csr, NodeId v,
                                                LabelId l) const {
   const LabelRun* first = csr.runs.data() + csr.runs_begin[v];
   const LabelRun* last = csr.runs.data() + csr.runs_begin[v + 1];
@@ -103,26 +136,28 @@ GraphSnapshot::Slice GraphSnapshot::EdgesWithLabel(LabelId l) const {
   return Slice(base + label_begin_[l], base + label_begin_[l + 1]);
 }
 
-const std::vector<NodeId>& GraphSnapshot::NodesWithLabel(LabelId l) const {
-  static const std::vector<NodeId> kEmpty;
-  if (!has_node_labels_ || l >= nodes_by_label_.size()) return kEmpty;
-  return nodes_by_label_[l];
+ConstSpan<NodeId> GraphSnapshot::NodesWithLabel(LabelId l) const {
+  if (!has_node_labels_ || l >= num_labels_ ||
+      l + 1 >= nodes_by_label_begin_.size()) {
+    return ConstSpan<NodeId>();
+  }
+  return ConstSpan<NodeId>(
+      nodes_by_label_.data() + nodes_by_label_begin_[l],
+      nodes_by_label_begin_[l + 1] - nodes_by_label_begin_[l]);
 }
 
 size_t GraphSnapshot::ApproxBytes() const {
-  auto csr_bytes = [](const Csr& c) {
+  auto csr_bytes = [](const CsrView& c) {
     return c.hops.size() * sizeof(Hop) +
            c.node_begin.size() * sizeof(uint32_t) +
            c.runs.size() * sizeof(LabelRun) +
            c.runs_begin.size() * sizeof(uint32_t);
   };
-  size_t bytes = csr_bytes(out_) + csr_bytes(in_) +
-                 label_edges_.size() * sizeof(Hop) +
-                 label_begin_.size() * sizeof(uint32_t);
-  for (const auto& nodes : nodes_by_label_) {
-    bytes += nodes.size() * sizeof(NodeId);
-  }
-  return bytes;
+  return csr_bytes(out_) + csr_bytes(in_) +
+         label_edges_.size() * sizeof(Hop) +
+         label_begin_.size() * sizeof(uint32_t) +
+         nodes_by_label_.size() * sizeof(NodeId) +
+         nodes_by_label_begin_.size() * sizeof(uint32_t);
 }
 
 }  // namespace gqzoo

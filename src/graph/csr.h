@@ -2,13 +2,19 @@
 #define GQZOO_GRAPH_CSR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/util/span.h"
 
 namespace gqzoo {
 
 struct LabelPred;  // automata/nfa.h; only ForEachMatch below needs it
+
+namespace storage {
+class SnapshotCodec;  // serializes/maps snapshots (storage/snapshot_format.h)
+}
 
 /// An immutable, label-partitioned CSR view of a graph — the adjacency
 /// substrate every regular-path evaluator iterates.
@@ -33,6 +39,13 @@ struct LabelPred;  // automata/nfa.h; only ForEachMatch below needs it
 /// snapshot they started with. A snapshot borrows the graph it was built
 /// from — the owner must keep that graph alive (the engine pairs the two
 /// behind one lock).
+///
+/// Storage comes in two flavors behind one set of read accessors: built
+/// snapshots own their arrays (vectors), while snapshots opened from the
+/// on-disk format (storage/snapshot_format.h) view arrays living in a
+/// memory-mapped file pinned by `pin_`. Every accessor reads through
+/// `ConstSpan` views, so the two modes share one code path and answer
+/// byte-identically.
 class GraphSnapshot {
  public:
   /// One adjacency entry: the traversed edge and the node on its far side
@@ -41,6 +54,7 @@ class GraphSnapshot {
     EdgeId edge;
     NodeId node;
   };
+  static_assert(sizeof(Hop) == 8, "Hop is serialized raw");
 
   /// A contiguous run of hops; iterable and random-accessible.
   class Slice {
@@ -86,7 +100,7 @@ class GraphSnapshot {
 
   /// All nodes with node label `l`; empty unless built from a
   /// `PropertyGraph`. Sorted by node id.
-  const std::vector<NodeId>& NodesWithLabel(LabelId l) const;
+  ConstSpan<NodeId> NodesWithLabel(LabelId l) const;
   bool has_node_labels() const { return has_node_labels_; }
 
   /// Calls `fn(const Hop&)` for every out (or, when `inverse`, in) hop of
@@ -97,14 +111,18 @@ class GraphSnapshot {
   void ForEachMatch(NodeId v, const LabelPred& pred, bool inverse,
                     Fn&& fn) const;
 
-  /// Approximate resident size, for memory accounting.
+  /// Approximate resident size, for memory accounting. For mapped
+  /// snapshots this is the mapped extent, not resident pages.
   size_t ApproxBytes() const;
 
  private:
   /// The delta merger splice-builds snapshots of merged overlay views from
   /// a base snapshot plus the overlay, without the per-node re-sort of the
-  /// public constructors (src/graph/delta/merge.cc).
+  /// public constructors (src/graph/delta/merge.cc). The snapshot codec
+  /// serializes the views raw and reconstitutes snapshots whose views
+  /// point into a mapped or copied file image.
   friend class GraphDeltaMerger;
+  friend class storage::SnapshotCodec;
   GraphSnapshot() = default;
 
   /// Per-node run of same-label hops: hops[begin, end) all carry `label`.
@@ -113,34 +131,66 @@ class GraphSnapshot {
     uint32_t begin;
     uint32_t end;
   };
+  static_assert(sizeof(LabelRun) == 12, "LabelRun is serialized raw");
 
-  /// One direction of adjacency.
-  struct Csr {
-    std::vector<Hop> hops;           // grouped by node, then label, then edge
-    std::vector<uint32_t> node_begin;  // size num_nodes + 1, extents in hops
-    std::vector<LabelRun> runs;        // per-node label directories
-    std::vector<uint32_t> runs_begin;  // size num_nodes + 1, extents in runs
+  /// One direction of adjacency, as read by every accessor. Points either
+  /// at `owned_` or at a mapped file image.
+  struct CsrView {
+    ConstSpan<Hop> hops;             // grouped by node, then label, then edge
+    ConstSpan<uint32_t> node_begin;  // size num_nodes + 1, extents in hops
+    ConstSpan<LabelRun> runs;        // per-node label directories
+    ConstSpan<uint32_t> runs_begin;  // size num_nodes + 1, extents in runs
+  };
+
+  /// One direction of adjacency, owning flavor (build target).
+  struct OwnedCsr {
+    std::vector<Hop> hops;
+    std::vector<uint32_t> node_begin;
+    std::vector<LabelRun> runs;
+    std::vector<uint32_t> runs_begin;
+  };
+
+  /// Backing arrays for snapshots built in RAM. Null for mapped snapshots,
+  /// whose views alias the file image pinned by `pin_`.
+  struct Owned {
+    OwnedCsr out;
+    OwnedCsr in;
+    std::vector<Hop> label_edges;
+    std::vector<uint32_t> label_begin;
+    std::vector<NodeId> nodes_by_label;
+    std::vector<uint32_t> nodes_by_label_begin;
   };
 
   void Build(const EdgeLabeledGraph& g);
   static void BuildDirection(const EdgeLabeledGraph& g, bool inverse,
-                             Csr* csr);
+                             OwnedCsr* csr);
+  /// Points every view at `owned_`'s vectors. Must run after any change to
+  /// the owned storage (vectors may reallocate while being filled).
+  void FinalizeViews();
 
-  Slice NodeSlice(const Csr& csr, NodeId v) const {
+  Slice NodeSlice(const CsrView& csr, NodeId v) const {
     const Hop* base = csr.hops.data();
     return Slice(base + csr.node_begin[v], base + csr.node_begin[v + 1]);
   }
-  Slice LabelSlice(const Csr& csr, NodeId v, LabelId l) const;
+  Slice LabelSlice(const CsrView& csr, NodeId v, LabelId l) const;
 
   const EdgeLabeledGraph* g_ = nullptr;
   size_t num_nodes_ = 0;
   size_t num_labels_ = 0;
-  Csr out_;
-  Csr in_;
-  std::vector<Hop> label_edges_;          // all edges grouped by label
-  std::vector<uint32_t> label_begin_;     // size num_labels + 1
+  CsrView out_;
+  CsrView in_;
+  ConstSpan<Hop> label_edges_;       // all edges grouped by label
+  ConstSpan<uint32_t> label_begin_;  // size num_labels + 1
   bool has_node_labels_ = false;
-  std::vector<std::vector<NodeId>> nodes_by_label_;
+  /// Flat nodes-by-label index: nodes_by_label_[nodes_by_label_begin_[l]
+  /// .. nodes_by_label_begin_[l+1]) are the nodes labeled `l`, sorted by
+  /// id. Empty (and begin empty) when !has_node_labels_.
+  ConstSpan<NodeId> nodes_by_label_;
+  ConstSpan<uint32_t> nodes_by_label_begin_;  // size num_labels + 1
+
+  std::unique_ptr<Owned> owned_;
+  /// Keeps a mapped file image alive for view-mode snapshots.
+  std::shared_ptr<const void> pin_;
 };
 
 }  // namespace gqzoo
@@ -154,7 +204,7 @@ namespace gqzoo {
 template <typename Fn>
 void GraphSnapshot::ForEachMatch(NodeId v, const LabelPred& pred, bool inverse,
                                  Fn&& fn) const {
-  const Csr& csr = inverse ? in_ : out_;
+  const CsrView& csr = inverse ? in_ : out_;
   switch (pred.kind) {
     case LabelPred::Kind::kNone:
       return;

@@ -147,8 +147,9 @@ MergedGraph GraphDeltaMerger::Merge(const GraphSnapshot& base_snapshot,
   snap.g_ = &g.skeleton_;
   snap.num_nodes_ = n_new;
   snap.num_labels_ = num_labels;
+  snap.owned_ = std::make_unique<GraphSnapshot::Owned>();
 
-  auto splice_direction = [&](bool inverse, GraphSnapshot::Csr* csr) {
+  auto splice_direction = [&](bool inverse, GraphSnapshot::OwnedCsr* csr) {
     csr->node_begin.assign(n_new + 1, 0);
     csr->runs_begin.assign(n_new + 1, 0);
     csr->hops.clear();
@@ -211,8 +212,8 @@ MergedGraph GraphDeltaMerger::Merge(const GraphSnapshot& base_snapshot,
       csr->runs_begin[v + 1] = static_cast<uint32_t>(csr->runs.size());
     }
   };
-  splice_direction(/*inverse=*/false, &snap.out_);
-  splice_direction(/*inverse=*/true, &snap.in_);
+  splice_direction(/*inverse=*/false, &snap.owned_->out);
+  splice_direction(/*inverse=*/true, &snap.owned_->in);
 
   // Graph-wide per-label edge lists: surviving base slice (translated, edge
   // ids stay ascending), then added edges of the label in ordinal order
@@ -224,27 +225,30 @@ MergedGraph GraphDeltaMerger::Merge(const GraphSnapshot& base_snapshot,
     added_by_label[ae.label].push_back(
         {ids.added_edge_to_new[ord], node_new(ae.tgt)});
   }
-  snap.label_begin_.assign(num_labels + 1, 0);
-  snap.label_edges_.clear();
-  snap.label_edges_.reserve(m_new);
+  snap.owned_->label_begin.assign(num_labels + 1, 0);
+  snap.owned_->label_edges.clear();
+  snap.owned_->label_edges.reserve(m_new);
   for (LabelId l = 0; l < static_cast<LabelId>(num_labels); ++l) {
     if (l < bl) {
       for (const GraphSnapshot::Hop& h : base_snapshot.EdgesWithLabel(l)) {
         if (!overlay.EdgeAlive(h.edge)) continue;
-        snap.label_edges_.push_back(
+        snap.owned_->label_edges.push_back(
             {ids.base_edge_to_new[h.edge], ids.base_node_to_new[h.node]});
       }
     }
     for (const GraphSnapshot::Hop& h : added_by_label[l]) {
-      snap.label_edges_.push_back(h);
+      snap.owned_->label_edges.push_back(h);
     }
-    snap.label_begin_[l + 1] = static_cast<uint32_t>(snap.label_edges_.size());
+    snap.owned_->label_begin[l + 1] =
+        static_cast<uint32_t>(snap.owned_->label_edges.size());
   }
 
-  // Node-label index: filter the base list (a node leaves it when removed
-  // or relabeled), then merge-insert relabeled and added nodes.
+  // Node-label index (flat CSR layout): filter the base list (a node
+  // leaves it when removed or relabeled), then merge-insert relabeled and
+  // added nodes, appending each label's run to the flat array.
   snap.has_node_labels_ = true;
-  snap.nodes_by_label_.assign(num_labels, {});
+  snap.owned_->nodes_by_label_begin.assign(num_labels + 1, 0);
+  snap.owned_->nodes_by_label.clear();
   std::vector<std::vector<NodeId>> inserts(num_labels);
   for (const auto& [b, lab] : overlay.node_label_override_) {
     if (!overlay.NodeAlive(b)) continue;
@@ -266,10 +270,14 @@ MergedGraph GraphDeltaMerger::Merge(const GraphSnapshot& base_snapshot,
       }
     }
     std::sort(inserts[l].begin(), inserts[l].end());
-    snap.nodes_by_label_[l].resize(kept.size() + inserts[l].size());
+    const size_t at = snap.owned_->nodes_by_label.size();
+    snap.owned_->nodes_by_label.resize(at + kept.size() + inserts[l].size());
     std::merge(kept.begin(), kept.end(), inserts[l].begin(), inserts[l].end(),
-               snap.nodes_by_label_[l].begin());
+               snap.owned_->nodes_by_label.begin() + at);
+    snap.owned_->nodes_by_label_begin[l + 1] =
+        static_cast<uint32_t>(snap.owned_->nodes_by_label.size());
   }
+  snap.FinalizeViews();
 
   // Borrowed-name tables — filled last so the id maps can be moved in.
   auto names = std::make_shared<EdgeLabeledGraph::OverlayNames>();
@@ -343,8 +351,8 @@ PropertyGraph GraphDeltaMerger::Materialize(const DeltaOverlay& overlay) {
   };
 
   for (uint32_t old : ids.node_origin) {
-    const std::string& name =
-        old < bn ? bs.NodeName(old) : overlay.added_nodes_[old - bn].name;
+    std::string name = old < bn ? std::string(bs.NodeName(old))
+                                : overlay.added_nodes_[old - bn].name;
     g.AddNode(name, overlay.LabelNameOf(overlay.NodeLabelOf(old)));
   }
   for (uint32_t old : ids.edge_origin) {
@@ -356,8 +364,8 @@ PropertyGraph GraphDeltaMerger::Materialize(const DeltaOverlay& overlay) {
       src_old = overlay.added_edges_[old - be].src;
       tgt_old = overlay.added_edges_[old - be].tgt;
     }
-    const std::string& name =
-        old < be ? bs.EdgeName(old) : overlay.added_edges_[old - be].name;
+    std::string name = old < be ? std::string(bs.EdgeName(old))
+                                : overlay.added_edges_[old - be].name;
     g.AddEdge(node_new(src_old), node_new(tgt_old),
               overlay.LabelNameOf(overlay.EdgeLabelOf(old)), name);
   }

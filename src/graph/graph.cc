@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace gqzoo {
 
 NodeId EdgeLabeledGraph::AddNode(const std::string& name) {
-  assert(overlay_ == nullptr && "overlay graphs are immutable");
+  assert(overlay_ == nullptr && mapped_ == nullptr &&
+         "overlay/mapped graphs are immutable");
   NodeId id = static_cast<NodeId>(node_names_.size());
   std::string effective = name.empty() ? "n" + std::to_string(id) : name;
   assert(node_by_name_.find(effective) == node_by_name_.end() &&
@@ -26,7 +28,8 @@ EdgeId EdgeLabeledGraph::AddEdge(NodeId src, NodeId tgt,
 
 EdgeId EdgeLabeledGraph::AddEdge(NodeId src, NodeId tgt, LabelId label,
                                  const std::string& name) {
-  assert(overlay_ == nullptr && "overlay graphs are immutable");
+  assert(overlay_ == nullptr && mapped_ == nullptr &&
+         "overlay/mapped graphs are immutable");
   assert(src < NumNodes() && tgt < NumNodes());
   EdgeId id = static_cast<EdgeId>(edges_.size());
   edges_.push_back({src, tgt, label});
@@ -38,6 +41,18 @@ EdgeId EdgeLabeledGraph::AddEdge(NodeId src, NodeId tgt, LabelId label,
   out_[src].push_back(id);
   in_[tgt].push_back(id);
   return id;
+}
+
+void EdgeLabeledGraph::EnsureMappedAdjacency() const {
+  const MappedSkeleton& m = *mapped_;
+  std::call_once(m.adj_once, [&m] {
+    m.out.assign(m.num_nodes, {});
+    m.in.assign(m.num_nodes, {});
+    for (EdgeId e = 0; e < m.edges.size(); ++e) {
+      m.out[m.edges[e].src].push_back(e);
+      m.in[m.edges[e].tgt].push_back(e);
+    }
+  });
 }
 
 std::optional<NodeId> EdgeLabeledGraph::FindNode(
@@ -52,6 +67,18 @@ std::optional<NodeId> EdgeLabeledGraph::FindNode(
     uint32_t here = overlay_->base_node_to_new[*base_id];
     if (here == kInvalidId) return std::nullopt;
     return here;
+  }
+  if (mapped_ != nullptr) {
+    const MappedSkeleton& m = *mapped_;
+    const NodeId* it = std::lower_bound(
+        m.nodes_by_name.begin(), m.nodes_by_name.end(),
+        std::string_view(name), [this](NodeId id, std::string_view needle) {
+          return NodeName(id) < needle;
+        });
+    if (it == m.nodes_by_name.end() || NodeName(*it) != name) {
+      return std::nullopt;
+    }
+    return *it;
   }
   auto it = node_by_name_.find(name);
   if (it == node_by_name_.end()) return std::nullopt;
@@ -69,9 +96,38 @@ std::optional<EdgeId> EdgeLabeledGraph::FindEdge(
     if (here == kInvalidId) return std::nullopt;
     return here;
   }
+  if (mapped_ != nullptr) {
+    const MappedSkeleton& m = *mapped_;
+    const EdgeId* it = std::lower_bound(
+        m.edges_by_name.begin(), m.edges_by_name.end(),
+        std::string_view(name), [this](EdgeId id, std::string_view needle) {
+          return EdgeName(id) < needle;
+        });
+    if (it == m.edges_by_name.end() || EdgeName(*it) != name) {
+      return std::nullopt;
+    }
+    return *it;
+  }
   auto it = edge_by_name_.find(name);
   if (it == edge_by_name_.end()) return std::nullopt;
   return it->second;
+}
+
+EdgeLabeledGraph EdgeLabeledGraph::MaterializePlain() const {
+  if (overlay_ == nullptr && mapped_ == nullptr) return *this;
+  EdgeLabeledGraph g;
+  // Id-faithful rebuild: labels, nodes, edges interned in id order, so the
+  // copy answers every id-based accessor identically to the source.
+  for (LabelId l = 0; l < static_cast<LabelId>(NumLabels()); ++l) {
+    g.labels_.Intern(std::string(LabelName(l)));
+  }
+  for (NodeId n = 0; n < static_cast<NodeId>(NumNodes()); ++n) {
+    g.AddNode(std::string(NodeName(n)));
+  }
+  for (EdgeId e = 0; e < static_cast<EdgeId>(NumEdges()); ++e) {
+    g.AddEdge(Src(e), Tgt(e), EdgeLabel(e), std::string(EdgeName(e)));
+  }
+  return g;
 }
 
 NodeId PropertyGraph::AddNode(const std::string& name,
@@ -88,7 +144,8 @@ EdgeId PropertyGraph::AddEdge(NodeId src, NodeId tgt, const std::string& label,
 
 void PropertyGraph::SetProperty(ObjectRef o, const std::string& prop,
                                 Value v) {
-  assert(overlay_ == nullptr && "overlay graphs are immutable");
+  assert(overlay_ == nullptr && mapped_ == nullptr &&
+         "overlay/mapped graphs are immutable");
   PropertyId pid = properties_.Intern(prop);
   props_[{o, pid}] = std::move(v);
 }
@@ -113,8 +170,51 @@ std::optional<ObjectRef> PropertyGraph::NewRef(ObjectRef base_ref) const {
   return ObjectRef{base_ref.kind, here};
 }
 
+ConstSpan<SnapshotPropEntry> PropertyGraph::MappedEntriesOf(
+    ObjectRef o) const {
+  const MappedProps& m = *mapped_;
+  const ConstSpan<uint64_t>& begin =
+      o.is_node() ? m.node_prop_begin : m.edge_prop_begin;
+  const uint64_t from = begin[o.id];
+  const uint64_t to = begin[o.id + 1];
+  return ConstSpan<SnapshotPropEntry>(m.entries.data() + from,
+                                      static_cast<size_t>(to - from));
+}
+
+Value DecodeSnapshotValue(const SnapshotPropEntry& e,
+                          const ConstSpan<char>& heap) {
+  switch (e.tag) {
+    case 0:
+      return Value(static_cast<int64_t>(e.payload));
+    case 1: {
+      double d;
+      static_assert(sizeof(d) == sizeof(e.payload));
+      std::memcpy(&d, &e.payload, sizeof(d));
+      return Value(d);
+    }
+    case 2: {
+      const uint64_t offset = e.payload & 0xFFFFFFFFu;
+      const uint64_t length = e.payload >> 32;
+      return Value(std::string(heap.data() + offset,
+                               static_cast<size_t>(length)));
+    }
+    default:
+      return Value(e.payload != 0);
+  }
+}
+
 std::optional<Value> PropertyGraph::GetProperty(ObjectRef o,
                                                 PropertyId prop) const {
+  if (mapped_ != nullptr) {
+    ConstSpan<SnapshotPropEntry> entries = MappedEntriesOf(o);
+    const SnapshotPropEntry* it = std::lower_bound(
+        entries.begin(), entries.end(), prop,
+        [](const SnapshotPropEntry& e, PropertyId needle) {
+          return e.pid < needle;
+        });
+    if (it == entries.end() || it->pid != prop) return std::nullopt;
+    return DecodeSnapshotValue(*it, mapped_->value_heap);
+  }
   auto it = props_.find({o, prop});
   if (it != props_.end()) return it->second;
   if (overlay_ == nullptr) return std::nullopt;
@@ -150,6 +250,12 @@ const std::string& PropertyGraph::PropertyName(PropertyId p) const {
 std::vector<std::pair<PropertyId, Value>> PropertyGraph::PropertiesOf(
     ObjectRef o) const {
   std::vector<std::pair<PropertyId, Value>> result;
+  if (mapped_ != nullptr) {
+    for (const SnapshotPropEntry& e : MappedEntriesOf(o)) {
+      result.emplace_back(e.pid, DecodeSnapshotValue(e, mapped_->value_heap));
+    }
+    return result;  // file entries are already sorted by pid
+  }
   for (const auto& [key, value] : props_) {
     if (key.first == o) result.emplace_back(key.second, value);
   }
@@ -170,6 +276,21 @@ std::vector<std::pair<PropertyId, Value>> PropertyGraph::PropertiesOf(
 
 void PropertyGraph::ForEachProperty(
     const std::function<void(ObjectRef, PropertyId, const Value&)>& fn) const {
+  if (mapped_ != nullptr) {
+    for (NodeId n = 0; n < static_cast<NodeId>(NumNodes()); ++n) {
+      for (const SnapshotPropEntry& e : MappedEntriesOf(ObjectRef::Node(n))) {
+        fn(ObjectRef::Node(n), e.pid,
+           DecodeSnapshotValue(e, mapped_->value_heap));
+      }
+    }
+    for (EdgeId ed = 0; ed < static_cast<EdgeId>(NumEdges()); ++ed) {
+      for (const SnapshotPropEntry& e : MappedEntriesOf(ObjectRef::Edge(ed))) {
+        fn(ObjectRef::Edge(ed), e.pid,
+           DecodeSnapshotValue(e, mapped_->value_heap));
+      }
+    }
+    return;
+  }
   for (const auto& [key, value] : props_) fn(key.first, key.second, value);
   if (overlay_ == nullptr) return;
   overlay_->base->ForEachProperty(

@@ -5,13 +5,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/util/interner.h"
 #include "src/util/result.h"
+#include "src/util/span.h"
 #include "src/util/value.h"
 
 namespace gqzoo {
@@ -25,6 +28,10 @@ inline constexpr uint32_t kInvalidId = UINT32_MAX;
 
 class GraphDeltaMerger;
 class PropertyGraph;
+
+namespace storage {
+class SnapshotCodec;  // storage/snapshot_format.h: serializes/maps graphs
+}
 
 /// Whether a path object is a node or an edge ("objects" in the paper's
 /// terminology, "elements" in GQL/SQL-PGQ).
@@ -57,6 +64,16 @@ struct ObjectRefHash {
   }
 };
 
+/// One property assignment in the on-disk snapshot format, sorted by
+/// (object id, pid) within each object class. Mapped graphs answer
+/// property lookups by binary-searching these entries in place.
+struct SnapshotPropEntry {
+  uint32_t pid;
+  uint32_t tag;     // Value alternative: 0 int64, 1 double, 2 string, 3 bool
+  uint64_t payload;  // raw bits; string: low 32 offset, high 32 length
+};
+static_assert(sizeof(SnapshotPropEntry) == 16, "serialized raw");
+
 /// An edge-labeled graph (Definition 4): `(N, E, src, tgt, λ)` with edge
 /// identity, so two parallel edges with the same label are distinct (the
 /// paper's t2 and t5 in Figure 2).
@@ -65,12 +82,16 @@ struct ObjectRefHash {
 /// query answers can be printed like the paper's examples; names play no
 /// semantic role.
 ///
-/// A graph is either *plain* (built by AddNode/AddEdge, owns every array)
-/// or an *overlay* (a merged delta view, see src/graph/delta): the numeric
-/// hot-path arrays — edges, adjacency, labels-per-edge — are materialized
-/// in the merged id space, while strings (names, label text) and the
-/// name→id maps are borrowed from the immutable base generation through
-/// translation tables. Overlay graphs are immutable; the mutators assert.
+/// A graph lives in one of three storage modes:
+///  * *plain* — built by AddNode/AddEdge, owns every array (mutable);
+///  * *overlay* — a merged delta view (src/graph/delta): numeric hot-path
+///    arrays are materialized in the merged id space, strings and name→id
+///    maps are borrowed from the immutable base generation through
+///    translation tables;
+///  * *mapped* — opened from the on-disk snapshot format
+///    (storage/snapshot_format.h): edges and name tables are read in place
+///    from a memory-mapped file; label text is interned eagerly (small).
+/// Overlay and mapped graphs are immutable; the mutators assert.
 class EdgeLabeledGraph {
  public:
   struct EdgeData {
@@ -78,6 +99,7 @@ class EdgeLabeledGraph {
     NodeId tgt;
     LabelId label;
   };
+  static_assert(sizeof(EdgeData) == 12, "serialized raw");
 
   EdgeLabeledGraph() = default;
 
@@ -93,20 +115,41 @@ class EdgeLabeledGraph {
                  const std::string& name = "");
 
   // out_ is materialized in overlay views too, unlike node_names_.
-  size_t NumNodes() const { return out_.size(); }
-  size_t NumEdges() const { return edges_.size(); }
+  size_t NumNodes() const {
+    return mapped_ != nullptr ? mapped_->num_nodes : out_.size();
+  }
+  size_t NumEdges() const {
+    return mapped_ != nullptr ? mapped_->edges.size() : edges_.size();
+  }
 
-  NodeId Src(EdgeId e) const { return edges_[e].src; }
-  NodeId Tgt(EdgeId e) const { return edges_[e].tgt; }
-  LabelId EdgeLabel(EdgeId e) const { return edges_[e].label; }
+  NodeId Src(EdgeId e) const { return EdgeAt(e).src; }
+  NodeId Tgt(EdgeId e) const { return EdgeAt(e).tgt; }
+  LabelId EdgeLabel(EdgeId e) const { return EdgeAt(e).label; }
 
-  const std::vector<EdgeId>& OutEdges(NodeId n) const { return out_[n]; }
-  const std::vector<EdgeId>& InEdges(NodeId n) const { return in_[n]; }
+  /// Per-node edge-id adjacency. Evaluators prefer `GraphSnapshot` slices;
+  /// these lists back the snapshot-less fallback paths. Mapped graphs
+  /// build them lazily on first use (the mapped file stores the snapshot's
+  /// CSR instead).
+  const std::vector<EdgeId>& OutEdges(NodeId n) const {
+    if (mapped_ != nullptr) {
+      EnsureMappedAdjacency();
+      return mapped_->out[n];
+    }
+    return out_[n];
+  }
+  const std::vector<EdgeId>& InEdges(NodeId n) const {
+    if (mapped_ != nullptr) {
+      EnsureMappedAdjacency();
+      return mapped_->in[n];
+    }
+    return in_[n];
+  }
 
   /// Label interning. Labels are shared between this graph's edges and, when
   /// this graph is the skeleton of a `PropertyGraph`, its node labels too.
   LabelId InternLabel(const std::string& label) {
-    assert(overlay_ == nullptr && "overlay graphs are immutable");
+    assert(overlay_ == nullptr && mapped_ == nullptr &&
+           "overlay/mapped graphs are immutable");
     return labels_.Intern(label);
   }
   std::optional<LabelId> FindLabel(const std::string& label) const;
@@ -116,22 +159,34 @@ class EdgeLabeledGraph {
     return overlay_->base_labels + overlay_->added_labels.size();
   }
 
-  const std::string& NodeName(NodeId n) const;
-  const std::string& EdgeName(EdgeId e) const;
+  /// Display names. Plain/overlay graphs return views of owned strings;
+  /// mapped graphs return views straight into the mapped name heap —
+  /// valid as long as the graph (which pins the mapping) is.
+  std::string_view NodeName(NodeId n) const;
+  std::string_view EdgeName(EdgeId e) const;
   std::optional<NodeId> FindNode(const std::string& name) const;
   std::optional<EdgeId> FindEdge(const std::string& name) const;
 
   /// Name of an object ("a1" / "t3"), for printing.
-  const std::string& ObjectName(ObjectRef o) const {
+  std::string_view ObjectName(ObjectRef o) const {
     return o.is_node() ? NodeName(o.id) : EdgeName(o.id);
   }
 
   /// True when this graph is a merged delta view over a base generation.
   bool is_overlay() const { return overlay_ != nullptr; }
+  /// True when this graph reads from a mapped snapshot file.
+  bool is_mapped() const { return mapped_ != nullptr; }
+
+  /// A plain, mutable, id-faithful copy of this graph (labels, nodes,
+  /// edges interned in id order). The working-copy escape hatch for code
+  /// that mutates a skeleton (regular queries) when the source is an
+  /// immutable overlay or mapped graph. Plain graphs copy directly.
+  EdgeLabeledGraph MaterializePlain() const;
 
  private:
   friend class GraphDeltaMerger;
   friend class PropertyGraph;
+  friend class storage::SnapshotCodec;
 
   /// Borrowed-string tables of an overlay view. Ids below the `base_*`
   /// counts are base ids ("old space"); a merged ("new space") id maps to
@@ -155,6 +210,34 @@ class EdgeLabeledGraph {
     std::unordered_map<std::string, LabelId> added_label_by_name;
   };
 
+  /// In-place views of a mapped snapshot file (storage/snapshot_format.h).
+  /// Immutable except the lazily built adjacency lists, which are guarded
+  /// by `adj_once` and therefore safe to share across graph copies.
+  struct MappedSkeleton {
+    std::shared_ptr<const void> pin;  // the mapped file image
+    size_t num_nodes = 0;
+    ConstSpan<EdgeData> edges;
+    ConstSpan<uint64_t> node_name_offsets;  // size num_nodes + 1
+    ConstSpan<char> node_name_heap;
+    ConstSpan<NodeId> nodes_by_name;  // node ids sorted by display name
+    ConstSpan<uint64_t> edge_name_offsets;  // size num_edges + 1
+    ConstSpan<char> edge_name_heap;
+    ConstSpan<EdgeId> edges_by_name;  // edge ids sorted by display name
+    mutable std::once_flag adj_once;
+    mutable std::vector<std::vector<EdgeId>> out;
+    mutable std::vector<std::vector<EdgeId>> in;
+  };
+
+  const EdgeData& EdgeAt(EdgeId e) const {
+    return mapped_ != nullptr ? mapped_->edges[e] : edges_[e];
+  }
+  static std::string_view HeapName(const ConstSpan<uint64_t>& offsets,
+                                   const ConstSpan<char>& heap, uint32_t i) {
+    return std::string_view(heap.data() + offsets[i],
+                            static_cast<size_t>(offsets[i + 1] - offsets[i]));
+  }
+  void EnsureMappedAdjacency() const;
+
   std::vector<EdgeData> edges_;
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
@@ -164,35 +247,48 @@ class EdgeLabeledGraph {
   std::unordered_map<std::string, EdgeId> edge_by_name_;
   Interner labels_;
   std::shared_ptr<const OverlayNames> overlay_;  // null for plain graphs
+  std::shared_ptr<const MappedSkeleton> mapped_;  // null unless mapped
 };
 
-inline const std::string& EdgeLabeledGraph::NodeName(NodeId n) const {
-  if (overlay_ == nullptr) return node_names_[n];
-  uint32_t old = overlay_->node_origin[n];
-  return old < overlay_->base_nodes
-             ? overlay_->base->node_names_[old]
-             : overlay_->added_node_names[old - overlay_->base_nodes];
+inline std::string_view EdgeLabeledGraph::NodeName(NodeId n) const {
+  if (overlay_ != nullptr) {
+    uint32_t old = overlay_->node_origin[n];
+    return old < overlay_->base_nodes
+               ? overlay_->base->NodeName(old)
+               : std::string_view(
+                     overlay_->added_node_names[old - overlay_->base_nodes]);
+  }
+  if (mapped_ != nullptr) {
+    return HeapName(mapped_->node_name_offsets, mapped_->node_name_heap, n);
+  }
+  return node_names_[n];
 }
 
-inline const std::string& EdgeLabeledGraph::EdgeName(EdgeId e) const {
-  if (overlay_ == nullptr) return edge_names_[e];
-  uint32_t old = overlay_->edge_origin[e];
-  return old < overlay_->base_edges
-             ? overlay_->base->edge_names_[old]
-             : overlay_->added_edge_names[old - overlay_->base_edges];
+inline std::string_view EdgeLabeledGraph::EdgeName(EdgeId e) const {
+  if (overlay_ != nullptr) {
+    uint32_t old = overlay_->edge_origin[e];
+    return old < overlay_->base_edges
+               ? overlay_->base->EdgeName(old)
+               : std::string_view(
+                     overlay_->added_edge_names[old - overlay_->base_edges]);
+  }
+  if (mapped_ != nullptr) {
+    return HeapName(mapped_->edge_name_offsets, mapped_->edge_name_heap, e);
+  }
+  return edge_names_[e];
 }
 
 inline const std::string& EdgeLabeledGraph::LabelName(LabelId l) const {
   if (overlay_ == nullptr) return labels_.NameOf(l);
   return l < overlay_->base_labels
-             ? overlay_->base->labels_.NameOf(l)
+             ? overlay_->base->LabelName(l)
              : overlay_->added_labels[l - overlay_->base_labels];
 }
 
 inline std::optional<LabelId> EdgeLabeledGraph::FindLabel(
     const std::string& label) const {
   if (overlay_ == nullptr) return labels_.Find(label);
-  std::optional<LabelId> base_id = overlay_->base->labels_.Find(label);
+  std::optional<LabelId> base_id = overlay_->base->FindLabel(label);
   if (base_id.has_value()) return base_id;
   auto it = overlay_->added_label_by_name.find(label);
   if (it == overlay_->added_label_by_name.end()) return std::nullopt;
@@ -206,10 +302,11 @@ inline std::optional<LabelId> EdgeLabeledGraph::FindLabel(
 /// Per Remark 7 each element has exactly one label. The underlying
 /// edge-labeled graph (`skeleton()`) is the restriction `λ|_E` of Section 2.
 ///
-/// Like the skeleton, a property graph is either plain or an overlay view:
-/// overlay property lookups consult the view's own (small) override map
-/// first, then fall through to the base generation's map via the skeleton's
-/// id-translation tables.
+/// Like the skeleton, a property graph is plain, an overlay view, or
+/// mapped: overlay property lookups consult the view's own (small)
+/// override map first, then fall through to the base generation's map via
+/// the skeleton's id-translation tables; mapped lookups binary-search the
+/// file's sorted property entries in place.
 class PropertyGraph {
  public:
   PropertyGraph() = default;
@@ -224,14 +321,17 @@ class PropertyGraph {
   std::optional<Value> GetProperty(ObjectRef o, PropertyId prop) const;
   std::optional<Value> GetProperty(ObjectRef o, const std::string& prop) const;
 
-  LabelId NodeLabel(NodeId n) const { return node_labels_[n]; }
+  LabelId NodeLabel(NodeId n) const {
+    return mapped_ != nullptr ? mapped_->node_labels[n] : node_labels_[n];
+  }
   LabelId EdgeLabel(EdgeId e) const { return skeleton_.EdgeLabel(e); }
   LabelId ObjectLabel(ObjectRef o) const {
     return o.is_node() ? NodeLabel(o.id) : EdgeLabel(o.id);
   }
 
   PropertyId InternProperty(const std::string& prop) {
-    assert(overlay_ == nullptr && "overlay graphs are immutable");
+    assert(overlay_ == nullptr && mapped_ == nullptr &&
+           "overlay/mapped graphs are immutable");
     return properties_.Intern(prop);
   }
   std::optional<PropertyId> FindProperty(const std::string& prop) const;
@@ -271,28 +371,32 @@ class PropertyGraph {
   const std::string& LabelName(LabelId l) const {
     return skeleton_.LabelName(l);
   }
-  const std::string& NodeName(NodeId n) const { return skeleton_.NodeName(n); }
-  const std::string& EdgeName(EdgeId e) const { return skeleton_.EdgeName(e); }
-  const std::string& ObjectName(ObjectRef o) const {
+  std::string_view NodeName(NodeId n) const { return skeleton_.NodeName(n); }
+  std::string_view EdgeName(EdgeId e) const { return skeleton_.EdgeName(e); }
+  std::string_view ObjectName(ObjectRef o) const {
     return skeleton_.ObjectName(o);
   }
 
   bool is_overlay() const { return overlay_ != nullptr; }
+  bool is_mapped() const { return mapped_ != nullptr; }
 
-  /// All properties defined on `o`, for printing/serialization.
+  /// All properties defined on `o`, for printing/serialization. Sorted by
+  /// property id.
   std::vector<std::pair<PropertyId, Value>> PropertiesOf(ObjectRef o) const;
 
   /// Calls `fn(ObjectRef, PropertyId, const Value&)` for every property
   /// assignment of the graph, in unspecified order — the bulk accessor the
   /// delta compactor uses to copy a base generation's properties without
   /// one whole-map scan per object. Overlay views enumerate their override
-  /// map plus the surviving, non-overridden base assignments.
+  /// map plus the surviving, non-overridden base assignments; mapped
+  /// graphs walk the file's entry table.
   void ForEachProperty(
       const std::function<void(ObjectRef, PropertyId, const Value&)>& fn)
       const;
 
  private:
   friend class GraphDeltaMerger;
+  friend class storage::SnapshotCodec;
 
   struct PropKeyHash {
     size_t operator()(const std::pair<ObjectRef, PropertyId>& k) const {
@@ -309,6 +413,18 @@ class PropertyGraph {
     std::unordered_map<std::string, PropertyId> added_prop_by_name;
   };
 
+  /// In-place views of a mapped snapshot file's property tables. Entries
+  /// hold the node entries first (indexed by `node_prop_begin`), then the
+  /// edge entries (indexed by `edge_prop_begin`; offsets are global).
+  struct MappedProps {
+    std::shared_ptr<const void> pin;
+    ConstSpan<LabelId> node_labels;       // size num_nodes
+    ConstSpan<uint64_t> node_prop_begin;  // size num_nodes + 1
+    ConstSpan<uint64_t> edge_prop_begin;  // size num_edges + 1
+    ConstSpan<SnapshotPropEntry> entries;
+    ConstSpan<char> value_heap;
+  };
+
   /// Maps a new-space object of an overlay view to its base-generation ref;
   /// nullopt for objects added by the delta.
   std::optional<ObjectRef> BaseRef(ObjectRef o) const;
@@ -316,13 +432,20 @@ class PropertyGraph {
   /// delta removed it.
   std::optional<ObjectRef> NewRef(ObjectRef base_ref) const;
 
+  ConstSpan<SnapshotPropEntry> MappedEntriesOf(ObjectRef o) const;
+
   EdgeLabeledGraph skeleton_;
   std::vector<LabelId> node_labels_;
   Interner properties_;
   std::unordered_map<std::pair<ObjectRef, PropertyId>, Value, PropKeyHash>
       props_;
   std::shared_ptr<const OverlayProps> overlay_;  // null for plain graphs
+  std::shared_ptr<const MappedProps> mapped_;    // null unless mapped
 };
+
+/// Decodes one snapshot property entry against its value heap.
+Value DecodeSnapshotValue(const SnapshotPropEntry& e,
+                          const ConstSpan<char>& heap);
 
 }  // namespace gqzoo
 

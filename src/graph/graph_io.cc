@@ -349,10 +349,11 @@ PropertyGraph ToPropertyGraph(const EdgeLabeledGraph& g,
                               const std::string& node_label) {
   PropertyGraph pg;
   for (NodeId n = 0; n < g.NumNodes(); ++n) {
-    pg.AddNode(g.NodeName(n), node_label);
+    pg.AddNode(std::string(g.NodeName(n)), node_label);
   }
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    pg.AddEdge(g.Src(e), g.Tgt(e), g.LabelName(g.EdgeLabel(e)), g.EdgeName(e));
+    pg.AddEdge(g.Src(e), g.Tgt(e), g.LabelName(g.EdgeLabel(e)),
+               std::string(g.EdgeName(e)));
   }
   return pg;
 }

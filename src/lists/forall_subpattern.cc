@@ -39,7 +39,7 @@ PropertyGraph PathAsGraph(const PropertyGraph& g, const Path& p) {
     EdgeId original = o.id;
     NodeId tgt = add_node(g.Tgt(original), pos++);
     EdgeId e = out.AddEdge(prev, tgt, g.LabelName(g.EdgeLabel(original)),
-                           g.EdgeName(original) + "@" + std::to_string(pos));
+                           std::string(g.EdgeName(original)) + "@" + std::to_string(pos));
     for (const auto& [prop, value] :
          g.PropertiesOf(ObjectRef::Edge(original))) {
       out.SetProperty(ObjectRef::Edge(e), g.PropertyName(prop), value);

@@ -113,10 +113,11 @@ Result<RegularQuery> ParseRegularQuery(const std::string& text) {
 Result<CrpqResult> EvalRegularQuery(const EdgeLabeledGraph& g,
                                     const RegularQuery& query,
                                     const CrpqEvalOptions& options) {
-  EdgeLabeledGraph working = g;
+  EdgeLabeledGraph working = g.MaterializePlain();
   // Each rule materializes new edges into `working`, so any snapshot the
   // caller passed describes a stale graph: evaluate rules and the main
-  // query against the mutable copy directly.
+  // query against a plain mutable copy directly (overlay and mapped
+  // graphs are immutable, hence MaterializePlain).
   CrpqEvalOptions local = options;
   local.snapshot = nullptr;
   local.pool = nullptr;

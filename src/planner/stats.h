@@ -61,6 +61,12 @@ class SnapshotStats {
   uint64_t NodesMatching(const LabelPred& pred) const;
 
  private:
+  /// The snapshot codec (storage/snapshot_format.h) serializes the count
+  /// arrays raw and reconstitutes stats from a mapped file without the
+  /// O(E log E) sort-unique rebuild.
+  friend class storage::SnapshotCodec;
+  SnapshotStats() = default;
+
   size_t num_nodes_ = 0;
   size_t num_edges_ = 0;
   size_t num_labels_ = 0;

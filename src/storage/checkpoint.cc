@@ -1,272 +1,20 @@
 #include "src/storage/checkpoint.h"
 
-#include <cstring>
-
-#include "src/storage/crc32c.h"
+#include "src/storage/snapshot_format.h"
 
 namespace gqzoo::storage {
 
-namespace {
-
-void PutU8(std::string* out, uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-
-void PutU32(std::string* out, uint32_t v) {
-  char b[4] = {static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF),
-               static_cast<char>((v >> 16) & 0xFF),
-               static_cast<char>((v >> 24) & 0xFF)};
-  out->append(b, 4);
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
-  PutU32(out, static_cast<uint32_t>(v >> 32));
-}
-
-void PutStr(std::string* out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-void PutValue(std::string* out, const Value& v) {
-  if (v.is_int()) {
-    PutU8(out, 0);
-    PutU64(out, static_cast<uint64_t>(v.as_int()));
-  } else if (v.is_double()) {
-    PutU8(out, 1);
-    uint64_t bits;
-    double d = v.as_double();
-    std::memcpy(&bits, &d, sizeof(bits));
-    PutU64(out, bits);
-  } else if (v.is_string()) {
-    PutU8(out, 2);
-    PutStr(out, v.as_string());
-  } else {
-    PutU8(out, 3);
-    PutU8(out, v.as_bool() ? 1 : 0);
-  }
-}
-
-void PutObjectProps(std::string* out, const PropertyGraph& g, ObjectRef obj) {
-  auto props = g.PropertiesOf(obj);  // sorted by PropertyId
-  PutU32(out, static_cast<uint32_t>(props.size()));
-  for (const auto& [pid, value] : props) {
-    PutU32(out, pid);
-    PutValue(out, value);
-  }
-}
-
-// Bounds-checked forward reader over the payload. Every Get sets `failed`
-// instead of reading past the end; callers check once per object.
-struct Cursor {
-  std::string_view data;
-  size_t pos = 0;
-  bool failed = false;
-
-  bool Have(size_t n) {
-    if (data.size() - pos < n) {
-      failed = true;
-      return false;
-    }
-    return true;
-  }
-  uint8_t GetU8() {
-    if (!Have(1)) return 0;
-    return static_cast<uint8_t>(data[pos++]);
-  }
-  uint32_t GetU32() {
-    if (!Have(4)) return 0;
-    uint32_t v = static_cast<uint32_t>(static_cast<uint8_t>(data[pos])) |
-                 (static_cast<uint32_t>(static_cast<uint8_t>(data[pos + 1]))
-                  << 8) |
-                 (static_cast<uint32_t>(static_cast<uint8_t>(data[pos + 2]))
-                  << 16) |
-                 (static_cast<uint32_t>(static_cast<uint8_t>(data[pos + 3]))
-                  << 24);
-    pos += 4;
-    return v;
-  }
-  uint64_t GetU64() {
-    uint64_t lo = GetU32();
-    return lo | (static_cast<uint64_t>(GetU32()) << 32);
-  }
-  std::string GetStr() {
-    uint32_t len = GetU32();
-    if (!Have(len)) return {};
-    std::string s(data.substr(pos, len));
-    pos += len;
-    return s;
-  }
-  Value GetValue() {
-    switch (GetU8()) {
-      case 0:
-        return Value(static_cast<int64_t>(GetU64()));
-      case 1: {
-        uint64_t bits = GetU64();
-        double d;
-        std::memcpy(&d, &bits, sizeof(d));
-        return Value(d);
-      }
-      case 2:
-        return Value(GetStr());
-      case 3:
-        return Value(GetU8() != 0);
-      default:
-        failed = true;
-        return Value();
-    }
-  }
-};
-
-Error Corrupt(const std::string& what) {
-  return Error(ErrorCode::kDataLoss, "checkpoint corrupt: " + what);
-}
-
-}  // namespace
-
 std::string EncodeCheckpoint(const PropertyGraph& g, uint64_t covered_lsn) {
-  std::string payload;
-  PutU32(&payload, static_cast<uint32_t>(g.skeleton().NumLabels()));
-  for (LabelId l = 0; l < g.skeleton().NumLabels(); ++l) {
-    PutStr(&payload, g.LabelName(l));
-  }
-  PutU32(&payload, static_cast<uint32_t>(g.NumProperties()));
-  for (PropertyId p = 0; p < g.NumProperties(); ++p) {
-    PutStr(&payload, g.PropertyName(p));
-  }
-  PutU64(&payload, g.NumNodes());
-  for (NodeId n = 0; n < g.NumNodes(); ++n) {
-    PutStr(&payload, g.NodeName(n));
-    PutU32(&payload, g.NodeLabel(n));
-    PutObjectProps(&payload, g, ObjectRef::Node(n));
-  }
-  PutU64(&payload, g.NumEdges());
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    PutStr(&payload, g.EdgeName(e));
-    PutU32(&payload, g.Src(e));
-    PutU32(&payload, g.Tgt(e));
-    PutU32(&payload, g.EdgeLabel(e));
-    PutObjectProps(&payload, g, ObjectRef::Edge(e));
-  }
-
-  std::string out;
-  out.append(kCheckpointMagic, kCheckpointMagicBytes);
-  PutU64(&out, covered_lsn);
-  PutU64(&out, payload.size());
-  // The checksum covers covered_lsn and payload_len too — a flipped bit in
-  // the header would otherwise change which LSNs the file claims to cover
-  // without tripping anything.
-  uint32_t crc = Crc32c(out.data() + kCheckpointMagicBytes, 16);
-  PutU32(&out, Crc32cExtend(crc, payload.data(), payload.size()));
-  out.append(payload);
-  return out;
+  return SnapshotCodec::EncodeSnapshot(g, covered_lsn);
 }
 
 Result<CheckpointData> DecodeCheckpoint(std::string_view bytes) {
-  if (bytes.size() < kCheckpointHeaderBytes ||
-      std::memcmp(bytes.data(), kCheckpointMagic, kCheckpointMagicBytes) != 0) {
-    return Corrupt("missing or damaged magic/header");
-  }
-  Cursor hdr{bytes.substr(kCheckpointMagicBytes), 0, false};
-  uint64_t covered_lsn = hdr.GetU64();
-  uint64_t payload_len = hdr.GetU64();
-  uint32_t crc = hdr.GetU32();
-  std::string_view payload = bytes.substr(kCheckpointHeaderBytes);
-  if (payload.size() != payload_len) {
-    return Corrupt("payload is " + std::to_string(payload.size()) +
-                   " bytes, header declares " + std::to_string(payload_len));
-  }
-  uint32_t expect = Crc32c(bytes.data() + kCheckpointMagicBytes, 16);
-  expect = Crc32cExtend(expect, payload.data(), payload.size());
-  if (expect != crc) return Corrupt("header/payload checksum mismatch");
-
-  // The payload checksummed clean, so structural failures below indicate an
-  // encoder/decoder version skew or a CRC collision — either way kDataLoss.
-  Cursor c{payload, 0, false};
+  Result<SnapshotCodec::DecodedSnapshot> decoded =
+      SnapshotCodec::DecodeToPlain(bytes);
+  if (!decoded.ok()) return decoded.error();
   CheckpointData out;
-  out.covered_lsn = covered_lsn;
-  PropertyGraph& g = out.graph;
-
-  uint32_t n_labels = c.GetU32();
-  // Each table entry costs at least its 4-byte length prefix; reject counts
-  // the payload cannot possibly hold before looping (same below).
-  if (n_labels > payload.size() / 4 + 1) {
-    return Corrupt("label count implausible");
-  }
-  std::vector<std::string> labels;
-  for (uint32_t i = 0; i < n_labels && !c.failed; ++i) {
-    labels.push_back(c.GetStr());
-    LabelId id = g.InternLabel(labels.back());
-    if (id != i) return Corrupt("duplicate label name in table");
-  }
-  uint32_t n_props = c.GetU32();
-  if (n_props > payload.size() / 4 + 1) {
-    return Corrupt("property count implausible");
-  }
-  std::vector<std::string> props;
-  for (uint32_t i = 0; i < n_props && !c.failed; ++i) {
-    props.push_back(c.GetStr());
-    PropertyId id = g.InternProperty(props.back());
-    if (id != i) return Corrupt("duplicate property name in table");
-  }
-  if (c.failed) return Corrupt("string tables overrun payload");
-
-  auto read_props = [&](ObjectRef obj) -> bool {
-    uint32_t n = c.GetU32();
-    for (uint32_t i = 0; i < n && !c.failed; ++i) {
-      uint32_t pid = c.GetU32();
-      Value v = c.GetValue();
-      if (c.failed || pid >= props.size()) {
-        c.failed = true;
-        return false;
-      }
-      g.SetProperty(obj, props[pid], std::move(v));
-    }
-    return !c.failed;
-  };
-
-  uint64_t n_nodes = c.GetU64();
-  // Each node costs at least 4 (name len) + 4 (label) + 4 (prop count)
-  // bytes; reject counts the payload cannot possibly hold before looping.
-  if (n_nodes > payload.size() / 12 + 1) return Corrupt("node count implausible");
-  for (uint64_t n = 0; n < n_nodes; ++n) {
-    std::string name = c.GetStr();
-    uint32_t label = c.GetU32();
-    if (c.failed || label >= labels.size()) {
-      return Corrupt("node " + std::to_string(n) + " is malformed");
-    }
-    if (g.FindNode(name).has_value()) {
-      return Corrupt("duplicate node name '" + name + "'");
-    }
-    NodeId id = g.AddNode(name, labels[label]);
-    if (!read_props(ObjectRef::Node(id))) {
-      return Corrupt("node " + std::to_string(n) + " properties malformed");
-    }
-  }
-  uint64_t n_edges = c.GetU64();
-  if (n_edges > payload.size() / 16 + 1) return Corrupt("edge count implausible");
-  for (uint64_t e = 0; e < n_edges; ++e) {
-    std::string name = c.GetStr();
-    uint32_t src = c.GetU32();
-    uint32_t tgt = c.GetU32();
-    uint32_t label = c.GetU32();
-    if (c.failed || label >= labels.size() || src >= g.NumNodes() ||
-        tgt >= g.NumNodes()) {
-      return Corrupt("edge " + std::to_string(e) + " is malformed");
-    }
-    if (!name.empty() && g.FindEdge(name).has_value()) {
-      return Corrupt("duplicate edge name '" + name + "'");
-    }
-    EdgeId id = g.AddEdge(src, tgt, labels[label], name);
-    if (!read_props(ObjectRef::Edge(id))) {
-      return Corrupt("edge " + std::to_string(e) + " properties malformed");
-    }
-  }
-  if (c.pos != payload.size()) {
-    return Corrupt(std::to_string(payload.size() - c.pos) +
-                   " trailing bytes after the edge table");
-  }
+  out.graph = std::move(decoded.value().graph);
+  out.covered_lsn = decoded.value().covered_lsn;
   return out;
 }
 

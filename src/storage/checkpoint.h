@@ -6,50 +6,34 @@
 #include <string_view>
 
 #include "src/graph/graph.h"
+#include "src/storage/snapshot_format.h"
 #include "src/util/result.h"
 
 namespace gqzoo::storage {
 
-/// Checkpoint file format
-/// ----------------------
-///
-///     [8 B magic "GQZCKPT1"] [u64 covered_lsn] [u64 payload_len]
-///     [u32 crc32c(covered_lsn ++ payload_len ++ payload)] [payload]
-///
-/// The checksum covers the two header fields as well as the payload: a
-/// corrupted covered_lsn would silently change which WAL records recovery
-/// skips, so it must be as protected as the graph bytes themselves.
-///
-/// payload:
-///     [u32 n_labels]  n_labels  × str          (label-id order)
-///     [u32 n_props]   n_props   × str          (property-id order)
-///     [u64 n_nodes]   n_nodes   × { str name, u32 label,
-///                                   u32 n_props × [u32 prop, value] }
-///     [u64 n_edges]   n_edges   × { str name, u32 src, u32 tgt, u32 label,
-///                                   u32 n_props × [u32 prop, value] }
-///
-///     str   = u32 len + bytes
-///     value = u8 tag (0 int, 1 double, 2 string, 3 bool)
-///             + (u64 two's-complement | u64 IEEE-754 bits | str | u8)
+/// Checkpoint files *are* snapshot-format files (snapshot_format.h): the
+/// versioned, crc32c-sectioned "GQZSNAP1" layout whose regions hold the
+/// graph, its CSR and planner statistics, plus the covered LSN in the META
+/// region. One format serves both roles — the durable base a crash
+/// recovers from, and the memory-mappable image an engine restart (or the
+/// delta compactor) can open in place without rebuilding anything.
 ///
 /// The label and property tables are serialized *in interner-id order* and
 /// re-interned in that order on load, so every id — and therefore every
 /// id-ordered render (`PropertyGraphToText` sorts properties by id) — is
-/// preserved exactly. A graph-text round trip cannot promise that: it
-/// re-interns property names in encounter order, which permutes per-object
-/// property rendering. The crash harness compares recovered state to the
+/// preserved exactly. The crash harness compares recovered state to its
 /// reference simulator byte-for-byte, so the checkpoint must be
 /// id-faithful, not just content-faithful.
 ///
 /// A checkpoint covering lsn C pairs with a WAL holding records > C; the
 /// two files are the entire durable state.
 
-inline constexpr char kCheckpointMagic[] = "GQZCKPT1";
-inline constexpr size_t kCheckpointMagicBytes = 8;
-inline constexpr size_t kCheckpointHeaderBytes = 8 + 8 + 8 + 4;
+inline constexpr const char* kCheckpointMagic = kSnapshotMagic;
+inline constexpr size_t kCheckpointMagicBytes = kSnapshotMagicBytes;
+inline constexpr size_t kCheckpointHeaderBytes = kSnapshotHeaderBytes;
 
-/// Serializes `g` (plain or overlay view) into a checkpoint image covering
-/// `covered_lsn`.
+/// Serializes `g` (plain, overlay view, or mapped) into a checkpoint image
+/// covering `covered_lsn`.
 std::string EncodeCheckpoint(const PropertyGraph& g, uint64_t covered_lsn);
 
 struct CheckpointData {
@@ -58,9 +42,9 @@ struct CheckpointData {
 };
 
 /// Decodes a checkpoint image back into a plain graph with identical
-/// interner ids. Any structural damage — bad magic, wrong payload length,
-/// checksum mismatch, out-of-range ids — is `kDataLoss` (the store falls
-/// back to an older checkpoint, and refuses to serve when none decodes).
+/// interner ids. Any damage — bad magic, version skew, checksum mismatch,
+/// truncation, out-of-range ids — is `kDataLoss` (the store falls back to
+/// an older checkpoint, and refuses to serve when none decodes).
 Result<CheckpointData> DecodeCheckpoint(std::string_view bytes);
 
 }  // namespace gqzoo::storage

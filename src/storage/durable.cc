@@ -8,6 +8,7 @@
 
 #include "src/graph/delta/merge.h"
 #include "src/storage/checkpoint.h"
+#include "src/storage/snapshot_format.h"
 #include "src/util/failpoint.h"
 
 namespace gqzoo::storage {
@@ -84,9 +85,10 @@ Result<DurableStore::Opened> DurableStore::Open(
     // real records with no checkpoint means acked writes lost their base.
     if (wal_bytes.ok()) {
       const std::string& b = wal_bytes.value();
+      std::string header = WalFileHeader();
       bool init_artifact =
-          b.size() <= kWalMagicBytes &&
-          std::memcmp(b.data(), kWalMagic, b.size()) == 0;
+          b.size() <= header.size() &&
+          std::memcmp(b.data(), header.data(), b.size()) == 0;
       if (!init_artifact) {
         Result<WalDecodeResult> dec = DecodeWal(b);
         if (!dec.ok()) {
@@ -116,7 +118,7 @@ Result<DurableStore::Opened> DurableStore::Open(
     if (!ck.ok()) return ck.error();
     Opened out;
     out.store = std::move(store);
-    out.graph = std::move(initial);
+    out.graph = std::make_shared<const PropertyGraph>(std::move(initial));
     return out;
   }
 
@@ -138,6 +140,45 @@ Result<DurableStore::Opened> DurableStore::Open(
   if (wal.tail == WalTail::kTorn) {
     info.tail_truncated = true;
     AppendWarning(&info.warning, wal.warning);
+  }
+
+  // Instant restart: a clean shutdown leaves an empty WAL and a newest
+  // checkpoint that covers everything, so there is nothing to replay —
+  // mmap the checkpoint and serve it in place. Startup cost is the
+  // checksum verification pass, not an O(|E|) rebuild, and the graph pages
+  // in on demand. Any failure here (unmappable file, bad checksum, hostile
+  // structure) drops through to the decode-and-rebuild path below, which
+  // also knows how to fall back to older checkpoints.
+  if (options.map_checkpoints && wal.records.empty() &&
+      wal.tail == WalTail::kClean) {
+    Result<SnapshotFile> mapped_file =
+        SnapshotFile::OpenMapped(ckpts.front().path);
+    Result<MappedGraph> mapped =
+        mapped_file.ok() ? SnapshotCodec::Open(std::move(mapped_file).value())
+                         : mapped_file.error();
+    if (mapped.ok()) {
+      MappedGraph m = std::move(mapped).value();
+      info.checkpoint_lsn = m.covered_lsn;
+      info.last_lsn = m.covered_lsn;
+      info.mapped = true;
+      Result<std::unique_ptr<WalFile>> wal_handle =
+          WalFile::OpenForAppend(store->wal_path_, wal.valid_bytes);
+      if (!wal_handle.ok()) return wal_handle.error();
+      store->wal_ = std::move(wal_handle).value();
+      store->next_lsn_ = m.covered_lsn + 1;
+      store->checkpoint_lsn_ = m.covered_lsn;
+      Opened out;
+      out.graph = std::move(m.graph);
+      out.snapshot = std::move(m.snapshot);
+      out.stats = std::move(m.stats);
+      out.info = std::move(info);
+      out.store = std::move(store);
+      return out;
+    }
+    AppendWarning(&info.warning, "mmap fast path unavailable (" +
+                                     ckpts.front().path + ": " +
+                                     mapped.error().message() +
+                                     "); rebuilding");
   }
 
   // Newest checkpoint that decodes wins; unreadable ones are warned about
@@ -201,11 +242,10 @@ Result<DurableStore::Opened> DurableStore::Open(
   store->next_lsn_ = last_lsn + 1;
   store->checkpoint_lsn_ = ckpt.covered_lsn;
 
-  Opened out;
   // Materialize through the merger even when nothing replayed: its
   // base-id-order preseeding keeps every interner id — and therefore every
   // rendered byte — identical to the pre-crash state.
-  out.graph = GraphDeltaMerger::Materialize(overlay);
+  PropertyGraph rebuilt = GraphDeltaMerger::Materialize(overlay);
 
   // Checkpoint-on-recovery: fold the replayed state and truncate the log,
   // making recovery idempotent and physically discarding any torn tail.
@@ -213,10 +253,12 @@ Result<DurableStore::Opened> DurableStore::Open(
   bool already_clean = wal.records.empty() && wal.tail == WalTail::kClean &&
                        ckpts.front().covered_lsn == ckpt.covered_lsn;
   if (!already_clean) {
-    Result<bool> ck = store->WriteCheckpoint(out.graph, last_lsn, {});
+    Result<bool> ck = store->WriteCheckpoint(rebuilt, last_lsn, {});
     if (!ck.ok()) return ck.error();
   }
 
+  Opened out;
+  out.graph = std::make_shared<const PropertyGraph>(std::move(rebuilt));
   out.info = std::move(info);
   out.store = std::move(store);
   return out;
@@ -287,7 +329,7 @@ Result<bool> DurableStore::WriteCheckpointImpl(
   //    log stays live until the rename, so a crash anywhere in between
   //    recovers from {new checkpoint, old WAL} — replay just skips the
   //    records the checkpoint already covers.
-  std::string wal_image(kWalMagic, kWalMagicBytes);
+  std::string wal_image = WalFileHeader();
   for (const WalRecord& rec : residual) {
     AppendWalRecord(&wal_image, rec.lsn, rec.ops);
   }

@@ -11,6 +11,11 @@
 #include "src/storage/wal.h"
 #include "src/util/result.h"
 
+namespace gqzoo {
+class GraphSnapshot;
+class SnapshotStats;
+}  // namespace gqzoo
+
 namespace gqzoo::storage {
 
 /// Durability knobs, embedded in `QueryEngine::Options`.
@@ -26,6 +31,12 @@ struct DurabilityOptions {
   /// Checkpoint files retained (newest first); older ones are pruned after
   /// each successful checkpoint.
   size_t keep_checkpoints = 2;
+  /// On a clean restart (empty WAL, intact newest checkpoint), mmap the
+  /// checkpoint and serve it in place instead of decoding and rebuilding —
+  /// time-to-first-query becomes O(verify) instead of O(rebuild), and
+  /// graphs larger than RAM page on demand. Any mapping or validation
+  /// failure silently falls back to the rebuild path.
+  bool map_checkpoints = true;
 };
 
 /// What `DurableStore::Open` found and did. Surfaced through
@@ -40,6 +51,9 @@ struct RecoveryInfo {
   /// A torn tail was detected and truncated (crash mid-append; the cut
   /// records were never acked).
   bool tail_truncated = false;
+  /// The checkpoint was memory-mapped and served in place (the instant
+  /// restart path) rather than decoded into a rebuilt graph.
+  bool mapped = false;
   /// Human-readable notes: torn-tail details, checkpoint fallbacks.
   std::string warning;
 };
@@ -57,12 +71,15 @@ struct RecoveryInfo {
 ///     fsync(dir), so a crash never leaves a half-written file under a
 ///     live name; only the WAL's appended tail can be torn.
 ///
-/// Recovery (`Open` on a non-empty dir): load the newest checkpoint that
-/// decodes (falling back to older ones with a warning), replay the WAL
-/// tail through a `DeltaOverlay`, verify LSN continuity against the
-/// checkpoint, then write a fresh checkpoint + empty WAL so recovery is
-/// idempotent and torn tails are physically removed. Torn tail ⇒ truncate
-/// + warn; anything else wrong ⇒ `kDataLoss`, refuse to serve.
+/// Recovery (`Open` on a non-empty dir): when the WAL is empty and clean,
+/// the newest checkpoint is simply mmap'd and served in place (instant
+/// restart — see `DurabilityOptions::map_checkpoints`). Otherwise: load
+/// the newest checkpoint that decodes (falling back to older ones with a
+/// warning), replay the WAL tail through a `DeltaOverlay`, verify LSN
+/// continuity against the checkpoint, then write a fresh checkpoint +
+/// empty WAL so recovery is idempotent and torn tails are physically
+/// removed. Torn tail ⇒ truncate + warn; anything else wrong ⇒
+/// `kDataLoss`, refuse to serve.
 ///
 /// Not thread-safe; the engine serializes all calls behind its write lock.
 class DurableStore {
@@ -70,7 +87,14 @@ class DurableStore {
   struct Opened {
     std::unique_ptr<DurableStore> store;
     /// The recovered graph (or `initial` when the directory was fresh).
-    PropertyGraph graph;
+    /// On the mapped fast path its accessors read the checkpoint file in
+    /// place; otherwise it is a plain rebuilt graph.
+    std::shared_ptr<const PropertyGraph> graph;
+    /// Set only on the mapped fast path (`info.mapped`): the CSR snapshot
+    /// and planner statistics loaded straight from the checkpoint, so the
+    /// engine can skip its O(|E|) snapshot build too.
+    std::shared_ptr<const GraphSnapshot> snapshot;
+    std::shared_ptr<const SnapshotStats> stats;
     RecoveryInfo info;
   };
 

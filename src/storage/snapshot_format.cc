@@ -1,0 +1,744 @@
+#include "src/storage/snapshot_format.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "src/storage/crc32c.h"
+
+namespace gqzoo::storage {
+
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "the snapshot format stores arrays raw; big-endian hosts "
+              "would need byte-swapping codecs");
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+template <typename T>
+std::string RawBytes(const T* data, size_t count) {
+  return std::string(reinterpret_cast<const char*>(data), count * sizeof(T));
+}
+
+template <typename T>
+std::string RawBytes(const std::vector<T>& v) {
+  return RawBytes(v.data(), v.size());
+}
+
+Error Corrupt(const std::string& what) {
+  return Error(ErrorCode::kDataLoss, "snapshot corrupt: " + what);
+}
+
+/// Serializes `count` strings produced by `name_of(i)` as an offsets array
+/// plus a character heap.
+template <typename NameFn>
+void EncodeNames(size_t count, NameFn&& name_of, std::string* offsets,
+                 std::string* heap) {
+  uint64_t at = 0;
+  PutU64(offsets, 0);
+  for (size_t i = 0; i < count; ++i) {
+    std::string_view name = name_of(i);
+    heap->append(name.data(), name.size());
+    at += name.size();
+    PutU64(offsets, at);
+  }
+}
+
+/// Ids 0..count-1 sorted by their display name (the mapped-mode
+/// find-by-name index).
+template <typename NameFn>
+std::vector<uint32_t> IdsByName(size_t count, NameFn&& name_of) {
+  std::vector<uint32_t> ids(count);
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    return name_of(a) < name_of(b);
+  });
+  return ids;
+}
+
+/// Checks that `offsets` is a valid name directory over a heap of
+/// `heap_size` bytes: starts at zero, never decreases, ends at the heap end.
+bool ValidNameOffsets(const ConstSpan<uint64_t>& offsets, size_t expect_count,
+                      size_t heap_size) {
+  if (offsets.size() != expect_count + 1) return false;
+  if (offsets[0] != 0) return false;
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i + 1] < offsets[i]) return false;
+  }
+  return offsets.back() == heap_size;
+}
+
+bool MonotoneEndingAt(const ConstSpan<uint32_t>& begin, size_t expect_count,
+                      uint64_t total) {
+  if (begin.size() != expect_count + 1) return false;
+  if (begin[0] != 0) return false;
+  for (size_t i = 0; i + 1 < begin.size(); ++i) {
+    if (begin[i + 1] < begin[i]) return false;
+  }
+  return begin.back() == total;
+}
+
+struct MmapPin {
+  void* addr = nullptr;
+  size_t length = 0;
+  ~MmapPin() {
+    if (addr != nullptr) ::munmap(addr, length);
+  }
+};
+
+/// Everything a mapped epoch keeps alive. The aliasing shared_ptrs in
+/// `MappedGraph` all point into one heap-allocated bundle, so the graph,
+/// snapshot, stats and file mapping share one lifetime.
+struct Bundle {
+  PropertyGraph graph;
+  std::unique_ptr<GraphSnapshot> snapshot;
+  std::unique_ptr<SnapshotStats> stats;
+};
+
+}  // namespace
+
+std::string BuildSnapshotHeader(std::vector<SnapshotRegion>* regions) {
+  uint64_t at = kSnapshotHeaderBytes +
+                regions->size() * kSnapshotRegionEntryBytes;
+  for (SnapshotRegion& r : *regions) {
+    r.offset = at;
+    at += SnapshotAlign8(r.length);
+  }
+  std::string table;
+  table.reserve(regions->size() * kSnapshotRegionEntryBytes);
+  for (const SnapshotRegion& r : *regions) {
+    PutU64(&table, r.id);
+    PutU64(&table, r.offset);
+    PutU64(&table, r.length);
+    PutU64(&table, r.crc);
+  }
+
+  std::string out;
+  out.reserve(kSnapshotHeaderBytes + table.size());
+  out.append(kSnapshotMagic, kSnapshotMagicBytes);
+  PutU32(&out, kSnapshotFormatVersion);
+  PutU32(&out, static_cast<uint32_t>(regions->size()));
+  // The header checksum covers every pre-region byte except the magic and
+  // itself: version, count, reserved, and the whole region table.
+  const uint32_t reserved = 0;
+  uint32_t crc = Crc32c(out.data() + kSnapshotMagicBytes, 8);
+  crc = Crc32cExtend(crc, &reserved, 4);
+  crc = Crc32cExtend(crc, table.data(), table.size());
+  PutU32(&out, crc);
+  PutU32(&out, reserved);
+  out.append(table);
+  return out;
+}
+
+std::string AssembleSnapshot(
+    const std::vector<std::pair<uint64_t, std::string>>& regions) {
+  static const char kPad[8] = {0};
+  std::vector<SnapshotRegion> table(regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const std::string& payload = regions[i].second;
+    table[i].id = regions[i].first;
+    table[i].length = payload.size();
+    uint32_t crc = Crc32c(payload.data(), payload.size());
+    size_t pad = SnapshotAlign8(payload.size()) - payload.size();
+    table[i].crc = Crc32cExtend(crc, kPad, pad);
+  }
+  std::string out = BuildSnapshotHeader(&table);
+  size_t total = table.empty() ? out.size()
+                               : table.back().offset +
+                                     SnapshotAlign8(table.back().length);
+  out.reserve(total);
+  for (const auto& [id, payload] : regions) {
+    out.append(payload);
+    out.append(SnapshotAlign8(payload.size()) - payload.size(), '\0');
+  }
+  return out;
+}
+
+Result<SnapshotFile> SnapshotFile::Validate(std::shared_ptr<const void> pin,
+                                            std::string_view data,
+                                            bool verify_crcs) {
+  if (data.size() < kSnapshotHeaderBytes ||
+      std::memcmp(data.data(), kSnapshotMagic, kSnapshotMagicBytes) != 0) {
+    return Corrupt("missing or damaged magic");
+  }
+  const char* p = data.data() + kSnapshotMagicBytes;
+  uint32_t version = ReadU32(p);
+  uint32_t count = ReadU32(p + 4);
+  uint32_t stored_crc = ReadU32(p + 8);
+  uint32_t reserved = ReadU32(p + 12);
+  if (version != kSnapshotFormatVersion) {
+    return Corrupt("format version " + std::to_string(version) +
+                   ", this build reads version " +
+                   std::to_string(kSnapshotFormatVersion));
+  }
+  const size_t table_at = kSnapshotHeaderBytes;
+  if (count > (data.size() - table_at) / kSnapshotRegionEntryBytes) {
+    return Corrupt("region table overruns the file");
+  }
+  const size_t table_bytes = count * kSnapshotRegionEntryBytes;
+  uint32_t crc = Crc32c(p, 8);
+  crc = Crc32cExtend(crc, &reserved, 4);
+  crc = Crc32cExtend(crc, data.data() + table_at, table_bytes);
+  if (crc != stored_crc) return Corrupt("header checksum mismatch");
+
+  SnapshotFile out;
+  out.table_.resize(count);
+  uint64_t expect = table_at + table_bytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    const char* e = data.data() + table_at + i * kSnapshotRegionEntryBytes;
+    SnapshotRegion& r = out.table_[i];
+    r.id = ReadU64(e);
+    r.offset = ReadU64(e + 8);
+    r.length = ReadU64(e + 16);
+    r.crc = ReadU64(e + 24);
+    if (r.offset != expect) {
+      return Corrupt("region " + std::to_string(r.id) +
+                     " is not at its declared offset");
+    }
+    if (r.length > data.size() - r.offset) {
+      return Corrupt("region " + std::to_string(r.id) +
+                     " overruns the file");
+    }
+    expect += SnapshotAlign8(r.length);
+  }
+  if (expect != data.size()) {
+    return Corrupt("file is " + std::to_string(data.size()) +
+                   " bytes, regions account for " + std::to_string(expect));
+  }
+  if (verify_crcs) {
+    for (const SnapshotRegion& r : out.table_) {
+      uint32_t got = Crc32c(data.data() + r.offset, SnapshotAlign8(r.length));
+      if (got != static_cast<uint32_t>(r.crc)) {
+        return Corrupt("region " + std::to_string(r.id) +
+                       " checksum mismatch");
+      }
+    }
+  }
+  out.pin_ = std::move(pin);
+  out.data_ = data;
+  return out;
+}
+
+Result<SnapshotFile> SnapshotFile::OpenMapped(const std::string& path,
+                                              bool verify_crcs) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Error(ErrorCode::kGeneric, "cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Corrupt("empty file " + path);
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Error(ErrorCode::kGeneric, "mmap failed for " + path);
+  }
+  auto owner = std::make_shared<MmapPin>();
+  owner->addr = addr;
+  owner->length = size;
+  return Validate(owner,
+                  std::string_view(static_cast<const char*>(addr), size),
+                  verify_crcs);
+}
+
+Result<SnapshotFile> SnapshotFile::FromBytes(std::string bytes,
+                                             bool verify_crcs) {
+  auto owner = std::make_shared<std::string>(std::move(bytes));
+  return Validate(owner, std::string_view(*owner), verify_crcs);
+}
+
+std::string_view SnapshotFile::Region(uint64_t id) const {
+  for (const SnapshotRegion& r : table_) {
+    if (r.id == id) return data_.substr(r.offset, r.length);
+  }
+  return {};
+}
+
+std::string SnapshotCodec::EncodeSnapshot(const PropertyGraph& g,
+                                          uint64_t covered_lsn) {
+  GraphSnapshot snapshot(g);
+  SnapshotStats stats(snapshot);
+  return EncodeSnapshot(g, snapshot, stats, covered_lsn);
+}
+
+std::string SnapshotCodec::EncodeSnapshot(const PropertyGraph& g,
+                                          const GraphSnapshot& snapshot,
+                                          const SnapshotStats& stats,
+                                          uint64_t covered_lsn) {
+  const size_t num_nodes = g.NumNodes();
+  const size_t num_edges = g.NumEdges();
+  const size_t num_labels = g.skeleton().NumLabels();
+  const size_t num_props = g.NumProperties();
+
+  std::vector<std::pair<uint64_t, std::string>> regions;
+  auto add = [&regions](uint64_t id, std::string bytes) {
+    regions.emplace_back(id, std::move(bytes));
+  };
+
+  std::string meta;
+  PutU64(&meta, covered_lsn);
+  PutU64(&meta, num_nodes);
+  PutU64(&meta, num_edges);
+  PutU64(&meta, num_labels);
+  PutU64(&meta, num_props);
+  PutU64(&meta, snapshot.has_node_labels() ? 1 : 0);
+  add(kRegionMeta, std::move(meta));
+
+  // Skeleton. Edges are rebuilt through accessors so overlay and mapped
+  // sources serialize identically to plain ones.
+  std::vector<EdgeLabeledGraph::EdgeData> edges(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    edges[e] = {g.Src(e), g.Tgt(e), g.EdgeLabel(e)};
+  }
+  add(kRegionEdges, RawBytes(edges));
+  std::vector<LabelId> node_labels(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) node_labels[n] = g.NodeLabel(n);
+  add(kRegionNodeLabels, RawBytes(node_labels));
+
+  // Name tables: interners, display names, and the sorted find-by-name
+  // indexes.
+  std::string offsets, heap;
+  EncodeNames(num_labels,
+              [&g](size_t l) -> std::string_view {
+                return g.LabelName(static_cast<LabelId>(l));
+              },
+              &offsets, &heap);
+  add(kRegionLabelNameOffsets, std::move(offsets));
+  add(kRegionLabelNameHeap, std::move(heap));
+  offsets.clear();
+  heap.clear();
+  EncodeNames(num_props,
+              [&g](size_t p) -> std::string_view {
+                return g.PropertyName(static_cast<PropertyId>(p));
+              },
+              &offsets, &heap);
+  add(kRegionPropNameOffsets, std::move(offsets));
+  add(kRegionPropNameHeap, std::move(heap));
+  offsets.clear();
+  heap.clear();
+  auto node_name = [&g](size_t n) {
+    return g.NodeName(static_cast<NodeId>(n));
+  };
+  EncodeNames(num_nodes, node_name, &offsets, &heap);
+  add(kRegionNodeNameOffsets, std::move(offsets));
+  add(kRegionNodeNameHeap, std::move(heap));
+  add(kRegionNodesByName, RawBytes(IdsByName(num_nodes, node_name)));
+  offsets.clear();
+  heap.clear();
+  auto edge_name = [&g](size_t e) {
+    return g.EdgeName(static_cast<EdgeId>(e));
+  };
+  EncodeNames(num_edges, edge_name, &offsets, &heap);
+  add(kRegionEdgeNameOffsets, std::move(offsets));
+  add(kRegionEdgeNameHeap, std::move(heap));
+  add(kRegionEdgesByName, RawBytes(IdsByName(num_edges, edge_name)));
+
+  // The CSR, written raw from the snapshot's views (owned or mapped alike).
+  auto add_csr = [&add](const GraphSnapshot::CsrView& csr, uint64_t hops_id,
+                        uint64_t begin_id, uint64_t runs_id,
+                        uint64_t runs_begin_id) {
+    add(hops_id, RawBytes(csr.hops.data(), csr.hops.size()));
+    add(begin_id, RawBytes(csr.node_begin.data(), csr.node_begin.size()));
+    add(runs_id, RawBytes(csr.runs.data(), csr.runs.size()));
+    add(runs_begin_id, RawBytes(csr.runs_begin.data(), csr.runs_begin.size()));
+  };
+  add_csr(snapshot.out_, kRegionOutHops, kRegionOutNodeBegin, kRegionOutRuns,
+          kRegionOutRunsBegin);
+  add_csr(snapshot.in_, kRegionInHops, kRegionInNodeBegin, kRegionInRuns,
+          kRegionInRunsBegin);
+  add(kRegionLabelEdges,
+      RawBytes(snapshot.label_edges_.data(), snapshot.label_edges_.size()));
+  add(kRegionLabelBegin,
+      RawBytes(snapshot.label_begin_.data(), snapshot.label_begin_.size()));
+  add(kRegionNodesByLabel, RawBytes(snapshot.nodes_by_label_.data(),
+                                    snapshot.nodes_by_label_.size()));
+  add(kRegionNodesByLabelBegin,
+      RawBytes(snapshot.nodes_by_label_begin_.data(),
+               snapshot.nodes_by_label_begin_.size()));
+
+  // Properties: per-object entry runs sorted by pid, node entries first,
+  // then edge entries; string payloads live in the value heap.
+  std::string node_begin, edge_begin, entries, value_heap;
+  uint64_t entry_count = 0;
+  auto add_object = [&](ObjectRef o) {
+    for (auto& [pid, value] : g.PropertiesOf(o)) {
+      SnapshotPropEntry entry;
+      entry.pid = pid;
+      if (value.is_int()) {
+        entry.tag = 0;
+        entry.payload = static_cast<uint64_t>(value.as_int());
+      } else if (value.is_double()) {
+        entry.tag = 1;
+        double d = value.as_double();
+        std::memcpy(&entry.payload, &d, sizeof(d));
+      } else if (value.is_string()) {
+        entry.tag = 2;
+        const std::string& s = value.as_string();
+        entry.payload = value_heap.size() |
+                        (static_cast<uint64_t>(s.size()) << 32);
+        value_heap.append(s);
+      } else {
+        entry.tag = 3;
+        entry.payload = value.as_bool() ? 1 : 0;
+      }
+      entries.append(reinterpret_cast<const char*>(&entry), sizeof(entry));
+      ++entry_count;
+    }
+  };
+  PutU64(&node_begin, 0);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    add_object(ObjectRef::Node(n));
+    PutU64(&node_begin, entry_count);
+  }
+  PutU64(&edge_begin, entry_count);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    add_object(ObjectRef::Edge(e));
+    PutU64(&edge_begin, entry_count);
+  }
+  add(kRegionNodePropBegin, std::move(node_begin));
+  add(kRegionEdgePropBegin, std::move(edge_begin));
+  add(kRegionPropEntries, std::move(entries));
+  add(kRegionValueHeap, std::move(value_heap));
+
+  std::string stat_bytes;
+  stat_bytes.reserve((4 * num_labels + 2) * 8);
+  stat_bytes.append(RawBytes(stats.edge_count_));
+  stat_bytes.append(RawBytes(stats.distinct_src_));
+  stat_bytes.append(RawBytes(stats.distinct_tgt_));
+  stat_bytes.append(RawBytes(stats.node_label_count_));
+  PutU64(&stat_bytes, stats.any_src_);
+  PutU64(&stat_bytes, stats.any_tgt_);
+  add(kRegionStats, std::move(stat_bytes));
+
+  return AssembleSnapshot(regions);
+}
+
+namespace {
+
+/// Region-length bookkeeping for `Open`: every expected region must be
+/// present with a length derivable from the META counts.
+struct RegionCheck {
+  uint64_t id;
+  uint64_t expect_len;
+  const char* what;
+};
+
+bool ValidHops(const ConstSpan<GraphSnapshot::Hop>& hops, size_t num_nodes,
+               size_t num_edges) {
+  for (const GraphSnapshot::Hop& h : hops) {
+    if (h.edge >= num_edges || h.node >= num_nodes) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<MappedGraph> SnapshotCodec::Open(SnapshotFile file) {
+  ConstSpan<uint64_t> meta = file.TypedRegion<uint64_t>(kRegionMeta);
+  if (meta.size() != 6) return Corrupt("meta region malformed");
+  const uint64_t covered_lsn = meta[0];
+  const size_t num_nodes = meta[1];
+  const size_t num_edges = meta[2];
+  const size_t num_labels = meta[3];
+  const size_t num_props = meta[4];
+  const bool has_node_labels = meta[5] != 0;
+  if (num_nodes > kInvalidId || num_edges > kInvalidId ||
+      num_labels > kInvalidId || num_props > kInvalidId) {
+    return Corrupt("object counts exceed the 32-bit id space");
+  }
+
+  // Pull every region through typed views and check their sizes against
+  // the META counts before anything dereferences them.
+  const auto hops_out = file.TypedRegion<GraphSnapshot::Hop>(kRegionOutHops);
+  const auto hops_in = file.TypedRegion<GraphSnapshot::Hop>(kRegionInHops);
+  const auto label_edges =
+      file.TypedRegion<GraphSnapshot::Hop>(kRegionLabelEdges);
+  const auto runs_out =
+      file.TypedRegion<GraphSnapshot::LabelRun>(kRegionOutRuns);
+  const auto runs_in = file.TypedRegion<GraphSnapshot::LabelRun>(kRegionInRuns);
+  const auto edges = file.TypedRegion<EdgeLabeledGraph::EdgeData>(kRegionEdges);
+  const auto node_labels = file.TypedRegion<LabelId>(kRegionNodeLabels);
+  const auto entries = file.TypedRegion<SnapshotPropEntry>(kRegionPropEntries);
+
+  struct View {
+    ConstSpan<uint64_t> label_name_off, prop_name_off, node_name_off,
+        edge_name_off, node_prop_begin, edge_prop_begin, stats;
+    ConstSpan<uint32_t> out_begin, out_runs_begin, in_begin, in_runs_begin,
+        label_begin, nodes_by_label_begin;
+    ConstSpan<NodeId> nodes_by_name, nodes_by_label;
+    ConstSpan<EdgeId> edges_by_name;
+  } v;
+  v.label_name_off = file.TypedRegion<uint64_t>(kRegionLabelNameOffsets);
+  v.prop_name_off = file.TypedRegion<uint64_t>(kRegionPropNameOffsets);
+  v.node_name_off = file.TypedRegion<uint64_t>(kRegionNodeNameOffsets);
+  v.edge_name_off = file.TypedRegion<uint64_t>(kRegionEdgeNameOffsets);
+  v.node_prop_begin = file.TypedRegion<uint64_t>(kRegionNodePropBegin);
+  v.edge_prop_begin = file.TypedRegion<uint64_t>(kRegionEdgePropBegin);
+  v.stats = file.TypedRegion<uint64_t>(kRegionStats);
+  v.out_begin = file.TypedRegion<uint32_t>(kRegionOutNodeBegin);
+  v.out_runs_begin = file.TypedRegion<uint32_t>(kRegionOutRunsBegin);
+  v.in_begin = file.TypedRegion<uint32_t>(kRegionInNodeBegin);
+  v.in_runs_begin = file.TypedRegion<uint32_t>(kRegionInRunsBegin);
+  v.label_begin = file.TypedRegion<uint32_t>(kRegionLabelBegin);
+  v.nodes_by_label_begin = file.TypedRegion<uint32_t>(kRegionNodesByLabelBegin);
+  v.nodes_by_name = file.TypedRegion<NodeId>(kRegionNodesByName);
+  v.nodes_by_label = file.TypedRegion<NodeId>(kRegionNodesByLabel);
+  v.edges_by_name = file.TypedRegion<EdgeId>(kRegionEdgesByName);
+
+  if (edges.size() != num_edges) return Corrupt("edge table size mismatch");
+  if (node_labels.size() != num_nodes) {
+    return Corrupt("node label table size mismatch");
+  }
+  if (v.nodes_by_name.size() != num_nodes ||
+      v.edges_by_name.size() != num_edges) {
+    return Corrupt("find-by-name index size mismatch");
+  }
+  if (hops_out.size() != num_edges || hops_in.size() != num_edges ||
+      label_edges.size() != num_edges) {
+    return Corrupt("CSR hop array size mismatch");
+  }
+  if (v.stats.size() != 4 * num_labels + 2) {
+    return Corrupt("stats region size mismatch");
+  }
+  const std::string_view label_heap = file.Region(kRegionLabelNameHeap);
+  const std::string_view prop_heap = file.Region(kRegionPropNameHeap);
+  const std::string_view node_heap = file.Region(kRegionNodeNameHeap);
+  const std::string_view edge_heap = file.Region(kRegionEdgeNameHeap);
+  const std::string_view value_heap = file.Region(kRegionValueHeap);
+  if (!ValidNameOffsets(v.label_name_off, num_labels, label_heap.size()) ||
+      !ValidNameOffsets(v.prop_name_off, num_props, prop_heap.size()) ||
+      !ValidNameOffsets(v.node_name_off, num_nodes, node_heap.size()) ||
+      !ValidNameOffsets(v.edge_name_off, num_edges, edge_heap.size())) {
+    return Corrupt("name directory malformed");
+  }
+  if (!MonotoneEndingAt(v.out_begin, num_nodes, num_edges) ||
+      !MonotoneEndingAt(v.in_begin, num_nodes, num_edges) ||
+      !MonotoneEndingAt(v.out_runs_begin, num_nodes, runs_out.size()) ||
+      !MonotoneEndingAt(v.in_runs_begin, num_nodes, runs_in.size()) ||
+      !MonotoneEndingAt(v.label_begin, num_labels, num_edges)) {
+    return Corrupt("CSR extent array malformed");
+  }
+  if (has_node_labels &&
+      !MonotoneEndingAt(v.nodes_by_label_begin, num_labels,
+                        v.nodes_by_label.size())) {
+    return Corrupt("nodes-by-label extent array malformed");
+  }
+  if (!ValidHops(hops_out, num_nodes, num_edges) ||
+      !ValidHops(hops_in, num_nodes, num_edges) ||
+      !ValidHops(label_edges, num_nodes, num_edges)) {
+    return Corrupt("CSR hop out of range");
+  }
+  auto valid_runs = [num_labels, num_edges](
+                        const ConstSpan<GraphSnapshot::LabelRun>& runs) {
+    for (const GraphSnapshot::LabelRun& r : runs) {
+      if (r.label >= num_labels || r.begin > r.end || r.end > num_edges) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!valid_runs(runs_out) || !valid_runs(runs_in)) {
+    return Corrupt("CSR label run out of range");
+  }
+  for (const EdgeLabeledGraph::EdgeData& e : edges) {
+    if (e.src >= num_nodes || e.tgt >= num_nodes || e.label >= num_labels) {
+      return Corrupt("edge endpoint or label out of range");
+    }
+  }
+  for (LabelId l : node_labels) {
+    if (l >= num_labels) return Corrupt("node label out of range");
+  }
+  for (NodeId n : v.nodes_by_label) {
+    if (n >= num_nodes) return Corrupt("nodes-by-label id out of range");
+  }
+  for (NodeId n : v.nodes_by_name) {
+    if (n >= num_nodes) return Corrupt("nodes-by-name id out of range");
+  }
+  for (EdgeId e : v.edges_by_name) {
+    if (e >= num_edges) return Corrupt("edges-by-name id out of range");
+  }
+  // Node extents start at 0 and edge extents continue where they end; the
+  // combined directory must be monotone and cover the entry table exactly.
+  if (v.node_prop_begin.size() != num_nodes + 1 ||
+      v.edge_prop_begin.size() != num_edges + 1 ||
+      v.node_prop_begin[0] != 0 ||
+      v.edge_prop_begin[0] != v.node_prop_begin.back() ||
+      v.edge_prop_begin.back() != entries.size()) {
+    return Corrupt("property extent arrays malformed");
+  }
+  for (size_t i = 0; i + 1 < v.node_prop_begin.size(); ++i) {
+    if (v.node_prop_begin[i + 1] < v.node_prop_begin[i]) {
+      return Corrupt("node property extents malformed");
+    }
+  }
+  for (size_t i = 0; i + 1 < v.edge_prop_begin.size(); ++i) {
+    if (v.edge_prop_begin[i + 1] < v.edge_prop_begin[i]) {
+      return Corrupt("edge property extents malformed");
+    }
+  }
+  for (const SnapshotPropEntry& e : entries) {
+    if (e.pid >= num_props || e.tag > 3) {
+      return Corrupt("property entry malformed");
+    }
+    if (e.tag == 2) {
+      uint64_t offset = e.payload & 0xFFFFFFFFu;
+      uint64_t length = e.payload >> 32;
+      if (offset > value_heap.size() || length > value_heap.size() - offset) {
+        return Corrupt("string payload overruns the value heap");
+      }
+    }
+  }
+
+  auto bundle = std::make_shared<Bundle>();
+  PropertyGraph& graph = bundle->graph;
+
+  // Interners are materialized eagerly (labels and property names are the
+  // small tables); everything else reads the file in place.
+  auto heap_name = [](const ConstSpan<uint64_t>& off, std::string_view heap,
+                      size_t i) {
+    return std::string(heap.substr(off[i], off[i + 1] - off[i]));
+  };
+  for (size_t l = 0; l < num_labels; ++l) {
+    if (graph.skeleton_.labels_.Intern(
+            heap_name(v.label_name_off, label_heap, l)) != l) {
+      return Corrupt("duplicate label name");
+    }
+  }
+  for (size_t p = 0; p < num_props; ++p) {
+    if (graph.properties_.Intern(heap_name(v.prop_name_off, prop_heap, p)) !=
+        p) {
+      return Corrupt("duplicate property name");
+    }
+  }
+
+  auto skeleton = std::make_shared<EdgeLabeledGraph::MappedSkeleton>();
+  skeleton->pin = file.pin();
+  skeleton->num_nodes = num_nodes;
+  skeleton->edges = edges;
+  skeleton->node_name_offsets = v.node_name_off;
+  skeleton->node_name_heap = ConstSpan<char>(node_heap.data(),
+                                             node_heap.size());
+  skeleton->nodes_by_name = v.nodes_by_name;
+  skeleton->edge_name_offsets = v.edge_name_off;
+  skeleton->edge_name_heap = ConstSpan<char>(edge_heap.data(),
+                                             edge_heap.size());
+  skeleton->edges_by_name = v.edges_by_name;
+  graph.skeleton_.mapped_ = std::move(skeleton);
+
+  auto props = std::make_shared<PropertyGraph::MappedProps>();
+  props->pin = file.pin();
+  props->node_labels = node_labels;
+  props->node_prop_begin = v.node_prop_begin;
+  props->edge_prop_begin = v.edge_prop_begin;
+  props->entries = entries;
+  props->value_heap = ConstSpan<char>(value_heap.data(), value_heap.size());
+  graph.mapped_ = std::move(props);
+
+  bundle->snapshot.reset(new GraphSnapshot());
+  GraphSnapshot& snap = *bundle->snapshot;
+  snap.g_ = &graph.skeleton();
+  snap.num_nodes_ = num_nodes;
+  snap.num_labels_ = num_labels;
+  snap.has_node_labels_ = has_node_labels;
+  snap.out_ = {hops_out, v.out_begin, runs_out, v.out_runs_begin};
+  snap.in_ = {hops_in, v.in_begin, runs_in, v.in_runs_begin};
+  snap.label_edges_ = label_edges;
+  snap.label_begin_ = v.label_begin;
+  snap.nodes_by_label_ = v.nodes_by_label;
+  snap.nodes_by_label_begin_ = v.nodes_by_label_begin;
+  snap.pin_ = file.pin();
+
+  bundle->stats.reset(new SnapshotStats());
+  SnapshotStats& stats = *bundle->stats;
+  stats.num_nodes_ = num_nodes;
+  stats.num_edges_ = num_edges;
+  stats.num_labels_ = num_labels;
+  stats.has_node_labels_ = has_node_labels;
+  const uint64_t* s = v.stats.data();
+  stats.edge_count_.assign(s, s + num_labels);
+  stats.distinct_src_.assign(s + num_labels, s + 2 * num_labels);
+  stats.distinct_tgt_.assign(s + 2 * num_labels, s + 3 * num_labels);
+  stats.node_label_count_.assign(s + 3 * num_labels, s + 4 * num_labels);
+  stats.any_src_ = s[4 * num_labels];
+  stats.any_tgt_ = s[4 * num_labels + 1];
+
+  MappedGraph out;
+  out.graph = std::shared_ptr<const PropertyGraph>(bundle, &bundle->graph);
+  out.snapshot =
+      std::shared_ptr<const GraphSnapshot>(bundle, bundle->snapshot.get());
+  out.stats =
+      std::shared_ptr<const SnapshotStats>(bundle, bundle->stats.get());
+  out.covered_lsn = covered_lsn;
+  out.file_bytes = file.file_bytes();
+  return out;
+}
+
+Result<SnapshotCodec::DecodedSnapshot> SnapshotCodec::DecodeToPlain(
+    std::string_view bytes) {
+  Result<SnapshotFile> file = SnapshotFile::FromBytes(std::string(bytes));
+  if (!file.ok()) return file.error();
+  Result<MappedGraph> mapped = Open(std::move(file).value());
+  if (!mapped.ok()) return mapped.error();
+  const PropertyGraph& m = *mapped.value().graph;
+
+  DecodedSnapshot decoded;
+  decoded.covered_lsn = mapped.value().covered_lsn;
+  PropertyGraph& out = decoded.graph;
+  for (LabelId l = 0; l < m.skeleton().NumLabels(); ++l) {
+    out.InternLabel(m.LabelName(l));
+  }
+  for (PropertyId p = 0; p < m.NumProperties(); ++p) {
+    out.InternProperty(m.PropertyName(p));
+  }
+  for (NodeId n = 0; n < m.NumNodes(); ++n) {
+    std::string name(m.NodeName(n));
+    if (out.FindNode(name).has_value()) {
+      return Corrupt("duplicate node name '" + name + "'");
+    }
+    out.AddNode(name, m.LabelName(m.NodeLabel(n)));
+  }
+  for (EdgeId e = 0; e < m.NumEdges(); ++e) {
+    std::string name(m.EdgeName(e));
+    if (out.FindEdge(name).has_value()) {
+      return Corrupt("duplicate edge name '" + name + "'");
+    }
+    out.AddEdge(m.Src(e), m.Tgt(e), m.LabelName(m.EdgeLabel(e)), name);
+  }
+  m.ForEachProperty([&out, &m](ObjectRef o, PropertyId pid, const Value& v) {
+    out.SetProperty(o, m.PropertyName(pid), v);
+  });
+  return decoded;
+}
+
+}  // namespace gqzoo::storage

@@ -1,0 +1,192 @@
+#ifndef GQZOO_STORAGE_SNAPSHOT_FORMAT_H_
+#define GQZOO_STORAGE_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/graph.h"
+#include "src/planner/stats.h"
+#include "src/util/result.h"
+
+namespace gqzoo::storage {
+
+/// The on-disk snapshot format: one flat, little-endian, crc32c-sectioned
+/// file holding a whole graph epoch — skeleton, properties, the
+/// label-partitioned CSR, the nodes-by-label index, and planner statistics
+/// — laid out so every array can be used *in place*.
+///
+///     "GQZSNAP1"           8 bytes magic
+///     format_version       u32 (currently 1)
+///     region_count         u32
+///     header_crc           u32  crc32c of version..reserved + region table
+///     reserved             u32  (zero)
+///     region table         region_count x 32-byte entries
+///       { id u64, offset u64, length u64, crc u64 (low 32 bits used) }
+///     regions              each at its 8-aligned offset, padded to 8
+///
+/// Every multi-byte value is little-endian; arrays are the in-memory
+/// representations written raw (Hop, LabelRun, EdgeData and
+/// SnapshotPropEntry are static_asserted to their serialized sizes).
+/// Region offsets ascend and each region *owns* its padding: a region's
+/// crc32c covers align8(length) bytes, the header crc covers everything
+/// before the first region except the magic, and the total file size must
+/// equal header + sum of padded lengths — so every byte of the file is
+/// covered by exactly one checksum and any single-byte flip or truncation
+/// is detected.
+///
+/// A snapshot file loads two ways through one code path:
+///  * `SnapshotFile::OpenMapped` mmaps the file read-only; graph accessors
+///    then read the page cache directly (restart cost is O(verify), not
+///    O(rebuild), and graphs larger than RAM page on demand);
+///  * `SnapshotFile::FromBytes` adopts an in-memory image (e.g. read via
+///    the durability layer), byte-identical semantics.
+inline constexpr char kSnapshotMagic[] = "GQZSNAP1";
+inline constexpr size_t kSnapshotMagicBytes = 8;
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// magic + version + region_count + header_crc + reserved.
+inline constexpr size_t kSnapshotHeaderBytes = kSnapshotMagicBytes + 16;
+inline constexpr size_t kSnapshotRegionEntryBytes = 32;
+
+/// Region ids. Ids are stable on disk — append new ones, never renumber.
+enum SnapshotRegionId : uint64_t {
+  kRegionMeta = 1,  // u64[6]: covered_lsn, nodes, edges, labels, props,
+                    // has_node_labels
+  kRegionEdges = 2,             // EdgeData[num_edges]
+  kRegionNodeLabels = 3,        // LabelId[num_nodes]
+  kRegionLabelNameOffsets = 4,  // u64[num_labels + 1]
+  kRegionLabelNameHeap = 5,     // char[]
+  kRegionPropNameOffsets = 6,   // u64[num_props + 1]
+  kRegionPropNameHeap = 7,      // char[]
+  kRegionNodeNameOffsets = 8,   // u64[num_nodes + 1]
+  kRegionNodeNameHeap = 9,      // char[]
+  kRegionNodesByName = 10,      // NodeId[num_nodes], sorted by display name
+  kRegionEdgeNameOffsets = 11,  // u64[num_edges + 1]
+  kRegionEdgeNameHeap = 12,     // char[]
+  kRegionEdgesByName = 13,      // EdgeId[num_edges], sorted by display name
+  kRegionOutHops = 14,          // GraphSnapshot::Hop[num_edges]
+  kRegionOutNodeBegin = 15,     // u32[num_nodes + 1]
+  kRegionOutRuns = 16,          // GraphSnapshot::LabelRun[]
+  kRegionOutRunsBegin = 17,     // u32[num_nodes + 1]
+  kRegionInHops = 18,
+  kRegionInNodeBegin = 19,
+  kRegionInRuns = 20,
+  kRegionInRunsBegin = 21,
+  kRegionLabelEdges = 22,         // Hop[num_edges], grouped by label
+  kRegionLabelBegin = 23,         // u32[num_labels + 1]
+  kRegionNodesByLabel = 24,       // NodeId[], grouped by node label
+  kRegionNodesByLabelBegin = 25,  // u32[num_labels + 1]
+  kRegionNodePropBegin = 26,      // u64[num_nodes + 1], global entry offsets
+  kRegionEdgePropBegin = 27,      // u64[num_edges + 1], global entry offsets
+  kRegionPropEntries = 28,        // SnapshotPropEntry[]
+  kRegionValueHeap = 29,          // char[], string payloads
+  kRegionStats = 30,  // u64[4 * num_labels + 2]: edge_count, distinct_src,
+                      // distinct_tgt, node_label_count arrays, any_src,
+                      // any_tgt
+};
+
+/// One region-table entry, as stored.
+struct SnapshotRegion {
+  uint64_t id = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;  // unpadded payload length
+  uint64_t crc = 0;     // crc32c of the align8(length) padded extent
+};
+
+inline constexpr uint64_t SnapshotAlign8(uint64_t n) { return (n + 7) & ~7ull; }
+
+/// Builds the file header + region table for regions written in table
+/// order. Callers fill `id`, `length` and `crc` (over the padded extent);
+/// offsets are assigned here. The streaming half of the writer: the bulk
+/// loader spools region payloads to temp files, then emits this header
+/// followed by each padded payload.
+std::string BuildSnapshotHeader(std::vector<SnapshotRegion>* regions);
+
+/// Assembles a complete snapshot image from (id, payload) pairs, in order.
+std::string AssembleSnapshot(
+    const std::vector<std::pair<uint64_t, std::string>>& regions);
+
+/// A verified snapshot file image — mapped or in-memory — with region
+/// lookup. Move-only handle; the backing storage is pinned by a shared_ptr
+/// so graph views can outlive the handle.
+class SnapshotFile {
+ public:
+  /// mmaps `path` read-only. Verifies the header and, unless
+  /// `verify_crcs` is false, every region checksum (one linear pass).
+  static Result<SnapshotFile> OpenMapped(const std::string& path,
+                                         bool verify_crcs = true);
+  /// Adopts an in-memory image.
+  static Result<SnapshotFile> FromBytes(std::string bytes,
+                                        bool verify_crcs = true);
+
+  std::string_view Region(uint64_t id) const;
+  bool HasRegion(uint64_t id) const { return !Region(id).empty(); }
+  /// Typed view of a region; empty when absent or when the length is not a
+  /// multiple of sizeof(T).
+  template <typename T>
+  ConstSpan<T> TypedRegion(uint64_t id) const {
+    std::string_view r = Region(id);
+    if (r.size() % sizeof(T) != 0) return ConstSpan<T>();
+    return ConstSpan<T>(reinterpret_cast<const T*>(r.data()),
+                        r.size() / sizeof(T));
+  }
+
+  const std::shared_ptr<const void>& pin() const { return pin_; }
+  size_t file_bytes() const { return data_.size(); }
+
+ private:
+  static Result<SnapshotFile> Validate(std::shared_ptr<const void> pin,
+                                       std::string_view data,
+                                       bool verify_crcs);
+
+  std::shared_ptr<const void> pin_;
+  std::string_view data_;
+  std::vector<SnapshotRegion> table_;
+};
+
+/// A graph epoch reconstituted from a snapshot file: the property graph,
+/// its CSR snapshot and planner statistics, all reading the file image in
+/// place (`graph->is_mapped()`). The three aliasing pointers share one
+/// bundle that pins the mapping, so any of them keeps the epoch alive.
+struct MappedGraph {
+  std::shared_ptr<const PropertyGraph> graph;
+  std::shared_ptr<const GraphSnapshot> snapshot;
+  std::shared_ptr<const SnapshotStats> stats;
+  uint64_t covered_lsn = 0;
+  size_t file_bytes = 0;
+};
+
+/// Serializer/deserializer between graph epochs and snapshot files.
+/// Befriended by the graph classes: it reads their private arrays raw at
+/// encode time and plants region views at open time.
+class SnapshotCodec {
+ public:
+  /// Serializes `g` (any storage mode) plus a CSR snapshot and statistics
+  /// built over it into a snapshot image.
+  static std::string EncodeSnapshot(const PropertyGraph& g,
+                                    uint64_t covered_lsn);
+  /// As above, reusing an already built snapshot/stats pair (which must
+  /// have been built over `g`).
+  static std::string EncodeSnapshot(const PropertyGraph& g,
+                                    const GraphSnapshot& snapshot,
+                                    const SnapshotStats& stats,
+                                    uint64_t covered_lsn);
+
+  /// Reconstitutes an epoch whose accessors read `file` in place.
+  static Result<MappedGraph> Open(SnapshotFile file);
+
+  struct DecodedSnapshot {
+    PropertyGraph graph;
+    uint64_t covered_lsn = 0;
+  };
+  /// Rebuilds a plain, mutable PropertyGraph (id-faithful: labels,
+  /// properties, nodes and edges intern in file order).
+  static Result<DecodedSnapshot> DecodeToPlain(std::string_view bytes);
+};
+
+}  // namespace gqzoo::storage
+
+#endif  // GQZOO_STORAGE_SNAPSHOT_FORMAT_H_

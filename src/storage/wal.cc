@@ -66,6 +66,12 @@ Error IoError(const std::string& what, const std::string& path) {
 
 }  // namespace
 
+std::string WalFileHeader() {
+  std::string out(kWalMagic, kWalMagicBytes);
+  PutU32(&out, kWalFormatVersion);
+  return out;
+}
+
 std::string EncodeWalPayload(uint64_t lsn, const std::vector<MutationOp>& ops) {
   std::string payload;
   PutU64(&payload, lsn);
@@ -91,8 +97,20 @@ Result<WalDecodeResult> DecodeWal(std::string_view bytes) {
                  "WAL magic mismatch: file is not a gqzoo write-ahead log "
                  "(or its first bytes were destroyed)");
   }
+  if (bytes.size() < kWalHeaderBytes) {
+    return Error(ErrorCode::kDataLoss,
+                 "WAL header is truncated before its format version");
+  }
+  uint32_t version = GetU32(bytes, kWalMagicBytes);
+  if (version != kWalFormatVersion) {
+    return Error(ErrorCode::kDataLoss,
+                 "WAL format version " + std::to_string(version) +
+                     "; this build reads version " +
+                     std::to_string(kWalFormatVersion) +
+                     " — refusing to guess at the record encoding");
+  }
   WalDecodeResult out;
-  size_t off = kWalMagicBytes;
+  size_t off = kWalHeaderBytes;
   uint64_t prev_lsn = 0;
   while (off < bytes.size()) {
     size_t rec_start = off;
@@ -189,12 +207,13 @@ WalFile::~WalFile() {
 Result<std::unique_ptr<WalFile>> WalFile::Create(const std::string& path) {
   int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
   if (fd < 0) return IoError("cannot create WAL", path);
-  if (!WriteAll(fd, kWalMagic, kWalMagicBytes) || ::fsync(fd) != 0) {
+  std::string header = WalFileHeader();
+  if (!WriteAll(fd, header.data(), header.size()) || ::fsync(fd) != 0) {
     Error e = IoError("cannot initialize WAL", path);
     ::close(fd);
     return e;
   }
-  return std::unique_ptr<WalFile>(new WalFile(path, fd, kWalMagicBytes));
+  return std::unique_ptr<WalFile>(new WalFile(path, fd, header.size()));
 }
 
 Result<std::unique_ptr<WalFile>> WalFile::OpenForAppend(const std::string& path,

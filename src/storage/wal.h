@@ -17,11 +17,17 @@ namespace gqzoo::storage {
 ///
 ///     +--------------------------+
 ///     | magic "GQZWAL1\n"  (8 B) |
+///     | format_version (u32)     |
 ///     +--------------------------+
 ///     | record 0                 |
 ///     | record 1                 |
 ///     | ...                      |
 ///     +--------------------------+
+///
+/// The explicit version field pins the record encoding: a log written by a
+/// build with a different format is `kDataLoss` up front, never a garbled
+/// replay (version 2 introduced the field itself; version-1 logs had bare
+/// magic and are rejected the same way).
 ///
 /// Each record frames the *applied prefix* of one mutation batch (the write
 /// path logs exactly the ops that succeeded, so replay is all-or-nothing
@@ -51,6 +57,13 @@ namespace gqzoo::storage {
 
 inline constexpr char kWalMagic[] = "GQZWAL1\n";
 inline constexpr size_t kWalMagicBytes = 8;
+/// Bumped whenever the record encoding changes shape.
+inline constexpr uint32_t kWalFormatVersion = 2;
+/// Full file header: magic + u32 format_version. Records start here.
+inline constexpr size_t kWalHeaderBytes = kWalMagicBytes + 4;
+
+/// The exact header bytes of an empty log at the current version.
+std::string WalFileHeader();
 /// Per-record frame header: u32 payload_len + u32 crc.
 inline constexpr size_t kWalFrameBytes = 8;
 /// Payload always starts with the u64 lsn.

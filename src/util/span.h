@@ -1,0 +1,41 @@
+#ifndef GQZOO_UTIL_SPAN_H_
+#define GQZOO_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gqzoo {
+
+/// A borrowed, read-only view of a contiguous array — the one pointer+size
+/// shape both storage modes of the snapshot substrate produce. Owned
+/// snapshots point spans at their vectors; memory-mapped snapshots point
+/// them straight into the mapped file. Everything downstream (slices,
+/// evaluators, stats) reads through spans and cannot tell the difference.
+///
+/// Deliberately minimal (no std::span dependency in public graph headers,
+/// and trivially copyable so views of views stay cheap). The viewed storage
+/// must outlive the span; owners pin mapped files via shared_ptr.
+template <typename T>
+class ConstSpan {
+ public:
+  ConstSpan() : data_(nullptr), size_(0) {}
+  ConstSpan(const T* data, size_t size) : data_(data), size_(size) {}
+  ConstSpan(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_;
+  size_t size_;
+};
+
+}  // namespace gqzoo
+
+#endif  // GQZOO_UTIL_SPAN_H_

@@ -208,9 +208,9 @@ TEST(CrpqEvalTest, JoinAcrossAtomsIsConsistent) {
         for (EdgeId e3 = 0; e3 < g.NumEdges(); ++e3) {
           if (g.EdgeLabel(e3) != *la) continue;
           if (g.Src(e3) != g.Src(e1) || g.Tgt(e3) != g.Tgt(e2)) continue;
-          expected.insert(g.NodeName(g.Src(e1)) + "," +
-                          g.NodeName(g.Tgt(e1)) + "," +
-                          g.NodeName(g.Tgt(e2)));
+          expected.insert(std::string(g.NodeName(g.Src(e1))) + "," +
+                          std::string(g.NodeName(g.Tgt(e1))) + "," +
+                          std::string(g.NodeName(g.Tgt(e2))));
         }
       }
     }

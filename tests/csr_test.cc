@@ -137,8 +137,12 @@ TEST(GraphSnapshotTest, NodeLabelIndexFromPropertyGraph) {
   EXPECT_TRUE(snap.has_node_labels());
   LabelId account = *g.FindLabel("Account");
   LabelId person = *g.FindLabel("Person");
-  EXPECT_EQ(snap.NodesWithLabel(account), (std::vector<NodeId>{a, c}));
-  EXPECT_EQ(snap.NodesWithLabel(person), (std::vector<NodeId>{b}));
+  auto accounts = snap.NodesWithLabel(account);
+  EXPECT_EQ(std::vector<NodeId>(accounts.begin(), accounts.end()),
+            (std::vector<NodeId>{a, c}));
+  auto persons = snap.NodesWithLabel(person);
+  EXPECT_EQ(std::vector<NodeId>(persons.begin(), persons.end()),
+            (std::vector<NodeId>{b}));
 
   GraphSnapshot skeleton_only(g.skeleton());
   EXPECT_FALSE(skeleton_only.has_node_labels());

@@ -429,7 +429,7 @@ TEST(DlCrpqTest, JoinWithDataTests) {
   // connected).
   std::set<std::string> ys;
   for (const auto& row : r.value().rows) {
-    ys.insert(g.NodeName(std::get<NodeId>(row[1])));
+    ys.insert(std::string(g.NodeName(std::get<NodeId>(row[1]))));
   }
   EXPECT_EQ(ys, (std::set<std::string>{"a6"}));
   EXPECT_EQ(r.value().rows.size(), 6u);

@@ -138,8 +138,8 @@ TEST(TwoWayEvalTest, CrpqWithInverseAtoms) {
   // (a2, a3) and (a3, a2).
   std::set<std::string> rows;
   for (const auto& row : r.value().rows) {
-    rows.insert(g.NodeName(std::get<NodeId>(row[0])) + "->" +
-                g.NodeName(std::get<NodeId>(row[1])));
+    rows.insert(std::string(g.NodeName(std::get<NodeId>(row[0]))) + "->" +
+                std::string(g.NodeName(std::get<NodeId>(row[1]))));
   }
   EXPECT_TRUE(rows.count("a2->a3"));
   EXPECT_TRUE(rows.count("a3->a2"));

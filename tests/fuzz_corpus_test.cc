@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "src/fuzz/crash_oracle.h"
 #include "src/fuzz/metamorphic.h"
 #include "src/fuzz/minimize.h"
+#include "src/fuzz/mutation_gen.h"
 #include "src/fuzz/oracle.h"
 #include "src/util/thread_pool.h"
 
@@ -62,6 +64,12 @@ TEST(FuzzCorpusTest, EveryCaseReplaysClean) {
     options.engine = &engine;
     options.pool = &pool;
     OracleReport report = RunOracle(c.value(), options);
+    if (report.ok() && !c.value().mutations.empty()) {
+      RunMutationOracle(c.value(), options, &report);
+    }
+    if (report.ok() && !c.value().mutations.empty()) {
+      RunCrashOracle(c.value(), &report);
+    }
     if (report.ok()) {
       FuzzRng rng = FuzzRng(c.value().seed).Fork(7);
       RunMetamorphic(c.value(), &rng, options, &report);

@@ -22,8 +22,8 @@ std::set<std::string> PairRows(const EdgeLabeledGraph& g,
                                const CrpqResult& r) {
   std::set<std::string> out;
   for (const auto& row : r.rows) {
-    out.insert(g.NodeName(std::get<NodeId>(row[0])) + "->" +
-               g.NodeName(std::get<NodeId>(row[1])));
+    out.insert(std::string(g.NodeName(std::get<NodeId>(row[0]))) + "->" +
+               std::string(g.NodeName(std::get<NodeId>(row[1]))));
   }
   return out;
 }

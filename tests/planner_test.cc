@@ -39,11 +39,11 @@ using testing_util::Rx;
 PropertyGraph ToPropertyGraph(const EdgeLabeledGraph& g) {
   PropertyGraph pg;
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
-    pg.AddNode(g.NodeName(v), "N");
+    pg.AddNode(std::string(g.NodeName(v)), "N");
   }
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
     pg.AddEdge(g.Src(e), g.Tgt(e), g.LabelName(g.EdgeLabel(e)),
-               g.EdgeName(e));
+               std::string(g.EdgeName(e)));
   }
   return pg;
 }

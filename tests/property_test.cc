@@ -64,13 +64,13 @@ TEST(GraphIoPropertyTest, RandomGraphsRoundTrip) {
     ASSERT_EQ(h.NumEdges(), g.NumEdges());
     // Structure and properties survive (names identify elements).
     for (NodeId n = 0; n < g.NumNodes(); ++n) {
-      NodeId m = *h.FindNode(g.NodeName(n));
+      NodeId m = *h.FindNode(std::string(g.NodeName(n)));
       EXPECT_EQ(h.LabelName(h.NodeLabel(m)), g.LabelName(g.NodeLabel(n)));
       EXPECT_EQ(h.GetProperty(ObjectRef::Node(m), "k"),
                 g.GetProperty(ObjectRef::Node(n), "k"));
     }
     for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-      EdgeId f = *h.FindEdge(g.EdgeName(e));
+      EdgeId f = *h.FindEdge(std::string(g.EdgeName(e)));
       EXPECT_EQ(h.NodeName(h.Src(f)), g.NodeName(g.Src(e)));
       EXPECT_EQ(h.NodeName(h.Tgt(f)), g.NodeName(g.Tgt(e)));
       EXPECT_EQ(h.GetProperty(ObjectRef::Edge(f), "k"),

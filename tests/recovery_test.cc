@@ -136,10 +136,75 @@ TEST(RecoveryTest, RecoveryIsIdempotent) {
     EXPECT_EQ(Render(*engine), expected) << "round " << round;
   }
   // After the first recovery wrote its checkpoint, later opens find the
-  // directory already clean and replay nothing.
+  // directory already clean and replay nothing — and take the instant
+  // restart path: the checkpoint is mmap'd and served in place rather
+  // than decoded and rebuilt.
   std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
   ASSERT_NE(engine, nullptr);
   EXPECT_EQ(engine->recovery_info().batches_replayed, 0u);
+  EXPECT_TRUE(engine->recovery_info().mapped);
+  EXPECT_TRUE(engine->graph_snapshot()->is_mapped());
+}
+
+TEST(RecoveryTest, InstantRestartMapsAndStaysWritable) {
+  TempDir dir;
+  std::string expected;
+  {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    MustApply(engine.get(), {MutationOp::AddNode("c", "Bank"),
+                             MutationOp::AddEdge("t1", "b", "c", "Owns")});
+    expected = Render(*engine);
+  }
+  {
+    // First reopen replays the WAL (dirty shutdown shape) and leaves a
+    // covering checkpoint + empty log behind.
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    EXPECT_FALSE(engine->recovery_info().mapped);
+    EXPECT_EQ(Render(*engine), expected);
+  }
+  std::string after_mapped_write;
+  {
+    // Second reopen finds the clean shape and maps. The mapped epoch is
+    // fully writable: mutations layer a delta overlay over the mapped
+    // base, exactly as over a plain one.
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    EXPECT_TRUE(engine->recovery_info().mapped);
+    EXPECT_EQ(engine->recovery_info().batches_replayed, 0u);
+    EXPECT_EQ(Render(*engine), expected);
+    MustApply(engine.get(),
+              {MutationOp::SetNodeProperty("c", "open", Value(true))});
+    after_mapped_write = Render(*engine);
+    EXPECT_NE(after_mapped_write, expected);
+  }
+  {
+    // The write logged over the mapped base replays like any other.
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(Render(*engine), after_mapped_write);
+  }
+}
+
+TEST(RecoveryTest, MapCheckpointsOffFallsBackToRebuild) {
+  TempDir dir;
+  std::string expected;
+  {
+    std::unique_ptr<QueryEngine> engine = MustOpen(dir.path());
+    ASSERT_NE(engine, nullptr);
+    MustApply(engine.get(), {MutationOp::AddNode("c", "Bank")});
+    expected = Render(*engine);
+  }
+  { std::unique_ptr<QueryEngine> engine = MustOpen(dir.path()); }
+  QueryEngine::Options options = DurableOptions(dir.path());
+  options.durability.map_checkpoints = false;
+  Result<std::unique_ptr<QueryEngine>> r =
+      QueryEngine::RecoverFrom(SeedGraph(), std::move(options));
+  ASSERT_TRUE(r.ok()) << r.error().message();
+  EXPECT_FALSE(r.value()->recovery_info().mapped);
+  EXPECT_FALSE(r.value()->graph_snapshot()->is_mapped());
+  EXPECT_EQ(Render(*r.value()), expected);
 }
 
 TEST(RecoveryTest, CompactionWritesACoveringCheckpoint) {

@@ -103,7 +103,8 @@ std::vector<std::string> PairNames(
     const std::vector<std::pair<NodeId, NodeId>>& pairs) {
   std::vector<std::string> out;
   for (const auto& [u, v] : pairs) {
-    out.push_back(g.NodeName(u) + "->" + g.NodeName(v));
+    out.push_back(std::string(g.NodeName(u)) + "->" +
+                  std::string(g.NodeName(v)));
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -61,7 +61,7 @@ std::vector<MutationOp> SampleOps() {
 
 /// Three records with consecutive LSNs starting at 1, as a full byte image.
 std::string ThreeRecordLog() {
-  std::string log(kWalMagic, kWalMagicBytes);
+  std::string log = WalFileHeader();
   AppendWalRecord(&log, 1, SampleOps());
   AppendWalRecord(&log, 2, {MutationOp::SetLabel("n1", "Bank")});
   AppendWalRecord(&log, 3, {MutationOp::RemoveEdge("e1"),
@@ -72,8 +72,8 @@ std::string ThreeRecordLog() {
 /// Byte offsets of the record boundaries in `log` (after the magic, after
 /// record 0, ...), derived from the frame headers.
 std::vector<size_t> RecordBoundaries(const std::string& log) {
-  std::vector<size_t> out = {kWalMagicBytes};
-  size_t pos = kWalMagicBytes;
+  std::vector<size_t> out = {kWalHeaderBytes};
+  size_t pos = kWalHeaderBytes;
   while (pos + kWalFrameBytes <= log.size()) {
     uint32_t len = 0;
     std::memcpy(&len, log.data() + pos, sizeof(len));
@@ -84,11 +84,11 @@ std::vector<size_t> RecordBoundaries(const std::string& log) {
 }
 
 TEST(WalCodecTest, EmptyLogIsCleanAndRecordless) {
-  Result<WalDecodeResult> r = DecodeWal(std::string(kWalMagic, kWalMagicBytes));
+  Result<WalDecodeResult> r = DecodeWal(WalFileHeader());
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.value().records.empty());
   EXPECT_EQ(r.value().tail, WalTail::kClean);
-  EXPECT_EQ(r.value().valid_bytes, kWalMagicBytes);
+  EXPECT_EQ(r.value().valid_bytes, kWalHeaderBytes);
 }
 
 TEST(WalCodecTest, RecordsRoundTripThroughTheFraming) {
@@ -115,7 +115,7 @@ TEST(WalCodecTest, EscapedStringValuesRoundTripExactly) {
   std::vector<std::string> nasty = {
       "she said \"hi\"", "back\\slash", "tab\there", "line\nbreak", "",
   };
-  std::string log(kWalMagic, kWalMagicBytes);
+  std::string log = WalFileHeader();
   uint64_t lsn = 1;
   for (const std::string& s : nasty) {
     AppendWalRecord(&log, lsn++,
@@ -134,12 +134,12 @@ TEST(WalCodecTest, EscapedStringValuesRoundTripExactly) {
 TEST(WalCodecTest, EveryPrefixTruncationIsTornNeverDataLoss) {
   std::string log = ThreeRecordLog();
   std::vector<size_t> boundaries = RecordBoundaries(log);
-  for (size_t cut = kWalMagicBytes; cut < log.size(); ++cut) {
+  for (size_t cut = kWalHeaderBytes; cut < log.size(); ++cut) {
     Result<WalDecodeResult> r = DecodeWal(log.substr(0, cut));
     ASSERT_TRUE(r.ok()) << "cut at " << cut << " byte(s): "
                         << r.error().message();
     // The valid prefix is always the last whole-record boundary <= cut.
-    size_t expect_valid = kWalMagicBytes;
+    size_t expect_valid = kWalHeaderBytes;
     size_t expect_records = 0;
     for (size_t i = 0; i < boundaries.size(); ++i) {
       if (boundaries[i] <= cut) {
@@ -189,7 +189,7 @@ TEST(WalCodecTest, BadMagicIsDataLoss) {
 }
 
 TEST(WalCodecTest, LsnGapIsDataLoss) {
-  std::string log(kWalMagic, kWalMagicBytes);
+  std::string log = WalFileHeader();
   AppendWalRecord(&log, 1, SampleOps());
   AppendWalRecord(&log, 3, SampleOps());  // 2 is missing
   Result<WalDecodeResult> r = DecodeWal(log);
@@ -198,7 +198,7 @@ TEST(WalCodecTest, LsnGapIsDataLoss) {
 }
 
 TEST(WalCodecTest, ImplausiblePayloadLengthIsDataLoss) {
-  std::string log(kWalMagic, kWalMagicBytes);
+  std::string log = WalFileHeader();
   uint32_t len = static_cast<uint32_t>(kMaxWalPayloadBytes + 1);
   uint32_t crc = 0;
   log.append(reinterpret_cast<const char*>(&len), sizeof(len));
@@ -217,7 +217,7 @@ TEST(WalCodecTest, GarbageOpLineInsideCrcCleanRecordIsDataLoss) {
   uint64_t lsn = 1;
   payload.append(reinterpret_cast<const char*>(&lsn), sizeof(lsn));
   payload += "this-is-not-a-mutation op";
-  std::string log(kWalMagic, kWalMagicBytes);
+  std::string log = WalFileHeader();
   uint32_t len = static_cast<uint32_t>(payload.size());
   uint32_t crc = Crc32c(payload.data(), payload.size());
   log.append(reinterpret_cast<const char*>(&len), sizeof(len));

@@ -267,7 +267,11 @@ std::vector<Cell> BuildMatrix() {
       {"storage.wal.append.torn", {0, 4}, {0, 5, 13}},
       {"storage.wal.append.before_sync", {0, 4}, {}},
       {"storage.wal.append.after_sync", {0, 4}, {}},
-      {"storage.ckpt.write.torn", {0, 1}, {0, 7}},
+      // Torn cuts target the snapshot-format structure: 0/7 die before and
+      // inside the magic, 512 mid-region-table, 1500 mid-region-payload —
+      // every partial prefix of the new checkpoint file must be survivable
+      // (it is still a .tmp; recovery never sees it as a checkpoint).
+      {"storage.ckpt.write.torn", {0, 1}, {0, 7, 512, 1500}},
       {"storage.ckpt.before_rename", {0, 1}, {}},
       {"storage.ckpt.after_rename", {0, 1}, {}},
       {"storage.wal.rotate.torn", {0, 1}, {3, 10}},
@@ -469,7 +473,7 @@ int RunCorruptionScenarios(const std::string& self, const std::string& workdir,
             gqzoo::storage::DecodeWal(bytes.value());
         if (!decoded.ok() || decoded.value().records.size() < 2) return false;
         std::string damaged = bytes.value();
-        damaged[gqzoo::storage::kWalMagicBytes +
+        damaged[gqzoo::storage::kWalHeaderBytes +
                 gqzoo::storage::kWalFrameBytes + 1] ^= 0xFF;
         std::ofstream out(dir + "/wal.log", std::ios::binary);
         out << damaged;
@@ -496,7 +500,7 @@ int RunCorruptionScenarios(const std::string& self, const std::string& workdir,
         std::error_code ec;
         const auto size =
             std::filesystem::file_size(dir + "/wal.log", ec);
-        if (ec || size < gqzoo::storage::kWalMagicBytes + 4) return false;
+        if (ec || size < gqzoo::storage::kWalHeaderBytes + 4) return false;
         std::filesystem::resize_file(dir + "/wal.log", size - 3, ec);
         return !ec;
       },
@@ -522,6 +526,48 @@ int RunCorruptionScenarios(const std::string& self, const std::string& workdir,
           return false;
         }
         *detail = "truncated one record, warned";
+        return true;
+      });
+
+  // Flipping one byte inside the *published* newest checkpoint (a snapshot
+  // file). The mmap instant-restart path must reject it on its checksum
+  // sweep and the decode fallback must refuse to serve the stale older
+  // checkpoint, because the residual WAL records no longer chain onto it.
+  scenario(
+      "ckpt-flip-kdataloss",
+      [](const std::string& dir) {
+        std::string newest;
+        uint64_t best = 0;
+        for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+          const std::string name = entry.path().filename().string();
+          if (name.rfind("checkpoint-", 0) != 0) continue;
+          uint64_t lsn = std::strtoull(name.c_str() + 11, nullptr, 10);
+          if (newest.empty() || lsn > best) {
+            best = lsn;
+            newest = entry.path().string();
+          }
+        }
+        if (newest.empty()) return false;
+        Result<std::string> bytes = gqzoo::storage::ReadFileBytes(newest);
+        if (!bytes.ok()) return false;
+        std::string damaged = bytes.value();
+        damaged[damaged.size() / 2] ^= 0x01;  // mid-file: a region payload
+        std::ofstream out(newest, std::ios::binary);
+        out << damaged;
+        return out.good();
+      },
+      [](const std::string& dir, std::string* detail) {
+        Result<std::unique_ptr<QueryEngine>> opened =
+            QueryEngine::RecoverFrom(InitialGraph(), EngineOptions(dir));
+        if (opened.ok()) {
+          *detail = "recovery served a corrupted checkpoint";
+          return false;
+        }
+        if (opened.error().code() != gqzoo::ErrorCode::kDataLoss) {
+          *detail = "expected kDataLoss, got " + opened.error().message();
+          return false;
+        }
+        *detail = "mmap + decode both refused, kDataLoss";
         return true;
       });
 
@@ -766,7 +812,7 @@ int main(int argc, char** argv) {
                 cells.size() + 4);
     return 1;
   }
-  std::printf("OK: %zu crash cells + 3 corruption scenarios + 1 drain "
+  std::printf("OK: %zu crash cells + 4 corruption scenarios + 1 drain "
               "scenario recovered consistently\n",
               cells.size());
   if (!keep) {

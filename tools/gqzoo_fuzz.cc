@@ -28,6 +28,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/fuzz/crash_oracle.h"
 #include "src/fuzz/fuzzer.h"
 #include "src/fuzz/metamorphic.h"
 #include "src/fuzz/minimize.h"
@@ -116,6 +117,9 @@ int RunCaseFile(const CliOptions& cli) {
   gqzoo::fuzz::OracleReport report = RunOracle(c.value(), oracle);
   if (report.ok() && !c.value().mutations.empty()) {
     RunMutationOracle(c.value(), oracle, &report);
+  }
+  if (report.ok() && !c.value().mutations.empty()) {
+    RunCrashOracle(c.value(), &report);
   }
   if (report.ok()) {
     gqzoo::fuzz::FuzzRng rng =
