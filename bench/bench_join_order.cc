@@ -8,6 +8,12 @@
 //    atom and keeps every intermediate proportional to the answer.
 //  * Chains on label-balanced random graphs, where textual order is
 //    already reasonable — the planner must not regress it.
+//  * Cyclic cores (triangle, 4-clique, star-with-chord) on the hub family
+//    below, where *every* binary join order materializes a Θ(k²)
+//    intermediate while only Θ(k) bindings close the cycle — the regime
+//    the worst-case-optimal join exists for. These cells compare the best
+//    binary plan (the planner's order) against the planner-selected wcoj
+//    group at two densities.
 //
 // Both variants run through `EvalCrpq` with precompiled atom automata, so
 // the measured delta is purely the join order (atom evaluation and the
@@ -21,16 +27,21 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "src/crpq/crpq_parser.h"
 #include "src/crpq/eval.h"
+#include "src/engine/plan.h"
 #include "src/graph/csr.h"
 #include "src/graph/generators.h"
 #include "src/planner/cost_model.h"
 #include "src/planner/planner.h"
 #include "src/planner/stats.h"
+#include "src/rel/wcoj.h"
 
 namespace gqzoo {
 namespace {
@@ -63,21 +74,43 @@ EdgeLabeledGraph StarJoinGraph(size_t centers, size_t fanout,
   return g;
 }
 
+/// Property-graph wrapper for CompilePlan. Everything downstream (NFAs,
+/// snapshot, stats, the baked wcoj label ids) must resolve labels against
+/// one skeleton, exactly as the engine does — the wrapper's skeleton is
+/// that one graph (its node label "N" interns ahead of the edge labels).
+PropertyGraph ToPropertyGraph(const EdgeLabeledGraph& g) {
+  PropertyGraph pg;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    pg.AddNode(std::string(g.NodeName(v)), "N");
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    pg.AddEdge(g.Src(e), g.Tgt(e), std::string(g.LabelName(g.EdgeLabel(e))));
+  }
+  return pg;
+}
+
 /// Shared fixture: a parsed query with precompiled automata and the
-/// planner's order, evaluated with or without that order.
+/// planner's order, evaluated with or without that order. When the query
+/// has a cyclic core, `wcoj` carries the planner-selected group compiled
+/// exactly as the engine compiles it (label ids baked from the stats).
 struct Workload {
-  EdgeLabeledGraph g;
+  PropertyGraph pg;
   GraphSnapshot snapshot;
   Crpq query;
   std::vector<Nfa> nfas;
   std::vector<size_t> order;
+  std::optional<rel::WcojSpec> wcoj;
+
+  const EdgeLabeledGraph& g() const { return pg.skeleton(); }
 
   Workload(EdgeLabeledGraph graph, const std::string& text)
-      : g(std::move(graph)), snapshot(g), query(ParseCrpq(text).value()) {
+      : pg(ToPropertyGraph(graph)),
+        snapshot(pg.skeleton()),
+        query(ParseCrpq(text).value()) {
     SnapshotStats stats(snapshot);
     std::vector<Conjunct> conjuncts;
     for (const CrpqAtom& atom : query.atoms) {
-      nfas.push_back(Nfa::FromRegex(*atom.regex, g));
+      nfas.push_back(Nfa::FromRegex(*atom.regex, g()));
       Conjunct c;
       if (!atom.from.is_constant) c.vars.push_back(atom.from.name);
       if (!atom.to.is_constant) c.vars.push_back(atom.to.name);
@@ -87,14 +120,21 @@ struct Workload {
       conjuncts.push_back(std::move(c));
     }
     order = GreedyJoinOrder(conjuncts);
+
+    Result<PlanPtr> plan =
+        CompilePlan(QueryLanguage::kCrpq, text, pg, 0, {}, &stats);
+    if (plan.ok()) {
+      wcoj = std::get<CrpqPlan>(plan.value()->compiled).wcoj;
+    }
   }
 
-  size_t Run(bool planned) const {
+  size_t Run(bool planned, bool use_wcoj = false) const {
     CrpqEvalOptions options;
     options.snapshot = &snapshot;
     options.atom_nfas = &nfas;
     if (planned) options.join_order = &order;
-    return EvalCrpq(g, query, options).value().rows.size();
+    if (use_wcoj) options.wcoj = &*wcoj;
+    return EvalCrpq(g(), query, options).value().rows.size();
   }
 };
 
@@ -154,6 +194,103 @@ void BM_Chain_Planned(benchmark::State& state) {
   state.counters["answers"] = static_cast<double>(answers);
 }
 
+// --------------------------------------------------------------------------
+// Cyclic cores: binary plan vs worst-case-optimal join.
+// --------------------------------------------------------------------------
+
+/// The hub family, a worst-case instance for binary join plans on cyclic
+/// patterns. Per query variable v: `k` spoke nodes v_0..v_{k-1} plus one
+/// hub h_v. Each atom (u, v, label) contributes three edge groups:
+///   u_i -> h_v  (all i)      spokes into the target's hub
+///   h_u -> v_j  (all j)      the source's hub onto every spoke
+///   h_u -> h_v               hub-to-hub, closing the cycles
+/// Any pairwise join routes through a hub and yields Θ(k²) tuples
+/// (u_i -> h_mid -> w_j for all i, j), but only the Θ(k) bindings that
+/// place every remaining variable on its hub close the full cycle. No
+/// binary order avoids the quadratic intermediate; the wcoj intersection
+/// discovers the hub collapse one variable at a time and stays near-linear.
+EdgeLabeledGraph HubCoreGraph(
+    size_t k, size_t num_vars,
+    const std::vector<std::pair<size_t, size_t>>& atoms,
+    const std::vector<std::string>& labels) {
+  EdgeLabeledGraph g;
+  std::vector<std::vector<NodeId>> spokes(num_vars);
+  std::vector<NodeId> hub(num_vars);
+  for (size_t v = 0; v < num_vars; ++v) {
+    for (size_t i = 0; i < k; ++i) {
+      spokes[v].push_back(
+          g.AddNode("v" + std::to_string(v) + "_" + std::to_string(i)));
+    }
+    hub[v] = g.AddNode("h" + std::to_string(v));
+  }
+  for (size_t a = 0; a < atoms.size(); ++a) {
+    const auto& [u, v] = atoms[a];
+    const std::string& label = labels[a];
+    for (NodeId s : spokes[u]) g.AddEdge(s, hub[v], label);
+    for (NodeId t : spokes[v]) g.AddEdge(hub[u], t, label);
+    g.AddEdge(hub[u], hub[v], label);
+  }
+  return g;
+}
+
+constexpr const char* kTriangleQuery =
+    "q(x, y, z) := a(x, y), b(y, z), c(x, z)";
+constexpr const char* kFourCliqueQuery =
+    "q(x, y, z, w) := a(x, y), b(x, z), c(x, w), d(y, z), e(y, w), f(z, w)";
+// Star out of x with the d-chord closing the {x, y, z} triangle; w stays a
+// pendant, so the binary join still runs for it after the wcoj group.
+constexpr const char* kStarChordQuery =
+    "q(x, y, z, w) := a(x, y), b(x, z), c(x, w), d(y, z)";
+
+Workload TriangleWorkload(size_t k) {
+  return Workload(
+      HubCoreGraph(k, 3, {{0, 1}, {1, 2}, {0, 2}}, {"a", "b", "c"}),
+      kTriangleQuery);
+}
+
+Workload FourCliqueWorkload(size_t k) {
+  return Workload(
+      HubCoreGraph(k, 4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+                   {"a", "b", "c", "d", "e", "f"}),
+      kFourCliqueQuery);
+}
+
+Workload StarChordWorkload(size_t k) {
+  return Workload(
+      HubCoreGraph(k, 4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}},
+                   {"a", "b", "c", "d"}),
+      kStarChordQuery);
+}
+
+/// Shared body for the cyclic cells: `make` builds the workload at the
+/// density in range(0); the wcoj arm asserts the planner actually selected
+/// a group (a silent fallback to the binary path would fake the ratio).
+template <Workload (*make)(size_t)>
+void BM_Cyclic_Binary(benchmark::State& state) {
+  Workload w(make(static_cast<size_t>(state.range(0))));
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = w.Run(/*planned=*/true);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+template <Workload (*make)(size_t)>
+void BM_Cyclic_Wcoj(benchmark::State& state) {
+  Workload w(make(static_cast<size_t>(state.range(0))));
+  if (!w.wcoj.has_value()) {
+    state.SkipWithError("planner selected no wcoj group");
+    return;
+  }
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = w.Run(/*planned=*/true, /*use_wcoj=*/true);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
 void Register(bool smoke) {
   using benchmark::RegisterBenchmark;
   // {centers, fanout}: textual builds centers·fanout² join tuples, planner
@@ -168,6 +305,23 @@ void Register(bool smoke) {
   const int64_t chain_n = smoke ? 64 : 256;
   RegisterBenchmark("BM_Chain_Textual", BM_Chain_Textual)->Arg(chain_n);
   RegisterBenchmark("BM_Chain_Planned", BM_Chain_Planned)->Arg(chain_n);
+  // {k}: hub-family density — every pairwise join is Θ(k²), answers Θ(k).
+  const std::vector<int64_t> cyclic_sizes =
+      smoke ? std::vector<int64_t>{12} : std::vector<int64_t>{64, 192};
+  for (int64_t k : cyclic_sizes) {
+    RegisterBenchmark("BM_Triangle_Binary",
+                      BM_Cyclic_Binary<TriangleWorkload>)->Arg(k);
+    RegisterBenchmark("BM_Triangle_Wcoj",
+                      BM_Cyclic_Wcoj<TriangleWorkload>)->Arg(k);
+    RegisterBenchmark("BM_FourClique_Binary",
+                      BM_Cyclic_Binary<FourCliqueWorkload>)->Arg(k);
+    RegisterBenchmark("BM_FourClique_Wcoj",
+                      BM_Cyclic_Wcoj<FourCliqueWorkload>)->Arg(k);
+    RegisterBenchmark("BM_StarChord_Binary",
+                      BM_Cyclic_Binary<StarChordWorkload>)->Arg(k);
+    RegisterBenchmark("BM_StarChord_Wcoj",
+                      BM_Cyclic_Wcoj<StarChordWorkload>)->Arg(k);
+  }
 }
 
 }  // namespace

@@ -164,6 +164,7 @@ int Usage(const char* argv0) {
           "[--group-commit-ms <n>] [--threads <n>] [--timeout-ms <n>] "
           "[--memlimit <n>] [--row-budget <n>] [--step-budget <n>] "
           "[--capacity <n>] [--repeat <n>] [--explain] [--textual-order] "
+          "[--no-wcoj] [--batch-kernel] "
           "[--quiet] [--connect <host:port>] [--tenant <name>] "
           "<request-file>\n",
           argv0);
@@ -208,6 +209,8 @@ int main(int argc, char** argv) {
   size_t repeat = 1;
   bool explain = false;
   bool textual_order = false;
+  bool no_wcoj = false;
+  bool batch_kernel = false;
   bool quiet = false;
   std::string connect;
   std::string tenant = "batch";
@@ -265,6 +268,10 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (strcmp(arg, "--textual-order") == 0) {
       textual_order = true;
+    } else if (strcmp(arg, "--no-wcoj") == 0) {
+      no_wcoj = true;
+    } else if (strcmp(arg, "--batch-kernel") == 0) {
+      batch_kernel = true;
     } else if (strcmp(arg, "--quiet") == 0) {
       quiet = true;
     } else if (arg[0] == '-') {
@@ -343,6 +350,11 @@ int main(int argc, char** argv) {
       }
       request.explain = explain;
       request.textual_join_order = textual_order;
+      // Join-kernel policy (in-process runs; the wire protocol does not
+      // carry these): force the wcoj path off / the batch kernel on so a
+      // request file can be raced against itself across kernels.
+      if (no_wcoj) request.use_wcoj = false;
+      if (batch_kernel) request.use_batch_kernel = true;
       parsed.request = std::move(request);
     }
     lines.push_back(std::move(parsed));

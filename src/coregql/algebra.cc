@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "src/rel/batch.h"
+
 namespace gqzoo {
 
 CoreRelation Select(
@@ -38,8 +40,10 @@ Result<CoreRelation> Project(const CoreRelation& r,
 }
 
 CoreRelation NaturalJoinRel(const CoreRelation& a, const CoreRelation& b,
-                            const QueryContext* ctx) {
-  CoreRelation out(rel::NaturalJoin(a.table(), b.table(), ctx));
+                            const QueryContext* ctx, bool use_batch) {
+  CoreRelation out(use_batch
+                       ? rel::NaturalJoinBatched(a.table(), b.table(), ctx)
+                       : rel::NaturalJoin(a.table(), b.table(), ctx));
   out.Normalize(ctx);
   return out;
 }

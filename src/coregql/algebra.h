@@ -25,8 +25,11 @@ Result<CoreRelation> Project(const CoreRelation& r,
 /// via the shared relational kernel's hash join. `ctx` (optional) charges
 /// output tuples against the memory budget — the join is where CoreGQL
 /// blocks blow up — and makes the result partial once the context trips.
+/// `use_batch` routes through the columnar batch kernel (rel/batch.h):
+/// byte-identical rows and charges.
 CoreRelation NaturalJoinRel(const CoreRelation& a, const CoreRelation& b,
-                            const QueryContext* ctx = nullptr);
+                            const QueryContext* ctx = nullptr,
+                            bool use_batch = false);
 
 /// Set union / difference / intersection; schemas must match exactly.
 Result<CoreRelation> UnionRel(const CoreRelation& a, const CoreRelation& b);

@@ -76,15 +76,46 @@ Result<CoreRelation> EvalPatternEntry(const PropertyGraph& g,
   return rel;
 }
 
+// The wcoj group of a block as a CoreRelation: one node-ref column per
+// core variable, rows already sorted and duplicate-free (WcojEval emits
+// them in elimination-order lexicographic order). Shares the crpq path's
+// "crpq.wcoj.alloc" fail point.
+CoreRelation WcojBlockRelation(const GraphSnapshot& snap,
+                               const rel::WcojSpec& spec,
+                               const QueryContext* ctx) {
+  CoreRelation out(spec.vars);
+  uint64_t tuple_bytes = spec.vars.size() * sizeof(CoreCell) + 32;
+  std::vector<std::vector<NodeId>> rows =
+      rel::WcojEval(snap, spec, tuple_bytes, ctx, "crpq.wcoj.alloc");
+  for (const std::vector<NodeId>& row : rows) {
+    std::vector<CoreCell> cells;
+    cells.reserve(row.size());
+    for (NodeId v : row) cells.emplace_back(ObjectRef::Node(v));
+    out.AddRow(std::move(cells));
+  }
+  return out;
+}
+
 Result<CoreRelation> EvalBlock(const PropertyGraph& g,
                                const CoreMatchBlock& block,
                                const std::vector<size_t>* order,
+                               const rel::WcojSpec* wcoj,
                                const CoreQueryEvalOptions& options,
                                bool* truncated) {
   if (block.patterns.empty()) return Error("MATCH block has no patterns");
   const QueryContext* ctx = options.path_options.cancel;
+  // A planned wcoj group needs the snapshot's label slices; without one
+  // the binary join path silently serves the whole block.
+  if (options.path_options.snapshot == nullptr) wcoj = nullptr;
+  std::vector<bool> in_core(block.patterns.size(), false);
+  if (wcoj != nullptr) {
+    for (size_t i : wcoj->conjuncts) {
+      if (i < block.patterns.size()) in_core[i] = true;
+    }
+  }
   // All entries are evaluated in textual order first, so which error
-  // surfaces never depends on the planner's join order.
+  // surfaces never depends on the planner's join order (or on the wcoj
+  // replacing some of them).
   std::vector<CoreRelation> entry_rels;
   entry_rels.reserve(block.patterns.size());
   for (const CoreMatchBlock::PatternEntry& entry : block.patterns) {
@@ -94,10 +125,20 @@ Result<CoreRelation> EvalBlock(const PropertyGraph& g,
   }
   bool use_order = order != nullptr && order->size() == block.patterns.size();
   CoreRelation joined;
+  bool first = true;
+  if (wcoj != nullptr) {
+    joined = WcojBlockRelation(*options.path_options.snapshot, *wcoj, ctx);
+    first = false;
+  }
   for (size_t step = 0; step < entry_rels.size(); ++step) {
     size_t idx = use_order ? (*order)[step] : step;
-    joined = step == 0 ? std::move(entry_rels[idx])
-                       : NaturalJoinRel(joined, entry_rels[idx], ctx);
+    if (wcoj != nullptr && in_core[idx]) continue;  // served by the wcoj
+    if (first) {
+      joined = std::move(entry_rels[idx]);
+      first = false;
+    } else {
+      joined = NaturalJoinRel(joined, entry_rels[idx], ctx, options.use_batch);
+    }
   }
   if (block.where != nullptr) {
     joined = Select(
@@ -162,13 +203,22 @@ Result<CoreQueryResult> EvalCoreGqlQuery(const PropertyGraph& g,
     }
     return &(*options.block_orders)[i];
   };
+  auto block_wcoj = [&](size_t i) -> const rel::WcojSpec* {
+    if (options.block_wcoj == nullptr || i >= options.block_wcoj->size() ||
+        !(*options.block_wcoj)[i].has_value()) {
+      return nullptr;
+    }
+    return &*(*options.block_wcoj)[i];
+  };
   Result<CoreRelation> acc =
-      EvalBlock(g, query.blocks[0], block_order(0), options, &result.truncated);
+      EvalBlock(g, query.blocks[0], block_order(0), block_wcoj(0), options,
+                &result.truncated);
   if (!acc.ok()) return acc.error();
   CoreRelation current = std::move(acc).value();
   for (size_t i = 0; i < query.ops.size(); ++i) {
     Result<CoreRelation> next = EvalBlock(g, query.blocks[i + 1],
-                                          block_order(i + 1), options,
+                                          block_order(i + 1),
+                                          block_wcoj(i + 1), options,
                                           &result.truncated);
     if (!next.ok()) return next.error();
     Result<CoreRelation> combined = [&]() {

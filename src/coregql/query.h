@@ -8,6 +8,7 @@
 #include "src/coregql/pattern.h"
 #include "src/coregql/pattern_eval.h"
 #include "src/coregql/relation.h"
+#include "src/rel/wcoj.h"
 #include "src/util/result.h"
 
 namespace gqzoo {
@@ -55,6 +56,16 @@ struct CoreQueryEvalOptions {
   /// entries in the order `(*block_orders)[i]`). Null, or an entry whose
   /// size does not match the block's pattern count, means textual order.
   const std::vector<std::vector<size_t>>* block_orders = nullptr;
+  /// Per-block worst-case-optimal join groups from the planner (parallel
+  /// to blocks; an engaged entry replaces that block's cyclic core of
+  /// single-label edge patterns with one multiway intersection). Honored
+  /// only when `path_options.snapshot` is set — the wcoj runs on label
+  /// slices. Entries are evaluated in textual order regardless (error
+  /// parity); only the join stage changes. Results are identical.
+  const std::vector<std::optional<rel::WcojSpec>>* block_wcoj = nullptr;
+  /// Route the block join through the columnar batch kernel
+  /// (rel/batch.h); byte-identical rows and budget charges.
+  bool use_batch = false;
 };
 
 struct CoreQueryResult {

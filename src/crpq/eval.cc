@@ -165,21 +165,39 @@ Result<CrpqResult> EvalCrpq(const EdgeLabeledGraph& g, const Crpq& q,
   const bool use_order =
       order != nullptr && order->size() == q.atoms.size();
 
+  // A planned wcoj group needs the snapshot's label slices; without one
+  // the binary path silently serves the whole query.
+  const rel::WcojSpec* wcoj =
+      options.snapshot != nullptr ? options.wcoj : nullptr;
+  std::vector<bool> in_core(q.atoms.size(), false);
+  if (wcoj != nullptr) {
+    for (size_t i : wcoj->conjuncts) {
+      if (i < q.atoms.size()) in_core[i] = true;
+    }
+  }
+
   bool truncated = false;
   Relation joined;
   bool first = true;
+  if (wcoj != nullptr) {
+    joined = crpq_internal::WcojRelation(*options.snapshot, *wcoj,
+                                         options.cancel);
+    first = false;
+  }
   for (size_t step = 0; step < q.atoms.size(); ++step) {
     const size_t idx = use_order ? (*order)[step] : step;
+    if (wcoj != nullptr && in_core[idx]) continue;  // served by the wcoj
     if (ShouldStop(options.cancel)) {
       truncated = true;
       break;
     }
+    if (!first && joined.rows.empty()) break;  // conjunction is empty
     Relation rel = EvalAtom(g, q.atoms[idx], (*nfas)[idx], options, &truncated);
     if (first) {
       joined = std::move(rel);
       first = false;
     } else {
-      joined = NaturalJoin(joined, rel, options.cancel);
+      joined = NaturalJoin(joined, rel, options.cancel, options.use_batch);
     }
     if (joined.rows.empty()) break;  // early out: conjunction is empty
   }
@@ -188,7 +206,8 @@ Result<CrpqResult> EvalCrpq(const EdgeLabeledGraph& g, const Crpq& q,
   result.head = q.head;
   result.truncated = truncated;
   if (!joined.rows.empty()) {
-    ProjectHead(joined, q.head, &result.rows, options.cancel);
+    ProjectHead(joined, q.head, &result.rows, options.cancel,
+                options.use_batch);
   }
   return result;
 }

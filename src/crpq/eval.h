@@ -7,6 +7,7 @@
 #include "src/crpq/crpq.h"
 #include "src/crpq/modes.h"
 #include "src/graph/csr.h"
+#include "src/rel/wcoj.h"
 #include "src/util/result.h"
 #include "src/util/thread_pool.h"
 
@@ -43,6 +44,16 @@ struct CrpqEvalOptions {
   /// planner. Null (or wrong size) = textual order. Results are identical
   /// either way under set semantics; only intermediate-join sizes differ.
   const std::vector<size_t>* join_order = nullptr;
+  /// Planned worst-case-optimal join group for a cyclic core (not owned;
+  /// produced by plan.cc). Honored only when `snapshot` is set: the core
+  /// atoms are answered by one generic join over the per-label CSR slices
+  /// and skipped in the binary join loop. Results are identical; only the
+  /// intermediates differ (no binary blowup on triangles/cliques).
+  const rel::WcojSpec* wcoj = nullptr;
+  /// Run joins and head projection through the columnar batch kernel
+  /// (rel/batch.h). Byte-identical rows and budget charges — the engine
+  /// keeps both kernels live as differential oracles.
+  bool use_batch = false;
 };
 
 /// Evaluates a CRPQ / l-CRPQ on `g` per Sections 3.1.2 and 3.1.5.

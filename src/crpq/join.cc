@@ -1,20 +1,48 @@
 #include "src/crpq/join.h"
 
+#include <utility>
+
+#include "src/rel/batch.h"
+
 namespace gqzoo {
 namespace crpq_internal {
 
 Relation NaturalJoin(const Relation& a, const Relation& b,
-                     const QueryContext* ctx) {
+                     const QueryContext* ctx, bool use_batch) {
+  if (use_batch) {
+    return rel::NaturalJoinBatched(a, b, ctx, "crpq.join.alloc");
+  }
   return rel::NaturalJoin(a, b, ctx, "crpq.join.alloc");
 }
 
 bool ProjectHead(const Relation& joined, const std::vector<std::string>& head,
                  std::vector<std::vector<CrpqValue>>* rows,
-                 const QueryContext* ctx) {
+                 const QueryContext* ctx, bool use_batch) {
   Relation projected;
-  if (!rel::Project(joined, head, &projected, ctx)) return false;
+  if (use_batch) {
+    if (!rel::ProjectBatched(joined, head, &projected, ctx)) return false;
+  } else {
+    if (!rel::Project(joined, head, &projected, ctx)) return false;
+  }
   *rows = std::move(projected.rows);
   return true;
+}
+
+Relation WcojRelation(const GraphSnapshot& snap, const rel::WcojSpec& spec,
+                      const QueryContext* ctx) {
+  Relation out;
+  out.schema = spec.vars;
+  const uint64_t tuple_bytes = spec.vars.size() * sizeof(CrpqValue) + 32;
+  std::vector<std::vector<NodeId>> rows =
+      rel::WcojEval(snap, spec, tuple_bytes, ctx, "crpq.wcoj.alloc");
+  out.rows.reserve(rows.size());
+  for (const std::vector<NodeId>& r : rows) {
+    std::vector<CrpqValue> row;
+    row.reserve(r.size());
+    for (NodeId v : r) row.emplace_back(v);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
 }
 
 }  // namespace crpq_internal

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "src/crpq/crpq.h"
+#include "src/graph/csr.h"
 #include "src/rel/rel.h"
+#include "src/rel/wcoj.h"
 #include "src/util/query_context.h"
 
 namespace gqzoo {
@@ -28,15 +30,26 @@ inline void Dedupe(Relation* r, const QueryContext* ctx = nullptr) {
 /// join is where conjunctive queries blow up — and the result is partial
 /// once the context trips (callers must check it). The per-tuple
 /// allocation is also the `"crpq.join.alloc"` fail-point site.
+/// `use_batch` routes through the columnar batch kernel (rel/batch.h):
+/// byte-identical rows and charges, columnar execution underneath.
 Relation NaturalJoin(const Relation& a, const Relation& b,
-                     const QueryContext* ctx = nullptr);
+                     const QueryContext* ctx = nullptr,
+                     bool use_batch = false);
 
 /// Projects `joined` onto `head` and deduplicates (normalization skipped
 /// when `ctx` has tripped); returns false if some head column is missing
 /// (only possible when the join short-circuited empty).
 bool ProjectHead(const Relation& joined, const std::vector<std::string>& head,
                  std::vector<std::vector<CrpqValue>>* rows,
-                 const QueryContext* ctx = nullptr);
+                 const QueryContext* ctx = nullptr, bool use_batch = false);
+
+/// Evaluates a planned worst-case-optimal group (plan.cc) over the
+/// snapshot's per-label slices into a relation whose schema is the
+/// group's variable elimination order. Rows arrive sorted and duplicate
+/// free. Output tuples are charged like join tuples; the per-tuple
+/// allocation is the `"crpq.wcoj.alloc"` fail-point site.
+Relation WcojRelation(const GraphSnapshot& snap, const rel::WcojSpec& spec,
+                      const QueryContext* ctx = nullptr);
 
 }  // namespace crpq_internal
 }  // namespace gqzoo

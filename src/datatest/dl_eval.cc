@@ -451,16 +451,34 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
   const bool use_order =
       order != nullptr && order->size() == q.atoms.size();
 
+  // A planned wcoj group needs the snapshot's label slices; without one
+  // the binary path silently serves the whole query.
+  const rel::WcojSpec* wcoj =
+      options.snapshot != nullptr ? options.wcoj : nullptr;
+  std::vector<bool> in_core(q.atoms.size(), false);
+  if (wcoj != nullptr) {
+    for (size_t i : wcoj->conjuncts) {
+      if (i < q.atoms.size()) in_core[i] = true;
+    }
+  }
+
   bool truncated = false;
   Relation joined;
   bool first = true;
+  if (wcoj != nullptr) {
+    joined = crpq_internal::WcojRelation(*options.snapshot, *wcoj,
+                                         options.cancel);
+    first = false;
+  }
   for (size_t step = 0; step < q.atoms.size(); ++step) {
     const size_t atom_idx = use_order ? (*order)[step] : step;
+    if (wcoj != nullptr && in_core[atom_idx]) continue;  // wcoj serves it
     const CrpqAtom& atom = q.atoms[atom_idx];
     if (ShouldStop(options.cancel)) {
       truncated = true;
       break;
     }
+    if (!first && joined.rows.empty()) break;  // conjunction is empty
     const DlNfa& nfa = (*nfas)[atom_idx];
     DlEvaluator evaluator(g, nfa, options.snapshot);
     std::vector<std::string> list_vars = atom.regex->CaptureVariables();
@@ -548,7 +566,7 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
       joined = std::move(rel);
       first = false;
     } else {
-      joined = NaturalJoin(joined, rel, options.cancel);
+      joined = NaturalJoin(joined, rel, options.cancel, options.use_batch);
     }
     if (joined.rows.empty()) break;
   }
@@ -557,7 +575,8 @@ Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,
   result.head = q.head;
   result.truncated = truncated;
   if (!joined.rows.empty()) {
-    ProjectHead(joined, q.head, &result.rows, options.cancel);
+    ProjectHead(joined, q.head, &result.rows, options.cancel,
+                options.use_batch);
   }
   return result;
 }

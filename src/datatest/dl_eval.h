@@ -9,6 +9,7 @@
 #include "src/graph/csr.h"
 #include "src/graph/path_binding.h"
 #include "src/pmr/enumerate.h"
+#include "src/rel/wcoj.h"
 
 namespace gqzoo {
 
@@ -82,6 +83,13 @@ struct DlCrpqEvalOptions {
   /// Planner execution order over atom indices; null (or wrong size) =
   /// textual order. Result sets are identical either way.
   const std::vector<size_t>* join_order = nullptr;
+  /// Planned worst-case-optimal join group for a cyclic core of
+  /// single-label atoms; see CrpqEvalOptions::wcoj. Honored only when
+  /// `snapshot` is set.
+  const rel::WcojSpec* wcoj = nullptr;
+  /// Route joins/projection through the columnar batch kernel; see
+  /// CrpqEvalOptions::use_batch.
+  bool use_batch = false;
 };
 
 Result<CrpqResult> EvalDlCrpq(const PropertyGraph& g, const Crpq& q,

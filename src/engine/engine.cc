@@ -103,6 +103,23 @@ class ChunkedResultWriter {
   bool abandoned_ = false;
 };
 
+// Whether the compiled plan carries a planner-selected wcoj group (any
+// language); feeds the `wcoj_plans` metric on cache misses.
+bool PlanHasWcoj(const Plan& plan) {
+  if (const auto* crpq = std::get_if<CrpqPlan>(&plan.compiled)) {
+    return crpq->wcoj.has_value();
+  }
+  if (const auto* dl = std::get_if<DlCrpqPlan>(&plan.compiled)) {
+    return dl->wcoj.has_value();
+  }
+  if (const auto* gql = std::get_if<CoreGqlPlan>(&plan.compiled)) {
+    for (const auto& spec : gql->block_wcoj) {
+      if (spec.has_value()) return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(PropertyGraph graph)
@@ -123,6 +140,8 @@ QueryEngine::QueryEngine(std::shared_ptr<const PropertyGraph> graph,
                  ? std::move(stats)
                  : std::make_shared<const SnapshotStats>(*snapshot_)),
       rpq_shards_(options.rpq_shards),
+      use_wcoj_(options.use_wcoj),
+      use_batch_kernel_(options.use_batch_kernel),
       default_timeout_(options.default_timeout),
       default_budgets_(options.default_budgets),
       cache_(options.cache_capacity_per_shard, options.cache_shards),
@@ -432,6 +451,7 @@ Result<QueryResponse> QueryEngine::ExecuteFrom(
       return compiled.error();
     }
     plan = std::move(compiled).value();
+    if (PlanHasWcoj(*plan)) metrics_.wcoj_plans.Increment();
     if (invalidation_version_.load(std::memory_order_acquire) ==
         inval_version) {
       cache_.Put(key, plan);
@@ -697,6 +717,13 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     const QueryRequest& request, const CancellationToken* cancel) {
   QueryResponse response;
   ChunkedResultWriter out(request.sink, cancel);
+  // Execution-time policy: per-request overrides win over engine defaults.
+  const bool use_wcoj = request.use_wcoj.value_or(use_wcoj_);
+  const bool use_batch = request.use_batch_kernel.value_or(use_batch_kernel_);
+  auto count_wcoj = [&] {
+    metrics_.wcoj_by_language[static_cast<size_t>(request.language)]
+        .Increment();
+  };
 
   if (const auto* rpq = std::get_if<RpqPlan>(&plan.compiled)) {
     ParallelRpqOptions rpq_options;
@@ -727,6 +754,11 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     options.num_shards = rpq_shards_;
     options.atom_nfas = &crpq->atom_nfas;
     if (!request.textual_join_order) options.join_order = &crpq->join_order;
+    options.use_batch = use_batch;
+    if (use_wcoj && crpq->wcoj.has_value()) {
+      options.wcoj = &*crpq->wcoj;
+      count_wcoj();
+    }
     Result<CrpqResult> r = EvalCrpq(g.skeleton(), crpq->query, options);
     if (!r.ok()) return r.error();
     out << r.value().ToString(g.skeleton());
@@ -735,6 +767,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
         << (r.value().truncated ? " (truncated)" : "") << "\n";
     response.num_rows = r.value().rows.size();
     response.truncated = r.value().truncated;
+    if (use_batch) metrics_.batch_rows.Increment(response.num_rows);
 
   } else if (const auto* dl = std::get_if<DlCrpqPlan>(&plan.compiled)) {
     DlCrpqEvalOptions options;
@@ -744,6 +777,11 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     options.snapshot = &snapshot;
     options.atom_nfas = &dl->atom_nfas;
     if (!request.textual_join_order) options.join_order = &dl->join_order;
+    options.use_batch = use_batch;
+    if (use_wcoj && dl->wcoj.has_value()) {
+      options.wcoj = &*dl->wcoj;
+      count_wcoj();
+    }
     Result<CrpqResult> r = EvalDlCrpq(g, dl->query, options);
     if (!r.ok()) return r.error();
     out << r.value().ToString(g.skeleton());
@@ -752,6 +790,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
         << (r.value().truncated ? " (truncated)" : "") << "\n";
     response.num_rows = r.value().rows.size();
     response.truncated = r.value().truncated;
+    if (use_batch) metrics_.batch_rows.Increment(response.num_rows);
 
   } else if (const auto* gql = std::get_if<CoreGqlPlan>(&plan.compiled)) {
     CoreQueryEvalOptions options;
@@ -762,6 +801,16 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
     options.path_options.cancel = cancel;
     options.path_options.snapshot = &snapshot;
     if (!request.textual_join_order) options.block_orders = &gql->block_orders;
+    options.use_batch = use_batch;
+    if (use_wcoj && !gql->block_wcoj.empty()) {
+      options.block_wcoj = &gql->block_wcoj;
+      for (const auto& spec : gql->block_wcoj) {
+        if (spec.has_value()) {
+          count_wcoj();
+          break;
+        }
+      }
+    }
     Result<CoreQueryResult> r = EvalCoreGqlQuery(g, gql->query, options);
     if (!r.ok()) return r.error();
     if (gql->optimized) {
@@ -774,6 +823,7 @@ Result<QueryResponse> QueryEngine::ExecutePlan(
         << (r.value().truncated ? " (truncated)" : "") << "\n";
     response.num_rows = r.value().relation.NumRows();
     response.truncated = r.value().truncated;
+    if (use_batch) metrics_.batch_rows.Increment(response.num_rows);
 
   } else if (const auto* group = std::get_if<GqlGroupPlan>(&plan.compiled)) {
     CorePathEvalOptions options;

@@ -79,6 +79,8 @@ std::string MetricsRegistry::ReportText() const {
   row("plans_invalidated", plans_invalidated.value());
   row("plan_invalidations_full", plan_invalidations_full.value());
   row("plans_evicted_dead_epoch", plans_evicted_dead_epoch.value());
+  row("wcoj_plans", wcoj_plans.value());
+  row("batch_rows", batch_rows.value());
   row("queue_depth_high_water", queue_depth_high_water.value());
   row("peak_query_bytes", peak_query_bytes.value());
   row("delta_pending_ops", delta_pending_ops.value());
@@ -108,6 +110,7 @@ std::string MetricsRegistry::ReportText() const {
   per_language("shed", shed_by_language);
   per_language("exhausted", exhausted_by_language);
   per_language("cancelled", cancelled_by_language);
+  per_language("wcoj", wcoj_by_language);
   uint64_t n = latency.count();
   if (n > 0) {
     snprintf(line, sizeof(line),
@@ -165,6 +168,9 @@ void MetricsRegistry::Reset() {
   for (auto& c : shed_by_language) c.Reset();
   for (auto& c : exhausted_by_language) c.Reset();
   for (auto& c : cancelled_by_language) c.Reset();
+  wcoj_plans.Reset();
+  batch_rows.Reset();
+  for (auto& c : wcoj_by_language) c.Reset();
   latency.Reset();
 }
 

@@ -118,10 +118,15 @@ class MetricsRegistry {
   Counter server_stream_bytes;     // row bytes written to sockets
   Counter tenant_quota_shed;       // queries shed by per-tenant token buckets
   Counter server_drain_shed;       // queries refused or cancelled by drain
+  // Execution-path counters for the columnar/wcoj split.
+  Counter wcoj_plans;   // compiled plans carrying a wcoj group
+  Counter batch_rows;   // result rows produced through the batch kernel
   std::array<Counter, kNumQueryLanguages> queries_by_language;
   std::array<Counter, kNumQueryLanguages> shed_by_language;
   std::array<Counter, kNumQueryLanguages> exhausted_by_language;
   std::array<Counter, kNumQueryLanguages> cancelled_by_language;  // + deadline
+  std::array<Counter, kNumQueryLanguages> wcoj_by_language;  // executions that
+                                                             // engaged a wcoj
 
   MaxGauge queue_depth_high_water;  // governor in-flight high-water mark
   MaxGauge peak_query_bytes;        // largest per-query accounted footprint

@@ -93,6 +93,157 @@ std::vector<size_t> OrderConjuncts(const std::vector<Conjunct>& conjuncts,
   return TextualJoinOrder(conjuncts, explain);
 }
 
+// True when a CRPQ / dl-CRPQ atom's relation is exactly one label's edge
+// relation over two distinct variables — the shape the worst-case-optimal
+// join can serve straight from the per-label CSR slices. Mode must be
+// kAll: restricted modes cannot change the pair set of a single-edge
+// regex in useful cases, but kSimple's treatment of self-loops is
+// evaluator-defined, so anything but kAll stays on the binary path.
+bool WcojEligibleAtom(const CrpqAtom& atom) {
+  if (atom.mode != PathMode::kAll) return false;
+  if (atom.from.is_constant || atom.to.is_constant) return false;
+  if (atom.from.name == atom.to.name) return false;
+  if (atom.regex == nullptr || atom.regex->op() != Regex::Op::kAtom) {
+    return false;
+  }
+  const Atom& a = atom.regex->atom();
+  return a.target == Atom::Target::kEdge &&
+         a.label_kind == Atom::LabelKind::kOne && !a.inverse &&
+         !a.capture.has_value() && !a.test.has_value();
+}
+
+// Shared spec construction once a cyclic core is detected: maps the
+// elimination order to variable indices and bakes the resolved label ids.
+// `atoms` holds (conjunct, from, to, label) rows for every candidate.
+struct WcojAtomRow {
+  size_t conjunct;
+  std::string from;
+  std::string to;
+  LabelId label;
+};
+
+std::optional<rel::WcojSpec> BuildWcojSpec(
+    const std::vector<WcojAtomRow>& rows, const SnapshotStats& stats,
+    ExplainInfo* explain) {
+  std::vector<WcojCandidate> candidates;
+  candidates.reserve(rows.size());
+  for (const WcojAtomRow& r : rows) {
+    WcojCandidate c;
+    c.conjunct = r.conjunct;
+    c.from = r.from;
+    c.to = r.to;
+    c.distinct_from = stats.DistinctSources(r.label);
+    c.distinct_to = stats.DistinctTargets(r.label);
+    candidates.push_back(std::move(c));
+  }
+  std::optional<WcojCore> core = DetectWcojCore(candidates);
+  if (!core.has_value()) return std::nullopt;
+
+  rel::WcojSpec spec;
+  spec.vars = core->var_order;
+  spec.conjuncts = core->conjuncts;
+  auto var_index = [&spec](const std::string& v) -> uint32_t {
+    for (size_t i = 0; i < spec.vars.size(); ++i) {
+      if (spec.vars[i] == v) return static_cast<uint32_t>(i);
+    }
+    return UINT32_MAX;  // unreachable: group endpoints are core variables
+  };
+  for (size_t conjunct : core->conjuncts) {
+    for (const WcojAtomRow& r : rows) {
+      if (r.conjunct != conjunct) continue;
+      rel::WcojSpec::AtomSpec a;
+      a.from = var_index(r.from);
+      a.to = var_index(r.to);
+      a.label = r.label;
+      spec.atoms.push_back(a);
+    }
+  }
+  if (explain != nullptr) {
+    explain->wcoj_vars = spec.vars;
+    explain->wcoj_conjuncts = spec.conjuncts;
+  }
+  return spec;
+}
+
+// Detects a cyclic core among the wcoj-eligible atoms of a CRPQ /
+// dl-CRPQ. Labels missing from the graph disqualify their atom (its
+// relation is empty — the binary path disposes of the query instantly).
+std::optional<rel::WcojSpec> PlanCrpqWcoj(const Crpq& q,
+                                          const EdgeLabeledGraph& g,
+                                          const SnapshotStats& stats,
+                                          ExplainInfo* explain) {
+  std::vector<WcojAtomRow> rows;
+  for (size_t i = 0; i < q.atoms.size(); ++i) {
+    const CrpqAtom& atom = q.atoms[i];
+    if (!WcojEligibleAtom(atom)) continue;
+    std::optional<LabelId> label = g.FindLabel(atom.regex->atom().labels[0]);
+    if (!label.has_value()) continue;
+    rows.push_back({i, atom.from.name, atom.to.name, *label});
+  }
+  return BuildWcojSpec(rows, stats, explain);
+}
+
+// The CoreGQL analogue of WcojEligibleAtom: an anonymous-edge two-node
+// chain `(x)-[:l]->(y)` with unlabeled, distinct node variables and no
+// path variable. Returns the endpoints and the label name.
+bool WcojEligibleEntry(const CoreMatchBlock::PatternEntry& entry,
+                       std::string* from, std::string* to,
+                       std::string* label) {
+  if (entry.path_var.has_value() || entry.pattern == nullptr) return false;
+  std::vector<const CorePattern*> leaves;
+  // Flatten the concat spine; any non-atom node disqualifies.
+  std::vector<const CorePattern*> stack = {entry.pattern.get()};
+  while (!stack.empty()) {
+    const CorePattern* p = stack.back();
+    stack.pop_back();
+    switch (p->kind()) {
+      case CorePattern::Kind::kConcat:
+        // Push right below left so leaves pop out left-to-right.
+        stack.push_back(p->right().get());
+        stack.push_back(p->left().get());
+        break;
+      case CorePattern::Kind::kNode:
+      case CorePattern::Kind::kEdge:
+        leaves.push_back(p);
+        break;
+      default:
+        return false;
+    }
+  }
+  if (leaves.size() != 3) return false;
+  const CorePattern& n1 = *leaves[0];
+  const CorePattern& e = *leaves[1];
+  const CorePattern& n2 = *leaves[2];
+  if (n1.kind() != CorePattern::Kind::kNode ||
+      e.kind() != CorePattern::Kind::kEdge ||
+      n2.kind() != CorePattern::Kind::kNode) {
+    return false;
+  }
+  if (!n1.var().has_value() || n1.label().has_value()) return false;
+  if (!n2.var().has_value() || n2.label().has_value()) return false;
+  if (e.var().has_value() || !e.label().has_value()) return false;
+  if (*n1.var() == *n2.var()) return false;
+  *from = *n1.var();
+  *to = *n2.var();
+  *label = *e.label();
+  return true;
+}
+
+std::optional<rel::WcojSpec> PlanCoreGqlWcoj(const CoreMatchBlock& block,
+                                             const EdgeLabeledGraph& g,
+                                             const SnapshotStats& stats,
+                                             ExplainInfo* explain) {
+  std::vector<WcojAtomRow> rows;
+  for (size_t i = 0; i < block.patterns.size(); ++i) {
+    std::string from, to, label;
+    if (!WcojEligibleEntry(block.patterns[i], &from, &to, &label)) continue;
+    std::optional<LabelId> id = g.FindLabel(label);
+    if (!id.has_value()) continue;
+    rows.push_back({i, std::move(from), std::move(to), *id});
+  }
+  return BuildWcojSpec(rows, stats, explain);
+}
+
 }  // namespace
 
 Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
@@ -134,6 +285,10 @@ Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
       }
       compiled.join_order =
           OrderConjuncts(conjuncts, stats != nullptr, &compiled.explain);
+      if (stats != nullptr) {
+        compiled.wcoj = PlanCrpqWcoj(compiled.query, g.skeleton(), *stats,
+                                     &compiled.explain);
+      }
       plan->compiled = std::move(compiled);
       break;
     }
@@ -159,6 +314,10 @@ Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
       }
       compiled.join_order =
           OrderConjuncts(conjuncts, stats != nullptr, &compiled.explain);
+      if (stats != nullptr) {
+        compiled.wcoj = PlanCrpqWcoj(compiled.query, g.skeleton(), *stats,
+                                     &compiled.explain);
+      }
       plan->compiled = std::move(compiled);
       break;
     }
@@ -190,6 +349,12 @@ Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
         ExplainInfo explain;
         compiled.block_orders.push_back(
             OrderConjuncts(conjuncts, stats != nullptr, &explain));
+        if (stats != nullptr) {
+          compiled.block_wcoj.push_back(
+              PlanCoreGqlWcoj(block, g.skeleton(), *stats, &explain));
+        } else {
+          compiled.block_wcoj.emplace_back();
+        }
         compiled.block_explains.push_back(std::move(explain));
       }
       plan->compiled = std::move(compiled);
@@ -245,6 +410,20 @@ Result<PlanPtr> CompilePlan(QueryLanguage language, const std::string& text,
   } else if (const auto* paths = std::get_if<PathsPlan>(&plan->compiled)) {
     CollectRegexDeps(*paths->regex, &plan->deps.labels,
                      &plan->deps.properties);
+  } else if (const auto* gql = std::get_if<CoreGqlPlan>(&plan->compiled)) {
+    // CoreGQL normally resolves names at evaluation time, but a wcoj group
+    // bakes resolved label ids — record those labels so a label-scoped
+    // mutation invalidates the plan exactly like an automata plan.
+    for (size_t b = 0; b < gql->block_wcoj.size(); ++b) {
+      if (!gql->block_wcoj[b].has_value()) continue;
+      const CoreMatchBlock& block = gql->query.blocks[b];
+      for (size_t i : gql->block_wcoj[b]->conjuncts) {
+        std::string from, to, label;
+        if (WcojEligibleEntry(block.patterns[i], &from, &to, &label)) {
+          plan->deps.labels.push_back(std::move(label));
+        }
+      }
+    }
   }
   SortUnique(&plan->deps.labels);
   SortUnique(&plan->deps.properties);

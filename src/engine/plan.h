@@ -16,6 +16,7 @@
 #include "src/planner/explain.h"
 #include "src/planner/stats.h"
 #include "src/regex/ast.h"
+#include "src/rel/wcoj.h"
 #include "src/util/result.h"
 
 namespace gqzoo {
@@ -39,6 +40,12 @@ struct CrpqPlan {
   /// when compiled without stats), plus the EXPLAIN record behind it.
   std::vector<size_t> join_order;
   ExplainInfo explain;
+  /// Set when the planner detected a cyclic core of single-label atoms:
+  /// the worst-case-optimal join group, with label ids resolved at
+  /// compile time (like the NFAs, covered by the same deps). Execution
+  /// honors it only when the engine/request wcoj toggle is on and a
+  /// snapshot is available.
+  std::optional<rel::WcojSpec> wcoj;
 };
 
 struct DlCrpqPlan {
@@ -46,6 +53,7 @@ struct DlCrpqPlan {
   std::vector<DlNfa> atom_nfas;  // parallel to query.atoms
   std::vector<size_t> join_order;
   ExplainInfo explain;
+  std::optional<rel::WcojSpec> wcoj;  // see CrpqPlan::wcoj
 };
 
 struct CoreGqlPlan {
@@ -56,6 +64,11 @@ struct CoreGqlPlan {
   /// to `query.blocks`.
   std::vector<std::vector<size_t>> block_orders;
   std::vector<ExplainInfo> block_explains;
+  /// Per-block wcoj groups (see CrpqPlan::wcoj), parallel to
+  /// `query.blocks`. The baked label ids make these the one CoreGQL
+  /// artifact resolved at compile time, so their label names are added to
+  /// the plan's deps.
+  std::vector<std::optional<rel::WcojSpec>> block_wcoj;
 };
 
 struct GqlGroupPlan {

@@ -307,6 +307,10 @@ class OracleRun {
                           EvalCrpq(g_.skeleton(), q.value(), sharded_options));
     variants.emplace_back("rerun-determinism",
                           EvalCrpq(g_.skeleton(), q.value(), base_options));
+    CrpqEvalOptions batch_options = base_options;
+    batch_options.use_batch = true;
+    variants.emplace_back("row-vs-batch",
+                          EvalCrpq(g_.skeleton(), q.value(), batch_options));
     if (have_mapped_) {
       CrpqEvalOptions mapped_options = base_options;
       mapped_options.snapshot = mapped_.snapshot.get();
@@ -353,6 +357,10 @@ class OracleRun {
                           EvalDlCrpq(g_, q.value(), snap_options));
     variants.emplace_back("rerun-determinism",
                           EvalDlCrpq(g_, q.value(), base_options));
+    DlCrpqEvalOptions batch_options = base_options;
+    batch_options.use_batch = true;
+    variants.emplace_back("row-vs-batch",
+                          EvalDlCrpq(g_, q.value(), batch_options));
     if (have_mapped_) {
       DlCrpqEvalOptions mapped_options = base_options;
       mapped_options.snapshot = mapped_.snapshot.get();
@@ -424,6 +432,10 @@ class OracleRun {
     compare("coregql.graph-vs-snapshot", base, from_snapshot);
     compare("coregql.rerun-determinism", base,
             EvalCoreGqlQuery(g_, q.value(), base_options));
+    CoreQueryEvalOptions batch_options = base_options;
+    batch_options.use_batch = true;
+    compare("coregql.row-vs-batch", base,
+            EvalCoreGqlQuery(g_, q.value(), batch_options));
     if (have_mapped_) {
       CoreQueryEvalOptions mapped_options = base_options;
       mapped_options.path_options.snapshot = mapped_.snapshot.get();
@@ -675,6 +687,54 @@ class OracleRun {
                 textual.value().text);
     }
 
+    // Execution-time kernel policy: every case runs with the wcoj path
+    // forced on and forced off, and with the columnar batch kernel forced
+    // on — the choice of join kernel must be invisible in the rendered
+    // result. On cyclic-core cases (query_gen cyclic_percent) the wcoj
+    // legs genuinely diverge in execution strategy; elsewhere the planner
+    // selects no group and the legs double as no-op coverage.
+    if (c_.language == QueryLanguage::kCrpq ||
+        c_.language == QueryLanguage::kDlCrpq ||
+        c_.language == QueryLanguage::kCoreGql) {
+      struct KernelLeg {
+        const char* check;
+        bool wcoj;
+        bool batch;
+      };
+      const KernelLeg kLegs[] = {
+          {"engine.wcoj-vs-binary", false, false},
+          {"engine.batch-vs-row", true, true},
+          {"engine.wcoj-off-batch-on", false, true},
+      };
+      QueryRequest base_request = request;
+      base_request.use_wcoj = true;
+      base_request.use_batch_kernel = false;
+      Result<QueryResponse> base_run = engine.Execute(base_request);
+      for (const KernelLeg& leg : kLegs) {
+        QueryRequest toggled = request;
+        toggled.use_wcoj = leg.wcoj;
+        toggled.use_batch_kernel = leg.batch;
+        Result<QueryResponse> run = engine.Execute(toggled);
+        if (base_run.ok() != run.ok()) {
+          Check(false, leg.check,
+                base_run.ok()
+                    ? "wcoj-on/batch-off ok but toggled leg failed: " +
+                          run.error().message()
+                    : "wcoj-on/batch-off failed but toggled leg ok: " +
+                          base_run.error().message());
+        } else if (!base_run.ok()) {
+          Check(base_run.error().code() == run.error().code(), leg.check,
+                std::string("error codes differ: ") +
+                    ErrorCodeName(base_run.error().code()) + " vs " +
+                    ErrorCodeName(run.error().code()));
+        } else if (!base_run.value().truncated && !run.value().truncated) {
+          Check(base_run.value().text == run.value().text, leg.check,
+                "base:\n" + base_run.value().text + "toggled:\n" +
+                    run.value().text);
+        }
+      }
+    }
+
     // WHERE-pushdown on/off (CoreGQL only; the response prefixes a
     // "(pushdown: ...)" header line that the comparison strips).
     if (c_.language == QueryLanguage::kCoreGql && cold.ok()) {
@@ -747,6 +807,42 @@ class OracleRun {
   /// site is never reached) — no wrong answers, no other classes.
   void CheckFailpointLegs(const QueryRequest& request,
                           const Result<QueryResponse>& cold) {
+    auto run_site = [&](const char* site, ErrorCode expected_code) {
+      for (bool textual : {false, true}) {
+        ScopedFailpoint fp(site);
+        QueryRequest injected = request;
+        injected.textual_join_order = textual;
+        // A budget forces a governed context, which is what fail-points
+        // trip; large enough to never fire on its own.
+        injected.memory_budget = uint64_t{1} << 40;
+        Result<QueryResponse> run = options_.engine->Execute(injected);
+        const char* check = textual ? "engine.failpoint-parity.textual"
+                                    : "engine.failpoint-parity";
+        if (run.ok()) {
+          // Site not on this query's path (e.g. empty seed set, or a
+          // planner that selected no wcoj group): must then match the
+          // clean run.
+          Check(cold.ok(), check,
+                cold.ok() ? std::string()
+                          : "injected run succeeded but clean run failed: " +
+                                cold.error().message());
+          if (cold.ok() && !cold.value().truncated &&
+              !run.value().truncated) {
+            Check(cold.value().text == run.value().text, check,
+                  "fail-point skipped but results differ");
+          }
+        } else {
+          const ErrorCode code = run.error().code();
+          const bool allowed = code == expected_code ||
+                               (!cold.ok() && code == cold.error().code());
+          Check(allowed, check,
+                std::string(site) + " surfaced as " + ErrorCodeName(code) +
+                    " (expected " + ErrorCodeName(expected_code) + "): " +
+                    run.error().message());
+        }
+      }
+    };
+
     const char* site = nullptr;
     ErrorCode expected_code = ErrorCode::kResourceExhausted;
     switch (c_.language) {
@@ -759,38 +855,16 @@ class OracleRun {
         expected_code = ErrorCode::kCancelled;
         break;
       default:
-        return;  // no fail-point on this plan's hot path
+        break;  // no per-language fail-point on this plan's hot path
     }
-    for (bool textual : {false, true}) {
-      ScopedFailpoint fp(site);
-      QueryRequest injected = request;
-      injected.textual_join_order = textual;
-      // A budget forces a governed context, which is what fail-points trip;
-      // large enough to never fire on its own.
-      injected.memory_budget = uint64_t{1} << 40;
-      Result<QueryResponse> run = options_.engine->Execute(injected);
-      const char* check = textual ? "engine.failpoint-parity.textual"
-                                  : "engine.failpoint-parity";
-      if (run.ok()) {
-        // Site not on this query's path (e.g. empty seed set): must then
-        // match the clean run.
-        Check(cold.ok(), check,
-              cold.ok() ? std::string()
-                        : "injected run succeeded but clean run failed: " +
-                              cold.error().message());
-        if (cold.ok() && !cold.value().truncated && !run.value().truncated) {
-          Check(cold.value().text == run.value().text, check,
-                "fail-point skipped but results differ");
-        }
-      } else {
-        const ErrorCode code = run.error().code();
-        const bool allowed = code == expected_code ||
-                             (!cold.ok() && code == cold.error().code());
-        Check(allowed, check,
-              std::string(site) + " surfaced as " + ErrorCodeName(code) +
-                  " (expected " + ErrorCodeName(expected_code) + "): " +
-                  run.error().message());
-      }
+    if (site != nullptr) run_site(site, expected_code);
+    // The wcoj result-tuple alloc site sits on the hot path of every
+    // language whose planner can select a cyclic core; on acyclic cases it
+    // is simply never reached and the leg degrades to a clean-run match.
+    if (c_.language == QueryLanguage::kCrpq ||
+        c_.language == QueryLanguage::kDlCrpq ||
+        c_.language == QueryLanguage::kCoreGql) {
+      run_site("crpq.wcoj.alloc", ErrorCode::kResourceExhausted);
     }
   }
 

@@ -77,6 +77,71 @@ std::string GenCorePattern(FuzzRng* rng,
   return out;
 }
 
+/// A triangle (70%) or 4-clique of single-label forward atoms over
+/// distinct variables — the cyclic-core shape the planner replaces with a
+/// wcoj group (engine/plan.cc). Labels still go through PickLabel, so
+/// match-nothing atoms (which disqualify their conjunct from the group and
+/// push the case back to the binary path) stay in the mix, and the head
+/// projects a random nonempty variable subset to exercise projection and
+/// dedup over wcoj output.
+std::string GenCyclicConjuncts(FuzzRng* rng, QueryLanguage language,
+                               const std::vector<std::string>& labels) {
+  static const char* kVars[] = {"x", "y", "z", "w"};
+  const size_t n = rng->Percent(70) ? 3 : 4;
+  std::string atoms;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!atoms.empty()) atoms += ", ";
+      const std::string label = PickLabel(rng, labels);
+      if (language == QueryLanguage::kDlCrpq) {
+        atoms += "[" + label + "] (" + kVars[i] + ", " + kVars[j] + ")";
+      } else {
+        atoms += "(" + label + ")(" + kVars[i] + ", " + kVars[j] + ")";
+      }
+    }
+  }
+  std::string head;
+  size_t picked = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Guarantee nonempty by always keeping the last variable if none made it.
+    if (rng->Percent(70) || (picked == 0 && i + 1 == n)) {
+      if (picked++ > 0) head += ", ";
+      head += kVars[i];
+    }
+  }
+  return "q(" + head + ") := " + atoms;
+}
+
+/// The CoreGQL cyclic analogue: comma-joined single-hop patterns forming a
+/// triangle or 4-clique, occasionally with a WHERE condition (filters run
+/// after the join stage, so they must see identical wcoj/binary output).
+std::string GenCyclicCoreGql(FuzzRng* rng,
+                             const std::vector<std::string>& labels) {
+  static const char* kVars[] = {"x", "y", "z", "w"};
+  const size_t n = rng->Percent(70) ? 3 : 4;
+  std::vector<std::string> vars(kVars, kVars + n);
+  std::string out = "MATCH ";
+  bool first = true;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!first) out += ", ";
+      first = false;
+      out += "(" + vars[i] + ")-[:" + PickLabel(rng, labels) + "]->(" +
+             vars[j] + ")";
+    }
+  }
+  if (rng->Percent(30)) out += " WHERE " + GenCoreCondition(rng, vars);
+  out += " RETURN ";
+  size_t picked = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Percent(70) || (picked == 0 && i + 1 == n)) {
+      if (picked++ > 0) out += ", ";
+      out += vars[i];
+    }
+  }
+  return out;
+}
+
 std::string GenCoreGqlBlock(FuzzRng* rng,
                             const std::vector<std::string>& labels,
                             const std::vector<std::string>& return_items) {
@@ -241,6 +306,9 @@ std::string GenQueryText(FuzzRng* rng, QueryLanguage language,
 
     case QueryLanguage::kCrpq:
     case QueryLanguage::kDlCrpq: {
+      if (rng->Percent(options.cyclic_percent)) {
+        return GenCyclicConjuncts(rng, language, labels);
+      }
       static const char* kVars[] = {"x", "y", "z", "w"};
       const size_t num_atoms = rng->Range(1, options.max_atoms);
       std::vector<std::string> endpoint_vars;
@@ -325,6 +393,9 @@ std::string GenQueryText(FuzzRng* rng, QueryLanguage language,
     }
 
     case QueryLanguage::kCoreGql: {
+      if (rng->Percent(options.cyclic_percent)) {
+        return GenCyclicCoreGql(rng, labels);
+      }
       std::vector<std::string> returns;
       returns.push_back("x");
       if (rng->Percent(40)) returns.push_back(rng->Percent(50) ? "y" : "x.k");

@@ -24,6 +24,12 @@ struct QueryGenOptions {
   uint64_t constant_percent = 15;
   /// Percent of atoms that carry a list-variable capture (`^z1`).
   uint64_t capture_percent = 30;
+  /// Percent of CRPQ / dl-CRPQ / CoreGQL cases generated as a cyclic core
+  /// (triangle or 4-clique of single-label forward atoms over distinct
+  /// variables) — exactly the shape the planner hands to the worst-case-
+  /// optimal join, so the engine's wcoj-vs-binary leg runs through the
+  /// wcoj path instead of trivially matching on acyclic queries.
+  uint64_t cyclic_percent = 20;
 };
 
 /// A regex in the plain dialect over `labels` (atoms may also use `_`,

@@ -29,6 +29,14 @@ struct ExplainInfo {
   bool planned = false;
   std::vector<ExplainEntry> order;
 
+  /// When the planner carved a cyclic core out for the worst-case-optimal
+  /// join, the chosen variable elimination order and the conjuncts the
+  /// wcoj group absorbs (the binary `order` above still lists every
+  /// conjunct, so the two strategies can be read side by side). Empty
+  /// when no cyclic core was detected.
+  std::vector<std::string> wcoj_vars;
+  std::vector<size_t> wcoj_conjuncts;
+
   std::string ToString() const;
 };
 

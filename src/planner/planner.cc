@@ -1,6 +1,7 @@
 #include "src/planner/planner.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -84,9 +85,119 @@ std::vector<size_t> TextualJoinOrder(const std::vector<Conjunct>& conjuncts,
   return order;
 }
 
+std::optional<WcojCore> DetectWcojCore(
+    const std::vector<WcojCandidate>& candidates) {
+  // Simple variable graph: vertices are variable names, one edge per
+  // distinct unordered endpoint pair.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const WcojCandidate& c : candidates) {
+    if (c.from == c.to) continue;  // self-loop atoms never extend a cycle
+    adj[c.from].insert(c.to);
+    adj[c.to].insert(c.from);
+  }
+
+  // 2-core: iteratively strip degree <= 1 variables.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = adj.begin(); it != adj.end();) {
+      if (it->second.size() <= 1) {
+        for (const std::string& n : it->second) adj[n].erase(it->first);
+        it = adj.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (adj.empty()) return std::nullopt;
+
+  // The group is the 2-core component of the textually-first candidate
+  // whose endpoints both survived.
+  const WcojCandidate* seed = nullptr;
+  for (const WcojCandidate& c : candidates) {
+    if (adj.count(c.from) > 0 && adj.count(c.to) > 0) {
+      seed = &c;
+      break;
+    }
+  }
+  if (seed == nullptr) return std::nullopt;
+  std::set<std::string> core;
+  std::vector<std::string> frontier = {seed->from};
+  core.insert(seed->from);
+  while (!frontier.empty()) {
+    std::string v = std::move(frontier.back());
+    frontier.pop_back();
+    for (const std::string& n : adj[v]) {
+      if (core.insert(n).second) frontier.push_back(n);
+    }
+  }
+
+  WcojCore out;
+  // est[v]: the cheapest candidate list any group atom offers v.
+  std::map<std::string, uint64_t> est;
+  std::map<std::string, std::set<std::string>> group_adj;
+  for (const WcojCandidate& c : candidates) {
+    if (c.from == c.to) continue;
+    if (core.count(c.from) == 0 || core.count(c.to) == 0) continue;
+    out.conjuncts.push_back(c.conjunct);
+    auto relax = [&](const std::string& v, uint64_t cost) {
+      auto [it, fresh] = est.emplace(v, cost);
+      if (!fresh && cost < it->second) it->second = cost;
+    };
+    relax(c.from, c.distinct_from);
+    relax(c.to, c.distinct_to);
+    if (c.from != c.to) {
+      group_adj[c.from].insert(c.to);
+      group_adj[c.to].insert(c.from);
+    }
+  }
+
+  // Greedy smallest-first elimination order, connected after the first.
+  std::set<std::string> ordered;
+  while (ordered.size() < core.size()) {
+    std::string best;
+    for (const auto& [v, cost] : est) {
+      if (ordered.count(v) > 0) continue;
+      if (!ordered.empty()) {
+        bool touches = false;
+        for (const std::string& n : group_adj[v]) {
+          if (ordered.count(n) > 0) {
+            touches = true;
+            break;
+          }
+        }
+        if (!touches) continue;
+      }
+      if (best.empty() || cost < est[best] ||
+          (cost == est[best] && v < best)) {
+        best = v;
+      }
+    }
+    if (best.empty()) break;  // unreachable: the component is connected
+    out.var_order.push_back(best);
+    ordered.insert(best);
+  }
+  if (out.var_order.size() != core.size()) return std::nullopt;
+  return out;
+}
+
 std::string ExplainInfo::ToString() const {
   std::ostringstream out;
   out << "join order (" << (planned ? "planner" : "textual") << "):\n";
+  if (!wcoj_vars.empty()) {
+    out << "  wcoj(";
+    for (size_t i = 0; i < wcoj_vars.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << wcoj_vars[i];
+    }
+    out << ")  conjuncts=[";
+    for (size_t i = 0; i < wcoj_conjuncts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << wcoj_conjuncts[i];
+    }
+    out << "]  replaces the binary order below\n";
+  }
   for (size_t step = 0; step < order.size(); ++step) {
     const ExplainEntry& e = order[step];
     out << "  " << step + 1 << ". [" << e.conjunct << "] " << e.label;

@@ -2,6 +2,7 @@
 #define GQZOO_PLANNER_PLANNER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,43 @@ std::vector<size_t> GreedyJoinOrder(const std::vector<Conjunct>& conjuncts,
 /// The identity (textual) order, recorded with `planned = false`.
 std::vector<size_t> TextualJoinOrder(const std::vector<Conjunct>& conjuncts,
                                      ExplainInfo* explain = nullptr);
+
+/// A conjunct eligible for the worst-case-optimal join: a single-label
+/// forward edge atom between two distinct non-constant variables (the
+/// shape whose relation is exactly one per-label CSR slice family). The
+/// per-endpoint distinct counts come from `SnapshotStats` and drive the
+/// variable elimination order.
+struct WcojCandidate {
+  size_t conjunct = 0;  // index in textual order
+  std::string from;
+  std::string to;
+  uint64_t distinct_from = 1;  // distinct sources carrying the label
+  uint64_t distinct_to = 1;    // distinct targets carrying the label
+};
+
+/// A detected cyclic core: the candidate conjuncts it absorbs (textual
+/// order) and the chosen variable elimination order.
+struct WcojCore {
+  std::vector<size_t> conjuncts;
+  std::vector<std::string> var_order;
+};
+
+/// Detects a cyclic core among the eligible conjuncts and picks its
+/// elimination order. The candidates' variable graph is deduplicated to a
+/// simple graph (parallel atoms between the same pair never make a core
+/// by themselves — binary joins handle them without intermediate blowup)
+/// and pruned to its 2-core by iteratively deleting degree <= 1
+/// variables. If a 2-core survives, the connected component containing
+/// the textually-first surviving candidate becomes the wcoj group: every
+/// candidate with both endpoints in the component. The elimination order
+/// is greedy smallest-first over the component's variables: each
+/// variable's cost is the smallest distinct count any incident group atom
+/// gives it, the first variable is the global minimum and each next
+/// variable must touch the already-ordered set (ties break toward the
+/// lexicographically smaller name, so the order is deterministic).
+/// Returns nullopt when the variable graph is acyclic.
+std::optional<WcojCore> DetectWcojCore(
+    const std::vector<WcojCandidate>& candidates);
 
 }  // namespace gqzoo
 

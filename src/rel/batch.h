@@ -1,0 +1,425 @@
+#ifndef GQZOO_REL_BATCH_H_
+#define GQZOO_REL_BATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/rel/rel.h"
+
+namespace gqzoo {
+namespace rel {
+
+/// Columnar twin of the row kernel (rel.h).
+///
+/// A `ColumnBatch<Cell>` stores one column per attribute. A column whose
+/// cells are all graph ids (the NodeId alternative of `CrpqValue`, the
+/// node-ref alternative of `CoreCell`) is held as a raw
+/// `std::vector<uint32_t>` with no `Cell` boxes at all; the first non-id
+/// cell demotes the column to an index vector into a `side` store of real
+/// `Cell`s. Conjunctive cores bind node variables almost exclusively, so
+/// the hot joins run over packed u32 columns and only list/value/path
+/// columns pay for the variant.
+///
+/// The batch operators below are drop-in twins of the row operators: same
+/// output rows in the same order, and the *identical* `QueryContext`
+/// charge sequence (same per-entry amounts, in the same order, with the
+/// alloc fail-point consulted at the same points), so a budget that trips
+/// mid-join leaves the same partial result and the same `BudgetReport`
+/// first cause as the row kernel would. The charge formulas deliberately
+/// keep `sizeof(Cell)` even for packed id columns: the budget models the
+/// row kernel's allocation behaviour, and diverging would make the two
+/// kernels observably different under a governed run.
+
+/// Which cells of `Cell` pack into a u32 id column. The primary template
+/// packs nothing (every cell goes to the side store); the two variant
+/// specializations cover the kernel's instantiations: `CrpqValue`
+/// (NodeId-first) and `CoreCell` (ObjectRef-first, node refs only — edge
+/// refs compare after node refs, so only the node alternative keeps u32
+/// order equal to `Cell` order).
+template <typename Cell>
+struct BatchCellTraits {
+  static bool IsId(const Cell&) { return false; }
+  static uint32_t IdOf(const Cell&) { return 0; }
+  static Cell FromId(uint32_t) { return Cell{}; }
+};
+
+template <typename... Ts>
+struct BatchCellTraits<std::variant<uint32_t, Ts...>> {
+  using Cell = std::variant<uint32_t, Ts...>;
+  static bool IsId(const Cell& c) { return c.index() == 0; }
+  static uint32_t IdOf(const Cell& c) { return std::get<0>(c); }
+  static Cell FromId(uint32_t v) { return Cell(std::in_place_index<0>, v); }
+};
+
+template <typename... Ts>
+struct BatchCellTraits<std::variant<ObjectRef, Ts...>> {
+  using Cell = std::variant<ObjectRef, Ts...>;
+  static bool IsId(const Cell& c) {
+    return c.index() == 0 && std::get<0>(c).is_node();
+  }
+  static uint32_t IdOf(const Cell& c) { return std::get<0>(c).id; }
+  static Cell FromId(uint32_t v) {
+    return Cell(std::in_place_index<0>, ObjectRef::Node(v));
+  }
+};
+
+template <typename Cell>
+struct ColumnBatch {
+  using Traits = BatchCellTraits<Cell>;
+
+  struct Column {
+    bool all_ids = true;          // null-free id column?
+    std::vector<uint32_t> data;   // ids, or indices into `side`
+    std::vector<Cell> side;       // boxed cells (empty while all_ids)
+
+    Cell At(size_t row) const {
+      return all_ids ? Traits::FromId(data[row]) : side[data[row]];
+    }
+    void AppendId(uint32_t v) {
+      if (all_ids) {
+        data.push_back(v);
+        return;
+      }
+      data.push_back(static_cast<uint32_t>(side.size()));
+      side.push_back(Traits::FromId(v));
+    }
+    void Append(const Cell& c) {
+      if (all_ids && Traits::IsId(c)) {
+        data.push_back(Traits::IdOf(c));
+        return;
+      }
+      if (all_ids) Demote();
+      data.push_back(static_cast<uint32_t>(side.size()));
+      side.push_back(c);
+    }
+    void AppendFrom(const Column& src, size_t row) {
+      if (src.all_ids) {
+        AppendId(src.data[row]);
+      } else {
+        Append(src.side[src.data[row]]);
+      }
+    }
+    // Re-box the packed ids so the column can hold arbitrary cells.
+    void Demote() {
+      side.reserve(data.size());
+      for (size_t i = 0; i < data.size(); ++i) {
+        side.push_back(Traits::FromId(data[i]));
+        data[i] = static_cast<uint32_t>(i);
+      }
+      all_ids = false;
+    }
+    // Three-way compare of two cells of this column; u32 order equals
+    // Cell order for id columns (same variant alternative throughout).
+    int Compare(size_t r1, size_t r2) const {
+      if (all_ids) {
+        if (data[r1] != data[r2]) return data[r1] < data[r2] ? -1 : 1;
+        return 0;
+      }
+      const Cell& c1 = side[data[r1]];
+      const Cell& c2 = side[data[r2]];
+      if (c1 < c2) return -1;
+      if (c2 < c1) return 1;
+      return 0;
+    }
+  };
+
+  std::vector<std::string> schema;
+  std::vector<Column> cols;
+  size_t num_rows = 0;
+
+  size_t AttrIndex(const std::string& name) const {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i] == name) return i;
+    }
+    return SIZE_MAX;
+  }
+};
+
+template <typename Cell>
+ColumnBatch<Cell> ToBatch(const Table<Cell>& t) {
+  ColumnBatch<Cell> out;
+  out.schema = t.schema;
+  out.cols.resize(t.schema.size());
+  out.num_rows = t.rows.size();
+  for (const auto& row : t.rows) {
+    for (size_t c = 0; c < row.size(); ++c) out.cols[c].Append(row[c]);
+  }
+  return out;
+}
+
+template <typename Cell>
+Table<Cell> ToTable(const ColumnBatch<Cell>& b) {
+  Table<Cell> out;
+  out.schema = b.schema;
+  out.rows.reserve(b.num_rows);
+  for (size_t r = 0; r < b.num_rows; ++r) {
+    std::vector<Cell> row;
+    row.reserve(b.cols.size());
+    for (const auto& col : b.cols) row.push_back(col.At(r));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+namespace batch_internal {
+
+struct IdKeyHash {
+  size_t operator()(const std::vector<uint32_t>& key) const {
+    size_t h = key.size();
+    for (uint32_t v : key) h = HashCombine(h, HashCell(v));
+    return h;
+  }
+};
+
+template <typename Cell>
+bool AllIdColumns(const ColumnBatch<Cell>& b, const std::vector<size_t>& idx) {
+  for (size_t i : idx) {
+    if (!b.cols[i].all_ids) return false;
+  }
+  return true;
+}
+
+// Gathers `rows` of `src` into a fresh batch with the same schema/layout.
+template <typename Cell>
+ColumnBatch<Cell> Gather(const ColumnBatch<Cell>& src,
+                         const std::vector<size_t>& rows) {
+  ColumnBatch<Cell> out;
+  out.schema = src.schema;
+  out.cols.resize(src.cols.size());
+  out.num_rows = rows.size();
+  for (size_t c = 0; c < src.cols.size(); ++c) {
+    for (size_t r : rows) out.cols[c].AppendFrom(src.cols[c], r);
+  }
+  return out;
+}
+
+}  // namespace batch_internal
+
+/// Columnar Dedupe: sorts a row permutation (column-major comparisons, no
+/// row materialization) and gathers the unique rows. Same lexicographic
+/// row order as the row kernel's `Dedupe`, and skipped on a tripped
+/// context for the same prompt-unwinding reason.
+template <typename Cell>
+void BatchDedupe(ColumnBatch<Cell>* b, const QueryContext* ctx = nullptr) {
+  if (HasStopped(ctx)) return;
+  std::vector<size_t> perm(b->num_rows);
+  std::iota(perm.begin(), perm.end(), 0);
+  auto cmp3 = [b](size_t r1, size_t r2) {
+    for (const auto& col : b->cols) {
+      int c = col.Compare(r1, r2);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+  std::sort(perm.begin(), perm.end(),
+            [&cmp3](size_t r1, size_t r2) { return cmp3(r1, r2) < 0; });
+  std::vector<size_t> keep;
+  keep.reserve(perm.size());
+  for (size_t r : perm) {
+    if (!keep.empty() && cmp3(keep.back(), r) == 0) continue;
+    keep.push_back(r);
+  }
+  *b = batch_internal::Gather(*b, keep);
+}
+
+/// Columnar natural join. Byte-identical outputs and charge sequence to
+/// the row kernel's `NaturalJoin` (see file comment); when every key
+/// column on both sides is a packed id column the build/probe keys are
+/// raw u32 vectors and no `Cell` is ever boxed on the hot path.
+template <typename Cell>
+ColumnBatch<Cell> BatchNaturalJoin(const ColumnBatch<Cell>& a,
+                                   const ColumnBatch<Cell>& b,
+                                   const QueryContext* ctx = nullptr,
+                                   const char* alloc_failpoint = nullptr) {
+  JoinLayout layout = ComputeJoinLayout(a.schema, b.schema);
+  ColumnBatch<Cell> out;
+  out.schema = a.schema;
+  for (size_t j : layout.b_only) out.schema.push_back(b.schema[j]);
+  out.cols.resize(out.schema.size());
+
+  const uint64_t entry_bytes = layout.shared_b.size() * sizeof(Cell) + 48;
+  const uint64_t tuple_bytes = out.schema.size() * sizeof(Cell) + 32;
+  const bool id_keys = batch_internal::AllIdColumns(a, layout.shared_a) &&
+                       batch_internal::AllIdColumns(b, layout.shared_b);
+
+  auto emit = [&](size_t ra, size_t rb) {
+    size_t c = 0;
+    for (; c < a.cols.size(); ++c) out.cols[c].AppendFrom(a.cols[c], ra);
+    for (size_t j : layout.b_only) out.cols[c++].AppendFrom(b.cols[j], rb);
+    ++out.num_rows;
+  };
+  // Per-match governance, identical to the row kernel: fail-point first,
+  // then the output-tuple charge.
+  auto admit = [&]() -> bool {
+    if (ctx != nullptr && alloc_failpoint != nullptr &&
+        Failpoint::ShouldFail(alloc_failpoint)) {
+      ctx->Trip(StopCause::kMemoryBudget);
+      return false;
+    }
+    return ChargeMemory(ctx, tuple_bytes);
+  };
+
+  ScopedMemoryCharge index_bytes(ctx);
+  if (id_keys) {
+    std::unordered_map<std::vector<uint32_t>, std::vector<size_t>,
+                       batch_internal::IdKeyHash>
+        index;
+    index.reserve(b.num_rows);
+    for (size_t i = 0; i < b.num_rows; ++i) {
+      if (!index_bytes.Charge(entry_bytes)) return out;
+      std::vector<uint32_t> key;
+      key.reserve(layout.shared_b.size());
+      for (size_t j : layout.shared_b) key.push_back(b.cols[j].data[i]);
+      index[std::move(key)].push_back(i);
+    }
+    std::vector<uint32_t> key;
+    for (size_t ra = 0; ra < a.num_rows; ++ra) {
+      if (ShouldStop(ctx)) return out;
+      key.clear();
+      for (size_t j : layout.shared_a) key.push_back(a.cols[j].data[ra]);
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (size_t rb : it->second) {
+        if (!admit()) return out;
+        emit(ra, rb);
+      }
+    }
+    return out;
+  }
+
+  std::unordered_map<std::vector<Cell>, std::vector<size_t>, RowHash<Cell>>
+      index;
+  index.reserve(b.num_rows);
+  for (size_t i = 0; i < b.num_rows; ++i) {
+    if (!index_bytes.Charge(entry_bytes)) return out;
+    std::vector<Cell> key;
+    key.reserve(layout.shared_b.size());
+    for (size_t j : layout.shared_b) key.push_back(b.cols[j].At(i));
+    index[std::move(key)].push_back(i);
+  }
+  std::vector<Cell> key;
+  for (size_t ra = 0; ra < a.num_rows; ++ra) {
+    if (ShouldStop(ctx)) return out;
+    key.clear();
+    for (size_t j : layout.shared_a) key.push_back(a.cols[j].At(ra));
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (size_t rb : it->second) {
+      if (!admit()) return out;
+      emit(ra, rb);
+    }
+  }
+  return out;
+}
+
+/// Columnar semijoin, twin of the row kernel's `SemiJoin`.
+template <typename Cell>
+ColumnBatch<Cell> BatchSemiJoin(const ColumnBatch<Cell>& a,
+                                const ColumnBatch<Cell>& b,
+                                const QueryContext* ctx = nullptr) {
+  JoinLayout layout = ComputeJoinLayout(a.schema, b.schema);
+  ColumnBatch<Cell> out;
+  out.schema = a.schema;
+  out.cols.resize(a.cols.size());
+  if (layout.shared_b.empty()) {
+    if (b.num_rows != 0) {
+      std::vector<size_t> all(a.num_rows);
+      std::iota(all.begin(), all.end(), 0);
+      out = batch_internal::Gather(a, all);
+    }
+    return out;
+  }
+
+  const uint64_t entry_bytes = layout.shared_b.size() * sizeof(Cell) + 48;
+  const uint64_t keep_bytes = a.schema.size() * sizeof(Cell) + 32;
+  ScopedMemoryCharge index_bytes(ctx);
+  std::unordered_map<std::vector<Cell>, bool, RowHash<Cell>> index;
+  index.reserve(b.num_rows);
+  for (size_t i = 0; i < b.num_rows; ++i) {
+    if (!index_bytes.Charge(entry_bytes)) return out;
+    std::vector<Cell> key;
+    key.reserve(layout.shared_b.size());
+    for (size_t j : layout.shared_b) key.push_back(b.cols[j].At(i));
+    index.emplace(std::move(key), true);
+  }
+  std::vector<Cell> key;
+  for (size_t ra = 0; ra < a.num_rows; ++ra) {
+    if (ShouldStop(ctx)) return out;
+    key.clear();
+    for (size_t j : layout.shared_a) key.push_back(a.cols[j].At(ra));
+    if (index.find(key) == index.end()) continue;
+    if (!ChargeMemory(ctx, keep_bytes)) return out;
+    for (size_t c = 0; c < a.cols.size(); ++c) {
+      out.cols[c].AppendFrom(a.cols[c], ra);
+    }
+    ++out.num_rows;
+  }
+  return out;
+}
+
+/// Columnar projection with normalization, twin of the row kernel's
+/// `Project`. Returns false if some attribute is missing.
+template <typename Cell>
+bool BatchProject(const ColumnBatch<Cell>& t,
+                  const std::vector<std::string>& attrs,
+                  ColumnBatch<Cell>* out, const QueryContext* ctx = nullptr) {
+  std::vector<size_t> indices;
+  for (const std::string& x : attrs) {
+    size_t i = t.AttrIndex(x);
+    if (i == SIZE_MAX) return false;
+    indices.push_back(i);
+  }
+  out->schema = attrs;
+  out->cols.clear();
+  out->cols.resize(attrs.size());
+  out->num_rows = t.num_rows;
+  for (size_t c = 0; c < indices.size(); ++c) {
+    for (size_t r = 0; r < t.num_rows; ++r) {
+      out->cols[c].AppendFrom(t.cols[indices[c]], r);
+    }
+  }
+  BatchDedupe(out, ctx);
+  return true;
+}
+
+/// Table-level drop-in twins: convert, run the batch operator, convert
+/// back. The evaluators call these behind the engine's batch-kernel
+/// toggle, so both kernels stay live as differential oracles.
+template <typename Cell>
+Table<Cell> NaturalJoinBatched(const Table<Cell>& a, const Table<Cell>& b,
+                               const QueryContext* ctx = nullptr,
+                               const char* alloc_failpoint = nullptr) {
+  ColumnBatch<Cell> ca = ToBatch(a);
+  ColumnBatch<Cell> cb = ToBatch(b);
+  return ToTable(BatchNaturalJoin(ca, cb, ctx, alloc_failpoint));
+}
+
+template <typename Cell>
+Table<Cell> SemiJoinBatched(const Table<Cell>& a, const Table<Cell>& b,
+                            const QueryContext* ctx = nullptr) {
+  ColumnBatch<Cell> ca = ToBatch(a);
+  ColumnBatch<Cell> cb = ToBatch(b);
+  return ToTable(BatchSemiJoin(ca, cb, ctx));
+}
+
+template <typename Cell>
+bool ProjectBatched(const Table<Cell>& t, const std::vector<std::string>& attrs,
+                    Table<Cell>* out, const QueryContext* ctx = nullptr) {
+  ColumnBatch<Cell> ct = ToBatch(t);
+  ColumnBatch<Cell> cout;
+  if (!BatchProject(ct, attrs, &cout, ctx)) return false;
+  *out = ToTable(cout);
+  return true;
+}
+
+}  // namespace rel
+}  // namespace gqzoo
+
+#endif  // GQZOO_REL_BATCH_H_

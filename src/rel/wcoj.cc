@@ -1,0 +1,188 @@
+#include "src/rel/wcoj.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/failpoint.h"
+
+namespace gqzoo {
+namespace rel {
+
+namespace {
+
+/// The per-run state of one generic-join execution: memoized candidate
+/// lists plus the recursive binder. Levels are `spec.vars` positions; an
+/// atom `l(f, t)` constrains the *later* of its endpoints with a
+/// neighbour list of the earlier one, and contributes a graph-wide label
+/// support list at the earlier level (its other endpoint is still free
+/// there, so the only requirement is a non-empty slice in the right
+/// direction).
+class WcojRun {
+ public:
+  WcojRun(const GraphSnapshot& snap, const WcojSpec& spec,
+          uint64_t tuple_bytes, const QueryContext* ctx,
+          const char* alloc_failpoint)
+      : snap_(snap),
+        spec_(spec),
+        tuple_bytes_(tuple_bytes),
+        ctx_(ctx),
+        alloc_failpoint_(alloc_failpoint),
+        cache_bytes_(ctx) {}
+
+  std::vector<std::vector<NodeId>> Run() {
+    const size_t n = spec_.vars.size();
+    levels_.resize(n);
+    for (const WcojSpec::AtomSpec& atom : spec_.atoms) {
+      const size_t lo = std::min(atom.from, atom.to);
+      const size_t hi = std::max(atom.from, atom.to);
+      // Binding the target walks the source's out-slice and vice versa.
+      const bool out = atom.to == hi;
+      levels_[hi].neigh.push_back({lo, atom.label, out});
+      levels_[lo].support.push_back({atom.label, out});
+    }
+    binding_.resize(n);
+    Bind(0);
+    return std::move(rows_);
+  }
+
+ private:
+  struct Neigh {
+    size_t other;   // earlier level holding the bound endpoint
+    LabelId label;
+    bool out;       // true: candidates = out-neighbours of binding[other]
+  };
+  struct Level {
+    std::vector<Neigh> neigh;
+    std::vector<std::pair<LabelId, bool>> support;  // (label, needs out-slice)
+  };
+
+  /// All nodes with a non-empty out (or in) slice for `label`, in id
+  /// order. Computed once per (label, direction) and charged.
+  const std::vector<NodeId>* SupportList(LabelId label, bool out) {
+    const uint64_t key = (uint64_t{label} << 1) | (out ? 1 : 0);
+    auto it = support_.find(key);
+    if (it != support_.end()) return &it->second;
+    std::vector<NodeId> nodes;
+    const size_t n = snap_.NumNodes();
+    for (NodeId v = 0; v < n; ++v) {
+      const GraphSnapshot::Slice s = out ? snap_.Out(v, label)
+                                         : snap_.In(v, label);
+      if (!s.empty()) nodes.push_back(v);
+    }
+    if (!cache_bytes_.Charge(nodes.size() * sizeof(NodeId) + 48)) {
+      ok_ = false;
+      return nullptr;
+    }
+    return &support_.emplace(key, std::move(nodes)).first->second;
+  }
+
+  /// Sorted, uniqued neighbour ids of `v`'s label slice. The CSR orders a
+  /// label run by edge id, so parallel edges repeat a neighbour and the
+  /// run is not id-sorted — extract, sort, unique, memoize.
+  const std::vector<NodeId>* AdjList(NodeId v, LabelId label, bool out) {
+    const uint64_t key =
+        (uint64_t{v} << 32) | (uint64_t{label} << 1) | (out ? 1 : 0);
+    auto it = adj_.find(key);
+    if (it != adj_.end()) return &it->second;
+    const GraphSnapshot::Slice s = out ? snap_.Out(v, label)
+                                       : snap_.In(v, label);
+    std::vector<NodeId> nodes;
+    nodes.reserve(s.size());
+    for (const GraphSnapshot::Hop& h : s) nodes.push_back(h.node);
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    if (!cache_bytes_.Charge(nodes.size() * sizeof(NodeId) + 48)) {
+      ok_ = false;
+      return nullptr;
+    }
+    return &adj_.emplace(key, std::move(nodes)).first->second;
+  }
+
+  void Bind(size_t level) {
+    if (!ok_) return;
+    const Level& lv = levels_[level];
+    // Gather this level's sorted candidate lists.
+    std::vector<const std::vector<NodeId>*> lists;
+    lists.reserve(lv.support.size() + lv.neigh.size());
+    for (const auto& [label, out] : lv.support) {
+      const std::vector<NodeId>* l = SupportList(label, out);
+      if (l == nullptr) return;
+      lists.push_back(l);
+    }
+    for (const Neigh& ng : lv.neigh) {
+      const std::vector<NodeId>* l = AdjList(binding_[ng.other], ng.label,
+                                             ng.out);
+      if (l == nullptr) return;
+      lists.push_back(l);
+    }
+    if (lists.empty()) {
+      // Malformed spec: a variable no atom constrains. Refuse rather than
+      // enumerate the node universe.
+      ok_ = false;
+      return;
+    }
+    size_t base = 0;
+    for (size_t i = 1; i < lists.size(); ++i) {
+      if (lists[i]->size() < lists[base]->size()) base = i;
+    }
+    // Leapfrog over the smallest list, probing the rest.
+    for (NodeId v : *lists[base]) {
+      if (ShouldStop(ctx_)) {
+        ok_ = false;
+        return;
+      }
+      bool hit = true;
+      for (size_t i = 0; i < lists.size() && hit; ++i) {
+        if (i == base) continue;
+        hit = std::binary_search(lists[i]->begin(), lists[i]->end(), v);
+      }
+      if (!hit) continue;
+      binding_[level] = v;
+      if (level + 1 < levels_.size()) {
+        Bind(level + 1);
+        if (!ok_) return;
+        continue;
+      }
+      // Full binding: governed exactly like a join output tuple.
+      if (ctx_ != nullptr && alloc_failpoint_ != nullptr &&
+          Failpoint::ShouldFail(alloc_failpoint_)) {
+        ctx_->Trip(StopCause::kMemoryBudget);
+        ok_ = false;
+        return;
+      }
+      if (!ChargeMemory(ctx_, tuple_bytes_)) {
+        ok_ = false;
+        return;
+      }
+      rows_.push_back(binding_);
+    }
+  }
+
+  const GraphSnapshot& snap_;
+  const WcojSpec& spec_;
+  const uint64_t tuple_bytes_;
+  const QueryContext* ctx_;
+  const char* alloc_failpoint_;
+  ScopedMemoryCharge cache_bytes_;
+  std::vector<Level> levels_;
+  std::vector<NodeId> binding_;
+  std::unordered_map<uint64_t, std::vector<NodeId>> support_;
+  std::unordered_map<uint64_t, std::vector<NodeId>> adj_;
+  std::vector<std::vector<NodeId>> rows_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> WcojEval(const GraphSnapshot& snap,
+                                          const WcojSpec& spec,
+                                          uint64_t tuple_bytes,
+                                          const QueryContext* ctx,
+                                          const char* alloc_failpoint) {
+  if (spec.vars.empty()) return {};
+  return WcojRun(snap, spec, tuple_bytes, ctx, alloc_failpoint).Run();
+}
+
+}  // namespace rel
+}  // namespace gqzoo

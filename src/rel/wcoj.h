@@ -1,0 +1,58 @@
+#ifndef GQZOO_REL_WCOJ_H_
+#define GQZOO_REL_WCOJ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/util/query_context.h"
+
+namespace gqzoo {
+namespace rel {
+
+/// A planned worst-case-optimal join over a cyclic core of single-label
+/// edge atoms. Produced by the planner (plan.cc resolves label names
+/// against the graph at compile time, exactly like the compiled NFAs);
+/// executed by `WcojEval` directly over a `GraphSnapshot`'s per-label CSR
+/// slices — no materialized trie, no binary intermediates.
+struct WcojSpec {
+  /// One core atom `l(from, to)`: indices into `vars`, which is the
+  /// variable *elimination order* chosen from `SnapshotStats`.
+  struct AtomSpec {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    LabelId label = 0;
+  };
+  std::vector<std::string> vars;   // elimination order
+  std::vector<AtomSpec> atoms;
+  std::vector<size_t> conjuncts;   // group members (textual conjunct indices)
+};
+
+/// Leapfrog-style generic join: binds `spec.vars` one at a time, each
+/// level intersecting the sorted candidate lists contributed by every
+/// incident atom (neighbour lists of already-bound endpoints, label
+/// support lists for not-yet-bound ones). Rows come out in lexicographic
+/// order of the elimination-order binding — already sorted and duplicate
+/// free, so callers need no Dedupe.
+///
+/// The CSR groups a node's hops by label but orders each label run by
+/// edge id, not neighbour id, so candidate lists are extracted, sorted,
+/// uniqued and memoized per (node, label, direction); the memo and the
+/// label support lists are transient state charged through a
+/// `ScopedMemoryCharge`. Every emitted row is charged `tuple_bytes`
+/// (callers pass their kernel's output-tuple formula so governed runs
+/// account wcoj output like join output), with the simulated
+/// alloc-failure fail point `alloc_failpoint` consulted first, exactly
+/// like `NaturalJoin`. On a tripped context the join unwinds promptly
+/// with a partial result.
+std::vector<std::vector<NodeId>> WcojEval(const GraphSnapshot& snap,
+                                          const WcojSpec& spec,
+                                          uint64_t tuple_bytes,
+                                          const QueryContext* ctx = nullptr,
+                                          const char* alloc_failpoint = nullptr);
+
+}  // namespace rel
+}  // namespace gqzoo
+
+#endif  // GQZOO_REL_WCOJ_H_

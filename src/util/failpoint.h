@@ -22,6 +22,8 @@ namespace gqzoo {
 /// Named sites in this codebase (grep for `Failpoint::ShouldFail`):
 ///   "rpq.product.bfs"     product-graph BFS setup    → memory exhaustion
 ///   "crpq.join.alloc"     join output-tuple alloc    → memory exhaustion
+///   "crpq.wcoj.alloc"     wcoj result-tuple alloc    → memory exhaustion
+///                         (crpq, dl-crpq, and coregql wcoj groups)
 ///   "coregql.frontier"    group-repeat frontier round → memory exhaustion
 ///   "pmr.enumerate.emit"  path-binding emission      → cancellation
 ///   "datatest.recurse"    dl-RPQ configuration step  → step-budget trip

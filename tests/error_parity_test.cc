@@ -166,6 +166,46 @@ TEST(ErrorParityTest, FailpointSitesSurfaceDocumentedCodes) {
   }
 }
 
+TEST(ErrorParityTest, WcojAllocFailpointIsResourceExhaustedEverywhere) {
+  // The wcoj result-tuple alloc site must surface the same class as the
+  // binary join's alloc site — kResourceExhausted — for every language
+  // whose planner can select a cyclic core (failpoint.h: crpq.wcoj.alloc).
+  // Each query is a triangle over label `a`, so the planner replaces the
+  // whole conjunct list with a wcoj group and the site is on the hot path.
+  struct WcojRow {
+    QueryLanguage language;
+    const char* text;
+  };
+  const WcojRow kRows[] = {
+      {QueryLanguage::kCrpq, "q(x, y, z) :- a(x, y), a(y, z), a(x, z)"},
+      {QueryLanguage::kDlCrpq,
+       "q(x, y, z) := [a] (x, y), [a] (y, z), [a] (x, z)"},
+      {QueryLanguage::kCoreGql,
+       "MATCH (x)-[:a]->(y), (y)-[:a]->(z), (x)-[:a]->(z) RETURN x, y, z"},
+  };
+  QueryEngine engine(ToPropertyGraph(Clique(4)));
+  for (const WcojRow& row : kRows) {
+    Failpoint::DisarmAll();
+    QueryRequest request;
+    request.language = row.language;
+    request.text = row.text;
+    request.memory_budget = 1ull << 40;  // governed, never trips on its own
+
+    ScopedFailpoint scoped("crpq.wcoj.alloc");
+    Result<QueryResponse> r = engine.Execute(request);
+    ASSERT_FALSE(r.ok()) << QueryLanguageName(row.language);
+    EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted)
+        << QueryLanguageName(row.language) << ": " << r.error().message();
+    // FireCount proves the wcoj group was actually selected and reached.
+    EXPECT_GE(Failpoint::FireCount("crpq.wcoj.alloc"), 1u)
+        << QueryLanguageName(row.language);
+
+    Result<QueryResponse> clean = engine.Execute(request);
+    EXPECT_TRUE(clean.ok())
+        << QueryLanguageName(row.language) << ": " << clean.error().message();
+  }
+}
+
 TEST(ErrorParityTest, SubmitShedIsOverloadedForEveryLanguage) {
   QueryEngine engine(ToPropertyGraph(Clique(4)));
   for (const LanguageQuery& q : AllLanguages()) {

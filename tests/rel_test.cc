@@ -1,7 +1,9 @@
 // Unit tests for the unified relational kernel (src/rel/rel.h) on the
 // degenerate shapes the evaluator integration tests rarely reach: empty
 // inputs, all-duplicate inputs, arity-0 relations, and budget trips
-// mid-operator.
+// mid-operator — plus the differential suite pinning the columnar batch
+// kernel (src/rel/batch.h) to the row kernel: identical rows, identical
+// row order, and identical budget accounting on every operator.
 
 #include "src/rel/rel.h"
 
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "src/crpq/crpq.h"
+#include "src/rel/batch.h"
 #include "src/util/query_context.h"
 
 namespace gqzoo {
@@ -210,6 +213,231 @@ TEST(DedupeTest, EmptyAllDuplicateAndTripped) {
   ctx.RequestCancel();
   Dedupe(&partial, &ctx);
   EXPECT_EQ(partial.rows.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-kernel differential suite: every batch operator must produce the
+// same rows in the same order as its row twin, and charge the budget
+// identically (same first cause, same accounted totals) when governed.
+// ---------------------------------------------------------------------------
+
+Cell L(std::vector<uint32_t> edges) {
+  ObjectList list;
+  for (uint32_t e : edges) list.push_back(ObjectRef::Edge(e));
+  return Cell(list);
+}
+
+void ExpectSameTable(const IntTable& row_out, const IntTable& batch_out) {
+  EXPECT_EQ(row_out.schema, batch_out.schema);
+  ASSERT_EQ(row_out.rows.size(), batch_out.rows.size());
+  for (size_t i = 0; i < row_out.rows.size(); ++i) {
+    EXPECT_EQ(row_out.rows[i], batch_out.rows[i]) << "row " << i;
+  }
+}
+
+void ExpectSameReport(const QueryContext& row_ctx,
+                      const QueryContext& batch_ctx) {
+  BudgetReport r = row_ctx.Report();
+  BudgetReport b = batch_ctx.Report();
+  EXPECT_EQ(r.cause, b.cause);
+  EXPECT_EQ(r.memory_bytes, b.memory_bytes);
+  EXPECT_EQ(r.memory_peak_bytes, b.memory_peak_bytes);
+  EXPECT_EQ(r.steps, b.steps);
+  EXPECT_EQ(r.result_rows, b.result_rows);
+}
+
+// The interesting input shapes: empty, single row, duplicate-heavy keys,
+// and a fully demoted (no-id) column next to packed id columns.
+std::vector<std::pair<IntTable, IntTable>> DifferentialInputs() {
+  std::vector<std::pair<IntTable, IntTable>> cases;
+  cases.emplace_back(Make({"x", "y"}, {}), Make({"y", "z"}, {{1, 2}}));
+  cases.emplace_back(Make({"x", "y"}, {{1, 2}}), Make({"y", "z"}, {}));
+  cases.emplace_back(Make({"x", "y"}, {{1, 2}}), Make({"y", "z"}, {{2, 3}}));
+  cases.emplace_back(Make({"x"}, {{1}, {2}}), Make({"y"}, {{3}, {4}}));
+  // Duplicate-heavy: every key matches every row on the other side.
+  IntTable dup_a = Make({"x", "y"}, {});
+  IntTable dup_b = Make({"y", "z"}, {});
+  for (uint32_t i = 0; i < 8; ++i) {
+    dup_a.rows.push_back({N(i), N(7)});
+    dup_b.rows.push_back({N(7), N(100 + i)});
+  }
+  cases.emplace_back(std::move(dup_a), std::move(dup_b));
+  // A column with no id cell at all (list-valued), forcing the side store
+  // and the Cell-keyed join path.
+  IntTable list_a = Make({"x"}, {});
+  list_a.schema.push_back("p");
+  list_a.rows = {{N(1), L({10})}, {N(2), L({11, 12})}, {N(3), L({10})}};
+  IntTable list_b;
+  list_b.schema = {"p", "z"};
+  list_b.rows = {{L({10}), N(5)}, {L({11, 12}), N(6)}};
+  cases.emplace_back(std::move(list_a), std::move(list_b));
+  return cases;
+}
+
+TEST(BatchDifferentialTest, NaturalJoinMatchesRowKernel) {
+  for (const auto& [a, b] : DifferentialInputs()) {
+    ExpectSameTable(NaturalJoin(a, b), NaturalJoinBatched(a, b));
+    ExpectSameTable(NaturalJoin(b, a), NaturalJoinBatched(b, a));
+  }
+}
+
+TEST(BatchDifferentialTest, SemiJoinMatchesRowKernel) {
+  for (const auto& [a, b] : DifferentialInputs()) {
+    ExpectSameTable(SemiJoin(a, b), SemiJoinBatched(a, b));
+    ExpectSameTable(SemiJoin(b, a), SemiJoinBatched(b, a));
+  }
+}
+
+TEST(BatchDifferentialTest, ProjectMatchesRowKernel) {
+  for (const auto& [a, b] : DifferentialInputs()) {
+    for (const IntTable* t : {&a, &b}) {
+      // Project each single attribute, the reversed schema, and arity 0.
+      std::vector<std::vector<std::string>> targets;
+      for (const std::string& attr : t->schema) targets.push_back({attr});
+      targets.push_back(
+          std::vector<std::string>(t->schema.rbegin(), t->schema.rend()));
+      targets.push_back({});
+      for (const auto& attrs : targets) {
+        IntTable row_out, batch_out;
+        ASSERT_TRUE(Project(*t, attrs, &row_out));
+        ASSERT_TRUE(ProjectBatched(*t, attrs, &batch_out));
+        ExpectSameTable(row_out, batch_out);
+      }
+    }
+  }
+}
+
+TEST(BatchDifferentialTest, ProjectMissingAttributeFailsInBoth) {
+  IntTable a = Make({"x"}, {{1}});
+  IntTable out;
+  EXPECT_FALSE(Project(a, {"nope"}, &out));
+  EXPECT_FALSE(ProjectBatched(a, {"nope"}, &out));
+}
+
+TEST(BatchDifferentialTest, DedupeMatchesRowKernel) {
+  IntTable dups = Make({"x", "y"}, {{2, 1}, {1, 2}, {2, 1}, {1, 1}, {1, 2}});
+  dups.rows.push_back({N(1), L({10})});
+  dups.rows.push_back({N(1), L({10})});
+  IntTable row_side = dups;
+  Dedupe(&row_side);
+  ColumnBatch<Cell> batch = ToBatch(dups);
+  BatchDedupe(&batch);
+  ExpectSameTable(row_side, ToTable(batch));
+}
+
+TEST(BatchDifferentialTest, SingleRowAndRoundTrip) {
+  IntTable one = Make({"x", "y"}, {{1, 2}});
+  ExpectSameTable(one, ToTable(ToBatch(one)));
+  IntTable mixed;
+  mixed.schema = {"x", "p"};
+  mixed.rows = {{N(1), L({9})}};
+  ExpectSameTable(mixed, ToTable(ToBatch(mixed)));
+  ColumnBatch<Cell> b = ToBatch(mixed);
+  EXPECT_TRUE(b.cols[0].all_ids);
+  EXPECT_FALSE(b.cols[1].all_ids);
+}
+
+TEST(BatchDifferentialTest, MixedColumnDemotesMidAppend) {
+  // Id rows first, then a list cell: the column re-boxes the packed ids
+  // and keeps serving the earlier rows unchanged.
+  IntTable t;
+  t.schema = {"x"};
+  t.rows = {{N(4)}, {N(5)}, {L({1})}};
+  ColumnBatch<Cell> b = ToBatch(t);
+  EXPECT_FALSE(b.cols[0].all_ids);
+  ExpectSameTable(t, ToTable(b));
+}
+
+TEST(BatchDifferentialTest, MemoryTripMidJoinLeavesIdenticalReport) {
+  IntTable a = Make({"x"}, {});
+  IntTable b = Make({"x"}, {});
+  for (uint32_t i = 0; i < 100; ++i) {
+    a.rows.push_back({N(i)});
+    b.rows.push_back({N(i)});
+  }
+  ResourceBudgets budgets;
+  budgets.memory_bytes = 4096;  // trips while probing, mid-batch
+  QueryContext row_ctx;
+  row_ctx.set_budgets(budgets);
+  QueryContext batch_ctx;
+  batch_ctx.set_budgets(budgets);
+  IntTable row_out = NaturalJoin(a, b, &row_ctx);
+  IntTable batch_out = NaturalJoinBatched(a, b, &batch_ctx);
+  EXPECT_EQ(row_ctx.stop_cause(), StopCause::kMemoryBudget);
+  ExpectSameTable(row_out, batch_out);
+  ExpectSameReport(row_ctx, batch_ctx);
+}
+
+TEST(BatchDifferentialTest, StepTripMidJoinLeavesIdenticalReport) {
+  IntTable a = Make({"x"}, {});
+  IntTable b = Make({"x"}, {});
+  for (uint32_t i = 0; i < 100; ++i) {
+    a.rows.push_back({N(i)});
+    b.rows.push_back({N(i)});
+  }
+  ResourceBudgets budgets;
+  budgets.steps = 25;
+  QueryContext row_ctx;
+  row_ctx.set_budgets(budgets);
+  QueryContext batch_ctx;
+  batch_ctx.set_budgets(budgets);
+  IntTable row_out = NaturalJoin(a, b, &row_ctx);
+  IntTable batch_out = NaturalJoinBatched(a, b, &batch_ctx);
+  EXPECT_EQ(row_ctx.stop_cause(), StopCause::kStepBudget);
+  ExpectSameTable(row_out, batch_out);
+  ExpectSameReport(row_ctx, batch_ctx);
+}
+
+TEST(BatchDifferentialTest, SemiJoinTripLeavesIdenticalReport) {
+  IntTable a = Make({"x"}, {});
+  IntTable b = Make({"x"}, {});
+  for (uint32_t i = 0; i < 100; ++i) {
+    a.rows.push_back({N(i)});
+    b.rows.push_back({N(i)});
+  }
+  ResourceBudgets budgets;
+  budgets.steps = 10;
+  QueryContext row_ctx;
+  row_ctx.set_budgets(budgets);
+  QueryContext batch_ctx;
+  batch_ctx.set_budgets(budgets);
+  IntTable row_out = SemiJoin(a, b, &row_ctx);
+  IntTable batch_out = SemiJoinBatched(a, b, &batch_ctx);
+  EXPECT_EQ(row_ctx.stop_cause(), StopCause::kStepBudget);
+  ExpectSameTable(row_out, batch_out);
+  ExpectSameReport(row_ctx, batch_ctx);
+}
+
+TEST(BatchDifferentialTest, AllocFailpointTripsIdentically) {
+  IntTable a = Make({"x"}, {{1}});
+  IntTable b = Make({"x"}, {{1}});
+  ResourceBudgets budgets;
+  budgets.memory_bytes = 1ull << 40;
+  QueryContext row_ctx;
+  row_ctx.set_budgets(budgets);
+  QueryContext batch_ctx;
+  batch_ctx.set_budgets(budgets);
+  {
+    ScopedFailpoint fp("rel.test.join.alloc");
+    (void)NaturalJoin(a, b, &row_ctx, "rel.test.join.alloc");
+  }
+  IntTable batch_out;
+  {
+    ScopedFailpoint fp("rel.test.join.alloc");
+    batch_out = NaturalJoinBatched(a, b, &batch_ctx, "rel.test.join.alloc");
+  }
+  EXPECT_TRUE(batch_out.rows.empty());
+  EXPECT_EQ(batch_ctx.stop_cause(), StopCause::kMemoryBudget);
+  ExpectSameReport(row_ctx, batch_ctx);
+}
+
+TEST(BatchDifferentialTest, DedupeSkippedOnTrippedContext) {
+  IntTable dups = Make({"x"}, {{5}, {5}});
+  QueryContext ctx;
+  ctx.RequestCancel();
+  ColumnBatch<Cell> b = ToBatch(dups);
+  BatchDedupe(&b, &ctx);
+  EXPECT_EQ(b.num_rows, 2u);  // same prompt-unwinding contract as Dedupe
 }
 
 }  // namespace
